@@ -1,0 +1,157 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -exp all
+//	experiments -exp fig12
+//	experiments -exp fig10,fig11 -tuples 10000
+//
+// Experiments: headline table1 table2 table3 table4 fig10 fig11 fig12
+// fig13 fig14 fig15 fig16 all. ("all" covers the tables and figures;
+// "headline" recomputes the paper-vs-measured claim summary.)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"swapcodes/internal/arith"
+	"swapcodes/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiments to run (headline, table1..table4, fig10..fig16, all)")
+	tuples := flag.Int("tuples", 10000, "input tuples per unit for the fig10/fig11 injection campaign")
+	seed := flag.Int64("seed", 1, "campaign random seed")
+	csvDir := flag.String("csv", "", "also write plot-ready CSV files into this directory")
+	chart := flag.Bool("chart", false, "render the performance figures as ASCII bar charts")
+	verilogDir := flag.String("verilog", "", "export the synthesized units as structural Verilog into this directory")
+	flag.Parse()
+
+	if *verilogDir != "" {
+		fail(os.MkdirAll(*verilogDir, 0o755))
+		for _, u := range arith.Units() {
+			path := filepath.Join(*verilogDir, strings.ReplaceAll(u.Name, "-", "_")+".v")
+			fail(os.WriteFile(path, []byte(u.Circuit.Verilog()), 0o644))
+			fmt.Fprintln(os.Stderr, "wrote", path)
+		}
+	}
+
+	writeCSV := func(name, content string) {
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fail(err)
+		}
+		path := filepath.Join(*csvDir, name)
+		fail(os.WriteFile(path, []byte(content), 0o644))
+		fmt.Fprintln(os.Stderr, "wrote", path)
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	sel := func(name string) bool { return all || want[name] }
+
+	if sel("headline") {
+		rows, err := harness.Headline(*tuples, *seed)
+		fail(err)
+		fmt.Println(harness.RenderHeadline(rows))
+	}
+	if sel("table1") {
+		fmt.Println(harness.Table1())
+	}
+	if sel("table2") {
+		fmt.Println(harness.Table2())
+	}
+	if sel("table3") {
+		fmt.Println(harness.Table3())
+	}
+	if sel("table4") {
+		rows := harness.Table4()
+		fmt.Println(harness.RenderTable4(rows))
+		writeCSV("table4.csv", harness.Table4CSV(rows))
+	}
+
+	var inj *harness.InjectionResult
+	if sel("fig10") || sel("fig11") {
+		var err error
+		inj, err = harness.RunInjection(*tuples, *seed)
+		fail(err)
+	}
+	if sel("fig10") {
+		fmt.Println(inj.RenderFig10())
+		writeCSV("fig10_fig11.csv", inj.CSV())
+	}
+	if sel("fig11") {
+		fmt.Println(inj.RenderFig11())
+		fmt.Printf("pooled detection coverage: SEC-DED %.2f%%, Mod-127 %.2f%% (paper: >98.8%% / >99.3%%)\n\n",
+			100*inj.DetectionCoverage(codeByName("SEC-DED-DP")),
+			100*inj.DetectionCoverage(codeByName("Mod-127")))
+	}
+
+	var perf12 *harness.PerfResult
+	if sel("fig12") || sel("fig13") {
+		var err error
+		perf12, err = harness.RunPerf(harness.Fig12Schemes(), true)
+		fail(err)
+	}
+	if sel("fig12") {
+		fmt.Println(perf12.Render("Figure 12: slowdown over the un-duplicated program (Tesla P100-class SM model)"))
+		if *chart {
+			fmt.Println(perf12.Chart("Figure 12 (chart)", 120))
+		}
+		writeCSV("fig12.csv", perf12.CSV())
+	}
+	if sel("fig13") {
+		mix := harness.RunCodeMix(perf12)
+		fmt.Println(mix.Render())
+		writeCSV("fig13.csv", mix.CSV())
+	}
+	if sel("fig14") {
+		pr, err := harness.RunPower()
+		fail(err)
+		fmt.Println(pr.Render())
+		writeCSV("fig14.csv", pr.CSV())
+		fmt.Printf("worst power overhead: %.0f%% (paper: <=15%%)\n\n", 100*(pr.MaxRelPower()-1))
+	}
+	if sel("fig15") {
+		perf, err := harness.RunPerf(harness.Fig15Schemes(), true)
+		fail(err)
+		fmt.Println(perf.Render("Figure 15: inter-thread duplication slowdown (fails on mm: CTA size; snap: shuffles)"))
+		writeCSV("fig15.csv", perf.CSV())
+	}
+	if sel("fig16") {
+		perf, err := harness.RunPerf(harness.Fig16Schemes(), true)
+		fail(err)
+		fmt.Println(perf.Render("Figure 16: Swap-Predict with plausible future check-bit predictors"))
+		writeCSV("fig16.csv", perf.CSV())
+	}
+}
+
+func codeByName(name string) interface {
+	Name() string
+	CheckBits() int
+	Encode(uint32) uint32
+	Detects(uint32, uint32) bool
+} {
+	for _, c := range harness.Fig11Codes() {
+		if c.Name() == name {
+			return c
+		}
+	}
+	panic("unknown code " + name)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,155 @@
+// Command swapsim runs one workload kernel under one protection scheme on
+// the simulated SM and prints cycles, instruction mix, and (optionally) the
+// outcome of an injected pipeline error under the SwapCodes register file.
+//
+// Usage:
+//
+//	swapsim -workload lavaMD -scheme swap-ecc
+//	swapsim -workload mm -scheme sw-dup -fault 120 -lane 3 -bit 9
+//	swapsim -file kernel.sasm -scheme swap-ecc -mem 65536
+//	swapsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"swapcodes/internal/compiler"
+	"swapcodes/internal/isa"
+	"swapcodes/internal/sm"
+	"swapcodes/internal/workloads"
+)
+
+var schemeNames = map[string]compiler.Scheme{
+	"baseline":       compiler.Baseline,
+	"sw-dup":         compiler.SWDup,
+	"swap-ecc":       compiler.SwapECC,
+	"pre-addsub":     compiler.SwapPredictAddSub,
+	"pre-mad":        compiler.SwapPredictMAD,
+	"pre-otherfxp":   compiler.SwapPredictOtherFxP,
+	"pre-fp-addsub":  compiler.SwapPredictFpAddSub,
+	"pre-fp-mad":     compiler.SwapPredictFpMAD,
+	"inter":          compiler.InterThread,
+	"inter-no-check": compiler.InterThreadNoCheck,
+}
+
+func main() {
+	name := flag.String("workload", "lavaMD", "workload name (see -list)")
+	file := flag.String("file", "", "run a kernel from a .sasm text file instead of a built-in workload")
+	memWords := flag.Int("mem", 1<<16, "global memory words when running a .sasm file")
+	schemeName := flag.String("scheme", "swap-ecc", "protection scheme: "+strings.Join(schemeKeys(), " "))
+	list := flag.Bool("list", false, "list workloads and exit")
+	fault := flag.Int64("fault", -1, "dynamic warp-instruction index at which to inject a pipeline error")
+	lane := flag.Int("lane", 0, "faulted lane")
+	bit := flag.Int("bit", 7, "faulted result bit")
+	disas := flag.Bool("disas", false, "print the transformed kernel")
+	optimize := flag.Bool("O", false, "run dead-code elimination and the list scheduler after the protection pass")
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Printf("%-9s grid=%3d cta=%4d regs=%2d shared=%d\n",
+				w.Name, w.Kernel.GridCTAs, w.Kernel.CTAThreads, w.Kernel.NumRegs, w.Kernel.SharedWords)
+		}
+		return
+	}
+	scheme, ok := schemeNames[*schemeName]
+	if !ok {
+		fail(fmt.Errorf("unknown scheme %q (want one of %s)", *schemeName, strings.Join(schemeKeys(), ", ")))
+	}
+	var w *workloads.Workload
+	var base *isa.Kernel
+	if *file != "" {
+		src, err := os.ReadFile(*file)
+		fail(err)
+		base, err = compiler.Parse(string(src))
+		fail(err)
+	} else {
+		var err error
+		w, err = workloads.ByName(*name)
+		fail(err)
+		base = w.Kernel
+	}
+	k, err := compiler.ApplyOpts(base, scheme, compiler.Opts{DCE: *optimize, Schedule: *optimize})
+	fail(err)
+	if *disas {
+		for pc, in := range k.Code {
+			fmt.Printf("%4d: %v\n", pc, in)
+		}
+	}
+	cfg := sm.DefaultConfig()
+	if *fault >= 0 {
+		cfg.ECC = true
+	}
+	var g *sm.GPU
+	if w != nil {
+		g = w.NewGPU(cfg)
+	} else {
+		g = sm.NewGPU(cfg, *memWords)
+	}
+	if *fault >= 0 {
+		g.Fault = &sm.FaultPlan{TargetDynInstr: *fault, Lane: *lane, BitMask: 1 << uint(*bit%32)}
+	}
+	st, err := g.Launch(k)
+	fail(err)
+	var verifyErr error
+	if w != nil {
+		verifyErr = w.Verify(g)
+	}
+
+	fmt.Printf("workload    %s under %v\n", k.Name, scheme)
+	fmt.Printf("cycles      %d\n", st.Cycles)
+	fmt.Printf("warp instrs %d (IPC %.2f)\n", st.DynWarpInstrs, st.IPC())
+	fmt.Printf("occupancy   %d resident warps (max)\n", st.MaxResidentWarps)
+	fmt.Printf("stalls      deps=%d throttle=%d barrier=%d empty=%d (failed issue slots)\n",
+		st.StallDeps, st.StallThrottle, st.StallBarrier, st.StallNoWarp)
+	fmt.Printf("classes    ")
+	for cl := isa.ClassFxP; cl <= isa.ClassSpecial; cl++ {
+		if st.PerClass[cl] > 0 {
+			fmt.Printf(" %v=%d", cl, st.PerClass[cl])
+		}
+	}
+	fmt.Println()
+	fmt.Printf("categories ")
+	for cat := isa.CatNotEligible; cat <= isa.CatChecking; cat++ {
+		if st.PerCat[cat] > 0 {
+			fmt.Printf(" %v=%d", cat, st.PerCat[cat])
+		}
+	}
+	fmt.Println()
+	if *fault >= 0 {
+		fmt.Printf("fault       applied=%v\n", g.Fault.Applied)
+		fmt.Printf("detection   pipeline DUEs=%d, software trap=%v\n", st.PipelineDUEs, st.Trapped)
+	}
+	switch {
+	case verifyErr != nil:
+		fmt.Printf("output      CORRUPTED: %v\n", verifyErr)
+	case w != nil:
+		fmt.Printf("output      verified correct\n")
+	}
+}
+
+func schemeKeys() []string {
+	out := make([]string, 0, len(schemeNames))
+	for k := range schemeNames {
+		out = append(out, k)
+	}
+	// stable-ish order for help text
+	for i := range out {
+		for j := i + 1; j < len(out); j++ {
+			if out[j] < out[i] {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swapsim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,74 @@
+// Codes: a tour of the SwapCodes error-coding API — the swap invariant with
+// SEC-DED-DP, storage correction vs pipeline detection, and the mixed-width
+// MAD residue prediction of Section III-C.
+//
+//	go run ./examples/codes
+package main
+
+import (
+	"fmt"
+
+	"swapcodes/internal/core"
+	"swapcodes/internal/ecc"
+)
+
+func main() {
+	fmt.Println("== The swap invariant with SEC-DED-DP ==")
+	rf := core.NewRegFile(core.OrgSECDEDDP, 4, 32)
+	value := uint32(0xCAFE_F00D)
+
+	// Error-free: original writes data+ECC+parity, shadow re-writes the ECC.
+	rf.WriteFull(0, 0, value)
+	rf.WriteShadow(0, 0, value)
+	v, out := rf.Read(0, 0)
+	fmt.Printf("clean:                 read %#x -> %v\n", v, out)
+
+	// Pipeline error in the ORIGINAL instruction: it writes a consistent
+	// but WRONG codeword; the shadow's swapped-in check bits expose it.
+	rf.WriteFull(0, 0, value^(1<<9))
+	rf.WriteShadow(0, 0, value)
+	_, out = rf.Read(0, 0)
+	fmt.Printf("original-instr error:  -> %v\n", out)
+
+	// Pipeline error in the SHADOW: plain SEC-DED would *miscorrect* good
+	// data; the data-parity guard turns it into a DUE (Figure 5).
+	rf.WriteFull(0, 0, value)
+	rf.WriteShadow(0, 0, value^(1<<20))
+	v, out = rf.Read(0, 0)
+	fmt.Printf("shadow-instr error:    read %#x (data untouched) -> %v\n", v, out)
+
+	// Storage error at rest: still corrected, as on a conventional GPU.
+	rf.WriteFull(0, 0, value)
+	rf.WriteShadow(0, 0, value)
+	rf.InjectStorageError(0, 0, 1<<15, 0, false)
+	v, out = rf.Read(0, 0)
+	fmt.Printf("storage bit flip:      read %#x -> %v\n", v, out)
+
+	fmt.Println("\n== Mixed-width MAD residue prediction (Equation 1 / Figure 9) ==")
+	r := ecc.NewResidue(3) // Mod-7
+	x, y := uint32(123_456_789), uint32(987_654_321)
+	c := uint64(0xDEAD_BEEF_0BAD_F00D)
+	z := uint64(x)*uint64(y) + c
+	fmt.Printf("Z = %d * %d + %#x = %#x\n", x, y, c, z)
+	fmt.Printf("correction factor |2^32|_7 = %d (paper: 4)\n", r.CorrectionFactor())
+	rz := r.PredictMAD(r.Encode(x), r.Encode(y), r.Encode(uint32(c>>32)), r.Encode(uint32(c)))
+	fmt.Printf("predicted |Z|_7 = %d, actual = %d\n", rz, r.Encode64(z))
+
+	lo, hi := r.PredictMAD64(r.Encode(x), r.Encode(y),
+		r.Encode(uint32(c>>32)), r.Encode(uint32(c)), z, false)
+	fmt.Printf("recoded low register check %d (want %d), high %d (want %d)\n",
+		r.Canon(lo), r.Encode(uint32(z)), r.Canon(hi), r.Encode(uint32(z>>32)))
+
+	// A datapath error leaves the prediction intact and trips the decoder.
+	zBad := z ^ (1 << 40)
+	lo, hi = r.PredictMAD64(r.Encode(x), r.Encode(y),
+		r.Encode(uint32(c>>32)), r.Encode(uint32(c)), zBad, false)
+	fmt.Printf("after a bit-40 datapath error: low flags=%v high flags=%v\n",
+		r.Detects(uint32(zBad), lo), r.Detects(uint32(zBad>>32), hi))
+
+	fmt.Println("\n== Table III carry adjustment (mod-15 signals) ==")
+	r15 := ecc.NewResidue(4)
+	for _, cc := range []struct{ cout, cin bool }{{false, false}, {false, true}, {true, false}, {true, true}} {
+		fmt.Printf("cout=%v cin=%v -> signal %04b\n", cc.cout, cc.cin, r15.CarryAdjustSignal(cc.cin, cc.cout))
+	}
+}

@@ -1,0 +1,54 @@
+// Fault campaign: a miniature Figure 10/11 — gate-level single-event
+// injection into the mixed-width multiply-add unit, classifying the output
+// error patterns and evaluating how well each register-file code would
+// detect them under the SwapCodes swap invariant.
+//
+//	go run ./examples/fault_campaign
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"swapcodes/internal/arith"
+	"swapcodes/internal/ecc"
+	"swapcodes/internal/faultsim"
+)
+
+func main() {
+	unit := arith.NewIMAD32()
+	fmt.Printf("unit: %s — %d gates, %d flip-flops, %.0f NAND2 equivalents, %d pipeline stages\n\n",
+		unit.Name, unit.Circuit.NumNodes(), unit.Circuit.NumFF(),
+		unit.Circuit.AreaNAND2(), unit.Circuit.Stages())
+
+	// 2000 random operand tuples; for each, flip one random gate or
+	// flip-flop until the output is corrupted (Hamartia-style).
+	rng := rand.New(rand.NewSource(42))
+	tuples := make([][]uint64, 2000)
+	for i := range tuples {
+		tuples[i] = []uint64{uint64(rng.Uint32()), uint64(rng.Uint32()), rng.Uint64()}
+	}
+	campaign := faultsim.NewCampaign(unit, 7)
+	injections := campaign.Run(tuples)
+
+	hist := faultsim.SeverityHistogram(injections)
+	fmt.Printf("unmasked injections: %d\n", len(injections))
+	for _, sev := range []faultsim.Severity{faultsim.OneBit, faultsim.TwoToThreeBits, faultsim.FourPlusBits} {
+		n := hist[sev]
+		lo, hi := faultsim.WilsonCI(n, len(injections), 1.96)
+		fmt.Printf("  %-9s %5.1f%%  [%.1f%%, %.1f%%]\n",
+			sev, 100*float64(n)/float64(len(injections)), 100*lo, 100*hi)
+	}
+
+	fmt.Println("\nSDC risk per register-file code (undetected / unmasked):")
+	codes := []ecc.Code{ecc.Parity{}, ecc.NewResidue(2), ecc.NewResidue(4),
+		ecc.NewResidue(7), ecc.NewTED()}
+	for _, code := range codes {
+		sdc, total := faultsim.SDCRisk(injections, code, unit.OutputWidth)
+		_, hi := faultsim.WilsonCI(sdc, total, 1.96)
+		fmt.Printf("  %-12s %6.2f%%  (95%% upper bound %.2f%%)\n",
+			code.Name(), 100*float64(sdc)/float64(total), 100*hi)
+	}
+	fmt.Println("\nA fixed-point unit's errors are overwhelmingly single-bit, so even the")
+	fmt.Println("2-bit Mod-3 residue catches nearly everything (paper Figure 11).")
+}

@@ -1,0 +1,3 @@
+module swapcodes
+
+go 1.22

@@ -1,0 +1,207 @@
+package arith
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"swapcodes/internal/gates"
+)
+
+// randOperand draws a realistic operand for a unit input: fixed-point
+// operands are uniform words; floating-point operands are normal numbers
+// with exponents near the bias (plus occasional zeros), the regime traced
+// workload values live in.
+func randOperand(rng *rand.Rand, u *Unit, idx int) uint64 {
+	if u.Class == "FxP" {
+		if u.OperandWidths[idx] == 64 {
+			return rng.Uint64()
+		}
+		return uint64(rng.Uint32())
+	}
+	f := fp32
+	if u.OperandWidths[idx] == 64 {
+		f = fp64
+	}
+	if rng.Intn(20) == 0 {
+		return 0
+	}
+	s := uint64(rng.Intn(2))
+	e := (f.bias - 20 + uint64(rng.Intn(41))) & (1<<uint(f.E) - 1)
+	m := rng.Uint64() & (1<<uint(f.M) - 1)
+	return f.pack(s, e, m)
+}
+
+func checkUnitAgainstRef(t *testing.T, u *Unit, trials int) {
+	t.Helper()
+	ev := gates.NewEvaluator(u.Circuit)
+	rng := rand.New(rand.NewSource(int64(len(u.Name))))
+	for batch := 0; batch < (trials+63)/64; batch++ {
+		samples := make([][]uint64, 64)
+		for lane := range samples {
+			ops := make([]uint64, len(u.OperandWidths))
+			for i := range ops {
+				ops[i] = randOperand(rng, u, i)
+			}
+			samples[lane] = ops
+		}
+		out := ev.Eval(u.PackOperands(samples), gates.NoFault)
+		for lane, ops := range samples {
+			got := u.UnpackOutput(out, lane)
+			want := u.Ref(ops)
+			if got != want {
+				t.Fatalf("%s: ops=%#x circuit=%#x ref=%#x", u.Name, ops, got, want)
+			}
+		}
+	}
+}
+
+func TestIAdd32MatchesRef(t *testing.T) { checkUnitAgainstRef(t, NewIAdd32(), 2000) }
+func TestIMAD32MatchesRef(t *testing.T) { checkUnitAgainstRef(t, NewIMAD32(), 2000) }
+func TestFAdd32MatchesRef(t *testing.T) { checkUnitAgainstRef(t, NewFAdd32(), 2000) }
+func TestFFMA32MatchesRef(t *testing.T) { checkUnitAgainstRef(t, NewFFMA32(), 1000) }
+func TestFAdd64MatchesRef(t *testing.T) { checkUnitAgainstRef(t, NewFAdd64(), 1000) }
+func TestFFMA64MatchesRef(t *testing.T) {
+	if testing.Short() {
+		t.Skip("FP64 FMA netlist is large")
+	}
+	checkUnitAgainstRef(t, NewFFMA64(), 320)
+}
+
+// TestRefFAddApproximatesIEEE sanity-checks the simplified FP algorithm
+// against real float addition: exact for exact-representable sums, within
+// one ULP otherwise (truncation rounding).
+func TestRefFAddApproximatesIEEE(t *testing.T) {
+	cases := [][2]float32{{1, 1}, {1.5, 2.25}, {0.5, -0.25}, {1024, 0.125}, {3.5, -3.5}, {7, 0}}
+	for _, c := range cases {
+		got := refFAdd(fp32, uint64(math.Float32bits(c[0])), uint64(math.Float32bits(c[1])))
+		want := math.Float32bits(c[0] + c[1])
+		if uint32(got) != want {
+			t.Errorf("refFAdd(%v,%v) = %#x, want %#x", c[0], c[1], got, want)
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		a := float32(rng.NormFloat64())
+		b := float32(rng.NormFloat64())
+		got := math.Float32frombits(uint32(refFAdd(fp32, uint64(math.Float32bits(a)), uint64(math.Float32bits(b)))))
+		want := a + b
+		if want == 0 {
+			continue
+		}
+		if rel := math.Abs(float64(got-want) / float64(want)); rel > 1e-5 {
+			t.Fatalf("refFAdd(%v,%v) = %v, want ~%v (rel %g)", a, b, got, want, rel)
+		}
+	}
+}
+
+func TestRefFFMAApproximatesIEEE(t *testing.T) {
+	cases := [][3]float64{{1, 1, 0}, {1.5, 1.5, 0}, {2, 3, 4}, {1.25, -2, 10}, {0, 5, 7}, {3, 4, -12}}
+	for _, c := range cases {
+		got := math.Float64frombits(refFFMA(fp64, math.Float64bits(c[0]), math.Float64bits(c[1]), math.Float64bits(c[2])))
+		want := c[0]*c[1] + c[2]
+		if got != want {
+			t.Errorf("refFFMA(%v) = %v, want %v", c, got, want)
+		}
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 2000; i++ {
+		a, b, c := rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+		got := math.Float64frombits(refFFMA(fp64, math.Float64bits(a), math.Float64bits(b), math.Float64bits(c)))
+		want := math.FMA(a, b, c)
+		if want == 0 {
+			continue
+		}
+		if rel := math.Abs((got - want) / want); rel > 1e-13 {
+			t.Fatalf("refFFMA(%v,%v,%v) = %v, want ~%v (rel %g)", a, b, c, got, want, rel)
+		}
+	}
+}
+
+func TestUnitMetadata(t *testing.T) {
+	for _, u := range Units() {
+		if u.Circuit.NumFF() == 0 {
+			t.Errorf("%s: no pipeline flip-flops", u.Name)
+		}
+		if u.Circuit.Stages() < 1 || u.Circuit.Stages() > 2 {
+			t.Errorf("%s: %d stages", u.Name, u.Circuit.Stages())
+		}
+		if u.Circuit.AreaNAND2() <= 0 {
+			t.Errorf("%s: nonpositive area", u.Name)
+		}
+		total := 0
+		for _, w := range u.OperandWidths {
+			total += w
+		}
+		if u.Circuit.NumInputs() != total {
+			t.Errorf("%s: %d inputs, want %d", u.Name, u.Circuit.NumInputs(), total)
+		}
+		if u.Circuit.NumOutputs() != u.OutputWidth {
+			t.Errorf("%s: %d outputs, want %d", u.Name, u.Circuit.NumOutputs(), u.OutputWidth)
+		}
+	}
+}
+
+func TestTableIVShape(t *testing.T) {
+	add := NewIAdd32()
+	mad := NewIMAD32()
+	if add.Circuit.NumFF() != 96 {
+		t.Errorf("Add FFs = %d, want 96 (Table IV)", add.Circuit.NumFF())
+	}
+	// The MAD unit dwarfs the adder, as in Table IV (9941 vs 715 NAND2).
+	if mad.Circuit.AreaNAND2() < 5*add.Circuit.AreaNAND2() {
+		t.Errorf("MAD area %.0f not >> Add area %.0f", mad.Circuit.AreaNAND2(), add.Circuit.AreaNAND2())
+	}
+	if mad.Circuit.Stages() != 2 {
+		t.Errorf("MAD stages = %d, want 2", mad.Circuit.Stages())
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	u := NewIAdd32()
+	samples := make([][]uint64, 64)
+	rng := rand.New(rand.NewSource(5))
+	for i := range samples {
+		samples[i] = []uint64{uint64(rng.Uint32()), uint64(rng.Uint32())}
+	}
+	in := u.PackOperands(samples)
+	if len(in) != 64 {
+		t.Fatalf("packed %d words", len(in))
+	}
+	// Verify lane 17's operand bits round-trip.
+	lane := 17
+	for bit := 0; bit < 32; bit++ {
+		want := samples[lane][0] >> uint(bit) & 1
+		got := in[bit] >> uint(lane) & 1
+		if got != want {
+			t.Fatalf("bit %d: got %d want %d", bit, got, want)
+		}
+	}
+}
+
+// TestPerStageDepthBounded backs the paper's timing claim: per-stage logic
+// depth stays within a plausible 2GHz budget for the predictor/encoder
+// circuits (tens of levels), and even the big ripple-carry datapaths stay
+// below the width-proportional bound.
+func TestPerStageDepthBounded(t *testing.T) {
+	small := map[string]*gates.Circuit{
+		"mod3enc":    NewResidueEncoderCircuit(2),
+		"mod127enc":  NewResidueEncoderCircuit(7),
+		"moveprop":   NewMovePropagateCircuit(7),
+		"dpreport":   NewDPReportCircuit(),
+		"predadd3":   NewResidueAddPredictorCircuit(2),
+		"predmad127": NewResidueMADPredictorCircuit(7),
+		"recode127":  NewModifiedResidueEncoderCircuit(7),
+	}
+	for name, c := range small {
+		if d := c.Depth(); d > 96 {
+			t.Errorf("%s: stage depth %d exceeds a plausible cell budget", name, d)
+		}
+	}
+	for _, u := range Units() {
+		d := u.Circuit.Depth()
+		if d <= 0 || d > 600 {
+			t.Errorf("%s: implausible stage depth %d", u.Name, d)
+		}
+	}
+}

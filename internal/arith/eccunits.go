@@ -1,0 +1,256 @@
+package arith
+
+import (
+	"fmt"
+
+	"swapcodes/internal/ecc"
+	"swapcodes/internal/gates"
+)
+
+// This file generates the ECC-related hardware of Table IV: the baseline
+// SEC-DED decoder and residue encoders, the Swap-ECC modifications
+// (move-propagate muxing, SEC-(DED)-DP reporting), and the Swap-Predict
+// residue prediction circuitry (add and MAD predictors, modified recoding
+// encoders). Areas come from the package's NAND2 model; the harness reports
+// them alongside the paper's synthesis numbers.
+
+// NewSECDEDDecoderCircuit builds the combinational Hsiao (39,32) decoder
+// front end that sits on the register-file read path: seven syndrome parity
+// trees plus the detect/severity logic. It is the reference structure
+// against which the Swap-ECC modification overheads are normalized.
+func NewSECDEDDecoderCircuit() *gates.Circuit {
+	h := ecc.NewHsiao()
+	b := gates.NewBuilder("SECDED-Dec")
+	data := b.InputBus(32)
+	check := b.InputBus(7)
+	syndrome := make([]int, 7)
+	for r := 0; r < 7; r++ {
+		var taps []int
+		for i := 0; i < 32; i++ {
+			if h.Column(i)&(1<<uint(r)) != 0 {
+				taps = append(taps, data[i])
+			}
+		}
+		taps = append(taps, check[r])
+		syndrome[r] = b.XorReduce(taps)
+	}
+	errDetect := b.OrReduce(syndrome)
+	oddSyndrome := b.XorReduce(syndrome) // odd weight → single-bit (correctable) class
+	b.Output(syndrome...)
+	b.Output(errDetect, oddSyndrome)
+	return b.Build()
+}
+
+// NewResidueEncoderCircuit builds the baseline low-cost residue encoder for
+// a 32-bit word: the ceil(32/a) a-bit slices are reduced with a chain of
+// end-around-carry adders (a carry-save multi-operand modular adder in the
+// wide configurations). Inputs and the a-bit result are registered (one
+// pipeline stage), matching the Table IV encoder rows.
+func NewResidueEncoderCircuit(a int) *gates.Circuit {
+	b := gates.NewBuilder(fmt.Sprintf("Mod-%d-Enc", (1<<uint(a))-1))
+	in := b.FFBus(b.InputBus(32))
+	res := foldResidue(b, in, a)
+	b.Output(b.FFBus(res)...)
+	b.StageBoundary()
+	return b.Build()
+}
+
+// foldResidue reduces an arbitrary-width bus to its a-bit low-cost residue
+// using the structure of Piestrak 1994: a carry-save multi-operand modular
+// adder (3:2 compressors whose carry vectors rotate end-around, valid
+// because 2·c ≡ rot1(c) mod 2^a-1) followed by a single end-around-carry
+// carry-propagate adder.
+func foldResidue(b *gates.Builder, in []int, a int) []int {
+	var slices [][]int
+	for lo := 0; lo < len(in); lo += a {
+		slice := make([]int, a)
+		for i := range slice {
+			if lo+i < len(in) {
+				slice[i] = in[lo+i]
+			} else {
+				slice[i] = b.Zero()
+			}
+		}
+		slices = append(slices, slice)
+	}
+	for len(slices) > 2 {
+		var next [][]int
+		for i := 0; i+2 < len(slices); i += 3 {
+			s, c := b.CSA(slices[i], slices[i+1], slices[i+2])
+			next = append(next, s, rotateLeft(c, 1))
+		}
+		switch len(slices) % 3 {
+		case 1:
+			next = append(next, slices[len(slices)-1])
+		case 2:
+			next = append(next, slices[len(slices)-2], slices[len(slices)-1])
+		}
+		slices = next
+	}
+	if len(slices) == 1 {
+		return slices[0]
+	}
+	return b.EACAdder(slices[0], slices[1])
+}
+
+// rotateLeft multiplies an a-bit residue by 2^k mod 2^a-1 — pure wiring, the
+// paper's "correction ... implemented with wiring".
+func rotateLeft(bus []int, k int) []int {
+	a := len(bus)
+	k %= a
+	out := make([]int, a)
+	for i := range out {
+		out[i] = bus[(i-k+a)%a]
+	}
+	return out
+}
+
+// NewMovePropagateCircuit builds the end-to-end move propagation hardware of
+// Figure 4: pipeline registers that carry the full swapped ECC word along
+// the datapath plus the write-back mux that selects the propagated check
+// bits over the re-encoded ones. Sized for a c-bit check field (7 for
+// SEC-DED), giving the Table IV Move-Propagate row.
+func NewMovePropagateCircuit(c int) *gates.Circuit {
+	b := gates.NewBuilder("Move-Propagate")
+	carried := b.FFBus(b.InputBus(c)) // ECC riding through the pipe
+	encoded := b.InputBus(c)          // freshly encoded check bits
+	isMove := b.Input()
+	sel := b.MuxVec(isMove, encoded, carried)
+	b.Output(b.FFBus(sel)...)
+	return b.Build()
+}
+
+// NewDPReportCircuit builds the SEC-(DED)-DP reporting augmentation of
+// Figure 5: the data-parity tree, the comparison against the stored DP bit,
+// and the CE?/DUE? gating that blocks data correction when the data segment
+// is parity-consistent. Its area is reported relative to the SEC-DED
+// decoder, as in Table IV.
+func NewDPReportCircuit() *gates.Circuit {
+	b := gates.NewBuilder("SEC-(DED)-DP")
+	data := b.InputBus(32)
+	dpStored := b.Input()
+	wantsCorrection := b.Input() // base decoder: syndrome matches a data column
+	baseDUE := b.Input()
+	parity := b.XorReduce(data)
+	mismatch := b.Xor(parity, dpStored)
+	ce := b.And(wantsCorrection, mismatch)
+	due := b.Or(baseDUE, b.And(wantsCorrection, b.Not(mismatch)))
+	b.Output(ce, due, mismatch)
+	return b.Build()
+}
+
+// NewResidueAddPredictorCircuit builds the Swap-Predict fixed-point
+// add/subtract residue predictor: an a-bit end-around-carry adder with the
+// Table III carry-in/carry-out adjustment, registered in and out (one
+// stage alongside the main adder).
+func NewResidueAddPredictorCircuit(a int) *gates.Circuit {
+	b := gates.NewBuilder(fmt.Sprintf("Pred-Add-Mod%d", (1<<uint(a))-1))
+	rx := b.FFBus(b.InputBus(a))
+	ry := b.FFBus(b.InputBus(a))
+	cin := b.FF(b.Input())
+	cout := b.FF(b.Input())
+	s := b.EACAdder(rx, ry)
+	// Carry adjustment: +cin - cout·|2^32|_A. Subtracting cout·2^k (where
+	// k = 32 mod a — the wiring-only correction factor) is an EAC addition
+	// of cout·(A - 2^k), whose bit pattern is all ones except bit k. When
+	// k = 0 this degenerates to the Table III signal: bottom bit cin, every
+	// other bit cout, applied in a single addition.
+	k := 32 % a
+	if k == 0 {
+		adj := make([]int, a)
+		adj[0] = cin
+		for i := 1; i < a; i++ {
+			adj[i] = cout
+		}
+		s = b.EACAdder(s, adj)
+	} else {
+		cinBus := make([]int, a)
+		coutBus := make([]int, a)
+		cinBus[0] = cin
+		for i := 1; i < a; i++ {
+			cinBus[i] = b.Zero()
+		}
+		for i := 0; i < a; i++ {
+			if i == k {
+				coutBus[i] = b.Zero()
+			} else {
+				coutBus[i] = cout
+			}
+		}
+		s = b.EACAdder(s, cinBus)
+		s = b.EACAdder(s, coutBus)
+	}
+	b.Output(b.FFBus(s)...)
+	b.StageBoundary()
+	return b.Build()
+}
+
+// NewResidueMADPredictorCircuit builds the Figure 9a mixed-width MAD residue
+// predictor: stage 1 multiplies the input residues (modified partial
+// products + CS-MOMA + EAC), stage 2 applies the wiring-only |2^32|_A addend
+// correction and the two modular additions.
+func NewResidueMADPredictorCircuit(a int) *gates.Circuit {
+	b := gates.NewBuilder(fmt.Sprintf("Pred-MAD-Mod%d", (1<<uint(a))-1))
+	rx := b.FFBus(b.InputBus(a))
+	ry := b.FFBus(b.InputBus(a))
+	rchi := b.FFBus(b.InputBus(a))
+	rclo := b.FFBus(b.InputBus(a))
+
+	// Stage 1: residue multiply |x·y|_A.
+	prod := b.Multiplier(rx, ry) // 2a bits
+	xy := b.EACAdder(prod[:a], prod[a:])
+	xyR := b.FFBus(xy)
+	rchiR := b.FFBus(rchi)
+	rcloR := b.FFBus(rclo)
+	b.StageBoundary()
+
+	// Stage 2: addend correction (rotation) and modular accumulation.
+	chiCorr := rotateLeft(rchiR, 32%a)
+	c := b.EACAdder(chiCorr, rcloR)
+	z := b.EACAdder(xyR, c)
+	b.Output(b.FFBus(z)...)
+	b.StageBoundary()
+	return b.Build()
+}
+
+// NewModifiedResidueEncoderCircuit builds the Figure 9b dual-purpose
+// encoder: with Pred?=0 it encodes the 32-bit output segment directly; with
+// Pred?=1 it *recodes* the predicted full-width residue Rz into the check
+// bits of the segment being written, subtracting the folded residue of the
+// other segment (Zadj, applied as its bitwise inverse) with the |2^32|_A
+// rotation, plus the Table III carry adjustment.
+func NewModifiedResidueEncoderCircuit(a int) *gates.Circuit {
+	b := gates.NewBuilder(fmt.Sprintf("Mod-%d-Enc-Recode", (1<<uint(a))-1))
+	z := b.FFBus(b.InputBus(32))    // segment being written back
+	zadj := b.FFBus(b.InputBus(32)) // the other segment
+	rz := b.FFBus(b.InputBus(a))    // predicted full residue
+	pred := b.FF(b.Input())
+	hiSeg := b.FF(b.Input()) // recoding the high (1) or low (0) segment
+	cin := b.FF(b.Input())
+	cout := b.FF(b.Input())
+
+	direct := foldResidue(b, z, a)
+
+	// Recode path: fold Zadj, rotate per segment, EAC-add its inverse.
+	adjRes := foldResidue(b, zadj, a)
+	// Low segment: subtract |Zadj|·2^32 → rotate adj by 32%a then invert.
+	lowAdj := b.NotVec(rotateLeft(adjRes, 32%a))
+	lowRec := b.EACAdder(rz, lowAdj)
+	// High segment: (Rz - |Zadj|) · 2^-32 → subtract, then rotate by a-32%a.
+	hiDiff := b.EACAdder(rz, b.NotVec(adjRes))
+	hiRec := rotateLeft(hiDiff, (a-32%a)%a)
+	rec := b.MuxVec(hiSeg, lowRec, hiRec)
+
+	// Table III carry adjustment on the recoded residue.
+	adjBus := make([]int, a)
+	adjBus[0] = cin
+	for i := 1; i < a; i++ {
+		adjBus[i] = cout
+	}
+	rec = b.EACAdder(rec, adjBus)
+
+	out := b.MuxVec(pred, direct, rec)
+	b.Output(b.FFBus(out)...)
+	b.StageBoundary()
+	return b.Build()
+}

@@ -1,0 +1,178 @@
+package arith
+
+import "swapcodes/internal/gates"
+
+// buildFAdd constructs the two-stage floating-point adder:
+//
+//	stage 1: unpack, magnitude compare/swap, exponent difference, alignment
+//	         right-shift of the smaller mantissa;
+//	stage 2: mantissa add/subtract, leading-zero count, normalization
+//	         left-shift (or the 1-bit carry right-shift), exponent adjust,
+//	         pack.
+//
+// The shifter-heavy structure is what the paper points to when explaining
+// why floating-point units produce more multi-bit output error patterns
+// than fixed-point units (Section IV-B).
+func buildFAdd(name string, f fpFormat) *gates.Circuit {
+	b := gates.NewBuilder(name)
+	W := f.alignW()
+	Lsh := levelsFor(W)
+
+	aBits := b.FFBus(b.InputBus(f.total()))
+	bBits := b.FFBus(b.InputBus(f.total()))
+
+	mA, eA, sA := aBits[:f.M], aBits[f.M:f.M+f.E], aBits[f.M+f.E]
+	mB, eB, sB := bBits[:f.M], bBits[f.M:f.M+f.E], bBits[f.M+f.E]
+	hA := b.OrReduce(eA)
+	hB := b.OrReduce(eB)
+
+	// IEEE packed magnitudes order like integers: compare exp:mantissa.
+	_, noBorrow := b.Subtractor(aBits[:f.M+f.E], bBits[:f.M+f.E])
+	swap := b.Not(noBorrow) // |a| < |b|
+
+	// Extended mantissas: 3 guard bits, gated stored bits, implicit bit.
+	ext := func(h int, m []int) []int {
+		out := []int{b.Zero(), b.Zero(), b.Zero()}
+		out = append(out, b.AndWith(h, m)...)
+		return append(out, h)
+	}
+	MA, MB := ext(hA, mA), ext(hB, mB)
+
+	eBig := b.MuxVec(swap, eA, eB)
+	eSmall := b.MuxVec(swap, eB, eA)
+	MBig := b.MuxVec(swap, MA, MB)
+	MSmall := b.MuxVec(swap, MB, MA)
+	sBig := b.Mux(swap, sA, sB)
+
+	diff, _ := b.Subtractor(eBig, eSmall)
+	far := b.OrReduce(diff[Lsh:]) // shift distance beyond the shifter
+	aligned := b.ShiftRightVar(MSmall, diff[:Lsh])
+	aligned = b.AndWith(b.Not(far), aligned)
+	sub := b.Xor(sA, sB)
+
+	// Pipeline cut.
+	MBigR := b.FFBus(MBig)
+	alignedR := b.FFBus(aligned)
+	eBigR := b.FFBus(eBig)
+	subR := b.FF(sub)
+	sBigR := b.FF(sBig)
+	b.StageBoundary()
+
+	addSum, carry := b.RippleAdder(MBigR, alignedR, b.Zero())
+	subDiff, _ := b.Subtractor(MBigR, alignedR) // big >= small by the swap
+	R := b.MuxVec(subR, addSum, subDiff)
+	carryEff := b.And(b.Not(subR), carry)
+
+	// Carry path: shift right one, re-inserting the carry at the top.
+	Rc := append(append([]int{}, R[1:]...), carryEff)
+	eInc, _ := b.Incrementer(eBigR, b.One())
+
+	// Normalize path: shift out leading zeros.
+	lzc := b.LeadingZeroCount(R)
+	Rn := b.ShiftLeftVar(R, lzc[:Lsh])
+	lzcExt := make([]int, f.E)
+	for i := range lzcExt {
+		if i < len(lzc) {
+			lzcExt[i] = lzc[i]
+		} else {
+			lzcExt[i] = b.Zero()
+		}
+	}
+	eDec, _ := b.Subtractor(eBigR, lzcExt)
+
+	Rsel := b.MuxVec(carryEff, Rn, Rc)
+	eSel := b.MuxVec(carryEff, eDec, eInc)
+
+	nz := b.Or(b.OrReduce(R), carryEff)
+	mOut := b.AndWith(nz, Rsel[3:3+f.M])
+	eOut := b.AndWith(nz, eSel)
+	sOut := b.And(nz, sBigR)
+
+	out := append(append([]int{}, mOut...), eOut...)
+	out = append(out, sOut)
+	b.Output(b.FFBus(out)...)
+	b.StageBoundary()
+	return b.Build()
+}
+
+// refFAdd mirrors buildFAdd bit-exactly in ordinary integer arithmetic.
+func refFAdd(f fpFormat, a, bb uint64) uint64 {
+	W := uint(f.alignW())
+	Lsh := uint(levelsFor(int(W)))
+	maskE := uint64(1)<<uint(f.E) - 1
+
+	sA, eA, mA := f.unpack(a)
+	sB, eB, mB := f.unpack(bb)
+	ext := func(e, m uint64) uint64 {
+		if e == 0 {
+			return 0
+		}
+		return m<<3 | 1<<(uint(f.M)+3)
+	}
+	MA, MB := ext(eA, mA), ext(eB, mB)
+
+	magA := a & (uint64(1)<<uint(f.M+f.E) - 1)
+	magB := bb & (uint64(1)<<uint(f.M+f.E) - 1)
+	swap := magA < magB
+	eBig, eSmall, MBig, MSmall, sBig := eA, eB, MA, MB, sA
+	if swap {
+		eBig, eSmall, MBig, MSmall, sBig = eB, eA, MB, MA, sB
+	}
+	diff := eBig - eSmall
+	var aligned uint64
+	if diff < 1<<Lsh {
+		aligned = MSmall >> diff
+	}
+	sub := sA != sB
+
+	var r uint64
+	carry := false
+	if sub {
+		r = MBig - aligned
+	} else {
+		r = MBig + aligned
+		carry = r>>W != 0
+		r &= uint64(1)<<W - 1
+	}
+	var eOut, rSel uint64
+	if carry {
+		rSel = r>>1 | 1<<(W-1)
+		eOut = (eBig + 1) & maskE
+	} else {
+		if r == 0 {
+			return 0
+		}
+		lzc := uint64(0)
+		for bit := int(W) - 1; bit >= 0 && r&(1<<uint(bit)) == 0; bit-- {
+			lzc++
+		}
+		rSel = (r << lzc) & (uint64(1)<<W - 1)
+		eOut = (eBig - lzc) & maskE
+	}
+	mOut := (rSel >> 3) & (uint64(1)<<uint(f.M) - 1)
+	return f.pack(sBig, eOut, mOut)
+}
+
+// NewFAdd32 builds the single-precision floating-point adder.
+func NewFAdd32() *Unit {
+	return &Unit{
+		Name:          "Fp-Add32",
+		Class:         "Fp",
+		Circuit:       buildFAdd("Fp-Add32", fp32),
+		OperandWidths: []int{32, 32},
+		OutputWidth:   32,
+		Ref:           func(ops []uint64) uint64 { return refFAdd(fp32, ops[0], ops[1]) },
+	}
+}
+
+// NewFAdd64 builds the double-precision floating-point adder.
+func NewFAdd64() *Unit {
+	return &Unit{
+		Name:          "Fp-Add64",
+		Class:         "Fp",
+		Circuit:       buildFAdd("Fp-Add64", fp64),
+		OperandWidths: []int{64, 64},
+		OutputWidth:   64,
+		Ref:           func(ops []uint64) uint64 { return refFAdd(fp64, ops[0], ops[1]) },
+	}
+}

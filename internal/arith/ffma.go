@@ -1,0 +1,271 @@
+package arith
+
+import (
+	"math/big"
+
+	"swapcodes/internal/gates"
+)
+
+// FMA datapath geometry. The product mantissa (2M+2 bits) sits G guard bits
+// above the truncation boundary; the addend can be aligned up to dcap
+// positions above the product (larger separations take the far path, where
+// the result is the addend exactly) or arbitrarily far below (shifted out to
+// zero). Total window width: W3 = 3M + 8.
+func fmaGeom(f fpFormat) (PM, G, dcap, W3 int) {
+	PM = 2*f.M + 2
+	G = 3
+	dcap = f.M + 2
+	W3 = 3*f.M + 8
+	return
+}
+
+// buildFFMA constructs the two-stage fused multiply-add unit Z = A*B + C:
+//
+//	stage 1: unpack, partial products and carry-save reduction of the
+//	         mantissa product, exponent arithmetic, addend alignment shift;
+//	stage 2: product carry-propagate add, wide add/subtract against the
+//	         aligned addend (with conditional negate), leading-zero count,
+//	         normalization shift, exponent adjust, pack.
+func buildFFMA(name string, f fpFormat) *gates.Circuit {
+	PM, G, dcap, W3 := fmaGeom(f)
+	b := gates.NewBuilder(name)
+
+	aBits := b.FFBus(b.InputBus(f.total()))
+	bBits := b.FFBus(b.InputBus(f.total()))
+	cBits := b.FFBus(b.InputBus(f.total()))
+
+	unpack := func(v []int) (s int, e, m []int, h int) {
+		m = v[:f.M]
+		e = v[f.M : f.M+f.E]
+		s = v[f.M+f.E]
+		h = b.OrReduce(e)
+		return
+	}
+	sA, eA, mA, hA := unpack(aBits)
+	sB, eB, mB, hB := unpack(bBits)
+	sC, eC, mC, hC := unpack(cBits)
+
+	mant := func(h int, m []int) []int {
+		return append(b.AndWith(h, m), h) // M+1 bits, implicit on top
+	}
+	mantA, mantB, mantC := mant(hA, mA), mant(hB, mB), mant(hC, mC)
+
+	// Mantissa product partial products, carry-save reduced (stage 1).
+	var pps [][]int
+	for j := 0; j <= f.M; j++ {
+		row := b.AndWith(mantB[j], mantA)
+		sh := make([]int, PM)
+		for i := range sh {
+			if i >= j && i-j <= f.M {
+				sh[i] = row[i-j]
+			} else {
+				sh[i] = b.Zero()
+			}
+		}
+		pps = append(pps, sh)
+	}
+	pSum, pCarry := b.CSATree(pps, PM)
+
+	// Exponent arithmetic in E+2-bit wraparound form.
+	EW := f.E + 2
+	extend := func(x []int) []int {
+		out := make([]int, EW)
+		for i := range out {
+			if i < len(x) {
+				out[i] = x[i]
+			} else {
+				out[i] = b.Zero()
+			}
+		}
+		return out
+	}
+	sumAB, _ := b.RippleAdder(extend(eA), extend(eB), b.Zero())
+	eP, _ := b.Subtractor(sumAB, b.ConstBus(f.bias, EW))
+	eCx := extend(eC)
+	dC, cmpNB := b.Subtractor(eCx, eP) // cmpNB=1 → eC >= eP
+	dP, _ := b.Subtractor(eP, eCx)
+
+	// Addend placement and alignment.
+	base := make([]int, W3)
+	for i := range base {
+		if i >= G+f.M && i-(G+f.M) <= f.M {
+			base[i] = mantC[i-(G+f.M)]
+		} else {
+			base[i] = b.Zero()
+		}
+	}
+	Ll := levelsFor(dcap + 1)
+	Lr := levelsFor(W3)
+	left := b.ShiftLeftVar(base, dC[:Ll])
+	rightFar := b.OrReduce(dP[Lr:])
+	right := b.AndWith(b.Not(rightFar), b.ShiftRightVar(base, dP[:Lr]))
+	Cw := b.MuxVec(cmpNB, right, left)
+
+	// Far path: the addend dwarfs the product, or the product is zero.
+	_, dcNB := b.Subtractor(dC, b.ConstBus(uint64(dcap)+1, EW)) // dC > dcap
+	farLeft := b.And(cmpNB, dcNB)
+	pZero := b.Nand(hA, hB)
+	farPath := b.Or(farLeft, pZero)
+
+	sP := b.Xor(sA, sB)
+	sub := b.Xor(sP, sC)
+
+	// Pipeline cut.
+	pSumR := b.FFBus(pSum)
+	pCarryR := b.FFBus(pCarry)
+	CwR := b.FFBus(Cw)
+	ePR := b.FFBus(eP)
+	sPR := b.FF(sP)
+	sCR := b.FF(sC)
+	subR := b.FF(sub)
+	farR := b.FF(farPath)
+	cPackR := b.FFBus(cBits)
+	b.StageBoundary()
+
+	// Stage 2: resolve the product, then the wide add/subtract.
+	P, _ := b.RippleAdder(pSumR, pCarryR, b.Zero())
+	Pw := make([]int, W3)
+	for i := range Pw {
+		if i >= G && i-G < PM {
+			Pw[i] = P[i-G]
+		} else {
+			Pw[i] = b.Zero()
+		}
+	}
+	addSum, _ := b.RippleAdder(Pw, CwR, b.Zero())
+	subDiff, noBorrow := b.Subtractor(Pw, CwR)
+	negDiff, _ := b.Incrementer(b.NotVec(subDiff), b.One())
+	Rsub := b.MuxVec(noBorrow, negDiff, subDiff)
+	signSub := b.Mux(noBorrow, sCR, sPR)
+	R := b.MuxVec(subR, addSum, Rsub)
+	sign := b.Mux(subR, sPR, signSub)
+
+	lzc := b.LeadingZeroCount(R)
+	Lz := levelsFor(W3)
+	lzcSh := make([]int, Lz)
+	for i := range lzcSh {
+		if i < len(lzc) {
+			lzcSh[i] = lzc[i]
+		} else {
+			lzcSh[i] = b.Zero()
+		}
+	}
+	Rn := b.ShiftLeftVar(R, lzcSh)
+
+	lzcExt := make([]int, EW)
+	for i := range lzcExt {
+		if i < len(lzc) {
+			lzcExt[i] = lzc[i]
+		} else {
+			lzcExt[i] = b.Zero()
+		}
+	}
+	t1, _ := b.RippleAdder(ePR, b.ConstBus(uint64(f.M)+4, EW), b.Zero())
+	t2, _ := b.Subtractor(t1, lzcExt)
+
+	nz := b.OrReduce(R)
+	mOut := b.AndWith(nz, Rn[W3-1-f.M:W3-1])
+	eOut := b.AndWith(nz, t2[:f.E])
+	sOut := b.And(nz, sign)
+
+	packed := append(append([]int{}, mOut...), eOut...)
+	packed = append(packed, sOut)
+	final := b.MuxVec(farR, packed, cPackR)
+	b.Output(b.FFBus(final)...)
+	b.StageBoundary()
+	return b.Build()
+}
+
+// refFFMA mirrors buildFFMA bit-exactly using big.Int for the wide window.
+func refFFMA(f fpFormat, a, bb, c uint64) uint64 {
+	PM, G, dcap, W3 := fmaGeom(f)
+	_ = PM
+	EW := uint(f.E + 2)
+	maskEW := uint64(1)<<EW - 1
+
+	sA, eA, mA := f.unpack(a)
+	sB, eB, mB := f.unpack(bb)
+	sC, eC, mC := f.unpack(c)
+	mant := func(e, m uint64) uint64 {
+		if e == 0 {
+			return 0
+		}
+		return m | 1<<uint(f.M)
+	}
+	mantA, mantB, mantC := mant(eA, mA), mant(eB, mB), mant(eC, mC)
+
+	eP := (eA + eB - f.bias) & maskEW
+	dC := (eC - eP) & maskEW
+	dP := (eP - eC) & maskEW
+	cmp := eC >= eP
+
+	// Far path.
+	farLeft := cmp && dC > uint64(dcap)
+	pZero := eA == 0 || eB == 0
+	if farLeft || pZero {
+		return c
+	}
+
+	base := new(big.Int).SetUint64(mantC)
+	base.Lsh(base, uint(G+f.M))
+	Cw := new(big.Int)
+	if cmp {
+		Cw.Lsh(base, uint(dC)) // dC <= dcap here
+	} else {
+		Lr := uint(levelsFor(W3))
+		if dP < 1<<Lr {
+			Cw.Rsh(base, uint(dP))
+		}
+	}
+
+	P := new(big.Int).Mul(new(big.Int).SetUint64(mantA), new(big.Int).SetUint64(mantB))
+	Pw := new(big.Int).Lsh(P, uint(G))
+
+	sP := sA ^ sB
+	sub := sP != sC
+	R := new(big.Int)
+	sign := sP
+	if sub {
+		if Pw.Cmp(Cw) >= 0 {
+			R.Sub(Pw, Cw)
+		} else {
+			R.Sub(Cw, Pw)
+			sign = sC
+		}
+	} else {
+		R.Add(Pw, Cw)
+	}
+	if R.Sign() == 0 {
+		return 0
+	}
+	lzc := uint64(W3 - R.BitLen())
+	Rn := new(big.Int).Lsh(R, uint(lzc))
+	mOut := new(big.Int).Rsh(Rn, uint(W3-1-f.M))
+	m := mOut.Uint64() & (uint64(1)<<uint(f.M) - 1)
+	eOut := (eP + uint64(f.M) + 4 - lzc) & maskEW & (uint64(1)<<uint(f.E) - 1)
+	return f.pack(sign, eOut, m)
+}
+
+// NewFFMA32 builds the single-precision fused multiply-add unit.
+func NewFFMA32() *Unit {
+	return &Unit{
+		Name:          "Fp-MAD32",
+		Class:         "Fp",
+		Circuit:       buildFFMA("Fp-MAD32", fp32),
+		OperandWidths: []int{32, 32, 32},
+		OutputWidth:   32,
+		Ref:           func(ops []uint64) uint64 { return refFFMA(fp32, ops[0], ops[1], ops[2]) },
+	}
+}
+
+// NewFFMA64 builds the double-precision fused multiply-add unit.
+func NewFFMA64() *Unit {
+	return &Unit{
+		Name:          "Fp-MAD64",
+		Class:         "Fp",
+		Circuit:       buildFFMA("Fp-MAD64", fp64),
+		OperandWidths: []int{64, 64, 64},
+		OutputWidth:   64,
+		Ref:           func(ops []uint64) uint64 { return refFFMA(fp64, ops[0], ops[1], ops[2]) },
+	}
+}

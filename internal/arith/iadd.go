@@ -1,0 +1,91 @@
+package arith
+
+import "swapcodes/internal/gates"
+
+// NewIAdd32 builds the single-stage 32-bit fixed-point adder: registered
+// inputs, a carry-propagate adder, and a registered 32-bit result (the
+// carry-out feeds the predicate file, outside this unit's sphere). Its 96
+// flip-flops (2×32 in + 32 out) match the Table IV Add row.
+func NewIAdd32() *Unit {
+	b := gates.NewBuilder("FxP-Add32")
+	x := b.FFBus(b.InputBus(32))
+	y := b.FFBus(b.InputBus(32))
+	sum, _ := b.RippleAdder(x, y, b.Zero())
+	b.Output(b.FFBus(sum)...)
+	b.StageBoundary()
+	return &Unit{
+		Name:          "FxP-Add32",
+		Class:         "FxP",
+		Circuit:       b.Build(),
+		OperandWidths: []int{32, 32},
+		OutputWidth:   32,
+		Ref: func(ops []uint64) uint64 {
+			return (ops[0] + ops[1]) & 0xffffffff
+		},
+	}
+}
+
+// NewIMAD32 builds the two-stage 32b×32b+64b fixed-point multiply-add
+// (the GPU MAD with mixed operand widths of Section III-C).
+//
+// Stage 1 registers the operands, forms the 32 partial products, reduces
+// them together with the 64-bit addend through a carry-save tree, and —
+// as in real designs that proceed least-to-most significant — fully
+// resolves the low 16 result bits with a short early adder. Stage 2 buffers
+// those already-final low bits (the buffer population the paper identifies
+// as the source of dominant single-bit error patterns) and completes the
+// high-order carry-propagate addition.
+func NewIMAD32() *Unit {
+	b := gates.NewBuilder("FxP-MAD32")
+	x := b.FFBus(b.InputBus(32))
+	y := b.FFBus(b.InputBus(32))
+	c := b.FFBus(b.InputBus(64))
+
+	const w = 64
+	var addends [][]int
+	for j := 0; j < 32; j++ {
+		row := b.AndWith(y[j], x)
+		sh := make([]int, w)
+		for i := range sh {
+			if i >= j && i-j < 32 {
+				sh[i] = row[i-j]
+			} else {
+				sh[i] = b.Zero()
+			}
+		}
+		addends = append(addends, sh)
+	}
+	addends = append(addends, c)
+	s, cv := b.CSATree(addends, w)
+
+	// Early adder: resolve bits [0,16) in stage 1.
+	const cut = 16
+	lowSum, lowCarry := b.RippleAdder(s[:cut], cv[:cut], b.Zero())
+
+	// Stage boundary: register the resolved low bits, the carry into the
+	// high part, and the unresolved redundant high vectors.
+	lowR := b.FFBus(lowSum)
+	carryR := b.FF(lowCarry)
+	sHiR := b.FFBus(s[cut:])
+	cHiR := b.FFBus(cv[cut:])
+	b.StageBoundary()
+
+	// Stage 2: buffer the final low bits across the stage; complete the
+	// high-order addition.
+	lowOut := b.BufVec(lowR)
+	hiSum, _ := b.RippleAdder(sHiR, cHiR, carryR)
+	out := append(append([]int{}, lowOut...), hiSum...)
+	b.Output(b.FFBus(out)...)
+	b.StageBoundary()
+
+	return &Unit{
+		Name:          "FxP-MAD32",
+		Class:         "FxP",
+		Circuit:       b.Build(),
+		OperandWidths: []int{32, 32, 64},
+		OutputWidth:   64,
+		Ref: func(ops []uint64) uint64 {
+			return ops[0]*ops[1] + ops[2] // wraps mod 2^64 like the datapath
+		},
+	}
+}

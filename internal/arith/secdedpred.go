@@ -1,0 +1,65 @@
+package arith
+
+import (
+	"swapcodes/internal/ecc"
+	"swapcodes/internal/gates"
+)
+
+// NewSECDEDAddPredictorCircuit builds the Section VI extension: a SEC-DED
+// check-bit predictor for 32-bit addition, in the style of
+// carry-checking/parity-prediction adders (Nicolaidis 2003). Each Hsiao
+// check bit of the sum is
+//
+//	c_j(s) = XOR_{i in S_j} s_i = c_j(a) XOR c_j(b) XOR parity(carries in S_j)
+//
+// so the predictor forms the check bits from the operands' XOR folded
+// through the H-matrix plus per-row parities of an internal carry chain —
+// it never touches the main adder's sum output, which is what makes its
+// check bits immune to main-datapath errors. The paper's conclusion that
+// "Swap-Predict with SEC-DED and addition/subtraction prediction would be
+// viable" while "operations other than addition/subtraction tend to be
+// expensive to predict" follows from the structure: the carry chain is
+// adder-sized, so prediction costs roughly one more adder for ADD but would
+// cost a whole multiplier for MAD.
+func NewSECDEDAddPredictorCircuit() *gates.Circuit {
+	h := ecc.NewHsiao()
+	b := gates.NewBuilder("Pred-Add-SECDED")
+	x := b.FFBus(b.InputBus(32))
+	y := b.FFBus(b.InputBus(32))
+	cin := b.FF(b.Input())
+
+	// Internal carry chain (no sum outputs).
+	carries := make([]int, 32) // carry INTO bit i
+	c := cin
+	for i := 0; i < 32; i++ {
+		carries[i] = c
+		xy := b.Xor(x[i], y[i])
+		c = b.Or(b.And(x[i], y[i]), b.And(xy, c))
+	}
+
+	// Predicted check bits: one XOR tree per H row over x_i, y_i, carry_i
+	// for the row's data columns.
+	var out []int
+	for row := 0; row < 7; row++ {
+		var taps []int
+		for i := 0; i < 32; i++ {
+			if h.Column(i)&(1<<uint(row)) != 0 {
+				taps = append(taps, x[i], y[i], carries[i])
+			}
+		}
+		out = append(out, b.XorReduce(taps))
+	}
+	b.Output(b.FFBus(out)...)
+	b.StageBoundary()
+	return b.Build()
+}
+
+// PredictSECDEDAdd is the reference model: the check bits the predictor
+// must produce for s = a + b + cin.
+func PredictSECDEDAdd(h *ecc.Hsiao, a, bb uint32, cin bool) uint32 {
+	s := a + bb
+	if cin {
+		s++
+	}
+	return h.Encode(s)
+}

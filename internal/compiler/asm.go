@@ -1,0 +1,315 @@
+// Package compiler provides the backend that a SwapCodes-enabled system
+// modifies (Section IV-A): an assembler DSL the workload kernels are written
+// in, and the protection passes — software-enforced intra-thread duplication
+// (SW-Dup, Base-DRDV-style), Swap-ECC, the Swap-Predict family, and
+// inter-thread duplication (Section V).
+package compiler
+
+import (
+	"fmt"
+	"math"
+
+	"swapcodes/internal/isa"
+)
+
+// Asm builds a kernel instruction by instruction. Labels are resolved at
+// Build time; conditional branches record their reconvergence labels so the
+// SIMT stack can rejoin divergent warps.
+type Asm struct {
+	name   string
+	code   []isa.Instr
+	labels map[string]int
+	fixups []fixup
+	errs   []error
+}
+
+type fixup struct {
+	pc     int
+	target string
+	reconv string
+}
+
+// NewAsm starts a kernel named name.
+func NewAsm(name string) *Asm {
+	return &Asm{name: name, labels: make(map[string]int)}
+}
+
+// Label binds a name to the next instruction's PC.
+func (a *Asm) Label(name string) {
+	if _, dup := a.labels[name]; dup {
+		a.errs = append(a.errs, fmt.Errorf("compiler: %s: duplicate label %q", a.name, name))
+	}
+	a.labels[name] = len(a.code)
+}
+
+// emit appends an instruction with defaulted predicate and destination
+// fields (non-writing opcodes carry RZ so kernels compare structurally).
+func (a *Asm) emit(in isa.Instr) *isa.Instr {
+	if in.GuardPred == 0 && !in.GuardNeg {
+		in.GuardPred = isa.NoPred
+	}
+	switch in.Op {
+	case isa.ISETP, isa.FSETP, isa.STG, isa.STS, isa.BRA, isa.EXIT, isa.BPT, isa.BAR, isa.NOP:
+		in.Dst = isa.RZ
+	}
+	a.code = append(a.code, in)
+	return &a.code[len(a.code)-1]
+}
+
+func rz3() [3]isa.Reg { return [3]isa.Reg{isa.RZ, isa.RZ, isa.RZ} }
+
+func src2(x, y isa.Reg) [3]isa.Reg { return [3]isa.Reg{x, y, isa.RZ} }
+
+func src3(x, y, z isa.Reg) [3]isa.Reg { return [3]isa.Reg{x, y, z} }
+
+// Guard predicates the most recently emitted instruction.
+func (a *Asm) Guard(p int8, neg bool) *Asm {
+	in := &a.code[len(a.code)-1]
+	in.GuardPred = p
+	in.GuardNeg = neg
+	return a
+}
+
+// ---- Fixed point ----
+
+// IAdd emits d = x + y.
+func (a *Asm) IAdd(d, x, y isa.Reg) { a.emit(isa.Instr{Op: isa.IADD, Dst: d, Src: src2(x, y)}) }
+
+// IAddI emits d = x + imm.
+func (a *Asm) IAddI(d, x isa.Reg, imm int32) {
+	a.emit(isa.Instr{Op: isa.IADD, Dst: d, Src: src2(x, isa.RZ), Imm: imm, HasImm: true})
+}
+
+// ISub emits d = x - y.
+func (a *Asm) ISub(d, x, y isa.Reg) { a.emit(isa.Instr{Op: isa.ISUB, Dst: d, Src: src2(x, y)}) }
+
+// IMul emits d = x * y (low 32 bits).
+func (a *Asm) IMul(d, x, y isa.Reg) { a.emit(isa.Instr{Op: isa.IMUL, Dst: d, Src: src2(x, y)}) }
+
+// IMulI emits d = x * imm.
+func (a *Asm) IMulI(d, x isa.Reg, imm int32) {
+	a.emit(isa.Instr{Op: isa.IMUL, Dst: d, Src: src2(x, isa.RZ), Imm: imm, HasImm: true})
+}
+
+// IMad emits d = x*y + c (32-bit).
+func (a *Asm) IMad(d, x, y, c isa.Reg) { a.emit(isa.Instr{Op: isa.IMAD, Dst: d, Src: src3(x, y, c)}) }
+
+// IMadWide emits the mixed-width MAD: the pair (d, d+1) = x*y + (c, c+1).
+func (a *Asm) IMadWide(d, x, y, c isa.Reg) {
+	a.emit(isa.Instr{Op: isa.IMAD, Dst: d, Src: src3(x, y, c), Wide: true})
+}
+
+// And emits d = x & y.
+func (a *Asm) And(d, x, y isa.Reg) { a.emit(isa.Instr{Op: isa.AND, Dst: d, Src: src2(x, y)}) }
+
+// AndI emits d = x & imm.
+func (a *Asm) AndI(d, x isa.Reg, imm int32) {
+	a.emit(isa.Instr{Op: isa.AND, Dst: d, Src: src2(x, isa.RZ), Imm: imm, HasImm: true})
+}
+
+// Or emits d = x | y.
+func (a *Asm) Or(d, x, y isa.Reg) { a.emit(isa.Instr{Op: isa.OR, Dst: d, Src: src2(x, y)}) }
+
+// Xor emits d = x ^ y.
+func (a *Asm) Xor(d, x, y isa.Reg) { a.emit(isa.Instr{Op: isa.XOR, Dst: d, Src: src2(x, y)}) }
+
+// ShlI emits d = x << imm.
+func (a *Asm) ShlI(d, x isa.Reg, imm int32) {
+	a.emit(isa.Instr{Op: isa.SHL, Dst: d, Src: src2(x, isa.RZ), Imm: imm, HasImm: true})
+}
+
+// ShrI emits d = x >> imm (logical).
+func (a *Asm) ShrI(d, x isa.Reg, imm int32) {
+	a.emit(isa.Instr{Op: isa.SHR, Dst: d, Src: src2(x, isa.RZ), Imm: imm, HasImm: true})
+}
+
+// ISetp emits p = (x cmp y) on signed integers.
+func (a *Asm) ISetp(cmp isa.Modifier, p int8, x, y isa.Reg) {
+	a.emit(isa.Instr{Op: isa.ISETP, Mod: cmp, DstPred: p, Src: src2(x, y)})
+}
+
+// ISetpI emits p = (x cmp imm).
+func (a *Asm) ISetpI(cmp isa.Modifier, p int8, x isa.Reg, imm int32) {
+	a.emit(isa.Instr{Op: isa.ISETP, Mod: cmp, DstPred: p, Src: src2(x, isa.RZ), Imm: imm, HasImm: true})
+}
+
+// ---- Floating point ----
+
+// FAdd emits d = x + y (f32).
+func (a *Asm) FAdd(d, x, y isa.Reg) { a.emit(isa.Instr{Op: isa.FADD, Dst: d, Src: src2(x, y)}) }
+
+// FAddI emits d = x + imm (f32).
+func (a *Asm) FAddI(d, x isa.Reg, imm float32) {
+	a.emit(isa.Instr{Op: isa.FADD, Dst: d, Src: src2(x, isa.RZ), Imm: int32(math.Float32bits(imm)), HasImm: true})
+}
+
+// FSub emits d = x - y (f32).
+func (a *Asm) FSub(d, x, y isa.Reg) { a.emit(isa.Instr{Op: isa.FSUB, Dst: d, Src: src2(x, y)}) }
+
+// FMul emits d = x * y (f32).
+func (a *Asm) FMul(d, x, y isa.Reg) { a.emit(isa.Instr{Op: isa.FMUL, Dst: d, Src: src2(x, y)}) }
+
+// FMulI emits d = x * imm (f32).
+func (a *Asm) FMulI(d, x isa.Reg, imm float32) {
+	a.emit(isa.Instr{Op: isa.FMUL, Dst: d, Src: src2(x, isa.RZ), Imm: int32(math.Float32bits(imm)), HasImm: true})
+}
+
+// FFma emits d = x*y + c (f32 fused).
+func (a *Asm) FFma(d, x, y, c isa.Reg) { a.emit(isa.Instr{Op: isa.FFMA, Dst: d, Src: src3(x, y, c)}) }
+
+// FSetp emits p = (x cmp y) on f32.
+func (a *Asm) FSetp(cmp isa.Modifier, p int8, x, y isa.Reg) {
+	a.emit(isa.Instr{Op: isa.FSETP, Mod: cmp, DstPred: p, Src: src2(x, y)})
+}
+
+// DAdd emits pair d = pair x + pair y (f64).
+func (a *Asm) DAdd(d, x, y isa.Reg) { a.emit(isa.Instr{Op: isa.DADD, Dst: d, Src: src2(x, y)}) }
+
+// DSub emits pair d = pair x - pair y (f64).
+func (a *Asm) DSub(d, x, y isa.Reg) { a.emit(isa.Instr{Op: isa.DSUB, Dst: d, Src: src2(x, y)}) }
+
+// DMul emits pair d = pair x * pair y (f64).
+func (a *Asm) DMul(d, x, y isa.Reg) { a.emit(isa.Instr{Op: isa.DMUL, Dst: d, Src: src2(x, y)}) }
+
+// DFma emits pair d = x*y + c (f64 fused).
+func (a *Asm) DFma(d, x, y, c isa.Reg) { a.emit(isa.Instr{Op: isa.DFMA, Dst: d, Src: src3(x, y, c)}) }
+
+// Mufu emits a special-function op (FnRCP, FnSQRT, FnEX2, FnLG2) on f32.
+func (a *Asm) Mufu(fn isa.Modifier, d, x isa.Reg) {
+	a.emit(isa.Instr{Op: isa.MUFU, Mod: fn, Dst: d, Src: src2(x, isa.RZ)})
+}
+
+// I2F emits d = float32(int32(x)).
+func (a *Asm) I2F(d, x isa.Reg) { a.emit(isa.Instr{Op: isa.I2F, Dst: d, Src: src2(x, isa.RZ)}) }
+
+// F2I emits d = int32(trunc(f32(x))).
+func (a *Asm) F2I(d, x isa.Reg) { a.emit(isa.Instr{Op: isa.F2I, Dst: d, Src: src2(x, isa.RZ)}) }
+
+// ---- Movement ----
+
+// Mov emits d = s.
+func (a *Asm) Mov(d, s isa.Reg) { a.emit(isa.Instr{Op: isa.MOV, Dst: d, Src: src2(s, isa.RZ)}) }
+
+// MovI emits d = imm.
+func (a *Asm) MovI(d isa.Reg, imm int32) {
+	a.emit(isa.Instr{Op: isa.MOV, Dst: d, Src: src2(isa.RZ, isa.RZ), Imm: imm, HasImm: true})
+}
+
+// MovF emits d = float32 immediate.
+func (a *Asm) MovF(d isa.Reg, f float32) { a.MovI(d, int32(math.Float32bits(f))) }
+
+// S2R emits d = special register.
+func (a *Asm) S2R(d isa.Reg, sr isa.SpecialReg) {
+	a.emit(isa.Instr{Op: isa.S2R, Dst: d, Src: rz3(), Imm: int32(sr)})
+}
+
+// Shfl emits d = register s of lane (lane XOR mask).
+func (a *Asm) Shfl(d, s isa.Reg, xorMask int32) {
+	a.emit(isa.Instr{Op: isa.SHFL, Dst: d, Src: src2(s, isa.RZ), Imm: xorMask})
+}
+
+// ---- Memory ----
+
+// Ldg emits d = global[addr + off] (word addressed).
+func (a *Asm) Ldg(d, addr isa.Reg, off int32) {
+	a.emit(isa.Instr{Op: isa.LDG, Dst: d, Src: src2(addr, isa.RZ), Imm: off})
+}
+
+// Stg emits global[addr + off] = val.
+func (a *Asm) Stg(addr isa.Reg, off int32, val isa.Reg) {
+	a.emit(isa.Instr{Op: isa.STG, Dst: isa.RZ, Src: src2(addr, val), Imm: off})
+}
+
+// Lds emits d = shared[addr + off].
+func (a *Asm) Lds(d, addr isa.Reg, off int32) {
+	a.emit(isa.Instr{Op: isa.LDS, Dst: d, Src: src2(addr, isa.RZ), Imm: off})
+}
+
+// Sts emits shared[addr + off] = val.
+func (a *Asm) Sts(addr isa.Reg, off int32, val isa.Reg) {
+	a.emit(isa.Instr{Op: isa.STS, Dst: isa.RZ, Src: src2(addr, val), Imm: off})
+}
+
+// Atom emits d = atomic-op(global[addr+off], val), returning the old value.
+func (a *Asm) Atom(op isa.Modifier, d, addr, val isa.Reg, off int32) {
+	a.emit(isa.Instr{Op: isa.ATOM, Mod: op, Dst: d, Src: src2(addr, val), Imm: off})
+}
+
+// AtomCAS emits d = CAS(global[addr+off], cmp -> val), returning the old
+// value.
+func (a *Asm) AtomCAS(d, addr, val, cmp isa.Reg, off int32) {
+	a.emit(isa.Instr{Op: isa.ATOM, Mod: isa.OpCAS, Dst: d, Src: src3(addr, val, cmp), Imm: off})
+}
+
+// ---- Control ----
+
+// Bra emits an unconditional branch to label.
+func (a *Asm) Bra(label string) {
+	a.fixups = append(a.fixups, fixup{pc: len(a.code), target: label})
+	a.emit(isa.Instr{Op: isa.BRA, Dst: isa.RZ, Src: rz3()})
+}
+
+// BraP emits a conditional branch: taken by threads where predicate p
+// (negated if neg) holds. reconv names the label where divergent paths
+// rejoin — the branch target for forward if-style branches, the
+// fall-through for loop back edges.
+func (a *Asm) BraP(p int8, neg bool, label, reconv string) {
+	a.fixups = append(a.fixups, fixup{pc: len(a.code), target: label, reconv: reconv})
+	in := a.emit(isa.Instr{Op: isa.BRA, Dst: isa.RZ, Src: rz3()})
+	in.GuardPred = p
+	in.GuardNeg = neg
+}
+
+// Bar emits a CTA-wide barrier.
+func (a *Asm) Bar() { a.emit(isa.Instr{Op: isa.BAR, Dst: isa.RZ, Src: rz3()}) }
+
+// Exit emits thread termination.
+func (a *Asm) Exit() { a.emit(isa.Instr{Op: isa.EXIT, Dst: isa.RZ, Src: rz3()}) }
+
+// Bpt emits the breakpoint trap used by checking code.
+func (a *Asm) Bpt() { a.emit(isa.Instr{Op: isa.BPT, Dst: isa.RZ, Src: rz3()}) }
+
+// Nop emits a no-op.
+func (a *Asm) Nop() { a.emit(isa.Instr{Op: isa.NOP, Dst: isa.RZ, Src: rz3()}) }
+
+// Build resolves labels and produces a validated kernel.
+func (a *Asm) Build(gridCTAs, ctaThreads, sharedWords int) (*isa.Kernel, error) {
+	if len(a.errs) > 0 {
+		return nil, a.errs[0]
+	}
+	for _, f := range a.fixups {
+		pc, ok := a.labels[f.target]
+		if !ok {
+			return nil, fmt.Errorf("compiler: %s: undefined label %q", a.name, f.target)
+		}
+		a.code[f.pc].Imm = int32(pc)
+		if f.reconv != "" {
+			rpc, ok := a.labels[f.reconv]
+			if !ok {
+				return nil, fmt.Errorf("compiler: %s: undefined reconvergence label %q", a.name, f.reconv)
+			}
+			a.code[f.pc].Reconv = int32(rpc)
+		}
+	}
+	k := &isa.Kernel{
+		Name:        a.name,
+		Code:        a.code,
+		GridCTAs:    gridCTAs,
+		CTAThreads:  ctaThreads,
+		SharedWords: sharedWords,
+	}
+	k.NumRegs = k.MaxReg() + 1
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// MustBuild is Build for statically known-good kernels.
+func (a *Asm) MustBuild(gridCTAs, ctaThreads, sharedWords int) *isa.Kernel {
+	k, err := a.Build(gridCTAs, ctaThreads, sharedWords)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}

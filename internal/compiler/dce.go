@@ -1,0 +1,268 @@
+package compiler
+
+// Liveness-based dead-code elimination with the Swap-ECC protection rule.
+// The paper warns (Section III-A): "Careful compiler design is required to
+// ensure that dead code elimination does not remove the apparently-dead
+// original instruction." The hazard is precise: under Swap-ECC the original
+// and shadow share a destination register, so a liveness analysis that
+// models the shadow as a full write sees the original's write as killed —
+// WAW-dead — and removes it, leaving the register's *data* unwritten while
+// the shadow installs check bits for the right value: every subsequent read
+// raises a spurious DUE (or worse, consumes stale data).
+//
+// The correct model is also the semantically honest one: a FlagShadow
+// instruction writes only the ECC check bits, so it does NOT kill the
+// destination's data liveness. With that one rule, ordinary backward
+// dataflow handles everything; a dead value's original AND shadow are then
+// removed together (both writes are unused).
+
+import (
+	"swapcodes/internal/isa"
+)
+
+// regSet is a 256-bit register bitset plus predicate bits.
+type regSet struct {
+	r [4]uint64
+	p uint8
+}
+
+func (s *regSet) setReg(r isa.Reg) {
+	if r != isa.RZ {
+		s.r[r>>6] |= 1 << (r & 63)
+	}
+}
+
+func (s *regSet) clearReg(r isa.Reg) {
+	if r != isa.RZ {
+		s.r[r>>6] &^= 1 << (r & 63)
+	}
+}
+
+func (s *regSet) hasReg(r isa.Reg) bool {
+	return r != isa.RZ && s.r[r>>6]&(1<<(r&63)) != 0
+}
+
+func (s *regSet) setPred(p int8) {
+	if p >= 0 && p < isa.PT {
+		s.p |= 1 << uint(p)
+	}
+}
+
+func (s *regSet) clearPred(p int8) {
+	if p >= 0 && p < isa.PT {
+		s.p &^= 1 << uint(p)
+	}
+}
+
+func (s *regSet) hasPred(p int8) bool {
+	return p >= 0 && p < isa.PT && s.p&(1<<uint(p)) != 0
+}
+
+func (s *regSet) union(o regSet) bool {
+	changed := false
+	for i := range s.r {
+		if o.r[i]&^s.r[i] != 0 {
+			s.r[i] |= o.r[i]
+			changed = true
+		}
+	}
+	if o.p&^s.p != 0 {
+		s.p |= o.p
+		changed = true
+	}
+	return changed
+}
+
+// sideEffect reports whether an instruction must be kept regardless of
+// register liveness.
+func sideEffect(in *isa.Instr) bool {
+	switch in.Op {
+	case isa.STG, isa.STS, isa.ATOM, isa.BRA, isa.EXIT, isa.BPT, isa.BAR, isa.LDG, isa.LDS, isa.SHFL:
+		// Loads and shuffles are kept too: removing a load can hide an
+		// out-of-bounds access the programmer should see, and a shuffle
+		// has cross-lane visibility.
+		return true
+	case isa.NOP:
+		return false
+	}
+	return false
+}
+
+// EliminateDeadCode removes instructions whose results are provably unused,
+// honoring the Swap-ECC masked-write semantics (swapAware=true). With
+// swapAware=false the analysis treats shadow instructions as full writes —
+// the buggy textbook behaviour the paper cautions against, exported only so
+// the hazard can be demonstrated (see the package tests).
+func EliminateDeadCode(k *isa.Kernel, swapAware bool) *isa.Kernel {
+	n := len(k.Code)
+	// Block structure.
+	leaders := make([]bool, n+1)
+	leaders[0] = true
+	for pc, in := range k.Code {
+		if in.Op == isa.BRA {
+			leaders[in.Imm] = true
+			leaders[pc+1] = true
+		}
+		if in.Op == isa.EXIT || in.Op == isa.BPT || in.Op == isa.BAR {
+			leaders[pc+1] = true
+		}
+	}
+	var starts []int
+	for pc := 0; pc <= n; pc++ {
+		if pc == n || leaders[pc] {
+			if pc < n {
+				starts = append(starts, pc)
+			}
+		}
+	}
+	blockOf := make([]int, n)
+	ends := make([]int, len(starts))
+	for bi, s := range starts {
+		e := n
+		if bi+1 < len(starts) {
+			e = starts[bi+1]
+		}
+		ends[bi] = e
+		for pc := s; pc < e; pc++ {
+			blockOf[pc] = bi
+		}
+	}
+	succs := make([][]int, len(starts))
+	for bi := range starts {
+		last := ends[bi] - 1
+		in := &k.Code[last]
+		switch in.Op {
+		case isa.BRA:
+			succs[bi] = append(succs[bi], blockOf[in.Imm])
+			if in.GuardPred != isa.NoPred && in.GuardPred != isa.PT && ends[bi] < n {
+				succs[bi] = append(succs[bi], blockOf[ends[bi]])
+			}
+		case isa.EXIT:
+			// no successors (guarded EXIT falls through for other lanes)
+			if (in.GuardPred != isa.NoPred && in.GuardPred != isa.PT) && ends[bi] < n {
+				succs[bi] = append(succs[bi], blockOf[ends[bi]])
+			}
+		default:
+			if ends[bi] < n {
+				succs[bi] = append(succs[bi], blockOf[ends[bi]])
+			}
+		}
+	}
+
+	// Backward liveness to fixpoint.
+	liveIn := make([]regSet, len(starts))
+	liveOut := make([]regSet, len(starts))
+	uses := func(in *isa.Instr, live *regSet) {
+		for _, r := range sourceRegs(in) {
+			live.setReg(r)
+		}
+		if in.GuardPred >= 0 && in.GuardPred < isa.PT {
+			live.setPred(in.GuardPred)
+		}
+	}
+	transfer := func(bi int) regSet {
+		live := liveOut[bi]
+		for pc := ends[bi] - 1; pc >= starts[bi]; pc-- {
+			in := &k.Code[pc]
+			if in.WritesReg() {
+				shadowWrite := in.Flags&isa.FlagShadow != 0
+				if !(swapAware && shadowWrite) {
+					// A guarded write is partial; only unguarded writes kill.
+					if in.GuardPred == isa.NoPred || in.GuardPred == isa.PT {
+						live.clearReg(in.Dst)
+						if in.Is64Dst() {
+							live.clearReg(in.Dst + 1)
+						}
+					}
+				}
+			}
+			if (in.Op == isa.ISETP || in.Op == isa.FSETP) &&
+				(in.GuardPred == isa.NoPred || in.GuardPred == isa.PT) {
+				live.clearPred(in.DstPred)
+			}
+			uses(in, &live)
+		}
+		return live
+	}
+	for changed := true; changed; {
+		changed = false
+		for bi := len(starts) - 1; bi >= 0; bi-- {
+			var out regSet
+			for _, s := range succs[bi] {
+				out.union(liveIn[s])
+			}
+			if liveOut[bi].union(out) {
+				changed = true
+			}
+			in := transfer(bi)
+			if liveIn[bi].union(in) {
+				changed = true
+			}
+		}
+	}
+
+	// Mark dead instructions with a final backward pass per block.
+	keep := make([]bool, n)
+	for bi := range starts {
+		live := liveOut[bi]
+		for pc := ends[bi] - 1; pc >= starts[bi]; pc-- {
+			in := &k.Code[pc]
+			isSetp := in.Op == isa.ISETP || in.Op == isa.FSETP
+			dead := false
+			switch {
+			case sideEffect(in):
+			case in.Op == isa.NOP:
+				dead = true
+			case isSetp:
+				dead = !live.hasPred(in.DstPred)
+			case in.WritesReg():
+				dead = !live.hasReg(in.Dst) && !(in.Is64Dst() && live.hasReg(in.Dst+1))
+			}
+			keep[pc] = !dead
+			if !dead {
+				if in.WritesReg() {
+					shadowWrite := in.Flags&isa.FlagShadow != 0
+					if !(swapAware && shadowWrite) &&
+						(in.GuardPred == isa.NoPred || in.GuardPred == isa.PT) {
+						live.clearReg(in.Dst)
+						if in.Is64Dst() {
+							live.clearReg(in.Dst + 1)
+						}
+					}
+				}
+				if isSetp && (in.GuardPred == isa.NoPred || in.GuardPred == isa.PT) {
+					live.clearPred(in.DstPred)
+				}
+				uses(in, &live)
+			}
+		}
+	}
+
+	// Rebuild with branch retargeting.
+	newPC := make([]int32, n+1)
+	cnt := int32(0)
+	for pc := 0; pc < n; pc++ {
+		newPC[pc] = cnt
+		if keep[pc] {
+			cnt++
+		}
+	}
+	newPC[n] = cnt
+	out := cloneKernel(k)
+	out.Code = out.Code[:0]
+	for pc := 0; pc < n; pc++ {
+		if !keep[pc] {
+			continue
+		}
+		in := k.Code[pc]
+		if in.Op == isa.BRA {
+			in.Imm = newPC[in.Imm]
+			if in.Reconv != 0 {
+				in.Reconv = newPC[in.Reconv]
+			}
+		}
+		out.Code = append(out.Code, in)
+	}
+	out.NumRegs = out.MaxReg() + 1
+	return out
+}

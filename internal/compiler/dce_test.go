@@ -1,0 +1,130 @@
+package compiler
+
+import (
+	"testing"
+
+	"swapcodes/internal/isa"
+)
+
+func TestDCERemovesDeadArithmetic(t *testing.T) {
+	a := NewAsm("dead")
+	a.S2R(0, isa.SRTid)
+	a.IAddI(1, 0, 1) // live (stored)
+	a.IAddI(2, 0, 2) // dead
+	a.IMul(3, 2, 2)  // dead (consumes only dead values)
+	a.Nop()          // dead
+	a.Stg(0, 0, 1)
+	a.Exit()
+	k := a.MustBuild(1, 32, 0)
+	d := EliminateDeadCode(k, true)
+	if len(d.Code) != 4 { // S2R, IADD(live), STG, EXIT
+		t.Fatalf("kept %d instructions, want 4:\n%s", len(d.Code), Format(d))
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDCEKeepsLoopCarriedValues(t *testing.T) {
+	k := testKernel(t) // has a loop-carried accumulator
+	d := EliminateDeadCode(k, true)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing in the test kernel is dead.
+	if len(d.Code) != len(k.Code) {
+		t.Fatalf("removed live code: %d -> %d\n%s", len(k.Code), len(d.Code), Format(d))
+	}
+}
+
+// TestDCESwapAwareKeepsOriginals is the paper's Section III-A hazard: the
+// aware analysis must keep every original whose shadow survives, while the
+// naive analysis (shadow modeled as a full write) deletes the originals.
+func TestDCESwapAwareKeepsOriginals(t *testing.T) {
+	a := NewAsm("pair")
+	a.S2R(0, isa.SRTid)
+	a.IAddI(1, 0, 5)
+	a.IMul(2, 1, 1)
+	a.Stg(0, 0, 2)
+	a.Exit()
+	k := MustApply(a.MustBuild(1, 32, 0), SwapECC)
+
+	aware := EliminateDeadCode(k, true)
+	if len(aware.Code) != len(k.Code) {
+		t.Fatalf("aware DCE removed protected code: %d -> %d", len(k.Code), len(aware.Code))
+	}
+
+	naive := EliminateDeadCode(k, false)
+	origs, shadows := 0, 0
+	for _, in := range naive.Code {
+		if !in.Op.DupEligible() || !in.WritesReg() {
+			continue
+		}
+		if in.Flags&isa.FlagShadow != 0 {
+			shadows++
+		} else {
+			origs++
+		}
+	}
+	if origs >= shadows {
+		t.Fatalf("naive DCE kept the originals (origs=%d shadows=%d); hazard not demonstrated", origs, shadows)
+	}
+}
+
+// TestDCERemovesWholeDeadPairs: when a value is genuinely dead, BOTH halves
+// of its Swap-ECC pair disappear.
+func TestDCERemovesWholeDeadPairs(t *testing.T) {
+	a := NewAsm("deadpair")
+	a.S2R(0, isa.SRTid)
+	a.IAddI(1, 0, 5) // live
+	a.IAddI(2, 0, 9) // dead value
+	a.Stg(0, 0, 1)
+	a.Exit()
+	k := MustApply(a.MustBuild(1, 32, 0), SwapECC)
+	d := EliminateDeadCode(k, true)
+	for _, in := range d.Code {
+		if in.WritesReg() && in.Dst == 2 {
+			t.Fatalf("dead pair survived:\n%s", Format(d))
+		}
+	}
+	// The live pair is intact: one original + one shadow writing R1.
+	n := 0
+	for _, in := range d.Code {
+		if in.WritesReg() && in.Dst == 1 {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Fatalf("live pair count %d, want 2", n)
+	}
+}
+
+func TestDCERetargetsBranches(t *testing.T) {
+	a := NewAsm("branches")
+	a.S2R(0, isa.SRTid)
+	a.IAddI(9, 0, 1) // dead: shifts every later PC
+	a.MovI(1, 0)
+	a.Label("loop")
+	a.IAddI(1, 1, 1)
+	a.ISetpI(isa.CmpLT, 0, 1, 5)
+	a.BraP(0, false, "loop", "after")
+	a.Label("after")
+	a.Stg(0, 0, 1)
+	a.Exit()
+	k := a.MustBuild(1, 32, 0)
+	d := EliminateDeadCode(k, true)
+	if len(d.Code) != len(k.Code)-1 {
+		t.Fatalf("expected exactly one removal: %d -> %d", len(k.Code), len(d.Code))
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The loop branch must still target the IADD at the (shifted) loop head.
+	for _, in := range d.Code {
+		if in.Op == isa.BRA {
+			if tgt := d.Code[in.Imm]; tgt.Op != isa.IADD {
+				t.Fatalf("branch targets %v after retargeting", tgt.Op)
+			}
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package compiler_test
+
+import (
+	"fmt"
+	"strings"
+
+	"swapcodes/internal/compiler"
+	"swapcodes/internal/isa"
+)
+
+// Swap-ECC duplicates each arithmetic instruction in place: the shadow
+// carries the .SHDW (ECC-only write-back) flag, shares the destination
+// register, and moves are propagated rather than duplicated.
+func ExampleApply() {
+	a := compiler.NewAsm("demo")
+	a.S2R(0, isa.SRTid)
+	a.IAddI(1, 0, 10)
+	a.Mov(2, 1)
+	a.Stg(0, 0, 2)
+	a.Exit()
+	k := a.MustBuild(1, 32, 0)
+
+	protected, _ := compiler.Apply(k, compiler.SwapECC)
+	for _, in := range protected.Code {
+		fmt.Println(in)
+	}
+	// Output:
+	// S2R R0, SR0
+	// IADD R1, R0, #10, RZ
+	// IADD.SHDW R1, R0, #10, RZ
+	// MOV R2, R1, RZ, RZ
+	// STG [R0+0], R2
+	// EXIT RZ, RZ, RZ, RZ
+}
+
+// Kernels round-trip through the textual assembly syntax.
+func ExampleFormat() {
+	a := compiler.NewAsm("tiny")
+	a.S2R(0, isa.SRTid)
+	a.FMulI(1, 0, 2)
+	a.Stg(0, 0, 1)
+	a.Exit()
+	k := a.MustBuild(1, 32, 0)
+
+	text := compiler.Format(k)
+	fmt.Print(text)
+	reparsed, _ := compiler.Parse(text)
+	fmt.Println("round-trips:", len(reparsed.Code) == len(k.Code))
+	// Output:
+	// .kernel tiny grid=1 cta=32 shared=0
+	//     s2r r0, tid
+	//     fmul r1, r0, #1073741824
+	//     stg [r0+0], r1
+	//     exit
+	// round-trips: true
+}
+
+// Inter-thread duplication rejects the programs the paper says it must.
+func ExampleApply_interThreadFailures() {
+	big := compiler.NewAsm("mm-like")
+	big.Exit()
+	k1 := big.MustBuild(4, 1024, 0)
+	_, err := compiler.Apply(k1, compiler.InterThread)
+	fmt.Println(strings.Contains(err.Error(), "exceeds limit"))
+
+	shfl := compiler.NewAsm("snap-like")
+	shfl.Shfl(0, 1, 16)
+	shfl.Exit()
+	k2 := shfl.MustBuild(1, 32, 0)
+	_, err = compiler.Apply(k2, compiler.InterThread)
+	fmt.Println(strings.Contains(err.Error(), "shuffle"))
+	// Output:
+	// true
+	// true
+}

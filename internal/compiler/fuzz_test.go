@@ -1,0 +1,382 @@
+package compiler_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"swapcodes/internal/compiler"
+	"swapcodes/internal/isa"
+	"swapcodes/internal/sm"
+)
+
+// This file property-tests the protection passes on randomly generated
+// structured kernels: whatever the pass (duplication, swapping, prediction,
+// thread doubling), the transformed program must leave global memory
+// bit-identical to the baseline. The generator emits arithmetic of every
+// class, predication, divergent if-blocks, uniform loops, barriers, shared
+// and global memory, and wide (register-pair) operations.
+
+type kgen struct {
+	rng  *rand.Rand
+	a    *compiler.Asm
+	n    int // threads total
+	mem  int
+	lbl  int
+	loop int
+}
+
+// Registers: r0..r3 system (tid, ctaid, ntid, idx), r4..r11 scalars,
+// r12/r14 wide pairs, r16 address scratch.
+const (
+	gTid  = isa.Reg(0)
+	gCta  = isa.Reg(1)
+	gNTid = isa.Reg(2)
+	gIdx  = isa.Reg(3)
+	gAddr = isa.Reg(16)
+)
+
+func (g *kgen) scalar() isa.Reg { return isa.Reg(4 + g.rng.Intn(8)) }
+
+func (g *kgen) pair() isa.Reg { return isa.Reg(12 + 2*g.rng.Intn(2)) }
+
+func (g *kgen) label() string {
+	g.lbl++
+	return "L" + string(rune('a'+g.lbl%26)) + string(rune('a'+(g.lbl/26)%26)) + string(rune('a'+(g.lbl/676)%26))
+}
+
+// arith emits one random eligible instruction over initialized registers.
+func (g *kgen) arith() {
+	d, x, y, z := g.scalar(), g.scalar(), g.scalar(), g.scalar()
+	switch g.rng.Intn(14) {
+	case 0:
+		g.a.IAdd(d, x, y)
+	case 1:
+		g.a.ISub(d, x, y)
+	case 2:
+		g.a.IMul(d, x, y)
+	case 3:
+		g.a.IMad(d, x, y, z)
+	case 4:
+		g.a.And(d, x, y)
+	case 5:
+		g.a.Xor(d, x, y)
+	case 6:
+		g.a.ShrI(d, x, int32(g.rng.Intn(8)))
+	case 7:
+		g.a.FAdd(d, x, y)
+	case 8:
+		g.a.FSub(d, x, y)
+	case 9:
+		g.a.FMul(d, x, y)
+	case 10:
+		g.a.FFma(d, x, y, z)
+	case 11:
+		g.a.Mov(d, x)
+	case 12:
+		// Wide: pair ops on the dedicated pair registers.
+		p, q := g.pair(), g.pair()
+		switch g.rng.Intn(3) {
+		case 0:
+			g.a.DAdd(p, p, q)
+		case 1:
+			g.a.DMul(p, q, q)
+		default:
+			g.a.IMadWide(p, x, y, q)
+		}
+	default:
+		g.a.Mufu(isa.FnSQRT, d, x) // sqrt of possibly-negative -> NaN, still deterministic
+	}
+	// Occasionally predicate the op we just emitted.
+	if g.rng.Intn(5) == 0 {
+		g.a.Guard(int8(g.rng.Intn(3)), g.rng.Intn(2) == 0)
+	}
+}
+
+// block emits a sequence of items; uniform reports whether all threads are
+// guaranteed to execute this block together (barriers allowed).
+func (g *kgen) block(depth int, uniform bool) {
+	items := 3 + g.rng.Intn(6)
+	for i := 0; i < items; i++ {
+		switch g.rng.Intn(10) {
+		case 0, 1, 2, 3, 4:
+			g.arith()
+		case 5:
+			// Store to this thread's slot of a random output region.
+			slot := int32(g.rng.Intn(4))
+			g.a.Stg(gIdx, slot*int32(g.n), g.scalar())
+		case 6:
+			// Load from the input region.
+			g.a.Ldg(g.scalar(), gIdx, int32(4+g.rng.Intn(4))*int32(g.n))
+		case 7:
+			if uniform {
+				// Shared-memory round trip with a barrier.
+				g.a.Sts(gTid, 0, g.scalar())
+				g.a.Bar()
+				g.a.Lds(g.scalar(), gTid, 0)
+				g.a.Bar()
+			} else {
+				g.arith()
+			}
+		case 8:
+			if depth > 0 {
+				// Divergent if-block: threads with a data-dependent predicate
+				// skip it.
+				p := int8(g.rng.Intn(3))
+				g.a.ISetpI(isa.CmpLT, p, g.scalar(), int32(g.rng.Intn(1000)))
+				end := g.label()
+				g.a.BraP(p, g.rng.Intn(2) == 0, end, end)
+				g.block(depth-1, false)
+				g.a.Label(end)
+			} else {
+				g.arith()
+			}
+		default:
+			if depth > 0 && g.loop < 3 {
+				// Uniform counted loop (the counter lives in gAddr scratch).
+				g.loop++
+				trips := int32(2 + g.rng.Intn(3))
+				ctr := isa.Reg(17 + g.loop) // distinct counter per nest level
+				g.a.MovI(ctr, 0)
+				head := g.label()
+				after := g.label()
+				g.a.Label(head)
+				g.block(depth-1, uniform)
+				g.a.IAddI(ctr, ctr, 1)
+				g.a.ISetpI(isa.CmpLT, 3, ctr, trips)
+				g.a.BraP(3, false, head, after)
+				g.a.Label(after)
+				g.loop--
+			} else {
+				g.arith()
+			}
+		}
+	}
+}
+
+func generateKernel(seed int64, grid, cta int) (*isa.Kernel, int) {
+	g := &kgen{rng: rand.New(rand.NewSource(seed)), a: compiler.NewAsm("fuzz"), n: grid * cta}
+	g.mem = 8 * g.n
+	a := g.a
+	a.S2R(gTid, isa.SRTid)
+	a.S2R(gCta, isa.SRCtaid)
+	a.S2R(gNTid, isa.SRNTid)
+	a.IMad(gIdx, gCta, gNTid, gTid)
+	// Initialize every scalar register with thread-dependent values.
+	for r := isa.Reg(4); r < 12; r++ {
+		if g.rng.Intn(2) == 0 {
+			a.IAddI(r, gIdx, int32(g.rng.Intn(100)))
+		} else {
+			a.I2F(r, gIdx)
+			a.FMulI(r, r, float32(g.rng.Intn(7))*0.25+0.25)
+		}
+	}
+	// Wide pairs: seed via two 32-bit halves of a double derived from idx.
+	for _, p := range []isa.Reg{12, 14} {
+		a.I2F(p, gIdx)
+		bits := math.Float64bits(1.5)
+		a.MovI(p+1, int32(uint32(bits>>32)))
+	}
+	a.MovI(gAddr, 0)
+	g.block(3, true)
+	// Always store something so every run has observable output.
+	a.Stg(gIdx, 0, g.scalar())
+	a.Exit()
+	k, err := a.Build(grid, cta, cta)
+	if err != nil {
+		panic(err)
+	}
+	return k, g.mem
+}
+
+// runMem executes the kernel and returns a copy of global memory.
+func runMem(t *testing.T, k *isa.Kernel, memWords int, seed int64) []uint32 {
+	t.Helper()
+	g := sm.NewGPU(sm.DefaultConfig(), memWords)
+	rng := rand.New(rand.NewSource(seed))
+	// The input region (offsets 4n..8n) gets deterministic float-ish data.
+	for i := memWords / 2; i < memWords; i++ {
+		g.Mem[i] = math.Float32bits(float32(rng.Intn(64)) * 0.5)
+	}
+	st, err := g.Launch(k)
+	if err != nil {
+		t.Fatalf("kernel %s: %v", k.Name, err)
+	}
+	if st.Trapped {
+		t.Fatalf("kernel %s: spurious trap on error-free run", k.Name)
+	}
+	out := make([]uint32, memWords)
+	copy(out, g.Mem)
+	return out
+}
+
+// TestRandomKernelsSemanticsPreserved is the central compiler property:
+// for randomly generated structured kernels, every protection pass leaves
+// global memory bit-identical to the baseline.
+func TestRandomKernelsSemanticsPreserved(t *testing.T) {
+	trials := 40
+	if testing.Short() {
+		trials = 8
+	}
+	schemes := []compiler.Scheme{compiler.SWDup, compiler.SwapECC, compiler.SwapPredictAddSub, compiler.SwapPredictMAD,
+		compiler.SwapPredictOtherFxP, compiler.SwapPredictFpAddSub, compiler.SwapPredictFpMAD,
+		compiler.InterThread, compiler.InterThreadNoCheck, compiler.SInRGSig}
+	for trial := 0; trial < trials; trial++ {
+		seed := int64(1000 + trial)
+		k, mem := generateKernel(seed, 2, 64)
+		want := runMem(t, compiler.MustApply(k, compiler.Baseline), mem, seed)
+		for _, s := range schemes {
+			tk, err := compiler.Apply(k, s)
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, s, err)
+			}
+			got := runMem(t, tk, mem, seed)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d %v: mem[%d] = %#x, want %#x (kernel %d instrs)",
+						seed, s, i, got[i], want[i], len(k.Code))
+				}
+			}
+		}
+	}
+}
+
+// TestRandomKernelsMovePropAblation extends the property to the ablation
+// configuration (duplicated moves must also be semantics-preserving).
+func TestRandomKernelsMovePropAblation(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		seed := int64(5000 + trial)
+		k, mem := generateKernel(seed, 2, 64)
+		want := runMem(t, compiler.MustApply(k, compiler.Baseline), mem, seed)
+		tk, err := compiler.ApplyOpts(k, compiler.SwapECC, compiler.Opts{DisableMoveProp: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := runMem(t, tk, mem, seed)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: mem[%d] differs", seed, i)
+			}
+		}
+	}
+}
+
+// TestRandomKernelsScheduledSemanticsPreserved extends the preservation
+// property through the list scheduler: reordering must never change
+// observable memory, alone or composed with any protection pass.
+func TestRandomKernelsScheduledSemanticsPreserved(t *testing.T) {
+	trials := 25
+	if testing.Short() {
+		trials = 6
+	}
+	for trial := 0; trial < trials; trial++ {
+		seed := int64(7000 + trial)
+		k, mem := generateKernel(seed, 2, 64)
+		want := runMem(t, compiler.MustApply(k, compiler.Baseline), mem, seed)
+		for _, s := range []compiler.Scheme{compiler.Baseline, compiler.SwapECC, compiler.SWDup, compiler.SwapPredictMAD} {
+			tk := compiler.Schedule(compiler.MustApply(k, s))
+			got := runMem(t, tk, mem, seed)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d %v+sched: mem[%d] = %#x, want %#x", seed, s, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRandomKernelsBinaryRoundTrip: transformed kernels survive the binary
+// encoding byte-for-byte (including shadow/predicted flags and categories).
+func TestRandomKernelsBinaryRoundTrip(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		k, _ := generateKernel(int64(8000+trial), 2, 64)
+		for _, s := range []compiler.Scheme{compiler.Baseline, compiler.SWDup, compiler.SwapECC} {
+			tk := compiler.MustApply(k, s)
+			got, err := isa.DecodeBinary(tk.EncodeBinary())
+			if err != nil {
+				t.Fatalf("trial %d %v: %v", trial, s, err)
+			}
+			if len(got.Code) != len(tk.Code) {
+				t.Fatal("length")
+			}
+			for i := range got.Code {
+				if got.Code[i] != tk.Code[i] {
+					t.Fatalf("trial %d %v instr %d: %+v vs %+v", trial, s, i, got.Code[i], tk.Code[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRandomKernelsDCEPreservesSemantics: Swap-ECC-aware dead-code
+// elimination never changes observable memory.
+func TestRandomKernelsDCEPreservesSemantics(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		seed := int64(11000 + trial)
+		k, mem := generateKernel(seed, 2, 64)
+		want := runMem(t, compiler.MustApply(k, compiler.Baseline), mem, seed)
+		for _, s := range []compiler.Scheme{compiler.Baseline, compiler.SwapECC, compiler.SWDup} {
+			tk := compiler.EliminateDeadCode(compiler.MustApply(k, s), true)
+			got := runMem(t, tk, mem, seed)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d %v+dce: mem[%d] = %#x, want %#x", seed, s, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestNaiveDCEBreaksSwapECC runs the paper's Section III-A hazard end to
+// end: naive dead-code elimination removes the "apparently-dead" originals
+// of Swap-ECC pairs; on the ECC-protected register file the survivors'
+// check bits then disagree with the stale register data, and the decoder
+// storms with spurious pipeline DUEs on an error-free run.
+func TestNaiveDCEBreaksSwapECC(t *testing.T) {
+	a := compiler.NewAsm("hazard")
+	a.S2R(0, isa.SRTid)
+	a.IAddI(1, 0, 5)
+	a.IMul(2, 1, 1)
+	a.Stg(0, 0, 2)
+	a.Exit()
+	k := compiler.MustApply(a.MustBuild(1, 32, 0), compiler.SwapECC)
+
+	run := func(kernel *isa.Kernel) *sm.Stats {
+		cfg := sm.DefaultConfig()
+		cfg.ECC = true
+		g := sm.NewGPU(cfg, 64)
+		st, err := g.Launch(kernel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	if st := run(compiler.EliminateDeadCode(k, true)); st.PipelineDUEs != 0 {
+		t.Fatalf("aware DCE broke protection: %d spurious DUEs", st.PipelineDUEs)
+	}
+	if st := run(compiler.EliminateDeadCode(k, false)); st.PipelineDUEs == 0 {
+		t.Fatal("naive DCE produced no spurious DUEs; the hazard demonstration is broken")
+	}
+}
+
+// TestRandomKernelsFullPipeline: protection + DCE + scheduling composed
+// through ApplyOpts stays semantics-preserving.
+func TestRandomKernelsFullPipeline(t *testing.T) {
+	for trial := 0; trial < 15; trial++ {
+		seed := int64(13000 + trial)
+		k, mem := generateKernel(seed, 2, 64)
+		want := runMem(t, compiler.MustApply(k, compiler.Baseline), mem, seed)
+		for _, s := range []compiler.Scheme{compiler.Baseline, compiler.SwapECC, compiler.SWDup, compiler.SwapPredictMAD} {
+			tk, err := compiler.ApplyOpts(k, s, compiler.Opts{DCE: true, Schedule: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := runMem(t, tk, mem, seed)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d %v pipeline: mem[%d] = %#x, want %#x", seed, s, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,662 @@
+package compiler
+
+import (
+	"fmt"
+
+	"swapcodes/internal/isa"
+)
+
+// Scheme identifies a protection configuration.
+type Scheme int
+
+// The protection schemes evaluated in Figures 12-16.
+const (
+	// Baseline is the un-duplicated program.
+	Baseline Scheme = iota
+	// SWDup is software-enforced intra-thread instruction duplication with
+	// shadow register space and explicit checking (Base-DRDV style).
+	SWDup
+	// SwapECC duplicates without checking code or shadow space; shadow
+	// instructions write only the ECC check bits (Section III-A).
+	SwapECC
+	// SwapPredictAddSub is Swap-ECC plus fixed-point add/subtract
+	// check-bit prediction ("Pre AddSub").
+	SwapPredictAddSub
+	// SwapPredictMAD additionally predicts fixed-point multiply and MAD
+	// ("Pre MAD").
+	SwapPredictMAD
+	// SwapPredictOtherFxP additionally predicts fixed-point logic and
+	// shift operations (Figure 16 "Other FxP").
+	SwapPredictOtherFxP
+	// SwapPredictFpAddSub additionally predicts floating-point add/sub
+	// (Figure 16 "Fp-AddSub").
+	SwapPredictFpAddSub
+	// SwapPredictFpMAD additionally predicts floating-point multiply and
+	// MAD (Figure 16 "Fp-MAD").
+	SwapPredictFpMAD
+	// InterThread is software inter-thread duplication (Section V).
+	InterThread
+	// InterThreadNoCheck is the theoretical checking-free variant of
+	// Figure 15.
+	InterThreadNoCheck
+	// SInRGSig models the HW-Sig-SRIV organization the paper compares
+	// against in Section VI: intra-thread duplication into shadow register
+	// space whose agreement is checked by hardware signature accumulation
+	// rather than checking instructions — faster than SW-Dup but without
+	// Swap-ECC's error containment (errors can reach memory before the
+	// signature check fires).
+	SInRGSig
+)
+
+var schemeNames = map[Scheme]string{
+	Baseline: "Baseline", SWDup: "SW-Dup", SwapECC: "Swap-ECC",
+	SwapPredictAddSub: "Pre AddSub", SwapPredictMAD: "Pre MAD",
+	SwapPredictOtherFxP: "Pre OtherFxP", SwapPredictFpAddSub: "Pre Fp-AddSub",
+	SwapPredictFpMAD: "Pre Fp-MAD", InterThread: "Inter-Thread",
+	InterThreadNoCheck: "Inter-Thread (no check)", SInRGSig: "HW-Sig-SRIV",
+}
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	if n, ok := schemeNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// Predicted reports whether scheme s covers opcode op with a check-bit
+// prediction unit. The sets are cumulative: AddSub ⊂ MAD ⊂ OtherFxP ⊂
+// FpAddSub ⊂ FpMAD.
+func (s Scheme) Predicted(op isa.Opcode) bool {
+	level := 0
+	switch s {
+	case SwapPredictAddSub:
+		level = 1
+	case SwapPredictMAD:
+		level = 2
+	case SwapPredictOtherFxP:
+		level = 3
+	case SwapPredictFpAddSub:
+		level = 4
+	case SwapPredictFpMAD:
+		level = 5
+	default:
+		return false
+	}
+	switch op {
+	case isa.IADD, isa.ISUB:
+		return level >= 1
+	case isa.IMUL, isa.IMAD:
+		return level >= 2
+	case isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR:
+		return level >= 3
+	case isa.FADD, isa.FSUB, isa.DADD, isa.DSUB:
+		return level >= 4
+	case isa.FMUL, isa.FFMA, isa.DMUL, isa.DFMA:
+		return level >= 5
+	}
+	return false
+}
+
+// Reserved predicates used by the passes; kernels must confine themselves
+// to P0..P4.
+const (
+	predCheck int8 = 6 // SW-Dup / inter-thread checking compare result
+	predLane  int8 = 5 // inter-thread shadow-lane guard
+)
+
+// Opts tunes a transformation (optimization pipeline and ablations).
+type Opts struct {
+	// DisableMoveProp turns off end-to-end move propagation (Figure 4):
+	// Swap-ECC then duplicates MOV instructions like any other eligible op.
+	DisableMoveProp bool
+	// DCE runs Swap-ECC-aware dead-code elimination after the protection
+	// pass.
+	DCE bool
+	// Schedule runs the latency-aware list scheduler after the protection
+	// pass (and after DCE, when both are enabled).
+	Schedule bool
+}
+
+// Apply transforms a kernel for the given scheme. Baseline stamps
+// categories without changing code. Inter-thread schemes can fail for
+// kernels that exceed the CTA limit when doubled or that use shuffles.
+func Apply(k *isa.Kernel, s Scheme) (*isa.Kernel, error) {
+	return ApplyOpts(k, s, Opts{})
+}
+
+// ApplyOpts is Apply with the optimization pipeline and ablation options.
+func ApplyOpts(k *isa.Kernel, s Scheme, o Opts) (*isa.Kernel, error) {
+	if err := checkReservedPreds(k); err != nil {
+		return nil, err
+	}
+	var out *isa.Kernel
+	var err error
+	switch s {
+	case Baseline:
+		out, err = stampBaseline(k), nil
+	case SWDup:
+		out, err = swDup(k)
+	case SwapECC, SwapPredictAddSub, SwapPredictMAD, SwapPredictOtherFxP,
+		SwapPredictFpAddSub, SwapPredictFpMAD:
+		out, err = swapECC(k, s, o)
+	case InterThread:
+		out, err = interThread(k, true)
+	case InterThreadNoCheck:
+		out, err = interThread(k, false)
+	case SInRGSig:
+		out, err = sinrgSig(k)
+	default:
+		return nil, fmt.Errorf("compiler: unknown scheme %v", s)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if o.DCE {
+		out = EliminateDeadCode(out, true)
+	}
+	if o.Schedule {
+		out = Schedule(out)
+	}
+	return out, nil
+}
+
+// MustApply is Apply for schemes that cannot fail on the kernel.
+func MustApply(k *isa.Kernel, s Scheme) *isa.Kernel {
+	out, err := Apply(k, s)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func checkReservedPreds(k *isa.Kernel) error {
+	for pc, in := range k.Code {
+		if in.Op == isa.ISETP || in.Op == isa.FSETP {
+			if in.DstPred >= predLane {
+				return fmt.Errorf("compiler: %s pc %d writes reserved predicate P%d", k.Name, pc, in.DstPred)
+			}
+		}
+	}
+	return nil
+}
+
+// stampBaseline assigns Figure 13 categories without transforming.
+func stampBaseline(k *isa.Kernel) *isa.Kernel {
+	out := cloneKernel(k)
+	for i := range out.Code {
+		if out.Code[i].Op.DupEligible() {
+			out.Code[i].Cat = isa.CatDuplicated // "would be duplicated"
+		} else {
+			out.Code[i].Cat = isa.CatNotEligible
+		}
+	}
+	return out
+}
+
+func cloneKernel(k *isa.Kernel) *isa.Kernel {
+	out := *k
+	out.Code = append([]isa.Instr(nil), k.Code...)
+	return &out
+}
+
+// rewriter rebuilds a kernel while tracking where each original PC landed,
+// then retargets branches and reconvergence points.
+type rewriter struct {
+	out        []isa.Instr
+	groupStart []int32
+	branchPCs  []int // new PCs of copied original branches
+	checkBRAs  []int // new PCs of inserted trap branches
+}
+
+func newRewriter(n int) *rewriter {
+	return &rewriter{groupStart: make([]int32, n+1)}
+}
+
+func (rw *rewriter) beginGroup(oldPC int) { rw.groupStart[oldPC] = int32(len(rw.out)) }
+
+func (rw *rewriter) emit(in isa.Instr) { rw.out = append(rw.out, in) }
+
+// emitCheckBranch emits a conditional branch to the (not yet placed) trap
+// block; divergent threads that do not trap reconverge immediately after.
+func (rw *rewriter) emitCheckBranch(p int8) {
+	pc := len(rw.out)
+	rw.checkBRAs = append(rw.checkBRAs, pc)
+	rw.emit(isa.Instr{
+		Op: isa.BRA, Dst: isa.RZ, Src: [3]isa.Reg{isa.RZ, isa.RZ, isa.RZ},
+		GuardPred: p, Reconv: int32(pc + 1), Cat: isa.CatChecking,
+	})
+}
+
+// copyBranch emits a copy of an original branch, recording it for
+// retargeting.
+func (rw *rewriter) copyBranch(in isa.Instr) {
+	rw.branchPCs = append(rw.branchPCs, len(rw.out))
+	rw.emit(in)
+}
+
+// finish appends the trap block (if any checks were emitted), retargets
+// branches, and returns the new code.
+func (rw *rewriter) finish(origLen int) []isa.Instr {
+	rw.groupStart[origLen] = int32(len(rw.out))
+	if len(rw.checkBRAs) > 0 {
+		trapPC := int32(len(rw.out))
+		rw.emit(isa.Instr{Op: isa.BPT, Dst: isa.RZ, Src: [3]isa.Reg{isa.RZ, isa.RZ, isa.RZ}, GuardPred: isa.NoPred, Cat: isa.CatChecking})
+		for _, pc := range rw.checkBRAs {
+			rw.out[pc].Imm = trapPC
+		}
+	}
+	for _, pc := range rw.branchPCs {
+		in := &rw.out[pc]
+		in.Imm = rw.groupStart[in.Imm]
+		if in.Reconv != 0 {
+			in.Reconv = rw.groupStart[in.Reconv]
+		}
+	}
+	return rw.out
+}
+
+// eligibleDsts returns the set of registers written by duplication-eligible
+// instructions (including pair halves).
+func eligibleDsts(k *isa.Kernel) map[isa.Reg]bool {
+	d := make(map[isa.Reg]bool)
+	for i := range k.Code {
+		in := &k.Code[i]
+		if !in.Op.DupEligible() || !in.WritesReg() {
+			continue
+		}
+		d[in.Dst] = true
+		if in.Is64Dst() {
+			d[in.Dst+1] = true
+		}
+	}
+	return d
+}
+
+// sourceRegs lists the distinct non-RZ register sources of an instruction
+// (respecting immediates and 64-bit pair operands).
+func sourceRegs(in *isa.Instr) []isa.Reg {
+	var out []isa.Reg
+	seen := map[isa.Reg]bool{isa.RZ: true}
+	add := func(r isa.Reg, wide bool) {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+		if wide && !seen[r+1] {
+			seen[r+1] = true
+			out = append(out, r+1)
+		}
+	}
+	for si, s := range in.Src {
+		if si == 1 && in.HasImm {
+			continue
+		}
+		wide := false
+		switch in.Op {
+		case isa.DADD, isa.DSUB, isa.DMUL:
+			wide = si < 2
+		case isa.DFMA:
+			wide = true
+		case isa.IMAD:
+			wide = in.Wide && si == 2
+		}
+		add(s, wide)
+	}
+	return out
+}
+
+// swDup implements software-enforced intra-thread duplication: every
+// eligible instruction is re-executed into a shadow register space, and the
+// register sources of every non-eligible instruction are compared against
+// their shadows with explicit ISETP/BRA checking code that falls into a BPT
+// trap on mismatch (Figure 3, middle column).
+func swDup(k *isa.Kernel) (*isa.Kernel, error) {
+	dset := eligibleDsts(k)
+	shadowBase := isa.Reg((k.MaxReg() + 2) &^ 1) // even, preserving pairs
+	if int(shadowBase)*2 >= 254 {
+		return nil, fmt.Errorf("compiler: %s: shadow space exceeds register file", k.Name)
+	}
+	shadow := func(r isa.Reg) isa.Reg {
+		if r != isa.RZ && dset[r] {
+			return r + shadowBase
+		}
+		return r
+	}
+	// Basic-block leaders: a register checked earlier in the same block and
+	// not redefined since needs no second check (the standard optimization
+	// in DRDV-style passes; without it address registers reused across
+	// several memory operations would be re-checked each time).
+	leader := make([]bool, len(k.Code)+1)
+	leader[0] = true
+	for pc := range k.Code {
+		if k.Code[pc].Op == isa.BRA {
+			leader[k.Code[pc].Imm] = true
+			if pc+1 < len(k.Code) {
+				leader[pc+1] = true
+			}
+		}
+	}
+	checked := make(map[isa.Reg]bool)
+	rw := newRewriter(len(k.Code))
+	for pc := range k.Code {
+		in := k.Code[pc]
+		rw.beginGroup(pc)
+		if leader[pc] {
+			checked = make(map[isa.Reg]bool)
+		}
+		if in.Op.DupEligible() {
+			if in.WritesReg() {
+				delete(checked, in.Dst)
+				if in.Is64Dst() {
+					delete(checked, in.Dst+1)
+				}
+			}
+			orig := in
+			orig.Cat = isa.CatDuplicated
+			rw.emit(orig)
+			sh := in
+			sh.Cat = isa.CatDuplicated
+			sh.Dst = in.Dst + shadowBase
+			for si := range sh.Src {
+				if si == 1 && sh.HasImm {
+					continue
+				}
+				sh.Src[si] = shadow(sh.Src[si])
+			}
+			rw.emit(sh)
+			continue
+		}
+		// Non-eligible: check each source that has a shadow and was not
+		// already checked since its last redefinition.
+		for _, r := range sourceRegs(&in) {
+			if !dset[r] || checked[r] {
+				continue
+			}
+			checked[r] = true
+			rw.emit(isa.Instr{
+				Op: isa.ISETP, Mod: isa.CmpNE, DstPred: predCheck,
+				Dst: isa.RZ, Src: [3]isa.Reg{r, r + shadowBase, isa.RZ},
+				GuardPred: isa.NoPred, Cat: isa.CatChecking,
+			})
+			rw.emitCheckBranch(predCheck)
+		}
+		in.Cat = isa.CatNotEligible
+		if in.Op == isa.BRA {
+			rw.copyBranch(in)
+		} else {
+			rw.emit(in)
+		}
+		// A non-eligible write (load, S2R, shuffle, atomic return) into a
+		// register that elsewhere carries duplicated state must seed the
+		// shadow space, or shadow consumers would read a stale copy — the
+		// standard load-copy of DRDV-style duplication.
+		if in.WritesReg() && dset[in.Dst] {
+			rw.emit(isa.Instr{
+				Op: isa.MOV, Dst: in.Dst + shadowBase,
+				Src:       [3]isa.Reg{in.Dst, isa.RZ, isa.RZ},
+				GuardPred: in.GuardPred, GuardNeg: in.GuardNeg,
+				Cat: isa.CatDuplicated,
+			})
+			delete(checked, in.Dst)
+		}
+	}
+	out := cloneKernel(k)
+	out.Code = rw.finish(len(k.Code))
+	out.NumRegs = out.MaxReg() + 1
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// swapECC implements the Swap-ECC transformation (and its Swap-Predict
+// extensions): eligible instructions are duplicated in place with the
+// shadow's write-back masked to the ECC check bits; no checking code and no
+// shadow register space are required. Moves propagate the full swapped
+// codeword end to end (Figure 4) and so are not duplicated. Instructions in
+// the scheme's prediction set rely on datapath check-bit predictors instead
+// of shadows. Because the original and shadow share source and destination
+// registers, single-register accumulation (dst ∈ sources) is broken up via
+// a compiler temporary plus a propagated move.
+func swapECC(k *isa.Kernel, s Scheme, o Opts) (*isa.Kernel, error) {
+	maxReg := k.MaxReg()
+	tmp := isa.Reg((maxReg + 2) &^ 1)
+	if int(tmp)+1 >= 254 {
+		return nil, fmt.Errorf("compiler: %s: no temporary registers available", k.Name)
+	}
+	usedTmp := false
+	rw := newRewriter(len(k.Code))
+	for pc := range k.Code {
+		in := k.Code[pc]
+		rw.beginGroup(pc)
+		switch {
+		case !in.Op.DupEligible():
+			in.Cat = isa.CatNotEligible
+			if in.Op == isa.BRA {
+				rw.copyBranch(in)
+			} else {
+				rw.emit(in)
+			}
+		case (in.Op == isa.MOV && !o.DisableMoveProp) || s.Predicted(in.Op):
+			// Move propagation / check-bit prediction: a single copy whose
+			// ECC arrives without re-execution.
+			in.Cat = isa.CatPredicted
+			in.Flags |= isa.FlagPredicted
+			rw.emit(in)
+		default:
+			if accumulates(&in) {
+				usedTmp = true
+				orig := in
+				orig.Dst = tmp
+				orig.Cat = isa.CatDuplicated
+				rw.emit(orig)
+				sh := orig
+				sh.Flags |= isa.FlagShadow
+				rw.emit(sh)
+				mov := isa.Instr{Op: isa.MOV, Dst: in.Dst, Src: [3]isa.Reg{tmp, isa.RZ, isa.RZ},
+					GuardPred: in.GuardPred, GuardNeg: in.GuardNeg,
+					Flags: isa.FlagPredicted, Cat: isa.CatCompilerInserted}
+				rw.emit(mov)
+				if in.Is64Dst() {
+					mov.Dst, mov.Src[0] = in.Dst+1, tmp+1
+					rw.emit(mov)
+				}
+			} else {
+				orig := in
+				orig.Cat = isa.CatDuplicated
+				rw.emit(orig)
+				sh := in
+				sh.Cat = isa.CatDuplicated
+				sh.Flags |= isa.FlagShadow
+				rw.emit(sh)
+			}
+		}
+	}
+	out := cloneKernel(k)
+	out.Code = rw.finish(len(k.Code))
+	out.NumRegs = out.MaxReg() + 1
+	_ = usedTmp
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// sinrgSig implements the HW-Sig-SRIV proxy: SW-Dup's shadow-space
+// duplication with every explicit check elided — the hardware signature
+// unit accumulates both streams and compares them off the critical path, so
+// the only remaining costs are the duplicated arithmetic and the shadow
+// register pressure. (The signature hardware itself adds no instructions.)
+func sinrgSig(k *isa.Kernel) (*isa.Kernel, error) {
+	dset := eligibleDsts(k)
+	shadowBase := isa.Reg((k.MaxReg() + 2) &^ 1)
+	if int(shadowBase)*2 >= 254 {
+		return nil, fmt.Errorf("compiler: %s: shadow space exceeds register file", k.Name)
+	}
+	shadow := func(r isa.Reg) isa.Reg {
+		if r != isa.RZ && dset[r] {
+			return r + shadowBase
+		}
+		return r
+	}
+	rw := newRewriter(len(k.Code))
+	for pc := range k.Code {
+		in := k.Code[pc]
+		rw.beginGroup(pc)
+		if in.Op.DupEligible() {
+			orig := in
+			orig.Cat = isa.CatDuplicated
+			rw.emit(orig)
+			sh := in
+			sh.Cat = isa.CatDuplicated
+			sh.Dst = in.Dst + shadowBase
+			for si := range sh.Src {
+				if si == 1 && sh.HasImm {
+					continue
+				}
+				sh.Src[si] = shadow(sh.Src[si])
+			}
+			rw.emit(sh)
+			continue
+		}
+		in.Cat = isa.CatNotEligible
+		if in.Op == isa.BRA {
+			rw.copyBranch(in)
+		} else {
+			rw.emit(in)
+		}
+		if in.WritesReg() && dset[in.Dst] {
+			rw.emit(isa.Instr{
+				Op: isa.MOV, Dst: in.Dst + shadowBase,
+				Src:       [3]isa.Reg{in.Dst, isa.RZ, isa.RZ},
+				GuardPred: in.GuardPred, GuardNeg: in.GuardNeg,
+				Cat: isa.CatDuplicated,
+			})
+		}
+	}
+	out := cloneKernel(k)
+	out.Code = rw.finish(len(k.Code))
+	out.NumRegs = out.MaxReg() + 1
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// accumulates reports dst ∈ sources (including pair overlap), the pattern
+// Swap-ECC's shared-register duplication cannot express directly.
+func accumulates(in *isa.Instr) bool {
+	if !in.WritesReg() {
+		return false
+	}
+	dsts := []isa.Reg{in.Dst}
+	if in.Is64Dst() {
+		dsts = append(dsts, in.Dst+1)
+	}
+	for _, s := range sourceRegs(in) {
+		for _, d := range dsts {
+			if s == d {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// interThread implements software inter-thread duplication (Section V):
+// the thread count doubles, even/odd lane pairs execute the same logical
+// thread (thread-index reads are divided by two), and stores/atomics are
+// performed by the even lane after shuffle-based comparison of the pair's
+// address and value. Fails for kernels whose doubled CTA exceeds the
+// hardware limit or that already use shuffles.
+func interThread(k *isa.Kernel, withChecking bool) (*isa.Kernel, error) {
+	if k.CTAThreads*2 > isa.MaxCTAThreads {
+		return nil, fmt.Errorf("compiler: %s: doubled CTA size %d exceeds limit %d",
+			k.Name, k.CTAThreads*2, isa.MaxCTAThreads)
+	}
+	if k.UsesShuffle() {
+		return nil, fmt.Errorf("compiler: %s: kernel uses shuffle instructions", k.Name)
+	}
+	maxReg := k.MaxReg()
+	rLane := isa.Reg(maxReg + 1)
+	rVal := isa.Reg(maxReg + 2)
+	rAddr := isa.Reg(maxReg + 3)
+	if int(rAddr) >= 254 {
+		return nil, fmt.Errorf("compiler: %s: no temporaries for inter-thread pass", k.Name)
+	}
+	rw := newRewriter(len(k.Code))
+	// Prologue: p5 = shadow lane (odd lane id).
+	rw.emit(isa.Instr{Op: isa.S2R, Dst: rLane, Src: [3]isa.Reg{isa.RZ, isa.RZ, isa.RZ},
+		Imm: int32(isa.SRLane), GuardPred: isa.NoPred, Cat: isa.CatCompilerInserted})
+	rw.emit(isa.Instr{Op: isa.AND, Dst: rLane, Src: [3]isa.Reg{rLane, isa.RZ, isa.RZ},
+		Imm: 1, HasImm: true, GuardPred: isa.NoPred, Cat: isa.CatCompilerInserted})
+	rw.emit(isa.Instr{Op: isa.ISETP, Mod: isa.CmpNE, DstPred: predLane, Dst: isa.RZ,
+		Src: [3]isa.Reg{rLane, isa.RZ, isa.RZ}, Imm: 0, HasImm: true,
+		GuardPred: isa.NoPred, Cat: isa.CatCompilerInserted})
+
+	emitPairCheck := func(r isa.Reg, tmp isa.Reg) {
+		rw.emit(isa.Instr{Op: isa.SHFL, Dst: tmp, Src: [3]isa.Reg{r, isa.RZ, isa.RZ},
+			Imm: 1, GuardPred: isa.NoPred, Cat: isa.CatChecking})
+		rw.emit(isa.Instr{Op: isa.ISETP, Mod: isa.CmpNE, DstPred: predCheck, Dst: isa.RZ,
+			Src: [3]isa.Reg{tmp, r, isa.RZ}, GuardPred: isa.NoPred, Cat: isa.CatChecking})
+		rw.emitCheckBranch(predCheck)
+	}
+
+	for pc := range k.Code {
+		in := k.Code[pc]
+		rw.beginGroup(pc)
+		switch in.Op {
+		case isa.S2R:
+			in.Cat = isa.CatNotEligible
+			rw.emit(in)
+			if sr := isa.SpecialReg(in.Imm); sr == isa.SRTid || sr == isa.SRNTid {
+				// Halve so original and shadow lanes see the same logical id.
+				rw.emit(isa.Instr{Op: isa.SHR, Dst: in.Dst, Src: [3]isa.Reg{in.Dst, isa.RZ, isa.RZ},
+					Imm: 1, HasImm: true, GuardPred: in.GuardPred, GuardNeg: in.GuardNeg,
+					Cat: isa.CatCompilerInserted})
+			}
+		case isa.STG, isa.ATOM:
+			if withChecking {
+				emitPairCheck(in.Src[1], rVal)
+				emitPairCheck(in.Src[0], rAddr)
+			}
+			in.Cat = isa.CatNotEligible
+			// Only the even (original) lane performs the access.
+			if in.GuardPred == isa.NoPred || in.GuardPred == isa.PT {
+				in.GuardPred = predLane
+				in.GuardNeg = true
+				rw.emit(in)
+			} else {
+				// Already-guarded accesses keep their guard; the shadow
+				// lane is additionally masked via a combined predicate.
+				// Clear the combine predicate across the whole warp first —
+				// a guarded SETP merges, so stale lane bits from a previous
+				// iteration would otherwise leak through.
+				rw.emit(isa.Instr{Op: isa.ISETP, Mod: isa.CmpNE, DstPred: predCheck, Dst: isa.RZ,
+					Src:       [3]isa.Reg{isa.RZ, isa.RZ, isa.RZ},
+					GuardPred: isa.NoPred, Cat: isa.CatCompilerInserted})
+				rw.emit(isa.Instr{Op: isa.ISETP, Mod: isa.CmpEQ, DstPred: predCheck, Dst: isa.RZ,
+					Src: [3]isa.Reg{rLane, isa.RZ, isa.RZ}, Imm: 0, HasImm: true,
+					GuardPred: in.GuardPred, GuardNeg: in.GuardNeg, Cat: isa.CatCompilerInserted})
+				in.GuardPred = predCheck
+				in.GuardNeg = false
+				rw.emit(in)
+			}
+		case isa.BRA:
+			in.Cat = isa.CatNotEligible
+			rw.copyBranch(in)
+		default:
+			in.Cat = isa.CatNotEligible
+			rw.emit(in)
+		}
+	}
+	out := cloneKernel(k)
+	out.Code = rw.finish(len(k.Code))
+	out.CTAThreads = k.CTAThreads * 2
+	out.NumRegs = out.MaxReg() + 1
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,323 @@
+package compiler
+
+import (
+	"testing"
+
+	"swapcodes/internal/isa"
+)
+
+// testKernel builds a small kernel exercising arithmetic, memory, control
+// flow, and accumulation: out[i] = in[i]*3 + 7 for i < n, via a loop.
+func testKernel(t *testing.T) *isa.Kernel {
+	t.Helper()
+	a := NewAsm("tk")
+	const (
+		rTid  = isa.Reg(0)
+		rIdx  = isa.Reg(1)
+		rAddr = isa.Reg(2)
+		rVal  = isa.Reg(3)
+		rAcc  = isa.Reg(4)
+		rI    = isa.Reg(5)
+	)
+	a.S2R(rTid, isa.SRTid)
+	a.Mov(rIdx, rTid)
+	a.IAddI(rAddr, rIdx, 0)
+	a.Ldg(rVal, rAddr, 0)
+	a.MovI(rAcc, 7)
+	a.MovI(rI, 0)
+	a.Label("loop")
+	a.IAdd(rAcc, rAcc, rVal) // accumulation: dst == src
+	a.IAddI(rI, rI, 1)
+	a.ISetpI(isa.CmpLT, 0, rI, 3)
+	a.BraP(0, false, "loop", "done")
+	a.Label("done")
+	a.Stg(rAddr, 32, rAcc)
+	a.Exit()
+	return a.MustBuild(1, 32, 0)
+}
+
+func dynCategories(k *isa.Kernel) map[isa.Category]int {
+	m := make(map[isa.Category]int)
+	for _, in := range k.Code {
+		m[in.Cat]++
+	}
+	return m
+}
+
+func TestSchemeNames(t *testing.T) {
+	for s := Baseline; s <= SInRGSig; s++ {
+		if s.String() == "" {
+			t.Errorf("scheme %d unnamed", s)
+		}
+	}
+}
+
+func TestPredictionSetsCumulative(t *testing.T) {
+	if !SwapPredictAddSub.Predicted(isa.IADD) || SwapPredictAddSub.Predicted(isa.IMUL) {
+		t.Error("AddSub set")
+	}
+	if !SwapPredictMAD.Predicted(isa.IMAD) || SwapPredictMAD.Predicted(isa.AND) {
+		t.Error("MAD set")
+	}
+	if !SwapPredictOtherFxP.Predicted(isa.SHL) || SwapPredictOtherFxP.Predicted(isa.FADD) {
+		t.Error("OtherFxP set")
+	}
+	if !SwapPredictFpAddSub.Predicted(isa.FADD) || SwapPredictFpAddSub.Predicted(isa.FFMA) {
+		t.Error("FpAddSub set")
+	}
+	if !SwapPredictFpMAD.Predicted(isa.DFMA) {
+		t.Error("FpMAD set")
+	}
+	if SwapECC.Predicted(isa.IADD) || Baseline.Predicted(isa.IADD) {
+		t.Error("non-predicting schemes")
+	}
+	if SwapPredictFpMAD.Predicted(isa.MUFU) {
+		t.Error("MUFU must never be predicted")
+	}
+}
+
+func TestSWDupStructure(t *testing.T) {
+	k := testKernel(t)
+	d, err := Apply(k, SWDup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every eligible instruction appears twice; shadows write the shadow
+	// space (registers above the original maximum).
+	origMax := isa.Reg(k.MaxReg())
+	nElig := 0
+	for _, in := range k.Code {
+		if in.Op.DupEligible() {
+			nElig++
+		}
+	}
+	cats := dynCategories(d)
+	if cats[isa.CatDuplicated] < 2*nElig {
+		t.Errorf("duplicated count %d, want >= %d", cats[isa.CatDuplicated], 2*nElig)
+	}
+	if cats[isa.CatChecking] == 0 {
+		t.Error("no checking instructions emitted")
+	}
+	sawShadowSpace := false
+	for _, in := range d.Code {
+		if in.Cat == isa.CatDuplicated && in.WritesReg() && in.Dst > origMax && in.Dst != isa.RZ {
+			sawShadowSpace = true
+		}
+	}
+	if !sawShadowSpace {
+		t.Error("no shadow-space writes")
+	}
+	// Register usage roughly doubles.
+	if d.NumRegs < k.NumRegs+3 {
+		t.Errorf("SW-Dup NumRegs %d vs base %d: shadow space missing", d.NumRegs, k.NumRegs)
+	}
+	// A BPT trap terminates the checking paths.
+	if d.Code[len(d.Code)-1].Op != isa.BPT {
+		t.Error("missing trap block")
+	}
+}
+
+func TestSWDupChecksStoreSources(t *testing.T) {
+	k := testKernel(t)
+	d := MustApply(k, SWDup)
+	// Find the STG; the instructions before it must include checks (ISETP
+	// with the reserved predicate).
+	for pc, in := range d.Code {
+		if in.Op == isa.STG {
+			sawCheck := false
+			for i := pc - 1; i >= 0 && i > pc-8; i-- {
+				if d.Code[i].Op == isa.ISETP && d.Code[i].DstPred == predCheck {
+					sawCheck = true
+				}
+			}
+			if !sawCheck {
+				t.Error("store without preceding checks")
+			}
+		}
+	}
+}
+
+func TestSwapECCStructure(t *testing.T) {
+	k := testKernel(t)
+	d := MustApply(k, SwapECC)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cats := dynCategories(d)
+	if cats[isa.CatChecking] != 0 {
+		t.Error("Swap-ECC must not emit checking code")
+	}
+	// Moves are propagated, not duplicated.
+	if cats[isa.CatPredicted] == 0 {
+		t.Error("no propagated moves")
+	}
+	// Shadows share the destination register and carry the flag.
+	for pc, in := range d.Code {
+		if in.Flags&isa.FlagShadow != 0 {
+			prev := d.Code[pc-1]
+			if prev.Dst != in.Dst || prev.Op != in.Op {
+				t.Errorf("pc %d: shadow not paired with its original", pc)
+			}
+			// Shared-register duplication forbids accumulation.
+			for si, s := range in.Src {
+				if si == 1 && in.HasImm {
+					continue
+				}
+				if s == in.Dst && s != isa.RZ {
+					t.Errorf("pc %d: shadow accumulates through %v", pc, s)
+				}
+			}
+		}
+	}
+	// No shadow register space: register growth is at most the renaming
+	// temp pair.
+	if d.NumRegs > k.NumRegs+3 {
+		t.Errorf("Swap-ECC register growth %d -> %d", k.NumRegs, d.NumRegs)
+	}
+	// Accumulation was broken up via compiler-inserted moves.
+	if cats[isa.CatCompilerInserted] == 0 {
+		t.Error("accumulating IADD not renamed")
+	}
+}
+
+func TestSwapPredictSkipsPredictedOps(t *testing.T) {
+	k := testKernel(t)
+	d := MustApply(k, SwapPredictAddSub)
+	for pc, in := range d.Code {
+		if in.Op == isa.IADD && in.Flags&isa.FlagShadow != 0 {
+			t.Errorf("pc %d: predicted IADD still has a shadow", pc)
+		}
+		_ = pc
+	}
+	cats := dynCategories(d)
+	catsECC := dynCategories(MustApply(k, SwapECC))
+	if cats[isa.CatPredicted] <= catsECC[isa.CatPredicted] {
+		t.Error("prediction did not reduce duplication")
+	}
+	if len(d.Code) >= len(MustApply(k, SwapECC).Code) {
+		t.Error("Pre AddSub should emit less code than Swap-ECC here")
+	}
+}
+
+func TestInterThreadTransform(t *testing.T) {
+	k := testKernel(t)
+	d, err := Apply(k, InterThread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.CTAThreads != 2*k.CTAThreads {
+		t.Errorf("CTA threads %d, want doubled", d.CTAThreads)
+	}
+	// Tid reads must be halved; stores guarded and checked via shuffles.
+	sawShr, sawShfl, sawGuardedStore := false, false, false
+	for _, in := range d.Code {
+		if in.Op == isa.SHR && in.Cat == isa.CatCompilerInserted {
+			sawShr = true
+		}
+		if in.Op == isa.SHFL && in.Cat == isa.CatChecking {
+			sawShfl = true
+		}
+		if in.Op == isa.STG && in.GuardPred == predLane && in.GuardNeg {
+			sawGuardedStore = true
+		}
+	}
+	if !sawShr || !sawShfl || !sawGuardedStore {
+		t.Errorf("transform incomplete: shr=%v shfl=%v guarded=%v", sawShr, sawShfl, sawGuardedStore)
+	}
+	// The no-check variant drops the shuffles but keeps the guard.
+	nc := MustApply(k, InterThreadNoCheck)
+	for _, in := range nc.Code {
+		if in.Op == isa.SHFL {
+			t.Error("no-check variant still shuffles")
+		}
+	}
+}
+
+func TestInterThreadFailsOnOversizedCTA(t *testing.T) {
+	a := NewAsm("big")
+	a.Exit()
+	k := a.MustBuild(1, 1024, 0)
+	if _, err := Apply(k, InterThread); err == nil {
+		t.Error("1024-thread CTA doubled without error")
+	}
+}
+
+func TestInterThreadFailsOnShuffleKernels(t *testing.T) {
+	a := NewAsm("shfl")
+	a.Shfl(0, 1, 1)
+	a.Exit()
+	k := a.MustBuild(1, 32, 0)
+	if _, err := Apply(k, InterThread); err == nil {
+		t.Error("shuffle kernel accepted")
+	}
+}
+
+func TestReservedPredicateRejected(t *testing.T) {
+	a := NewAsm("badpred")
+	a.ISetpI(isa.CmpEQ, 6, 0, 0)
+	a.Exit()
+	k := a.MustBuild(1, 32, 0)
+	if _, err := Apply(k, SWDup); err == nil {
+		t.Error("reserved predicate accepted")
+	}
+}
+
+func TestBranchRetargeting(t *testing.T) {
+	// After insertion, branches must point at the transformed group starts.
+	k := testKernel(t)
+	for _, s := range []Scheme{SWDup, SwapECC, SwapPredictMAD, InterThread} {
+		d, err := Apply(k, s)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		// The loop back-edge must target an IADD (the accumulation group
+		// start) wherever it landed — specifically, an instruction whose
+		// group corresponds to the original loop head.
+		found := false
+		for _, in := range d.Code {
+			if in.Op == isa.BRA && in.GuardPred == 0 && int(in.Imm) < len(d.Code) {
+				found = true
+				if tgt := d.Code[in.Imm]; tgt.Op != isa.IADD {
+					t.Errorf("%v: loop branch targets %v", s, tgt.Op)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%v: loop branch lost", s)
+		}
+	}
+}
+
+func TestBaselineStamping(t *testing.T) {
+	k := testKernel(t)
+	d := MustApply(k, Baseline)
+	if len(d.Code) != len(k.Code) {
+		t.Error("baseline changed code")
+	}
+	cats := dynCategories(d)
+	if cats[isa.CatDuplicated] == 0 || cats[isa.CatNotEligible] == 0 {
+		t.Errorf("baseline categories: %v", cats)
+	}
+}
+
+func TestAsmErrors(t *testing.T) {
+	a := NewAsm("undef")
+	a.Bra("nowhere")
+	a.Exit()
+	if _, err := a.Build(1, 32, 0); err == nil {
+		t.Error("undefined label accepted")
+	}
+	b := NewAsm("dup")
+	b.Label("x")
+	b.Label("x")
+	b.Exit()
+	if _, err := b.Build(1, 32, 0); err == nil {
+		t.Error("duplicate label accepted")
+	}
+}

@@ -1,0 +1,229 @@
+package compiler
+
+// A latency-aware basic-block list scheduler — the "Swap-ECC-aware
+// scheduling" row of Table II. Because the pipeline has no bypass network
+// and no hardware scheduler, the backend compiler is responsible for
+// separating producers from consumers; the pass reorders instructions
+// within each basic block by critical-path priority while preserving:
+//
+//   - register data dependences (RAW, WAW, WAR — including 64-bit pairs),
+//   - predicate dependences (SETP writes vs. guard reads),
+//   - memory order (loads never cross stores/atomics and vice versa;
+//     stores/atomics stay ordered among themselves),
+//   - control structure (branches, traps, EXIT, and barriers terminate
+//     blocks and never move).
+//
+// The Swap-ECC-specific correctness obligations come for free from the
+// generic rules: a shadow instruction carries a WAW dependence on its
+// original (same destination register), so the pair's write order is
+// preserved, and any consumer has RAW dependences on that destination and
+// therefore issues after both halves — the write-after-write contract of
+// Section III-A.
+
+import (
+	"sort"
+
+	"swapcodes/internal/isa"
+)
+
+// schedLatency estimates producer-to-consumer latency per class for
+// prioritization (a compiler-side model of sm.DefaultConfig).
+func schedLatency(op isa.Opcode) int {
+	switch op.Class() {
+	case isa.ClassMemGlobal:
+		return 140
+	case isa.ClassMemShared:
+		return 24
+	case isa.ClassSFU:
+		return 12
+	case isa.ClassFP64:
+		return 8
+	case isa.ClassMove:
+		return 4
+	case isa.ClassControl:
+		return 1
+	default:
+		return 6
+	}
+}
+
+// Schedule list-schedules every basic block of a kernel and returns the
+// rescheduled kernel. Block boundaries (and therefore all branch targets
+// and reconvergence points) keep their absolute PCs, so no retargeting is
+// needed.
+func Schedule(k *isa.Kernel) *isa.Kernel {
+	out := cloneKernel(k)
+	leaders := make([]bool, len(k.Code)+1)
+	leaders[0] = true
+	terminator := func(op isa.Opcode) bool {
+		switch op {
+		case isa.BRA, isa.EXIT, isa.BPT, isa.BAR:
+			return true
+		}
+		return false
+	}
+	for pc, in := range k.Code {
+		if in.Op == isa.BRA {
+			leaders[in.Imm] = true
+		}
+		if terminator(in.Op) && pc+1 <= len(k.Code) {
+			leaders[pc+1] = true
+		}
+	}
+	start := 0
+	for pc := 1; pc <= len(k.Code); pc++ {
+		if pc == len(k.Code) || leaders[pc] {
+			end := pc
+			// Keep a trailing terminator fixed.
+			if end > start && terminator(out.Code[end-1].Op) {
+				end--
+			}
+			scheduleBlock(out.Code[start:end])
+			start = pc
+		}
+	}
+	return out
+}
+
+// regsRead lists the registers an instruction reads (with pairs expanded).
+func regsRead(in *isa.Instr) []isa.Reg {
+	return sourceRegs(in)
+}
+
+// regsWritten lists the registers an instruction writes.
+func regsWritten(in *isa.Instr) []isa.Reg {
+	if !in.WritesReg() {
+		return nil
+	}
+	if in.Is64Dst() {
+		return []isa.Reg{in.Dst, in.Dst + 1}
+	}
+	return []isa.Reg{in.Dst}
+}
+
+func isMemRead(op isa.Opcode) bool  { return op == isa.LDG || op == isa.LDS }
+func isMemWrite(op isa.Opcode) bool { return op == isa.STG || op == isa.STS || op == isa.ATOM }
+
+// scheduleBlock reorders code in place.
+func scheduleBlock(code []isa.Instr) {
+	n := len(code)
+	if n < 3 {
+		return
+	}
+	succ := make([][]int, n)
+	npred := make([]int, n)
+	addEdge := func(from, to int) {
+		if from == to {
+			return
+		}
+		succ[from] = append(succ[from], to)
+		npred[to]++
+	}
+
+	lastWrite := map[isa.Reg]int{}
+	readersSince := map[isa.Reg][]int{}
+	lastPredWrite := map[int8]int{}
+	predReadersSince := map[int8][]int{}
+	lastStore := -1
+	loadsSince := []int{}
+
+	for i := range code {
+		in := &code[i]
+		for _, r := range regsRead(in) {
+			if w, ok := lastWrite[r]; ok {
+				addEdge(w, i) // RAW
+			}
+			readersSince[r] = append(readersSince[r], i)
+		}
+		if in.GuardPred >= 0 && in.GuardPred < isa.PT {
+			if w, ok := lastPredWrite[in.GuardPred]; ok {
+				addEdge(w, i)
+			}
+			predReadersSince[in.GuardPred] = append(predReadersSince[in.GuardPred], i)
+		}
+		for _, r := range regsWritten(in) {
+			if w, ok := lastWrite[r]; ok {
+				addEdge(w, i) // WAW
+			}
+			for _, rd := range readersSince[r] {
+				addEdge(rd, i) // WAR
+			}
+			lastWrite[r] = i
+			readersSince[r] = nil
+		}
+		if (in.Op == isa.ISETP || in.Op == isa.FSETP) && in.DstPred >= 0 && in.DstPred < isa.PT {
+			if w, ok := lastPredWrite[in.DstPred]; ok {
+				addEdge(w, i)
+			}
+			for _, rd := range predReadersSince[in.DstPred] {
+				addEdge(rd, i)
+			}
+			lastPredWrite[in.DstPred] = i
+			predReadersSince[in.DstPred] = nil
+		}
+		switch {
+		case isMemWrite(in.Op):
+			if lastStore >= 0 {
+				addEdge(lastStore, i)
+			}
+			for _, l := range loadsSince {
+				addEdge(l, i)
+			}
+			lastStore = i
+			loadsSince = nil
+		case isMemRead(in.Op):
+			if lastStore >= 0 {
+				addEdge(lastStore, i)
+			}
+			loadsSince = append(loadsSince, i)
+		}
+	}
+
+	// Critical-path priority (longest latency-weighted path to any sink).
+	prio := make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		best := 0
+		for _, s := range succ[i] {
+			if prio[s] > best {
+				best = prio[s]
+			}
+		}
+		prio[i] = best + schedLatency(code[i].Op)
+	}
+
+	// List scheduling: repeatedly emit the ready instruction with the
+	// highest priority (ties: earliest original position, for stability).
+	ready := []int{}
+	for i := 0; i < n; i++ {
+		if npred[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(ready) > 0 {
+		sort.Slice(ready, func(a, b int) bool {
+			if prio[ready[a]] != prio[ready[b]] {
+				return prio[ready[a]] > prio[ready[b]]
+			}
+			return ready[a] < ready[b]
+		})
+		pick := ready[0]
+		ready = ready[1:]
+		order = append(order, pick)
+		for _, s := range succ[pick] {
+			npred[s]--
+			if npred[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	if len(order) != n {
+		// A cycle would be a dependence-analysis bug; leave the block as-is.
+		return
+	}
+	scheduled := make([]isa.Instr, n)
+	for pos, idx := range order {
+		scheduled[pos] = code[idx]
+	}
+	copy(code, scheduled)
+}

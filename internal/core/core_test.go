@@ -1,0 +1,205 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"swapcodes/internal/ecc"
+)
+
+func allOrgs() []Organization {
+	return []Organization{OrgSECDEDDP, OrgSECDP, OrgTED, OrgParity,
+		OrgMod3, OrgMod7, OrgMod15, OrgMod31, OrgMod63, OrgMod127}
+}
+
+func TestOrganizationNamesAndCodes(t *testing.T) {
+	want := map[Organization]string{
+		OrgSECDEDDP: "SEC-DED-DP", OrgSECDP: "SEC-DP", OrgTED: "TED",
+		OrgParity: "Parity", OrgMod3: "Mod-3", OrgMod127: "Mod-127",
+	}
+	for org, name := range want {
+		if org.String() != name {
+			t.Errorf("%d: %q != %q", org, org.String(), name)
+		}
+		if org.NewCode() == nil {
+			t.Errorf("%v: nil code", org)
+		}
+	}
+}
+
+func TestCleanWriteReadRoundTrip(t *testing.T) {
+	for _, org := range allOrgs() {
+		rf := NewRegFile(org, 8, 32)
+		rng := rand.New(rand.NewSource(int64(org)))
+		for i := 0; i < 100; i++ {
+			reg, lane := rng.Intn(8), rng.Intn(32)
+			v := rng.Uint32()
+			rf.WriteFull(reg, lane, v)
+			rf.WriteShadow(reg, lane, v) // error-free shadow
+			got, out := rf.Read(reg, lane)
+			if got != v || out != ReadOK {
+				t.Fatalf("%v: read %#x/%v, want %#x/OK", org, got, out, v)
+			}
+		}
+	}
+}
+
+// TestSwapDetectsOriginalError: pipeline error in the ORIGINAL instruction
+// writes a consistent-but-wrong codeword; the shadow's ECC-only write then
+// exposes it on the next read.
+func TestSwapDetectsOriginalError(t *testing.T) {
+	for _, org := range allOrgs() {
+		rf := NewRegFile(org, 2, 32)
+		trueVal := uint32(0x1234_5678)
+		corrupt := trueVal ^ (1 << 9) // single-bit datapath error
+		rf.WriteFull(0, 0, corrupt)   // original writes its own wrong ECC
+		rf.WriteShadow(0, 0, trueVal) // shadow swaps in the good check bits
+		_, out := rf.Read(0, 0)
+		if out != ReadDUEPipeline {
+			t.Errorf("%v: original-error read outcome %v, want pipeline DUE", org, out)
+		}
+	}
+}
+
+// TestSwapDetectsShadowError: the shadow is hit instead; data is fine but
+// the check bits disagree — detected, and crucially NOT miscorrected by the
+// DP organizations.
+func TestSwapDetectsShadowError(t *testing.T) {
+	for _, org := range allOrgs() {
+		rf := NewRegFile(org, 2, 32)
+		trueVal := uint32(0xdead_beef)
+		rf.WriteFull(0, 3, trueVal)
+		rf.WriteShadow(0, 3, trueVal^(1<<20))
+		got, out := rf.Read(0, 3)
+		if got != trueVal {
+			t.Errorf("%v: shadow error corrupted data: %#x", org, got)
+		}
+		if out != ReadDUEPipeline {
+			t.Errorf("%v: shadow-error outcome %v, want pipeline DUE", org, out)
+		}
+	}
+}
+
+// TestStorageCorrectionRetained: the correcting organizations still repair
+// single-bit storage errors in the data.
+func TestStorageCorrectionRetained(t *testing.T) {
+	for _, org := range []Organization{OrgSECDEDDP, OrgSECDP} {
+		rf := NewRegFile(org, 2, 32)
+		trueVal := uint32(0x0bad_cafe)
+		rf.WriteFull(1, 7, trueVal)
+		rf.WriteShadow(1, 7, trueVal)
+		rf.InjectStorageError(1, 7, 1<<15, 0, false)
+		got, out := rf.Read(1, 7)
+		if out != ReadCorrectedStorage || got != trueVal {
+			t.Errorf("%v: storage error: got %#x/%v, want corrected", org, got, out)
+		}
+		// The scrub wrote the corrected word back: a second read is clean.
+		got, out = rf.Read(1, 7)
+		if out != ReadOK || got != trueVal {
+			t.Errorf("%v: post-scrub read %v", org, out)
+		}
+	}
+}
+
+func TestDetectionOnlyOrgsFlagStorageErrors(t *testing.T) {
+	rf := NewRegFile(OrgTED, 1, 32)
+	rf.WriteFull(0, 0, 42)
+	rf.WriteShadow(0, 0, 42)
+	rf.InjectStorageError(0, 0, 1<<3, 0, false)
+	_, out := rf.Read(0, 0)
+	if out == ReadOK {
+		t.Error("TED missed a storage error")
+	}
+}
+
+func TestPredictedWrite(t *testing.T) {
+	for _, org := range allOrgs() {
+		rf := NewRegFile(org, 1, 32)
+		trueVal := uint32(0x7777_1111)
+		// Error-free predicted write-back.
+		rf.WritePredicted(0, 0, trueVal, rf.PredictCheck(trueVal))
+		if got, out := rf.Read(0, 0); out != ReadOK || got != trueVal {
+			t.Fatalf("%v: clean predicted write: %v", org, out)
+		}
+		// Datapath error with an (independent) correct prediction.
+		rf.WritePredicted(0, 1, trueVal^4, rf.PredictCheck(trueVal))
+		if _, out := rf.Read(0, 1); out != ReadDUEPipeline {
+			t.Errorf("%v: predicted-path error outcome %v", org, out)
+		}
+	}
+}
+
+func TestMovePropagationCarriesInconsistency(t *testing.T) {
+	rf := NewRegFile(OrgSECDEDDP, 4, 32)
+	v := uint32(0x5555_aaaa)
+	rf.WriteFull(0, 0, v)
+	rf.WriteShadow(0, 0, v^2) // pending pipeline error on R0
+	rf.PropagateMove(1, 0, 0) // MOV R1, R0 carries the whole word
+	_, out := rf.Read(1, 0)
+	if out != ReadDUEPipeline {
+		t.Errorf("propagated move lost the detection: %v", out)
+	}
+}
+
+func TestDPBitStorageErrorRepaired(t *testing.T) {
+	rf := NewRegFile(OrgSECDEDDP, 1, 32)
+	rf.WriteFull(0, 0, 99)
+	rf.WriteShadow(0, 0, 99)
+	rf.InjectStorageError(0, 0, 0, 0, true)
+	got, out := rf.Read(0, 0)
+	if out != ReadCorrectedStorage || got != 99 {
+		t.Errorf("dp-bit error: %v", out)
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	for _, oc := range []Outcome{ReadOK, ReadCorrectedStorage, ReadDUEPipeline, ReadDUEStorage} {
+		if oc.String() == "" {
+			t.Error("unnamed outcome")
+		}
+	}
+}
+
+// TestExhaustiveSingleBitPipelineCoverage mirrors the paper's guarantee for
+// the SEC-DED organization: every 1-3 bit error pattern on either side of
+// the swap is detected.
+func TestExhaustiveSingleBitPipelineCoverage(t *testing.T) {
+	rf := NewRegFile(OrgSECDEDDP, 1, 32)
+	trueVal := uint32(0x2468_ace0)
+	for bit := 0; bit < 32; bit++ {
+		rf.WriteFull(0, 0, trueVal^(1<<uint(bit)))
+		rf.WriteShadow(0, 0, trueVal)
+		if _, out := rf.Read(0, 0); out != ReadDUEPipeline {
+			t.Fatalf("original-side bit %d missed: %v", bit, out)
+		}
+		rf.WriteFull(0, 0, trueVal)
+		rf.WriteShadow(0, 0, trueVal^(1<<uint(bit)))
+		if _, out := rf.Read(0, 0); out != ReadDUEPipeline {
+			t.Fatalf("shadow-side bit %d missed: %v", bit, out)
+		}
+	}
+}
+
+var _ = ecc.OK // keep the ecc import for documentation cross-reference
+
+// TestDebugabilityWindow pins the Section III-A design point: because the
+// ORIGINAL instruction writes a complete, self-consistent codeword (data +
+// its own ECC + parity), an interrupt (e.g. assembly-mode cuda-gdb) that
+// reads the register between the original and shadow writes sees a valid
+// word — no false-positive DUE — even though the swap has not happened yet.
+func TestDebugabilityWindow(t *testing.T) {
+	for _, org := range allOrgs() {
+		rf := NewRegFile(org, 1, 32)
+		v := uint32(0x0F0F_55AA)
+		rf.WriteFull(0, 0, v) // original write-back only; shadow not yet issued
+		got, out := rf.Read(0, 0)
+		if got != v || out != ReadOK {
+			t.Errorf("%v: mid-pair read got %#x/%v, want clean", org, got, out)
+		}
+		// After the shadow lands the word stays clean.
+		rf.WriteShadow(0, 0, v)
+		if _, out := rf.Read(0, 0); out != ReadOK {
+			t.Errorf("%v: post-shadow read %v", org, out)
+		}
+	}
+}

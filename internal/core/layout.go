@@ -1,0 +1,60 @@
+package core
+
+// This file implements the Figure 7 codeword layout. GPU vector register
+// files store many codewords per physical SRAM row; by interleaving them —
+// bit i of every codeword before bit i+1 of any codeword, and all check
+// segments physically after all data segments — a spatially-local multi-bit
+// upset (a burst across adjacent columns) can never touch two bits of the
+// same codeword, let alone a data bit AND a check bit of one codeword. This
+// is what lets SEC-DP close its double-bit storage hole without extra
+// redundancy (Section III-B).
+
+// Layout maps (codeword, bit) to physical SRAM columns for a row holding
+// Codewords interleaved ECC words.
+type Layout struct {
+	// Codewords per physical row (e.g. 32 threads' copies of one register).
+	Codewords int
+	// DataBits and CheckBits per codeword.
+	DataBits  int
+	CheckBits int
+}
+
+// NewSECDPLayout returns the Figure 7 layout for SEC-DP words (32+7) across
+// the given number of codewords per row.
+func NewSECDPLayout(codewords int) Layout {
+	return Layout{Codewords: codewords, DataBits: 32, CheckBits: 7}
+}
+
+// RowBits is the physical row width.
+func (l Layout) RowBits() int { return l.Codewords * (l.DataBits + l.CheckBits) }
+
+// DataColumn returns the physical column of data bit `bit` of codeword w.
+func (l Layout) DataColumn(w, bit int) int { return bit*l.Codewords + w }
+
+// CheckColumn returns the physical column of check bit `bit` of codeword w.
+func (l Layout) CheckColumn(w, bit int) int {
+	return l.DataBits*l.Codewords + bit*l.Codewords + w
+}
+
+// Owner resolves a physical column back to (codeword, bit, isData).
+func (l Layout) Owner(col int) (w, bit int, isData bool) {
+	if col < l.DataBits*l.Codewords {
+		return col % l.Codewords, col / l.Codewords, true
+	}
+	col -= l.DataBits * l.Codewords
+	return col % l.Codewords, col / l.Codewords, false
+}
+
+// MinIntraWordSeparation returns the smallest physical distance between any
+// two bits of the same codeword — the burst length the layout is immune to
+// is one less than this.
+func (l Layout) MinIntraWordSeparation() int {
+	return l.Codewords
+}
+
+// BurstSafe reports whether every burst of the given length (contiguous
+// column upset) touches at most one bit of any codeword, making it
+// correctable by SEC and invisible to the SEC-DP miscorrection hazard.
+func (l Layout) BurstSafe(burst int) bool {
+	return burst <= l.MinIntraWordSeparation()
+}

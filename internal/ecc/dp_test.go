@@ -1,0 +1,188 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func dpCodes() []*DPCode { return []*DPCode{NewSECDEDDP(), NewSECDP()} }
+
+func TestDPCleanWord(t *testing.T) {
+	for _, c := range dpCodes() {
+		f := func(data uint32) bool {
+			w := DPWord{Data: data, Check: c.EncodeCheck(data), DP: DataParity(data)}
+			out := c.Report(w)
+			return out.Result == OK && out.Class == NoError && out.Data == data
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+// TestDPNeverMiscorrectsPipelineErrors is the central Section III-B claim:
+// for ANY error pattern in the shadow instruction's result (which manifests
+// as corrupted check bits while the data and its parity bit stay intact),
+// the reporting algorithm never modifies the data. Single-bit shadow errors
+// that plain SEC-DED would miscorrect become DUEs.
+func TestDPNeverMiscorrectsPipelineErrors(t *testing.T) {
+	for _, c := range dpCodes() {
+		rng := rand.New(rand.NewSource(7))
+		nCheck := uint(c.Base().CheckBits())
+		for trial := 0; trial < 200; trial++ {
+			data := rng.Uint32()
+			good := c.EncodeCheck(data)
+			// Shadow pipeline error: shadow computed data^e, so the stored
+			// check bits are Encode(data^e) for a random nonzero e.
+			e := rng.Uint32()
+			if e == 0 {
+				e = 1
+			}
+			bad := c.EncodeCheck(data ^ e)
+			w := DPWord{Data: data, Check: bad, DP: DataParity(data)}
+			out := c.Report(w)
+			if out.Data != data {
+				t.Fatalf("%s: pipeline error e=%#x modified data %#x -> %#x", c.Name(), e, data, out.Data)
+			}
+			if bad != good && out.Result == CorrectedData {
+				t.Fatalf("%s: pipeline error reported as data correction", c.Name())
+			}
+			_ = nCheck
+		}
+	}
+}
+
+// TestDPSingleBitShadowErrorIsDUE covers the specific miscorrection hazard:
+// a single-bit upset in the shadow datapath output whose encoded check bits
+// steer the base decoder toward a data-bit flip must surface as a DUE and be
+// classified as a pipeline error.
+func TestDPSingleBitShadowErrorIsDUE(t *testing.T) {
+	for _, c := range dpCodes() {
+		rng := rand.New(rand.NewSource(8))
+		sawDUE := false
+		for trial := 0; trial < 64; trial++ {
+			data := rng.Uint32()
+			bit := uint(rng.Intn(32))
+			bad := c.EncodeCheck(data ^ (1 << bit)) // shadow result off by one bit
+			w := DPWord{Data: data, Check: bad, DP: DataParity(data)}
+			out := c.Report(w)
+			if out.Data != data {
+				t.Fatalf("%s: single-bit shadow error corrupted data", c.Name())
+			}
+			if out.Result == DUE {
+				if out.Class != PipelineError {
+					t.Fatalf("%s: DUE classified as %v, want pipeline", c.Name(), out.Class)
+				}
+				sawDUE = true
+			}
+		}
+		if !sawDUE {
+			t.Errorf("%s: no single-bit shadow error raised a DUE; the guard is not engaged", c.Name())
+		}
+	}
+}
+
+// TestDPCorrectsSingleBitStorageErrors verifies the other half of the
+// Figure 5 contract: storage correction capability is retained. A data-bit
+// upset at rest flips the data-parity relationship, so correction proceeds.
+func TestDPCorrectsSingleBitStorageErrors(t *testing.T) {
+	for _, c := range dpCodes() {
+		rng := rand.New(rand.NewSource(9))
+		for trial := 0; trial < 100; trial++ {
+			data := rng.Uint32()
+			check := c.EncodeCheck(data)
+			bit := uint(rng.Intn(32))
+			w := DPWord{Data: data ^ (1 << bit), Check: check, DP: DataParity(data)}
+			out := c.Report(w)
+			if out.Result != CorrectedData || out.Data != data || out.Class != StorageError {
+				t.Fatalf("%s: storage data error bit %d: res=%v class=%v data=%#x want %#x",
+					c.Name(), bit, out.Result, out.Class, out.Data, data)
+			}
+		}
+	}
+}
+
+func TestDPCorrectsCheckBitStorageErrors(t *testing.T) {
+	for _, c := range dpCodes() {
+		data := uint32(0xcafef00d)
+		check := c.EncodeCheck(data)
+		for bit := 0; bit < c.Base().CheckBits(); bit++ {
+			w := DPWord{Data: data, Check: check ^ (1 << uint(bit)), DP: DataParity(data)}
+			out := c.Report(w)
+			if out.Data != data {
+				t.Fatalf("%s: check-bit storage error corrupted data", c.Name())
+			}
+			// SEC-DED resolves these as CorrectedCheck. The narrower SEC
+			// code may alias a check-bit flip onto a data column, where the
+			// DP guard converts it to a DUE: still safe, never silent.
+			if out.Result != CorrectedCheck && out.Result != DUE {
+				t.Fatalf("%s: check-bit storage error res=%v", c.Name(), out.Result)
+			}
+		}
+	}
+}
+
+func TestDPDataParityBitStorageError(t *testing.T) {
+	for _, c := range dpCodes() {
+		data := uint32(0x1234abcd)
+		w := DPWord{Data: data, Check: c.EncodeCheck(data), DP: DataParity(data) ^ 1}
+		out := c.Report(w)
+		if out.Data != data || out.Result != CorrectedCheck || out.Class != StorageError {
+			t.Fatalf("%s: dp-bit error res=%v class=%v", c.Name(), out.Result, out.Class)
+		}
+	}
+}
+
+func TestDPDetectsInterface(t *testing.T) {
+	for _, c := range dpCodes() {
+		var code Code = c
+		data := uint32(42)
+		full := code.Encode(data)
+		if code.Detects(data, full) {
+			t.Fatalf("%s: clean word flagged", c.Name())
+		}
+		if !code.Detects(data^4, full) {
+			t.Fatalf("%s: corrupted word not flagged", c.Name())
+		}
+	}
+}
+
+func TestDPDecodeMatchesReport(t *testing.T) {
+	for _, c := range dpCodes() {
+		f := func(data uint32, flip uint8) bool {
+			check := c.Encode(data)
+			d := data
+			if flip%3 == 1 {
+				d ^= 1 << (flip % 32)
+			} else if flip%3 == 2 {
+				check ^= 1 << (uint(flip) % uint(c.CheckBits()))
+			}
+			gotData, gotRes := c.Decode(d, check)
+			base, dp := check&checkMask(c.Base().CheckBits()), (check>>uint(c.Base().CheckBits()))&1
+			out := c.Report(DPWord{Data: d, Check: base, DP: dp})
+			return gotData == out.Data && gotRes == out.Result
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+func TestDPCheckBitsWidths(t *testing.T) {
+	if got := NewSECDEDDP().CheckBits(); got != 8 {
+		t.Errorf("SEC-DED-DP check bits = %d, want 8", got)
+	}
+	if got := NewSECDP().CheckBits(); got != 7 {
+		t.Errorf("SEC-DP check bits = %d, want 7 (fits SEC-DED redundancy)", got)
+	}
+}
+
+func TestErrorClassString(t *testing.T) {
+	cases := map[ErrorClass]string{NoError: "none", StorageError: "storage", PipelineError: "pipeline", UnknownError: "unknown"}
+	for c, want := range cases {
+		if c.String() != want {
+			t.Errorf("%v", c)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Package ecc implements the systematic error detecting and correcting codes
+// used by SwapCodes: even parity, Hamming SEC, Hsiao SEC-DED (with its
+// detection-only TED reading), the SEC-DED-DP and SEC-DP data-parity
+// constructions, and the family of low-cost residue codes with moduli of the
+// form 2^a-1, including the residue arithmetic and mixed-operand-width
+// multiply-add prediction the paper develops in Section III-C.
+//
+// All codes protect 32-bit register words. A data word plus its check bits is
+// an ECC word; a word whose check bits are consistent with its data is a
+// codeword. Under SwapCodes the register file pairs the data produced by the
+// original instruction with the check bits produced by its shadow, so a
+// single pipeline error corrupts the data or the check bits, never both, and
+// the ordinary storage decoder doubles as a pipeline-error detector.
+package ecc
+
+import "fmt"
+
+// Code is a systematic error code over 32-bit data words. Check bits are
+// carried in the low bits of a uint32 (CheckBits() wide).
+type Code interface {
+	// Name identifies the code in reports, e.g. "SEC-DED(39,32)" or "Mod-7".
+	Name() string
+	// CheckBits is the number of redundant bits per 32-bit word.
+	CheckBits() int
+	// Encode computes the check bits for a data word.
+	Encode(data uint32) uint32
+	// Detects reports whether the decoder flags the pair (data, check) as a
+	// non-codeword. Under the swap invariant an undetected pipeline error is
+	// exactly a corrupted data word whose check bits (computed from the
+	// error-free shadow result) still match.
+	Detects(data, check uint32) bool
+}
+
+// Corrector is implemented by codes that can also correct storage errors.
+type Corrector interface {
+	Code
+	// Decode inspects an ECC word and classifies it, returning the
+	// (possibly corrected) data.
+	Decode(data, check uint32) (uint32, Result)
+}
+
+// Result classifies the outcome of decoding an ECC word.
+type Result int
+
+const (
+	// OK means the word was a codeword; no error observed.
+	OK Result = iota
+	// CorrectedData means a single-bit error in the data segment was
+	// repaired.
+	CorrectedData
+	// CorrectedCheck means a single-bit error in the check bits was
+	// repaired; the data was already correct.
+	CorrectedCheck
+	// DUE is a detected-yet-uncorrectable error.
+	DUE
+)
+
+// String implements fmt.Stringer.
+func (r Result) String() string {
+	switch r {
+	case OK:
+		return "OK"
+	case CorrectedData:
+		return "CorrectedData"
+	case CorrectedCheck:
+		return "CorrectedCheck"
+	case DUE:
+		return "DUE"
+	}
+	return fmt.Sprintf("Result(%d)", int(r))
+}
+
+// checkMask returns a mask covering n check bits.
+func checkMask(n int) uint32 { return (1 << uint(n)) - 1 }
+
+// parity32 returns the XOR-fold (even parity) of a 32-bit word.
+func parity32(x uint32) uint32 {
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return x & 1
+}
+
+// popcount is a small helper used by the matrix constructions; it is kept
+// local so the package depends only on the standard library's math/bits at
+// the call sites that need performance.
+func popcount(x uint32) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,149 @@
+package ecc
+
+// Hsiao implements the Hsiao single-error-correcting, double-error-detecting
+// (SEC-DED) code over 32-bit words with 7 check bits — the (39,32) code that
+// compute-class GPUs conventionally apply to the register file. Every column
+// of the parity-check matrix has odd weight: the 32 data columns are distinct
+// weight-3 vectors chosen to balance the row weights (minimizing the widest
+// XOR tree, per Hsiao 1970), and the 7 check columns are the identity.
+//
+// The minimum weight of a data-only error pattern that evades detection is 4,
+// which is what gives SwapCodes its triple-bit pipeline error detection with
+// this code (paper Section IV-B).
+type Hsiao struct {
+	cols [32]uint32 // column of H for each data bit
+	// colIndex maps a syndrome value to the data bit it identifies, or -1.
+	colIndex [128]int8
+	// tables fold one data byte each, making Encode four lookups.
+	tables [4][256]uint32
+}
+
+// NewHsiao constructs the (39,32) Hsiao SEC-DED code. The construction is
+// deterministic: weight-3 columns are selected greedily to keep the seven row
+// weights balanced, giving the canonical odd-weight-column matrix.
+func NewHsiao() *Hsiao {
+	h := &Hsiao{}
+	for i := range h.colIndex {
+		h.colIndex[i] = -1
+	}
+	// Enumerate the C(7,3)=35 weight-3 candidate columns in ascending order.
+	var cands []uint32
+	for v := uint32(1); v < 128; v++ {
+		if popcount(v) == 3 {
+			cands = append(cands, v)
+		}
+	}
+	var rowWeight [7]int
+	used := make(map[uint32]bool)
+	for bit := 0; bit < 32; bit++ {
+		// Greedy balance: pick the unused candidate whose addition yields the
+		// smallest maximum row weight (ties broken by column value order).
+		best := uint32(0)
+		bestMax := 1 << 30
+		for _, c := range cands {
+			if used[c] {
+				continue
+			}
+			maxW := 0
+			for r := 0; r < 7; r++ {
+				w := rowWeight[r]
+				if c&(1<<uint(r)) != 0 {
+					w++
+				}
+				if w > maxW {
+					maxW = w
+				}
+			}
+			if maxW < bestMax {
+				bestMax = maxW
+				best = c
+			}
+		}
+		used[best] = true
+		h.cols[bit] = best
+		for r := 0; r < 7; r++ {
+			if best&(1<<uint(r)) != 0 {
+				rowWeight[r]++
+			}
+		}
+		h.colIndex[best] = int8(bit)
+	}
+	for b := 0; b < 4; b++ {
+		for v := 0; v < 256; v++ {
+			var c uint32
+			for bit := 0; bit < 8; bit++ {
+				if v&(1<<uint(bit)) != 0 {
+					c ^= h.cols[b*8+bit]
+				}
+			}
+			h.tables[b][v] = c
+		}
+	}
+	return h
+}
+
+// Name implements Code.
+func (*Hsiao) Name() string { return "SEC-DED(39,32)" }
+
+// CheckBits implements Code.
+func (*Hsiao) CheckBits() int { return 7 }
+
+// Encode implements Code.
+func (h *Hsiao) Encode(data uint32) uint32 {
+	return h.tables[0][data&0xff] ^ h.tables[1][data>>8&0xff] ^
+		h.tables[2][data>>16&0xff] ^ h.tables[3][data>>24]
+}
+
+// Syndrome returns H·(data,check), which is zero exactly for codewords.
+func (h *Hsiao) Syndrome(data, check uint32) uint32 {
+	return h.Encode(data) ^ (check & 0x7f)
+}
+
+// Detects implements Code.
+func (h *Hsiao) Detects(data, check uint32) bool {
+	return h.Syndrome(data, check) != 0
+}
+
+// Decode implements Corrector with conventional SEC-DED reporting: a zero
+// syndrome is clean, a syndrome matching a data column corrects that data
+// bit, a weight-1 syndrome corrects a check bit, and anything else is a DUE.
+// Note that this plain reporting *miscorrects* a single-bit pipeline error in
+// the shadow instruction; the SEC-DED-DP and SEC-DP wrappers exist to close
+// that hole (Section III-B).
+func (h *Hsiao) Decode(data, check uint32) (uint32, Result) {
+	s := h.Syndrome(data, check)
+	if s == 0 {
+		return data, OK
+	}
+	if idx := h.colIndex[s]; idx >= 0 {
+		return data ^ (1 << uint(idx)), CorrectedData
+	}
+	if popcount(s) == 1 {
+		return data, CorrectedCheck
+	}
+	return data, DUE
+}
+
+// Column returns the H-matrix column for data bit i (for tests and the
+// gate-level encoder builder).
+func (h *Hsiao) Column(i int) uint32 { return h.cols[i] }
+
+// TED is the same SEC-DED code read as a triple-bit-error-*detecting* code:
+// correction is disabled, so every nonzero syndrome is a DUE. The paper
+// evaluates this organization for error-detection-only register files.
+type TED struct{ *Hsiao }
+
+// NewTED returns the detection-only reading of the Hsiao code.
+func NewTED() TED { return TED{NewHsiao()} }
+
+// Name implements Code.
+func (TED) Name() string { return "TED" }
+
+// Decode implements Corrector; with detection-only reporting every
+// non-codeword is a DUE.
+func (t TED) Decode(data, check uint32) (uint32, Result) {
+	if t.Syndrome(data, check) != 0 {
+		return data, DUE
+	}
+	return data, OK
+}

@@ -1,0 +1,18 @@
+package ecc
+
+// Parity is a single even-parity bit over the 32-bit data word. It detects
+// any odd number of bit errors and is the weakest code the paper evaluates
+// in Figure 11.
+type Parity struct{}
+
+// Name implements Code.
+func (Parity) Name() string { return "Parity" }
+
+// CheckBits implements Code.
+func (Parity) CheckBits() int { return 1 }
+
+// Encode implements Code.
+func (Parity) Encode(data uint32) uint32 { return parity32(data) }
+
+// Detects implements Code.
+func (Parity) Detects(data, check uint32) bool { return parity32(data) != check&1 }

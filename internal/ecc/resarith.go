@@ -1,0 +1,127 @@
+package ecc
+
+// This file implements the Swap-Predict residue arithmetic case study of
+// Section III-C: check-bit prediction for the GPU multiply-add (MAD)
+// instruction with mixed 32/64-bit operands, the partial-addend correction
+// of Equation 1, the recoding encoder of Figure 9b, and the carry
+// adjustment of Table III.
+
+// PowerOfTwoResidue returns |2^k|_A for a low-cost modulus. Because
+// A = 2^a - 1, 2^a ≡ 1 (mod A), so |2^k|_A = 2^(k mod a): always a perfect
+// power of two, implementable as wiring (the observation that makes the
+// Equation 1 addend correction trivial).
+func (r Residue) PowerOfTwoResidue(k uint) uint32 {
+	return r.Canon(1 << (k % r.a))
+}
+
+// CorrectionFactor is |2^32|_A — the factor that converts the residue of the
+// high half of a 64-bit addend into its contribution to the full residue.
+// For moduli 3, 7, 15, 31, 63, 127, 255 the factors are 1, 4, 1, 4, 4, 16, 1
+// (paper Section III-C).
+func (r Residue) CorrectionFactor() uint32 { return r.PowerOfTwoResidue(32) }
+
+// PredictMAD predicts the residue of the full 64-bit result Z = X*Y + C of a
+// 32b×32b+64b multiply-add, given only the residues the register file
+// supplies: |X|_A, |Y|_A, and the residues of the two 32-bit halves of the
+// addend, |C_hi|_A and |C_lo|_A. Equation 1:
+//
+//	|C|_A = |C_hi|_A ⊗ |2^32|_A ⊕ |C_lo|_A
+//	|Z|_A = |X|_A ⊗ |Y|_A ⊕ |C|_A
+//
+// The prediction is exact during error-free operation; a single event in the
+// (much larger) MAD datapath perturbs the main result without perturbing the
+// predicted residue, so the register-file decoder flags the mismatch.
+func (r Residue) PredictMAD(rx, ry, rchi, rclo uint32) uint32 {
+	rc := r.Add(r.Mul(rchi, r.CorrectionFactor()), rclo)
+	return r.Add(r.Mul(rx, ry), rc)
+}
+
+// PredictAdd predicts the residue of a 32-bit addition X+Y with carry-in and
+// carry-out handling: the 32-bit datapath drops carry-out (worth 2^32) and
+// may inject carry-in (worth 1), so |sum|_A = |X|_A ⊕ |Y|_A ⊕ cin ⊖
+// cout·|2^32|_A.
+func (r Residue) PredictAdd(rx, ry uint32, cin, cout bool) uint32 {
+	s := r.Add(rx, ry)
+	return r.AdjustCarry(s, cin, cout, 32)
+}
+
+// PredictSub predicts the residue of X-Y computed as X + ^Y + 1 on a 32-bit
+// datapath: |X - Y|_A = |X|_A ⊕ |^Y|_A ⊕ 1 ⊖ borrowAdjust. The caller
+// supplies the datapath's actual carry-out (cout true when no borrow).
+func (r Residue) PredictSub(rx, ryInv uint32, cout bool) uint32 {
+	s := r.Add(rx, ryInv)
+	return r.AdjustCarry(s, true, cout, 32)
+}
+
+// AdjustCarry applies the Table III second-level adjustment for carry-in and
+// carry-out bits on a width-bit datapath segment. A carry-in adds 1 to the
+// true value; a dropped carry-out subtracts 2^width. Low-cost residues make
+// the adjustment a single EAC addition of a residue whose bottom bit is cin
+// with every other bit set to cout: that value is congruent to
+// cin - cout·|2^width|_A when |2^width|_A = 1, and the general case
+// multiplies the cout term by the wiring-only power-of-two factor.
+func (r Residue) AdjustCarry(res uint32, cin, cout bool, width uint) uint32 {
+	if cin {
+		res = r.Add(res, 1)
+	}
+	if cout {
+		res = r.Sub(res, r.PowerOfTwoResidue(width))
+	}
+	return r.Canon(res)
+}
+
+// CarryAdjustSignal reproduces the Table III encoding: a residue whose
+// bottom bit is the carry-in with every other bit set to the carry-out.
+// Adding it under end-around carry realizes +0 / +1 / -1 / -0 for the four
+// (cout, cin) combinations. Valid when |2^width|_A = 1 (the table's setting);
+// AdjustCarry handles the general wiring-corrected case.
+func (r Residue) CarryAdjustSignal(cin, cout bool) uint32 {
+	var sig uint32
+	if cout {
+		sig = r.modulus &^ 1 // every bit but the bottom
+	}
+	if cin {
+		sig |= 1
+	}
+	return sig
+}
+
+// RecodeLow produces the check bits for the LOW 32-bit register of a 64-bit
+// predicted result, per the Figure 9b modified encoder: the full predicted
+// residue Rz is adjusted by subtracting the residue of the segment NOT being
+// written (Zadj = Z_hi), scaled by |2^32|_A:
+//
+//	|Z_lo|_A = Rz ⊖ |Z_hi|_A ⊗ |2^32|_A
+//
+// In hardware the subtraction is an EAC addition of the folded bitwise
+// inverse of Zadj (Zadj-bar in the figure).
+func (r Residue) RecodeLow(rz uint32, zhi uint32) uint32 {
+	adj := r.Mul(r.Canon(r.Fold(uint64(zhi))), r.CorrectionFactor())
+	return r.Sub(rz, adj)
+}
+
+// RecodeHigh produces the check bits for the HIGH 32-bit register:
+//
+//	|Z_hi|_A = (Rz ⊖ |Z_lo|_A) ⊗ |2^-32|_A
+//
+// where |2^-32|_A = 2^(a - 32 mod a) is again a power of two (wiring).
+func (r Residue) RecodeHigh(rz uint32, zlo uint32) uint32 {
+	adj := r.Sub(rz, r.Canon(r.Fold(uint64(zlo))))
+	invShift := (r.a - (32 % r.a)) % r.a
+	return r.Mul(adj, r.Canon(1<<invShift))
+}
+
+// PredictMAD64 is the end-to-end Swap-Predict MAD path: predict the full
+// residue from input residues (Equation 1), apply the Table III carry
+// adjustment for a result that wrapped the 64-bit datapath (cout), then
+// recode it into the two 32-bit register check values (Figure 9b). z is the
+// unit's (possibly erroneous) 64-bit main-datapath output, whose halves
+// serve only as the Zadj recoding inputs — exactly the structure that keeps
+// the prediction independent of a datapath error.
+func (r Residue) PredictMAD64(rx, ry, rchi, rclo uint32, z uint64, cout bool) (lo, hi uint32) {
+	rz := r.PredictMAD(rx, ry, rchi, rclo)
+	rz = r.AdjustCarry(rz, false, cout, 64)
+	zlo := uint32(z)
+	zhi := uint32(z >> 32)
+	return r.RecodeLow(rz, zhi), r.RecodeHigh(rz, zlo)
+}

@@ -1,0 +1,112 @@
+package ecc
+
+import "fmt"
+
+// Residue is a low-cost residue code with checking modulus A = 2^a - 1
+// (Avizienis 1971). The check bits are the remainder of the data value
+// divided by A. Because low-cost moduli are one less than a power of two,
+// encoding needs no division: the a-bit slices of the word are summed with
+// end-around carry, which is exactly congruent to reduction mod A.
+//
+// Residue codes detect an arithmetic error of magnitude e iff e mod A != 0,
+// and they are closed under modular arithmetic, which is what makes them the
+// natural code for Swap-Predict's check-bit prediction units.
+type Residue struct {
+	a       uint   // slice width (number of check bits)
+	modulus uint32 // 2^a - 1
+}
+
+// NewResidue returns the low-cost residue code mod 2^a-1. Valid widths are
+// 2..8 (moduli 3, 7, 15, 31, 63, 127, 255 — the set studied in the paper).
+func NewResidue(a int) Residue {
+	if a < 2 || a > 8 {
+		panic(fmt.Sprintf("ecc: unsupported low-cost residue width %d", a))
+	}
+	return Residue{a: uint(a), modulus: (1 << uint(a)) - 1}
+}
+
+// Name implements Code.
+func (r Residue) Name() string { return fmt.Sprintf("Mod-%d", r.modulus) }
+
+// CheckBits implements Code.
+func (r Residue) CheckBits() int { return int(r.a) }
+
+// Modulus returns the checking modulus A.
+func (r Residue) Modulus() uint32 { return r.modulus }
+
+// Encode implements Code, returning the canonical residue in [0, A).
+func (r Residue) Encode(data uint32) uint32 { return data % r.modulus }
+
+// Encode64 returns the canonical residue of a 64-bit value (used when
+// checking full-width MAD results before recoding).
+func (r Residue) Encode64(v uint64) uint32 { return uint32(v % uint64(r.modulus)) }
+
+// Detects implements Code. Low-cost residues are encoded with a "double
+// zero": the all-ones check pattern A is congruent to 0, so the decoder
+// treats the two representations as equal.
+func (r Residue) Detects(data, check uint32) bool {
+	return r.Canon(check) != r.Encode(data)
+}
+
+// Canon reduces an a-bit residue to its canonical representative, folding
+// the double zero (A == 0).
+func (r Residue) Canon(x uint32) uint32 {
+	x &= r.modulus
+	if x == r.modulus {
+		return 0
+	}
+	return x
+}
+
+// Fold computes the residue the way the hardware does: sum the non-
+// overlapping a-bit slices of the word with a carry-save multi-operand
+// modular adder (CS-MOMA) and a final end-around-carry (EAC) addition. The
+// result may be the non-canonical zero (A); Canon normalizes. Fold and
+// Encode agree modulo the double zero (proved by TestResidueFoldMatchesMod).
+func (r Residue) Fold(data uint64) uint32 {
+	acc := uint32(0)
+	for data != 0 {
+		acc = r.EACAdd(acc, uint32(data)&r.modulus)
+		data >>= r.a
+	}
+	return acc
+}
+
+// EACAdd is an end-around-carry addition of two a-bit values: a carry out of
+// the top bit re-enters at the bottom (one's-complement addition), which
+// implements addition mod 2^a-1 with the double-zero representation.
+func (r Residue) EACAdd(x, y uint32) uint32 {
+	s := (x & r.modulus) + (y & r.modulus)
+	s = (s & r.modulus) + (s >> r.a)
+	// A second fold can be needed only when the first wrapped to exactly A+?;
+	// for a-bit inputs one extra fold always suffices.
+	return (s & r.modulus) + (s >> r.a)
+}
+
+// Add is residue addition ⊕: |x+y|_A with canonical output.
+func (r Residue) Add(x, y uint32) uint32 { return r.Canon(r.EACAdd(x, y)) }
+
+// Sub is residue subtraction: |x-y|_A. In hardware this is EAC addition of
+// the bitwise inverse of y (the Zadj-bar input of Figure 9b).
+func (r Residue) Sub(x, y uint32) uint32 {
+	return r.Canon(r.EACAdd(x, (^y)&r.modulus))
+}
+
+// Mul is residue multiplication ⊗: |x*y|_A. Hardware uses modified partial
+// product generation plus a CS-MOMA; functionally this is multiplication
+// followed by slice folding, which we implement via Fold to keep the same
+// double-zero behaviour.
+func (r Residue) Mul(x, y uint32) uint32 {
+	p := uint64(r.Canon(x)) * uint64(r.Canon(y))
+	return r.Canon(r.Fold(p))
+}
+
+// ResidueSet returns the low-cost residue codes the paper evaluates in
+// Figure 11, weakest to strongest.
+func ResidueSet() []Residue {
+	var out []Residue
+	for a := 2; a <= 7; a++ {
+		out = append(out, NewResidue(a))
+	}
+	return out
+}

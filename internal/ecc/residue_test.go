@@ -1,0 +1,150 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestResidueSetMatchesPaper(t *testing.T) {
+	want := []uint32{3, 7, 15, 31, 63, 127}
+	set := ResidueSet()
+	if len(set) != len(want) {
+		t.Fatalf("set size %d, want %d", len(set), len(want))
+	}
+	for i, r := range set {
+		if r.Modulus() != want[i] {
+			t.Errorf("set[%d] modulus %d, want %d", i, r.Modulus(), want[i])
+		}
+	}
+}
+
+func TestNewResiduePanicsOutOfRange(t *testing.T) {
+	for _, a := range []int{0, 1, 9} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewResidue(%d) did not panic", a)
+				}
+			}()
+			NewResidue(a)
+		}()
+	}
+}
+
+func TestResidueFoldMatchesMod(t *testing.T) {
+	for a := 2; a <= 8; a++ {
+		r := NewResidue(a)
+		f := func(v uint64) bool {
+			return r.Canon(r.Fold(v)) == uint32(v%uint64(r.Modulus()))
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("a=%d: %v", a, err)
+		}
+	}
+}
+
+func TestResidueEACAddMatchesMod(t *testing.T) {
+	for a := 2; a <= 8; a++ {
+		r := NewResidue(a)
+		A := r.Modulus()
+		// Exhaustive over all a-bit input pairs (including both zeros).
+		for x := uint32(0); x <= A; x++ {
+			for y := uint32(0); y <= A; y++ {
+				got := r.Canon(r.EACAdd(x, y))
+				want := (r.Canon(x) + r.Canon(y)) % A
+				if got != want {
+					t.Fatalf("a=%d EACAdd(%d,%d)=%d want %d", a, x, y, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestResidueArithmeticClosure(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for a := 2; a <= 8; a++ {
+		r := NewResidue(a)
+		A := uint64(r.Modulus())
+		for trial := 0; trial < 500; trial++ {
+			x, y := rng.Uint32(), rng.Uint32()
+			rx, ry := r.Encode(x), r.Encode(y)
+			if got, want := r.Add(rx, ry), uint32((uint64(x)+uint64(y))%A); got != want {
+				t.Fatalf("a=%d add: got %d want %d", a, got, want)
+			}
+			if got, want := r.Mul(rx, ry), uint32((uint64(x)*uint64(y))%A); got != want {
+				t.Fatalf("a=%d mul: got %d want %d", a, got, want)
+			}
+			want := uint32(((uint64(x) % A) + A - (uint64(y) % A)) % A)
+			if got := r.Sub(rx, ry); got != want {
+				t.Fatalf("a=%d sub: got %d want %d", a, got, want)
+			}
+		}
+	}
+}
+
+func TestResidueDetectsDoubleZero(t *testing.T) {
+	r := NewResidue(4) // mod 15
+	data := uint32(30) // residue 0
+	if r.Detects(data, 15) {
+		t.Error("non-canonical zero (all ones) should decode equal to zero")
+	}
+	if r.Detects(data, 0) {
+		t.Error("canonical zero should match")
+	}
+	if !r.Detects(data, 1) {
+		t.Error("wrong residue should be detected")
+	}
+}
+
+func TestResidueDetectsArithmeticErrors(t *testing.T) {
+	// A residue code misses exactly the error magnitudes divisible by A.
+	for _, r := range ResidueSet() {
+		A := r.Modulus()
+		data := uint32(1_000_003)
+		check := r.Encode(data)
+		for e := uint32(1); e < 4*A; e++ {
+			detected := r.Detects(data+e, check)
+			if (e%A == 0) == detected {
+				t.Fatalf("Mod-%d: error %d detected=%v", A, e, detected)
+			}
+		}
+	}
+}
+
+func TestResidueName(t *testing.T) {
+	if NewResidue(3).Name() != "Mod-7" {
+		t.Error("name")
+	}
+	if NewResidue(7).CheckBits() != 7 {
+		t.Error("check bits")
+	}
+}
+
+func TestPowerOfTwoResidue(t *testing.T) {
+	for a := 2; a <= 8; a++ {
+		r := NewResidue(a)
+		A := uint64(r.Modulus())
+		for k := uint(0); k < 70; k++ {
+			want := uint32(1)
+			for i := uint(0); i < k; i++ {
+				want = uint32((uint64(want) * 2) % A)
+			}
+			if got := r.PowerOfTwoResidue(k); got != want {
+				t.Fatalf("a=%d |2^%d|: got %d want %d", a, k, got, want)
+			}
+		}
+	}
+}
+
+func TestCorrectionFactorsMatchPaper(t *testing.T) {
+	// Paper Section III-C: moduli 3, 7, 15, 31, 63, 127, 255 have correction
+	// factors 1, 4, 1, 4, 4, 16, 1.
+	want := map[uint32]uint32{3: 1, 7: 4, 15: 1, 31: 4, 63: 4, 127: 16, 255: 1}
+	for a := 2; a <= 8; a++ {
+		r := NewResidue(a)
+		if got := r.CorrectionFactor(); got != want[r.Modulus()] {
+			t.Errorf("Mod-%d correction factor %d, want %d", r.Modulus(), got, want[r.Modulus()])
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package ecc
+
+// SEC is a (38,32) Hamming single-error-correcting code with 6 check bits.
+// It is the base code of the SEC-DP construction: downgrading the register
+// file from SEC-DED to SEC frees one bit of the original 7-bit redundancy
+// for the data-parity bit (Section III-B).
+//
+// Data columns are distinct 6-bit vectors of weight >= 2 (so they never
+// collide with the weight-1 check columns). All 26 odd-weight (3 or 5)
+// columns are chosen first: two odd columns XOR to an even-weight vector,
+// which can never alias a weight-1 check column, so double-bit DATA errors
+// among them are always detected. Only the 6 remaining (even-weight)
+// columns can participate in the check-column alias class the SEC-DP
+// analysis documents, and they are picked to minimize those pairings.
+type SEC struct {
+	cols     [32]uint32
+	colIndex [64]int8
+}
+
+// NewSEC constructs the (38,32) Hamming SEC code.
+func NewSEC() *SEC {
+	s := &SEC{}
+	for i := range s.colIndex {
+		s.colIndex[i] = -1
+	}
+	var cands []uint32
+	for v := uint32(3); v < 64; v++ {
+		if popcount(v) >= 2 {
+			cands = append(cands, v)
+		}
+	}
+	var rowWeight [6]int
+	used := make(map[uint32]bool)
+	var chosen []uint32
+	for bit := 0; bit < 32; bit++ {
+		best := uint32(0)
+		bestKey := 1 << 60
+		for _, c := range cands {
+			if used[c] {
+				continue
+			}
+			maxW := 0
+			for r := 0; r < 6; r++ {
+				w := rowWeight[r]
+				if c&(1<<uint(r)) != 0 {
+					w++
+				}
+				if w > maxW {
+					maxW = w
+				}
+			}
+			// Selection key, most significant first: even weight is heavily
+			// penalized (odd-weight columns can never pairwise-alias a check
+			// column); then the number of unit-distance pairings with
+			// already-chosen columns; then row balance; then column weight.
+			evenPenalty := 0
+			if popcount(c)%2 == 0 {
+				evenPenalty = 1
+			}
+			unitPairs := 0
+			for _, prev := range chosen {
+				if popcount(c^prev) == 1 {
+					unitPairs++
+				}
+			}
+			key := evenPenalty<<40 | unitPairs<<24 | maxW<<8 | popcount(c)
+			if key < bestKey {
+				bestKey = key
+				best = c
+			}
+		}
+		used[best] = true
+		chosen = append(chosen, best)
+		s.cols[bit] = best
+		for r := 0; r < 6; r++ {
+			if best&(1<<uint(r)) != 0 {
+				rowWeight[r]++
+			}
+		}
+		s.colIndex[best] = int8(bit)
+	}
+	return s
+}
+
+// Name implements Code.
+func (*SEC) Name() string { return "SEC(38,32)" }
+
+// CheckBits implements Code.
+func (*SEC) CheckBits() int { return 6 }
+
+// Encode implements Code.
+func (s *SEC) Encode(data uint32) uint32 {
+	var c uint32
+	for bit := 0; bit < 32; bit++ {
+		if data&(1<<uint(bit)) != 0 {
+			c ^= s.cols[bit]
+		}
+	}
+	return c
+}
+
+// Syndrome returns H·(data,check).
+func (s *SEC) Syndrome(data, check uint32) uint32 {
+	return s.Encode(data) ^ (check & 0x3f)
+}
+
+// Detects implements Code.
+func (s *SEC) Detects(data, check uint32) bool { return s.Syndrome(data, check) != 0 }
+
+// Decode implements Corrector: a zero syndrome is clean, a data-column
+// syndrome corrects that bit, a weight-1 syndrome corrects a check bit, and
+// any other syndrome is detectable-uncorrectable. (With only 38 of the 63
+// nonzero syndromes assigned, the shortened Hamming code does retain some
+// multi-bit detection.) The SEC-DP wrapper layers the data-parity guard on
+// top of the data-correction case.
+func (s *SEC) Decode(data, check uint32) (uint32, Result) {
+	syn := s.Syndrome(data, check)
+	if syn == 0 {
+		return data, OK
+	}
+	if idx := s.colIndex[syn]; idx >= 0 {
+		return data ^ (1 << uint(idx)), CorrectedData
+	}
+	if popcount(syn) == 1 {
+		return data, CorrectedCheck
+	}
+	return data, DUE
+}
+
+// Column returns the H-matrix column for data bit i.
+func (s *SEC) Column(i int) uint32 { return s.cols[i] }

@@ -1,0 +1,111 @@
+package ecc
+
+import "testing"
+
+// TestSECDPDoubleBitCharacterization quantifies the SEC-DP deviation noted
+// in EXPERIMENTS.md: a (38,32) Hamming code cannot give all 32 data columns
+// odd weight, so some double-bit *data* error patterns alias to a check
+// column and decode as CorrectedCheck — silently accepting two wrong data
+// bits. This test measures that class exhaustively over all C(32,2)=496
+// patterns, proves everything else is caught, and pins the alias fraction
+// so any regression in the column-selection greedy shows up.
+func TestSECDPDoubleBitCharacterization(t *testing.T) {
+	c := NewSECDP()
+	data := uint32(0x0F1E_2D3C)
+	check := c.Encode(data)
+	aliased, detected := 0, 0
+	for i := 0; i < 32; i++ {
+		for j := i + 1; j < 32; j++ {
+			e := uint32(1)<<uint(i) | uint32(1)<<uint(j)
+			got, res := c.Decode(data^e, check)
+			switch {
+			case res == DUE:
+				detected++
+			case res == CorrectedData && got == data:
+				// Impossible for a distance-3 code on a double error unless
+				// the pattern aliased to a correctable single; the parity
+				// guard plus odd-weight-first columns should prevent it.
+				t.Fatalf("double error (%d,%d) fully miscorrected to the original", i, j)
+			case res == CorrectedCheck:
+				aliased++ // the documented hole: data accepted with 2 flips
+			case res == CorrectedData:
+				// Miscorrection to a third wrong word — the parity guard
+				// must have blocked this.
+				t.Fatalf("double error (%d,%d) miscorrected data (res=%v)", i, j, res)
+			case res == OK:
+				t.Fatalf("double error (%d,%d) invisible", i, j)
+			}
+		}
+	}
+	total := aliased + detected
+	if total != 496 {
+		t.Fatalf("accounting: %d", total)
+	}
+	frac := float64(aliased) / float64(total)
+	if frac > 0.10 {
+		t.Errorf("SEC-DP double-data alias fraction %.3f regressed (odd-weight-first selection should keep it under 10%%)", frac)
+	}
+	t.Logf("SEC-DP double-data-bit errors: %d detected, %d aliased (%.1f%%)", detected, aliased, 100*frac)
+}
+
+// TestSECDEDDPDoubleBitAllDetected is the contrast: the full Hsiao code
+// detects every double-bit data pattern, which is exactly the guarantee
+// SEC-DED-DP keeps while adding pipeline-miscorrection immunity.
+func TestSECDEDDPDoubleBitAllDetected(t *testing.T) {
+	c := NewSECDEDDP()
+	data := uint32(0x0F1E_2D3C)
+	check := c.Encode(data)
+	for i := 0; i < 32; i++ {
+		for j := i + 1; j < 32; j++ {
+			e := uint32(1)<<uint(i) | uint32(1)<<uint(j)
+			got, res := c.Decode(data^e, check)
+			if res != DUE || got != data^e {
+				t.Fatalf("double error (%d,%d): res=%v", i, j, res)
+			}
+		}
+	}
+}
+
+// TestResidueBurstCharacterization characterizes residues against
+// contiguous XOR bursts. There is NO absolute burst guarantee in the XOR
+// model (flipping bits 1 and 2 of a word whose bits were 0 adds 6 ≡ 0
+// mod 3), but every single-bit flip is caught, every miss is exactly an
+// arithmetic change divisible by the modulus, and the miss fraction falls
+// quickly with the check width.
+func TestResidueBurstCharacterization(t *testing.T) {
+	data := uint32(0xA5C3_7E19)
+	prevMissFrac := 1.0
+	for a := 2; a <= 8; a++ {
+		r := NewResidue(a)
+		A := int64(r.Modulus())
+		check := r.Encode(data)
+		misses, total := 0, 0
+		for length := 1; length <= a; length++ {
+			for start := 0; start+length <= 32; start++ {
+				for pat := uint32(1); pat < 1<<uint(length); pat++ {
+					e := pat << uint(start)
+					total++
+					detected := r.Detects(data^e, check)
+					delta := int64(data^e) - int64(data)
+					if !detected {
+						misses++
+						if delta%A != 0 {
+							t.Fatalf("Mod-%d missed burst %#x with delta %d not divisible by %d",
+								r.Modulus(), e, delta, A)
+						}
+					} else if delta%A == 0 {
+						t.Fatalf("Mod-%d detected burst %#x despite delta %d ≡ 0", r.Modulus(), e, delta)
+					}
+					if length == 1 && !detected {
+						t.Fatalf("Mod-%d missed a single-bit flip", r.Modulus())
+					}
+				}
+			}
+		}
+		frac := float64(misses) / float64(total)
+		if frac > prevMissFrac+1e-9 {
+			t.Errorf("Mod-%d miss fraction %.4f not monotone vs previous %.4f", r.Modulus(), frac, prevMissFrac)
+		}
+		prevMissFrac = frac
+	}
+}

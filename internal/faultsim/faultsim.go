@@ -1,0 +1,165 @@
+// Package faultsim performs gate-level single-event error injection on the
+// arithmetic units, in the style of the Hamartia framework the paper uses
+// (Section IV-A): for every input operand tuple, the output of a single
+// randomly chosen gate or flip-flop is inverted, repeating until an
+// injection corrupts the unit output (an "unmasked" error). The resulting
+// output error patterns drive the Figure 10 severity analysis and the
+// Figure 11 SDC-risk analysis.
+package faultsim
+
+import (
+	"math/bits"
+	"math/rand"
+
+	"swapcodes/internal/arith"
+	"swapcodes/internal/ecc"
+	"swapcodes/internal/gates"
+)
+
+// Injection records one unmasked single-event error.
+type Injection struct {
+	// Ops are the operand values in effect.
+	Ops []uint64
+	// Golden is the fault-free output.
+	Golden uint64
+	// Faulty is the corrupted output.
+	Faulty uint64
+	// Site is the netlist node whose output was inverted.
+	Site int
+	// IsFF reports whether the site was a pipeline flip-flop.
+	IsFF bool
+	// Attempts counts injections tried for this tuple before one unmasked
+	// (the masking rate is Attempts-1 masked events per unmasked one).
+	Attempts int
+}
+
+// ErrorBits returns the number of corrupted output bits.
+func (in Injection) ErrorBits() int {
+	return bits.OnesCount64(in.Golden ^ in.Faulty)
+}
+
+// Severity buckets error patterns in increasing order of error-coding
+// difficulty, as in Figure 10.
+type Severity int
+
+// Severity levels. With a SEC-DED register file, SwapCodes guarantees
+// detection up to FourPlus, which is the only bucket with SDC risk.
+const (
+	OneBit Severity = iota
+	TwoToThreeBits
+	FourPlusBits
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	switch s {
+	case OneBit:
+		return "1 bit"
+	case TwoToThreeBits:
+		return "2-3 bits"
+	default:
+		return ">=4 bits"
+	}
+}
+
+// SeverityOf classifies an unmasked injection.
+func (in Injection) SeverityOf() Severity {
+	switch n := in.ErrorBits(); {
+	case n <= 1:
+		return OneBit
+	case n <= 3:
+		return TwoToThreeBits
+	default:
+		return FourPlusBits
+	}
+}
+
+// Campaign injects single-event errors into one unit over a stream of
+// operand tuples.
+type Campaign struct {
+	Unit *arith.Unit
+	// MaxAttempts bounds the per-tuple search for an unmasked site
+	// (tuples whose every sampled site masks are dropped, matching the
+	// paper's "inject ... until one corrupts the unit output").
+	MaxAttempts int
+
+	ev    *gates.Evaluator
+	sites []int
+	rng   *rand.Rand
+}
+
+// NewCampaign prepares an injection campaign with a deterministic seed.
+func NewCampaign(u *arith.Unit, seed int64) *Campaign {
+	return &Campaign{
+		Unit:        u,
+		MaxAttempts: 400,
+		ev:          gates.NewEvaluator(u.Circuit),
+		sites:       u.Circuit.FaultSites(),
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Run performs one unmasked injection per operand tuple, exactly as the
+// paper describes: "for every input pair, we randomly inject single-event
+// errors until one corrupts the unit output". Site draws are independent
+// per tuple. Tuples that never yield an unmasked error within MaxAttempts
+// draws are skipped.
+func (c *Campaign) Run(tuples [][]uint64) []Injection {
+	out := make([]Injection, 0, len(tuples))
+	for _, ops := range tuples {
+		in := c.Unit.PackOperands([][]uint64{ops})
+		golden := c.Unit.Ref(ops)
+		for attempt := 1; attempt <= c.MaxAttempts; attempt++ {
+			site := c.sites[c.rng.Intn(len(c.sites))]
+			words := c.ev.Eval(in, site)
+			faulty := c.Unit.UnpackOutput(words, 0)
+			if faulty == golden {
+				continue // masked for this tuple
+			}
+			out = append(out, Injection{
+				Ops:      ops,
+				Golden:   golden,
+				Faulty:   faulty,
+				Site:     site,
+				IsFF:     c.Unit.Circuit.Kind(site) == gates.FF,
+				Attempts: attempt,
+			})
+			break
+		}
+	}
+	return out
+}
+
+// SeverityHistogram tallies injections per Figure 10 bucket.
+func SeverityHistogram(inj []Injection) map[Severity]int {
+	h := make(map[Severity]int)
+	for _, in := range inj {
+		h[in.SeverityOf()]++
+	}
+	return h
+}
+
+// SDCRisk evaluates a register-file error code against the injections under
+// the SwapCodes semantics: the corrupted result is stored as data while the
+// check bits come from the error-free shadow computation. A 64-bit result
+// occupies two 32-bit registers and counts as detected if EITHER register
+// flags (Section IV-B). It returns the number of undetected (SDC) events
+// and the total.
+func SDCRisk(inj []Injection, code ecc.Code, outWidth int) (sdc, total int) {
+	for _, in := range inj {
+		total++
+		if !detects(code, in.Golden, in.Faulty, outWidth) {
+			sdc++
+		}
+	}
+	return
+}
+
+func detects(code ecc.Code, golden, faulty uint64, outWidth int) bool {
+	if outWidth <= 32 {
+		return code.Detects(uint32(faulty), code.Encode(uint32(golden)))
+	}
+	lo := code.Detects(uint32(faulty), code.Encode(uint32(golden)))
+	hi := code.Detects(uint32(faulty>>32), code.Encode(uint32(golden>>32)))
+	return lo || hi
+}

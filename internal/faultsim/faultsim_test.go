@@ -1,0 +1,236 @@
+package faultsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"swapcodes/internal/arith"
+	"swapcodes/internal/ecc"
+	"swapcodes/internal/gates"
+)
+
+func randomTuples(u *arith.Unit, n int, seed int64) [][]uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	tuples := make([][]uint64, n)
+	for i := range tuples {
+		ops := make([]uint64, len(u.OperandWidths))
+		for j, w := range u.OperandWidths {
+			if w == 64 {
+				ops[j] = rng.Uint64()
+			} else {
+				ops[j] = uint64(rng.Uint32())
+			}
+		}
+		tuples[i] = ops
+	}
+	return tuples
+}
+
+func TestCampaignProducesUnmaskedErrors(t *testing.T) {
+	u := arith.NewIAdd32()
+	c := NewCampaign(u, 1)
+	inj := c.Run(randomTuples(u, 256, 2))
+	if len(inj) < 200 {
+		t.Fatalf("only %d/256 tuples yielded unmasked errors", len(inj))
+	}
+	for _, in := range inj {
+		if in.Golden == in.Faulty {
+			t.Fatal("masked injection recorded")
+		}
+		if in.ErrorBits() == 0 {
+			t.Fatal("zero error bits on unmasked injection")
+		}
+		if in.Attempts < 1 {
+			t.Fatal("attempts not counted")
+		}
+	}
+}
+
+func TestCampaignGoldenMatchesRef(t *testing.T) {
+	u := arith.NewIAdd32()
+	c := NewCampaign(u, 3)
+	for _, in := range c.Run(randomTuples(u, 64, 4)) {
+		if in.Golden != (in.Ops[0]+in.Ops[1])&0xffffffff {
+			t.Fatalf("golden %#x for ops %#x", in.Golden, in.Ops)
+		}
+	}
+}
+
+func TestCampaignDeterministicWithSeed(t *testing.T) {
+	u := arith.NewIAdd32()
+	tuples := randomTuples(u, 128, 5)
+	a := NewCampaign(u, 7).Run(tuples)
+	b := NewCampaign(u, 7).Run(tuples)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Golden != b[i].Golden || a[i].Faulty != b[i].Faulty || a[i].Site != b[i].Site {
+			t.Fatalf("injection %d differs", i)
+		}
+	}
+}
+
+func TestSeverityClassification(t *testing.T) {
+	cases := []struct {
+		golden, faulty uint64
+		want           Severity
+	}{
+		{0, 1, OneBit},
+		{0xff, 0xfe, OneBit},
+		{0, 3, TwoToThreeBits},
+		{0, 7, TwoToThreeBits},
+		{0, 0xf, FourPlusBits},
+		{0, ^uint64(0), FourPlusBits},
+	}
+	for _, c := range cases {
+		in := Injection{Golden: c.golden, Faulty: c.faulty}
+		if got := in.SeverityOf(); got != c.want {
+			t.Errorf("severity(%#x^%#x) = %v, want %v", c.golden, c.faulty, got, c.want)
+		}
+	}
+	if OneBit.String() == "" || TwoToThreeBits.String() == "" || FourPlusBits.String() == "" {
+		t.Error("severity names")
+	}
+}
+
+func TestSeverityHistogramAddMostlySingleBit(t *testing.T) {
+	// The paper observes the majority of unmasked transient errors in the
+	// fixed-point adder affect a single output bit... for a carry-chain
+	// adder a flipped internal carry can ripple, but single-gate upsets
+	// still dominate in the 1-bit bucket.
+	u := arith.NewIAdd32()
+	inj := NewCampaign(u, 11).Run(randomTuples(u, 2048, 12))
+	h := SeverityHistogram(inj)
+	if h[OneBit] == 0 {
+		t.Fatal("no single-bit errors in adder campaign")
+	}
+	frac := float64(h[OneBit]) / float64(len(inj))
+	if frac < 0.35 {
+		t.Errorf("single-bit fraction %.2f implausibly low for the adder", frac)
+	}
+}
+
+func TestSDCRiskOrdering(t *testing.T) {
+	// Stronger codes must not have more SDCs than weaker ones on the same
+	// injection set, and SEC-DED must catch every <=3-bit pattern.
+	u := arith.NewIMAD32()
+	inj := NewCampaign(u, 13).Run(randomTuples(u, 1024, 14))
+	ted := ecc.NewTED()
+	sdcTED, total := SDCRisk(inj, ted, u.OutputWidth)
+	sdcParity, _ := SDCRisk(inj, ecc.Parity{}, u.OutputWidth)
+	sdcMod3, _ := SDCRisk(inj, ecc.NewResidue(2), u.OutputWidth)
+	if total != len(inj) {
+		t.Fatal("total mismatch")
+	}
+	if sdcTED > sdcParity {
+		t.Errorf("SEC-DED/TED SDCs (%d) exceed parity SDCs (%d)", sdcTED, sdcParity)
+	}
+	// All SwapCodes misses under SEC-DED must be >=4-bit patterns within a
+	// single 32-bit register.
+	for _, in := range inj {
+		loBits := popcount32(uint32(in.Golden) ^ uint32(in.Faulty))
+		hiBits := popcount32(uint32(in.Golden>>32) ^ uint32(in.Faulty>>32))
+		detected := ted.Detects(uint32(in.Faulty), ted.Encode(uint32(in.Golden))) ||
+			ted.Detects(uint32(in.Faulty>>32), ted.Encode(uint32(in.Golden>>32)))
+		if !detected {
+			if (loBits >= 1 && loBits <= 3) || (hiBits >= 1 && hiBits <= 3) {
+				t.Fatalf("SEC-DED missed a %d/%d-bit pattern", loBits, hiBits)
+			}
+		}
+	}
+	_ = sdcMod3
+}
+
+func popcount32(x uint32) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+func TestDetects64BitEitherRegister(t *testing.T) {
+	code := ecc.NewResidue(3)
+	golden := uint64(0x12345678_9abcdef0)
+	// Corrupt only the high register.
+	faulty := golden ^ (1 << 40)
+	if !detects(code, golden, faulty, 64) {
+		t.Error("high-register error undetected")
+	}
+	if !detects(code, golden, golden^1, 64) {
+		t.Error("low-register error undetected")
+	}
+}
+
+func TestWilsonCI(t *testing.T) {
+	lo, hi := WilsonCI(0, 0, 1.96)
+	if lo != 0 || hi != 1 {
+		t.Error("empty sample")
+	}
+	lo, hi = WilsonCI(50, 100, 1.96)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Errorf("50/100: [%v,%v] should bracket 0.5", lo, hi)
+	}
+	if hi-lo > 0.25 {
+		t.Errorf("interval too wide: %v", hi-lo)
+	}
+	lo, hi = WilsonCI(0, 10000, 1.96)
+	if lo != 0 || hi > 0.001 {
+		t.Errorf("0/10000: [%v,%v]", lo, hi)
+	}
+	lo, hi = WilsonCI(10000, 10000, 1.96)
+	if hi < 0.99999 || lo < 0.999 {
+		t.Errorf("10000/10000: [%v,%v]", lo, hi)
+	}
+	// Monotone narrowing with n.
+	_, h1 := WilsonCI(10, 100, 1.96)
+	_, h2 := WilsonCI(100, 1000, 1.96)
+	if !(h2 < h1) || math.IsNaN(h1) || math.IsNaN(h2) {
+		t.Errorf("interval should narrow: %v vs %v", h1, h2)
+	}
+}
+
+// TestSiteKindMix: campaigns must draw faults from both combinational logic
+// and pipeline flip-flops, and FF upsets on registered outputs are a real
+// fraction of unmasked errors (the "logic and pipeline state" of the
+// paper's injection methodology).
+func TestSiteKindMix(t *testing.T) {
+	u := arith.NewIMAD32()
+	inj := NewCampaign(u, 21).Run(randomTuples(u, 2048, 22))
+	ff, gate := 0, 0
+	for _, in := range inj {
+		if in.IsFF {
+			ff++
+		} else {
+			gate++
+		}
+	}
+	if ff == 0 || gate == 0 {
+		t.Fatalf("site mix degenerate: ff=%d gate=%d", ff, gate)
+	}
+	// The MAD has ~305 FFs among ~11k fault sites; unmasked-error share of
+	// FFs is higher than the site share (registered bits always propagate),
+	// but both kinds must appear in force.
+	if frac := float64(ff) / float64(ff+gate); frac < 0.01 || frac > 0.9 {
+		t.Errorf("FF share of unmasked errors %.3f implausible", frac)
+	}
+}
+
+// TestFFFaultsAreSingleBit: a flip-flop on an output register corrupts
+// exactly one output bit — the structural root of Figure 10's single-bit
+// dominance.
+func TestFFFaultsAreSingleBit(t *testing.T) {
+	u := arith.NewIAdd32()
+	inj := NewCampaign(u, 31).Run(randomTuples(u, 2048, 32))
+	for _, in := range inj {
+		if in.IsFF && u.Circuit.Kind(in.Site) == gates.FF {
+			// Output-register FFs corrupt one bit; input-register FFs feed
+			// the adder and may ripple. Either way at least one bit flips.
+			if in.ErrorBits() < 1 {
+				t.Fatal("unmasked FF fault with zero error bits")
+			}
+		}
+	}
+}

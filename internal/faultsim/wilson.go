@@ -1,0 +1,28 @@
+package faultsim
+
+import "math"
+
+// WilsonCI returns the Wilson score interval for a binomial proportion —
+// the 95% confidence intervals shown in Figures 10 and 11 (z = 1.96). It
+// behaves sensibly at the extremes (0 or n successes), unlike the normal
+// approximation.
+func WilsonCI(successes, n int, z float64) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	p := float64(successes) / float64(n)
+	nf := float64(n)
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := (p + z2/(2*nf)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
+	lo = center - half
+	hi = center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return
+}

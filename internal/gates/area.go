@@ -1,0 +1,86 @@
+package gates
+
+// NAND2-gate-equivalent area model, in the spirit of standard-cell
+// synthesis reports: each cell is costed as a multiple of the minimum-size
+// two-input NAND. Sequential cells (flip-flops) are substantially larger
+// than combinational gates, which is what makes pipeline registers a large
+// fraction of small datapath units (cf. Table IV's Add row, where the
+// input/output registers dominate).
+var nand2Equiv = map[Kind]float64{
+	Const0: 0,
+	Const1: 0,
+	Input:  0,
+	Buf:    0.75,
+	Not:    0.5,
+	And:    1.5,
+	Or:     1.5,
+	Xor:    2.5,
+	Nand:   1.0,
+	Nor:    1.0,
+	Xnor:   2.5,
+	Mux:    2.5,
+	FF:     4.5,
+}
+
+// AreaNAND2 returns the circuit's area in NAND2 gate equivalents.
+func (c *Circuit) AreaNAND2() float64 {
+	a := 0.0
+	for _, k := range c.kinds {
+		a += nand2Equiv[k]
+	}
+	return a
+}
+
+// GateCounts returns a histogram of gate kinds (diagnostics and reports).
+func (c *Circuit) GateCounts() map[Kind]int {
+	m := make(map[Kind]int)
+	for _, k := range c.kinds {
+		switch k {
+		case Const0, Const1, Input:
+		default:
+			m[k]++
+		}
+	}
+	return m
+}
+
+// Depth returns the longest combinational path, in gate levels, within any
+// pipeline stage (flip-flop to flip-flop, input to flip-flop, or flip-flop
+// to output). The paper's timing argument — "all of our circuits ... fit
+// easily within the aggressive 250ps clock period" — corresponds to
+// bounding this per-stage logic depth.
+func (c *Circuit) Depth() int {
+	depth := make([]int, len(c.kinds))
+	max := 0
+	for i, k := range c.kinds {
+		var d int
+		switch k {
+		case Const0, Const1, Input:
+			d = 0
+		case FF:
+			// A register starts a new stage: path length resets.
+			if in := depth[c.in0[i]]; in > max {
+				max = in
+			}
+			d = 0
+		case Buf, Not:
+			d = depth[c.in0[i]] + 1
+		case Mux:
+			d = maxi(depth[c.in0[i]], maxi(depth[c.in1[i]], depth[c.in2[i]])) + 1
+		default:
+			d = maxi(depth[c.in0[i]], depth[c.in1[i]]) + 1
+		}
+		depth[i] = d
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

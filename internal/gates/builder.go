@@ -1,0 +1,135 @@
+package gates
+
+import "fmt"
+
+// Builder constructs a Circuit. Nodes are identified by int handles; a gate
+// may only take already-created nodes as inputs, which guarantees the
+// netlist is in topological order.
+type Builder struct {
+	name    string
+	kinds   []Kind
+	in0     []int32
+	in1     []int32
+	in2     []int32
+	inputs  []int
+	outputs []int
+	stages  int
+	zero    int
+	one     int
+}
+
+// NewBuilder starts a new circuit. Constant-0 and constant-1 nodes are
+// created eagerly so macros can use them freely.
+func NewBuilder(name string) *Builder {
+	b := &Builder{name: name}
+	b.zero = b.add(Const0, 0, 0, 0)
+	b.one = b.add(Const1, 0, 0, 0)
+	return b
+}
+
+func (b *Builder) add(k Kind, i0, i1, i2 int) int {
+	n := len(b.kinds)
+	switch k {
+	case Const0, Const1, Input:
+		// Source nodes have no fan-in; the placeholder operands are unused.
+	default:
+		if i0 >= n || i1 >= n || i2 >= n {
+			panic(fmt.Sprintf("gates: %s: forward reference in %v gate", b.name, k))
+		}
+	}
+	b.kinds = append(b.kinds, k)
+	b.in0 = append(b.in0, int32(i0))
+	b.in1 = append(b.in1, int32(i1))
+	b.in2 = append(b.in2, int32(i2))
+	return n
+}
+
+// Zero returns the constant-0 node.
+func (b *Builder) Zero() int { return b.zero }
+
+// One returns the constant-1 node.
+func (b *Builder) One() int { return b.one }
+
+// Input declares a primary input and returns its node.
+func (b *Builder) Input() int {
+	n := b.add(Input, 0, 0, 0)
+	b.inputs = append(b.inputs, n)
+	return n
+}
+
+// InputBus declares w primary inputs, LSB first.
+func (b *Builder) InputBus(w int) []int {
+	bus := make([]int, w)
+	for i := range bus {
+		bus[i] = b.Input()
+	}
+	return bus
+}
+
+// Not, Buf, And, Or, Xor, Nand, Nor, Xnor, Mux create single gates.
+
+// Not inverts a.
+func (b *Builder) Not(a int) int { return b.add(Not, a, 0, 0) }
+
+// Buf buffers a (a repeater; functionally identity but a real fault site).
+func (b *Builder) Buf(a int) int { return b.add(Buf, a, 0, 0) }
+
+// And returns a AND c.
+func (b *Builder) And(a, c int) int { return b.add(And, a, c, 0) }
+
+// Or returns a OR c.
+func (b *Builder) Or(a, c int) int { return b.add(Or, a, c, 0) }
+
+// Xor returns a XOR c.
+func (b *Builder) Xor(a, c int) int { return b.add(Xor, a, c, 0) }
+
+// Nand returns NOT(a AND c).
+func (b *Builder) Nand(a, c int) int { return b.add(Nand, a, c, 0) }
+
+// Nor returns NOT(a OR c).
+func (b *Builder) Nor(a, c int) int { return b.add(Nor, a, c, 0) }
+
+// Xnor returns NOT(a XOR c).
+func (b *Builder) Xnor(a, c int) int { return b.add(Xnor, a, c, 0) }
+
+// Mux returns a when sel=0 and c when sel=1.
+func (b *Builder) Mux(sel, a, c int) int { return b.add(Mux, sel, a, c) }
+
+// FF inserts a pipeline flip-flop on a.
+func (b *Builder) FF(a int) int { return b.add(FF, a, 0, 0) }
+
+// FFBus registers a whole bus.
+func (b *Builder) FFBus(bus []int) []int {
+	out := make([]int, len(bus))
+	for i, a := range bus {
+		out[i] = b.FF(a)
+	}
+	return out
+}
+
+// StageBoundary records that a pipeline cut was made (for Stages()); callers
+// pair it with FFBus on the live signals.
+func (b *Builder) StageBoundary() { b.stages++ }
+
+// Output marks nodes as primary outputs, LSB first.
+func (b *Builder) Output(nodes ...int) {
+	b.outputs = append(b.outputs, nodes...)
+}
+
+// Build finalizes the circuit.
+func (b *Builder) Build() *Circuit {
+	stages := b.stages
+	if stages == 0 {
+		stages = 1
+	}
+	return &Circuit{
+		name:    b.name,
+		kinds:   b.kinds,
+		in0:     b.in0,
+		in1:     b.in1,
+		in2:     b.in2,
+		inputs:  b.inputs,
+		outputs: b.outputs,
+		stages:  stages,
+	}
+}

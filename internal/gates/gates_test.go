@@ -1,0 +1,352 @@
+package gates
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// buildBinOp builds a circuit with two w-bit inputs feeding f.
+func evalBus(t *testing.T, c *Circuit, ins []uint64) []uint64 {
+	t.Helper()
+	return NewEvaluator(c).Eval(ins, NoFault)
+}
+
+// packInputs spreads the bits of scalar operands across input words: each
+// input node gets the same value in every lane here (lane-parallelism is
+// exercised separately).
+func packScalar(vals ...uint64) func(widths ...int) []uint64 {
+	return func(widths ...int) []uint64 {
+		var out []uint64
+		for vi, w := range widths {
+			for i := 0; i < w; i++ {
+				if vals[vi]&(1<<uint(i)) != 0 {
+					out = append(out, ^uint64(0))
+				} else {
+					out = append(out, 0)
+				}
+			}
+		}
+		return out
+	}
+}
+
+func busValue(out []uint64) uint64 {
+	var v uint64
+	for i, w := range out {
+		if w&1 != 0 {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+func TestRippleAdder(t *testing.T) {
+	b := NewBuilder("add")
+	x := b.InputBus(16)
+	y := b.InputBus(16)
+	sum, cout := b.RippleAdder(x, y, b.Zero())
+	b.Output(sum...)
+	b.Output(cout)
+	c := b.Build()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		a, d := uint64(rng.Intn(1<<16)), uint64(rng.Intn(1<<16))
+		out := evalBus(t, c, packScalar(a, d)(16, 16))
+		got := busValue(out)
+		if got != (a+d)&0x1ffff {
+			t.Fatalf("%d+%d = %d, want %d", a, d, got, (a+d)&0x1ffff)
+		}
+	}
+}
+
+func TestSubtractor(t *testing.T) {
+	b := NewBuilder("sub")
+	x := b.InputBus(16)
+	y := b.InputBus(16)
+	diff, noBorrow := b.Subtractor(x, y)
+	b.Output(diff...)
+	b.Output(noBorrow)
+	c := b.Build()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		a, d := uint64(rng.Intn(1<<16)), uint64(rng.Intn(1<<16))
+		out := evalBus(t, c, packScalar(a, d)(16, 16))
+		wantDiff := (a - d) & 0xffff
+		wantNB := uint64(0)
+		if a >= d {
+			wantNB = 1
+		}
+		got := busValue(out)
+		if got != wantDiff|wantNB<<16 {
+			t.Fatalf("%d-%d: got %#x want diff=%d nb=%d", a, d, got, wantDiff, wantNB)
+		}
+	}
+}
+
+func TestMultiplier(t *testing.T) {
+	b := NewBuilder("mul")
+	x := b.InputBus(12)
+	y := b.InputBus(12)
+	p := b.Multiplier(x, y)
+	b.Output(p...)
+	c := b.Build()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		a, d := uint64(rng.Intn(1<<12)), uint64(rng.Intn(1<<12))
+		out := evalBus(t, c, packScalar(a, d)(12, 12))
+		if got := busValue(out); got != a*d {
+			t.Fatalf("%d*%d = %d, want %d", a, d, got, a*d)
+		}
+	}
+}
+
+func TestShifters(t *testing.T) {
+	b := NewBuilder("shr")
+	x := b.InputBus(32)
+	sh := b.InputBus(5)
+	b.Output(b.ShiftRightVar(x, sh)...)
+	b.Output(b.ShiftLeftVar(x, sh)...)
+	c := b.Build()
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 300; i++ {
+		v := uint64(rng.Uint32())
+		k := uint64(rng.Intn(32))
+		out := evalBus(t, c, packScalar(v, k)(32, 5))
+		right := busValue(out[:32])
+		left := busValue(out[32:])
+		if right != v>>k {
+			t.Fatalf("%#x>>%d = %#x, want %#x", v, k, right, v>>k)
+		}
+		if left != (v<<k)&0xffffffff {
+			t.Fatalf("%#x<<%d = %#x, want %#x", v, k, left, (v<<k)&0xffffffff)
+		}
+	}
+}
+
+func TestLeadingZeroCount(t *testing.T) {
+	b := NewBuilder("lzc")
+	x := b.InputBus(24)
+	b.Output(b.LeadingZeroCount(x)...)
+	c := b.Build()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		v := uint64(rng.Intn(1 << 24))
+		out := evalBus(t, c, packScalar(v)(24))
+		want := uint64(bits.LeadingZeros32(uint32(v))) - 8
+		if v == 0 {
+			want = 24
+		}
+		if got := busValue(out); got != want {
+			t.Fatalf("lzc(%#x) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestEACAdder(t *testing.T) {
+	for _, w := range []int{2, 3, 4, 7} {
+		b := NewBuilder("eac")
+		x := b.InputBus(w)
+		y := b.InputBus(w)
+		b.Output(b.EACAdder(x, y)...)
+		c := b.Build()
+		mod := uint64(1<<uint(w)) - 1
+		for a := uint64(0); a <= mod; a++ {
+			for d := uint64(0); d <= mod; d++ {
+				out := evalBus(t, c, packScalar(a, d)(w, w))
+				got := busValue(out) % mod
+				if a+d == 0 {
+					got = 0 // both representations of zero acceptable
+				}
+				if got != (a+d)%mod {
+					t.Fatalf("w=%d: eac(%d,%d) = %d, want %d mod %d", w, a, d, busValue(out), (a+d)%mod, mod)
+				}
+			}
+		}
+	}
+}
+
+func TestCSATree(t *testing.T) {
+	b := NewBuilder("csa")
+	const n, w = 7, 16
+	var addends [][]int
+	for i := 0; i < n; i++ {
+		addends = append(addends, b.InputBus(w))
+	}
+	s, c := b.CSATree(addends, w)
+	sum, _ := b.RippleAdder(s, c, b.Zero())
+	b.Output(sum...)
+	circ := b.Build()
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 200; trial++ {
+		vals := make([]uint64, n)
+		total := uint64(0)
+		for i := range vals {
+			vals[i] = uint64(rng.Intn(1 << 12))
+			total += vals[i]
+		}
+		out := evalBus(t, circ, packScalar(vals...)(w, w, w, w, w, w, w))
+		if got := busValue(out); got != total&0xffff {
+			t.Fatalf("sum = %d, want %d", got, total&0xffff)
+		}
+	}
+}
+
+func TestReduceTrees(t *testing.T) {
+	b := NewBuilder("reduce")
+	x := b.InputBus(9)
+	b.Output(b.OrReduce(x), b.XorReduce(x))
+	c := b.Build()
+	for v := uint64(0); v < 512; v++ {
+		out := evalBus(t, c, packScalar(v)(9))
+		wantOr := uint64(0)
+		if v != 0 {
+			wantOr = 1
+		}
+		wantXor := uint64(bits.OnesCount64(v) & 1)
+		if out[0]&1 != wantOr || out[1]&1 != wantXor {
+			t.Fatalf("reduce(%#x): or=%d xor=%d", v, out[0]&1, out[1]&1)
+		}
+	}
+}
+
+func TestFaultForcingFlipsNode(t *testing.T) {
+	b := NewBuilder("fault")
+	x := b.Input()
+	y := b.Input()
+	n := b.And(x, y)
+	b.Output(n)
+	c := b.Build()
+	e := NewEvaluator(c)
+	base := e.Eval([]uint64{^uint64(0), ^uint64(0)}, NoFault)[0]
+	faulty := e.Eval([]uint64{^uint64(0), ^uint64(0)}, n)[0]
+	if base != ^uint64(0) || faulty != 0 {
+		t.Fatalf("base=%#x faulty=%#x", base, faulty)
+	}
+}
+
+func TestFaultSitesExcludeInputs(t *testing.T) {
+	b := NewBuilder("sites")
+	x := b.InputBus(4)
+	s, _ := b.RippleAdder(x[:2], x[2:], b.Zero())
+	b.Output(s...)
+	c := b.Build()
+	for _, site := range c.FaultSites() {
+		switch c.Kind(site) {
+		case Input, Const0, Const1:
+			t.Fatalf("site %d is a %v", site, c.Kind(site))
+		}
+	}
+	if len(c.FaultSites()) == 0 {
+		t.Fatal("no fault sites")
+	}
+}
+
+func TestLaneParallelism(t *testing.T) {
+	// Each lane carries an independent input vector.
+	b := NewBuilder("lanes")
+	x := b.Input()
+	y := b.Input()
+	b.Output(b.Xor(x, y))
+	c := b.Build()
+	e := NewEvaluator(c)
+	xs := uint64(0xF0F0F0F0F0F0F0F0)
+	ys := uint64(0xFF00FF00FF00FF00)
+	out := e.Eval([]uint64{xs, ys}, NoFault)[0]
+	if out != xs^ys {
+		t.Fatalf("lane xor: %#x", out)
+	}
+}
+
+func TestFFandStages(t *testing.T) {
+	b := NewBuilder("pipe")
+	x := b.InputBus(8)
+	r := b.FFBus(x)
+	b.StageBoundary()
+	s, _ := b.Incrementer(r, b.One())
+	b.Output(b.FFBus(s)...)
+	b.StageBoundary()
+	c := b.Build()
+	if c.NumFF() != 16 {
+		t.Errorf("FF count %d, want 16", c.NumFF())
+	}
+	if c.Stages() != 2 {
+		t.Errorf("stages %d, want 2", c.Stages())
+	}
+	out := evalBus(t, c, packScalar(41)(8))
+	if got := busValue(out); got != 42 {
+		t.Fatalf("pipe inc: %d", got)
+	}
+}
+
+func TestAreaModel(t *testing.T) {
+	b := NewBuilder("area")
+	x := b.Input()
+	y := b.Input()
+	b.Output(b.FF(b.Nand(x, y)))
+	c := b.Build()
+	if got := c.AreaNAND2(); got != 5.5 { // 1 NAND + 1 FF
+		t.Errorf("area %v, want 5.5", got)
+	}
+	counts := c.GateCounts()
+	if counts[Nand] != 1 || counts[FF] != 1 {
+		t.Errorf("counts %v", counts)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if And.String() != "and" || Kind(200).String() == "" {
+		t.Error("kind names")
+	}
+}
+
+func TestEvalScalar(t *testing.T) {
+	b := NewBuilder("scalar")
+	x := b.Input()
+	b.Output(b.Not(x))
+	c := b.Build()
+	e := NewEvaluator(c)
+	if got := e.EvalScalar([]bool{false}, NoFault); !got[0] {
+		t.Error("not(0) != 1")
+	}
+	if got := e.EvalScalar([]bool{true}, NoFault); got[0] {
+		t.Error("not(1) != 0")
+	}
+}
+
+func TestEvalPanicsOnArityMismatch(t *testing.T) {
+	b := NewBuilder("arity")
+	b.Input()
+	c := b.Build()
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on wrong input count")
+		}
+	}()
+	NewEvaluator(c).Eval(nil, NoFault)
+}
+
+func TestDepth(t *testing.T) {
+	b := NewBuilder("depth")
+	x := b.Input()
+	y := b.Input()
+	n1 := b.And(x, y)  // depth 1
+	n2 := b.Xor(n1, x) // depth 2
+	r := b.FF(n2)      // stage cut
+	n3 := b.Or(r, x)   // depth 1 in stage 2
+	b.Output(b.FF(n3))
+	c := b.Build()
+	if got := c.Depth(); got != 2 {
+		t.Errorf("depth %d, want 2 (deepest stage)", got)
+	}
+	// A purely combinational chain accumulates.
+	b2 := NewBuilder("chain")
+	v := b2.Input()
+	for i := 0; i < 10; i++ {
+		v = b2.Not(v)
+	}
+	b2.Output(v)
+	if got := b2.Build().Depth(); got != 10 {
+		t.Errorf("chain depth %d, want 10", got)
+	}
+}

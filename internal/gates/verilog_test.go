@@ -1,0 +1,50 @@
+package gates
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVerilogExport(t *testing.T) {
+	b := NewBuilder("Fp-Add32")
+	x := b.InputBus(4)
+	y := b.InputBus(4)
+	s, c := b.RippleAdder(x, y, b.Zero())
+	r := b.FFBus(s)
+	b.Output(r...)
+	b.Output(b.Mux(c, r[0], b.Not(r[0])))
+	circ := b.Build()
+	v := circ.Verilog()
+	for _, want := range []string{
+		"module Fp_Add32(", "input wire clk", "input wire [7:0] in",
+		"output wire [4:0] out", "always @(posedge clk)", "endmodule",
+		"? ", " ^ ", "assign out[4]",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("verilog missing %q:\n%s", want, v)
+		}
+	}
+	// Every primary input consumed, every output driven.
+	if strings.Count(v, "= in[") != 8 {
+		t.Errorf("input wiring count: %d", strings.Count(v, "= in["))
+	}
+	if strings.Count(v, "assign out[") != 5 {
+		t.Errorf("output wiring count")
+	}
+	// Register count matches the FF count.
+	if strings.Count(v, "_q <=") != circ.NumFF() {
+		t.Errorf("register writes %d, want %d", strings.Count(v, "_q <="), circ.NumFF())
+	}
+}
+
+func TestSanitizeIdent(t *testing.T) {
+	cases := map[string]string{
+		"Fp-MAD64": "Fp_MAD64", "Mod-3 Enc.": "Mod_3_Enc_",
+		"123abc": "_23abc", "": "unit",
+	}
+	for in, want := range cases {
+		if got := sanitizeIdent(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"swapcodes/internal/compiler"
+)
+
+// Chart renders the Figure 12/15/16 bar chart as ASCII, one group of bars
+// per workload — close enough to the paper's figures to eyeball the shape.
+func (r *PerfResult) Chart(title string, maxPct float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	const width = 50
+	scale := func(v float64) int {
+		n := int(v / maxPct * width)
+		if n < 0 {
+			n = 0
+		}
+		if n > width {
+			n = width
+		}
+		return n
+	}
+	fmt.Fprintf(&b, "%-9s %-13s 0%%%s%.0f%%\n", "", "", strings.Repeat(" ", width-8), maxPct)
+	for _, row := range r.Rows {
+		for i, s := range r.Schemes {
+			label := ""
+			if i == 0 {
+				label = row.Workload
+			}
+			if _, failed := row.Errs[s]; failed {
+				fmt.Fprintf(&b, "%-9s %-13s (fails)\n", label, schemeShort(s))
+				continue
+			}
+			sd := 100 * row.Slowdown(s)
+			bar := strings.Repeat("#", scale(sd))
+			fmt.Fprintf(&b, "%-9s %-13s %-*s %5.1f%%\n", label, schemeShort(s), width, bar, sd)
+		}
+	}
+	return b.String()
+}
+
+func schemeShort(s compiler.Scheme) string {
+	name := s.String()
+	if len(name) > 13 {
+		return name[:13]
+	}
+	return name
+}

@@ -1,0 +1,173 @@
+// Package harness drives the experiments that regenerate every table and
+// figure of the paper's evaluation (Section IV-VI): performance sweeps over
+// the workload suite (Figures 12, 15, 16), dynamic instruction breakdowns
+// (Figure 13), power/energy estimation (Figure 14), gate-level error
+// injection campaigns (Figures 10, 11), and the hardware-overhead and
+// qualitative tables (Tables I-IV).
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"swapcodes/internal/compiler"
+	"swapcodes/internal/sm"
+	"swapcodes/internal/workloads"
+)
+
+// Fig12Schemes are the protection schemes of Figure 12.
+func Fig12Schemes() []compiler.Scheme {
+	return []compiler.Scheme{compiler.SWDup, compiler.SwapECC,
+		compiler.SwapPredictAddSub, compiler.SwapPredictMAD}
+}
+
+// Fig16Schemes are the projected future-predictor organizations.
+func Fig16Schemes() []compiler.Scheme {
+	return []compiler.Scheme{compiler.SwapPredictMAD, compiler.SwapPredictOtherFxP,
+		compiler.SwapPredictFpAddSub, compiler.SwapPredictFpMAD}
+}
+
+// Fig15Schemes are the inter-thread duplication variants.
+func Fig15Schemes() []compiler.Scheme {
+	return []compiler.Scheme{compiler.InterThread, compiler.InterThreadNoCheck}
+}
+
+// PerfRow holds one workload's results across schemes.
+type PerfRow struct {
+	Workload string
+	Baseline *sm.Stats
+	Stats    map[compiler.Scheme]*sm.Stats
+	Errs     map[compiler.Scheme]string
+}
+
+// Slowdown returns the fractional slowdown of a scheme over baseline (0.21
+// = 21%), or NaN-free -1 when the scheme failed on this workload.
+func (r *PerfRow) Slowdown(s compiler.Scheme) float64 {
+	st, ok := r.Stats[s]
+	if !ok {
+		return -1
+	}
+	return float64(st.Cycles-r.Baseline.Cycles) / float64(r.Baseline.Cycles)
+}
+
+// PerfResult is a full performance sweep.
+type PerfResult struct {
+	Schemes []compiler.Scheme
+	Rows    []*PerfRow
+}
+
+// RunPerf executes every workload under baseline plus the given schemes,
+// verifying functional correctness of every run. Scheme failures
+// (inter-thread on mm/snap) are recorded, not fatal.
+func RunPerf(schemes []compiler.Scheme, verify bool) (*PerfResult, error) {
+	res := &PerfResult{Schemes: schemes}
+	for _, w := range workloads.All() {
+		row, err := runWorkload(w, schemes, verify)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func runWorkload(w *workloads.Workload, schemes []compiler.Scheme, verify bool) (*PerfRow, error) {
+	row := &PerfRow{Workload: w.Name,
+		Stats: make(map[compiler.Scheme]*sm.Stats),
+		Errs:  make(map[compiler.Scheme]string)}
+	for _, s := range append([]compiler.Scheme{compiler.Baseline}, schemes...) {
+		k, err := compiler.Apply(w.Kernel, s)
+		if err != nil {
+			row.Errs[s] = err.Error()
+			continue
+		}
+		g := w.NewGPU(sm.DefaultConfig())
+		st, err := g.Launch(k)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s/%v: %w", w.Name, s, err)
+		}
+		if verify {
+			if err := w.Verify(g); err != nil {
+				return nil, fmt.Errorf("harness: %s/%v: %w", w.Name, s, err)
+			}
+		}
+		if s == compiler.Baseline {
+			row.Baseline = st
+		} else {
+			row.Stats[s] = st
+		}
+	}
+	return row, nil
+}
+
+// MeanSlowdown is the arithmetic-mean slowdown over the workloads where the
+// scheme ran (the paper's "arithmetic mean slowdown").
+func (r *PerfResult) MeanSlowdown(s compiler.Scheme) float64 {
+	sum, n := 0.0, 0
+	for _, row := range r.Rows {
+		if sd := row.Slowdown(s); sd >= -0.5 && row.Stats[s] != nil {
+			sum += sd
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// WorstSlowdown returns the maximum slowdown and the workload it occurs on.
+func (r *PerfResult) WorstSlowdown(s compiler.Scheme) (float64, string) {
+	worst, name := -1.0, ""
+	for _, row := range r.Rows {
+		if row.Stats[s] == nil {
+			continue
+		}
+		if sd := row.Slowdown(s); sd > worst {
+			worst, name = sd, row.Workload
+		}
+	}
+	return worst, name
+}
+
+// Render prints a slowdown table.
+func (r *PerfResult) Render(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-9s", "program")
+	for _, s := range r.Schemes {
+		fmt.Fprintf(&b, " %12.12s", s.String())
+	}
+	b.WriteString("\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-9s", row.Workload)
+		for _, s := range r.Schemes {
+			if msg, bad := row.Errs[s]; bad {
+				_ = msg
+				fmt.Fprintf(&b, " %12s", "fails")
+				continue
+			}
+			fmt.Fprintf(&b, " %11.1f%%", 100*row.Slowdown(s))
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%-9s", "MEAN")
+	for _, s := range r.Schemes {
+		fmt.Fprintf(&b, " %11.1f%%", 100*r.MeanSlowdown(s))
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-9s", "WORST")
+	for _, s := range r.Schemes {
+		sd, name := r.WorstSlowdown(s)
+		fmt.Fprintf(&b, " %5.0f%%(%s)", 100*sd, shorten(name, 5))
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func shorten(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}

@@ -1,0 +1,171 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"swapcodes/internal/arith"
+	"swapcodes/internal/core"
+	"swapcodes/internal/ecc"
+	"swapcodes/internal/faultsim"
+	"swapcodes/internal/sm"
+	"swapcodes/internal/trace"
+	"swapcodes/internal/workloads"
+)
+
+// CollectOperands runs un-duplicated workloads under the value tracer and
+// returns the operand trace. The paper traces the Rodinia 2.3 programs,
+// targets the lowest-numbered threads, and bounds the trace size
+// (Section IV-A); we additionally trace SNAP because it is the workload
+// with substantial double-precision arithmetic — without it the FP64 units
+// would be injected with synthetic operands instead of real ones.
+func CollectOperands(limit int) (*trace.OperandTrace, error) {
+	tr := trace.NewOperandTrace(limit)
+	progs := append([]*workloads.Workload{}, workloads.Rodinia()...)
+	if snap, err := workloads.ByName("snap"); err == nil {
+		progs = append(progs, snap)
+	}
+	for _, w := range progs {
+		g := w.NewGPU(sm.DefaultConfig())
+		g.Trace = tr.Func(8) // lowest 8 lanes per warp ≈ lowest threads
+		if _, err := g.Launch(w.Kernel); err != nil {
+			return nil, err
+		}
+	}
+	return tr, nil
+}
+
+// UnitInjection is one arithmetic unit's campaign outcome.
+type UnitInjection struct {
+	Unit       *arith.Unit
+	Injections []faultsim.Injection
+}
+
+// SeverityFrac returns the fraction (and Wilson 95% CI) of unmasked errors
+// in the given Figure 10 bucket.
+func (u *UnitInjection) SeverityFrac(sev faultsim.Severity) (frac, lo, hi float64) {
+	h := faultsim.SeverityHistogram(u.Injections)
+	n := len(u.Injections)
+	if n == 0 {
+		return 0, 0, 1
+	}
+	k := h[sev]
+	lo, hi = faultsim.WilsonCI(k, n, 1.96)
+	return float64(k) / float64(n), lo, hi
+}
+
+// SDCRisk evaluates one register-file code over this unit's injections.
+func (u *UnitInjection) SDCRisk(code ecc.Code) (frac, lo, hi float64) {
+	sdc, total := faultsim.SDCRisk(u.Injections, code, u.Unit.OutputWidth)
+	if total == 0 {
+		return 0, 0, 1
+	}
+	lo, hi = faultsim.WilsonCI(sdc, total, 1.96)
+	return float64(sdc) / float64(total), lo, hi
+}
+
+// InjectionResult holds the Figure 10/11 campaign over all six units.
+type InjectionResult struct {
+	Units  []*UnitInjection
+	Tuples int
+}
+
+// RunInjection traces operands, then injects `tuples` unmasked single-event
+// errors into each of the six pipelined arithmetic units (the paper uses
+// 10,000 input pairs per unit).
+func RunInjection(tuples int, seed int64) (*InjectionResult, error) {
+	tr, err := CollectOperands(tuples)
+	if err != nil {
+		return nil, err
+	}
+	res := &InjectionResult{Tuples: tuples}
+	for i, u := range arith.Units() {
+		samples := tr.Sample(u.Name, tuples, seed+int64(i))
+		c := faultsim.NewCampaign(u, seed+100+int64(i))
+		res.Units = append(res.Units, &UnitInjection{
+			Unit:       u,
+			Injections: c.Run(samples),
+		})
+	}
+	return res, nil
+}
+
+// Fig11Codes returns the register-file error codes evaluated in Figure 11,
+// weakest to strongest.
+func Fig11Codes() []ecc.Code {
+	codes := []ecc.Code{ecc.Parity{}}
+	for _, r := range ecc.ResidueSet() {
+		codes = append(codes, r)
+	}
+	codes = append(codes, ecc.NewTED(), ecc.NewSECDEDDP(), ecc.NewSECDP())
+	return codes
+}
+
+// RenderFig10 prints the severity-pattern table.
+func (r *InjectionResult) RenderFig10() string {
+	var b strings.Builder
+	b.WriteString("Figure 10: severity of unmasked transient errors (fraction of injections, 95% CI)\n")
+	fmt.Fprintf(&b, "%-10s %22s %22s %22s\n", "unit", "1 bit", "2-3 bits", ">=4 bits")
+	for _, u := range r.Units {
+		fmt.Fprintf(&b, "%-10s", u.Unit.Name)
+		for _, sev := range []faultsim.Severity{faultsim.OneBit, faultsim.TwoToThreeBits, faultsim.FourPlusBits} {
+			f, lo, hi := u.SeverityFrac(sev)
+			fmt.Fprintf(&b, "  %5.1f%% [%5.1f,%5.1f]", 100*f, 100*lo, 100*hi)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderFig11 prints the SDC-risk table: per unit and per code, plus the
+// pooled all-units risk the paper's headline coverage numbers come from.
+func (r *InjectionResult) RenderFig11() string {
+	codes := Fig11Codes()
+	var b strings.Builder
+	b.WriteString("Figure 11: SwapCodes SDC risk by register-file code (%, 95% CI upper bound in parens)\n")
+	fmt.Fprintf(&b, "%-10s", "unit")
+	for _, c := range codes {
+		fmt.Fprintf(&b, " %14.14s", c.Name())
+	}
+	b.WriteString("\n")
+	for _, u := range r.Units {
+		fmt.Fprintf(&b, "%-10s", u.Unit.Name)
+		for _, c := range codes {
+			f, _, hi := u.SDCRisk(c)
+			fmt.Fprintf(&b, "  %5.2f%%(%5.2f)", 100*f, 100*hi)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%-10s", "ALL")
+	for _, c := range codes {
+		f, hi := r.PooledSDC(c)
+		fmt.Fprintf(&b, "  %5.2f%%(%5.2f)", 100*f, 100*hi)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// PooledSDC aggregates SDC risk across all units (equal weight per
+// injection) and returns the fraction and Wilson upper bound.
+func (r *InjectionResult) PooledSDC(code ecc.Code) (frac, hi float64) {
+	sdc, total := 0, 0
+	for _, u := range r.Units {
+		s, t := faultsim.SDCRisk(u.Injections, code, u.Unit.OutputWidth)
+		sdc += s
+		total += t
+	}
+	if total == 0 {
+		return 0, 1
+	}
+	_, hi = faultsim.WilsonCI(sdc, total, 1.96)
+	return float64(sdc) / float64(total), hi
+}
+
+// DetectionCoverage is 1 - pooled SDC risk: the paper's ">99.3% of pipeline
+// errors with an equal-redundancy residue code / >98.8% with SEC-DED".
+func (r *InjectionResult) DetectionCoverage(code ecc.Code) float64 {
+	f, _ := r.PooledSDC(code)
+	return 1 - f
+}
+
+var _ = core.OrgSECDEDDP // the organizations mirror these codes

@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"swapcodes/internal/compiler"
+	"swapcodes/internal/isa"
+	"swapcodes/internal/trace"
+)
+
+// Fig13Schemes are the configurations whose dynamic-instruction breakdown
+// Figure 13 shows.
+func Fig13Schemes() []compiler.Scheme {
+	return []compiler.Scheme{compiler.SWDup, compiler.SwapECC,
+		compiler.SwapPredictAddSub, compiler.SwapPredictMAD}
+}
+
+// MixResult is the Figure 13 dataset: per workload, per scheme, the
+// category breakdown normalized to the baseline dynamic instruction count.
+type MixResult struct {
+	Rows map[string]map[compiler.Scheme]trace.CodeMix
+	// Order lists workloads in the original Figure 13 order.
+	Order []string
+}
+
+// RunCodeMix computes breakdowns from a performance sweep (the profiler
+// piggybacks on the simulator's category counters, as the paper's
+// binary-instrumentation profiler does on compiler metadata).
+func RunCodeMix(perf *PerfResult) *MixResult {
+	res := &MixResult{Rows: make(map[string]map[compiler.Scheme]trace.CodeMix)}
+	for _, row := range perf.Rows {
+		res.Order = append(res.Order, row.Workload)
+		res.Rows[row.Workload] = make(map[compiler.Scheme]trace.CodeMix)
+		for s, st := range row.Stats {
+			res.Rows[row.Workload][s] = trace.Mix(row.Workload, s.String(), st, row.Baseline)
+		}
+	}
+	return res
+}
+
+// CheckingBloatRange returns the min and max SW-Dup checking fraction over
+// all workloads — the paper reports 11-35%.
+func (m *MixResult) CheckingBloatRange() (lo, hi float64) {
+	lo, hi = 1e9, -1
+	for _, schemes := range m.Rows {
+		mix, ok := schemes[compiler.SWDup]
+		if !ok {
+			continue
+		}
+		f := mix.CheckingFrac()
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	return
+}
+
+// MeanBloat returns the average total dynamic-instruction bloat for a
+// scheme (paper: SW-Dup 91%, Swap-ECC 63%, Pre AddSub 45%, Pre MAD 33%).
+func (m *MixResult) MeanBloat(s compiler.Scheme) float64 {
+	sum, n := 0.0, 0
+	for _, schemes := range m.Rows {
+		if mix, ok := schemes[s]; ok {
+			sum += mix.Bloat
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Render prints the stacked-bar data as a table.
+func (m *MixResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 13: dynamic instruction breakdown relative to the un-duplicated program\n")
+	fmt.Fprintf(&b, "%-9s %-12s %8s %8s %8s %8s %8s %8s\n",
+		"program", "scheme", "notelig", "predict", "duplic", "compins", "checking", "total")
+	for _, w := range m.Order {
+		for _, s := range Fig13Schemes() {
+			mix, ok := m.Rows[w][s]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "%-9s %-12s %7.0f%% %7.0f%% %7.0f%% %7.0f%% %7.0f%% %7.0f%%\n",
+				w, s.String(),
+				100*mix.Frac[isa.CatNotEligible], 100*mix.Frac[isa.CatPredicted],
+				100*mix.Frac[isa.CatDuplicated], 100*mix.Frac[isa.CatCompilerInserted],
+				100*mix.Frac[isa.CatChecking], 100*(1+mix.Bloat))
+		}
+	}
+	lo, hi := m.CheckingBloatRange()
+	fmt.Fprintf(&b, "SW-Dup checking bloat range: %.0f%%..%.0f%% (paper: 11%%..35%%)\n", 100*lo, 100*hi)
+	for _, s := range Fig13Schemes() {
+		fmt.Fprintf(&b, "mean bloat %-12s %.0f%%\n", s.String(), 100*m.MeanBloat(s))
+	}
+	return b.String()
+}

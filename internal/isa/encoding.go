@@ -1,0 +1,187 @@
+package isa
+
+// Binary instruction encoding: each instruction packs into two 64-bit
+// words (the paper's target ISA is likewise a fixed-width binary format
+// with a mutable per-generation layout — Section IV-D notes the 1-bit
+// shadow-write field is an ISA metadata extension, which here is literally
+// one flag bit). Kernels serialize with a small header for save/load of
+// compiled (and transformed) programs.
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Field layout of encoded word 0 (word 1 holds Imm | Reconv<<32).
+const (
+	encOpShift    = 0  // 8 bits
+	encDstShift   = 8  // 8 bits
+	encSrc0Shift  = 16 // 8 bits
+	encSrc1Shift  = 24 // 8 bits
+	encSrc2Shift  = 32 // 8 bits
+	encModShift   = 40 // 4 bits
+	encGuardShift = 44 // 4 bits: 0 = none, else pred+1
+	encGNegBit    = 48
+	encDPredShift = 49 // 4 bits: 0 = none, else pred+1
+	encImmBit     = 53
+	encWideBit    = 54
+	encShadowBit  = 55
+	encPredBit    = 56
+	encCatShift   = 57 // 3 bits
+)
+
+// EncodeBits packs the instruction into two 64-bit words.
+func (in *Instr) EncodeBits() (uint64, uint64) {
+	var w0 uint64
+	w0 |= uint64(in.Op) << encOpShift
+	w0 |= uint64(in.Dst) << encDstShift
+	w0 |= uint64(in.Src[0]) << encSrc0Shift
+	w0 |= uint64(in.Src[1]) << encSrc1Shift
+	w0 |= uint64(in.Src[2]) << encSrc2Shift
+	w0 |= uint64(in.Mod&0xf) << encModShift
+	if in.GuardPred >= 0 {
+		w0 |= uint64(in.GuardPred+1) << encGuardShift
+	}
+	if in.GuardNeg {
+		w0 |= 1 << encGNegBit
+	}
+	if in.DstPred >= 0 {
+		w0 |= uint64(in.DstPred+1) << encDPredShift
+	}
+	if in.HasImm {
+		w0 |= 1 << encImmBit
+	}
+	if in.Wide {
+		w0 |= 1 << encWideBit
+	}
+	if in.Flags&FlagShadow != 0 {
+		w0 |= 1 << encShadowBit
+	}
+	if in.Flags&FlagPredicted != 0 {
+		w0 |= 1 << encPredBit
+	}
+	w0 |= uint64(in.Cat&0x7) << encCatShift
+	w1 := uint64(uint32(in.Imm)) | uint64(uint32(in.Reconv))<<32
+	return w0, w1
+}
+
+// DecodeBits unpacks two words into an instruction.
+func DecodeBits(w0, w1 uint64) Instr {
+	in := Instr{
+		Op:  Opcode(w0 >> encOpShift),
+		Dst: Reg(w0 >> encDstShift),
+		Src: [3]Reg{Reg(w0 >> encSrc0Shift), Reg(w0 >> encSrc1Shift), Reg(w0 >> encSrc2Shift)},
+		Mod: Modifier(w0 >> encModShift & 0xf),
+	}
+	if g := w0 >> encGuardShift & 0xf; g == 0 {
+		in.GuardPred = NoPred
+	} else {
+		in.GuardPred = int8(g - 1)
+	}
+	in.GuardNeg = w0>>encGNegBit&1 != 0
+	if d := w0 >> encDPredShift & 0xf; d == 0 {
+		in.DstPred = -1
+	} else {
+		in.DstPred = int8(d - 1)
+	}
+	in.HasImm = w0>>encImmBit&1 != 0
+	in.Wide = w0>>encWideBit&1 != 0
+	if w0>>encShadowBit&1 != 0 {
+		in.Flags |= FlagShadow
+	}
+	if w0>>encPredBit&1 != 0 {
+		in.Flags |= FlagPredicted
+	}
+	in.Cat = Category(w0 >> encCatShift & 0x7)
+	in.Imm = int32(uint32(w1))
+	in.Reconv = int32(uint32(w1 >> 32))
+	return in
+}
+
+// binaryMagic identifies serialized kernels.
+const binaryMagic = uint32(0x53574B31) // "SWK1"
+
+// EncodeBinary serializes the kernel (header + fixed-width instruction
+// words, little endian).
+func (k *Kernel) EncodeBinary() []byte {
+	name := []byte(k.Name)
+	buf := make([]byte, 0, 28+len(name)+16*len(k.Code))
+	var tmp [8]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(tmp[:4], v)
+		buf = append(buf, tmp[:4]...)
+	}
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:8], v)
+		buf = append(buf, tmp[:8]...)
+	}
+	put32(binaryMagic)
+	put32(uint32(len(name)))
+	buf = append(buf, name...)
+	put32(uint32(k.GridCTAs))
+	put32(uint32(k.CTAThreads))
+	put32(uint32(k.SharedWords))
+	put32(uint32(len(k.Code)))
+	for i := range k.Code {
+		w0, w1 := k.Code[i].EncodeBits()
+		put64(w0)
+		put64(w1)
+	}
+	return buf
+}
+
+// DecodeBinary deserializes and validates a kernel.
+func DecodeBinary(data []byte) (*Kernel, error) {
+	get32 := func() (uint32, error) {
+		if len(data) < 4 {
+			return 0, fmt.Errorf("isa: truncated kernel binary")
+		}
+		v := binary.LittleEndian.Uint32(data)
+		data = data[4:]
+		return v, nil
+	}
+	magic, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("isa: bad kernel magic %#x", magic)
+	}
+	nameLen, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if uint32(len(data)) < nameLen {
+		return nil, fmt.Errorf("isa: truncated kernel name")
+	}
+	name := string(data[:nameLen])
+	data = data[nameLen:]
+	k := &Kernel{Name: name}
+	fields := []*int{&k.GridCTAs, &k.CTAThreads, &k.SharedWords}
+	for _, f := range fields {
+		v, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		*f = int(v)
+	}
+	count, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(data)) < uint64(count)*16 {
+		return nil, fmt.Errorf("isa: truncated code section (%d instructions)", count)
+	}
+	k.Code = make([]Instr, count)
+	for i := range k.Code {
+		w0 := binary.LittleEndian.Uint64(data)
+		w1 := binary.LittleEndian.Uint64(data[8:])
+		data = data[16:]
+		k.Code[i] = DecodeBits(w0, w1)
+	}
+	k.NumRegs = k.MaxReg() + 1
+	if err := k.Validate(); err != nil {
+		return nil, fmt.Errorf("isa: decoded kernel invalid: %w", err)
+	}
+	return k, nil
+}

@@ -1,0 +1,99 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInstrBitsRoundTrip(t *testing.T) {
+	f := func(op uint8, dst, s0, s1, s2 uint8, mod uint8, guard int8, gneg bool,
+		dpred int8, hasImm, wide, shadow, pred bool, cat uint8, imm, reconv int32) bool {
+		in := Instr{
+			Op:  Opcode(op % uint8(BAR+1)),
+			Dst: Reg(dst), Src: [3]Reg{Reg(s0), Reg(s1), Reg(s2)},
+			Mod:       Modifier(mod % 15),
+			GuardPred: guard%8 - 1, GuardNeg: gneg,
+			DstPred: dpred%8 - 1,
+			HasImm:  hasImm, Wide: wide,
+			Imm: imm, Reconv: reconv,
+			Cat: Category(cat % 5),
+		}
+		if in.GuardPred < -1 {
+			in.GuardPred = -1
+		}
+		if in.DstPred < -1 {
+			in.DstPred = -1
+		}
+		if shadow {
+			in.Flags |= FlagShadow
+		}
+		if pred {
+			in.Flags |= FlagPredicted
+		}
+		w0, w1 := in.EncodeBits()
+		got := DecodeBits(w0, w1)
+		return got == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKernelBinaryRoundTrip(t *testing.T) {
+	k := &Kernel{
+		Name: "demo", GridCTAs: 3, CTAThreads: 96, SharedWords: 12,
+		Code: []Instr{
+			{Op: S2R, Dst: 0, Src: [3]Reg{RZ, RZ, RZ}, Imm: int32(SRTid), GuardPred: NoPred, DstPred: -1},
+			{Op: IADD, Dst: 1, Src: [3]Reg{0, RZ, RZ}, Imm: 42, HasImm: true, GuardPred: NoPred, DstPred: -1},
+			{Op: IADD, Dst: 1, Src: [3]Reg{0, RZ, RZ}, Imm: 42, HasImm: true, GuardPred: NoPred, DstPred: -1, Flags: FlagShadow},
+			{Op: STG, Dst: RZ, Src: [3]Reg{0, 1, RZ}, GuardPred: NoPred, DstPred: -1},
+			{Op: EXIT, Dst: RZ, Src: [3]Reg{RZ, RZ, RZ}, GuardPred: NoPred, DstPred: -1},
+		},
+	}
+	k.NumRegs = k.MaxReg() + 1
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bin := k.EncodeBinary()
+	got, err := DecodeBinary(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != k.Name || got.GridCTAs != k.GridCTAs ||
+		got.CTAThreads != k.CTAThreads || got.SharedWords != k.SharedWords {
+		t.Fatalf("header: %+v", got)
+	}
+	if len(got.Code) != len(k.Code) {
+		t.Fatal("code length")
+	}
+	for i := range got.Code {
+		if got.Code[i] != k.Code[i] {
+			t.Fatalf("instr %d: %+v vs %+v", i, got.Code[i], k.Code[i])
+		}
+	}
+}
+
+func TestDecodeBinaryErrors(t *testing.T) {
+	good := (&Kernel{Name: "x", GridCTAs: 1, CTAThreads: 32,
+		Code: []Instr{{Op: EXIT, Dst: RZ, Src: [3]Reg{RZ, RZ, RZ}, GuardPred: NoPred, DstPred: -1}}}).EncodeBinary()
+	cases := [][]byte{
+		nil,
+		good[:3],
+		append([]byte{0, 0, 0, 0}, good[4:]...), // bad magic
+		good[:len(good)-5],                      // truncated code
+	}
+	for i, c := range cases {
+		if _, err := DecodeBinary(c); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// An invalid decoded kernel (branch out of range) is rejected.
+	bad := &Kernel{Name: "b", GridCTAs: 1, CTAThreads: 32,
+		Code: []Instr{
+			{Op: BRA, Dst: RZ, Src: [3]Reg{RZ, RZ, RZ}, Imm: 99, GuardPred: NoPred, DstPred: -1},
+			{Op: EXIT, Dst: RZ, Src: [3]Reg{RZ, RZ, RZ}, GuardPred: NoPred, DstPred: -1},
+		}}
+	if _, err := DecodeBinary(bad.EncodeBinary()); err == nil {
+		t.Error("invalid kernel decoded without error")
+	}
+}

@@ -1,0 +1,147 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpcodeClasses(t *testing.T) {
+	cases := map[Opcode]Class{
+		IADD: ClassFxP, ISETP: ClassFxP, I2F: ClassFxP,
+		FADD: ClassFP32, FFMA: ClassFP32,
+		DADD: ClassFP64, DFMA: ClassFP64,
+		MUFU: ClassSFU, MOV: ClassMove,
+		LDG: ClassMemGlobal, ATOM: ClassMemGlobal,
+		LDS: ClassMemShared,
+		BRA: ClassControl, BAR: ClassControl, EXIT: ClassControl,
+		S2R: ClassSpecial, SHFL: ClassSpecial,
+	}
+	for op, want := range cases {
+		if got := op.Class(); got != want {
+			t.Errorf("%v.Class() = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestDupEligibility(t *testing.T) {
+	eligible := []Opcode{IADD, ISUB, IMUL, IMAD, AND, OR, XOR, SHL, SHR,
+		FADD, FMUL, FFMA, DADD, DMUL, DFMA, MUFU, I2F, F2I, MOV}
+	for _, op := range eligible {
+		if !op.DupEligible() {
+			t.Errorf("%v should be duplication-eligible", op)
+		}
+	}
+	ineligible := []Opcode{ISETP, FSETP, LDG, STG, LDS, STS, ATOM, BRA, EXIT, BPT, BAR, S2R, SHFL, NOP}
+	for _, op := range ineligible {
+		if op.DupEligible() {
+			t.Errorf("%v should not be duplication-eligible", op)
+		}
+	}
+}
+
+func TestIs64Dst(t *testing.T) {
+	if !(&Instr{Op: DADD}).Is64Dst() || !(&Instr{Op: IMAD, Wide: true}).Is64Dst() {
+		t.Error("wide destinations")
+	}
+	if (&Instr{Op: IMAD}).Is64Dst() || (&Instr{Op: FADD}).Is64Dst() {
+		t.Error("narrow destinations")
+	}
+}
+
+func TestWritesReg(t *testing.T) {
+	if (&Instr{Op: STG}).WritesReg() || (&Instr{Op: BRA}).WritesReg() || (&Instr{Op: ISETP}).WritesReg() {
+		t.Error("non-writers")
+	}
+	if !(&Instr{Op: IADD, Dst: 3}).WritesReg() {
+		t.Error("IADD writes")
+	}
+	if (&Instr{Op: IADD, Dst: RZ}).WritesReg() {
+		t.Error("RZ writes discarded")
+	}
+}
+
+func TestValidateCatchesBadBranches(t *testing.T) {
+	k := &Kernel{Name: "bad", GridCTAs: 1, CTAThreads: 32,
+		Code: []Instr{{Op: BRA, Imm: 99, GuardPred: NoPred}, {Op: EXIT, GuardPred: NoPred}}}
+	if err := k.Validate(); err == nil {
+		t.Error("out-of-range branch accepted")
+	}
+	k.Code[0].Imm = 1
+	if err := k.Validate(); err != nil {
+		t.Errorf("valid kernel rejected: %v", err)
+	}
+	// Conditional branch without reconvergence.
+	k.Code[0].GuardPred = 0
+	k.Code[0].Reconv = 0
+	if err := k.Validate(); err == nil {
+		t.Error("conditional branch without reconvergence accepted")
+	}
+}
+
+func TestValidateRequiresExit(t *testing.T) {
+	k := &Kernel{Name: "noexit", GridCTAs: 1, CTAThreads: 32, Code: []Instr{{Op: NOP, GuardPred: NoPred}}}
+	if err := k.Validate(); err == nil {
+		t.Error("kernel without EXIT accepted")
+	}
+}
+
+func TestValidateCTALimits(t *testing.T) {
+	k := &Kernel{Name: "big", GridCTAs: 1, CTAThreads: 2048, Code: []Instr{{Op: EXIT, GuardPred: NoPred}}}
+	if err := k.Validate(); err == nil {
+		t.Error("oversized CTA accepted")
+	}
+}
+
+func TestMaxReg(t *testing.T) {
+	k := &Kernel{Name: "regs", GridCTAs: 1, CTAThreads: 32, Code: []Instr{
+		{Op: IADD, Dst: 5, Src: [3]Reg{3, 4, RZ}, GuardPred: NoPred},
+		{Op: DFMA, Dst: 10, Src: [3]Reg{12, 14, 16}, GuardPred: NoPred},
+		{Op: EXIT, Dst: RZ, Src: [3]Reg{RZ, RZ, RZ}, GuardPred: NoPred},
+	}}
+	if got := k.MaxReg(); got != 17 { // DFMA source pair 16/17
+		t.Errorf("MaxReg = %d, want 17", got)
+	}
+}
+
+func TestUsesShuffle(t *testing.T) {
+	k := &Kernel{Code: []Instr{{Op: SHFL}}}
+	if !k.UsesShuffle() {
+		t.Error("shuffle not detected")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	in := Instr{Op: IADD, Dst: 3, Src: [3]Reg{1, 2, RZ}, GuardPred: NoPred}
+	if s := in.String(); !strings.Contains(s, "IADD") || !strings.Contains(s, "R3") {
+		t.Errorf("disassembly %q", s)
+	}
+	sh := Instr{Op: FMUL, Dst: 4, Src: [3]Reg{1, 2, RZ}, Flags: FlagShadow, GuardPred: NoPred}
+	if !strings.Contains(sh.String(), ".SHDW") {
+		t.Error("shadow marker missing")
+	}
+	g := Instr{Op: BRA, Imm: 7, GuardPred: 2, GuardNeg: true}
+	if s := g.String(); !strings.Contains(s, "@!P2") {
+		t.Errorf("guard %q", s)
+	}
+}
+
+func TestStringersTotal(t *testing.T) {
+	for op := NOP; op <= BAR; op++ {
+		if op.String() == "" {
+			t.Errorf("opcode %d unnamed", op)
+		}
+	}
+	for c := ClassFxP; c <= ClassSpecial; c++ {
+		if c.String() == "" {
+			t.Errorf("class %d unnamed", c)
+		}
+	}
+	for c := CatNotEligible; c <= CatChecking; c++ {
+		if c.String() == "" {
+			t.Errorf("category %d unnamed", c)
+		}
+	}
+	if RZ.String() != "RZ" || Reg(3).String() != "R3" {
+		t.Error("reg names")
+	}
+}

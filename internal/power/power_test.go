@@ -1,0 +1,112 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"swapcodes/internal/isa"
+	"swapcodes/internal/sm"
+)
+
+func fakeStats(cycles int64, perClass map[isa.Class]int64) *sm.Stats {
+	return &sm.Stats{Cycles: cycles, PerClass: perClass}
+}
+
+func TestKernelPowerScalesWithActivity(t *testing.T) {
+	m := DefaultModel()
+	idle := fakeStats(1_000_000, map[isa.Class]int64{})
+	busy := fakeStats(1_000_000, map[isa.Class]int64{isa.ClassFP32: 1_500_000, isa.ClassFxP: 1_000_000})
+	wIdle, _ := m.KernelPower(idle)
+	wBusy, eBusy := m.KernelPower(busy)
+	if wIdle != m.StaticWatts {
+		t.Errorf("idle power %v, want static %v", wIdle, m.StaticWatts)
+	}
+	if wBusy <= wIdle {
+		t.Error("busy power not above static")
+	}
+	if eBusy <= 0 {
+		t.Error("energy not positive")
+	}
+	// P100-class busy kernels should land in a plausible band.
+	if wBusy < 80 || wBusy > 400 {
+		t.Errorf("busy power %v outside plausible band", wBusy)
+	}
+}
+
+// TestDuplicationPowerFlatEnergyProportional is Figure 14's core message:
+// doubling the instruction stream while stretching runtime leaves power
+// nearly flat, so energy overhead tracks the slowdown.
+func TestDuplicationPowerFlatEnergyProportional(t *testing.T) {
+	m := DefaultModel()
+	base := fakeStats(100_000, map[isa.Class]int64{isa.ClassFP32: 150_000, isa.ClassMemGlobal: 20_000})
+	// SW-Dup-like: 1.9x instructions, 1.5x cycles.
+	dup := fakeStats(150_000, map[isa.Class]int64{isa.ClassFP32: 290_000, isa.ClassFxP: 60_000, isa.ClassMemGlobal: 20_000})
+	wb, eb := m.KernelPower(base)
+	wd, ed := m.KernelPower(dup)
+	relPower := wd / wb
+	relEnergy := ed / eb
+	if relPower > 1.20 {
+		t.Errorf("power overhead %.2f implausibly high (paper: <=15%%)", relPower-1)
+	}
+	// Energy ≈ relPower × slowdown.
+	want := relPower * 1.5
+	if math.Abs(relEnergy-want) > 0.05 {
+		t.Errorf("energy ratio %.3f, want ~%.3f", relEnergy, want)
+	}
+}
+
+func TestSampleWindowsAndPercentile(t *testing.T) {
+	m := DefaultModel()
+	st := fakeStats(1_000_000, map[isa.Class]int64{isa.ClassFP32: 1_500_000})
+	active, _ := m.KernelPower(st)
+	samples := m.SampleWindows(st, 0.5, 66)
+	if len(samples) != 66 {
+		t.Fatal("window count")
+	}
+	// Half the windows idle, half active: the 90th percentile must recover
+	// the active power; the 10th must sit at static.
+	if got := Percentile(samples, 90); math.Abs(got-active) > 1e-9 {
+		t.Errorf("p90 = %v, want active %v", got, active)
+	}
+	if got := Percentile(samples, 10); math.Abs(got-m.StaticWatts) > 1e-9 {
+		t.Errorf("p10 = %v, want static %v", got, m.StaticWatts)
+	}
+	// Estimate ties it together.
+	w, e := m.Estimate(st, 0.5, 66)
+	if math.Abs(w-active) > 1e-9 || e <= 0 {
+		t.Errorf("estimate %v/%v", w, e)
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	if Percentile(nil, 90) != 0 {
+		t.Error("empty")
+	}
+	if Percentile([]float64{5}, 90) != 5 {
+		t.Error("single")
+	}
+	s := []float64{3, 1, 2}
+	if Percentile(s, 0) != 1 || Percentile(s, 100) != 3 {
+		t.Error("bounds")
+	}
+	if s[0] != 3 {
+		t.Error("Percentile must not mutate its input")
+	}
+}
+
+func TestEveryClassHasEnergy(t *testing.T) {
+	m := DefaultModel()
+	for cl := isa.ClassFxP; cl <= isa.ClassSpecial; cl++ {
+		if m.EnergyNJ[cl] <= 0 {
+			t.Errorf("class %v has no energy coefficient", cl)
+		}
+	}
+	// FP64 > FP32 > FxP; global memory most expensive.
+	if !(m.EnergyNJ[isa.ClassFP64] > m.EnergyNJ[isa.ClassFP32] &&
+		m.EnergyNJ[isa.ClassFP32] > m.EnergyNJ[isa.ClassFxP]) {
+		t.Error("arithmetic energy ordering")
+	}
+	if m.EnergyNJ[isa.ClassMemGlobal] < m.EnergyNJ[isa.ClassFP64] {
+		t.Error("global memory should dominate per-op energy")
+	}
+}

@@ -1,0 +1,666 @@
+package sm
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"swapcodes/internal/core"
+	"swapcodes/internal/ecc"
+	"swapcodes/internal/isa"
+)
+
+func f32Bits(f float32) uint32     { return math.Float32bits(f) }
+func f32FromBits(b uint32) float32 { return math.Float32frombits(b) }
+func f64Bits(f float64) uint64     { return math.Float64bits(f) }
+func f64FromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// DUEError reports a halted simulation after the register-file decoder
+// flagged a pipeline error (Config.HaltOnDUE).
+type DUEError struct {
+	Kernel string
+	Reg    isa.Reg
+	Lane   int
+}
+
+// Error implements error.
+func (e *DUEError) Error() string {
+	return fmt.Sprintf("sm: kernel %s: pipeline DUE on %v lane %d", e.Kernel, e.Reg, e.Lane)
+}
+
+func (w *warpState) readR(r isa.Reg, lane int) uint32 {
+	if r == isa.RZ {
+		return 0
+	}
+	return w.regs[int(r)*isa.WarpSize+lane]
+}
+
+func (w *warpState) read64(r isa.Reg, lane int) uint64 {
+	return uint64(w.readR(r, lane)) | uint64(w.readR(r+1, lane))<<32
+}
+
+// activeMask applies the guard predicate to the warp's current mask.
+func (w *warpState) activeMask(in *isa.Instr) uint32 {
+	mask := w.top().mask
+	if in.GuardPred == isa.NoPred || in.GuardPred == isa.PT {
+		return mask
+	}
+	bits := w.preds[in.GuardPred]
+	if in.GuardNeg {
+		bits = ^bits
+	}
+	return mask & bits
+}
+
+// exec functionally executes one warp instruction, including control flow
+// and the ECC-protected register-file bookkeeping.
+func (m *machine) exec(w *warpState, in *isa.Instr) error {
+	mask := w.activeMask(in)
+	injectNow := m.g.Fault != nil && !m.g.Fault.Applied && m.dyn-1 == m.g.Fault.TargetDynInstr
+
+	// ECC mode: run every source register of active lanes through the
+	// decoder, as a real read port would.
+	if w.rf != nil && mask != 0 {
+		if err := m.eccCheckSources(w, in, mask); err != nil {
+			return err
+		}
+	}
+
+	switch in.Op {
+	case isa.BRA:
+		return m.execBranch(w, in)
+	case isa.EXIT:
+		m.execExit(w, mask)
+		return nil
+	case isa.BPT:
+		if mask != 0 {
+			m.stats.Trapped = true
+			m.execExit(w, w.top().mask)
+			return nil
+		}
+		m.advancePC(w)
+		return nil
+	case isa.BAR:
+		m.advancePC(w)
+		cta := w.cta
+		w.atBarrier = true
+		cta.arrived++
+		if cta.arrived >= cta.liveWarps {
+			for _, ww := range cta.warps {
+				ww.atBarrier = false
+			}
+			cta.arrived = 0
+		}
+		return nil
+	case isa.NOP:
+		m.advancePC(w)
+		return nil
+	case isa.ISETP, isa.FSETP:
+		m.execSetp(w, in, mask)
+		m.advancePC(w)
+		return nil
+	case isa.STG, isa.STS:
+		err := m.execStore(w, in, mask)
+		m.advancePC(w)
+		return err
+	}
+
+	// Register-writing instructions.
+	var res, resHi [isa.WarpSize]uint32
+	wide := in.Is64Dst()
+	for lane := 0; lane < isa.WarpSize; lane++ {
+		if mask&(1<<uint(lane)) == 0 {
+			continue
+		}
+		lo, hi, err := m.compute(w, in, lane)
+		if err != nil {
+			return err
+		}
+		res[lane] = lo
+		resHi[lane] = hi
+		if m.g.Trace != nil {
+			m.traceLane(w, in, lane, uint64(lo)|uint64(hi)<<32)
+		}
+	}
+	m.writeback(w, in, mask, &res, &resHi, wide, injectNow)
+	m.advancePC(w)
+	return nil
+}
+
+// compute evaluates one lane of a value-producing instruction.
+func (m *machine) compute(w *warpState, in *isa.Instr, lane int) (lo, hi uint32, err error) {
+	a := w.readR(in.Src[0], lane)
+	var b uint32
+	if in.HasImm {
+		b = uint32(in.Imm)
+	} else {
+		b = w.readR(in.Src[1], lane)
+	}
+	switch in.Op {
+	case isa.IADD:
+		return a + b, 0, nil
+	case isa.ISUB:
+		return a - b, 0, nil
+	case isa.IMUL:
+		return a * b, 0, nil
+	case isa.IMAD:
+		if in.Wide {
+			z := uint64(a)*uint64(b) + w.read64(in.Src[2], lane)
+			return uint32(z), uint32(z >> 32), nil
+		}
+		return a*b + w.readR(in.Src[2], lane), 0, nil
+	case isa.AND:
+		return a & b, 0, nil
+	case isa.OR:
+		return a | b, 0, nil
+	case isa.XOR:
+		return a ^ b, 0, nil
+	case isa.SHL:
+		return a << (b & 31), 0, nil
+	case isa.SHR:
+		return a >> (b & 31), 0, nil
+	case isa.FADD:
+		return f32Bits(f32FromBits(a) + f32FromBits(b)), 0, nil
+	case isa.FSUB:
+		return f32Bits(f32FromBits(a) - f32FromBits(b)), 0, nil
+	case isa.FMUL:
+		return f32Bits(f32FromBits(a) * f32FromBits(b)), 0, nil
+	case isa.FFMA:
+		c := f32FromBits(w.readR(in.Src[2], lane))
+		return f32Bits(float32(math.FMA(float64(f32FromBits(a)), float64(f32FromBits(b)), float64(c)))), 0, nil
+	case isa.DADD:
+		z := f64Bits(f64FromBits(w.read64(in.Src[0], lane)) + f64FromBits(w.read64(in.Src[1], lane)))
+		return uint32(z), uint32(z >> 32), nil
+	case isa.DSUB:
+		z := f64Bits(f64FromBits(w.read64(in.Src[0], lane)) - f64FromBits(w.read64(in.Src[1], lane)))
+		return uint32(z), uint32(z >> 32), nil
+	case isa.DMUL:
+		z := f64Bits(f64FromBits(w.read64(in.Src[0], lane)) * f64FromBits(w.read64(in.Src[1], lane)))
+		return uint32(z), uint32(z >> 32), nil
+	case isa.DFMA:
+		z := f64Bits(math.FMA(f64FromBits(w.read64(in.Src[0], lane)),
+			f64FromBits(w.read64(in.Src[1], lane)),
+			f64FromBits(w.read64(in.Src[2], lane))))
+		return uint32(z), uint32(z >> 32), nil
+	case isa.MUFU:
+		x := float64(f32FromBits(a))
+		var v float64
+		switch in.Mod {
+		case isa.FnRCP:
+			v = 1 / x
+		case isa.FnSQRT:
+			v = math.Sqrt(x)
+		case isa.FnEX2:
+			v = math.Exp2(x)
+		case isa.FnLG2:
+			v = math.Log2(x)
+		}
+		return f32Bits(float32(v)), 0, nil
+	case isa.I2F:
+		return f32Bits(float32(int32(a))), 0, nil
+	case isa.F2I:
+		f := f32FromBits(a)
+		if f != f { // NaN
+			return 0, 0, nil
+		}
+		return uint32(int32(f)), 0, nil
+	case isa.MOV:
+		return b | a, 0, nil // MOV d,s has Src[0]=s; MovI has Src[0]=RZ and imm
+	case isa.S2R:
+		return m.special(w, isa.SpecialReg(in.Imm), lane), 0, nil
+	case isa.SHFL:
+		src := lane ^ int(in.Imm&31)
+		return w.readR(in.Src[0], src), 0, nil
+	case isa.LDG:
+		addr := int(int32(a)) + int(in.Imm)
+		if addr < 0 || addr >= len(m.g.Mem) {
+			return 0, 0, fmt.Errorf("sm: kernel %s: LDG out of bounds: %d (lane %d)", m.k.Name, addr, lane)
+		}
+		return m.g.Mem[addr], 0, nil
+	case isa.LDS:
+		addr := int(int32(a)) + int(in.Imm)
+		if addr < 0 || addr >= len(w.cta.shared) {
+			return 0, 0, fmt.Errorf("sm: kernel %s: LDS out of bounds: %d", m.k.Name, addr)
+		}
+		return w.cta.shared[addr], 0, nil
+	case isa.ATOM:
+		addr := int(int32(a)) + int(in.Imm)
+		if addr < 0 || addr >= len(m.g.Mem) {
+			return 0, 0, fmt.Errorf("sm: kernel %s: ATOM out of bounds: %d", m.k.Name, addr)
+		}
+		old := m.g.Mem[addr]
+		val := w.readR(in.Src[1], lane)
+		switch in.Mod {
+		case isa.OpAdd:
+			m.g.Mem[addr] = old + val
+		case isa.OpMin:
+			if int32(val) < int32(old) {
+				m.g.Mem[addr] = val
+			}
+		case isa.OpMax:
+			if int32(val) > int32(old) {
+				m.g.Mem[addr] = val
+			}
+		case isa.OpExch:
+			m.g.Mem[addr] = val
+		case isa.OpCAS:
+			if old == w.readR(in.Src[2], lane) {
+				m.g.Mem[addr] = val
+			}
+		}
+		return old, 0, nil
+	}
+	return 0, 0, fmt.Errorf("sm: kernel %s: unimplemented opcode %v", m.k.Name, in.Op)
+}
+
+// traceLane forwards one executed lane to the value tracer.
+func (m *machine) traceLane(w *warpState, in *isa.Instr, lane int, result uint64) {
+	var a, b, c uint64
+	switch in.Op {
+	case isa.DADD, isa.DSUB, isa.DMUL:
+		a = w.read64(in.Src[0], lane)
+		b = w.read64(in.Src[1], lane)
+	case isa.DFMA:
+		a = w.read64(in.Src[0], lane)
+		b = w.read64(in.Src[1], lane)
+		c = w.read64(in.Src[2], lane)
+	default:
+		a = uint64(w.readR(in.Src[0], lane))
+		if in.HasImm {
+			b = uint64(uint32(in.Imm))
+		} else {
+			b = uint64(w.readR(in.Src[1], lane))
+		}
+		if in.Op == isa.IMAD && in.Wide {
+			c = w.read64(in.Src[2], lane)
+		} else {
+			c = uint64(w.readR(in.Src[2], lane))
+		}
+	}
+	m.g.Trace(in.Op, in.Wide, lane, a, b, c, result)
+}
+
+func (m *machine) special(w *warpState, sr isa.SpecialReg, lane int) uint32 {
+	switch sr {
+	case isa.SRTid:
+		return uint32(w.idInCTA*isa.WarpSize + lane)
+	case isa.SRCtaid:
+		return uint32(w.cta.id)
+	case isa.SRNTid:
+		return uint32(m.k.CTAThreads)
+	case isa.SRNCta:
+		return uint32(m.k.GridCTAs)
+	case isa.SRLane:
+		return uint32(lane)
+	case isa.SRWarp:
+		return uint32(w.idInCTA)
+	}
+	return 0
+}
+
+// writeback commits results, applying the swap-coded register-file
+// semantics and any armed pipeline-fault injection.
+func (m *machine) writeback(w *warpState, in *isa.Instr, mask uint32, res, resHi *[isa.WarpSize]uint32, wide bool, injectNow bool) {
+	if in.Dst == isa.RZ {
+		if injectNow {
+			m.g.Fault.Applied = true // fault landed in a discarded result
+		}
+		return
+	}
+	fp := m.g.Fault
+	for lane := 0; lane < isa.WarpSize; lane++ {
+		if mask&(1<<uint(lane)) == 0 {
+			continue
+		}
+		trueLo, trueHi := res[lane], resHi[lane]
+		lo, hi := trueLo, trueHi
+		if injectNow && lane == fp.Lane {
+			lo ^= fp.BitMask
+			hi ^= fp.BitMaskHi
+			fp.Applied = true
+		}
+		if wide && w.rf != nil && in.Flags&isa.FlagPredicted != 0 {
+			// Compute both halves' predicted check bits BEFORE either write
+			// lands: the destination pair may overlap a source register
+			// (predicted accumulation), and the prediction must see the
+			// pre-write residues.
+			loChk := m.predictedCheck(w, in, int(in.Dst), lane, trueLo)
+			hiChk := m.predictedCheck(w, in, int(in.Dst)+1, lane, trueHi)
+			w.rf.WritePredicted(int(in.Dst), lane, lo, loChk)
+			w.rf.WritePredicted(int(in.Dst)+1, lane, hi, hiChk)
+			w.regs[int(in.Dst)*isa.WarpSize+lane] = lo
+			w.regs[(int(in.Dst)+1)*isa.WarpSize+lane] = hi
+			continue
+		}
+		m.writeLane(w, in, int(in.Dst), lane, lo, trueLo)
+		if wide {
+			m.writeLane(w, in, int(in.Dst)+1, lane, hi, trueHi)
+		}
+	}
+}
+
+// writeLane writes one register of one lane, with the Table II write-back
+// semantics: a shadow instruction's write is masked to the ECC check bits;
+// a predicted instruction's check bits come from the (error-free)
+// prediction pipeline; a propagated move carries the stored ECC word.
+func (m *machine) writeLane(w *warpState, in *isa.Instr, reg, lane int, value, trueValue uint32) {
+	if w.rf != nil {
+		switch {
+		case in.Flags&isa.FlagShadow != 0:
+			// ECC-only write: architectural data unchanged.
+			w.rf.WriteShadow(reg, lane, value)
+			return
+		case in.Flags&isa.FlagPredicted != 0 && in.Op == isa.MOV && !in.HasImm:
+			// End-to-end move propagation (Figure 4): the full stored ECC
+			// word rides along; a datapath error corrupts only the data.
+			w.rf.PropagateMove(reg, int(in.Src[0]), lane)
+			w.rf.WritePredicted(reg, lane, value, w.rf.CheckBitsOf(reg, lane))
+		case in.Flags&isa.FlagPredicted != 0:
+			// The prediction unit forms check bits from the input residues,
+			// independent of the (possibly faulted) main datapath.
+			w.rf.WritePredicted(reg, lane, value, m.predictedCheck(w, in, reg, lane, trueValue))
+		default:
+			w.rf.WriteFull(reg, lane, value)
+		}
+		w.regs[reg*isa.WarpSize+lane] = value
+		return
+	}
+	if in.Flags&isa.FlagShadow != 0 {
+		return // masked write; no architectural data effect
+	}
+	w.regs[reg*isa.WarpSize+lane] = value
+}
+
+// predictedCheck forms the Swap-Predict check bits for one written
+// register. For residue organizations and the fixed-point operations the
+// paper designed real predictors for (Figure 9), the check bits come from
+// the SOURCES' stored residues through the prediction algebra — so a
+// pending error on an input register propagates into the predicted check
+// bits and stays detectable through arithmetic chains. Everything else
+// (logic/shift/floating point — the paper's projected future predictors,
+// plus the non-residue organizations) uses the idealized oracle.
+func (m *machine) predictedCheck(w *warpState, in *isa.Instr, reg, lane int, trueValue uint32) uint32 {
+	r, ok := w.rf.ResidueCode()
+	if !ok {
+		return w.rf.PredictCheck(trueValue)
+	}
+	res := func(src isa.Reg) uint32 {
+		if src == isa.RZ {
+			return 0
+		}
+		return r.Canon(w.rf.CheckBitsOf(int(src), lane))
+	}
+	op1 := func() (val uint32, residue uint32) {
+		if in.HasImm {
+			return uint32(in.Imm), r.Encode(uint32(in.Imm))
+		}
+		return w.readR(in.Src[1], lane), res(in.Src[1])
+	}
+	a := w.readR(in.Src[0], lane)
+	ra := res(in.Src[0])
+	switch in.Op {
+	case isa.IADD:
+		b, rb := op1()
+		cout := (uint64(a)+uint64(b))>>32 != 0
+		return r.PredictAdd(ra, rb, false, cout)
+	case isa.ISUB:
+		b, rb := op1()
+		// Datapath computes a + ^b + 1; |^b|_A derives from |b|_A by
+		// subtracting from |2^32 - 1|_A (wiring + one EAC add).
+		allOnes := r.Sub(r.PowerOfTwoResidue(32), 1)
+		rInvB := r.Sub(allOnes, rb)
+		cout := (uint64(a)+uint64(^b)+1)>>32 != 0
+		return r.PredictSub(ra, rInvB, cout)
+	case isa.IMUL:
+		b, rb := op1()
+		z := uint64(a) * uint64(b)
+		rz := r.Mul(ra, rb)
+		lo, _ := recodePair(r, rz, z)
+		return lo
+	case isa.IMAD:
+		b, rb := op1()
+		if in.Wide {
+			c := w.read64(in.Src[2], lane)
+			z, cout := madWide(a, b, c)
+			lo, hi := r.PredictMAD64(ra, rb, res(in.Src[2]+1), res(in.Src[2]), z, cout)
+			if isa.Reg(reg) == in.Dst {
+				return r.Canon(lo)
+			}
+			return r.Canon(hi)
+		}
+		c := w.readR(in.Src[2], lane)
+		z := uint64(a)*uint64(b) + uint64(c)
+		rz := r.Add(r.Mul(ra, rb), res(in.Src[2]))
+		lo, _ := recodePair(r, rz, z)
+		return lo
+	}
+	// Projected predictors (logic/shift/FP) and moves with immediates.
+	return w.rf.PredictCheck(trueValue)
+}
+
+// recodePair splits a full-width predicted residue into the written 32-bit
+// registers via the Figure 9b recoding encoder.
+func recodePair(r ecc.Residue, rz uint32, z uint64) (lo, hi uint32) {
+	return r.Canon(r.RecodeLow(rz, uint32(z>>32))), r.Canon(r.RecodeHigh(rz, uint32(z)))
+}
+
+// madWide recomputes the wide MAD with its carry-out (the Table III input).
+func madWide(a, b uint32, c uint64) (uint64, bool) {
+	hi64, lo64 := mulHiLo(uint64(a), uint64(b))
+	z := lo64 + c
+	carry := uint64(0)
+	if z < lo64 {
+		carry = 1
+	}
+	return z, hi64+carry != 0
+}
+
+func mulHiLo(x, y uint64) (hi, lo uint64) {
+	return bits.Mul64(x, y)
+}
+
+func (m *machine) execSetp(w *warpState, in *isa.Instr, mask uint32) {
+	var bits uint32
+	for lane := 0; lane < isa.WarpSize; lane++ {
+		if mask&(1<<uint(lane)) == 0 {
+			continue
+		}
+		a := w.readR(in.Src[0], lane)
+		var b uint32
+		if in.HasImm {
+			b = uint32(in.Imm)
+		} else {
+			b = w.readR(in.Src[1], lane)
+		}
+		var t bool
+		if in.Op == isa.ISETP {
+			x, y := int32(a), int32(b)
+			switch in.Mod {
+			case isa.CmpEQ:
+				t = x == y
+			case isa.CmpNE:
+				t = x != y
+			case isa.CmpLT:
+				t = x < y
+			case isa.CmpLE:
+				t = x <= y
+			case isa.CmpGT:
+				t = x > y
+			case isa.CmpGE:
+				t = x >= y
+			}
+		} else {
+			x, y := f32FromBits(a), f32FromBits(b)
+			switch in.Mod {
+			case isa.CmpEQ:
+				t = x == y
+			case isa.CmpNE:
+				t = x != y
+			case isa.CmpLT:
+				t = x < y
+			case isa.CmpLE:
+				t = x <= y
+			case isa.CmpGT:
+				t = x > y
+			case isa.CmpGE:
+				t = x >= y
+			}
+		}
+		if t {
+			bits |= 1 << uint(lane)
+		}
+	}
+	if in.DstPred >= 0 && in.DstPred < isa.PT {
+		w.preds[in.DstPred] = (w.preds[in.DstPred] &^ mask) | bits
+	}
+}
+
+func (m *machine) execStore(w *warpState, in *isa.Instr, mask uint32) error {
+	for lane := 0; lane < isa.WarpSize; lane++ {
+		if mask&(1<<uint(lane)) == 0 {
+			continue
+		}
+		addr := int(int32(w.readR(in.Src[0], lane))) + int(in.Imm)
+		val := w.readR(in.Src[1], lane)
+		if in.Op == isa.STG {
+			if addr < 0 || addr >= len(m.g.Mem) {
+				return fmt.Errorf("sm: kernel %s: STG out of bounds: %d (lane %d)", m.k.Name, addr, lane)
+			}
+			m.g.Mem[addr] = val
+		} else {
+			if addr < 0 || addr >= len(w.cta.shared) {
+				return fmt.Errorf("sm: kernel %s: STS out of bounds: %d", m.k.Name, addr)
+			}
+			w.cta.shared[addr] = val
+		}
+	}
+	return nil
+}
+
+func (m *machine) execBranch(w *warpState, in *isa.Instr) error {
+	top := w.top()
+	curPC := top.pc
+	var takenMask uint32
+	if in.GuardPred == isa.NoPred || in.GuardPred == isa.PT {
+		takenMask = top.mask
+	} else {
+		bits := w.preds[in.GuardPred]
+		if in.GuardNeg {
+			bits = ^bits
+		}
+		takenMask = top.mask & bits
+	}
+	switch {
+	case takenMask == top.mask:
+		top.pc = in.Imm
+	case takenMask == 0:
+		top.pc = curPC + 1
+	default:
+		fall := top.mask &^ takenMask
+		reconv := in.Reconv
+		top.pc = reconv // continuation with the full mask
+		w.stack = append(w.stack,
+			simtEntry{pc: curPC + 1, mask: fall, reconv: reconv},
+			simtEntry{pc: in.Imm, mask: takenMask, reconv: reconv})
+		if len(w.stack) > 64 {
+			return fmt.Errorf("sm: kernel %s: SIMT stack overflow (malformed reconvergence?)", m.k.Name)
+		}
+	}
+	m.popReconverged(w)
+	return nil
+}
+
+func (m *machine) advancePC(w *warpState) {
+	w.top().pc++
+	m.popReconverged(w)
+}
+
+func (m *machine) popReconverged(w *warpState) {
+	for len(w.stack) > 1 {
+		t := w.top()
+		if t.reconv >= 0 && t.pc == t.reconv {
+			w.stack = w.stack[:len(w.stack)-1]
+			continue
+		}
+		break
+	}
+}
+
+// execExit removes lanes from the warp; when all are gone the warp retires
+// (releasing any CTA barrier it would have blocked).
+func (m *machine) execExit(w *warpState, mask uint32) {
+	for i := range w.stack {
+		w.stack[i].mask &^= mask
+	}
+	for len(w.stack) > 0 && w.top().mask == 0 {
+		w.stack = w.stack[:len(w.stack)-1]
+	}
+	if len(w.stack) == 0 {
+		w.done = true
+		cta := w.cta
+		cta.liveWarps--
+		if cta.arrived >= cta.liveWarps && cta.liveWarps > 0 && cta.arrived > 0 {
+			for _, ww := range cta.warps {
+				ww.atBarrier = false
+			}
+			cta.arrived = 0
+		}
+		return
+	}
+	m.advancePC(w)
+	// advancePC moved past EXIT for the remaining (guarded-off) lanes; the
+	// pop check above may already have resolved reconvergence.
+}
+
+// eccCheckSources runs the register-file decoder over every register source
+// of the instruction's active lanes, tallying SwapCodes detections.
+func (m *machine) eccCheckSources(w *warpState, in *isa.Instr, mask uint32) error {
+	check := func(r isa.Reg) error {
+		if r == isa.RZ {
+			return nil
+		}
+		for lane := 0; lane < isa.WarpSize; lane++ {
+			if mask&(1<<uint(lane)) == 0 {
+				continue
+			}
+			v, out := w.rf.Read(int(r), lane)
+			switch out {
+			case core.ReadOK:
+			case core.ReadCorrectedStorage:
+				m.stats.StorageCorrections++
+				w.regs[int(r)*isa.WarpSize+lane] = v
+			case core.ReadDUEPipeline:
+				m.stats.PipelineDUEs++
+				if m.cfg.HaltOnDUE {
+					return &DUEError{Kernel: m.k.Name, Reg: r, Lane: lane}
+				}
+			default:
+				m.stats.StorageDUEs++
+			}
+		}
+		return nil
+	}
+	for si, s := range in.Src {
+		if si == 1 && in.HasImm {
+			continue
+		}
+		wide := false
+		switch in.Op {
+		case isa.DADD, isa.DSUB, isa.DMUL:
+			wide = si < 2
+		case isa.DFMA:
+			wide = true
+		case isa.IMAD:
+			wide = in.Wide && si == 2
+		}
+		if err := check(s); err != nil {
+			return err
+		}
+		if wide {
+			if err := check(s + 1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,272 @@
+package sm
+
+import (
+	"math"
+	"testing"
+
+	"swapcodes/internal/compiler"
+	"swapcodes/internal/isa"
+)
+
+func run1(t *testing.T, k *isa.Kernel, memWords int, init func(*GPU)) *GPU {
+	t.Helper()
+	g := NewGPU(DefaultConfig(), memWords)
+	if init != nil {
+		init(g)
+	}
+	if _, err := g.Launch(k); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestShiftAmountsMasked(t *testing.T) {
+	a := compiler.NewAsm("shift")
+	const rTid, rV, rS = isa.Reg(0), isa.Reg(1), isa.Reg(2)
+	a.S2R(rTid, isa.SRTid)
+	a.MovI(rV, 1)
+	a.IAddI(rS, rTid, 33) // shift amounts 33..64 -> masked to 1..0
+	a.ShlI(rV, rV, 40)    // immediate 40 & 31 = 8
+	a.Stg(rTid, 0, rV)
+	a.Exit()
+	g := run1(t, a.MustBuild(1, 32, 0), 64, nil)
+	for i := 0; i < 32; i++ {
+		if g.Int32(i) != 1<<8 {
+			t.Fatalf("lane %d: %d", i, g.Int32(i))
+		}
+	}
+}
+
+func TestF2INaNAndMufuEdges(t *testing.T) {
+	a := compiler.NewAsm("edges")
+	const rTid, rNaN, rI, rInf, rL = isa.Reg(0), isa.Reg(1), isa.Reg(2), isa.Reg(3), isa.Reg(4)
+	a.S2R(rTid, isa.SRTid)
+	a.MovF(rNaN, float32(math.NaN()))
+	a.F2I(rI, rNaN) // NaN -> 0 (deterministic)
+	a.Stg(rTid, 0, rI)
+	a.MovF(rInf, 0)
+	a.Mufu(isa.FnRCP, rInf, rInf) // 1/0 -> +Inf
+	a.Stg(rTid, 32, rInf)
+	a.MovF(rL, -2)
+	a.Mufu(isa.FnLG2, rL, rL) // log2(-2) -> NaN
+	a.Stg(rTid, 64, rL)
+	a.Exit()
+	g := run1(t, a.MustBuild(1, 32, 0), 128, nil)
+	if g.Int32(0) != 0 {
+		t.Errorf("F2I(NaN) = %d", g.Int32(0))
+	}
+	if !math.IsInf(float64(g.Float32(32)), 1) {
+		t.Errorf("RCP(0) = %v", g.Float32(32))
+	}
+	if !math.IsNaN(float64(g.Float32(64))) {
+		t.Errorf("LG2(-2) = %v", g.Float32(64))
+	}
+}
+
+func TestGuardNegAndFullyPredicatedOff(t *testing.T) {
+	a := compiler.NewAsm("guards")
+	const rTid, rV = isa.Reg(0), isa.Reg(1)
+	a.S2R(rTid, isa.SRTid)
+	a.MovI(rV, 1)
+	a.ISetpI(isa.CmpLT, 0, rTid, 0) // false everywhere
+	a.MovI(rV, 2)
+	a.Guard(0, false) // @p0: never executes
+	a.MovI(rV, 3)
+	a.Guard(0, true) // @!p0: executes everywhere
+	a.Stg(rTid, 0, rV)
+	a.Exit()
+	g := run1(t, a.MustBuild(1, 32, 0), 64, nil)
+	for i := 0; i < 32; i++ {
+		if g.Int32(i) != 3 {
+			t.Fatalf("lane %d: %d", i, g.Int32(i))
+		}
+	}
+}
+
+// TestPredicateMergeUnderDivergence: a SETP executed by a subset of lanes
+// must not clobber the predicate bits of inactive lanes.
+func TestPredicateMergeUnderDivergence(t *testing.T) {
+	a := compiler.NewAsm("pmerge")
+	const rTid, rV = isa.Reg(0), isa.Reg(1)
+	a.S2R(rTid, isa.SRTid)
+	a.ISetpI(isa.CmpGE, 1, rTid, 16) // p1: upper half
+	// Divergent region: lower half flips p1's *meaning* for itself only.
+	a.ISetpI(isa.CmpGE, 0, rTid, 16)
+	a.BraP(0, false, "skip", "skip")
+	a.ISetpI(isa.CmpLT, 1, rTid, 8) // executed by lanes 0..15 only
+	a.Label("skip")
+	// p1 now: lanes 0-7 true, 8-15 false, 16-31 true (preserved).
+	a.MovI(rV, 0)
+	a.MovI(rV, 1)
+	a.Guard(1, false)
+	a.Stg(rTid, 0, rV)
+	a.Exit()
+	g := run1(t, a.MustBuild(1, 32, 0), 64, nil)
+	for i := 0; i < 32; i++ {
+		want := int32(0)
+		if i < 8 || i >= 16 {
+			want = 1
+		}
+		if g.Int32(i) != want {
+			t.Fatalf("lane %d: %d, want %d", i, g.Int32(i), want)
+		}
+	}
+}
+
+func TestNestedDivergence(t *testing.T) {
+	a := compiler.NewAsm("nest")
+	const rTid, rV = isa.Reg(0), isa.Reg(1)
+	a.S2R(rTid, isa.SRTid)
+	a.MovI(rV, 0)
+	a.ISetpI(isa.CmpGE, 0, rTid, 8)
+	a.BraP(0, false, "outer", "outer") // lanes >= 8 skip
+	a.IAddI(rV, rV, 1)                 // lanes 0..7
+	a.ISetpI(isa.CmpGE, 1, rTid, 4)
+	a.BraP(1, false, "inner", "inner") // lanes 4..7 skip
+	a.IAddI(rV, rV, 10)                // lanes 0..3
+	a.Label("inner")
+	a.IAddI(rV, rV, 100) // lanes 0..7
+	a.Label("outer")
+	a.IAddI(rV, rV, 1000) // all lanes
+	a.Stg(rTid, 0, rV)
+	a.Exit()
+	g := run1(t, a.MustBuild(1, 32, 0), 64, nil)
+	for i := 0; i < 32; i++ {
+		var want int32
+		switch {
+		case i < 4:
+			want = 1111
+		case i < 8:
+			want = 1101
+		default:
+			want = 1000
+		}
+		if g.Int32(i) != want {
+			t.Fatalf("lane %d: %d, want %d", i, g.Int32(i), want)
+		}
+	}
+}
+
+func TestPartialExit(t *testing.T) {
+	a := compiler.NewAsm("pexit")
+	const rTid, rV = isa.Reg(0), isa.Reg(1)
+	a.S2R(rTid, isa.SRTid)
+	a.ISetpI(isa.CmpLT, 0, rTid, 16)
+	a.Exit()
+	a.Guard(0, false) // lower half exits early
+	a.MovI(rV, 7)
+	a.Stg(rTid, 0, rV)
+	a.Exit()
+	g := run1(t, a.MustBuild(1, 32, 0), 64, nil)
+	for i := 0; i < 32; i++ {
+		want := int32(0)
+		if i >= 16 {
+			want = 7
+		}
+		if g.Int32(i) != want {
+			t.Fatalf("lane %d: %d, want %d", i, g.Int32(i), want)
+		}
+	}
+}
+
+func TestIMadWideProducesFullProduct(t *testing.T) {
+	a := compiler.NewAsm("wide")
+	const (
+		rTid, rX, rY = isa.Reg(0), isa.Reg(1), isa.Reg(2)
+		rC           = isa.Reg(4) // pair 4,5
+		rZ           = isa.Reg(6) // pair 6,7
+	)
+	a.S2R(rTid, isa.SRTid)
+	a.MovI(rX, 0x10001)
+	a.IAddI(rY, rTid, 0x7fffffff>>8)
+	a.MovI(rC, 5)
+	a.MovI(rC+1, 1) // addend = 2^32 + 5
+	a.IMadWide(rZ, rX, rY, rC)
+	a.ShlI(rX, rTid, 1)
+	a.Stg(rX, 0, rZ)
+	a.Stg(rX, 1, rZ+1)
+	a.Exit()
+	g := run1(t, a.MustBuild(1, 32, 0), 128, nil)
+	for i := 0; i < 32; i++ {
+		want := uint64(0x10001)*uint64(0x7fffff+i) + (1 << 32) + 5
+		got := uint64(g.Mem[2*i]) | uint64(g.Mem[2*i+1])<<32
+		if got != want {
+			t.Fatalf("lane %d: %#x, want %#x", i, got, want)
+		}
+	}
+}
+
+// TestBarrierWithEarlyExitReleases pins the CUDA-like barrier semantics:
+// warps that have exited no longer count toward the barrier, so a barrier
+// reached by only the surviving warps still releases (no hang).
+func TestBarrierWithEarlyExitReleases(t *testing.T) {
+	a := compiler.NewAsm("barexit")
+	const rTid, rV = isa.Reg(0), isa.Reg(1)
+	a.S2R(rTid, isa.SRTid)
+	a.ISetpI(isa.CmpGE, 0, rTid, 64) // warps 2,3 exit before the barrier
+	a.Exit()
+	a.Guard(0, false)
+	a.Bar() // only warps 0,1 arrive — must still release
+	a.MovI(rV, 9)
+	a.Stg(rTid, 0, rV)
+	a.Exit()
+	k := a.MustBuild(1, 128, 0)
+	g := NewGPU(DefaultConfig(), 128)
+	if _, err := g.Launch(k); err != nil {
+		t.Fatalf("barrier with early-exited warps hung: %v", err)
+	}
+	if g.Int32(0) != 9 || g.Int32(63) != 9 {
+		t.Error("surviving warps did not complete")
+	}
+}
+
+func TestSharedMemoryOccupancyLimit(t *testing.T) {
+	a := compiler.NewAsm("shm")
+	a.Sts(isa.RZ, 0, isa.RZ)
+	a.Exit()
+	k := a.MustBuild(8, 32, 12288) // half the SM's shared memory per CTA
+	g := NewGPU(DefaultConfig(), 16)
+	st, err := g.Launch(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxResidentWarps != 2 { // 2 resident CTAs x 1 warp
+		t.Errorf("resident warps %d, want 2 (shared-memory limited)", st.MaxResidentWarps)
+	}
+}
+
+func TestAtomicsCASAndExch(t *testing.T) {
+	const rTid, rOld, rNew, rCmp = isa.Reg(0), isa.Reg(1), isa.Reg(2), isa.Reg(3)
+	b := compiler.NewAsm("cas")
+	b.S2R(rTid, isa.SRTid)
+	b.MovI(rCmp, 0)
+	b.IAddI(rNew, rTid, 1)
+	// CAS(mem[0], 0 -> tid+1): only the first executed lane succeeds.
+	b.AtomCAS(rOld, isa.RZ, rNew, rCmp, 0)
+	b.Stg(rTid, 1, rOld)
+	b.Exit()
+	g := run1(t, b.MustBuild(1, 32, 0), 64, nil)
+	if got := g.Int32(0); got != 1 { // lane 0 executes first: mem[0] = 0+1
+		t.Errorf("CAS result %d, want 1", got)
+	}
+	// Every lane observed the pre-CAS value in lane order: lane 0 saw 0,
+	// later lanes saw lane 0's swap.
+	if g.Int32(1) != 0 {
+		t.Errorf("lane 0 old value %d, want 0", g.Int32(1))
+	}
+	for i := 1; i < 32; i++ {
+		if g.Int32(1+i) != 1 {
+			t.Fatalf("lane %d old value %d, want 1", i, g.Int32(1+i))
+		}
+	}
+	// EXCH: every lane swaps; the final value is the last lane's.
+	c := compiler.NewAsm("exch")
+	c.S2R(rTid, isa.SRTid)
+	c.IAddI(rNew, rTid, 50)
+	c.Atom(isa.OpExch, rOld, isa.RZ, rNew, 4)
+	c.Exit()
+	g2 := run1(t, c.MustBuild(1, 32, 0), 64, nil)
+	if got := g2.Int32(4); got != 81 { // lane 31: 31+50
+		t.Errorf("EXCH final %d, want 81", got)
+	}
+}

@@ -1,0 +1,362 @@
+package sm
+
+import (
+	"fmt"
+	"math"
+
+	"swapcodes/internal/core"
+	"swapcodes/internal/isa"
+)
+
+// simtEntry is one level of the per-warp reconvergence stack.
+type simtEntry struct {
+	pc     int32
+	mask   uint32
+	reconv int32 // -1 for the base entry
+}
+
+type warpState struct {
+	cta       *ctaState
+	idInCTA   int
+	sched     int
+	stack     []simtEntry
+	regs      []uint32 // reg*32 + lane
+	preds     [8]uint32
+	regReady  []int64
+	predReady [8]int64
+	rf        *core.RegFile
+	atBarrier bool
+	done      bool
+}
+
+func (w *warpState) top() *simtEntry { return &w.stack[len(w.stack)-1] }
+
+type ctaState struct {
+	id        int
+	shared    []uint32
+	warps     []*warpState
+	liveWarps int
+	arrived   int
+}
+
+type machine struct {
+	g     *GPU
+	cfg   *Config
+	k     *isa.Kernel
+	stats *Stats
+
+	warpsPerCTA   int
+	residentLimit int
+	nextCTA       int
+	resident      []*ctaState
+	warps         []*warpState // all live resident warps
+	tokens        [10]float64
+	cycle         int64
+	dyn           int64
+}
+
+func newMachine(g *GPU, k *isa.Kernel) *machine {
+	m := &machine{g: g, cfg: &g.Cfg, k: k,
+		stats: &Stats{PerClass: make(map[isa.Class]int64), PerCat: make(map[isa.Category]int64)}}
+	m.warpsPerCTA = (k.CTAThreads + isa.WarpSize - 1) / isa.WarpSize
+	return m
+}
+
+// occupancy computes the resident CTA limit from warp slots, register file
+// capacity, and shared memory — the mechanism through which duplication's
+// register pressure costs parallelism.
+func (m *machine) occupancy() (int, error) {
+	cfg := m.cfg
+	lim := cfg.MaxCTAs
+	if byWarps := cfg.MaxWarps / m.warpsPerCTA; byWarps < lim {
+		lim = byWarps
+	}
+	regsPerThread := m.k.NumRegs
+	if g := cfg.RegAllocGranule; g > 1 {
+		regsPerThread = (regsPerThread + g - 1) / g * g
+	}
+	regsPerCTA := regsPerThread * m.warpsPerCTA * isa.WarpSize
+	if regsPerCTA > 0 {
+		if byRegs := cfg.RegFileWords / regsPerCTA; byRegs < lim {
+			lim = byRegs
+		}
+	}
+	if m.k.SharedWords > 0 {
+		if byShm := cfg.SharedWords / m.k.SharedWords; byShm < lim {
+			lim = byShm
+		}
+	}
+	if lim < 1 {
+		return 0, fmt.Errorf("sm: kernel %s does not fit: %d regs/thread, %d shared words",
+			m.k.Name, m.k.NumRegs, m.k.SharedWords)
+	}
+	return lim, nil
+}
+
+func (m *machine) launchCTA() {
+	cta := &ctaState{id: m.nextCTA, shared: make([]uint32, m.k.SharedWords)}
+	m.nextCTA++
+	for wi := 0; wi < m.warpsPerCTA; wi++ {
+		w := &warpState{
+			cta: cta, idInCTA: wi,
+			sched:    len(m.warps) % m.cfg.Schedulers,
+			stack:    []simtEntry{{pc: 0, mask: m.warpMask(wi), reconv: -1}},
+			regs:     make([]uint32, m.k.NumRegs*isa.WarpSize),
+			regReady: make([]int64, m.k.NumRegs+2),
+		}
+		if m.cfg.ECC {
+			w.rf = core.NewRegFile(m.cfg.Org, m.k.NumRegs, isa.WarpSize)
+		}
+		cta.warps = append(cta.warps, w)
+		m.warps = append(m.warps, w)
+	}
+	cta.liveWarps = len(cta.warps)
+	m.resident = append(m.resident, cta)
+	if n := len(m.warps); n > m.stats.MaxResidentWarps {
+		m.stats.MaxResidentWarps = n
+	}
+}
+
+// warpMask returns the active-lane mask for warp wi of a CTA (the last warp
+// may be partial).
+func (m *machine) warpMask(wi int) uint32 {
+	remaining := m.k.CTAThreads - wi*isa.WarpSize
+	if remaining >= isa.WarpSize {
+		return ^uint32(0)
+	}
+	return (uint32(1) << uint(remaining)) - 1
+}
+
+const farFuture = int64(math.MaxInt64 / 4)
+
+func (m *machine) run() error {
+	lim, err := m.occupancy()
+	if err != nil {
+		return err
+	}
+	m.residentLimit = lim
+	for i := range m.tokens {
+		m.tokens[i] = 1
+	}
+	guard := int64(0)
+	for {
+		for len(m.resident) < m.residentLimit && m.nextCTA < m.k.GridCTAs {
+			m.launchCTA()
+		}
+		if len(m.warps) == 0 {
+			if m.nextCTA >= m.k.GridCTAs {
+				break
+			}
+			continue
+		}
+		issued := false
+		minWake := farFuture
+		slots := m.cfg.IssuePerSched
+		if slots < 1 {
+			slots = 1
+		}
+		for s := 0; s < m.cfg.Schedulers; s++ {
+			for slot := 0; slot < slots; slot++ {
+				w, wake, reason := m.pickWarp(s)
+				if w == nil {
+					if wake < minWake {
+						minWake = wake
+					}
+					switch reason {
+					case stallDeps:
+						m.stats.StallDeps++
+					case stallThrottle:
+						m.stats.StallThrottle++
+					case stallBarrier:
+						m.stats.StallBarrier++
+					default:
+						m.stats.StallNoWarp++
+					}
+					break
+				}
+				if err := m.issue(w); err != nil {
+					return err
+				}
+				issued = true
+			}
+		}
+		m.retire()
+		if issued {
+			m.advance(1)
+		} else {
+			if minWake == farFuture {
+				return fmt.Errorf("sm: kernel %s deadlocked at cycle %d", m.k.Name, m.cycle)
+			}
+			delta := minWake - m.cycle
+			if delta < 1 {
+				delta = 1
+			}
+			m.advance(delta)
+		}
+		guard++
+		if guard > 1<<34 {
+			return fmt.Errorf("sm: kernel %s exceeded cycle guard", m.k.Name)
+		}
+	}
+	m.stats.Cycles = m.cycle
+	return nil
+}
+
+func (m *machine) advance(delta int64) {
+	m.cycle += delta
+	for cl := isa.ClassFxP; cl <= isa.ClassSpecial; cl++ {
+		m.tokens[cl] += m.cfg.rate(cl) * float64(delta)
+		if m.tokens[cl] > 8 {
+			m.tokens[cl] = 8
+		}
+	}
+}
+
+// retire removes finished warps and completed CTAs. (liveWarps is
+// decremented at EXIT time so barrier release logic sees it immediately.)
+func (m *machine) retire() {
+	live := m.warps[:0]
+	for _, w := range m.warps {
+		if w.done {
+			continue
+		}
+		live = append(live, w)
+	}
+	m.warps = live
+	res := m.resident[:0]
+	for _, c := range m.resident {
+		if c.liveWarps > 0 {
+			res = append(res, c)
+		}
+	}
+	m.resident = res
+}
+
+// stallReason classifies why a warp could not issue.
+type stallReason uint8
+
+const (
+	stallNone stallReason = iota
+	stallDeps
+	stallThrottle
+	stallBarrier
+	stallNoWarp
+)
+
+// pickWarp scans scheduler s's warps round-robin for one that can issue;
+// when none can, it returns the earliest wake time and the blocking reason
+// of the nearest-to-ready warp.
+func (m *machine) pickWarp(s int) (*warpState, int64, stallReason) {
+	minWake := farFuture
+	reason := stallNoWarp
+	n := len(m.warps)
+	start := int(m.cycle) % max(n, 1)
+	for i := 0; i < n; i++ {
+		w := m.warps[(start+i)%n]
+		if w.sched != s || w.done {
+			continue
+		}
+		ready, wake, r := m.warpReady(w)
+		if ready {
+			return w, 0, stallNone
+		}
+		if wake < minWake || reason == stallNoWarp {
+			minWake = wake
+			reason = r
+		}
+	}
+	return nil, minWake, reason
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// warpReady checks scoreboard and structural constraints for the warp's
+// next instruction.
+func (m *machine) warpReady(w *warpState) (bool, int64, stallReason) {
+	if w.atBarrier {
+		return false, farFuture, stallBarrier // released by the last arrival
+	}
+	in := &m.k.Code[w.top().pc]
+	wake := m.cycle
+
+	dep := func(r isa.Reg, wide bool) {
+		if r == isa.RZ {
+			return
+		}
+		if t := w.regReady[r]; t > wake {
+			wake = t
+		}
+		if wide {
+			if t := w.regReady[r+1]; t > wake {
+				wake = t
+			}
+		}
+	}
+	for si, src := range in.Src {
+		if si == 1 && in.HasImm {
+			continue
+		}
+		wide := false
+		switch in.Op {
+		case isa.DADD, isa.DSUB, isa.DMUL:
+			wide = si < 2
+		case isa.DFMA:
+			wide = true
+		case isa.IMAD:
+			wide = in.Wide && si == 2
+		}
+		dep(src, wide)
+	}
+	if in.GuardPred >= 0 && in.GuardPred < isa.PT {
+		if t := w.predReady[in.GuardPred]; t > wake {
+			wake = t
+		}
+	}
+	if wake > m.cycle {
+		return false, wake, stallDeps
+	}
+	cl := in.Op.Class()
+	if m.tokens[cl] < 1 {
+		need := (1 - m.tokens[cl]) / m.cfg.rate(cl)
+		return false, m.cycle + int64(need) + 1, stallThrottle
+	}
+	return true, 0, stallNone
+}
+
+// issue consumes a token, executes the instruction functionally, and
+// updates the scoreboard.
+func (m *machine) issue(w *warpState) error {
+	in := &m.k.Code[w.top().pc]
+	cl := in.Op.Class()
+	m.tokens[cl]--
+	m.stats.DynWarpInstrs++
+	m.stats.PerClass[cl]++
+	m.stats.PerCat[in.Cat]++
+	m.dyn++
+
+	if err := m.exec(w, in); err != nil {
+		return err
+	}
+
+	// Scoreboard: the destination becomes readable after the pipe latency;
+	// WAW writes merge to the max (both must land before a read).
+	if in.WritesReg() {
+		lat := m.cfg.latency(cl)
+		t := m.cycle + lat
+		if t > w.regReady[in.Dst] {
+			w.regReady[in.Dst] = t
+		}
+		if in.Is64Dst() && t > w.regReady[in.Dst+1] {
+			w.regReady[in.Dst+1] = t
+		}
+	}
+	if (in.Op == isa.ISETP || in.Op == isa.FSETP) && in.DstPred >= 0 && in.DstPred < isa.PT {
+		w.predReady[in.DstPred] = m.cycle + m.cfg.latency(isa.ClassFxP)
+	}
+	return nil
+}

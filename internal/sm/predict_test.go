@@ -1,0 +1,137 @@
+package sm
+
+import (
+	"testing"
+
+	"swapcodes/internal/compiler"
+	"swapcodes/internal/core"
+	"swapcodes/internal/isa"
+)
+
+// predictKernel: a chain of predictable fixed-point arithmetic ending in a
+// store, single warp (dyn index == pc).
+func predictKernel() *isa.Kernel {
+	a := compiler.NewAsm("predict")
+	const (
+		rTid, rA, rB, rC = isa.Reg(0), isa.Reg(1), isa.Reg(2), isa.Reg(3)
+		rW               = isa.Reg(6) // pair 6,7
+		rZ               = isa.Reg(8) // pair 8,9
+	)
+	a.S2R(rTid, isa.SRTid)
+	a.IAddI(rA, rTid, 1000)    // pc 1: predicted IADD
+	a.ISub(rB, rA, rTid)       // pc 2: predicted ISUB
+	a.IMul(rC, rB, rA)         // pc 3: predicted IMUL
+	a.IMad(rC, rC, rA, rB)     // pc 4: predicted IMAD (accumulating)
+	a.MovI(rW, 7)              // pc 5
+	a.MovI(rW+1, 1)            // pc 6
+	a.IMadWide(rZ, rA, rC, rW) // pc 7: predicted wide MAD
+	a.IAdd(rC, rZ, rZ+1)       // pc 8: consume both halves
+	a.Stg(rTid, 0, rC)         // pc 9
+	a.Exit()
+	return a.MustBuild(1, 32, 0)
+}
+
+// TestResiduePredictionCleanRun: under a residue register file, every
+// predicted write-back's check bits — computed ONLY from the sources'
+// stored residues via the Figure 9 algebra — decode clean on every read.
+func TestResiduePredictionCleanRun(t *testing.T) {
+	for _, org := range []core.Organization{core.OrgMod3, core.OrgMod7, core.OrgMod127} {
+		k := compiler.MustApply(predictKernel(), compiler.SwapPredictMAD)
+		cfg := DefaultConfig()
+		cfg.ECC = true
+		cfg.Org = org
+		g := NewGPU(cfg, 64)
+		st, err := g.Launch(k)
+		if err != nil {
+			t.Fatalf("%v: %v", org, err)
+		}
+		if st.PipelineDUEs != 0 {
+			t.Fatalf("%v: %d false-positive DUEs from real residue prediction", org, st.PipelineDUEs)
+		}
+		for i := 0; i < 32; i++ {
+			a := uint32(i) + 1000
+			b := a - uint32(i)
+			c := b * a
+			c = c*a + b
+			z := uint64(a)*uint64(c) + (1<<32 + 7)
+			want := uint32(z) + uint32(z>>32)
+			if g.Mem[i] != want {
+				t.Fatalf("%v: out[%d] = %#x, want %#x", org, i, g.Mem[i], want)
+			}
+		}
+	}
+}
+
+// TestResiduePredictionDetectsDatapathFault: the prediction pipeline is
+// independent of the main datapath, so a fault in a predicted instruction's
+// result is caught by the register-file decoder at the consuming read.
+func TestResiduePredictionDetectsDatapathFault(t *testing.T) {
+	k := compiler.MustApply(predictKernel(), compiler.SwapPredictMAD)
+	cfg := DefaultConfig()
+	cfg.ECC = true
+	cfg.Org = core.OrgMod7
+	g := NewGPU(cfg, 64)
+	// Fault the predicted IMUL's result (dyn 3 after transformation? find it).
+	target := int64(-1)
+	for pc, in := range k.Code {
+		if in.Op == isa.IMUL {
+			target = int64(pc)
+			break
+		}
+	}
+	g.Fault = &FaultPlan{TargetDynInstr: target, Lane: 11, BitMask: 1 << 6}
+	st, err := g.Launch(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Fault.Applied {
+		t.Fatal("fault not applied")
+	}
+	if st.PipelineDUEs == 0 {
+		t.Fatal("datapath fault on a predicted op went undetected")
+	}
+}
+
+// TestResiduePredictionPropagatesPendingErrors: a pending error on an INPUT
+// register flows through the prediction algebra — the corrupted input's
+// wrong residue yields a mismatched predicted check for the output, so the
+// error chain stays detectable (it is never laundered into a consistent
+// codeword).
+func TestResiduePredictionPropagatesPendingErrors(t *testing.T) {
+	a := compiler.NewAsm("chain")
+	const rTid, rX, rY = isa.Reg(0), isa.Reg(1), isa.Reg(2)
+	a.S2R(rTid, isa.SRTid)
+	a.IAddI(rX, rTid, 3) // predicted producer
+	a.IAddI(rY, rX, 4)   // predicted consumer
+	a.Stg(rTid, 0, rY)
+	a.Exit()
+	k := compiler.MustApply(a.MustBuild(1, 32, 0), compiler.SwapPredictMAD)
+	cfg := DefaultConfig()
+	cfg.ECC = true
+	cfg.Org = core.OrgMod7
+	g := NewGPU(cfg, 64)
+	// Fault the producer: rX's data is corrupted; its predicted check bits
+	// (from rTid's residue) encode the TRUE value.
+	target := int64(-1)
+	seen := 0
+	for pc, in := range k.Code {
+		if in.Op == isa.IADD {
+			if seen == 0 {
+				target = int64(pc)
+			}
+			seen++
+		}
+	}
+	g.Fault = &FaultPlan{TargetDynInstr: target, Lane: 4, BitMask: 1 << 2}
+	st, err := g.Launch(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The consumer read of rX flags; AND the consumer's own predicted
+	// output check (built from rX's pending-true residue vs corrupted data)
+	// keeps the store value detectable too — at least one DUE, and the
+	// corrupted value must never end up in a CONSISTENT codeword.
+	if st.PipelineDUEs == 0 {
+		t.Fatal("pending input error laundered by the predictor")
+	}
+}

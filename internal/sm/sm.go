@@ -1,0 +1,276 @@
+// Package sm simulates a GPU streaming multiprocessor executing the SASS-
+// like ISA: SIMT warps with a reconvergence stack, a scoreboard without
+// register bypassing (the paper's Section III-A assumption), per-class issue
+// throughput and latency, occupancy limited by registers per thread, CTA
+// barriers, and a global/shared memory hierarchy. The simulator is both
+// functional (kernels compute real results) and timing (relative cycle
+// counts drive the Figure 12/15/16 performance reproductions).
+//
+// One simulated SM processes the entire grid in resident-CTA waves — the
+// per-scheme slowdown ratios are what matter, and they are invariant to the
+// SM count.
+package sm
+
+import (
+	"fmt"
+
+	"swapcodes/internal/compiler"
+	"swapcodes/internal/core"
+	"swapcodes/internal/isa"
+)
+
+// Config gives the SM's microarchitectural parameters. The defaults are
+// Pascal-class (DESIGN.md Section 6).
+type Config struct {
+	// Schedulers is the number of warp schedulers.
+	Schedulers int
+	// IssuePerSched is the dual-issue width of each scheduler.
+	IssuePerSched int
+	// RegAllocGranule is the register-file allocation granularity per
+	// thread (occupancy rounds registers/thread up to a multiple of this).
+	RegAllocGranule int
+	// MaxWarps is the resident warp limit.
+	MaxWarps int
+	// MaxCTAs is the resident CTA limit.
+	MaxCTAs int
+	// RegFileWords is the architectural register file capacity in 32-bit
+	// words (registers/thread × threads resident must fit).
+	RegFileWords int
+	// SharedWords is the shared-memory capacity in words.
+	SharedWords int
+
+	// Per-class result latencies in cycles (producer issue to operand
+	// readability; includes write-back since there is no bypass network).
+	// LatGMem is an effective cache-inclusive global-load latency: Rodinia
+	// working sets are largely L1/L2 resident on a P100, so the pure DRAM
+	// figure would overstate latency-boundness.
+	LatFxP, LatFP32, LatFP64, LatSFU, LatMove, LatSMem, LatGMem, LatSpecial int64
+	// BypassSaving is subtracted from ALU-class latencies when modeling a
+	// theoretical bypassed pipeline (the Section VI ablation). Zero by
+	// default.
+	BypassSaving int64
+
+	// Per-class issue throughput in warp-instructions per cycle.
+	ThrFxP, ThrFP32, ThrFP64, ThrSFU, ThrMove, ThrSMem, ThrGMem, ThrSpecial, ThrCtrl float64
+
+	// ECC enables the SwapCodes-protected register file (error-injection
+	// studies and examples; adds bookkeeping cost).
+	ECC bool
+	// Org selects the register-file organization when ECC is on.
+	Org core.Organization
+	// HaltOnDUE stops the simulation at the first pipeline DUE.
+	HaltOnDUE bool
+}
+
+// DefaultConfig returns the Pascal-class baseline configuration.
+func DefaultConfig() Config {
+	return Config{
+		Schedulers:      4,
+		IssuePerSched:   2,
+		RegAllocGranule: 8,
+		MaxWarps:        64,
+		MaxCTAs:         32,
+		RegFileWords:    65536,
+		SharedWords:     24576,
+		LatFxP:          6, LatFP32: 6, LatFP64: 8, LatSFU: 12,
+		LatMove: 4, LatSMem: 24, LatGMem: 140, LatSpecial: 6,
+		ThrFxP: 2, ThrFP32: 2, ThrFP64: 1, ThrSFU: 0.5,
+		ThrMove: 2, ThrSMem: 1, ThrGMem: 0.5, ThrSpecial: 1, ThrCtrl: 4,
+		Org: core.OrgSECDEDDP,
+	}
+}
+
+// latency returns the result latency for a class.
+func (c *Config) latency(cl isa.Class) int64 {
+	var l int64
+	switch cl {
+	case isa.ClassFxP:
+		l = c.LatFxP
+	case isa.ClassFP32:
+		l = c.LatFP32
+	case isa.ClassFP64:
+		l = c.LatFP64
+	case isa.ClassSFU:
+		l = c.LatSFU
+	case isa.ClassMove:
+		l = c.LatMove
+	case isa.ClassMemShared:
+		l = c.LatSMem
+	case isa.ClassMemGlobal:
+		l = c.LatGMem
+	case isa.ClassSpecial:
+		l = c.LatSpecial
+	default:
+		return 1
+	}
+	switch cl {
+	case isa.ClassFxP, isa.ClassFP32, isa.ClassFP64, isa.ClassMove:
+		l -= c.BypassSaving
+		if l < 1 {
+			l = 1
+		}
+	}
+	return l
+}
+
+func (c *Config) rate(cl isa.Class) float64 {
+	switch cl {
+	case isa.ClassFxP:
+		return c.ThrFxP
+	case isa.ClassFP32:
+		return c.ThrFP32
+	case isa.ClassFP64:
+		return c.ThrFP64
+	case isa.ClassSFU:
+		return c.ThrSFU
+	case isa.ClassMove:
+		return c.ThrMove
+	case isa.ClassMemShared:
+		return c.ThrSMem
+	case isa.ClassMemGlobal:
+		return c.ThrGMem
+	case isa.ClassSpecial:
+		return c.ThrSpecial
+	default:
+		return c.ThrCtrl
+	}
+}
+
+// FaultPlan injects one transient pipeline error: when the global dynamic
+// warp-instruction counter reaches TargetDynInstr and that instruction
+// writes a register, the destination value of the chosen lane is XORed with
+// BitMask before write-back (for wide results, BitMaskHi corrupts the high
+// register). This models a single-event upset in the producing datapath.
+type FaultPlan struct {
+	TargetDynInstr int64
+	Lane           int
+	BitMask        uint32
+	BitMaskHi      uint32
+	// Applied reports whether the fault fired.
+	Applied bool
+}
+
+// Stats aggregates one launch.
+type Stats struct {
+	Cycles           int64
+	DynWarpInstrs    int64
+	PerClass         map[isa.Class]int64
+	PerCat           map[isa.Category]int64
+	MaxResidentWarps int
+	// PipelineDUEs counts register reads flagged as pipeline errors by the
+	// ECC decoder (SwapCodes detections).
+	PipelineDUEs int64
+	// StorageCorrections counts corrected storage errors.
+	StorageCorrections int64
+	// StorageDUEs counts detected-uncorrectable storage/unattributed events.
+	StorageDUEs int64
+	// Trapped reports a software-checking BPT trap fired (SW-Dup or
+	// inter-thread detection).
+	Trapped bool
+	// Stall attribution: per scheduler slot that failed to issue, the
+	// blocking reason of the nearest-to-ready warp. StallDeps counts
+	// scoreboard (operand latency) stalls, StallThrottle execution-pipe
+	// bandwidth stalls, StallBarrier barrier waits, and StallNoWarp slots
+	// with no live warp assigned.
+	StallDeps, StallThrottle, StallBarrier, StallNoWarp int64
+}
+
+// IPC returns issued warp instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.DynWarpInstrs) / float64(s.Cycles)
+}
+
+// TraceFunc observes executed arithmetic, SASSI-style (Section IV-A): one
+// call per value-producing lane with the operand values and result. FP64
+// operands arrive as full 64-bit values; everything else in the low 32 bits.
+type TraceFunc func(op isa.Opcode, wide bool, lane int, a, b, c, result uint64)
+
+// GPU owns global memory and runs kernels.
+type GPU struct {
+	Cfg Config
+	Mem []uint32
+	// Fault, when non-nil, arms pipeline error injection for the next
+	// launch.
+	Fault *FaultPlan
+	// Trace, when non-nil, receives per-lane operand/result values of
+	// arithmetic instructions (the binary-instrumentation value tracer).
+	Trace TraceFunc
+}
+
+// NewGPU allocates a device with memWords words of global memory.
+func NewGPU(cfg Config, memWords int) *GPU {
+	return &GPU{Cfg: cfg, Mem: make([]uint32, memWords)}
+}
+
+// Float32 reads global memory as f32.
+func (g *GPU) Float32(addr int) float32 { return f32FromBits(g.Mem[addr]) }
+
+// SetFloat32 writes f32 to global memory.
+func (g *GPU) SetFloat32(addr int, v float32) { g.Mem[addr] = f32Bits(v) }
+
+// Float64 reads a two-word f64.
+func (g *GPU) Float64(addr int) float64 {
+	return f64FromBits(uint64(g.Mem[addr]) | uint64(g.Mem[addr+1])<<32)
+}
+
+// SetFloat64 writes a two-word f64.
+func (g *GPU) SetFloat64(addr int, v float64) {
+	b := f64Bits(v)
+	g.Mem[addr] = uint32(b)
+	g.Mem[addr+1] = uint32(b >> 32)
+}
+
+// Int32 reads global memory as a signed int.
+func (g *GPU) Int32(addr int) int32 { return int32(g.Mem[addr]) }
+
+// SetInt32 writes a signed int.
+func (g *GPU) SetInt32(addr int, v int32) { g.Mem[addr] = uint32(v) }
+
+// Snapshot captures device memory for checkpoint-based recovery — the
+// paper's Section VI observation that Swap-ECC's strict error containment
+// (detection at the register read, before any store) lets conventional
+// checkpoint/restart recover from pipeline DUEs.
+func (g *GPU) Snapshot() []uint32 {
+	out := make([]uint32, len(g.Mem))
+	copy(out, g.Mem)
+	return out
+}
+
+// Restore rolls device memory back to a snapshot.
+func (g *GPU) Restore(snap []uint32) {
+	copy(g.Mem, snap)
+}
+
+// Launch runs a kernel to completion and returns its stats.
+func (g *GPU) Launch(k *isa.Kernel) (*Stats, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	m := newMachine(g, k)
+	if err := m.run(); err != nil {
+		return nil, err
+	}
+	return m.stats, nil
+}
+
+// RunScheme compiles the kernel under a scheme and launches it, a
+// convenience for the experiment harness.
+func (g *GPU) RunScheme(k *isa.Kernel, s compiler.Scheme) (*Stats, error) {
+	t, err := compiler.Apply(k, s)
+	if err != nil {
+		return nil, err
+	}
+	return g.Launch(t)
+}
+
+// TrapError is returned when HaltOnDUE is unset but a BPT trap fires and
+// execution cannot meaningfully continue.
+type TrapError struct{ Kernel string }
+
+// Error implements error.
+func (e *TrapError) Error() string {
+	return fmt.Sprintf("sm: kernel %s: BPT trap (software error detection fired)", e.Kernel)
+}

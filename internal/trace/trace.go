@@ -1,0 +1,211 @@
+// Package trace provides the SASSI-style binary-instrumentation tools of
+// Section IV-A: a duplicated-code-mix profiler that classifies every dynamic
+// instruction using compiler metadata (Figure 13), and an arithmetic value
+// tracer that extracts realistic operand streams from running workloads to
+// drive the gate-level error injection of Figures 10 and 11.
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"swapcodes/internal/isa"
+	"swapcodes/internal/sm"
+)
+
+// Unit names matching internal/arith's Figure 10 units.
+const (
+	UnitFxPAdd32 = "FxP-Add32"
+	UnitFxPMAD32 = "FxP-MAD32"
+	UnitFpAdd32  = "Fp-Add32"
+	UnitFpMAD32  = "Fp-MAD32"
+	UnitFpAdd64  = "Fp-Add64"
+	UnitFpMAD64  = "Fp-MAD64"
+)
+
+// UnitNames lists the traced units in Figure 10 order.
+func UnitNames() []string {
+	return []string{UnitFxPAdd32, UnitFxPMAD32, UnitFpAdd32, UnitFpMAD32, UnitFpAdd64, UnitFpMAD64}
+}
+
+// OperandTrace accumulates operand tuples per arithmetic unit.
+type OperandTrace struct {
+	perUnit map[string][][]uint64
+	limit   int
+}
+
+// NewOperandTrace collects at most limit tuples per unit (the paper bounds
+// its traces at 100,000 instructions; the tuple cap plays the same role).
+func NewOperandTrace(limit int) *OperandTrace {
+	return &OperandTrace{perUnit: make(map[string][][]uint64), limit: limit}
+}
+
+// Func returns the sm.TraceFunc that feeds this trace. Only the lowest
+// maxLane lanes are observed, mirroring the paper's 2048-lowest-threads
+// bound.
+func (t *OperandTrace) Func(maxLane int) sm.TraceFunc {
+	return func(op isa.Opcode, wide bool, lane int, a, b, c, result uint64) {
+		if lane >= maxLane {
+			return
+		}
+		unit, tuple := classify(op, wide, a, b, c)
+		if unit == "" {
+			return
+		}
+		if len(t.perUnit[unit]) >= t.limit {
+			return
+		}
+		t.perUnit[unit] = append(t.perUnit[unit], tuple)
+	}
+}
+
+// classify maps an executed opcode onto the injected unit and its operand
+// tuple. Subtractions are folded onto the adders via operand negation.
+func classify(op isa.Opcode, wide bool, a, b, c uint64) (string, []uint64) {
+	switch op {
+	case isa.IADD:
+		return UnitFxPAdd32, []uint64{a & 0xffffffff, b & 0xffffffff}
+	case isa.ISUB:
+		return UnitFxPAdd32, []uint64{a & 0xffffffff, uint64(uint32(-int32(b)))}
+	case isa.IMUL:
+		return UnitFxPMAD32, []uint64{a & 0xffffffff, b & 0xffffffff, 0}
+	case isa.IMAD:
+		if wide {
+			return UnitFxPMAD32, []uint64{a & 0xffffffff, b & 0xffffffff, c}
+		}
+		return UnitFxPMAD32, []uint64{a & 0xffffffff, b & 0xffffffff, c & 0xffffffff}
+	case isa.FADD:
+		return UnitFpAdd32, []uint64{a & 0xffffffff, b & 0xffffffff}
+	case isa.FSUB:
+		return UnitFpAdd32, []uint64{a & 0xffffffff, (b ^ 0x80000000) & 0xffffffff}
+	case isa.FMUL:
+		return UnitFpMAD32, []uint64{a & 0xffffffff, b & 0xffffffff, 0}
+	case isa.FFMA:
+		return UnitFpMAD32, []uint64{a & 0xffffffff, b & 0xffffffff, c & 0xffffffff}
+	case isa.DADD:
+		return UnitFpAdd64, []uint64{a, b}
+	case isa.DSUB:
+		return UnitFpAdd64, []uint64{a, b ^ (1 << 63)}
+	case isa.DMUL:
+		return UnitFpMAD64, []uint64{a, b, 0}
+	case isa.DFMA:
+		return UnitFpMAD64, []uint64{a, b, c}
+	}
+	return "", nil
+}
+
+// Tuples returns the collected tuples for a unit.
+func (t *OperandTrace) Tuples(unit string) [][]uint64 { return t.perUnit[unit] }
+
+// Sample draws n tuples (with replacement) for a unit using the given seed;
+// it synthesizes filler tuples deterministically if the trace is empty for
+// that unit (never the case for the shipped workloads).
+func (t *OperandTrace) Sample(unit string, n int, seed int64) [][]uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	src := t.perUnit[unit]
+	out := make([][]uint64, n)
+	for i := range out {
+		if len(src) == 0 {
+			out[i] = []uint64{rng.Uint64(), rng.Uint64(), rng.Uint64()}
+			continue
+		}
+		out[i] = src[rng.Intn(len(src))]
+	}
+	return out
+}
+
+// Counts summarizes how many tuples each unit holds.
+func (t *OperandTrace) Counts() map[string]int {
+	m := make(map[string]int, len(t.perUnit))
+	for k, v := range t.perUnit {
+		m[k] = len(v)
+	}
+	return m
+}
+
+// CodeMix is the Figure 13 dynamic-instruction breakdown for one transformed
+// program, with counts normalized against the un-duplicated baseline.
+type CodeMix struct {
+	Workload string
+	Scheme   string
+	// Fraction per category, relative to the BASELINE dynamic count (the
+	// stacked bars of Figure 13 sum past 100% for duplicated programs).
+	Frac map[isa.Category]float64
+	// Bloat is total dynamic instructions relative to baseline, minus one.
+	Bloat float64
+}
+
+// Mix computes the breakdown from transformed-run and baseline-run stats.
+func Mix(workload, scheme string, transformed, baseline *sm.Stats) CodeMix {
+	mix := CodeMix{Workload: workload, Scheme: scheme, Frac: make(map[isa.Category]float64)}
+	base := float64(baseline.DynWarpInstrs)
+	for cat, n := range transformed.PerCat {
+		mix.Frac[cat] = float64(n) / base
+	}
+	mix.Bloat = float64(transformed.DynWarpInstrs)/base - 1
+	return mix
+}
+
+// CheckingFrac returns the checking-instruction fraction (the quantity
+// Figure 13 sorts programs by).
+func (m CodeMix) CheckingFrac() float64 { return m.Frac[isa.CatChecking] }
+
+// String renders one row.
+func (m CodeMix) String() string {
+	return fmt.Sprintf("%s/%s: notelig=%.2f pred=%.2f dup=%.2f ins=%.2f chk=%.2f (bloat %.0f%%)",
+		m.Workload, m.Scheme, m.Frac[isa.CatNotEligible], m.Frac[isa.CatPredicted],
+		m.Frac[isa.CatDuplicated], m.Frac[isa.CatCompilerInserted], m.Frac[isa.CatChecking],
+		100*m.Bloat)
+}
+
+// OperandProfile summarizes the traced operand values of one unit — the
+// evidence that the injection campaign runs on realistic data (floating-
+// point operands overwhelmingly normal numbers with working-set-typical
+// exponents, not uniform random bits).
+type OperandProfile struct {
+	Tuples int
+	// ZeroFrac is the fraction of operand slots holding exact zero.
+	ZeroFrac float64
+	// For floating-point units: fraction of nonzero operands that are
+	// normal numbers, plus the observed biased-exponent range.
+	NormalFrac     float64
+	MinExp, MaxExp int
+}
+
+// Profile computes the operand profile for a floating-point unit's trace
+// (expBits 8 for the 32-bit units, 11 for the 64-bit ones).
+func (t *OperandTrace) Profile(unit string, expBits int) OperandProfile {
+	p := OperandProfile{MinExp: 1 << 16, MaxExp: -1}
+	slots, zeros, normals := 0, 0, 0
+	manBits := 23
+	if expBits == 11 {
+		manBits = 52
+	}
+	for _, tup := range t.perUnit[unit] {
+		p.Tuples++
+		for _, v := range tup {
+			slots++
+			if v == 0 {
+				zeros++
+				continue
+			}
+			e := int(v >> uint(manBits) & (1<<uint(expBits) - 1))
+			if e != 0 && e != (1<<uint(expBits))-1 {
+				normals++
+				if e < p.MinExp {
+					p.MinExp = e
+				}
+				if e > p.MaxExp {
+					p.MaxExp = e
+				}
+			}
+		}
+	}
+	if slots > 0 {
+		p.ZeroFrac = float64(zeros) / float64(slots)
+	}
+	if nz := slots - zeros; nz > 0 {
+		p.NormalFrac = float64(normals) / float64(nz)
+	}
+	return p
+}

@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"swapcodes/internal/compiler"
+	"swapcodes/internal/isa"
+	"swapcodes/internal/sm"
+)
+
+func TestClassifyMapping(t *testing.T) {
+	cases := []struct {
+		op    isa.Opcode
+		wide  bool
+		unit  string
+		arity int
+	}{
+		{isa.IADD, false, UnitFxPAdd32, 2},
+		{isa.ISUB, false, UnitFxPAdd32, 2},
+		{isa.IMUL, false, UnitFxPMAD32, 3},
+		{isa.IMAD, true, UnitFxPMAD32, 3},
+		{isa.FADD, false, UnitFpAdd32, 2},
+		{isa.FSUB, false, UnitFpAdd32, 2},
+		{isa.FFMA, false, UnitFpMAD32, 3},
+		{isa.DADD, false, UnitFpAdd64, 2},
+		{isa.DFMA, false, UnitFpMAD64, 3},
+	}
+	for _, c := range cases {
+		unit, tuple := classify(c.op, c.wide, 1, 2, 3)
+		if unit != c.unit || len(tuple) != c.arity {
+			t.Errorf("%v: unit=%s arity=%d, want %s/%d", c.op, unit, len(tuple), c.unit, c.arity)
+		}
+	}
+	if unit, _ := classify(isa.LDG, false, 0, 0, 0); unit != "" {
+		t.Error("non-arithmetic opcode classified")
+	}
+}
+
+func TestSubtractionNegatesOperand(t *testing.T) {
+	_, tup := classify(isa.ISUB, false, 10, 3, 0)
+	if tup[1] != uint64(^uint32(3)+1) {
+		t.Errorf("ISUB operand b = %#x, want two's complement of 3", tup[1])
+	}
+	_, ftup := classify(isa.FSUB, false, 0, uint64(math.Float32bits(2.5)), 0)
+	if ftup[1] != uint64(math.Float32bits(-2.5)) {
+		t.Errorf("FSUB operand b = %#x, want sign-flipped 2.5", ftup[1])
+	}
+	_, dtup := classify(isa.DSUB, false, 0, math.Float64bits(1.5), 0)
+	if dtup[1] != math.Float64bits(-1.5) {
+		t.Error("DSUB operand b should be sign-flipped")
+	}
+}
+
+func TestOperandTraceCollectsFromKernel(t *testing.T) {
+	a := compiler.NewAsm("tr")
+	const rTid, rF, rG, rD = isa.Reg(0), isa.Reg(1), isa.Reg(2), isa.Reg(3)
+	a.S2R(rTid, isa.SRTid)
+	a.I2F(rF, rTid)
+	a.FAdd(rG, rF, rF)
+	a.FFma(rG, rF, rF, rG)
+	a.IAddI(rD, rTid, 5)
+	a.Stg(rTid, 0, rD)
+	a.Exit()
+	k := a.MustBuild(1, 32, 0)
+	tr := NewOperandTrace(100)
+	g := sm.NewGPU(sm.DefaultConfig(), 64)
+	g.Trace = tr.Func(8)
+	if _, err := g.Launch(k); err != nil {
+		t.Fatal(err)
+	}
+	counts := tr.Counts()
+	if counts[UnitFpAdd32] != 8 { // 8 observed lanes
+		t.Errorf("FpAdd tuples %d, want 8", counts[UnitFpAdd32])
+	}
+	if counts[UnitFpMAD32] != 8 || counts[UnitFxPAdd32] != 8 {
+		t.Errorf("counts %v", counts)
+	}
+	// The FADD tuples hold real values: lane L's operand is float32(L) twice.
+	for _, tup := range tr.Tuples(UnitFpAdd32) {
+		if tup[0] != tup[1] {
+			t.Errorf("FADD operands differ: %#x %#x", tup[0], tup[1])
+		}
+	}
+}
+
+func TestOperandTraceLimitAndLaneBound(t *testing.T) {
+	tr := NewOperandTrace(3)
+	f := tr.Func(4)
+	for lane := 0; lane < 32; lane++ {
+		f(isa.IADD, false, lane, 1, 2, 0, 3)
+	}
+	if got := tr.Counts()[UnitFxPAdd32]; got != 3 {
+		t.Errorf("limit not enforced: %d", got)
+	}
+}
+
+func TestSampleDeterministicWithSeed(t *testing.T) {
+	tr := NewOperandTrace(10)
+	f := tr.Func(32)
+	for i := 0; i < 10; i++ {
+		f(isa.IADD, false, 0, uint64(i), uint64(i*2), 0, 0)
+	}
+	a := tr.Sample(UnitFxPAdd32, 20, 7)
+	b := tr.Sample(UnitFxPAdd32, 20, 7)
+	for i := range a {
+		if a[i][0] != b[i][0] || a[i][1] != b[i][1] {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+	// Unknown unit synthesizes filler rather than failing.
+	c := tr.Sample("Fp-MAD64", 5, 1)
+	if len(c) != 5 {
+		t.Error("filler sampling broken")
+	}
+}
+
+func TestMixComputesFractions(t *testing.T) {
+	base := &sm.Stats{DynWarpInstrs: 100}
+	transformed := &sm.Stats{DynWarpInstrs: 180, PerCat: map[isa.Category]int64{
+		isa.CatNotEligible: 40, isa.CatDuplicated: 100, isa.CatChecking: 30, isa.CatCompilerInserted: 10,
+	}}
+	m := Mix("w", "s", transformed, base)
+	if m.Frac[isa.CatChecking] != 0.3 || m.Frac[isa.CatDuplicated] != 1.0 {
+		t.Errorf("fractions %v", m.Frac)
+	}
+	if m.Bloat != 0.8 {
+		t.Errorf("bloat %v, want 0.8", m.Bloat)
+	}
+	if m.CheckingFrac() != 0.3 {
+		t.Error("checking frac")
+	}
+	if m.String() == "" {
+		t.Error("empty render")
+	}
+	if len(UnitNames()) != 6 {
+		t.Error("unit list")
+	}
+}

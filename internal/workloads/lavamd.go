@@ -1,0 +1,152 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"swapcodes/internal/compiler"
+	"swapcodes/internal/isa"
+	"swapcodes/internal/sm"
+)
+
+// LavaMD models the Rodinia lavaMD kernel: particle-particle interactions
+// within a neighbourhood box. Each CTA caches its box in shared memory and
+// every thread accumulates an exponentially-screened force over all box
+// particles — a floating-point multiply-add-bound inner loop with little
+// checking surface, the paper's worst case for every duplication scheme
+// (Section IV-C, Section VI).
+func LavaMD() *Workload {
+	const (
+		grid = 8
+		cta  = 128
+		np   = grid * cta // particles
+		nb   = 64         // neighbours per box
+		a2   = float32(0.5)
+	)
+	// Memory: x[np] y[np] z[np] q[np] m[np] v[np] fx[np] fy[np] fz[np].
+	const (
+		offX, offY, offZ, offQ = 0, np, 2 * np, 3 * np
+		offM, offV             = 4 * np, 5 * np
+		offFX, offFY, offFZ    = 6 * np, 7 * np, 8 * np
+	)
+	const (
+		rTid, rCta, rNTid, rIdx = isa.Reg(0), isa.Reg(1), isa.Reg(2), isa.Reg(3)
+		rXi, rYi, rZi           = isa.Reg(4), isa.Reg(5), isa.Reg(6)
+		rV                      = isa.Reg(7)
+		rFx, rFy, rFz           = isa.Reg(8), isa.Reg(9), isa.Reg(10)
+		rJ                      = isa.Reg(11)
+		rXj, rYj, rZj, rQj      = isa.Reg(12), isa.Reg(13), isa.Reg(14), isa.Reg(15)
+		rDx, rDy, rDz           = isa.Reg(16), isa.Reg(17), isa.Reg(18)
+		rR2, rU, rVij, rFs      = isa.Reg(19), isa.Reg(20), isa.Reg(21), isa.Reg(22)
+		rMj, rVv, rFs2          = isa.Reg(23), isa.Reg(24), isa.Reg(25)
+	)
+	log2e := float32(math.Log2E)
+
+	b := compiler.NewAsm("lavaMD")
+	b.S2R(rTid, isa.SRTid)
+	b.S2R(rCta, isa.SRCtaid)
+	b.S2R(rNTid, isa.SRNTid)
+	b.IMad(rIdx, rCta, rNTid, rTid)
+	// Own particle position.
+	b.Ldg(rXi, rIdx, offX)
+	b.Ldg(rYi, rIdx, offY)
+	b.Ldg(rZi, rIdx, offZ)
+	// Cooperative shared-memory fill of the box: x | y | z | q | m | v.
+	// (Each CTA's first nb threads populate the box.)
+	b.AndI(rV, rTid, nb-1)
+	b.IMad(rV, rCta, rNTid, rV) // box source index (wraps within CTA)
+	b.Ldg(rXj, rV, offX)
+	b.Ldg(rYj, rV, offY)
+	b.Ldg(rZj, rV, offZ)
+	b.Ldg(rQj, rV, offQ)
+	b.Ldg(rMj, rV, offM)
+	b.Ldg(rVv, rV, offV)
+	b.ISetpI(isa.CmpGE, 0, rTid, nb)
+	b.BraP(0, false, "fillskip", "fillskip")
+	b.Sts(rTid, 0, rXj)
+	b.Sts(rTid, nb, rYj)
+	b.Sts(rTid, 2*nb, rZj)
+	b.Sts(rTid, 3*nb, rQj)
+	b.Sts(rTid, 4*nb, rMj)
+	b.Sts(rTid, 5*nb, rVv)
+	b.Label("fillskip")
+	b.Bar()
+	b.MovF(rFx, 0)
+	b.MovF(rFy, 0)
+	b.MovF(rFz, 0)
+	b.MovI(rJ, 0)
+	b.Label("jloop")
+	b.Lds(rXj, rJ, 0)
+	b.Lds(rYj, rJ, nb)
+	b.Lds(rZj, rJ, 2*nb)
+	b.Lds(rQj, rJ, 3*nb)
+	b.Lds(rMj, rJ, 4*nb)
+	b.Lds(rVv, rJ, 5*nb)
+	b.FSub(rDx, rXi, rXj)
+	b.FSub(rDy, rYi, rYj)
+	b.FSub(rDz, rZi, rZj)
+	b.FMul(rR2, rDx, rDx)
+	b.FFma(rR2, rDy, rDy, rR2)
+	b.FFma(rR2, rDz, rDz, rR2)
+	b.FMulI(rU, rR2, -a2*log2e)
+	b.Mufu(isa.FnEX2, rVij, rU) // exp(-a2*r2)
+	b.FMul(rFs, rVij, rQj)
+	b.FFma(rFs2, rFs, rMj, rVv)
+	b.FFma(rFx, rFs2, rDx, rFx)
+	b.FFma(rFy, rFs2, rDy, rFy)
+	b.FFma(rFz, rFs2, rDz, rFz)
+	b.IAddI(rJ, rJ, 1)
+	b.ISetpI(isa.CmpLT, 0, rJ, nb)
+	b.BraP(0, false, "jloop", "jdone")
+	b.Label("jdone")
+	b.Stg(rIdx, offFX, rFx)
+	b.Stg(rIdx, offFY, rFy)
+	b.Stg(rIdx, offFZ, rFz)
+	b.Exit()
+	k := b.MustBuild(grid, cta, 6*nb)
+
+	setup := func(g *sm.GPU) {
+		r := lcg(101)
+		for i := 0; i < np; i++ {
+			g.SetFloat32(offX+i, r.f32(-1, 1))
+			g.SetFloat32(offY+i, r.f32(-1, 1))
+			g.SetFloat32(offZ+i, r.f32(-1, 1))
+			g.SetFloat32(offQ+i, r.f32(0.1, 1))
+			g.SetFloat32(offM+i, r.f32(0.5, 2))
+			g.SetFloat32(offV+i, r.f32(-0.2, 0.2))
+		}
+	}
+	verify := func(g *sm.GPU) error {
+		for c := 0; c < grid; c++ {
+			for t := 0; t < cta; t++ {
+				i := c*cta + t
+				xi, yi, zi := g.Float32(offX+i), g.Float32(offY+i), g.Float32(offZ+i)
+				var fx, fy, fz float32
+				for j := 0; j < nb; j++ {
+					jj := c*cta + j%cta
+					dx := xi - g.Float32(offX+jj)
+					dy := yi - g.Float32(offY+jj)
+					dz := zi - g.Float32(offZ+jj)
+					r2 := dx * dx
+					r2 = float32(math.FMA(float64(dy), float64(dy), float64(r2)))
+					r2 = float32(math.FMA(float64(dz), float64(dz), float64(r2)))
+					u := r2 * (-a2 * log2e)
+					vij := float32(math.Exp2(float64(u)))
+					fs := vij * g.Float32(offQ+jj)
+					fs2 := float32(math.FMA(float64(fs), float64(g.Float32(offM+jj)), float64(g.Float32(offV+jj))))
+					fx = float32(math.FMA(float64(fs2), float64(dx), float64(fx)))
+					fy = float32(math.FMA(float64(fs2), float64(dy), float64(fy)))
+					fz = float32(math.FMA(float64(fs2), float64(dz), float64(fz)))
+				}
+				if !approx32(g.Float32(offFX+i), fx, 1e-5) ||
+					!approx32(g.Float32(offFY+i), fy, 1e-5) ||
+					!approx32(g.Float32(offFZ+i), fz, 1e-5) {
+					return fmt.Errorf("lavaMD: particle %d: force (%v,%v,%v), want (%v,%v,%v)",
+						i, g.Float32(offFX+i), g.Float32(offFY+i), g.Float32(offFZ+i), fx, fy, fz)
+				}
+			}
+		}
+		return nil
+	}
+	return &Workload{Name: "lavaMD", Kernel: k, MemWords: 9 * np, Setup: setup, Verify: verify}
+}

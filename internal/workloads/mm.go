@@ -1,0 +1,117 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"swapcodes/internal/compiler"
+	"swapcodes/internal/isa"
+	"swapcodes/internal/sm"
+)
+
+// MatrixMul is the CUDA SDK tiled SGEMM: C = A×B with 32×32 shared-memory
+// tiles and 1024-thread CTAs. The full-size CTA is why inter-thread
+// duplication fails on this program (doubling exceeds the hardware limit,
+// Section V), and its near-peak FMA utilization makes it one of the two
+// Figure 14 power workloads.
+func MatrixMul() *Workload {
+	const (
+		n    = 64 // matrix dimension
+		tile = 32
+		grid = (n / tile) * (n / tile)
+		cta  = tile * tile
+	)
+	const (
+		offA = 0
+		offB = n * n
+		offC = 2 * n * n
+	)
+	const (
+		rTid, rCta         = isa.Reg(0), isa.Reg(1)
+		rTx, rTy, rCx, rCy = isa.Reg(2), isa.Reg(3), isa.Reg(4), isa.Reg(5)
+		rRow, rCol, rAcc   = isa.Reg(6), isa.Reg(7), isa.Reg(8)
+		rT, rK, rAddr, rV  = isa.Reg(9), isa.Reg(10), isa.Reg(11), isa.Reg(12)
+		rAs, rBs, rSa, rSb = isa.Reg(13), isa.Reg(14), isa.Reg(15), isa.Reg(16)
+		rTmp               = isa.Reg(17)
+	)
+	b := compiler.NewAsm("mm")
+	b.S2R(rTid, isa.SRTid)
+	b.S2R(rCta, isa.SRCtaid)
+	b.AndI(rTx, rTid, tile-1)
+	b.ShrI(rTy, rTid, 5)
+	b.AndI(rCx, rCta, n/tile-1)
+	b.ShrI(rCy, rCta, 1)
+	b.IMulI(rRow, rCy, tile)
+	b.IAdd(rRow, rRow, rTy)
+	b.IMulI(rCol, rCx, tile)
+	b.IAdd(rCol, rCol, rTx)
+	b.MovF(rAcc, 0)
+	b.MovI(rT, 0)
+	b.Label("tloop")
+	// Load A[row, t*tile+tx] into sharedA[ty*tile+tx].
+	b.IMulI(rTmp, rT, tile)
+	b.IAdd(rTmp, rTmp, rTx)
+	b.IMulI(rAddr, rRow, n)
+	b.IAdd(rAddr, rAddr, rTmp)
+	b.Ldg(rV, rAddr, offA)
+	b.IMulI(rAs, rTy, tile)
+	b.IAdd(rAs, rAs, rTx)
+	b.Sts(rAs, 0, rV)
+	// Load B[t*tile+ty, col] into sharedB[ty*tile+tx].
+	b.IMulI(rTmp, rT, tile)
+	b.IAdd(rTmp, rTmp, rTy)
+	b.IMulI(rAddr, rTmp, n)
+	b.IAdd(rAddr, rAddr, rCol)
+	b.Ldg(rV, rAddr, offB)
+	b.Sts(rAs, cta, rV)
+	b.Bar()
+	b.MovI(rK, 0)
+	b.IMulI(rSa, rTy, tile) // row base in sharedA
+	b.Mov(rSb, rTx)         // column walker in sharedB
+	b.Label("kloop")
+	for u := int32(0); u < 4; u++ {
+		b.Lds(rV, rSa, u)
+		b.Lds(rTmp, rSb, cta+u*tile)
+		b.FFma(rAcc, rV, rTmp, rAcc)
+	}
+	b.IAddI(rSa, rSa, 4)
+	b.IAddI(rSb, rSb, 4*tile)
+	b.IAddI(rK, rK, 4)
+	b.ISetpI(isa.CmpLT, 0, rK, tile)
+	b.BraP(0, false, "kloop", "kdone")
+	b.Label("kdone")
+	b.Bar()
+	b.IAddI(rT, rT, 1)
+	b.ISetpI(isa.CmpLT, 0, rT, n/tile)
+	b.BraP(0, false, "tloop", "tdone")
+	b.Label("tdone")
+	b.IMulI(rAddr, rRow, n)
+	b.IAdd(rAddr, rAddr, rCol)
+	b.Stg(rAddr, offC, rAcc)
+	b.Exit()
+	k := b.MustBuild(grid, cta, 2*cta)
+
+	setup := func(g *sm.GPU) {
+		r := lcg(202)
+		for i := 0; i < n*n; i++ {
+			g.SetFloat32(offA+i, r.f32(-1, 1))
+			g.SetFloat32(offB+i, r.f32(-1, 1))
+		}
+	}
+	verify := func(g *sm.GPU) error {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var acc float32
+				for kk := 0; kk < n; kk++ {
+					acc = float32(math.FMA(float64(g.Float32(offA+i*n+kk)),
+						float64(g.Float32(offB+kk*n+j)), float64(acc)))
+				}
+				if got := g.Float32(offC + i*n + j); !approx32(got, acc, 1e-5) {
+					return fmt.Errorf("mm: C[%d,%d] = %v, want %v", i, j, got, acc)
+				}
+			}
+		}
+		return nil
+	}
+	return &Workload{Name: "mm", Kernel: k, MemWords: 3 * n * n, Setup: setup, Verify: verify, HighUtil: true}
+}

@@ -1,0 +1,332 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"swapcodes/internal/compiler"
+	"swapcodes/internal/isa"
+	"swapcodes/internal/sm"
+)
+
+// Backprop models the Rodinia backprop forward layer: every thread computes
+// one output unit's weighted sum over a shared input vector, then applies a
+// sigmoid. The per-input IMAD address computation is what makes this one of
+// the programs that "progressively benefit from more aggressive check-bit
+// prediction" (Section IV-C).
+func Backprop() *Workload {
+	const (
+		grid = 16
+		cta  = 128
+		nOut = grid * cta
+		nIn  = 64
+	)
+	const (
+		offIn  = 0
+		offW   = nIn // w[i*nOut + j]
+		offOut = nIn + nIn*nOut
+	)
+	const (
+		rTid, rCta, rNTid, rJ = isa.Reg(0), isa.Reg(1), isa.Reg(2), isa.Reg(3)
+		rI, rAcc, rXi, rAddr  = isa.Reg(4), isa.Reg(5), isa.Reg(6), isa.Reg(7)
+		rWv, rT, rE           = isa.Reg(8), isa.Reg(9), isa.Reg(10)
+	)
+	log2e := float32(math.Log2E)
+	b := compiler.NewAsm("bprop")
+	b.S2R(rTid, isa.SRTid)
+	b.S2R(rCta, isa.SRCtaid)
+	b.S2R(rNTid, isa.SRNTid)
+	b.IMad(rJ, rCta, rNTid, rTid)
+	// First nIn threads stage the input vector in shared memory.
+	b.ISetpI(isa.CmpGE, 0, rTid, nIn)
+	b.BraP(0, false, "fillskip", "fillskip")
+	b.Ldg(rXi, rTid, offIn)
+	b.Sts(rTid, 0, rXi)
+	b.Label("fillskip")
+	b.Bar()
+	b.MovF(rAcc, 0)
+	b.MovI(rI, 0)
+	b.Mov(rAddr, rJ) // w[0*nOut + j]; advances by nOut per input
+	b.Label("iloop")
+	for u := int32(0); u < 2; u++ {
+		b.Lds(rXi, rI, u)
+		b.Ldg(rWv, rAddr, offW)
+		b.FFma(rAcc, rXi, rWv, rAcc)
+		b.IAddI(rAddr, rAddr, nOut)
+	}
+	b.IAddI(rI, rI, 2)
+	b.ISetpI(isa.CmpLT, 0, rI, nIn)
+	b.BraP(0, false, "iloop", "idone")
+	b.Label("idone")
+	// Sigmoid: 1 / (1 + exp(-acc)).
+	b.FMulI(rT, rAcc, -log2e)
+	b.Mufu(isa.FnEX2, rE, rT)
+	b.FAddI(rE, rE, 1)
+	b.Mufu(isa.FnRCP, rT, rE)
+	b.Stg(rJ, offOut, rT)
+	b.Exit()
+	k := b.MustBuild(grid, cta, nIn)
+
+	setup := func(g *sm.GPU) {
+		r := lcg(404)
+		for i := 0; i < nIn; i++ {
+			g.SetFloat32(offIn+i, r.f32(-1, 1))
+		}
+		for i := 0; i < nIn*nOut; i++ {
+			g.SetFloat32(offW+i, r.f32(-0.3, 0.3))
+		}
+	}
+	verify := func(g *sm.GPU) error {
+		for j := 0; j < nOut; j++ {
+			var acc float32
+			for i := 0; i < nIn; i++ {
+				acc = float32(math.FMA(float64(g.Float32(offIn+i)),
+					float64(g.Float32(offW+i*nOut+j)), float64(acc)))
+			}
+			t := acc * -log2e
+			e := float32(math.Exp2(float64(t))) + 1
+			want := float32(1 / float64(e))
+			if got := g.Float32(offOut + j); !approx32(got, want, 1e-5) {
+				return fmt.Errorf("bprop: out[%d] = %v, want %v", j, got, want)
+			}
+		}
+		return nil
+	}
+	return &Workload{Name: "bprop", Kernel: k, MemWords: offOut + nOut, Setup: setup, Verify: verify}
+}
+
+// Kmeans models the Rodinia kmeans assignment kernel: each thread computes
+// the squared distance from its point to every centroid (staged in shared
+// memory) and records the nearest — streaming feature loads with a
+// floating-point subtract/FMA core and predicated minimum tracking.
+func Kmeans() *Workload {
+	const (
+		grid = 16
+		cta  = 128
+		n    = grid * cta
+		kcl  = 8
+		dim  = 8
+	)
+	const (
+		offFeat = 0 // feat[p*dim + f]
+		offCent = n * dim
+		offAsg  = offCent + kcl*dim
+		offDist = offAsg + n
+	)
+	const (
+		rTid, rCta, rNTid, rP = isa.Reg(0), isa.Reg(1), isa.Reg(2), isa.Reg(3)
+		rPBase, rC, rF, rD    = isa.Reg(4), isa.Reg(5), isa.Reg(6), isa.Reg(7)
+		rX, rCv, rDiff, rBest = isa.Reg(8), isa.Reg(9), isa.Reg(10), isa.Reg(11)
+		rBestD, rCBase, rAddr = isa.Reg(12), isa.Reg(13), isa.Reg(14)
+	)
+	b := compiler.NewAsm("kmeans")
+	b.S2R(rTid, isa.SRTid)
+	b.S2R(rCta, isa.SRCtaid)
+	b.S2R(rNTid, isa.SRNTid)
+	b.IMad(rP, rCta, rNTid, rTid)
+	// Stage centroids (kcl*dim = 64 words) in shared memory.
+	b.ISetpI(isa.CmpGE, 0, rTid, kcl*dim)
+	b.BraP(0, false, "fillskip", "fillskip")
+	b.Ldg(rX, rTid, offCent)
+	b.Sts(rTid, 0, rX)
+	b.Label("fillskip")
+	b.Bar()
+	b.IMulI(rPBase, rP, dim)
+	b.MovI(rBest, 0)
+	b.MovF(rBestD, 3.4e38)
+	b.MovI(rC, 0)
+	b.Label("cloop")
+	b.MovF(rD, 0)
+	b.MovI(rF, 0)
+	b.IMulI(rCBase, rC, dim)
+	b.Mov(rAddr, rPBase)
+	b.Label("floop")
+	for u := int32(0); u < 4; u++ {
+		b.Ldg(rX, rAddr, offFeat+u)
+		b.Lds(rCv, rCBase, u)
+		b.FSub(rDiff, rX, rCv)
+		b.FFma(rD, rDiff, rDiff, rD)
+	}
+	b.IAddI(rAddr, rAddr, 4)
+	b.IAddI(rCBase, rCBase, 4)
+	b.IAddI(rF, rF, 4)
+	b.ISetpI(isa.CmpLT, 0, rF, dim)
+	b.BraP(0, false, "floop", "fdone")
+	b.Label("fdone")
+	b.FSetp(isa.CmpLT, 1, rD, rBestD)
+	b.Mov(rBest, rC)
+	b.Guard(1, false)
+	b.Mov(rBestD, rD)
+	b.Guard(1, false)
+	b.IAddI(rC, rC, 1)
+	b.ISetpI(isa.CmpLT, 0, rC, kcl)
+	b.BraP(0, false, "cloop", "cdone")
+	b.Label("cdone")
+	b.Stg(rP, offAsg, rBest)
+	b.Stg(rP, offDist, rBestD)
+	b.Exit()
+	k := b.MustBuild(grid, cta, kcl*dim)
+
+	setup := func(g *sm.GPU) {
+		r := lcg(505)
+		for i := 0; i < n*dim; i++ {
+			g.SetFloat32(offFeat+i, r.f32(0, 10))
+		}
+		for i := 0; i < kcl*dim; i++ {
+			g.SetFloat32(offCent+i, r.f32(0, 10))
+		}
+	}
+	verify := func(g *sm.GPU) error {
+		for p := 0; p < n; p++ {
+			best, bestD := int32(0), float32(3.4e38)
+			for c := 0; c < kcl; c++ {
+				var d float32
+				for f := 0; f < dim; f++ {
+					diff := g.Float32(offFeat+p*dim+f) - g.Float32(offCent+c*dim+f)
+					d = float32(math.FMA(float64(diff), float64(diff), float64(d)))
+				}
+				if d < bestD {
+					best, bestD = int32(c), d
+				}
+			}
+			if got := g.Int32(offAsg + p); got != best {
+				return fmt.Errorf("kmeans: assign[%d] = %d, want %d", p, got, best)
+			}
+			if got := g.Float32(offDist + p); !approx32(got, bestD, 1e-5) {
+				return fmt.Errorf("kmeans: dist[%d] = %v, want %v", p, got, bestD)
+			}
+		}
+		return nil
+	}
+	return &Workload{Name: "kmeans", Kernel: k, MemWords: offDist + n, Setup: setup, Verify: verify}
+}
+
+// Hotspot models the Rodinia hotspot thermal stencil: a CTA-local tile
+// iterates the 5-point update in shared memory with barriers between steps.
+// Its dense IMAD-based tile addressing is why it shows among the largest
+// gains from MAD prediction (Section IV-C).
+func Hotspot() *Workload { return hotspotBuild() }
+
+// hotspotBuild constructs the hotspot kernel and its host reference.
+func hotspotBuild() *Workload {
+	const (
+		grid  = 8
+		side  = 16
+		cta   = side * side
+		steps = 6
+	)
+	const (
+		offT = 0
+		offP = grid * cta
+		offO = 2 * grid * cta
+	)
+	const (
+		rTid, rCta, rNTid    = isa.Reg(0), isa.Reg(1), isa.Reg(2)
+		rG, rX, rY           = isa.Reg(3), isa.Reg(4), isa.Reg(5)
+		rT, rN, rSo, rE, rW  = isa.Reg(6), isa.Reg(7), isa.Reg(8), isa.Reg(9), isa.Reg(10)
+		rPw, rSum, rNew, rIt = isa.Reg(11), isa.Reg(12), isa.Reg(13), isa.Reg(14)
+		rAddr, rTmp          = isa.Reg(15), isa.Reg(16)
+	)
+	b := compiler.NewAsm("hspot")
+	b.S2R(rTid, isa.SRTid)
+	b.S2R(rCta, isa.SRCtaid)
+	b.S2R(rNTid, isa.SRNTid)
+	b.IMad(rG, rCta, rNTid, rTid)
+	b.AndI(rX, rTid, side-1)
+	b.ShrI(rY, rTid, 4)
+	b.Ldg(rT, rG, offT)
+	b.Sts(rTid, 0, rT)
+	b.Ldg(rPw, rG, offP)
+	b.Bar()
+	// p2 = interior cell: x in (0, side-1) and y in (0, side-1). Build with
+	// integer trickery: (x-1) unsigned-less-than (side-2) via compare chain.
+	b.IAddI(rTmp, rX, -1)
+	b.ISetpI(isa.CmpGE, 2, rTmp, 0)
+	b.IAddI(rTmp, rX, -(side - 1))
+	b.ISetpI(isa.CmpLT, 3, rTmp, 0)
+	b.IAddI(rTmp, rY, -1)
+	b.ISetpI(isa.CmpGE, 4, rTmp, 0)
+	// Combine p2 &= p3 &= p4 &= y < side-1 by narrowing a flag register.
+	b.MovI(rTmp, 1)
+	b.MovI(rAddr, 0)
+	b.Mov(rTmp, rAddr)
+	b.Guard(2, true) // rTmp = 0 unless x >= 1
+	b.Mov(rTmp, rAddr)
+	b.Guard(3, true)
+	b.Mov(rTmp, rAddr)
+	b.Guard(4, true)
+	b.IAddI(rNew, rY, -(side - 1))
+	b.ISetpI(isa.CmpGE, 4, rNew, 0)
+	b.Mov(rTmp, rAddr)
+	b.Guard(4, false)
+	b.ISetpI(isa.CmpNE, 2, rTmp, 0) // p2 = interior
+	b.IMulI(rAddr, rY, side)
+	b.IAdd(rAddr, rAddr, rX)
+	b.MovI(rIt, 0)
+	b.Label("step")
+	b.Lds(rT, rAddr, 0)
+	b.Lds(rN, rAddr, -side)
+	b.Guard(2, false)
+	b.Lds(rSo, rAddr, side)
+	b.Guard(2, false)
+	b.Lds(rE, rAddr, 1)
+	b.Guard(2, false)
+	b.Lds(rW, rAddr, -1)
+	b.Guard(2, false)
+	b.FAdd(rSum, rN, rSo)
+	b.FAdd(rSum, rSum, rE)
+	b.FAdd(rSum, rSum, rW)
+	b.FMulI(rNew, rT, -4)
+	b.FAdd(rSum, rSum, rNew)
+	b.FFma(rNew, rSum, rPw, rT)
+	b.Bar()
+	b.Sts(rAddr, 0, rNew)
+	b.Guard(2, false)
+	b.Bar()
+	b.IAddI(rIt, rIt, 1)
+	b.ISetpI(isa.CmpLT, 0, rIt, steps)
+	b.BraP(0, false, "step", "sdone")
+	b.Label("sdone")
+	b.Lds(rNew, rAddr, 0)
+	b.Stg(rG, offO, rNew)
+	b.Exit()
+	k := b.MustBuild(grid, cta, cta)
+
+	setup := func(g *sm.GPU) {
+		r := lcg(606)
+		for i := 0; i < grid*cta; i++ {
+			g.SetFloat32(offT+i, r.f32(300, 340))
+			g.SetFloat32(offP+i, r.f32(0.01, 0.05))
+		}
+	}
+	verify := func(g *sm.GPU) error {
+		for c := 0; c < grid; c++ {
+			tile := make([]float32, cta)
+			for i := range tile {
+				tile[i] = g.Float32(offT + c*cta + i)
+			}
+			for it := 0; it < steps; it++ {
+				next := append([]float32(nil), tile...)
+				for y := 1; y < side-1; y++ {
+					for x := 1; x < side-1; x++ {
+						i := y*side + x
+						sum := tile[i-side] + tile[i+side]
+						sum += tile[i+1]
+						sum += tile[i-1]
+						sum += tile[i] * -4
+						next[i] = float32(math.FMA(float64(sum),
+							float64(g.Float32(offP+c*cta+i)), float64(tile[i])))
+					}
+				}
+				tile = next
+			}
+			for i := range tile {
+				if got := g.Float32(offO + c*cta + i); !approx32(got, tile[i], 1e-5) {
+					return fmt.Errorf("hspot: tile %d cell %d = %v, want %v", c, i, got, tile[i])
+				}
+			}
+		}
+		return nil
+	}
+	return &Workload{Name: "hspot", Kernel: k, MemWords: 3 * grid * cta, Setup: setup, Verify: verify}
+}

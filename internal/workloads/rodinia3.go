@@ -1,0 +1,278 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"swapcodes/internal/compiler"
+	"swapcodes/internal/isa"
+	"swapcodes/internal/sm"
+)
+
+// BTree models the Rodinia b+tree findK kernel: every thread walks an
+// implicit 8-ary search tree, scanning the eight keys of each node with
+// fully unrolled integer compares and guarded child-index accumulation. The
+// dense compare traffic plus per-key checking makes it software
+// duplication's worst case in Figure 12 (99% slowdown).
+func BTree() *Workload {
+	const (
+		grid   = 16
+		cta    = 128
+		n      = grid * cta
+		fanout = 8
+		depth  = 5
+	)
+	// Implicit tree: node c's children are node*fanout + ci + 1; keys for
+	// node v live at keys[v*fanout .. v*fanout+7].
+	maxNode := 1
+	for i := 0; i < depth; i++ {
+		maxNode = maxNode*fanout + fanout
+	}
+	offKeys := 0
+	offLeaf := offKeys + (maxNode+1)*fanout
+	offSum := offLeaf + n
+	const (
+		rTid, rCta, rNTid, rQ = isa.Reg(0), isa.Reg(1), isa.Reg(2), isa.Reg(3)
+		rNode, rBase, rD      = isa.Reg(4), isa.Reg(5), isa.Reg(6)
+		rCi, rSum, rT         = isa.Reg(7), isa.Reg(8), isa.Reg(9)
+		rK0                   = isa.Reg(10) // 8 key registers r10..r17
+	)
+	b := compiler.NewAsm("b+tree")
+	b.S2R(rTid, isa.SRTid)
+	b.S2R(rCta, isa.SRCtaid)
+	b.S2R(rNTid, isa.SRNTid)
+	b.IMad(rQ, rCta, rNTid, rTid)
+	b.IMulI(rQ, rQ, 2654435)
+	b.AndI(rQ, rQ, 0x7fffffff)
+	b.MovI(rNode, 0)
+	b.MovI(rSum, 0)
+	b.MovI(rD, 0)
+	b.Label("dloop")
+	b.IMulI(rBase, rNode, fanout)
+	for i := int32(0); i < fanout; i++ {
+		b.Ldg(rK0+isa.Reg(i), rBase, int32(offKeys)+i)
+	}
+	b.MovI(rCi, 0)
+	for i := int32(0); i < fanout; i++ {
+		kr := rK0 + isa.Reg(i)
+		b.ISetp(isa.CmpLE, 1, kr, rQ)
+		b.IAddI(rCi, rCi, 1)
+		b.Guard(1, false)
+		b.ISetp(isa.CmpGT, 2, kr, rSum)
+		b.Mov(rSum, kr) // running max key seen on the path
+		b.Guard(2, false)
+	}
+	b.IAdd(rNode, rBase, rCi)
+	b.IAddI(rNode, rNode, 1)
+	b.IAddI(rD, rD, 1)
+	b.ISetpI(isa.CmpLT, 0, rD, depth)
+	b.BraP(0, false, "dloop", "ddone")
+	b.Label("ddone")
+	b.IMad(rT, rCta, rNTid, rTid)
+	b.Stg(rT, int32(offLeaf), rNode)
+	b.Stg(rT, int32(offSum), rSum)
+	b.Exit()
+	k := b.MustBuild(grid, cta, 0)
+
+	setup := func(g *sm.GPU) {
+		r := lcg(111)
+		for i := 0; i < (maxNode+1)*fanout; i++ {
+			g.SetInt32(offKeys+i, int32(r.next()&0x7fffffff))
+		}
+	}
+	verify := func(g *sm.GPU) error {
+		for t := 0; t < n; t++ {
+			q := int32(uint32(t*2654435) & 0x7fffffff)
+			node, sum := int32(0), int32(0)
+			for d := 0; d < depth; d++ {
+				base := node * fanout
+				ci := int32(0)
+				for i := 0; i < fanout; i++ {
+					kv := g.Int32(offKeys + int(base) + i)
+					if kv <= q {
+						ci++
+					}
+					if kv > sum {
+						sum = kv
+					}
+				}
+				node = base + ci + 1
+			}
+			if got := g.Int32(offLeaf + t); got != node {
+				return fmt.Errorf("b+tree: leaf[%d] = %d, want %d", t, got, node)
+			}
+			if got := g.Int32(offSum + t); got != sum {
+				return fmt.Errorf("b+tree: sum[%d] = %d, want %d", t, got, sum)
+			}
+		}
+		return nil
+	}
+	return &Workload{Name: "b+tree", Kernel: k, MemWords: offSum + n, Setup: setup, Verify: verify}
+}
+
+// Mummer models the mummergpu sequence matcher: every thread extends a
+// match between its query (staged in shared memory) and the reference text,
+// breaking out of the scan at the first mismatch — a byte-compare loop with
+// heavy control divergence and global text loads.
+func Mummer() *Workload {
+	const (
+		grid = 32
+		cta  = 128
+		n    = grid * cta
+		plen = 24
+		tlen = n + plen
+	)
+	offText := 0
+	offPat := tlen
+	offOut := offPat + plen
+	const (
+		rTid, rCta, rNTid, rP = isa.Reg(0), isa.Reg(1), isa.Reg(2), isa.Reg(3)
+		rI, rC1, rC2, rLen    = isa.Reg(4), isa.Reg(5), isa.Reg(6), isa.Reg(7)
+		rAddr                 = isa.Reg(8)
+	)
+	b := compiler.NewAsm("mumm")
+	b.S2R(rTid, isa.SRTid)
+	b.S2R(rCta, isa.SRCtaid)
+	b.S2R(rNTid, isa.SRNTid)
+	b.IMad(rP, rCta, rNTid, rTid)
+	// Stage the pattern in shared memory.
+	b.ISetpI(isa.CmpGE, 0, rTid, plen)
+	b.BraP(0, false, "fillskip", "fillskip")
+	b.Ldg(rC1, rTid, int32(offText+offPat))
+	b.Sts(rTid, 0, rC1)
+	b.Label("fillskip")
+	b.Bar()
+	b.MovI(rLen, 0)
+	b.MovI(rI, 0)
+	b.Label("scan")
+	b.IAdd(rAddr, rP, rI)
+	b.Ldg(rC1, rAddr, int32(offText))
+	b.Lds(rC2, rI, 0)
+	b.ISetp(isa.CmpNE, 1, rC1, rC2)
+	b.BraP(1, false, "mismatch", "mismatch")
+	b.IAddI(rLen, rLen, 1)
+	b.IAddI(rI, rI, 1)
+	b.ISetpI(isa.CmpLT, 0, rI, plen)
+	b.BraP(0, false, "scan", "mismatch")
+	b.Label("mismatch")
+	b.Stg(rP, int32(offOut), rLen)
+	b.Exit()
+	k := b.MustBuild(grid, cta, plen)
+
+	setup := func(g *sm.GPU) {
+		r := lcg(222)
+		for i := 0; i < tlen; i++ {
+			g.SetInt32(offText+i, int32(r.next()&3)) // 4-letter alphabet
+		}
+		// Derive the pattern from a text window so many threads see partial
+		// matches (the 4-letter alphabet gives frequent short extensions).
+		for i := 0; i < plen; i++ {
+			g.SetInt32(offPat+i, g.Int32(offText+100+i))
+		}
+	}
+	verify := func(g *sm.GPU) error {
+		for p := 0; p < n; p++ {
+			want := int32(0)
+			for i := 0; i < plen; i++ {
+				if g.Int32(offText+p+i) != g.Int32(offPat+i) {
+					break
+				}
+				want++
+			}
+			if got := g.Int32(offOut + p); got != want {
+				return fmt.Errorf("mumm: len[%d] = %d, want %d", p, got, want)
+			}
+		}
+		return nil
+	}
+	return &Workload{Name: "mumm", Kernel: k, MemWords: offOut + n, Setup: setup, Verify: verify}
+}
+
+// Heartwall models the Rodinia heartwall tracking kernel: a 5x5
+// template correlation around each point (template in shared memory),
+// followed by a reciprocal-square-root style normalization — a balanced
+// fixed/floating mix.
+func Heartwall() *Workload {
+	const (
+		grid = 16
+		cta  = 128
+		n    = grid * cta
+		win  = 5
+		row  = 64 // image row stride
+	)
+	offImg := 0
+	imgWords := n + win*row + win // slack so windows stay in bounds
+	offTpl := imgWords
+	offOut := offTpl + win*win
+	const (
+		rTid, rCta, rNTid, rP = isa.Reg(0), isa.Reg(1), isa.Reg(2), isa.Reg(3)
+		rAcc, rSq, rX, rT     = isa.Reg(4), isa.Reg(5), isa.Reg(6), isa.Reg(7)
+		rAddr, rU, rV, rW     = isa.Reg(8), isa.Reg(9), isa.Reg(10), isa.Reg(11)
+	)
+	b := compiler.NewAsm("heart")
+	b.S2R(rTid, isa.SRTid)
+	b.S2R(rCta, isa.SRCtaid)
+	b.S2R(rNTid, isa.SRNTid)
+	b.IMad(rP, rCta, rNTid, rTid)
+	b.ISetpI(isa.CmpGE, 0, rTid, win*win)
+	b.BraP(0, false, "fillskip", "fillskip")
+	b.Ldg(rX, rTid, int32(offTpl))
+	b.Sts(rTid, 0, rX)
+	b.Label("fillskip")
+	b.Bar()
+	b.MovF(rAcc, 0)
+	b.MovF(rSq, 0)
+	b.MovI(rU, 0)
+	b.Label("rowloop")
+	b.IMulI(rAddr, rU, row)
+	b.IAdd(rAddr, rAddr, rP)
+	b.IMulI(rW, rU, win)
+	for j := int32(0); j < win; j++ {
+		b.Ldg(rX, rAddr, int32(offImg)+j)
+		b.IAddI(rV, rW, j)
+		b.Lds(rT, rV, 0)
+		b.FFma(rAcc, rX, rT, rAcc)
+		b.FFma(rSq, rX, rX, rSq)
+	}
+	b.IAddI(rU, rU, 1)
+	b.ISetpI(isa.CmpLT, 0, rU, win)
+	b.BraP(0, false, "rowloop", "rowdone")
+	b.Label("rowdone")
+	// Normalize: acc / sqrt(sq).
+	b.Mufu(isa.FnSQRT, rT, rSq)
+	b.Mufu(isa.FnRCP, rT, rT)
+	b.FMul(rAcc, rAcc, rT)
+	b.Stg(rP, int32(offOut), rAcc)
+	b.Exit()
+	k := b.MustBuild(grid, cta, win*win)
+
+	setup := func(g *sm.GPU) {
+		r := lcg(333)
+		for i := 0; i < imgWords; i++ {
+			g.SetFloat32(offImg+i, r.f32(0.1, 1))
+		}
+		for i := 0; i < win*win; i++ {
+			g.SetFloat32(offTpl+i, r.f32(-1, 1))
+		}
+	}
+	verify := func(g *sm.GPU) error {
+		for p := 0; p < n; p++ {
+			var acc, sq float32
+			for u := 0; u < win; u++ {
+				for j := 0; j < win; j++ {
+					x := g.Float32(offImg + u*row + p + j)
+					t := g.Float32(offTpl + u*win + j)
+					acc = float32(math.FMA(float64(x), float64(t), float64(acc)))
+					sq = float32(math.FMA(float64(x), float64(x), float64(sq)))
+				}
+			}
+			den := float32(math.Sqrt(float64(sq)))
+			want := acc * float32(1/float64(den))
+			if got := g.Float32(offOut + p); !approx32(got, want, 1e-4) {
+				return fmt.Errorf("heart: out[%d] = %v, want %v", p, got, want)
+			}
+		}
+		return nil
+	}
+	return &Workload{Name: "heart", Kernel: k, MemWords: offOut + n, Setup: setup, Verify: verify}
+}

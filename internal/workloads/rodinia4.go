@@ -1,0 +1,341 @@
+package workloads
+
+import (
+	"fmt"
+
+	"swapcodes/internal/compiler"
+	"swapcodes/internal/isa"
+	"swapcodes/internal/sm"
+)
+
+// Needle models the Rodinia Needleman-Wunsch kernel: a 32x32 dynamic-
+// programming tile swept by anti-diagonals in shared memory, every cell
+// taking a three-way max and being written back to global memory for
+// traceback — the per-cell stores make it one of the checking-heaviest
+// programs, with large Swap-ECC gains (Figure 13).
+func Needle() *Workload {
+	const (
+		grid    = 8
+		side    = 32
+		cta     = side
+		penalty = 2
+	)
+	// Shared: score tile (side+1)^2 laid out row-major.
+	const shSide = side + 1
+	const shWords = shSide * shSide
+	const offRef = 0 // substitution scores ref[side*side] per CTA
+	const offOut = grid * side * side
+	const (
+		rTid, rCta, rNTid, rD = isa.Reg(0), isa.Reg(1), isa.Reg(2), isa.Reg(3)
+		rX, rY, rAddr, rNW    = isa.Reg(4), isa.Reg(5), isa.Reg(6), isa.Reg(7)
+		rW, rN, rSub, rBest   = isa.Reg(8), isa.Reg(9), isa.Reg(10), isa.Reg(11)
+		rT, rBase, rG         = isa.Reg(12), isa.Reg(13), isa.Reg(14)
+	)
+	b := compiler.NewAsm("needle")
+	b.S2R(rTid, isa.SRTid)
+	b.S2R(rCta, isa.SRCtaid)
+	b.S2R(rNTid, isa.SRNTid)
+	// Initialize tile borders: row 0 and column 0 hold -i*penalty.
+	b.IMulI(rT, rTid, -penalty)
+	b.Sts(rTid, 0, rT) // shared[0][tid]
+	b.IMulI(rAddr, rTid, shSide)
+	b.Sts(rAddr, 0, rT) // shared[tid][0]
+	b.Bar()
+	// Anti-diagonal sweep: on diagonal d, thread tx handles cell
+	// (x=tx+1, y=d-tx+1) when 0 <= d-tx < side.
+	b.IMulI(rBase, rCta, side*side)
+	b.MovI(rD, 0)
+	b.Label("diag")
+	b.ISub(rY, rD, rTid)
+	// Active: 0 <= d-tx < side. Combine both bounds through a flag register
+	// (the ISA predicates have no AND form).
+	b.ISetpI(isa.CmpGE, 1, rY, 0)
+	b.ISetpI(isa.CmpLT, 2, rY, side)
+	b.MovI(rT, 1)
+	b.MovI(rG, 0)
+	b.Mov(rT, rG)
+	b.Guard(1, true)
+	b.Mov(rT, rG)
+	b.Guard(2, true)
+	b.ISetpI(isa.CmpNE, 1, rT, 0) // p1 = active
+	b.IAddI(rX, rTid, 1)
+	b.IAddI(rY, rY, 1)
+	// addr = y*shSide + x
+	b.IMulI(rAddr, rY, shSide)
+	b.IAdd(rAddr, rAddr, rX)
+	b.Lds(rNW, rAddr, -shSide-1)
+	b.Guard(1, false)
+	b.Lds(rW, rAddr, -1)
+	b.Guard(1, false)
+	b.Lds(rN, rAddr, -shSide)
+	b.Guard(1, false)
+	// Substitution score ref[(y-1)*side + (x-1)].
+	b.IAddI(rT, rY, -1)
+	b.IMulI(rG, rT, side)
+	b.IAdd(rG, rG, rTid)
+	b.IAdd(rG, rG, rBase)
+	b.Ldg(rSub, rG, offRef)
+	b.Guard(1, false)
+	b.IAdd(rBest, rNW, rSub)
+	b.IAddI(rT, rW, -penalty)
+	b.ISetp(isa.CmpGT, 2, rT, rBest)
+	b.Mov(rBest, rT)
+	b.Guard(2, false)
+	b.IAddI(rT, rN, -penalty)
+	b.ISetp(isa.CmpGT, 2, rT, rBest)
+	b.Mov(rBest, rT)
+	b.Guard(2, false)
+	b.Sts(rAddr, 0, rBest)
+	b.Guard(1, false)
+	b.Stg(rG, offOut, rBest)
+	b.Guard(1, false)
+	b.Bar()
+	b.IAddI(rD, rD, 1)
+	b.ISetpI(isa.CmpLT, 0, rD, 2*side-1)
+	b.BraP(0, false, "diag", "ddone")
+	b.Label("ddone")
+	b.Exit()
+	k := b.MustBuild(grid, cta, shWords)
+
+	setup := func(g *sm.GPU) {
+		r := lcg(444)
+		for i := 0; i < grid*side*side; i++ {
+			g.SetInt32(offRef+i, int32(r.next()%21)-10)
+		}
+	}
+	verify := func(g *sm.GPU) error {
+		for c := 0; c < grid; c++ {
+			score := make([][]int32, shSide)
+			for i := range score {
+				score[i] = make([]int32, shSide)
+			}
+			for i := 0; i < side; i++ {
+				score[0][i] = int32(-i * penalty)
+				score[i][0] = int32(-i * penalty)
+			}
+			for y := 1; y <= side; y++ {
+				for x := 1; x <= side; x++ {
+					sub := g.Int32(offRef + c*side*side + (y-1)*side + (x - 1))
+					best := score[y-1][x-1] + sub
+					if t := score[y][x-1] - penalty; t > best {
+						best = t
+					}
+					if t := score[y-1][x] - penalty; t > best {
+						best = t
+					}
+					score[y][x] = best
+					got := g.Int32(offOut + c*side*side + (y-1)*side + (x - 1))
+					if got != best {
+						return fmt.Errorf("needle: tile %d cell (%d,%d) = %d, want %d", c, y, x, got, best)
+					}
+				}
+			}
+		}
+		return nil
+	}
+	return &Workload{Name: "needle", Kernel: k, MemWords: offOut + grid*side*side, Setup: setup, Verify: verify}
+}
+
+// BFS models the Rodinia breadth-first-search level kernel: frontier
+// threads scan their adjacency lists, updating costs and the next frontier
+// — divergent, memory-dominated, and arithmetic-light, so its instruction
+// bloat is mostly checking code.
+func BFS() *Workload {
+	const (
+		grid = 16
+		cta  = 128
+		n    = grid * cta
+		deg  = 4
+	)
+	const (
+		offCols    = 0
+		offFront   = n * deg
+		offVisited = offFront + n
+		offCost    = offVisited + n
+		offNext    = offCost + n
+		offChanged = offNext + n
+	)
+	const (
+		rTid, rCta, rNTid, rMe = isa.Reg(0), isa.Reg(1), isa.Reg(2), isa.Reg(3)
+		rF, rE, rNb, rVis      = isa.Reg(4), isa.Reg(5), isa.Reg(6), isa.Reg(7)
+		rCost, rT, rOne        = isa.Reg(8), isa.Reg(9), isa.Reg(10)
+	)
+	b := compiler.NewAsm("bfs")
+	b.S2R(rTid, isa.SRTid)
+	b.S2R(rCta, isa.SRCtaid)
+	b.S2R(rNTid, isa.SRNTid)
+	b.IMad(rMe, rCta, rNTid, rTid)
+	b.Ldg(rF, rMe, offFront)
+	b.ISetpI(isa.CmpEQ, 1, rF, 0)
+	b.BraP(1, false, "skip", "skip")
+	b.Ldg(rCost, rMe, offCost)
+	b.IAddI(rCost, rCost, 1)
+	b.MovI(rOne, 1)
+	b.MovI(rE, 0)
+	b.Label("eloop")
+	b.IMulI(rT, rMe, deg)
+	b.IAdd(rT, rT, rE)
+	b.Ldg(rNb, rT, offCols)
+	b.Ldg(rVis, rNb, offVisited)
+	b.ISetpI(isa.CmpNE, 2, rVis, 0)
+	b.BraP(2, false, "visited", "visited")
+	b.Stg(rNb, offCost, rCost)
+	b.Stg(rNb, offNext, rOne)
+	b.Stg(isa.RZ, offChanged, rOne)
+	b.Label("visited")
+	b.IAddI(rE, rE, 1)
+	b.ISetpI(isa.CmpLT, 0, rE, deg)
+	b.BraP(0, false, "eloop", "edone")
+	b.Label("edone")
+	b.Label("skip")
+	b.Exit()
+	k := b.MustBuild(grid, cta, 0)
+
+	setup := func(g *sm.GPU) {
+		r := lcg(555)
+		for i := 0; i < n*deg; i++ {
+			g.SetInt32(offCols+i, int32(r.next()%n))
+		}
+		for i := 0; i < n; i++ {
+			inFront := int32(0)
+			if r.next()%4 == 0 {
+				inFront = 1
+			}
+			g.SetInt32(offFront+i, inFront)
+			g.SetInt32(offVisited+i, inFront) // frontier is visited
+			g.SetInt32(offCost+i, 5)          // uniform level cost
+		}
+	}
+	verify := func(g *sm.GPU) error {
+		// Recompute which nodes should have been touched.
+		touched := make(map[int32]bool)
+		for me := 0; me < n; me++ {
+			if g.Int32(offFront+me) == 0 {
+				continue
+			}
+			for e := 0; e < deg; e++ {
+				nb := g.Int32(offCols + me*deg + e)
+				if g.Int32(offVisited+int(nb)) == 0 {
+					touched[nb] = true
+				}
+			}
+		}
+		for nb := int32(0); nb < n; nb++ {
+			wantNext, wantCost := int32(0), int32(5)
+			if touched[nb] {
+				wantNext, wantCost = 1, 6
+			}
+			if got := g.Int32(offNext + int(nb)); got != wantNext {
+				return fmt.Errorf("bfs: next[%d] = %d, want %d", nb, got, wantNext)
+			}
+			if got := g.Int32(offCost + int(nb)); got != wantCost {
+				return fmt.Errorf("bfs: cost[%d] = %d, want %d", nb, got, wantCost)
+			}
+		}
+		if len(touched) > 0 && g.Int32(offChanged) != 1 {
+			return fmt.Errorf("bfs: changed flag not set")
+		}
+		return nil
+	}
+	return &Workload{Name: "bfs", Kernel: k, MemWords: offChanged + 4, Setup: setup, Verify: verify}
+}
+
+// Pathfinder models the Rodinia pathfinder kernel: a row-by-row dynamic
+// program where each thread keeps its column's running minimum path cost in
+// shared memory, taking a three-way neighbourhood minimum each step — per-
+// step shared stores and compares give it the second-highest checking bloat.
+func Pathfinder() *Workload {
+	const (
+		grid  = 8
+		cta   = 128
+		steps = 16
+	)
+	const offW = 0 // weights, steps x cta per CTA block
+	const offOut = grid * steps * cta
+	const (
+		rTid, rCta, rNTid, rT = isa.Reg(0), isa.Reg(1), isa.Reg(2), isa.Reg(3)
+		rCur, rL, rR, rMin    = isa.Reg(4), isa.Reg(5), isa.Reg(6), isa.Reg(7)
+		rS, rAddr, rBase      = isa.Reg(8), isa.Reg(9), isa.Reg(10)
+	)
+	b := compiler.NewAsm("pathf")
+	b.S2R(rTid, isa.SRTid)
+	b.S2R(rCta, isa.SRCtaid)
+	b.S2R(rNTid, isa.SRNTid)
+	b.IMulI(rBase, rCta, steps*cta)
+	// Row 0 seeds shared with the first weight row.
+	b.IAdd(rAddr, rBase, rTid)
+	b.Ldg(rCur, rAddr, offW)
+	b.Sts(rTid, 0, rCur)
+	b.Bar()
+	b.MovI(rS, 1)
+	b.Label("srow")
+	// Clamped neighbours from shared (loads guarded at the tile edges).
+	b.Lds(rMin, rTid, 0)
+	b.Mov(rL, rMin)
+	b.ISetpI(isa.CmpGT, 1, rTid, 0)
+	b.Lds(rL, rTid, -1)
+	b.Guard(1, false)
+	b.Mov(rR, rMin)
+	b.ISetpI(isa.CmpLT, 1, rTid, cta-1)
+	b.Lds(rR, rTid, 1)
+	b.Guard(1, false)
+	b.ISetp(isa.CmpLT, 2, rL, rMin)
+	b.Mov(rMin, rL)
+	b.Guard(2, false)
+	b.ISetp(isa.CmpLT, 2, rR, rMin)
+	b.Mov(rMin, rR)
+	b.Guard(2, false)
+	// cur = weight[s][tid] + min
+	b.IMulI(rAddr, rS, cta)
+	b.IAdd(rAddr, rAddr, rTid)
+	b.IAdd(rAddr, rAddr, rBase)
+	b.Ldg(rT, rAddr, offW)
+	b.IAdd(rCur, rT, rMin)
+	b.Bar() // all neighbour reads precede the row update
+	b.Sts(rTid, 0, rCur)
+	b.Bar()
+	b.IAddI(rS, rS, 1)
+	b.ISetpI(isa.CmpLT, 0, rS, steps)
+	b.BraP(0, false, "srow", "sdone")
+	b.Label("sdone")
+	b.IMad(rAddr, rCta, rNTid, rTid)
+	b.Stg(rAddr, offOut, rCur)
+	b.Exit()
+	k := b.MustBuild(grid, cta, cta)
+
+	setup := func(g *sm.GPU) {
+		r := lcg(666)
+		for i := 0; i < grid*steps*cta; i++ {
+			g.SetInt32(offW+i, int32(r.next()%10))
+		}
+	}
+	verify := func(g *sm.GPU) error {
+		for c := 0; c < grid; c++ {
+			row := make([]int32, cta)
+			for x := 0; x < cta; x++ {
+				row[x] = g.Int32(offW + c*steps*cta + x)
+			}
+			for s := 1; s < steps; s++ {
+				next := make([]int32, cta)
+				for x := 0; x < cta; x++ {
+					m := row[x]
+					if x > 0 && row[x-1] < m {
+						m = row[x-1]
+					}
+					if x < cta-1 && row[x+1] < m {
+						m = row[x+1]
+					}
+					next[x] = g.Int32(offW+c*steps*cta+s*cta+x) + m
+				}
+				row = next
+			}
+			for x := 0; x < cta; x++ {
+				if got := g.Int32(offOut + c*cta + x); got != row[x] {
+					return fmt.Errorf("pathf: cta %d col %d = %d, want %d", c, x, got, row[x])
+				}
+			}
+		}
+		return nil
+	}
+	return &Workload{Name: "pathf", Kernel: k, MemWords: offOut + grid*cta, Setup: setup, Verify: verify}
+}

@@ -1,0 +1,163 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"swapcodes/internal/compiler"
+	"swapcodes/internal/isa"
+	"swapcodes/internal/sm"
+)
+
+// SNAP models the LANL SN (discrete ordinates) transport proxy: a sweep
+// over energy groups updating an angular flux in double precision, walking
+// the cells in sweep order through a pointer chain (the data-dependent
+// traversal of a real transport sweep), with a shuffle-based warp reduction
+// of the scalar flux. The kernel holds a large in-register quadrature
+// table, so its occupancy is register-limited — software duplication's
+// shadow space halves the resident warps and exposes the serialized memory
+// latency, reproducing the paper's >80% SW-Dup degradation against ~6% for
+// Swap-ECC (Section IV-C). The shuffle reduction is why inter-thread
+// duplication fails on SNAP (Section V).
+func SNAP() *Workload {
+	const (
+		grid   = 24
+		cta    = 128
+		n      = grid * cta
+		groups = 12
+	)
+	// Memory: ptr[n] | q[n*2] (f64) | sig[n*2] (f64) | out[warps*2].
+	const (
+		offPtr = 0
+		offQ   = n
+		offSig = offQ + 2*n
+		offOut = offSig + 2*n
+	)
+	mus := []float64{0.2182, 0.5773, 0.7867, 0.9511}
+	wts := []float64{0.1209, 0.0907, 0.0921, 0.0846}
+	const (
+		rTid, rCta, rNTid, rIdx = isa.Reg(0), isa.Reg(1), isa.Reg(2), isa.Reg(3)
+		rCur, rG, rLane, rA     = isa.Reg(4), isa.Reg(5), isa.Reg(6), isa.Reg(7)
+		rQ                      = isa.Reg(8)  // pair
+		rS                      = isa.Reg(10) // pair
+		rPsi                    = isa.Reg(12) // pair
+		rFlux                   = isa.Reg(14) // pair
+		rTmp                    = isa.Reg(16) // pair (shuffle staging)
+		rWOut                   = isa.Reg(18)
+		// Quadrature table (8 doubles, r24..r39) plus 11 derived scratch
+		// doubles (r40..r61): the register footprint of a real sweep's
+		// in-flight angular state. Total 62 registers/thread — inside the
+		// same 64-register allocation granule as Swap-ECC's renaming pair,
+		// while SW-Dup's shadow space spills to the next granule and halves
+		// the resident CTAs.
+		rTab = isa.Reg(24)
+	)
+	b := compiler.NewAsm("snap")
+	b.S2R(rTid, isa.SRTid)
+	b.S2R(rCta, isa.SRCtaid)
+	b.S2R(rNTid, isa.SRNTid)
+	b.IMad(rIdx, rCta, rNTid, rTid)
+	b.S2R(rLane, isa.SRLane)
+	movD := func(reg isa.Reg, v float64) {
+		bits := math.Float64bits(v)
+		b.MovI(reg, int32(uint32(bits)))
+		b.MovI(reg+1, int32(uint32(bits>>32)))
+	}
+	for i := 0; i < 4; i++ {
+		movD(rTab+isa.Reg(4*i), mus[i])
+		movD(rTab+isa.Reg(4*i+2), wts[i])
+	}
+	for i := 0; i < 11; i++ {
+		d := rTab + isa.Reg(16+2*i)
+		src := rTab + isa.Reg((2*i)%16)
+		b.DMul(d, src, src)
+	}
+	movD(rPsi, 0)
+	movD(rFlux, 0)
+	b.Mov(rCur, rIdx)
+	b.MovI(rG, 0)
+	b.Label("gloop")
+	// Sweep-order traversal: the next cell comes from the pointer chain,
+	// serializing the loads behind one another.
+	b.Ldg(rCur, rCur, offPtr)
+	b.ShlI(rA, rCur, 1)
+	b.Ldg(rQ, rA, offQ)
+	b.Ldg(rQ+1, rA, offQ+1)
+	b.Ldg(rS, rA, offSig)
+	b.Ldg(rS+1, rA, offSig+1)
+	b.DFma(rPsi, rTab, rPsi, rQ) // psi = mu0*psi + q
+	b.DMul(rPsi, rPsi, rS)
+	b.DFma(rFlux, rTab+2, rPsi, rFlux) // flux += w0*psi
+	b.IAddI(rG, rG, 1)
+	b.ISetpI(isa.CmpLT, 0, rG, groups)
+	b.BraP(0, false, "gloop", "gdone")
+	b.Label("gdone")
+	// Fold the scratch table back in (keeps it live across the loop).
+	for i := 0; i < 11; i++ {
+		d := rTab + isa.Reg(16+2*i)
+		b.DFma(rFlux, d, rTab+2, rFlux)
+	}
+	// Warp-level butterfly reduction of flux via shuffles.
+	for _, d := range []int32{1, 2, 4, 8, 16} {
+		b.Shfl(rTmp, rFlux, d)
+		b.Shfl(rTmp+1, rFlux+1, d)
+		b.DAdd(rFlux, rFlux, rTmp)
+	}
+	b.ISetpI(isa.CmpEQ, 0, rLane, 0)
+	b.ShrI(rWOut, rIdx, 5)
+	b.ShlI(rWOut, rWOut, 1)
+	b.Stg(rWOut, offOut, rFlux)
+	b.Guard(0, false)
+	b.Stg(rWOut, offOut+1, rFlux+1)
+	b.Guard(0, false)
+	b.Exit()
+	k := b.MustBuild(grid, cta, 0)
+
+	setup := func(g *sm.GPU) {
+		r := lcg(303)
+		for i := 0; i < n; i++ {
+			g.SetInt32(offPtr+i, int32((i*2654435761+12345)%n))
+			g.SetFloat64(offQ+2*i, r.f64(0.5, 2))
+			g.SetFloat64(offSig+2*i, r.f64(0.3, 0.9))
+		}
+	}
+	verify := func(g *sm.GPU) error {
+		perThread := make([]float64, n)
+		for i := 0; i < n; i++ {
+			cur := int32(i)
+			var psi, flux float64
+			for gg := 0; gg < groups; gg++ {
+				cur = g.Int32(offPtr + int(cur))
+				q := g.Float64(offQ + 2*int(cur))
+				s := g.Float64(offSig + 2*int(cur))
+				psi = math.FMA(mus[0], psi, q) * s
+				flux = math.FMA(wts[0], psi, flux)
+			}
+			for j := 0; j < 11; j++ {
+				var base float64
+				if (2*j)%16%4 < 2 {
+					base = mus[(2*j)%16/4]
+				} else {
+					base = wts[(2*j)%16/4]
+				}
+				flux = math.FMA(base*base, wts[0], flux)
+			}
+			perThread[i] = flux
+		}
+		for w := 0; w < n/32; w++ {
+			vals := append([]float64(nil), perThread[w*32:w*32+32]...)
+			for d := 1; d < 32; d *= 2 {
+				next := make([]float64, 32)
+				for l := 0; l < 32; l++ {
+					next[l] = vals[l] + vals[l^d]
+				}
+				vals = next
+			}
+			if got := g.Float64(offOut + 2*w); !approx64(got, vals[0], 1e-12) {
+				return fmt.Errorf("snap: warp %d flux %v, want %v", w, got, vals[0])
+			}
+		}
+		return nil
+	}
+	return &Workload{Name: "snap", Kernel: k, MemWords: offOut + n/16 + 4, Setup: setup, Verify: verify, HighUtil: true}
+}

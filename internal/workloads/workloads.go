@@ -1,0 +1,104 @@
+// Package workloads provides the evaluation kernels of Section IV-A: 13
+// Rodinia-2.3-class programs, the SNAP transport miniapp, and matrix
+// multiplication from the CUDA SDK — each written in the assembler DSL with
+// an instruction mix, memory behaviour, and occupancy profile modelled on
+// the real benchmark (DESIGN.md Section 1). Every workload carries a host
+// setup and an output verifier so the protection passes can be checked for
+// semantic preservation on every program.
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"swapcodes/internal/isa"
+	"swapcodes/internal/sm"
+)
+
+// Workload bundles a kernel with its data and verifier.
+type Workload struct {
+	// Name is the paper's label (Figure 12/13 x-axis).
+	Name string
+	// Kernel is the un-duplicated program.
+	Kernel *isa.Kernel
+	// MemWords sizes global memory.
+	MemWords int
+	// Setup initializes device memory before launch.
+	Setup func(g *sm.GPU)
+	// Verify checks kernel output against a host reference.
+	Verify func(g *sm.GPU) error
+	// HighUtil marks the two high-utilization programs of Figure 14.
+	HighUtil bool
+}
+
+// NewGPU allocates a device sized and initialized for the workload.
+func (w *Workload) NewGPU(cfg sm.Config) *sm.GPU {
+	g := sm.NewGPU(cfg, w.MemWords)
+	w.Setup(g)
+	return g
+}
+
+// All returns fresh instances of every workload, in the paper's Figure 13
+// order (increasing checking-code bloat) followed by matrix multiply and
+// SNAP.
+func All() []*Workload {
+	return []*Workload{
+		LavaMD(), Backprop(), Kmeans(), LUD(), Gauss(), BTree(), Mummer(),
+		Hotspot(), Heartwall(), Needle(), BFS(), Pathfinder(), SradV2(),
+		MatrixMul(), SNAP(),
+	}
+}
+
+// Rodinia returns only the 13 Rodinia-class programs (Figure 15 candidates).
+func Rodinia() []*Workload {
+	return All()[:13]
+}
+
+// ByName finds a workload.
+func ByName(name string) (*Workload, error) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// approx32 compares f32 results with a relative tolerance (protection
+// passes never reorder arithmetic, so mismatches indicate real breakage;
+// the tolerance absorbs only the fused-vs-separate rounding of host
+// references).
+func approx32(got, want float32, tol float64) bool {
+	if got == want {
+		return true
+	}
+	d := math.Abs(float64(got - want))
+	m := math.Max(math.Abs(float64(got)), math.Abs(float64(want)))
+	return d <= tol*math.Max(m, 1e-30)
+}
+
+func approx64(got, want, tol float64) bool {
+	if got == want {
+		return true
+	}
+	d := math.Abs(got - want)
+	m := math.Max(math.Abs(got), math.Abs(want))
+	return d <= tol*math.Max(m, 1e-300)
+}
+
+// lcg is a tiny deterministic generator for input data (keeping workloads
+// free of math/rand seeding differences).
+type lcg uint64
+
+func (r *lcg) next() uint32 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return uint32(*r >> 33)
+}
+
+func (r *lcg) f32(lo, hi float32) float32 {
+	return lo + (hi-lo)*float32(r.next()%100000)/100000
+}
+
+func (r *lcg) f64(lo, hi float64) float64 {
+	return lo + (hi-lo)*float64(r.next()%1000000)/1000000
+}
