@@ -6,12 +6,15 @@
 package swapcodes
 
 import (
+	"context"
+	"fmt"
 	"strings"
 	"testing"
 
 	"swapcodes/internal/arith"
 	"swapcodes/internal/compiler"
 	"swapcodes/internal/ecc"
+	"swapcodes/internal/engine"
 	"swapcodes/internal/faultsim"
 	"swapcodes/internal/gates"
 	"swapcodes/internal/harness"
@@ -256,6 +259,38 @@ func BenchmarkSectionVIComparisons(b *testing.B) {
 			b.ReportMetric(100*perf.MeanSlowdown(compiler.SInRGSig), "HWSigSRIV_mean%")
 			b.ReportMetric(arith.NewSECDEDAddPredictorCircuit().AreaNAND2(), "SECDEDAddPred_nand2")
 		}
+	}
+}
+
+// ---- Engine scaling ----
+
+// BenchmarkEngineScaling runs the same sharded IMAD32 injection campaign at
+// 1/2/4/8 workers. The tuples/sec metric is the scaling curve; the results
+// themselves are bit-identical at every width (that is the engine's
+// determinism contract, asserted by the faultsim and harness tests).
+func BenchmarkEngineScaling(b *testing.B) {
+	u := arith.NewIMAD32()
+	const tuples = 2048
+	in := make([][]uint64, tuples)
+	for i := range in {
+		in[i] = []uint64{uint64(i) * 2654435761, uint64(i) * 40503, uint64(i) * 2246822519}
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			pool := engine.New(workers)
+			c := &faultsim.ShardedCampaign{Unit: u, MasterSeed: 1, ShardSize: 128}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inj, err := c.Run(context.Background(), pool, in)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(inj) != tuples {
+					b.Fatalf("%d injections", len(inj))
+				}
+			}
+			b.ReportMetric(float64(tuples*b.N)/b.Elapsed().Seconds(), "tuples/s")
+		})
 	}
 }
 

@@ -3,33 +3,57 @@
 // Usage:
 //
 //	experiments -exp all
-//	experiments -exp fig12
-//	experiments -exp fig10,fig11 -tuples 10000
+//	experiments -exp fig12 -workers 4
+//	experiments -exp fig10,fig11 -tuples 10000 -seed 1
 //
 // Experiments: headline table1 table2 table3 table4 fig10 fig11 fig12
 // fig13 fig14 fig15 fig16 all. ("all" covers the tables and figures;
 // "headline" recomputes the paper-vs-measured claim summary.)
+//
+// Experiments run concurrently as jobs on one engine pool (-workers, default
+// all cores); simulation and injection results are bit-identical at any
+// worker count, and output is printed in the canonical experiment order
+// regardless of completion order. Ctrl-C (or -timeout) cancels the run and
+// reports what finished.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync"
+	"time"
 
 	"swapcodes/internal/arith"
+	"swapcodes/internal/engine"
 	"swapcodes/internal/harness"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "comma-separated experiments to run (headline, table1..table4, fig10..fig16, all)")
 	tuples := flag.Int("tuples", 10000, "input tuples per unit for the fig10/fig11 injection campaign")
-	seed := flag.Int64("seed", 1, "campaign random seed")
+	seed := flag.Int64("seed", 1, "campaign master seed (results are bit-identical for a given seed at any -workers)")
+	workers := flag.Int("workers", 0, "engine worker count (0 = all cores)")
+	timeout := flag.Duration("timeout", 0, "cancel the run after this long (0 = no limit)")
 	csvDir := flag.String("csv", "", "also write plot-ready CSV files into this directory")
 	chart := flag.Bool("chart", false, "render the performance figures as ASCII bar charts")
 	verilogDir := flag.String("verilog", "", "export the synthesized units as structural Verilog into this directory")
 	flag.Parse()
+
+	pool := engine.New(*workers)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	fmt.Fprintf(os.Stderr, "experiments: workers=%d seed=%d tuples=%d\n",
+		pool.Workers(), *seed, *tuples)
 
 	if *verilogDir != "" {
 		fail(os.MkdirAll(*verilogDir, 0o755))
@@ -40,10 +64,13 @@ func main() {
 		}
 	}
 
+	var csvMu sync.Mutex
 	writeCSV := func(name, content string) {
 		if *csvDir == "" {
 			return
 		}
+		csvMu.Lock()
+		defer csvMu.Unlock()
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fail(err)
 		}
@@ -52,87 +79,171 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wrote", path)
 	}
 
+	// fig10/fig11 share the injection campaign and fig12/fig13 share the
+	// Figure 12 sweep; whichever experiment job gets there first computes
+	// the result once and the other reuses it.
+	var injOnce sync.Once
+	var injRes *harness.InjectionResult
+	var injErr error
+	getInj := func(ctx context.Context) (*harness.InjectionResult, error) {
+		injOnce.Do(func() {
+			injRes, injErr = harness.RunInjectionCtx(ctx, pool, *tuples, *seed)
+		})
+		return injRes, injErr
+	}
+	var perfOnce sync.Once
+	var perfRes *harness.PerfResult
+	var perfErr error
+	getPerf12 := func(ctx context.Context) (*harness.PerfResult, error) {
+		perfOnce.Do(func() {
+			perfRes, perfErr = harness.RunPerfCtx(ctx, pool, harness.Fig12Schemes(), true)
+		})
+		return perfRes, perfErr
+	}
+
+	// Canonical order: this is both the -exp name space and the order the
+	// output is printed in, however the jobs are scheduled.
+	type experiment struct {
+		name string
+		run  func(ctx context.Context) (string, error)
+	}
+	experiments := []experiment{
+		{"headline", func(ctx context.Context) (string, error) {
+			rows, err := harness.HeadlineCtx(ctx, pool, *tuples, *seed)
+			if err != nil {
+				return "", err
+			}
+			return harness.RenderHeadline(rows), nil
+		}},
+		{"table1", func(context.Context) (string, error) { return harness.Table1(), nil }},
+		{"table2", func(context.Context) (string, error) { return harness.Table2(), nil }},
+		{"table3", func(context.Context) (string, error) { return harness.Table3(), nil }},
+		{"table4", func(context.Context) (string, error) {
+			rows := harness.Table4()
+			writeCSV("table4.csv", harness.Table4CSV(rows))
+			return harness.RenderTable4(rows), nil
+		}},
+		{"fig10", func(ctx context.Context) (string, error) {
+			inj, err := getInj(ctx)
+			if err != nil {
+				return "", err
+			}
+			writeCSV("fig10_fig11.csv", inj.CSV())
+			return inj.RenderFig10(), nil
+		}},
+		{"fig11", func(ctx context.Context) (string, error) {
+			inj, err := getInj(ctx)
+			if err != nil {
+				return "", err
+			}
+			out := inj.RenderFig11()
+			out += fmt.Sprintf("pooled detection coverage: SEC-DED %.2f%%, Mod-127 %.2f%% (paper: >98.8%% / >99.3%%)\n",
+				100*inj.DetectionCoverage(codeByName("SEC-DED-DP")),
+				100*inj.DetectionCoverage(codeByName("Mod-127")))
+			return out, nil
+		}},
+		{"fig12", func(ctx context.Context) (string, error) {
+			perf, err := getPerf12(ctx)
+			if err != nil {
+				return "", err
+			}
+			out := perf.Render("Figure 12: slowdown over the un-duplicated program (Tesla P100-class SM model)")
+			if *chart {
+				out += "\n" + perf.Chart("Figure 12 (chart)", 120)
+			}
+			writeCSV("fig12.csv", perf.CSV())
+			return out, nil
+		}},
+		{"fig13", func(ctx context.Context) (string, error) {
+			perf, err := getPerf12(ctx)
+			if err != nil {
+				return "", err
+			}
+			mix := harness.RunCodeMix(perf)
+			writeCSV("fig13.csv", mix.CSV())
+			return mix.Render(), nil
+		}},
+		{"fig14", func(context.Context) (string, error) {
+			pr, err := harness.RunPower()
+			if err != nil {
+				return "", err
+			}
+			writeCSV("fig14.csv", pr.CSV())
+			return pr.Render() +
+				fmt.Sprintf("worst power overhead: %.0f%% (paper: <=15%%)\n", 100*(pr.MaxRelPower()-1)), nil
+		}},
+		{"fig15", func(ctx context.Context) (string, error) {
+			perf, err := harness.RunPerfCtx(ctx, pool, harness.Fig15Schemes(), true)
+			if err != nil {
+				return "", err
+			}
+			writeCSV("fig15.csv", perf.CSV())
+			return perf.Render("Figure 15: inter-thread duplication slowdown (fails on mm: CTA size; snap: shuffles)"), nil
+		}},
+		{"fig16", func(ctx context.Context) (string, error) {
+			perf, err := harness.RunPerfCtx(ctx, pool, harness.Fig16Schemes(), true)
+			if err != nil {
+				return "", err
+			}
+			writeCSV("fig16.csv", perf.CSV())
+			return perf.Render("Figure 16: Swap-Predict with plausible future check-bit predictors"), nil
+		}},
+	}
+
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
 		want[strings.TrimSpace(e)] = true
 	}
 	all := want["all"]
-	sel := func(name string) bool { return all || want[name] }
-
-	if sel("headline") {
-		rows, err := harness.Headline(*tuples, *seed)
-		fail(err)
-		fmt.Println(harness.RenderHeadline(rows))
-	}
-	if sel("table1") {
-		fmt.Println(harness.Table1())
-	}
-	if sel("table2") {
-		fmt.Println(harness.Table2())
-	}
-	if sel("table3") {
-		fmt.Println(harness.Table3())
-	}
-	if sel("table4") {
-		rows := harness.Table4()
-		fmt.Println(harness.RenderTable4(rows))
-		writeCSV("table4.csv", harness.Table4CSV(rows))
-	}
-
-	var inj *harness.InjectionResult
-	if sel("fig10") || sel("fig11") {
-		var err error
-		inj, err = harness.RunInjection(*tuples, *seed)
-		fail(err)
-	}
-	if sel("fig10") {
-		fmt.Println(inj.RenderFig10())
-		writeCSV("fig10_fig11.csv", inj.CSV())
-	}
-	if sel("fig11") {
-		fmt.Println(inj.RenderFig11())
-		fmt.Printf("pooled detection coverage: SEC-DED %.2f%%, Mod-127 %.2f%% (paper: >98.8%% / >99.3%%)\n\n",
-			100*inj.DetectionCoverage(codeByName("SEC-DED-DP")),
-			100*inj.DetectionCoverage(codeByName("Mod-127")))
-	}
-
-	var perf12 *harness.PerfResult
-	if sel("fig12") || sel("fig13") {
-		var err error
-		perf12, err = harness.RunPerf(harness.Fig12Schemes(), true)
-		fail(err)
-	}
-	if sel("fig12") {
-		fmt.Println(perf12.Render("Figure 12: slowdown over the un-duplicated program (Tesla P100-class SM model)"))
-		if *chart {
-			fmt.Println(perf12.Chart("Figure 12 (chart)", 120))
+	var selected []experiment
+	known := map[string]bool{"all": true}
+	for _, e := range experiments {
+		known[e.name] = true
+		if want[e.name] || all {
+			selected = append(selected, e)
 		}
-		writeCSV("fig12.csv", perf12.CSV())
 	}
-	if sel("fig13") {
-		mix := harness.RunCodeMix(perf12)
-		fmt.Println(mix.Render())
-		writeCSV("fig13.csv", mix.CSV())
+	for name := range want {
+		if !known[name] {
+			fail(fmt.Errorf("unknown experiment %q", name))
+		}
 	}
-	if sel("fig14") {
-		pr, err := harness.RunPower()
-		fail(err)
-		fmt.Println(pr.Render())
-		writeCSV("fig14.csv", pr.CSV())
-		fmt.Printf("worst power overhead: %.0f%% (paper: <=15%%)\n\n", 100*(pr.MaxRelPower()-1))
+
+	// All selected experiments run concurrently as engine jobs; the harness
+	// drivers they call fan out further on the same pool, which keeps the
+	// global worker bound. Output and timings are buffered per experiment
+	// and printed in canonical order.
+	outputs := make([]string, len(selected))
+	times := make([]time.Duration, len(selected))
+	jobs := make([]engine.Job, len(selected))
+	for i, e := range selected {
+		i, e := i, e
+		jobs[i] = engine.Job{Name: e.name, Run: func(ctx context.Context) error {
+			start := time.Now()
+			out, err := e.run(ctx)
+			times[i] = time.Since(start)
+			outputs[i] = out
+			return err
+		}}
 	}
-	if sel("fig15") {
-		perf, err := harness.RunPerf(harness.Fig15Schemes(), true)
-		fail(err)
-		fmt.Println(perf.Render("Figure 15: inter-thread duplication slowdown (fails on mm: CTA size; snap: shuffles)"))
-		writeCSV("fig15.csv", perf.CSV())
+	start := time.Now()
+	runErr := pool.Run(ctx, jobs)
+	for i, e := range selected {
+		if outputs[i] == "" {
+			fmt.Fprintf(os.Stderr, "experiments: %s: no result (cancelled or failed)\n", e.name)
+			continue
+		}
+		fmt.Println(outputs[i])
 	}
-	if sel("fig16") {
-		perf, err := harness.RunPerf(harness.Fig16Schemes(), true)
-		fail(err)
-		fmt.Println(perf.Render("Figure 16: Swap-Predict with plausible future check-bit predictors"))
-		writeCSV("fig16.csv", perf.CSV())
+	for i, e := range selected {
+		if times[i] > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: %-8s %8.2fs\n", e.name, times[i].Seconds())
+		}
 	}
+	pr := pool.Tracker().Snapshot()
+	fmt.Fprintf(os.Stderr, "experiments: total %.2fs; engine: %s\n",
+		time.Since(start).Seconds(), pr.String())
+	fail(runErr)
 }
 
 func codeByName(name string) interface {

@@ -1,22 +1,33 @@
-// Command swapsim runs one workload kernel under one protection scheme on
-// the simulated SM and prints cycles, instruction mix, and (optionally) the
-// outcome of an injected pipeline error under the SwapCodes register file.
+// Command swapsim runs one workload kernel under one or more protection
+// schemes on the simulated SM and prints cycles, instruction mix, and
+// (optionally) the outcome of an injected pipeline error under the
+// SwapCodes register file.
 //
 // Usage:
 //
 //	swapsim -workload lavaMD -scheme swap-ecc
+//	swapsim -workload mm -scheme baseline,sw-dup,swap-ecc -workers 4
 //	swapsim -workload mm -scheme sw-dup -fault 120 -lane 3 -bit 9
+//	swapsim -workload mm -scheme sw-dup -fault 120 -lane -1 -bit -1 -seed 7
 //	swapsim -file kernel.sasm -scheme swap-ecc -mem 65536
 //	swapsim -list
+//
+// With a comma-separated -scheme list the runs execute in parallel on an
+// engine pool (-workers, default all cores) and are reported in list order;
+// the simulator is deterministic, so the numbers match serial runs exactly.
+// With -lane -1 or -bit -1 the faulted lane/bit are drawn from -seed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"strings"
 
 	"swapcodes/internal/compiler"
+	"swapcodes/internal/engine"
 	"swapcodes/internal/isa"
 	"swapcodes/internal/sm"
 	"swapcodes/internal/workloads"
@@ -35,15 +46,26 @@ var schemeNames = map[string]compiler.Scheme{
 	"inter-no-check": compiler.InterThreadNoCheck,
 }
 
+type runOpts struct {
+	name, file string
+	memWords   int
+	fault      int64
+	lane, bit  int
+	disas      bool
+	optimize   bool
+}
+
 func main() {
 	name := flag.String("workload", "lavaMD", "workload name (see -list)")
 	file := flag.String("file", "", "run a kernel from a .sasm text file instead of a built-in workload")
 	memWords := flag.Int("mem", 1<<16, "global memory words when running a .sasm file")
-	schemeName := flag.String("scheme", "swap-ecc", "protection scheme: "+strings.Join(schemeKeys(), " "))
+	schemeList := flag.String("scheme", "swap-ecc", "comma-separated protection schemes: "+strings.Join(schemeKeys(), " "))
+	workers := flag.Int("workers", 0, "engine worker count for multi-scheme runs (0 = all cores)")
+	seed := flag.Int64("seed", 1, "random seed for -lane -1 / -bit -1 fault-site selection")
 	list := flag.Bool("list", false, "list workloads and exit")
 	fault := flag.Int64("fault", -1, "dynamic warp-instruction index at which to inject a pipeline error")
-	lane := flag.Int("lane", 0, "faulted lane")
-	bit := flag.Int("bit", 7, "faulted result bit")
+	lane := flag.Int("lane", 0, "faulted lane (-1: draw from -seed)")
+	bit := flag.Int("bit", 7, "faulted result bit (-1: draw from -seed)")
 	disas := flag.Bool("disas", false, "print the transformed kernel")
 	optimize := flag.Bool("O", false, "run dead-code elimination and the list scheduler after the protection pass")
 	flag.Parse()
@@ -55,80 +77,131 @@ func main() {
 		}
 		return
 	}
-	scheme, ok := schemeNames[*schemeName]
-	if !ok {
-		fail(fmt.Errorf("unknown scheme %q (want one of %s)", *schemeName, strings.Join(schemeKeys(), ", ")))
+
+	var schemes []compiler.Scheme
+	for _, sn := range strings.Split(*schemeList, ",") {
+		scheme, ok := schemeNames[strings.TrimSpace(sn)]
+		if !ok {
+			fail(fmt.Errorf("unknown scheme %q (want one of %s)", sn, strings.Join(schemeKeys(), ", ")))
+		}
+		schemes = append(schemes, scheme)
 	}
+	opts := runOpts{name: *name, file: *file, memWords: *memWords,
+		fault: *fault, lane: *lane, bit: *bit, disas: *disas, optimize: *optimize}
+	if *fault >= 0 && (*lane < 0 || *bit < 0) {
+		rng := rand.New(rand.NewSource(*seed))
+		if *lane < 0 {
+			opts.lane = rng.Intn(32)
+		}
+		if *bit < 0 {
+			opts.bit = rng.Intn(32)
+		}
+		fmt.Fprintf(os.Stderr, "swapsim: seed=%d drew lane=%d bit=%d\n", *seed, opts.lane, opts.bit)
+	}
+
+	pool := engine.New(*workers)
+	if len(schemes) > 1 {
+		fmt.Fprintf(os.Stderr, "swapsim: workers=%d seed=%d schemes=%d\n",
+			pool.Workers(), *seed, len(schemes))
+	}
+	reports, err := engine.Map(context.Background(), pool, len(schemes),
+		func(ctx context.Context, i int) (string, error) {
+			return runScheme(ctx, schemes[i], opts)
+		})
+	for _, r := range reports {
+		if r != "" {
+			fmt.Print(r)
+		}
+	}
+	fail(err)
+}
+
+// runScheme compiles, runs, and verifies one scheme, returning the full
+// report as a string so parallel runs never interleave output.
+func runScheme(ctx context.Context, scheme compiler.Scheme, o runOpts) (string, error) {
 	var w *workloads.Workload
 	var base *isa.Kernel
-	if *file != "" {
-		src, err := os.ReadFile(*file)
-		fail(err)
+	if o.file != "" {
+		src, err := os.ReadFile(o.file)
+		if err != nil {
+			return "", err
+		}
 		base, err = compiler.Parse(string(src))
-		fail(err)
+		if err != nil {
+			return "", err
+		}
 	} else {
 		var err error
-		w, err = workloads.ByName(*name)
-		fail(err)
+		w, err = workloads.ByName(o.name)
+		if err != nil {
+			return "", err
+		}
 		base = w.Kernel
 	}
-	k, err := compiler.ApplyOpts(base, scheme, compiler.Opts{DCE: *optimize, Schedule: *optimize})
-	fail(err)
-	if *disas {
+	k, err := compiler.ApplyOpts(base, scheme, compiler.Opts{DCE: o.optimize, Schedule: o.optimize})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	if o.disas {
 		for pc, in := range k.Code {
-			fmt.Printf("%4d: %v\n", pc, in)
+			fmt.Fprintf(&b, "%4d: %v\n", pc, in)
 		}
 	}
 	cfg := sm.DefaultConfig()
-	if *fault >= 0 {
+	if o.fault >= 0 {
 		cfg.ECC = true
 	}
 	var g *sm.GPU
 	if w != nil {
 		g = w.NewGPU(cfg)
 	} else {
-		g = sm.NewGPU(cfg, *memWords)
+		g = sm.NewGPU(cfg, o.memWords)
 	}
-	if *fault >= 0 {
-		g.Fault = &sm.FaultPlan{TargetDynInstr: *fault, Lane: *lane, BitMask: 1 << uint(*bit%32)}
+	if o.fault >= 0 {
+		g.Fault = &sm.FaultPlan{TargetDynInstr: o.fault, Lane: o.lane, BitMask: 1 << uint(o.bit%32)}
 	}
-	st, err := g.Launch(k)
-	fail(err)
+	st, err := g.LaunchContext(ctx, k)
+	if err != nil {
+		return "", err
+	}
 	var verifyErr error
 	if w != nil {
 		verifyErr = w.Verify(g)
 	}
 
-	fmt.Printf("workload    %s under %v\n", k.Name, scheme)
-	fmt.Printf("cycles      %d\n", st.Cycles)
-	fmt.Printf("warp instrs %d (IPC %.2f)\n", st.DynWarpInstrs, st.IPC())
-	fmt.Printf("occupancy   %d resident warps (max)\n", st.MaxResidentWarps)
-	fmt.Printf("stalls      deps=%d throttle=%d barrier=%d empty=%d (failed issue slots)\n",
+	fmt.Fprintf(&b, "workload    %s under %v\n", k.Name, scheme)
+	fmt.Fprintf(&b, "cycles      %d\n", st.Cycles)
+	fmt.Fprintf(&b, "warp instrs %d (IPC %.2f)\n", st.DynWarpInstrs, st.IPC())
+	fmt.Fprintf(&b, "occupancy   %d resident warps (max)\n", st.MaxResidentWarps)
+	fmt.Fprintf(&b, "stalls      deps=%d throttle=%d barrier=%d empty=%d (failed issue slots)\n",
 		st.StallDeps, st.StallThrottle, st.StallBarrier, st.StallNoWarp)
-	fmt.Printf("classes    ")
+	fmt.Fprintf(&b, "classes    ")
 	for cl := isa.ClassFxP; cl <= isa.ClassSpecial; cl++ {
 		if st.PerClass[cl] > 0 {
-			fmt.Printf(" %v=%d", cl, st.PerClass[cl])
+			fmt.Fprintf(&b, " %v=%d", cl, st.PerClass[cl])
 		}
 	}
-	fmt.Println()
-	fmt.Printf("categories ")
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "categories ")
 	for cat := isa.CatNotEligible; cat <= isa.CatChecking; cat++ {
 		if st.PerCat[cat] > 0 {
-			fmt.Printf(" %v=%d", cat, st.PerCat[cat])
+			fmt.Fprintf(&b, " %v=%d", cat, st.PerCat[cat])
 		}
 	}
-	fmt.Println()
-	if *fault >= 0 {
-		fmt.Printf("fault       applied=%v\n", g.Fault.Applied)
-		fmt.Printf("detection   pipeline DUEs=%d, software trap=%v\n", st.PipelineDUEs, st.Trapped)
+	b.WriteString("\n")
+	if o.fault >= 0 {
+		fmt.Fprintf(&b, "fault       applied=%v\n", g.Fault.Applied)
+		fmt.Fprintf(&b, "detection   pipeline DUEs=%d, software trap=%v\n", st.PipelineDUEs, st.Trapped)
 	}
 	switch {
 	case verifyErr != nil:
-		fmt.Printf("output      CORRUPTED: %v\n", verifyErr)
+		fmt.Fprintf(&b, "output      CORRUPTED: %v\n", verifyErr)
 	case w != nil:
-		fmt.Printf("output      verified correct\n")
+		fmt.Fprintf(&b, "output      verified correct\n")
 	}
+	b.WriteString("\n")
+	return b.String(), nil
 }
 
 func schemeKeys() []string {

@@ -1,0 +1,148 @@
+// Package engine is the deterministic parallel execution layer for the
+// experiment pipeline. Every figure of the reproduction is embarrassingly
+// parallel — per-unit gate-level injection campaigns over thousands of
+// operand tuples, and independent workload×scheme simulations — and the
+// engine runs that work on a bounded worker pool without sacrificing
+// reproducibility: results are placed by index (merging is independent of
+// scheduling order), and randomized work derives per-shard rngs from a
+// master seed with SplitMix64 (see ShardSeed), so output is bit-identical
+// at any worker count.
+//
+// Cancellation flows through context.Context: callers that stop a run early
+// get the partial results completed so far plus the context's error.
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool bounds the concurrency of heterogeneous jobs. The bound is global
+// across nested use: a Map call issued from inside another Map job draws
+// helper workers from the same token budget, and every call runs jobs on
+// the calling goroutine too, so nesting can never deadlock and the total
+// number of goroutines executing jobs never exceeds Workers. A Pool may be
+// shared by concurrent callers; its Tracker aggregates progress across all
+// of them.
+type Pool struct {
+	workers int
+	// sem holds workers-1 helper tokens; the caller of each Run/Map is the
+	// remaining worker and needs no token.
+	sem     chan struct{}
+	tracker *Tracker
+}
+
+// New returns a pool running at most workers jobs concurrently. workers <= 0
+// selects runtime.NumCPU().
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Pool{
+		workers: workers,
+		sem:     make(chan struct{}, workers-1),
+		tracker: NewTracker(),
+	}
+}
+
+// Workers reports the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Tracker returns the pool's progress counters.
+func (p *Pool) Tracker() *Tracker { return p.tracker }
+
+// Job is one named unit of heterogeneous work.
+type Job struct {
+	Name string
+	Run  func(ctx context.Context) error
+}
+
+// Run executes the jobs with bounded parallelism. It returns the first
+// error (or the context's error on cancellation) after every in-flight job
+// has returned — the pool never leaks goroutines. Once a job fails or the
+// context is cancelled, unstarted jobs are skipped.
+func (p *Pool) Run(ctx context.Context, jobs []Job) error {
+	_, err := Map(ctx, p, len(jobs), func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, jobs[i].Run(ctx)
+	})
+	return err
+}
+
+// Map applies fn to every index in [0, n) with bounded parallelism and
+// returns the results placed at their index — the merge is order-independent
+// by construction, so output does not depend on worker count or scheduling.
+// fn receives a context that is cancelled as soon as any invocation fails or
+// the parent context is cancelled; after that, unstarted indices are
+// skipped (their slots keep the zero value) while started ones run to
+// completion. The partially filled slice is returned alongside the first
+// error, enabling partial-result reporting on early stop. Results of failed
+// invocations are stored too, so fn may return partial data with its error.
+func Map[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, ctx.Err()
+	}
+	jctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		next     atomic.Int64 // index dispenser
+		executed atomic.Int64
+		wg       sync.WaitGroup
+	)
+	p.tracker.enqueue(int64(n))
+	worker := func() {
+		for {
+			if jctx.Err() != nil {
+				return
+			}
+			i := int(next.Add(1) - 1)
+			if i >= n {
+				return
+			}
+			p.tracker.start()
+			executed.Add(1)
+			v, err := fn(jctx, i)
+			out[i] = v
+			p.tracker.finish()
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				cancel()
+			}
+		}
+	}
+	// The caller is one worker; recruit up to workers-1 helpers from the
+	// shared token budget. TryAcquire semantics keep nested calls
+	// deadlock-free: with no tokens left the caller simply runs every job
+	// inline.
+recruit:
+	for h := 0; h < p.workers-1 && h < n-1; h++ {
+		select {
+		case p.sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer func() { <-p.sem; wg.Done() }()
+				worker()
+			}()
+		default:
+			break recruit // budget exhausted
+		}
+	}
+	worker()
+	wg.Wait()
+	p.tracker.drop(int64(n) - executed.Load())
+	mu.Lock()
+	defer mu.Unlock()
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
+	return out, firstErr
+}

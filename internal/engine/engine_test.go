@@ -1,0 +1,269 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitNoLeaks fails the test if the goroutine count does not return to the
+// pre-test baseline (goleak-style counting, with retries for scheduler lag).
+func waitNoLeaks(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("goroutine leak: %d running, baseline %d", runtime.NumGoroutine(), baseline)
+}
+
+func TestMapResultsIndexedRegardlessOfWorkers(t *testing.T) {
+	for _, workers := range []int{1, 3, 16, 64} {
+		out, err := Map(context.Background(), New(workers), 100,
+			func(_ context.Context, i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d]=%d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 4
+	var running, peak atomic.Int64
+	_, err := Map(context.Background(), New(workers), 64,
+		func(_ context.Context, i int) (struct{}, error) {
+			n := running.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			running.Add(-1)
+			return struct{}{}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent jobs, bound %d", p, workers)
+	}
+}
+
+func TestMapFirstErrorStopsFeeding(t *testing.T) {
+	base := runtime.NumGoroutine()
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	out, err := Map(context.Background(), New(2), 1000,
+		func(_ context.Context, i int) (int, error) {
+			ran.Add(1)
+			if i == 3 {
+				return -1, boom
+			}
+			return i, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if len(out) != 1000 {
+		t.Fatalf("result slice truncated: %d", len(out))
+	}
+	if n := ran.Load(); n == 1000 {
+		t.Error("error did not stop the feed")
+	}
+	// Failed invocations still store their (partial) result.
+	if out[3] != -1 {
+		t.Errorf("failed job's result dropped: out[3]=%d", out[3])
+	}
+	waitNoLeaks(t, base)
+}
+
+func TestMapCancellationReturnsPartialResults(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1)
+	go func() {
+		<-started // cancel once the run is demonstrably in flight
+		cancel()
+	}()
+	out, err := Map(ctx, New(2), 1000, func(ctx context.Context, i int) (int, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case <-time.After(time.Millisecond):
+			return i + 1, nil
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(out) != 1000 {
+		t.Fatalf("result slice truncated: %d", len(out))
+	}
+	completed, skipped := 0, 0
+	for _, v := range out {
+		if v > 0 {
+			completed++
+		} else {
+			skipped++
+		}
+	}
+	if skipped == 0 {
+		t.Error("cancellation skipped nothing out of 1000 jobs")
+	}
+	t.Logf("cancel mid-run: %d completed, %d skipped", completed, skipped)
+	waitNoLeaks(t, base)
+}
+
+func TestRunJobs(t *testing.T) {
+	var sum atomic.Int64
+	var jobs []Job
+	for i := 1; i <= 10; i++ {
+		i := i
+		jobs = append(jobs, Job{Name: fmt.Sprintf("j%d", i), Run: func(context.Context) error {
+			sum.Add(int64(i))
+			return nil
+		}})
+	}
+	p := New(4)
+	if err := p.Run(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 55 {
+		t.Errorf("sum = %d", sum.Load())
+	}
+	pr := p.Tracker().Snapshot()
+	if pr.Done != 10 || pr.Queued != 0 || pr.Running != 0 {
+		t.Errorf("tracker %+v", pr)
+	}
+}
+
+func TestRunPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := New(4).Run(ctx, []Job{{Name: "a", Run: func(context.Context) error {
+		ran.Add(1)
+		return nil
+	}}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() != 0 {
+		t.Error("job ran under a cancelled context")
+	}
+}
+
+func TestTrackerItems(t *testing.T) {
+	p := New(2)
+	_, err := Map(context.Background(), p, 8, func(_ context.Context, i int) (int, error) {
+		p.Tracker().AddItems(10)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := p.Tracker().Snapshot()
+	if pr.Items != 80 {
+		t.Errorf("items = %d", pr.Items)
+	}
+	if pr.String() == "" {
+		t.Error("empty render")
+	}
+	if pr.Elapsed > 0 && pr.ItemsPerSec() <= 0 {
+		t.Error("throughput not computed")
+	}
+}
+
+func TestShardSeedDistinctAndStable(t *testing.T) {
+	seen := map[int64]int{}
+	for shard := 0; shard < 10000; shard++ {
+		s := ShardSeed(1, shard)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("shards %d and %d collide", prev, shard)
+		}
+		seen[s] = shard
+	}
+	if ShardSeed(1, 5) != ShardSeed(1, 5) {
+		t.Error("not a pure function")
+	}
+	if ShardSeed(1, 5) == ShardSeed(2, 5) {
+		t.Error("master seed ignored")
+	}
+	// Nearby masters and shards must not produce the near-identical seeds
+	// that additive schemes do.
+	if ShardSeed(1, 6)-ShardSeed(1, 5) == ShardSeed(1, 7)-ShardSeed(1, 6) {
+		t.Error("consecutive shard seeds are an arithmetic progression")
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	if w := New(0).Workers(); w != runtime.NumCPU() {
+		t.Errorf("default workers %d, want NumCPU %d", w, runtime.NumCPU())
+	}
+	if w := New(3).Workers(); w != 3 {
+		t.Errorf("workers %d", w)
+	}
+}
+
+// TestNestedMapKeepsGlobalBoundAndCompletes: Map called from inside Map
+// jobs (the harness drivers run on the experiment pool) must neither
+// deadlock nor exceed the pool's global worker bound.
+func TestNestedMapKeepsGlobalBound(t *testing.T) {
+	const workers = 4
+	p := New(workers)
+	var running, peak atomic.Int64
+	track := func() func() {
+		n := running.Add(1)
+		for {
+			pk := peak.Load()
+			if n <= pk || peak.CompareAndSwap(pk, n) {
+				break
+			}
+		}
+		return func() { running.Add(-1) }
+	}
+	outer, err := Map(context.Background(), p, 8, func(ctx context.Context, i int) (int, error) {
+		inner, err := Map(ctx, p, 16, func(_ context.Context, j int) (int, error) {
+			defer track()()
+			time.Sleep(200 * time.Microsecond)
+			return j, nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		sum := 0
+		for _, v := range inner {
+			sum += v
+		}
+		return sum, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range outer {
+		if v != 120 {
+			t.Fatalf("outer[%d] = %d, want 120", i, v)
+		}
+	}
+	if pk := peak.Load(); pk > workers {
+		t.Errorf("peak concurrency %d exceeds pool bound %d", pk, workers)
+	}
+}

@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracker counts a pool's work: jobs queued/running/done and domain items
+// processed (operand tuples, simulated kernels, ...). All methods are safe
+// for concurrent use. Jobs report items via AddItems; the snapshot's
+// ItemsPerSec divides by the wall time since the first job started.
+type Tracker struct {
+	queued  atomic.Int64
+	running atomic.Int64
+	done    atomic.Int64
+	items   atomic.Int64
+
+	startOnce sync.Once
+	startNano atomic.Int64
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker { return &Tracker{} }
+
+// AddItems records n domain items processed (e.g. injection tuples).
+func (t *Tracker) AddItems(n int64) { t.items.Add(n) }
+
+func (t *Tracker) enqueue(n int64) { t.queued.Add(n) }
+
+func (t *Tracker) start() {
+	t.startOnce.Do(func() { t.startNano.Store(time.Now().UnixNano()) })
+	t.queued.Add(-1)
+	t.running.Add(1)
+}
+
+func (t *Tracker) finish() {
+	t.running.Add(-1)
+	t.done.Add(1)
+}
+
+// drop removes jobs that were queued but will never run (cancellation).
+func (t *Tracker) drop(n int64) { t.queued.Add(-n) }
+
+// Progress is a point-in-time view of a tracker.
+type Progress struct {
+	Queued, Running, Done int64
+	Items                 int64
+	Elapsed               time.Duration
+}
+
+// ItemsPerSec is the item throughput over the elapsed wall time.
+func (p Progress) ItemsPerSec() float64 {
+	if p.Elapsed <= 0 {
+		return 0
+	}
+	return float64(p.Items) / p.Elapsed.Seconds()
+}
+
+// String renders a one-line status.
+func (p Progress) String() string {
+	return fmt.Sprintf("jobs %d queued / %d running / %d done; %d items (%.0f/s) in %v",
+		p.Queued, p.Running, p.Done, p.Items, p.ItemsPerSec(), p.Elapsed.Round(time.Millisecond))
+}
+
+// Snapshot captures the current counters.
+func (t *Tracker) Snapshot() Progress {
+	p := Progress{
+		Queued:  t.queued.Load(),
+		Running: t.running.Load(),
+		Done:    t.done.Load(),
+		Items:   t.items.Load(),
+	}
+	if s := t.startNano.Load(); s != 0 {
+		p.Elapsed = time.Duration(time.Now().UnixNano() - s)
+	}
+	return p
+}

@@ -1,0 +1,16 @@
+package engine
+
+// ShardSeed derives the rng seed for one shard of a campaign from the
+// campaign's master seed, using the SplitMix64 finalizer (Steele et al.,
+// "Fast splittable pseudorandom number generators", OOPSLA 2014). The
+// derivation is a pure function of (master, shard), so a sharded campaign
+// is reproducible from its master seed alone, bit-identical regardless of
+// how many workers execute the shards or in what order they finish —
+// and statistically independent across shards, unlike master+shard offset
+// seeding, whose nearby seeds correlate under math/rand's LFSR source.
+func ShardSeed(master int64, shard int) int64 {
+	z := uint64(master) + (uint64(shard)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}

@@ -8,6 +8,7 @@
 package faultsim
 
 import (
+	"context"
 	"math/bits"
 	"math/rand"
 
@@ -90,12 +91,20 @@ type Campaign struct {
 
 // NewCampaign prepares an injection campaign with a deterministic seed.
 func NewCampaign(u *arith.Unit, seed int64) *Campaign {
+	return NewCampaignRNG(u, rand.New(rand.NewSource(seed)))
+}
+
+// NewCampaignRNG prepares a campaign drawing sites from an injected random
+// source. The campaign owns rng from here on: campaigns never touch the
+// package-global math/rand source, so concurrent campaigns with private
+// rngs are race-free and individually reproducible.
+func NewCampaignRNG(u *arith.Unit, rng *rand.Rand) *Campaign {
 	return &Campaign{
 		Unit:        u,
 		MaxAttempts: 400,
 		ev:          gates.NewEvaluator(u.Circuit),
 		sites:       u.Circuit.FaultSites(),
-		rng:         rand.New(rand.NewSource(seed)),
+		rng:         rng,
 	}
 }
 
@@ -105,8 +114,21 @@ func NewCampaign(u *arith.Unit, seed int64) *Campaign {
 // per tuple. Tuples that never yield an unmasked error within MaxAttempts
 // draws are skipped.
 func (c *Campaign) Run(tuples [][]uint64) []Injection {
+	out, _ := c.RunContext(context.Background(), tuples)
+	return out
+}
+
+// RunContext is Run with cancellation: the context is checked between
+// tuples, and on cancellation the injections completed so far are returned
+// together with the context's error (partial-result reporting).
+func (c *Campaign) RunContext(ctx context.Context, tuples [][]uint64) ([]Injection, error) {
 	out := make([]Injection, 0, len(tuples))
-	for _, ops := range tuples {
+	for ti, ops := range tuples {
+		if ti&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+		}
 		in := c.Unit.PackOperands([][]uint64{ops})
 		golden := c.Unit.Ref(ops)
 		for attempt := 1; attempt <= c.MaxAttempts; attempt++ {
@@ -127,7 +149,7 @@ func (c *Campaign) Run(tuples [][]uint64) []Injection {
 			break
 		}
 	}
-	return out
+	return out, ctx.Err()
 }
 
 // SeverityHistogram tallies injections per Figure 10 bucket.

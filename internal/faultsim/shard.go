@@ -1,0 +1,87 @@
+package faultsim
+
+import (
+	"context"
+	"math/rand"
+
+	"swapcodes/internal/arith"
+	"swapcodes/internal/engine"
+)
+
+// DefaultShardSize is the tuple count per shard. Small enough that a
+// 10,000-tuple campaign splits across every core of a large machine, large
+// enough that per-shard setup (a private evaluator and rng) is noise.
+const DefaultShardSize = 512
+
+// ShardedCampaign runs an injection campaign split into fixed-size tuple
+// shards that execute in parallel on an engine pool. Shard i covers tuples
+// [i*ShardSize, (i+1)*ShardSize) with a private rng seeded by
+// engine.ShardSeed(MasterSeed, i) and a private evaluator, and results are
+// concatenated in shard order — so the output is bit-identical for any
+// worker count, including 1, and the serial run is just the parallel run
+// on a single worker.
+type ShardedCampaign struct {
+	Unit       *arith.Unit
+	MasterSeed int64
+	// ShardSize is the tuples per shard (DefaultShardSize if 0).
+	ShardSize int
+	// MaxAttempts bounds the per-tuple unmasked-site search (Campaign's
+	// default if 0).
+	MaxAttempts int
+}
+
+func (s *ShardedCampaign) shardSize() int {
+	if s.ShardSize > 0 {
+		return s.ShardSize
+	}
+	return DefaultShardSize
+}
+
+// NumShards is the shard count for n tuples.
+func (s *ShardedCampaign) NumShards(n int) int {
+	return (n + s.shardSize() - 1) / s.shardSize()
+}
+
+// RunShard executes shard i of the campaign over the full tuple slice —
+// the deterministic unit of work the engine schedules. Callers that flatten
+// several campaigns into one job list (the harness runs all six units'
+// shards in a single Map) get exactly the injections Run would produce.
+func (s *ShardedCampaign) RunShard(ctx context.Context, i int, tuples [][]uint64) ([]Injection, error) {
+	size := s.shardSize()
+	lo := i * size
+	hi := min(lo+size, len(tuples))
+	c := NewCampaignRNG(s.Unit, rand.New(rand.NewSource(engine.ShardSeed(s.MasterSeed, i))))
+	if s.MaxAttempts > 0 {
+		c.MaxAttempts = s.MaxAttempts
+	}
+	inj, err := c.RunContext(ctx, tuples[lo:hi])
+	if err != nil {
+		// A partially injected shard would make the merged stream depend
+		// on where cancellation landed; keep only whole shards.
+		return nil, err
+	}
+	return inj, nil
+}
+
+// Run executes the campaign on the pool. On cancellation it returns the
+// injections of every shard that completed, concatenated in shard order
+// (later shards may be missing), along with the context's error — partial
+// counts remain valid Wilson-interval inputs because every tuple draws its
+// sites independently.
+func (s *ShardedCampaign) Run(ctx context.Context, pool *engine.Pool, tuples [][]uint64) ([]Injection, error) {
+	shards, err := engine.Map(ctx, pool, s.NumShards(len(tuples)), func(ctx context.Context, i int) ([]Injection, error) {
+		inj, err := s.RunShard(ctx, i, tuples)
+		if err == nil {
+			// Progress is counted in operand tuples injected, the unit the
+			// tracker's items/sec throughput reports.
+			lo := i * s.shardSize()
+			pool.Tracker().AddItems(int64(min(lo+s.shardSize(), len(tuples)) - lo))
+		}
+		return inj, err
+	})
+	out := make([]Injection, 0, len(tuples))
+	for _, sh := range shards {
+		out = append(out, sh...)
+	}
+	return out, err
+}

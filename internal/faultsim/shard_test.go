@@ -1,0 +1,213 @@
+package faultsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"swapcodes/internal/arith"
+	"swapcodes/internal/ecc"
+	"swapcodes/internal/engine"
+)
+
+// renderResults freezes a campaign outcome — the Figure 10 severity
+// histogram and its Wilson CIs plus the Figure 11 SDC tallies — into bytes,
+// so determinism tests can demand byte identity, not just tolerance.
+func renderResults(t *testing.T, inj []Injection, outWidth int) string {
+	t.Helper()
+	s := ""
+	for _, sev := range []Severity{OneBit, TwoToThreeBits, FourPlusBits} {
+		c := SeverityCounts(inj, sev)
+		lo, hi := c.Wilson(1.96)
+		s += fmt.Sprintf("%v: %d/%d [%.17g,%.17g]\n", sev, c.K, c.N, lo, hi)
+	}
+	for _, code := range []ecc.Code{ecc.Parity{}, ecc.NewResidue(2), ecc.NewTED()} {
+		c := SDCCounts(inj, code, outWidth)
+		lo, hi := c.Wilson(1.96)
+		s += fmt.Sprintf("%s: %d/%d [%.17g,%.17g]\n", code.Name(), c.K, c.N, lo, hi)
+	}
+	return s
+}
+
+// TestShardedDeterministicAcrossWorkerCounts is the engine's central
+// guarantee: a parallel Fig. 10-style campaign at 1, 4, and 16 workers
+// produces byte-identical severity histograms and Wilson CIs — and in fact
+// identical injection streams — for the same master seed.
+func TestShardedDeterministicAcrossWorkerCounts(t *testing.T) {
+	u := arith.NewIAdd32()
+	tuples := randomTuples(u, 1200, 5)
+	s := &ShardedCampaign{Unit: u, MasterSeed: 7, ShardSize: 100}
+
+	ref, err := s.Run(context.Background(), engine.New(1), tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) < 1000 {
+		t.Fatalf("only %d unmasked injections", len(ref))
+	}
+	refBytes := renderResults(t, ref, u.OutputWidth)
+	for _, workers := range []int{4, 16} {
+		got, err := s.Run(context.Background(), engine.New(workers), tuples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d: injection stream differs from serial run", workers)
+		}
+		if gotBytes := renderResults(t, got, u.OutputWidth); gotBytes != refBytes {
+			t.Fatalf("workers=%d: rendered stats differ:\n%s\nvs\n%s", workers, gotBytes, refBytes)
+		}
+	}
+}
+
+// TestShardedIndependentOfShardSizeStatistics: different shard sizes give
+// different streams (different rng partitioning) but the same statistics to
+// within Wilson-interval overlap — a guard against a seeding bug that would
+// correlate shards.
+func TestShardedStatisticsStable(t *testing.T) {
+	u := arith.NewIAdd32()
+	tuples := randomTuples(u, 1500, 6)
+	frac := func(size int) Counts {
+		s := &ShardedCampaign{Unit: u, MasterSeed: 9, ShardSize: size}
+		inj, err := s.Run(context.Background(), engine.New(4), tuples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return SeverityCounts(inj, OneBit)
+	}
+	a, b := frac(128), frac(1500)
+	aLo, aHi := a.Wilson(1.96)
+	bLo, bHi := b.Wilson(1.96)
+	if aLo > bHi || bLo > aHi {
+		t.Errorf("shard-size change moved the 1-bit fraction outside CI overlap: [%v,%v] vs [%v,%v]",
+			aLo, aHi, bLo, bHi)
+	}
+}
+
+// TestShardedCancellation: cancelling mid-campaign returns partial counts
+// (whole shards only) plus the context error, and leaks no goroutines.
+func TestShardedCancellation(t *testing.T) {
+	base := runtime.NumGoroutine()
+	u := arith.NewIAdd32()
+	tuples := randomTuples(u, 4000, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	s := &ShardedCampaign{Unit: u, MasterSeed: 11, ShardSize: 64}
+	inj, err := s.Run(ctx, engine.New(2), tuples)
+	if err == nil {
+		t.Skip("campaign finished before cancellation on this machine")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(inj) >= len(tuples) {
+		t.Errorf("cancellation returned a full run (%d injections)", len(inj))
+	}
+	// Partial counts are still a valid tally.
+	c := SeverityCounts(inj, OneBit)
+	if c.N != len(inj) {
+		t.Errorf("counts N=%d over %d injections", c.N, len(inj))
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > base+1 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base+1 { // +1: the cancel goroutine may linger
+		t.Errorf("goroutine leak: %d running, baseline %d", n, base)
+	}
+}
+
+// TestRunContextPreCancelled: a cancelled context yields no work and the
+// context error.
+func TestRunContextPreCancelled(t *testing.T) {
+	u := arith.NewIAdd32()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	inj, err := NewCampaign(u, 1).RunContext(ctx, randomTuples(u, 256, 2))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(inj) != 0 {
+		t.Errorf("%d injections under a cancelled context", len(inj))
+	}
+}
+
+// TestMergedCountsEquivalence: pooling per-shard tallies equals tallying
+// the whole run — the identity the harness's pooled Wilson intervals rely
+// on.
+func TestMergedCountsEquivalence(t *testing.T) {
+	u := arith.NewIAdd32()
+	tuples := randomTuples(u, 900, 13)
+	s := &ShardedCampaign{Unit: u, MasterSeed: 3, ShardSize: 300}
+	inj, err := s.Run(context.Background(), engine.New(3), tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := SeverityCounts(inj, FourPlusBits)
+	var merged Counts
+	for lo := 0; lo < len(inj); lo += 250 { // arbitrary re-chunking
+		merged = merged.Merge(SeverityCounts(inj[lo:min(lo+250, len(inj))], FourPlusBits))
+	}
+	if merged != whole {
+		t.Fatalf("merged %+v != whole %+v", merged, whole)
+	}
+	wl, wh := whole.Wilson(1.96)
+	ml, mh := merged.Wilson(1.96)
+	if wl != ml || wh != mh {
+		t.Fatalf("merged CI [%v,%v] != whole CI [%v,%v]", ml, mh, wl, wh)
+	}
+	if MergeCounts(Counts{1, 10}, Counts{2, 20}, Counts{3, 30}) != (Counts{6, 60}) {
+		t.Error("MergeCounts")
+	}
+}
+
+func TestWilsonEdgeCases(t *testing.T) {
+	for _, tc := range []struct {
+		k, n             int
+		wantLo0, wantHi1 bool
+	}{
+		{0, 0, true, true},   // empty sample: total ignorance [0,1]
+		{0, 1, true, false},  // k=0: lower bound pinned at 0
+		{1, 1, false, true},  // k=n: upper bound pinned at 1
+		{0, 5000, true, false},
+		{5000, 5000, false, true},
+	} {
+		lo, hi := WilsonCI(tc.k, tc.n, 1.96)
+		if lo < 0 || hi > 1 || lo > hi {
+			t.Errorf("WilsonCI(%d,%d): invalid interval [%v,%v]", tc.k, tc.n, lo, hi)
+		}
+		if tc.wantLo0 && lo != 0 {
+			t.Errorf("WilsonCI(%d,%d): lo = %v, want 0", tc.k, tc.n, lo)
+		}
+		if !tc.wantLo0 && lo <= 0 {
+			t.Errorf("WilsonCI(%d,%d): lo = %v, want > 0", tc.k, tc.n, lo)
+		}
+		if tc.wantHi1 && hi != 1 {
+			t.Errorf("WilsonCI(%d,%d): hi = %v, want 1", tc.k, tc.n, hi)
+		}
+		if !tc.wantHi1 && hi >= 1 {
+			t.Errorf("WilsonCI(%d,%d): hi = %v, want < 1", tc.k, tc.n, hi)
+		}
+	}
+	// n=1 intervals are wide but proper.
+	if lo, hi := WilsonCI(0, 1, 1.96); hi < 0.5 || lo != 0 {
+		t.Errorf("WilsonCI(0,1) = [%v,%v]", lo, hi)
+	}
+	if lo, hi := WilsonCI(1, 1, 1.96); lo > 0.5 || hi != 1 {
+		t.Errorf("WilsonCI(1,1) = [%v,%v]", lo, hi)
+	}
+	// Counts accessors at the edges.
+	if (Counts{}).Frac() != 0 {
+		t.Error("empty Frac")
+	}
+	if (Counts{3, 4}).Frac() != 0.75 {
+		t.Error("Frac")
+	}
+}

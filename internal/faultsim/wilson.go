@@ -1,6 +1,10 @@
 package faultsim
 
-import "math"
+import (
+	"math"
+
+	"swapcodes/internal/ecc"
+)
 
 // WilsonCI returns the Wilson score interval for a binomial proportion —
 // the 95% confidence intervals shown in Figures 10 and 11 (z = 1.96). It
@@ -25,4 +29,57 @@ func WilsonCI(successes, n int, z float64) (lo, hi float64) {
 		hi = 1
 	}
 	return
+}
+
+// Counts is a binomial tally (K successes out of N trials) that pools
+// across campaign shards: because every tuple's site draws are independent,
+// summing per-shard counts is statistically identical to tallying the
+// whole run at once, so merged Wilson intervals equal whole-run intervals.
+type Counts struct {
+	K, N int
+}
+
+// Merge pools two tallies.
+func (c Counts) Merge(o Counts) Counts { return Counts{K: c.K + o.K, N: c.N + o.N} }
+
+// MergeCounts pools any number of tallies (shard results, per-unit results).
+func MergeCounts(cs ...Counts) Counts {
+	var out Counts
+	for _, c := range cs {
+		out = out.Merge(c)
+	}
+	return out
+}
+
+// Frac is the observed proportion (0 when the tally is empty).
+func (c Counts) Frac() float64 {
+	if c.N == 0 {
+		return 0
+	}
+	return float64(c.K) / float64(c.N)
+}
+
+// Wilson returns the Wilson score interval of the tally.
+func (c Counts) Wilson(z float64) (lo, hi float64) { return WilsonCI(c.K, c.N, z) }
+
+// SeverityCounts tallies the injections in one Figure 10 bucket.
+func SeverityCounts(inj []Injection, sev Severity) Counts {
+	c := Counts{N: len(inj)}
+	for _, in := range inj {
+		if in.SeverityOf() == sev {
+			c.K++
+		}
+	}
+	return c
+}
+
+// SDCCounts tallies undetected (SDC) events for a register-file code.
+func SDCCounts(inj []Injection, code ecc.Code, outWidth int) Counts {
+	c := Counts{N: len(inj)}
+	for _, in := range inj {
+		if !detects(code, in.Golden, in.Faulty, outWidth) {
+			c.K++
+		}
+	}
+	return c
 }

@@ -7,6 +7,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -58,20 +59,14 @@ type PerfResult struct {
 
 // RunPerf executes every workload under baseline plus the given schemes,
 // verifying functional correctness of every run. Scheme failures
-// (inter-thread on mm/snap) are recorded, not fatal.
+// (inter-thread on mm/snap) are recorded, not fatal. Workloads run in
+// parallel on the default engine pool; the numbers are identical to a
+// serial sweep (see RunPerfCtx).
 func RunPerf(schemes []compiler.Scheme, verify bool) (*PerfResult, error) {
-	res := &PerfResult{Schemes: schemes}
-	for _, w := range workloads.All() {
-		row, err := runWorkload(w, schemes, verify)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, row)
-	}
-	return res, nil
+	return RunPerfCtx(context.Background(), DefaultPool(), schemes, verify)
 }
 
-func runWorkload(w *workloads.Workload, schemes []compiler.Scheme, verify bool) (*PerfRow, error) {
+func runWorkload(ctx context.Context, w *workloads.Workload, schemes []compiler.Scheme, verify bool) (*PerfRow, error) {
 	row := &PerfRow{Workload: w.Name,
 		Stats: make(map[compiler.Scheme]*sm.Stats),
 		Errs:  make(map[compiler.Scheme]string)}
@@ -82,7 +77,7 @@ func runWorkload(w *workloads.Workload, schemes []compiler.Scheme, verify bool) 
 			continue
 		}
 		g := w.NewGPU(sm.DefaultConfig())
-		st, err := g.Launch(k)
+		st, err := g.LaunchContext(ctx, k)
 		if err != nil {
 			return nil, fmt.Errorf("harness: %s/%v: %w", w.Name, s, err)
 		}

@@ -1,11 +1,13 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"swapcodes/internal/compiler"
 	"swapcodes/internal/ecc"
+	"swapcodes/internal/engine"
 )
 
 // HeadlineRow is one paper claim with its measured value.
@@ -19,12 +21,18 @@ type HeadlineRow struct {
 // EXPERIMENTS.md freezes) — the fastest way to check the whole artifact.
 // tuples controls the injection campaign size per unit.
 func Headline(tuples int, seed int64) ([]HeadlineRow, error) {
-	perf, err := RunPerf(Fig12Schemes(), true)
+	return HeadlineCtx(context.Background(), DefaultPool(), tuples, seed)
+}
+
+// HeadlineCtx is Headline on a caller-owned pool and context: all five
+// sweeps and the injection campaign execute their jobs on the given pool.
+func HeadlineCtx(ctx context.Context, pool *engine.Pool, tuples int, seed int64) ([]HeadlineRow, error) {
+	perf, err := RunPerfCtx(ctx, pool, Fig12Schemes(), true)
 	if err != nil {
 		return nil, err
 	}
 	mix := RunCodeMix(perf)
-	inj, err := RunInjection(tuples, seed)
+	inj, err := RunInjectionCtx(ctx, pool, tuples, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -32,11 +40,11 @@ func Headline(tuples int, seed int64) ([]HeadlineRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	inter, err := RunPerf(Fig15Schemes(), false)
+	inter, err := RunPerfCtx(ctx, pool, Fig15Schemes(), false)
 	if err != nil {
 		return nil, err
 	}
-	fp, err := RunPerf([]compiler.Scheme{compiler.SwapPredictFpMAD}, false)
+	fp, err := RunPerfCtx(ctx, pool, []compiler.Scheme{compiler.SwapPredictFpMAD}, false)
 	if err != nil {
 		return nil, err
 	}

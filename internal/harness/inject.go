@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -8,9 +9,7 @@ import (
 	"swapcodes/internal/core"
 	"swapcodes/internal/ecc"
 	"swapcodes/internal/faultsim"
-	"swapcodes/internal/sm"
 	"swapcodes/internal/trace"
-	"swapcodes/internal/workloads"
 )
 
 // CollectOperands runs un-duplicated workloads under the value tracer and
@@ -19,20 +18,10 @@ import (
 // (Section IV-A); we additionally trace SNAP because it is the workload
 // with substantial double-precision arithmetic — without it the FP64 units
 // would be injected with synthetic operands instead of real ones.
+// Workloads are traced in parallel on the default pool; the merged trace
+// matches a serial collection exactly (see CollectOperandsCtx).
 func CollectOperands(limit int) (*trace.OperandTrace, error) {
-	tr := trace.NewOperandTrace(limit)
-	progs := append([]*workloads.Workload{}, workloads.Rodinia()...)
-	if snap, err := workloads.ByName("snap"); err == nil {
-		progs = append(progs, snap)
-	}
-	for _, w := range progs {
-		g := w.NewGPU(sm.DefaultConfig())
-		g.Trace = tr.Func(8) // lowest 8 lanes per warp ≈ lowest threads
-		if _, err := g.Launch(w.Kernel); err != nil {
-			return nil, err
-		}
-	}
-	return tr, nil
+	return CollectOperandsCtx(context.Background(), DefaultPool(), limit)
 }
 
 // UnitInjection is one arithmetic unit's campaign outcome.
@@ -44,24 +33,22 @@ type UnitInjection struct {
 // SeverityFrac returns the fraction (and Wilson 95% CI) of unmasked errors
 // in the given Figure 10 bucket.
 func (u *UnitInjection) SeverityFrac(sev faultsim.Severity) (frac, lo, hi float64) {
-	h := faultsim.SeverityHistogram(u.Injections)
-	n := len(u.Injections)
-	if n == 0 {
+	c := faultsim.SeverityCounts(u.Injections, sev)
+	if c.N == 0 {
 		return 0, 0, 1
 	}
-	k := h[sev]
-	lo, hi = faultsim.WilsonCI(k, n, 1.96)
-	return float64(k) / float64(n), lo, hi
+	lo, hi = c.Wilson(1.96)
+	return c.Frac(), lo, hi
 }
 
 // SDCRisk evaluates one register-file code over this unit's injections.
 func (u *UnitInjection) SDCRisk(code ecc.Code) (frac, lo, hi float64) {
-	sdc, total := faultsim.SDCRisk(u.Injections, code, u.Unit.OutputWidth)
-	if total == 0 {
+	c := faultsim.SDCCounts(u.Injections, code, u.Unit.OutputWidth)
+	if c.N == 0 {
 		return 0, 0, 1
 	}
-	lo, hi = faultsim.WilsonCI(sdc, total, 1.96)
-	return float64(sdc) / float64(total), lo, hi
+	lo, hi = c.Wilson(1.96)
+	return c.Frac(), lo, hi
 }
 
 // InjectionResult holds the Figure 10/11 campaign over all six units.
@@ -72,22 +59,11 @@ type InjectionResult struct {
 
 // RunInjection traces operands, then injects `tuples` unmasked single-event
 // errors into each of the six pipelined arithmetic units (the paper uses
-// 10,000 input pairs per unit).
+// 10,000 input pairs per unit). The campaign runs sharded on the default
+// engine pool; for a given seed the result is bit-identical at any worker
+// count (see RunInjectionCtx).
 func RunInjection(tuples int, seed int64) (*InjectionResult, error) {
-	tr, err := CollectOperands(tuples)
-	if err != nil {
-		return nil, err
-	}
-	res := &InjectionResult{Tuples: tuples}
-	for i, u := range arith.Units() {
-		samples := tr.Sample(u.Name, tuples, seed+int64(i))
-		c := faultsim.NewCampaign(u, seed+100+int64(i))
-		res.Units = append(res.Units, &UnitInjection{
-			Unit:       u,
-			Injections: c.Run(samples),
-		})
-	}
-	return res, nil
+	return RunInjectionCtx(context.Background(), DefaultPool(), tuples, seed)
 }
 
 // Fig11Codes returns the register-file error codes evaluated in Figure 11,
@@ -146,19 +122,19 @@ func (r *InjectionResult) RenderFig11() string {
 }
 
 // PooledSDC aggregates SDC risk across all units (equal weight per
-// injection) and returns the fraction and Wilson upper bound.
+// injection) and returns the fraction and Wilson upper bound. The pooling
+// is a faultsim.Counts merge — the same order-independent count pooling the
+// sharded campaigns rely on.
 func (r *InjectionResult) PooledSDC(code ecc.Code) (frac, hi float64) {
-	sdc, total := 0, 0
+	var pooled faultsim.Counts
 	for _, u := range r.Units {
-		s, t := faultsim.SDCRisk(u.Injections, code, u.Unit.OutputWidth)
-		sdc += s
-		total += t
+		pooled = pooled.Merge(faultsim.SDCCounts(u.Injections, code, u.Unit.OutputWidth))
 	}
-	if total == 0 {
+	if pooled.N == 0 {
 		return 0, 1
 	}
-	_, hi = faultsim.WilsonCI(sdc, total, 1.96)
-	return float64(sdc) / float64(total), hi
+	_, hi = pooled.Wilson(1.96)
+	return pooled.Frac(), hi
 }
 
 // DetectionCoverage is 1 - pooled SDC risk: the paper's ">99.3% of pipeline

@@ -1,0 +1,120 @@
+package harness
+
+import (
+	"context"
+
+	"swapcodes/internal/arith"
+	"swapcodes/internal/compiler"
+	"swapcodes/internal/engine"
+	"swapcodes/internal/faultsim"
+	"swapcodes/internal/sm"
+	"swapcodes/internal/trace"
+	"swapcodes/internal/workloads"
+)
+
+// DefaultPool is the engine pool used by the context-free driver entry
+// points (RunPerf, RunInjection, Headline): all cores. Results are
+// bit-identical at any worker count — see internal/engine — so the
+// context-free APIs lose nothing by defaulting to full parallelism.
+func DefaultPool() *engine.Pool { return engine.New(0) }
+
+// CollectOperandsCtx traces every injection-source workload in parallel:
+// each workload runs under its own tracer, and the per-workload traces are
+// merged in the canonical workload order, which reproduces exactly the
+// tuple stream of a serial collection (trace.OperandTrace.Merge). On
+// cancellation the partial trace collected so far is returned with the
+// error.
+func CollectOperandsCtx(ctx context.Context, pool *engine.Pool, limit int) (*trace.OperandTrace, error) {
+	progs := append([]*workloads.Workload{}, workloads.Rodinia()...)
+	if snap, err := workloads.ByName("snap"); err == nil {
+		progs = append(progs, snap)
+	}
+	traces, err := engine.Map(ctx, pool, len(progs), func(ctx context.Context, i int) (*trace.OperandTrace, error) {
+		tr := trace.NewOperandTrace(limit)
+		g := progs[i].NewGPU(sm.DefaultConfig())
+		g.Trace = tr.Func(8) // lowest 8 lanes per warp ≈ lowest threads
+		if _, lerr := g.LaunchContext(ctx, progs[i].Kernel); lerr != nil {
+			return nil, lerr
+		}
+		return tr, nil
+	})
+	merged := trace.NewOperandTrace(limit)
+	for _, tr := range traces {
+		if tr != nil {
+			merged.Merge(tr)
+		}
+	}
+	return merged, err
+}
+
+// RunInjectionCtx is the parallel Figure 10/11 campaign driver: operand
+// tuples are traced workload-parallel, then every unit's campaign is split
+// into seed-derived shards (faultsim.ShardedCampaign) and all shards of all
+// six units execute as one flat job list on the pool. For a given master
+// seed the result is bit-identical at any worker count. On cancellation it
+// returns the partial result (whole shards only, concatenated in order)
+// with the error.
+func RunInjectionCtx(ctx context.Context, pool *engine.Pool, tuples int, seed int64) (*InjectionResult, error) {
+	tr, err := CollectOperandsCtx(ctx, pool, tuples)
+	if err != nil {
+		return nil, err
+	}
+	units := arith.Units()
+	res := &InjectionResult{Tuples: tuples}
+
+	// Flatten (unit, shard) pairs into one job list rather than nesting
+	// Map calls per unit, so a six-unit campaign saturates the pool even
+	// when single units have few shards.
+	type shardJob struct {
+		unit, shard int
+	}
+	campaigns := make([]*faultsim.ShardedCampaign, len(units))
+	samples := make([][][]uint64, len(units))
+	var jobs []shardJob
+	for i, u := range units {
+		samples[i] = tr.Sample(u.Name, tuples, seed+int64(i))
+		campaigns[i] = &faultsim.ShardedCampaign{Unit: u, MasterSeed: seed + 100 + int64(i)}
+		for s := 0; s < campaigns[i].NumShards(len(samples[i])); s++ {
+			jobs = append(jobs, shardJob{unit: i, shard: s})
+		}
+	}
+	shards, err := engine.Map(ctx, pool, len(jobs), func(ctx context.Context, j int) ([]faultsim.Injection, error) {
+		inj, serr := campaigns[jobs[j].unit].RunShard(ctx, jobs[j].shard, samples[jobs[j].unit])
+		if serr == nil {
+			pool.Tracker().AddItems(int64(len(inj)))
+		}
+		return inj, serr
+	})
+	perUnit := make([][]faultsim.Injection, len(units))
+	for j, inj := range shards {
+		u := jobs[j].unit
+		perUnit[u] = append(perUnit[u], inj...) // jobs are in (unit, shard) order
+	}
+	for i, u := range units {
+		res.Units = append(res.Units, &UnitInjection{Unit: u, Injections: perUnit[i]})
+	}
+	return res, err
+}
+
+// RunPerfCtx executes the workload×scheme sweep with workloads in parallel
+// (every workload row is one job: baseline plus each scheme, functionally
+// verified). Simulation is deterministic, so the sweep's numbers are
+// independent of the worker count. On cancellation the completed rows are
+// returned with the error.
+func RunPerfCtx(ctx context.Context, pool *engine.Pool, schemes []compiler.Scheme, verify bool) (*PerfResult, error) {
+	all := workloads.All()
+	rows, err := engine.Map(ctx, pool, len(all), func(ctx context.Context, i int) (*PerfRow, error) {
+		row, rerr := runWorkload(ctx, all[i], schemes, verify)
+		if rerr == nil {
+			pool.Tracker().AddItems(int64(len(schemes) + 1))
+		}
+		return row, rerr
+	})
+	res := &PerfResult{Schemes: schemes}
+	for _, row := range rows {
+		if row != nil {
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, err
+}

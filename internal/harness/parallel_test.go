@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"swapcodes/internal/compiler"
+	"swapcodes/internal/engine"
+)
+
+// TestInjectionWorkerCountInvariance is the end-to-end determinism claim:
+// the full Figure 10/11 campaign — operand tracing, sampling, sharded
+// injection — produces bit-identical results whether it runs serially or on
+// four workers.
+func TestInjectionWorkerCountInvariance(t *testing.T) {
+	const tuples, seed = 300, 7
+	serial, err := RunInjectionCtx(context.Background(), engine.New(1), tuples, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunInjectionCtx(context.Background(), engine.New(4), tuples, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Units) != len(par.Units) {
+		t.Fatalf("unit counts differ: %d vs %d", len(serial.Units), len(par.Units))
+	}
+	for i := range serial.Units {
+		if !reflect.DeepEqual(serial.Units[i].Injections, par.Units[i].Injections) {
+			t.Errorf("%s: injection streams differ between 1 and 4 workers",
+				serial.Units[i].Unit.Name)
+		}
+	}
+	// The rendered figures — severity fractions, Wilson intervals, SDC
+	// risks — must therefore match to the last byte.
+	if serial.RenderFig10() != par.RenderFig10() {
+		t.Error("Figure 10 output differs between worker counts")
+	}
+	if serial.RenderFig11() != par.RenderFig11() {
+		t.Error("Figure 11 output differs between worker counts")
+	}
+}
+
+// TestPerfWorkerCountInvariance: the workload×scheme sweep is a pure
+// function of the (deterministic) simulator, so parallel rows must equal
+// the serial sweep exactly.
+func TestPerfWorkerCountInvariance(t *testing.T) {
+	schemes := []compiler.Scheme{compiler.SwapECC}
+	serial, err := RunPerfCtx(context.Background(), engine.New(1), schemes, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunPerfCtx(context.Background(), engine.New(4), schemes, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Render("t") != par.Render("t") {
+		t.Error("perf sweep differs between 1 and 4 workers")
+	}
+}
+
+// TestRunInjectionCtxPreCancelled: a dead context stops the driver before
+// any simulation work happens.
+func TestRunInjectionCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunInjectionCtx(ctx, engine.New(2), 100, 1)
+	if err == nil {
+		t.Fatal("expected context error")
+	}
+}

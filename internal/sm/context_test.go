@@ -1,0 +1,78 @@
+package sm_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"swapcodes/internal/sm"
+	"swapcodes/internal/workloads"
+)
+
+// TestLaunchContextPreCancelled: a cancelled context stops the launch at
+// the first scheduler round and reports partial stats.
+func TestLaunchContextPreCancelled(t *testing.T) {
+	w, err := workloads.ByName("lavaMD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st, err := w.NewGPU(sm.DefaultConfig()).LaunchContext(ctx, w.Kernel)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st == nil {
+		t.Fatal("no partial stats on cancellation")
+	}
+	full, err := w.NewGPU(sm.DefaultConfig()).Launch(w.Kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles >= full.Cycles {
+		t.Errorf("cancelled run simulated %d cycles, full run %d", st.Cycles, full.Cycles)
+	}
+}
+
+// TestLaunchContextTimeout: a deadline mid-simulation returns partial stats
+// with DeadlineExceeded wrapped.
+func TestLaunchContextTimeout(t *testing.T) {
+	w, err := workloads.ByName("lavaMD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Microsecond)
+	defer cancel()
+	st, err := w.NewGPU(sm.DefaultConfig()).LaunchContext(ctx, w.Kernel)
+	if err == nil {
+		t.Skip("machine simulated lavaMD inside 1µs")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if st == nil {
+		t.Fatal("no partial stats on timeout")
+	}
+}
+
+// TestLaunchContextBackgroundMatchesLaunch: threading a context does not
+// perturb the timing model.
+func TestLaunchContextBackgroundMatchesLaunch(t *testing.T) {
+	w, err := workloads.ByName("pathf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := w.NewGPU(sm.DefaultConfig()).Launch(w.Kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.NewGPU(sm.DefaultConfig()).LaunchContext(context.Background(), w.Kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.DynWarpInstrs != b.DynWarpInstrs {
+		t.Errorf("Launch %d cyc / %d instrs vs LaunchContext %d / %d",
+			a.Cycles, a.DynWarpInstrs, b.Cycles, b.DynWarpInstrs)
+	}
+}

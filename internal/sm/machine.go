@@ -1,6 +1,7 @@
 package sm
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -129,7 +130,7 @@ func (m *machine) warpMask(wi int) uint32 {
 
 const farFuture = int64(math.MaxInt64 / 4)
 
-func (m *machine) run() error {
+func (m *machine) run(ctx context.Context) error {
 	lim, err := m.occupancy()
 	if err != nil {
 		return err
@@ -140,6 +141,15 @@ func (m *machine) run() error {
 	}
 	guard := int64(0)
 	for {
+		// Poll cancellation sparsely: a ctx.Err() load every 4096 scheduler
+		// rounds is far below the simulator's per-round cost but bounds the
+		// stop latency of a cancelled launch to microseconds.
+		if guard&4095 == 0 {
+			if err := ctx.Err(); err != nil {
+				m.stats.Cycles = m.cycle
+				return fmt.Errorf("sm: kernel %s stopped at cycle %d: %w", m.k.Name, m.cycle, err)
+			}
+		}
 		for len(m.resident) < m.residentLimit && m.nextCTA < m.k.GridCTAs {
 			m.launchCTA()
 		}

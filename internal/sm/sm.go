@@ -12,6 +12,7 @@
 package sm
 
 import (
+	"context"
 	"fmt"
 
 	"swapcodes/internal/compiler"
@@ -246,11 +247,23 @@ func (g *GPU) Restore(snap []uint32) {
 
 // Launch runs a kernel to completion and returns its stats.
 func (g *GPU) Launch(k *isa.Kernel) (*Stats, error) {
+	return g.LaunchContext(context.Background(), k)
+}
+
+// LaunchContext runs a kernel under a context. On cancellation or timeout
+// the simulation stops at the next scheduler round and returns the stats
+// accumulated so far (cycles, instruction counts, stall attribution)
+// together with an error wrapping the context's — partial results for
+// early-stopped experiments.
+func (g *GPU) LaunchContext(ctx context.Context, k *isa.Kernel) (*Stats, error) {
 	if err := k.Validate(); err != nil {
 		return nil, err
 	}
 	m := newMachine(g, k)
-	if err := m.run(); err != nil {
+	if err := m.run(ctx); err != nil {
+		if ctx.Err() != nil {
+			return m.stats, err
+		}
 		return nil, err
 	}
 	return m.stats, nil

@@ -97,6 +97,23 @@ func classify(op isa.Opcode, wide bool, a, b, c uint64) (string, []uint64) {
 // Tuples returns the collected tuples for a unit.
 func (t *OperandTrace) Tuples(unit string) [][]uint64 { return t.perUnit[unit] }
 
+// Merge appends another trace's tuples, respecting this trace's per-unit
+// limit. Collecting each workload into its own trace and merging in a fixed
+// workload order yields exactly the tuple stream a single serial collection
+// over the same workloads would produce — which is what lets the harness
+// trace workloads in parallel without perturbing the injection campaigns
+// downstream.
+func (t *OperandTrace) Merge(o *OperandTrace) {
+	for unit, tuples := range o.perUnit {
+		have := t.perUnit[unit]
+		room := t.limit - len(have)
+		if room <= 0 {
+			continue
+		}
+		t.perUnit[unit] = append(have, tuples[:min(room, len(tuples))]...)
+	}
+}
+
 // Sample draws n tuples (with replacement) for a unit using the given seed;
 // it synthesizes filler tuples deterministically if the trace is empty for
 // that unit (never the case for the shipped workloads).

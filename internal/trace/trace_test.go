@@ -137,3 +137,42 @@ func TestMixComputesFractions(t *testing.T) {
 		t.Error("unit list")
 	}
 }
+
+// TestMergeMatchesSerialCollection: per-source traces merged in source
+// order reproduce the single-trace stream, including the limit cut.
+func TestMergeMatchesSerialCollection(t *testing.T) {
+	feed := func(tr *OperandTrace, base uint64, n int) {
+		f := tr.Func(8)
+		for i := 0; i < n; i++ {
+			f(isa.IADD, false, 0, base+uint64(i), 1, 0, 0)
+		}
+	}
+	serial := NewOperandTrace(10)
+	feed(serial, 100, 7)
+	feed(serial, 200, 7)
+
+	a, b := NewOperandTrace(10), NewOperandTrace(10)
+	feed(a, 100, 7)
+	feed(b, 200, 7)
+	merged := NewOperandTrace(10)
+	merged.Merge(a)
+	merged.Merge(b)
+
+	st, mt := serial.Tuples(UnitFxPAdd32), merged.Tuples(UnitFxPAdd32)
+	if len(st) != 10 || len(mt) != 10 {
+		t.Fatalf("lengths %d / %d, want 10 (limit)", len(st), len(mt))
+	}
+	for i := range st {
+		if st[i][0] != mt[i][0] || st[i][1] != mt[i][1] {
+			t.Fatalf("tuple %d differs: %v vs %v", i, st[i], mt[i])
+		}
+	}
+	// Merging more once full is a no-op.
+	merged.Merge(a)
+	if len(merged.Tuples(UnitFxPAdd32)) != 10 {
+		t.Error("limit not respected on re-merge")
+	}
+	if merged.Counts()[UnitFxPAdd32] != 10 {
+		t.Error("counts")
+	}
+}
