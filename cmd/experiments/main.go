@@ -31,6 +31,7 @@ import (
 	"swapcodes/internal/arith"
 	"swapcodes/internal/engine"
 	"swapcodes/internal/harness"
+	"swapcodes/internal/obs"
 )
 
 func main() {
@@ -42,9 +43,17 @@ func main() {
 	csvDir := flag.String("csv", "", "also write plot-ready CSV files into this directory")
 	chart := flag.Bool("chart", false, "render the performance figures as ASCII bar charts")
 	verilogDir := flag.String("verilog", "", "export the synthesized units as structural Verilog into this directory")
+	metricsOut := flag.String("metrics", "", "write run metrics to this file (.json, .csv, anything else: aligned table)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file, loadable in Perfetto / chrome://tracing")
+	metricsInterval := flag.Duration("metrics-interval", 0, "print a progress line to stderr at this interval (e.g. 5s)")
 	flag.Parse()
 
 	pool := engine.New(*workers)
+	var rec *obs.Recorder
+	if *metricsOut != "" || *traceOut != "" || *metricsInterval > 0 {
+		rec = obs.NewRecorder()
+	}
+	pool.SetObs(rec)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if *timeout > 0 {
@@ -54,6 +63,11 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "experiments: workers=%d seed=%d tuples=%d\n",
 		pool.Workers(), *seed, *tuples)
+	stopProgress := obs.StartProgress(os.Stderr, *metricsInterval, func() string {
+		snap := pool.Tracker().Snapshot()
+		return fmt.Sprintf("experiments: %s; tuples=%d",
+			snap.String(), rec.Registry().Counter("faultsim.tuples").Value())
+	})
 
 	if *verilogDir != "" {
 		fail(os.MkdirAll(*verilogDir, 0o755))
@@ -228,6 +242,7 @@ func main() {
 	}
 	start := time.Now()
 	runErr := pool.Run(ctx, jobs)
+	stopProgress()
 	for i, e := range selected {
 		if outputs[i] == "" {
 			fmt.Fprintf(os.Stderr, "experiments: %s: no result (cancelled or failed)\n", e.name)
@@ -243,6 +258,30 @@ func main() {
 	pr := pool.Tracker().Snapshot()
 	fmt.Fprintf(os.Stderr, "experiments: total %.2fs; engine: %s\n",
 		time.Since(start).Seconds(), pr.String())
+	// Metrics and trace flush before the exit on runErr so a cancelled run
+	// (Ctrl-C, -timeout) still leaves its partial observations on disk.
+	if rec != nil {
+		if runErr != nil {
+			fmt.Fprintln(os.Stderr, "experiments: cancelled; writing partial metrics")
+		}
+		writeFile := func(path string, emit func(f *os.File) error) {
+			if path == "" {
+				return
+			}
+			f, err := os.Create(path)
+			if err != nil {
+				fail(err)
+			}
+			if err := emit(f); err != nil {
+				f.Close()
+				fail(err)
+			}
+			fail(f.Close())
+			fmt.Fprintln(os.Stderr, "wrote", path)
+		}
+		writeFile(*metricsOut, func(f *os.File) error { return rec.Registry().WriteMetrics(f, *metricsOut) })
+		writeFile(*traceOut, func(f *os.File) error { return rec.WriteTrace(f) })
+	}
 	fail(runErr)
 }
 

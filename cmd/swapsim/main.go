@@ -20,15 +20,18 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strings"
 
 	"swapcodes/internal/compiler"
 	"swapcodes/internal/engine"
 	"swapcodes/internal/isa"
+	"swapcodes/internal/obs"
 	"swapcodes/internal/sm"
 	"swapcodes/internal/workloads"
 )
@@ -53,6 +56,7 @@ type runOpts struct {
 	lane, bit  int
 	disas      bool
 	optimize   bool
+	rec        *obs.Recorder
 }
 
 func main() {
@@ -68,6 +72,10 @@ func main() {
 	bit := flag.Int("bit", 7, "faulted result bit (-1: draw from -seed)")
 	disas := flag.Bool("disas", false, "print the transformed kernel")
 	optimize := flag.Bool("O", false, "run dead-code elimination and the list scheduler after the protection pass")
+	metricsOut := flag.String("metrics", "", "write run metrics to this file (.json, .csv, anything else: aligned table)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file, loadable in Perfetto / chrome://tracing")
+	metricsInterval := flag.Duration("metrics-interval", 0, "print a progress line to stderr at this interval (e.g. 2s)")
+	timeout := flag.Duration("timeout", 0, "cancel the run after this long (0 = no limit); partial results are reported")
 	flag.Parse()
 
 	if *list {
@@ -99,21 +107,74 @@ func main() {
 		fmt.Fprintf(os.Stderr, "swapsim: seed=%d drew lane=%d bit=%d\n", *seed, opts.lane, opts.bit)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	// One recorder serves all schemes: each launch gets its own trace
+	// process (sm:<kernel>, sm:<kernel>#2, ...) and the registry aggregates
+	// across them.
+	if *metricsOut != "" || *traceOut != "" || *metricsInterval > 0 {
+		opts.rec = obs.NewRecorder()
+	}
 	pool := engine.New(*workers)
+	pool.SetObs(opts.rec)
 	if len(schemes) > 1 {
 		fmt.Fprintf(os.Stderr, "swapsim: workers=%d seed=%d schemes=%d\n",
 			pool.Workers(), *seed, len(schemes))
 	}
-	reports, err := engine.Map(context.Background(), pool, len(schemes),
+	stopProgress := obs.StartProgress(os.Stderr, *metricsInterval, func() string {
+		snap := pool.Tracker().Snapshot()
+		return fmt.Sprintf("swapsim: %s; sm cycles=%d",
+			snap.String(), opts.rec.Registry().Counter("sm.cycles").Value())
+	})
+	reports, err := engine.Map(ctx, pool, len(schemes),
 		func(ctx context.Context, i int) (string, error) {
 			return runScheme(ctx, schemes[i], opts)
 		})
+	stopProgress()
 	for _, r := range reports {
 		if r != "" {
 			fmt.Print(r)
 		}
 	}
+	// Flush metrics and trace even after cancellation: a stopped run still
+	// leaves a coherent partial trace (finalize flushes the tail window and
+	// closes live warp spans) and partial counters.
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "swapsim: cancelled; reporting partial results")
+	}
+	flushObs(opts.rec, *metricsOut, *traceOut)
 	fail(err)
+}
+
+// flushObs writes the metrics and trace files; on a cancelled run it is
+// still called so partial observations survive.
+func flushObs(rec *obs.Recorder, metricsOut, traceOut string) {
+	if rec == nil {
+		return
+	}
+	write := func(path string, emit func(f *os.File) error) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fail(err)
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		fail(f.Close())
+		fmt.Fprintln(os.Stderr, "swapsim: wrote", path)
+	}
+	write(metricsOut, func(f *os.File) error { return rec.Registry().WriteMetrics(f, metricsOut) })
+	write(traceOut, func(f *os.File) error { return rec.WriteTrace(f) })
 }
 
 // runScheme compiles, runs, and verifies one scheme, returning the full
@@ -161,9 +222,19 @@ func runScheme(ctx context.Context, scheme compiler.Scheme, o runOpts) (string, 
 	if o.fault >= 0 {
 		g.Fault = &sm.FaultPlan{TargetDynInstr: o.fault, Lane: o.lane, BitMask: 1 << uint(o.bit%32)}
 	}
+	g.Obs = o.rec
 	st, err := g.LaunchContext(ctx, k)
 	if err != nil {
-		return "", err
+		if st == nil || ctx.Err() == nil {
+			return "", err
+		}
+		// Cancelled mid-launch: the partial stats are still coherent, so
+		// report what ran before returning the error.
+		fmt.Fprintf(&b, "workload    %s under %v  [PARTIAL: %v]\n", k.Name, scheme, err)
+		fmt.Fprintf(&b, "cycles      %d (so far)\n", st.Cycles)
+		fmt.Fprintf(&b, "warp instrs %d (IPC %.2f)\n", st.DynWarpInstrs, st.IPC())
+		b.WriteString("\n")
+		return b.String(), err
 	}
 	var verifyErr error
 	if w != nil {
@@ -176,6 +247,9 @@ func runScheme(ctx context.Context, scheme compiler.Scheme, o runOpts) (string, 
 	fmt.Fprintf(&b, "occupancy   %d resident warps (max)\n", st.MaxResidentWarps)
 	fmt.Fprintf(&b, "stalls      deps=%d throttle=%d barrier=%d empty=%d (failed issue slots)\n",
 		st.StallDeps, st.StallThrottle, st.StallBarrier, st.StallNoWarp)
+	fmt.Fprintf(&b, "idle cycles %d of %d (deps=%d throttle=%d barrier=%d empty=%d)\n",
+		st.StallCycles(), st.Cycles,
+		st.StallCyclesDeps, st.StallCyclesThrottle, st.StallCyclesBarrier, st.StallCyclesNoWarp)
 	fmt.Fprintf(&b, "classes    ")
 	for cl := isa.ClassFxP; cl <= isa.ClassSpecial; cl++ {
 		if st.PerClass[cl] > 0 {

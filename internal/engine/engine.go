@@ -17,6 +17,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"swapcodes/internal/obs"
 )
 
 // Pool bounds the concurrency of heterogeneous jobs. The bound is global
@@ -32,6 +34,11 @@ type Pool struct {
 	// remaining worker and needs no token.
 	sem     chan struct{}
 	tracker *Tracker
+
+	// Observability (nil when disabled — see SetObs).
+	rec    *obs.Recorder
+	pid    int64
+	jobDur *obs.Histogram
 }
 
 // New returns a pool running at most workers jobs concurrently. workers <= 0
@@ -53,6 +60,29 @@ func (p *Pool) Workers() int { return p.workers }
 // Tracker returns the pool's progress counters.
 func (p *Pool) Tracker() *Tracker { return p.tracker }
 
+// SetObs attaches a recorder to the pool: named jobs and helper-worker
+// lifetimes become trace spans, per-job wall time feeds the
+// "engine.job_us" histogram, and the Tracker's counters are folded into
+// the recorder's registry as engine.jobs_queued / engine.jobs_running
+// gauges and engine.jobs_done / engine.items counters. Call before
+// submitting work; attaching mid-run is racy by design (the hot path reads
+// p.rec without synchronization).
+func (p *Pool) SetObs(rec *obs.Recorder) {
+	p.rec = rec
+	if rec == nil {
+		return
+	}
+	p.pid = rec.Process("engine")
+	// Jobs range from sub-millisecond shards to multi-second figure sweeps.
+	p.jobDur = rec.Registry().Histogram("engine.job_us", obs.ExpBounds(64, 24)...)
+	p.tracker.bind(rec.Registry())
+}
+
+// Recorder returns the attached recorder (nil when observability is off).
+// Layers driven by a pool (faultsim shards, harness drivers) pull their
+// recorder from here instead of threading one through every signature.
+func (p *Pool) Recorder() *obs.Recorder { return p.rec }
+
 // Job is one named unit of heterogeneous work.
 type Job struct {
 	Name string
@@ -65,6 +95,12 @@ type Job struct {
 // context is cancelled, unstarted jobs are skipped.
 func (p *Pool) Run(ctx context.Context, jobs []Job) error {
 	_, err := Map(ctx, p, len(jobs), func(ctx context.Context, i int) (struct{}, error) {
+		if rec := p.rec; rec != nil {
+			ts := rec.Now()
+			jerr := jobs[i].Run(ctx)
+			rec.Span(p.pid, int64(i+1), jobs[i].Name, "job", ts, rec.Now()-ts, nil)
+			return struct{}{}, jerr
+		}
 		return struct{}{}, jobs[i].Run(ctx)
 	})
 	return err
@@ -106,7 +142,14 @@ func Map[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Context
 			}
 			p.tracker.start()
 			executed.Add(1)
+			var t0 int64
+			if p.rec != nil {
+				t0 = p.rec.Now()
+			}
 			v, err := fn(jctx, i)
+			if p.rec != nil {
+				p.jobDur.Observe(p.rec.Now() - t0)
+			}
 			out[i] = v
 			p.tracker.finish()
 			if err != nil {
@@ -130,6 +173,13 @@ recruit:
 			wg.Add(1)
 			go func() {
 				defer func() { <-p.sem; wg.Done() }()
+				if rec := p.rec; rec != nil {
+					tid := rec.NextTID()
+					ts := rec.Now()
+					defer func() {
+						rec.Span(p.pid, tid, "worker", "engine", ts, rec.Now()-ts, nil)
+					}()
+				}
 				worker()
 			}()
 		default:

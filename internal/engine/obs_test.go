@@ -1,0 +1,80 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"swapcodes/internal/obs"
+)
+
+// TestPoolObs: an observed pool must mirror the tracker into the registry,
+// time every Map invocation into engine.job_us, and emit one named span per
+// Run job plus worker-lifetime spans — all attributable to the "engine"
+// trace process.
+func TestPoolObs(t *testing.T) {
+	rec := obs.NewRecorder()
+	p := New(4)
+	p.SetObs(rec)
+	if p.Recorder() != rec {
+		t.Fatal("Recorder() did not return the attached recorder")
+	}
+
+	jobs := make([]Job, 6)
+	for i := range jobs {
+		jobs[i] = Job{Name: "job", Run: func(ctx context.Context) error {
+			p.Tracker().AddItems(10)
+			return nil
+		}}
+	}
+	if err := p.Run(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := rec.Registry()
+	if got := reg.Counter("engine.jobs_done").Value(); got != 6 {
+		t.Errorf("engine.jobs_done = %d, want 6", got)
+	}
+	if got := reg.Counter("engine.items").Value(); got != 60 {
+		t.Errorf("engine.items = %d, want 60", got)
+	}
+	if got := reg.Gauge("engine.jobs_queued").Value(); got != 0 {
+		t.Errorf("engine.jobs_queued = %d after drain, want 0", got)
+	}
+	if got := reg.Gauge("engine.jobs_running").Value(); got != 0 {
+		t.Errorf("engine.jobs_running = %d after drain, want 0", got)
+	}
+	if got := reg.Histogram("engine.job_us").Count(); got != 6 {
+		t.Errorf("engine.job_us observations = %d, want 6", got)
+	}
+
+	jobSpans := 0
+	for _, e := range rec.Events() {
+		if e.Ph == "X" && e.Cat == "job" {
+			jobSpans++
+		}
+	}
+	if jobSpans != 6 {
+		t.Errorf("job spans = %d, want 6", jobSpans)
+	}
+}
+
+// TestPoolObsNil: a pool without a recorder must behave exactly as before —
+// SetObs(nil) and the default state are both fully inert.
+func TestPoolObsNil(t *testing.T) {
+	p := New(2)
+	p.SetObs(nil)
+	if p.Recorder() != nil {
+		t.Fatal("nil SetObs left a recorder attached")
+	}
+	out, err := Map(context.Background(), p, 8, func(ctx context.Context, i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}

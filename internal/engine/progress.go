@@ -5,12 +5,20 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"swapcodes/internal/obs"
 )
 
 // Tracker counts a pool's work: jobs queued/running/done and domain items
 // processed (operand tuples, simulated kernels, ...). All methods are safe
 // for concurrent use. Jobs report items via AddItems; the snapshot's
 // ItemsPerSec divides by the wall time since the first job started.
+//
+// A tracker may additionally be folded into an obs.Registry (Pool.SetObs):
+// the same counts are then mirrored as engine.jobs_queued /
+// engine.jobs_running gauges and engine.jobs_done / engine.items counters,
+// so metric exports and the periodic progress line see engine utilization
+// without a second accounting path.
 type Tracker struct {
 	queued  atomic.Int64
 	running atomic.Int64
@@ -19,29 +27,65 @@ type Tracker struct {
 
 	startOnce sync.Once
 	startNano atomic.Int64
+
+	// Registry mirrors; nil until bind.
+	queuedG, runningG *obs.Gauge
+	doneC, itemsC     *obs.Counter
 }
 
 // NewTracker returns an empty tracker.
 func NewTracker() *Tracker { return &Tracker{} }
 
-// AddItems records n domain items processed (e.g. injection tuples).
-func (t *Tracker) AddItems(n int64) { t.items.Add(n) }
+// bind mirrors the tracker into a registry. Call before the pool runs jobs
+// (the mirror fields are read without synchronization on the hot path).
+func (t *Tracker) bind(reg *obs.Registry) {
+	t.queuedG = reg.Gauge("engine.jobs_queued")
+	t.runningG = reg.Gauge("engine.jobs_running")
+	t.doneC = reg.Counter("engine.jobs_done")
+	t.itemsC = reg.Counter("engine.items")
+}
 
-func (t *Tracker) enqueue(n int64) { t.queued.Add(n) }
+// AddItems records n domain items processed (e.g. injection tuples).
+func (t *Tracker) AddItems(n int64) {
+	t.items.Add(n)
+	if t.itemsC != nil {
+		t.itemsC.Add(n)
+	}
+}
+
+func (t *Tracker) enqueue(n int64) {
+	t.queued.Add(n)
+	if t.queuedG != nil {
+		t.queuedG.Add(n)
+	}
+}
 
 func (t *Tracker) start() {
 	t.startOnce.Do(func() { t.startNano.Store(time.Now().UnixNano()) })
 	t.queued.Add(-1)
 	t.running.Add(1)
+	if t.queuedG != nil {
+		t.queuedG.Add(-1)
+		t.runningG.Add(1)
+	}
 }
 
 func (t *Tracker) finish() {
 	t.running.Add(-1)
 	t.done.Add(1)
+	if t.queuedG != nil {
+		t.runningG.Add(-1)
+		t.doneC.Inc()
+	}
 }
 
 // drop removes jobs that were queued but will never run (cancellation).
-func (t *Tracker) drop(n int64) { t.queued.Add(-n) }
+func (t *Tracker) drop(n int64) {
+	t.queued.Add(-n)
+	if t.queuedG != nil {
+		t.queuedG.Add(-n)
+	}
+}
 
 // Progress is a point-in-time view of a tracker.
 type Progress struct {

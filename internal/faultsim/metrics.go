@@ -1,0 +1,44 @@
+package faultsim
+
+import (
+	"fmt"
+
+	"swapcodes/internal/obs"
+)
+
+// RecordShard folds one completed campaign shard into a recorder: a span on
+// the "faultsim" trace process covering the shard's wall time, cumulative
+// outcome samples, and the campaign-wide registry instruments
+// (faultsim.tuples, faultsim.unmasked, per-severity counters, and the
+// attempts-per-unmasked histogram that captures the masking rate). A nil
+// recorder records nothing, so shard execution stays observability-free by
+// default. startUS is rec.Now() taken before the shard ran.
+func RecordShard(rec *obs.Recorder, unit string, shard int, startUS int64, tuples int, inj []Injection) {
+	if rec == nil {
+		return
+	}
+	reg := rec.Registry()
+	reg.Counter("faultsim.tuples").Add(int64(tuples))
+	reg.Counter("faultsim.unmasked").Add(int64(len(inj)))
+	attempts := reg.Histogram("faultsim.attempts_per_unmasked", obs.ExpBounds(1, 10)...)
+	var sev [3]int64
+	for _, in := range inj {
+		attempts.Observe(int64(in.Attempts))
+		sev[in.SeverityOf()]++
+	}
+	reg.Counter("faultsim.sev_1bit").Add(sev[OneBit])
+	reg.Counter("faultsim.sev_2_3bit").Add(sev[TwoToThreeBits])
+	reg.Counter("faultsim.sev_4plus").Add(sev[FourPlusBits])
+
+	pid := rec.Process("faultsim")
+	now := rec.Now()
+	rec.Span(pid, rec.NextTID(), fmt.Sprintf("%s/shard%d", unit, shard), "shard", startUS, now-startUS,
+		map[string]any{"tuples": tuples, "unmasked": len(inj)})
+	// Cumulative tallies: the stacked series shows outcome mix drifting (or
+	// not) as the campaign progresses across the operand stream.
+	rec.Sample(pid, "faultsim.outcomes", now, map[string]any{
+		"1bit":  reg.Counter("faultsim.sev_1bit").Value(),
+		"2-3":   reg.Counter("faultsim.sev_2_3bit").Value(),
+		"4plus": reg.Counter("faultsim.sev_4plus").Value(),
+	})
+}

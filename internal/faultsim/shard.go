@@ -70,12 +70,15 @@ func (s *ShardedCampaign) RunShard(ctx context.Context, i int, tuples [][]uint64
 // sites independently.
 func (s *ShardedCampaign) Run(ctx context.Context, pool *engine.Pool, tuples [][]uint64) ([]Injection, error) {
 	shards, err := engine.Map(ctx, pool, s.NumShards(len(tuples)), func(ctx context.Context, i int) ([]Injection, error) {
+		start := pool.Recorder().Now()
 		inj, err := s.RunShard(ctx, i, tuples)
 		if err == nil {
 			// Progress is counted in operand tuples injected, the unit the
 			// tracker's items/sec throughput reports.
 			lo := i * s.shardSize()
-			pool.Tracker().AddItems(int64(min(lo+s.shardSize(), len(tuples)) - lo))
+			n := min(lo+s.shardSize(), len(tuples)) - lo
+			pool.Tracker().AddItems(int64(n))
+			RecordShard(pool.Recorder(), s.Unit.Name, i, start, n, inj)
 		}
 		return inj, err
 	})

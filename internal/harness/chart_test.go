@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"swapcodes/internal/compiler"
+	"swapcodes/internal/sm"
+)
+
+// chartFixture is a hand-built sweep exercising every Chart path: a normal
+// bar, a failed scheme, a zero slowdown, and a bar that must clip at the
+// axis maximum.
+func chartFixture() *PerfResult {
+	schemes := []compiler.Scheme{compiler.SWDup, compiler.InterThread}
+	return &PerfResult{
+		Schemes: schemes,
+		Rows: []*PerfRow{
+			{
+				Workload: "mm",
+				Baseline: &sm.Stats{Cycles: 1000},
+				Stats: map[compiler.Scheme]*sm.Stats{
+					compiler.SWDup:       {Cycles: 1500}, // +50%
+					compiler.InterThread: {Cycles: 1000}, // +0%
+				},
+			},
+			{
+				Workload: "snap",
+				Baseline: &sm.Stats{Cycles: 1000},
+				Stats: map[compiler.Scheme]*sm.Stats{
+					compiler.SWDup: {Cycles: 4000}, // +300%, clips at maxPct
+				},
+				Errs: map[compiler.Scheme]string{compiler.InterThread: "shuffles"},
+			},
+		},
+	}
+}
+
+func TestChartGolden(t *testing.T) {
+	golden(t, "chart", chartFixture().Chart("Figure (test)", 120))
+}
+
+func TestChartBars(t *testing.T) {
+	out := chartFixture().Chart("Figure (test)", 120)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Figure (test)" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.Contains(out, "(fails)") {
+		t.Error("failed scheme must render as (fails), not a bar")
+	}
+	if !strings.Contains(out, "50.0%") || !strings.Contains(out, "0.0%") {
+		t.Errorf("missing slowdown labels:\n%s", out)
+	}
+	// The +300% bar must clip to the full 50-column width, not overflow.
+	maxBar := 0
+	for _, ln := range lines {
+		n := strings.Count(ln, "#")
+		if n > maxBar {
+			maxBar = n
+		}
+	}
+	if maxBar != 50 {
+		t.Errorf("clipped bar width = %d, want exactly 50", maxBar)
+	}
+	// Bar length must be proportional: 50% of a 120% axis over 50 columns.
+	frac := 50.0 / 120.0 * 50.0 // 50% slowdown on a 120% axis, 50 columns
+	want := strings.Repeat("#", int(frac))
+	found := false
+	for _, ln := range lines {
+		if strings.Contains(ln, want) && !strings.Contains(ln, want+"#") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no bar of expected width %d:\n%s", len(want), out)
+	}
+}
+
+func TestChartSchemeShort(t *testing.T) {
+	if got := schemeShort(compiler.SwapPredictFpAddSub); len(got) > 13 {
+		t.Errorf("schemeShort returned %q, want <=13 chars", got)
+	}
+}

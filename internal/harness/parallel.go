@@ -30,11 +30,21 @@ func CollectOperandsCtx(ctx context.Context, pool *engine.Pool, limit int) (*tra
 		progs = append(progs, snap)
 	}
 	traces, err := engine.Map(ctx, pool, len(progs), func(ctx context.Context, i int) (*trace.OperandTrace, error) {
+		rec := pool.Recorder()
+		start := rec.Now()
 		tr := trace.NewOperandTrace(limit)
 		g := progs[i].NewGPU(sm.DefaultConfig())
 		g.Trace = tr.Func(8) // lowest 8 lanes per warp ≈ lowest threads
 		if _, lerr := g.LaunchContext(ctx, progs[i].Kernel); lerr != nil {
 			return nil, lerr
+		}
+		if rec != nil {
+			operands := 0
+			for _, n := range tr.Counts() {
+				operands += n
+			}
+			rec.Span(rec.Process("harness"), rec.NextTID(), "trace:"+progs[i].Name, "driver",
+				start, rec.Now()-start, map[string]any{"operands": operands})
 		}
 		return tr, nil
 	})
@@ -79,9 +89,14 @@ func RunInjectionCtx(ctx context.Context, pool *engine.Pool, tuples int, seed in
 		}
 	}
 	shards, err := engine.Map(ctx, pool, len(jobs), func(ctx context.Context, j int) ([]faultsim.Injection, error) {
-		inj, serr := campaigns[jobs[j].unit].RunShard(ctx, jobs[j].shard, samples[jobs[j].unit])
+		u, sh := jobs[j].unit, jobs[j].shard
+		start := pool.Recorder().Now()
+		inj, serr := campaigns[u].RunShard(ctx, sh, samples[u])
 		if serr == nil {
 			pool.Tracker().AddItems(int64(len(inj)))
+			lo := sh * faultsim.DefaultShardSize
+			n := min(lo+faultsim.DefaultShardSize, len(samples[u])) - lo
+			faultsim.RecordShard(pool.Recorder(), units[u].Name, sh, start, n, inj)
 		}
 		return inj, serr
 	})
@@ -104,9 +119,13 @@ func RunInjectionCtx(ctx context.Context, pool *engine.Pool, tuples int, seed in
 func RunPerfCtx(ctx context.Context, pool *engine.Pool, schemes []compiler.Scheme, verify bool) (*PerfResult, error) {
 	all := workloads.All()
 	rows, err := engine.Map(ctx, pool, len(all), func(ctx context.Context, i int) (*PerfRow, error) {
+		rec := pool.Recorder()
+		start := rec.Now()
 		row, rerr := runWorkload(ctx, all[i], schemes, verify)
 		if rerr == nil {
 			pool.Tracker().AddItems(int64(len(schemes) + 1))
+			rec.Span(rec.Process("harness"), rec.NextTID(), "perf:"+all[i].Name, "driver",
+				start, rec.Now()-start, map[string]any{"schemes": len(schemes)})
 		}
 		return row, rerr
 	})

@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// golden compares got against testdata/<name>.golden, rewriting the file
+// under -update. Tables are static renders or derived from deterministic
+// synthesis, so their exact bytes are a stable contract.
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run go test -run %s -update to create it)", err, t.Name())
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestTable1Golden(t *testing.T) { golden(t, "table1", Table1()) }
+func TestTable2Golden(t *testing.T) { golden(t, "table2", Table2()) }
+func TestTable3Golden(t *testing.T) { golden(t, "table3", Table3()) }
+
+func TestTable4(t *testing.T) {
+	rows := Table4()
+	if len(rows) != 13 {
+		t.Fatalf("Table4 rows = %d, want 13", len(rows))
+	}
+	byName := map[string]Table4Row{}
+	for _, r := range rows {
+		if r.Area <= 0 {
+			t.Errorf("%s: non-positive area %f", r.Unit, r.Area)
+		}
+		if r.Stages <= 0 {
+			t.Errorf("%s: non-positive stage count %d", r.Unit, r.Stages)
+		}
+		byName[r.Unit] = r
+	}
+	// Relative-cost sanity, mirroring the paper's qualitative claims: the
+	// SEC-DED decoder path additions are small against the decoder, and
+	// predictors are small against their protected unit.
+	for _, name := range []string{"Move-Propagate", "SEC-(DED)-DP", "Pred Add Mod-3", "Pred MAD Mod-127"} {
+		r, ok := byName[name]
+		if !ok {
+			t.Fatalf("Table4 lost row %q", name)
+		}
+		if r.Overhead < 0 {
+			t.Errorf("%s: expected a relative overhead, got none", name)
+		}
+	}
+	if a, m := byName["Add"], byName["MAD"]; a.Overhead >= 0 || m.Overhead >= 0 {
+		t.Error("reference units must not report an overhead against themselves")
+	}
+}
+
+func TestRenderTable4Golden(t *testing.T) {
+	golden(t, "table4", RenderTable4(Table4()))
+}
+
+func TestRenderTable4FormatsMissingOverhead(t *testing.T) {
+	out := RenderTable4([]Table4Row{{Unit: "X", Bits: 8, Stages: 1, FFs: 0, Area: 10, Overhead: -1, PaperArea: 5}})
+	if !strings.Contains(out, " - ") {
+		t.Errorf("reference row must render '-' for overhead:\n%s", out)
+	}
+}

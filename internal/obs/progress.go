@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// StartProgress writes line() to w every interval until the returned stop
+// function is called; stop flushes one final line and waits for the
+// goroutine to exit. The experiment CLIs drive this with a closure over the
+// engine tracker and the metric registry to get a periodic stderr heartbeat
+// (-metrics-interval).
+func StartProgress(w io.Writer, interval time.Duration, line func() string) (stop func()) {
+	if interval <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				fmt.Fprintln(w, line())
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+			fmt.Fprintln(w, line())
+		})
+	}
+}

@@ -75,6 +75,9 @@ func (m *machine) exec(w *warpState, in *isa.Instr) error {
 	case isa.BPT:
 		if mask != 0 {
 			m.stats.Trapped = true
+			if m.obsm != nil {
+				m.obsm.rec.Instant(m.obsm.pid, 0, "BPT trap", "due", m.cycle, nil)
+			}
 			m.execExit(w, w.top().mask)
 			return nil
 		}
@@ -304,6 +307,7 @@ func (m *machine) writeback(w *warpState, in *isa.Instr, mask uint32, res, resHi
 	if in.Dst == isa.RZ {
 		if injectNow {
 			m.g.Fault.Applied = true // fault landed in a discarded result
+			m.faultCycle = m.cycle
 		}
 		return
 	}
@@ -318,6 +322,7 @@ func (m *machine) writeback(w *warpState, in *isa.Instr, mask uint32, res, resHi
 			lo ^= fp.BitMask
 			hi ^= fp.BitMaskHi
 			fp.Applied = true
+			m.faultCycle = m.cycle
 		}
 		if wide && w.rf != nil && in.Flags&isa.FlagPredicted != 0 {
 			// Compute both halves' predicted check bits BEFORE either write
@@ -631,6 +636,9 @@ func (m *machine) eccCheckSources(w *warpState, in *isa.Instr, mask uint32) erro
 				w.regs[int(r)*isa.WarpSize+lane] = v
 			case core.ReadDUEPipeline:
 				m.stats.PipelineDUEs++
+				if m.obsm != nil {
+					m.obsm.due(m, r, lane)
+				}
 				if m.cfg.HaltOnDUE {
 					return &DUEError{Kernel: m.k.Name, Reg: r, Lane: lane}
 				}

@@ -17,9 +17,11 @@ type simtEntry struct {
 }
 
 type warpState struct {
-	cta       *ctaState
-	idInCTA   int
-	sched     int
+	cta        *ctaState
+	idInCTA    int
+	gid        int   // global warp id (unique across the launch)
+	startCycle int64 // cycle the warp became resident
+	sched      int
 	stack     []simtEntry
 	regs      []uint32 // reg*32 + lane
 	preds     [8]uint32
@@ -54,12 +56,21 @@ type machine struct {
 	tokens        [10]float64
 	cycle         int64
 	dyn           int64
+	// faultCycle is the cycle the armed FaultPlan fired at (-1 before),
+	// the reference point for detection-latency measurement.
+	faultCycle int64
+	// obsm is non-nil only when GPU.Obs carries a recorder; the cycle loop
+	// guards every observation behind this one nil check.
+	obsm *smObs
 }
 
 func newMachine(g *GPU, k *isa.Kernel) *machine {
-	m := &machine{g: g, cfg: &g.Cfg, k: k,
+	m := &machine{g: g, cfg: &g.Cfg, k: k, faultCycle: -1,
 		stats: &Stats{PerClass: make(map[isa.Class]int64), PerCat: make(map[isa.Category]int64)}}
 	m.warpsPerCTA = (k.CTAThreads + isa.WarpSize - 1) / isa.WarpSize
+	if g.Obs != nil {
+		m.obsm = newSMObs(g.Obs, k.Name)
+	}
 	return m
 }
 
@@ -100,6 +111,7 @@ func (m *machine) launchCTA() {
 	for wi := 0; wi < m.warpsPerCTA; wi++ {
 		w := &warpState{
 			cta: cta, idInCTA: wi,
+			gid: cta.id*m.warpsPerCTA + wi, startCycle: m.cycle,
 			sched:    len(m.warps) % m.cfg.Schedulers,
 			stack:    []simtEntry{{pc: 0, mask: m.warpMask(wi), reconv: -1}},
 			regs:     make([]uint32, m.k.NumRegs*isa.WarpSize),
@@ -146,7 +158,7 @@ func (m *machine) run(ctx context.Context) error {
 		// stop latency of a cancelled launch to microseconds.
 		if guard&4095 == 0 {
 			if err := ctx.Err(); err != nil {
-				m.stats.Cycles = m.cycle
+				m.finalize()
 				return fmt.Errorf("sm: kernel %s stopped at cycle %d: %w", m.k.Name, m.cycle, err)
 			}
 		}
@@ -159,8 +171,9 @@ func (m *machine) run(ctx context.Context) error {
 			}
 			continue
 		}
-		issued := false
+		issuedSlots := 0
 		minWake := farFuture
+		minReason := stallNone
 		slots := m.cfg.IssuePerSched
 		if slots < 1 {
 			slots = 1
@@ -169,8 +182,9 @@ func (m *machine) run(ctx context.Context) error {
 			for slot := 0; slot < slots; slot++ {
 				w, wake, reason := m.pickWarp(s)
 				if w == nil {
-					if wake < minWake {
+					if wake < minWake || minReason == stallNone {
 						minWake = wake
+						minReason = reason
 					}
 					switch reason {
 					case stallDeps:
@@ -187,29 +201,52 @@ func (m *machine) run(ctx context.Context) error {
 				if err := m.issue(w); err != nil {
 					return err
 				}
-				issued = true
+				issuedSlots++
 			}
 		}
 		m.retire()
-		if issued {
-			m.advance(1)
-		} else {
+		delta := int64(1)
+		if issuedSlots == 0 {
 			if minWake == farFuture {
 				return fmt.Errorf("sm: kernel %s deadlocked at cycle %d", m.k.Name, m.cycle)
 			}
-			delta := minWake - m.cycle
+			delta = minWake - m.cycle
 			if delta < 1 {
 				delta = 1
 			}
-			m.advance(delta)
+			// Fully-idle rounds are charged to the blocking reason of the
+			// nearest-to-ready warp (the cycle-level stall attribution).
+			switch minReason {
+			case stallDeps:
+				m.stats.StallCyclesDeps += delta
+			case stallThrottle:
+				m.stats.StallCyclesThrottle += delta
+			case stallBarrier:
+				m.stats.StallCyclesBarrier += delta
+			default:
+				m.stats.StallCyclesNoWarp += delta
+			}
+		}
+		m.advance(delta)
+		if m.obsm != nil {
+			m.obsm.round(m, issuedSlots, delta, minReason)
 		}
 		guard++
 		if guard > 1<<34 {
 			return fmt.Errorf("sm: kernel %s exceeded cycle guard", m.k.Name)
 		}
 	}
-	m.stats.Cycles = m.cycle
+	m.finalize()
 	return nil
+}
+
+// finalize stamps the cycle count and flushes pending observability state;
+// every run() exit path (completion and cancellation) goes through it.
+func (m *machine) finalize() {
+	m.stats.Cycles = m.cycle
+	if m.obsm != nil {
+		m.obsm.finish(m)
+	}
 }
 
 func (m *machine) advance(delta int64) {
@@ -228,6 +265,9 @@ func (m *machine) retire() {
 	live := m.warps[:0]
 	for _, w := range m.warps {
 		if w.done {
+			if m.obsm != nil {
+				m.obsm.warpDone(m, w)
+			}
 			continue
 		}
 		live = append(live, w)
@@ -276,13 +316,6 @@ func (m *machine) pickWarp(s int) (*warpState, int64, stallReason) {
 		}
 	}
 	return nil, minWake, reason
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // warpReady checks scoreboard and structural constraints for the warp's

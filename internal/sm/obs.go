@@ -1,0 +1,120 @@
+package sm
+
+import (
+	"fmt"
+
+	"swapcodes/internal/isa"
+	"swapcodes/internal/obs"
+)
+
+// smObs is the machine's observability state, allocated only when the GPU
+// carries a recorder (GPU.Obs). Everything here is off the disabled hot
+// path: a machine without a recorder holds a nil *smObs and the cycle loop
+// pays a single nil-check branch per scheduler round (the guarantee
+// BenchmarkSMObsDisabled guards).
+type smObs struct {
+	rec *obs.Recorder
+	pid int64
+	// period is the sampling window in cycles; counter samples (occupancy,
+	// issue-slot usage, stall attribution) are emitted once per window.
+	period   int64
+	winStart int64
+	// Window accumulators, reset at every sample.
+	winIssued int64
+	winStall  [4]int64 // indexed stallReason-1: deps, throttle, barrier, nowarp
+
+	scoreWait *obs.Histogram
+	detectLat *obs.Histogram
+	cycles    *obs.Counter
+	instrs    *obs.Counter
+	warpsRun  *obs.Counter
+}
+
+func newSMObs(rec *obs.Recorder, kernel string) *smObs {
+	period := rec.SamplePeriod
+	if period < 1 {
+		period = obs.DefaultSamplePeriod
+	}
+	reg := rec.Registry()
+	return &smObs{
+		rec:    rec,
+		pid:    rec.UniqueProcess("sm:" + kernel),
+		period: period,
+		// Scoreboard waits are bounded by the global-memory latency tail
+		// (~140 cycles by default); detection latency by kernel length.
+		scoreWait: reg.Histogram("sm.scoreboard_wait_cycles", obs.ExpBounds(1, 12)...),
+		detectLat: reg.Histogram("sm.detect_latency_cycles", obs.ExpBounds(1, 16)...),
+		cycles:    reg.Counter("sm.cycles"),
+		instrs:    reg.Counter("sm.warp_instrs"),
+		warpsRun:  reg.Counter("sm.warps_retired"),
+	}
+}
+
+// round folds one scheduler round into the window accumulators and emits
+// the window's counter samples when the cycle crosses a period boundary.
+// delta is the cycles the round advanced; reason attributes fully-idle
+// rounds (issued == 0) to the blocking cause of the nearest-to-ready warp.
+func (o *smObs) round(m *machine, issued int, delta int64, reason stallReason) {
+	o.winIssued += int64(issued)
+	if issued == 0 && reason != stallNone {
+		o.winStall[reason-1] += delta
+		if reason == stallDeps {
+			o.scoreWait.Observe(delta)
+		}
+	}
+	if m.cycle-o.winStart >= o.period {
+		o.sample(m)
+	}
+}
+
+// sample flushes the current window as counter events at the present cycle.
+func (o *smObs) sample(m *machine) {
+	win := m.cycle - o.winStart
+	if win <= 0 {
+		return
+	}
+	o.cycles.Add(win)
+	o.instrs.Add(o.winIssued)
+	slots := int64(m.cfg.Schedulers) * int64(max(m.cfg.IssuePerSched, 1)) * win
+	o.rec.Sample(o.pid, "sm.occupancy", m.cycle, map[string]any{
+		"warps": len(m.warps), "ctas": len(m.resident)})
+	o.rec.Sample(o.pid, "sm.issue_slots", m.cycle, map[string]any{
+		"issued": o.winIssued, "total": slots})
+	o.rec.Sample(o.pid, "sm.stall_cycles", m.cycle, map[string]any{
+		"deps": o.winStall[0], "throttle": o.winStall[1],
+		"barrier": o.winStall[2], "nowarp": o.winStall[3]})
+	o.winStart = m.cycle
+	o.winIssued = 0
+	o.winStall = [4]int64{}
+}
+
+// warpDone emits the retiring warp's lifetime span: one row per warp
+// (tid = global warp id), covering launch to retirement in cycles.
+func (o *smObs) warpDone(m *machine, w *warpState) {
+	o.warpsRun.Inc()
+	o.rec.Span(o.pid, int64(w.gid), fmt.Sprintf("cta%d.w%d", w.cta.id, w.idInCTA),
+		"warp", w.startCycle, m.cycle-w.startCycle, nil)
+}
+
+// due records one pipeline-DUE detection: the latency histogram measures
+// cycles from fault write-back to the flagging register read (the paper's
+// containment property — detection strictly precedes any dependent store).
+func (o *smObs) due(m *machine, r isa.Reg, lane int) {
+	if m.faultCycle >= 0 {
+		o.detectLat.Observe(m.cycle - m.faultCycle)
+	}
+	o.rec.Instant(o.pid, 0, "pipeline DUE", "due", m.cycle,
+		map[string]any{"reg": r.String(), "lane": lane})
+}
+
+// finish flushes the trailing partial window and the lifetime spans of
+// still-resident warps — called on every run() exit path so cancelled
+// launches leave a coherent partial trace.
+func (o *smObs) finish(m *machine) {
+	o.sample(m)
+	for _, w := range m.warps {
+		if !w.done {
+			o.warpDone(m, w)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package sm
+
+import (
+	"testing"
+
+	"swapcodes/internal/obs"
+)
+
+// benchLaunch runs one vecadd launch; rec == nil measures the disabled
+// observability path.
+func benchLaunch(b *testing.B, rec *obs.Recorder) {
+	const n = 2048
+	k := vecAddKernel(n, 16, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := NewGPU(DefaultConfig(), 3*n+64)
+		g.Obs = rec
+		st, err := g.Launch(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(st.Cycles), "cycles")
+	}
+}
+
+// BenchmarkSMObsDisabled is the overhead guard of the observability layer:
+// with a nil recorder the cycle loop must run within noise (<=2%) of the
+// pre-instrumentation simulator, because the only added work is one
+// predictable nil-check branch per scheduler round. Compare against
+// BenchmarkSMObsEnabled to see the enabled-path cost.
+func BenchmarkSMObsDisabled(b *testing.B) { benchLaunch(b, nil) }
+
+// BenchmarkSMObsEnabled measures a fully traced launch (warp spans, window
+// samples, histograms) for the DESIGN.md overhead model.
+func BenchmarkSMObsEnabled(b *testing.B) { benchLaunch(b, obs.NewRecorder()) }

@@ -1,0 +1,191 @@
+package sm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"swapcodes/internal/compiler"
+	"swapcodes/internal/obs"
+)
+
+// TestObsTraceSchema is the acceptance gate for -trace: a traced launch
+// must produce a Chrome trace-event JSON document that validates (and so
+// loads in Perfetto / chrome://tracing).
+func TestObsTraceSchema(t *testing.T) {
+	const n = 200
+	k := vecAddKernel(n, 4, 64)
+	rec := obs.NewRecorder()
+	g := NewGPU(DefaultConfig(), 3*n+64)
+	g.Obs = rec
+	st, err := g.Launch(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ValidateTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("sm trace does not validate: %v", err)
+	}
+
+	// The trace must contain: one lifetime span per executed warp, at least
+	// one sample of each counter series, and the process metadata.
+	spans, byName := 0, map[string]int{}
+	for _, e := range events {
+		if e.Ph == "X" && e.Cat == "warp" {
+			spans++
+			if e.TS+e.Dur > st.Cycles+1 {
+				t.Errorf("warp span %s ends at %d, past the %d-cycle launch", e.Name, e.TS+e.Dur, st.Cycles)
+			}
+		}
+		byName[e.Name+"/"+e.Ph]++
+	}
+	wantWarps := 4 * 2 // grid=4 CTAs x (64 threads / 32 per warp)
+	if spans != wantWarps {
+		t.Errorf("warp spans = %d, want %d", spans, wantWarps)
+	}
+	for _, series := range []string{"sm.occupancy/C", "sm.issue_slots/C", "sm.stall_cycles/C"} {
+		if byName[series] == 0 {
+			t.Errorf("trace has no %s samples", series)
+		}
+	}
+	if byName["process_name/M"] == 0 {
+		t.Error("trace has no process metadata")
+	}
+}
+
+// TestObsRegistryCounters checks the registry side: cycle and instruction
+// counters must reconcile exactly with the launch Stats (the window flush
+// on finalize must not lose the partial tail window).
+func TestObsRegistryCounters(t *testing.T) {
+	const n = 200
+	k := vecAddKernel(n, 4, 64)
+	rec := obs.NewRecorder()
+	g := NewGPU(DefaultConfig(), 3*n+64)
+	g.Obs = rec
+	st, err := g.Launch(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := rec.Registry()
+	if got := reg.Counter("sm.cycles").Value(); got != st.Cycles {
+		t.Errorf("sm.cycles = %d, want Stats.Cycles = %d", got, st.Cycles)
+	}
+	if got := reg.Counter("sm.warp_instrs").Value(); got != st.DynWarpInstrs {
+		t.Errorf("sm.warp_instrs = %d, want Stats.DynWarpInstrs = %d", got, st.DynWarpInstrs)
+	}
+	if got := reg.Counter("sm.warps_retired").Value(); got != 8 {
+		t.Errorf("sm.warps_retired = %d, want 8", got)
+	}
+	if reg.Histogram("sm.scoreboard_wait_cycles").Count() == 0 {
+		t.Error("no scoreboard waits observed on a latency-bound kernel")
+	}
+}
+
+// TestObsStallCycleAccounting: fully-idle cycles plus rounds with issue
+// must not exceed total cycles, and a dependence-chained kernel must charge
+// most of its idle time to the scoreboard.
+func TestObsStallCycleAccounting(t *testing.T) {
+	const n = 64
+	k := vecAddKernel(n, 1, 64)
+	g := NewGPU(DefaultConfig(), 3*n+64)
+	st, err := g.Launch(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.StallCycles() >= st.Cycles {
+		t.Errorf("stall cycles %d >= total cycles %d", st.StallCycles(), st.Cycles)
+	}
+	if st.StallCyclesDeps == 0 {
+		t.Error("single-warp latency-bound kernel charged no scoreboard stall cycles")
+	}
+}
+
+// TestObsDetectionLatency: an injected pipeline error detected by the
+// Swap-ECC decoder must land one observation in the detection-latency
+// histogram and one DUE instant in the trace.
+func TestObsDetectionLatency(t *testing.T) {
+	base := containmentKernel()
+	k := compiler.MustApply(base, compiler.SwapECC)
+	cfg := DefaultConfig()
+	cfg.ECC = true
+	rec := obs.NewRecorder()
+	g := NewGPU(cfg, 64)
+	g.Obs = rec
+	g.Fault = &FaultPlan{TargetDynInstr: 1, Lane: 2, BitMask: 4}
+	st, err := g.Launch(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PipelineDUEs == 0 {
+		t.Fatal("fault was not detected; cannot measure latency")
+	}
+	h := rec.Registry().Histogram("sm.detect_latency_cycles")
+	if h.Count() != st.PipelineDUEs {
+		t.Errorf("detection latency observations = %d, want %d (one per DUE)", h.Count(), st.PipelineDUEs)
+	}
+	if h.Quantile(1) < 1 {
+		t.Error("detection latency must be at least the pipe latency")
+	}
+	dues := 0
+	for _, e := range rec.Events() {
+		if e.Name == "pipeline DUE" && e.Ph == "i" {
+			dues++
+		}
+	}
+	if int64(dues) != st.PipelineDUEs {
+		t.Errorf("trace DUE instants = %d, want %d", dues, st.PipelineDUEs)
+	}
+}
+
+// TestObsDisabledIdentical: the recorder must be purely observational —
+// cycle counts and stats with and without it attached must be identical.
+func TestObsDisabledIdentical(t *testing.T) {
+	const n = 200
+	run := func(rec *obs.Recorder) *Stats {
+		g := NewGPU(DefaultConfig(), 3*n+64)
+		g.Obs = rec
+		st, err := g.Launch(vecAddKernel(n, 4, 64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	plain, observed := run(nil), run(obs.NewRecorder())
+	if plain.Cycles != observed.Cycles || plain.DynWarpInstrs != observed.DynWarpInstrs ||
+		plain.StallCyclesDeps != observed.StallCyclesDeps {
+		t.Errorf("observation perturbed the simulation: %+v vs %+v", plain, observed)
+	}
+}
+
+// TestObsUniqueProcesses: two launches of the same kernel on one recorder
+// must land on distinct trace processes so their timelines do not overlap.
+func TestObsUniqueProcesses(t *testing.T) {
+	const n = 64
+	rec := obs.NewRecorder()
+	for i := 0; i < 2; i++ {
+		g := NewGPU(DefaultConfig(), 3*n+64)
+		g.Obs = rec
+		if _, err := g.Launch(vecAddKernel(n, 1, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := map[string]bool{}
+	for _, e := range rec.Events() {
+		if e.Ph == "M" && e.Name == "process_name" {
+			names[e.Args["name"].(string)] = true
+		}
+	}
+	want := 0
+	for name := range names {
+		if strings.HasPrefix(name, "sm:vecadd") {
+			want++
+		}
+	}
+	if want != 2 {
+		t.Errorf("launches share a trace process: %v", names)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"swapcodes/internal/compiler"
 	"swapcodes/internal/core"
 	"swapcodes/internal/isa"
+	"swapcodes/internal/obs"
 )
 
 // Config gives the SM's microarchitectural parameters. The defaults are
@@ -174,6 +175,17 @@ type Stats struct {
 	// bandwidth stalls, StallBarrier barrier waits, and StallNoWarp slots
 	// with no live warp assigned.
 	StallDeps, StallThrottle, StallBarrier, StallNoWarp int64
+	// Cycle-level stall attribution: cycles in which NO scheduler issued,
+	// charged to the blocking reason of the SM's nearest-to-ready warp
+	// (rounds where at least one slot issued are not charged). The four
+	// fields plus issuing cycles partition Cycles for latency-bound
+	// kernels, which makes "where did the slowdown go" a direct read.
+	StallCyclesDeps, StallCyclesThrottle, StallCyclesBarrier, StallCyclesNoWarp int64
+}
+
+// StallCycles returns the total fully-idle cycles across all reasons.
+func (s *Stats) StallCycles() int64 {
+	return s.StallCyclesDeps + s.StallCyclesThrottle + s.StallCyclesBarrier + s.StallCyclesNoWarp
 }
 
 // IPC returns issued warp instructions per cycle.
@@ -199,6 +211,13 @@ type GPU struct {
 	// Trace, when non-nil, receives per-lane operand/result values of
 	// arithmetic instructions (the binary-instrumentation value tracer).
 	Trace TraceFunc
+	// Obs, when non-nil, records scheduling observability for every launch:
+	// windowed occupancy/issue/stall counter samples, per-warp lifetime
+	// spans, and scoreboard-wait and detection-latency histograms, emitted
+	// as Chrome trace events with one simulated cycle per trace
+	// microsecond. A nil Obs costs the cycle loop one branch per round
+	// (see BenchmarkSMObsDisabled).
+	Obs *obs.Recorder
 }
 
 // NewGPU allocates a device with memWords words of global memory.
