@@ -8,6 +8,7 @@ package swapcodes
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -329,6 +330,73 @@ func BenchmarkSimulatorLavaMD(b *testing.B) {
 		}
 		b.ReportMetric(float64(st.DynWarpInstrs)/float64(st.Cycles), "ipc")
 	}
+}
+
+// BenchmarkCampaignEvaluator isolates the injection loop of the Figure 10/11
+// campaigns: the same campaign (same seed, same tuple stream, bit-identical
+// Injection output) on the incremental cone evaluator versus the naive
+// whole-netlist evaluator. The full/incremental ns/op ratio per unit is the
+// campaign speedup recorded in EXPERIMENTS.md.
+func BenchmarkCampaignEvaluator(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	for _, u := range arith.Units() {
+		tuples := make([][]uint64, 256)
+		for i := range tuples {
+			ops := make([]uint64, len(u.OperandWidths))
+			for j, w := range u.OperandWidths {
+				ops[j] = rng.Uint64() >> (64 - uint(w))
+			}
+			tuples[i] = ops
+		}
+		for _, mode := range []struct {
+			name string
+			full bool
+		}{{"incremental", false}, {"full", true}} {
+			b.Run(u.Name+"/"+mode.name, func(b *testing.B) {
+				var injections int
+				for i := 0; i < b.N; i++ {
+					c := faultsim.NewCampaign(u, 1)
+					c.FullEval = mode.full
+					injections = len(c.Run(tuples))
+				}
+				b.ReportMetric(float64(len(tuples))*float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+				b.ReportMetric(float64(injections), "unmasked")
+			})
+		}
+	}
+}
+
+// BenchmarkGateEvalZeroAlloc pins the allocation-free contract of the two
+// hot evaluation paths on a real unit netlist (see also the gates package's
+// TestEvalZeroAlloc on random circuits).
+func BenchmarkGateEvalZeroAlloc(b *testing.B) {
+	u := arith.NewIMAD32()
+	tuples := make([][]uint64, 64)
+	for i := range tuples {
+		tuples[i] = []uint64{uint64(i) * 7, uint64(i) * 13, uint64(i) * 29}
+	}
+	in := u.PackOperands(tuples)
+	sites := u.Circuit.FaultSites()
+	b.Run("Eval", func(b *testing.B) {
+		ev := gates.NewEvaluator(u.Circuit)
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ev.Eval(in, sites[i%len(sites)])
+		}
+	})
+	b.Run("EvalSite", func(b *testing.B) {
+		ev := gates.NewConeEvaluator(u.Circuit)
+		ev.Baseline(in)
+		for _, s := range sites {
+			u.Circuit.FanoutCone(s) // exclude one-time cone builds
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ev.EvalSite(sites[i%len(sites)])
+		}
+	})
 }
 
 func BenchmarkGateEvalIMAD(b *testing.B) {

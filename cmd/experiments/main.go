@@ -143,7 +143,10 @@ func main() {
 				return "", err
 			}
 			writeCSV("fig10_fig11.csv", inj.CSV())
-			return inj.RenderFig10(), nil
+			if tl := inj.RenderThroughput(); tl != "" {
+				fmt.Fprintf(os.Stderr, "experiments: %s\n", tl)
+			}
+			return inj.RenderFig10() + "\n" + inj.RenderConeStats(), nil
 		}},
 		{"fig11", func(ctx context.Context) (string, error) {
 			inj, err := getInj(ctx)

@@ -76,17 +76,30 @@ func (in Injection) SeverityOf() Severity {
 }
 
 // Campaign injects single-event errors into one unit over a stream of
-// operand tuples.
+// operand tuples. By default it runs on the incremental cone evaluator
+// (gates.ConeEvaluator): tuples are packed 64 per lane batch, one
+// fault-free baseline pass snapshots the batch, and every injection attempt
+// re-evaluates only the drawn site's fan-out cone — O(cone) instead of
+// O(netlist) per attempt. The site draw sequence is untouched, so the
+// injection stream is bit-identical to the naive whole-netlist evaluator
+// (asserted by the equivalence tests against FullEval).
 type Campaign struct {
 	Unit *arith.Unit
 	// MaxAttempts bounds the per-tuple search for an unmasked site
 	// (tuples whose every sampled site masks are dropped, matching the
 	// paper's "inject ... until one corrupts the unit output").
 	MaxAttempts int
+	// FullEval forces the naive evaluator that re-evaluates the whole
+	// netlist on every attempt. Results are identical; the flag exists for
+	// the incremental-vs-full equivalence tests and timing comparisons.
+	FullEval bool
 
-	ev    *gates.Evaluator
-	sites []int
-	rng   *rand.Rand
+	ev     *gates.Evaluator     // naive path, created on first FullEval run
+	cev    *gates.ConeEvaluator // incremental path, created on first run
+	sites  []int
+	rng    *rand.Rand
+	tuples int64
+	full   int64 // whole-netlist evaluations performed on the naive path
 }
 
 // NewCampaign prepares an injection campaign with a deterministic seed.
@@ -102,10 +115,54 @@ func NewCampaignRNG(u *arith.Unit, rng *rand.Rand) *Campaign {
 	return &Campaign{
 		Unit:        u,
 		MaxAttempts: 400,
-		ev:          gates.NewEvaluator(u.Circuit),
 		sites:       u.Circuit.FaultSites(),
 		rng:         rng,
 	}
+}
+
+// EvalStats reports the evaluator work a campaign has performed, the basis
+// of the obs cone counters and the throughput accounting in the harness.
+type EvalStats struct {
+	// NetNodes is the unit's netlist node count.
+	NetNodes int
+	// Tuples is the number of operand tuples processed.
+	Tuples int64
+	gates.EvalCounters
+}
+
+// ReEvalFrac is the fraction of a full per-attempt netlist evaluation the
+// campaign actually paid: ConeNodes / (SiteEvals × NetNodes). The naive
+// FullEval path reports 1.
+func (s EvalStats) ReEvalFrac() float64 {
+	if s.SiteEvals == 0 || s.NetNodes == 0 {
+		return 0
+	}
+	return float64(s.ConeNodes) / (float64(s.SiteEvals) * float64(s.NetNodes))
+}
+
+// Merge pools two stat sets (NetNodes must agree or one be zero).
+func (s EvalStats) Merge(o EvalStats) EvalStats {
+	if s.NetNodes == 0 {
+		s.NetNodes = o.NetNodes
+	}
+	s.Tuples += o.Tuples
+	s.BaselineNodes += o.BaselineNodes
+	s.ConeNodes += o.ConeNodes
+	s.SiteEvals += o.SiteEvals
+	return s
+}
+
+// Stats returns the campaign's cumulative evaluator work counters.
+func (c *Campaign) Stats() EvalStats {
+	st := EvalStats{NetNodes: c.Unit.Circuit.NumNodes(), Tuples: c.tuples}
+	if c.cev != nil {
+		st.EvalCounters = c.cev.Counters()
+	}
+	// Fold in naive whole-netlist evaluations so FullEval campaigns report
+	// ReEvalFrac()==1 against the same denominator.
+	st.ConeNodes += c.full * int64(st.NetNodes)
+	st.SiteEvals += c.full
+	return st
 }
 
 // Run performs one unmasked injection per operand tuple, exactly as the
@@ -118,10 +175,60 @@ func (c *Campaign) Run(tuples [][]uint64) []Injection {
 	return out
 }
 
-// RunContext is Run with cancellation: the context is checked between
-// tuples, and on cancellation the injections completed so far are returned
-// together with the context's error (partial-result reporting).
+// RunContext is Run with cancellation: the context is checked every 64
+// tuples (one lane batch), and on cancellation the injections completed so
+// far are returned together with the context's error (partial-result
+// reporting).
 func (c *Campaign) RunContext(ctx context.Context, tuples [][]uint64) ([]Injection, error) {
+	if c.FullEval {
+		return c.runFull(ctx, tuples)
+	}
+	if c.cev == nil {
+		c.cev = gates.NewConeEvaluator(c.Unit.Circuit)
+	}
+	out := make([]Injection, 0, len(tuples))
+	for lo := 0; lo < len(tuples); lo += 64 {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		hi := min(lo+64, len(tuples))
+		batch := tuples[lo:hi]
+		// One fault-free pass snapshots all 64 tuples of the batch; every
+		// attempt below re-evaluates only the drawn site's cone against it
+		// and reads its own tuple's lane.
+		c.cev.Baseline(c.Unit.PackOperands(batch))
+		for lane, ops := range batch {
+			golden := c.Unit.Ref(ops)
+			for attempt := 1; attempt <= c.MaxAttempts; attempt++ {
+				site := c.sites[c.rng.Intn(len(c.sites))]
+				words := c.cev.EvalSite(site)
+				faulty := c.Unit.UnpackOutput(words, lane)
+				if faulty == golden {
+					continue // masked for this tuple
+				}
+				out = append(out, Injection{
+					Ops:      ops,
+					Golden:   golden,
+					Faulty:   faulty,
+					Site:     site,
+					IsFF:     c.Unit.Circuit.Kind(site) == gates.FF,
+					Attempts: attempt,
+				})
+				break
+			}
+			c.tuples++
+		}
+	}
+	return out, ctx.Err()
+}
+
+// runFull is the naive reference path: every attempt re-evaluates the whole
+// netlist. The rng draw sequence and cancellation points match RunContext
+// exactly, so the two paths produce identical Injection streams.
+func (c *Campaign) runFull(ctx context.Context, tuples [][]uint64) ([]Injection, error) {
+	if c.ev == nil {
+		c.ev = gates.NewEvaluator(c.Unit.Circuit)
+	}
 	out := make([]Injection, 0, len(tuples))
 	for ti, ops := range tuples {
 		if ti&63 == 0 {
@@ -134,6 +241,7 @@ func (c *Campaign) RunContext(ctx context.Context, tuples [][]uint64) ([]Injecti
 		for attempt := 1; attempt <= c.MaxAttempts; attempt++ {
 			site := c.sites[c.rng.Intn(len(c.sites))]
 			words := c.ev.Eval(in, site)
+			c.full++
 			faulty := c.Unit.UnpackOutput(words, 0)
 			if faulty == golden {
 				continue // masked for this tuple
@@ -148,6 +256,7 @@ func (c *Campaign) RunContext(ctx context.Context, tuples [][]uint64) ([]Injecti
 			})
 			break
 		}
+		c.tuples++
 	}
 	return out, ctx.Err()
 }

@@ -9,17 +9,33 @@ import (
 // RecordShard folds one completed campaign shard into a recorder: a span on
 // the "faultsim" trace process covering the shard's wall time, cumulative
 // outcome samples, and the campaign-wide registry instruments
-// (faultsim.tuples, faultsim.unmasked, per-severity counters, and the
-// attempts-per-unmasked histogram that captures the masking rate). A nil
+// (faultsim.tuples, faultsim.unmasked, per-severity counters, the
+// attempts-per-unmasked histogram that captures the masking rate, and the
+// incremental-evaluator work counters that capture the cone speedup). A nil
 // recorder records nothing, so shard execution stays observability-free by
 // default. startUS is rec.Now() taken before the shard ran.
-func RecordShard(rec *obs.Recorder, unit string, shard int, startUS int64, tuples int, inj []Injection) {
+func RecordShard(rec *obs.Recorder, unit string, shard int, startUS int64, tuples int, inj []Injection, st EvalStats) {
 	if rec == nil {
 		return
 	}
 	reg := rec.Registry()
 	reg.Counter("faultsim.tuples").Add(int64(tuples))
 	reg.Counter("faultsim.unmasked").Add(int64(len(inj)))
+	// Incremental-evaluator accounting: baseline_nodes is snapshot work,
+	// cone_nodes is per-attempt re-evaluation work, site_evals counts
+	// attempts. The campaign-wide re-eval fraction is
+	// cone_nodes / (site_evals × netlist nodes); per-shard the same ratio
+	// lands in the reeval_pct histogram, and cone_mean_nodes tracks the
+	// mean cone size the site draws actually hit.
+	reg.Counter("faultsim.baseline_nodes").Add(st.BaselineNodes)
+	reg.Counter("faultsim.cone_nodes").Add(st.ConeNodes)
+	reg.Counter("faultsim.site_evals").Add(st.SiteEvals)
+	if st.SiteEvals > 0 {
+		reg.Histogram("faultsim.cone_mean_nodes", obs.ExpBounds(16, 14)...).
+			Observe(st.ConeNodes / st.SiteEvals)
+		reg.Histogram("faultsim.reeval_pct", obs.ExpBounds(1, 8)...).
+			Observe(int64(100 * st.ReEvalFrac()))
+	}
 	attempts := reg.Histogram("faultsim.attempts_per_unmasked", obs.ExpBounds(1, 10)...)
 	var sev [3]int64
 	for _, in := range inj {
@@ -33,7 +49,7 @@ func RecordShard(rec *obs.Recorder, unit string, shard int, startUS int64, tuple
 	pid := rec.Process("faultsim")
 	now := rec.Now()
 	rec.Span(pid, rec.NextTID(), fmt.Sprintf("%s/shard%d", unit, shard), "shard", startUS, now-startUS,
-		map[string]any{"tuples": tuples, "unmasked": len(inj)})
+		map[string]any{"tuples": tuples, "unmasked": len(inj), "reeval_frac": st.ReEvalFrac()})
 	// Cumulative tallies: the stacked series shows outcome mix drifting (or
 	// not) as the campaign progresses across the operand stream.
 	rec.Sample(pid, "faultsim.outcomes", now, map[string]any{

@@ -28,6 +28,9 @@ type ShardedCampaign struct {
 	// MaxAttempts bounds the per-tuple unmasked-site search (Campaign's
 	// default if 0).
 	MaxAttempts int
+	// FullEval forces the naive whole-netlist evaluator (see
+	// Campaign.FullEval); the injection stream is identical either way.
+	FullEval bool
 }
 
 func (s *ShardedCampaign) shardSize() int {
@@ -46,11 +49,14 @@ func (s *ShardedCampaign) NumShards(n int) int {
 // the deterministic unit of work the engine schedules. Callers that flatten
 // several campaigns into one job list (the harness runs all six units'
 // shards in a single Map) get exactly the injections Run would produce.
-func (s *ShardedCampaign) RunShard(ctx context.Context, i int, tuples [][]uint64) ([]Injection, error) {
+// The returned EvalStats carry the shard's evaluator work counters for obs
+// and throughput accounting.
+func (s *ShardedCampaign) RunShard(ctx context.Context, i int, tuples [][]uint64) ([]Injection, EvalStats, error) {
 	size := s.shardSize()
 	lo := i * size
 	hi := min(lo+size, len(tuples))
 	c := NewCampaignRNG(s.Unit, rand.New(rand.NewSource(engine.ShardSeed(s.MasterSeed, i))))
+	c.FullEval = s.FullEval
 	if s.MaxAttempts > 0 {
 		c.MaxAttempts = s.MaxAttempts
 	}
@@ -58,9 +64,9 @@ func (s *ShardedCampaign) RunShard(ctx context.Context, i int, tuples [][]uint64
 	if err != nil {
 		// A partially injected shard would make the merged stream depend
 		// on where cancellation landed; keep only whole shards.
-		return nil, err
+		return nil, EvalStats{}, err
 	}
-	return inj, nil
+	return inj, c.Stats(), nil
 }
 
 // Run executes the campaign on the pool. On cancellation it returns the
@@ -71,14 +77,14 @@ func (s *ShardedCampaign) RunShard(ctx context.Context, i int, tuples [][]uint64
 func (s *ShardedCampaign) Run(ctx context.Context, pool *engine.Pool, tuples [][]uint64) ([]Injection, error) {
 	shards, err := engine.Map(ctx, pool, s.NumShards(len(tuples)), func(ctx context.Context, i int) ([]Injection, error) {
 		start := pool.Recorder().Now()
-		inj, err := s.RunShard(ctx, i, tuples)
+		inj, st, err := s.RunShard(ctx, i, tuples)
 		if err == nil {
 			// Progress is counted in operand tuples injected, the unit the
 			// tracker's items/sec throughput reports.
 			lo := i * s.shardSize()
 			n := min(lo+s.shardSize(), len(tuples)) - lo
 			pool.Tracker().AddItems(int64(n))
-			RecordShard(pool.Recorder(), s.Unit.Name, i, start, n, inj)
+			RecordShard(pool.Recorder(), s.Unit.Name, i, start, n, inj, st)
 		}
 		return inj, err
 	})

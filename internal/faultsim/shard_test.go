@@ -173,9 +173,9 @@ func TestWilsonEdgeCases(t *testing.T) {
 		k, n             int
 		wantLo0, wantHi1 bool
 	}{
-		{0, 0, true, true},   // empty sample: total ignorance [0,1]
-		{0, 1, true, false},  // k=0: lower bound pinned at 0
-		{1, 1, false, true},  // k=n: upper bound pinned at 1
+		{0, 0, true, true},  // empty sample: total ignorance [0,1]
+		{0, 1, true, false}, // k=0: lower bound pinned at 0
+		{1, 1, false, true}, // k=n: upper bound pinned at 1
 		{0, 5000, true, false},
 		{5000, 5000, false, true},
 	} {

@@ -1,0 +1,330 @@
+package gates
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// reachable computes node site's fan-out cone by brute force: for each node,
+// walk its fan-in transitively and check whether site appears. Quadratic and
+// independent of the CSR/BFS code under test.
+func reachable(c *Circuit, site int) map[int32]bool {
+	cone := map[int32]bool{int32(site): true}
+	for i := 0; i < c.NumNodes(); i++ {
+		c.fanIn(i, func(in int32) {
+			if cone[in] {
+				cone[int32(i)] = true
+			}
+		})
+	}
+	return cone
+}
+
+// TestFanoutConeMatchesReachability: for random circuits and every node, the
+// run-encoded cone contains exactly the transitively reachable nodes, in
+// ascending (topological) order, and its output list is exactly the output
+// positions driven by cone nodes.
+func TestFanoutConeMatchesReachability(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		c := randomCircuit(rng, 5, 80)
+		for site := 0; site < c.NumNodes(); site++ {
+			want := reachable(c, site)
+			k := c.FanoutCone(site)
+			nodes := k.Nodes()
+			if len(nodes) != k.Size() || len(nodes) != len(want) {
+				t.Fatalf("trial %d site %d: cone size %d/%d, want %d", trial, site, len(nodes), k.Size(), len(want))
+			}
+			prev := int32(-1)
+			for _, n := range nodes {
+				if n <= prev {
+					t.Fatalf("trial %d site %d: cone nodes not ascending at %d", trial, site, n)
+				}
+				prev = n
+				if !want[n] {
+					t.Fatalf("trial %d site %d: node %d in cone but not reachable", trial, site, n)
+				}
+			}
+			wantOuts := map[int32]bool{}
+			for j, o := range c.outputs {
+				if want[int32(o)] {
+					wantOuts[int32(j)] = true
+				}
+			}
+			if len(k.Outputs()) != len(wantOuts) {
+				t.Fatalf("trial %d site %d: %d cone outputs, want %d", trial, site, len(k.Outputs()), len(wantOuts))
+			}
+			for _, oj := range k.Outputs() {
+				if !wantOuts[oj] {
+					t.Fatalf("trial %d site %d: output %d not driven by cone", trial, site, oj)
+				}
+			}
+		}
+	}
+}
+
+// TestConeEvaluatorMatchesEval is the tentpole equivalence property on
+// random circuits: for every node of the circuit, EvalSite against one
+// Baseline snapshot is bit-identical to a full faulted Eval — and because
+// sites run back-to-back against the same snapshot, the pass also proves
+// EvalSite restores the snapshot exactly.
+func TestConeEvaluatorMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 10; trial++ {
+		c := randomCircuit(rng, 5, 80)
+		full := NewEvaluator(c)
+		inc := NewConeEvaluator(c)
+		words := make([]uint64, c.NumInputs())
+		for i := range words {
+			words[i] = rng.Uint64()
+		}
+		base := inc.Baseline(words)
+		clean := full.Eval(words, NoFault)
+		for o := range clean {
+			if base[o] != clean[o] {
+				t.Fatalf("trial %d: baseline output %d mismatch", trial, o)
+			}
+		}
+		for site := 0; site < c.NumNodes(); site++ {
+			got := inc.EvalSite(site)
+			want := full.Eval(words, site)
+			for o := range want {
+				if got[o] != want[o] {
+					t.Fatalf("trial %d site %d (%v) output %d: cone %x, full %x",
+						trial, site, c.Kind(site), o, got[o], want[o])
+				}
+			}
+		}
+	}
+}
+
+// TestConeEvaluatorRebaseline: a second Baseline with different inputs fully
+// replaces the snapshot — no stale values from the previous batch or from
+// intervening EvalSite calls survive.
+func TestConeEvaluatorRebaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	c := randomCircuit(rng, 5, 80)
+	full := NewEvaluator(c)
+	inc := NewConeEvaluator(c)
+	sites := c.FaultSites()
+	for batch := 0; batch < 5; batch++ {
+		words := make([]uint64, c.NumInputs())
+		for i := range words {
+			words[i] = rng.Uint64()
+		}
+		inc.Baseline(words)
+		for i := 0; i < 10; i++ {
+			site := sites[rng.Intn(len(sites))]
+			got := inc.EvalSite(site)
+			want := full.Eval(words, site)
+			for o := range want {
+				if got[o] != want[o] {
+					t.Fatalf("batch %d site %d output %d mismatch", batch, site, o)
+				}
+			}
+		}
+	}
+}
+
+// Degenerate circuits: the cone machinery must not assume the presence of
+// gates, inputs, or fault sites.
+
+func TestConeDegenerateConstantOnly(t *testing.T) {
+	b := NewBuilder("consts")
+	b.Output(b.Zero(), b.One())
+	c := b.Build()
+	if sites := c.FaultSites(); len(sites) != 0 {
+		t.Fatalf("constant-only circuit has %d fault sites", len(sites))
+	}
+	st := c.ConeStats()
+	if st.Sites != 0 || st.MeanCone != 0 || st.MaxCone != 0 {
+		t.Fatalf("constant-only stats: %+v", st)
+	}
+	// Cones of the constants themselves are well-defined: just the node.
+	for site := 0; site < c.NumNodes(); site++ {
+		k := c.FanoutCone(site)
+		if k.Size() != 1 || len(k.Outputs()) != 1 {
+			t.Fatalf("const node %d cone: size %d outputs %d", site, k.Size(), len(k.Outputs()))
+		}
+	}
+	inc := NewConeEvaluator(c)
+	out := inc.Baseline(nil)
+	if out[0] != 0 || out[1] != ^uint64(0) {
+		t.Fatalf("constant outputs %x %x", out[0], out[1])
+	}
+	if f := inc.EvalSite(0); f[0] != ^uint64(0) || f[1] != ^uint64(0) {
+		t.Fatalf("faulted const0: %x %x", f[0], f[1])
+	}
+}
+
+func TestConeDegenerateSingleGate(t *testing.T) {
+	b := NewBuilder("onegate")
+	in := b.Input()
+	b.Output(b.Not(in))
+	c := b.Build()
+	sites := c.FaultSites()
+	if len(sites) != 1 {
+		t.Fatalf("fault sites: %v", sites)
+	}
+	k := c.FanoutCone(sites[0])
+	if k.Size() != 1 || k.NumRuns() != 1 {
+		t.Fatalf("single-gate cone: size %d runs %d", k.Size(), k.NumRuns())
+	}
+	// The input's cone covers the gate too.
+	if ik := c.FanoutCone(in); ik.Size() != 2 {
+		t.Fatalf("input cone size %d", ik.Size())
+	}
+	inc := NewConeEvaluator(c)
+	word := uint64(0x0f0f0f0f0f0f0f0f)
+	if out := inc.Baseline([]uint64{word}); out[0] != ^word {
+		t.Fatalf("baseline %x", out[0])
+	}
+	if f := inc.EvalSite(sites[0]); f[0] != word {
+		t.Fatalf("faulted NOT gives %x", f[0])
+	}
+	st := c.ConeStats()
+	if st.Sites != 1 || st.MeanCone != 1 || st.MaxCone != 1 {
+		t.Fatalf("single-gate stats: %+v", st)
+	}
+}
+
+func TestConeDegenerateFFChain(t *testing.T) {
+	b := NewBuilder("ffchain")
+	n := b.Input()
+	ffs := make([]int, 0, 4)
+	for i := 0; i < 4; i++ {
+		n = b.FF(n)
+		ffs = append(ffs, n)
+	}
+	b.Output(n)
+	c := b.Build()
+	if got := len(c.FaultSites()); got != 4 {
+		t.Fatalf("FF-only circuit has %d sites, want 4", got)
+	}
+	// FF i's cone is the chain suffix, one run.
+	for i, ff := range ffs {
+		k := c.FanoutCone(ff)
+		if k.Size() != 4-i || k.NumRuns() != 1 {
+			t.Fatalf("FF %d cone: size %d runs %d", i, k.Size(), k.NumRuns())
+		}
+	}
+	inc := NewConeEvaluator(c)
+	word := uint64(0x123456789abcdef0)
+	if out := inc.Baseline([]uint64{word}); out[0] != word {
+		t.Fatalf("chain baseline %x", out[0])
+	}
+	for _, ff := range ffs {
+		if f := inc.EvalSite(ff); f[0] != ^word {
+			t.Fatalf("FF fault gives %x", f[0])
+		}
+	}
+}
+
+// TestConeStatsMatchesCones cross-checks the streaming ConeStats sweep
+// against per-site FanoutCone sizes.
+func TestConeStatsMatchesCones(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	c := randomCircuit(rng, 5, 60)
+	st := c.ConeStats()
+	sites := c.FaultSites()
+	if st.Sites != len(sites) || st.NetNodes != c.NumNodes() {
+		t.Fatalf("stats header: %+v", st)
+	}
+	var total, maxC int
+	for _, s := range sites {
+		n := c.FanoutCone(s).Size()
+		total += n
+		if n > maxC {
+			maxC = n
+		}
+	}
+	if st.MaxCone != maxC {
+		t.Errorf("MaxCone %d, want %d", st.MaxCone, maxC)
+	}
+	if want := float64(total) / float64(len(sites)); st.MeanCone != want {
+		t.Errorf("MeanCone %v, want %v", st.MeanCone, want)
+	}
+	if want := st.MeanCone / float64(c.NumNodes()); st.MeanFrac != want {
+		t.Errorf("MeanFrac %v, want %v", st.MeanFrac, want)
+	}
+}
+
+// TestEvalZeroAlloc pins the allocation-free contract of the hot evaluation
+// paths: Evaluator.Eval (which used to allocate its output slice per call)
+// and ConeEvaluator.Baseline/EvalSite with warm cone caches.
+func TestEvalZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := randomCircuit(rng, 5, 80)
+	full := NewEvaluator(c)
+	inc := NewConeEvaluator(c)
+	words := make([]uint64, c.NumInputs())
+	for i := range words {
+		words[i] = rng.Uint64()
+	}
+	sites := c.FaultSites()
+	for _, s := range sites {
+		c.FanoutCone(s) // warm the cone cache
+	}
+	inc.Baseline(words)
+	i := 0
+	if n := testing.AllocsPerRun(100, func() {
+		full.Eval(words, sites[i%len(sites)])
+		i++
+	}); n != 0 {
+		t.Errorf("Evaluator.Eval allocates %.1f/op", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		inc.EvalSite(sites[i%len(sites)])
+		i++
+	}); n != 0 {
+		t.Errorf("ConeEvaluator.EvalSite allocates %.1f/op", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		inc.Baseline(words)
+	}); n != 0 {
+		t.Errorf("ConeEvaluator.Baseline allocates %.1f/op", n)
+	}
+}
+
+// FuzzConeEquivalence fuzzes the incremental/full equivalence: the fuzzer
+// picks the circuit shape, the input lanes, and the fault site; the property
+// is EvalSite == Eval == the boolean reference interpreter on every lane.
+func FuzzConeEquivalence(f *testing.F) {
+	f.Add(int64(1), uint64(0xdeadbeef), 0)
+	f.Add(int64(42), uint64(0), 5)
+	f.Add(int64(7), ^uint64(0), 100)
+	f.Fuzz(func(t *testing.T, seed int64, w uint64, sitePick int) {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCircuit(rng, 4, 40)
+		words := make([]uint64, c.NumInputs())
+		for i := range words {
+			words[i] = rng.Uint64() ^ w
+		}
+		if sitePick < 0 {
+			sitePick = -sitePick
+		}
+		site := sitePick % c.NumNodes()
+		full := NewEvaluator(c)
+		inc := NewConeEvaluator(c)
+		inc.Baseline(words)
+		got := inc.EvalSite(site)
+		want := full.Eval(words, site)
+		for o := range want {
+			if got[o] != want[o] {
+				t.Fatalf("site %d output %d: cone %x, full %x", site, o, got[o], want[o])
+			}
+		}
+		// Anchor to the independent interpreter on one lane.
+		lane := int(w % 64)
+		inputs := make([]bool, c.NumInputs())
+		for i := range inputs {
+			inputs[i] = words[i]&(1<<uint(lane)) != 0
+		}
+		ref := refEval(c, inputs, site)
+		for o := range ref {
+			if gotBit := got[o]&(1<<uint(lane)) != 0; gotBit != ref[o] {
+				t.Fatalf("site %d lane %d output %d: cone %v, reference %v", site, lane, o, gotBit, ref[o])
+			}
+		}
+	})
+}

@@ -12,7 +12,10 @@
 // combinational-logic upsets, as in the paper's gate-level campaigns.
 package gates
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Kind enumerates gate types.
 type Kind uint8
@@ -55,6 +58,16 @@ type Circuit struct {
 	inputs  []int
 	outputs []int
 	stages  int
+
+	// Lazily built incremental-evaluation structure (cone.go), cached on
+	// the circuit so concurrent evaluators share one copy.
+	fanOnce  sync.Once
+	fanHead  []int32   // CSR fan-out adjacency: edges of node i are
+	fanEdge  []int32   // fanEdge[fanHead[i]:fanHead[i+1]]
+	outIdx   [][]int32 // node -> primary-output positions it drives
+	coneMu   sync.RWMutex
+	cones    []*Cone   // per-site fan-out cones, built on first use
+	conePool sync.Pool // *coneScratch reused across cone builds
 }
 
 // Name returns the unit's name.
@@ -108,11 +121,16 @@ func (c *Circuit) Kind(i int) Kind { return c.kinds[i] }
 type Evaluator struct {
 	c   *Circuit
 	val []uint64
+	out []uint64
 }
 
 // NewEvaluator returns an evaluator for c.
 func NewEvaluator(c *Circuit) *Evaluator {
-	return &Evaluator{c: c, val: make([]uint64, len(c.kinds))}
+	return &Evaluator{
+		c:   c,
+		val: make([]uint64, len(c.kinds)),
+		out: make([]uint64, len(c.outputs)),
+	}
 }
 
 // NoFault disables fault forcing for an Eval call.
@@ -165,11 +183,10 @@ func (e *Evaluator) Eval(inputs []uint64, faultNode int) []uint64 {
 		}
 		val[i] = v
 	}
-	out := make([]uint64, len(c.outputs))
 	for i, o := range c.outputs {
-		out[i] = val[o]
+		e.out[i] = val[o]
 	}
-	return out
+	return e.out
 }
 
 // EvalScalar evaluates a single input vector given as bools, returning the

@@ -28,6 +28,10 @@ func CollectOperands(limit int) (*trace.OperandTrace, error) {
 type UnitInjection struct {
 	Unit       *arith.Unit
 	Injections []faultsim.Injection
+	// Evals pools the evaluator work counters of the unit's shards: how
+	// many nodes the incremental cone evaluator re-evaluated versus what a
+	// naive whole-netlist evaluation would have cost.
+	Evals faultsim.EvalStats
 }
 
 // SeverityFrac returns the fraction (and Wilson 95% CI) of unmasked errors
@@ -55,6 +59,22 @@ func (u *UnitInjection) SDCRisk(code ecc.Code) (frac, lo, hi float64) {
 type InjectionResult struct {
 	Units  []*UnitInjection
 	Tuples int
+	// CampaignSeconds is the wall time of the sharded injection phase
+	// (excluding operand tracing), the denominator of TuplesPerSec.
+	CampaignSeconds float64
+}
+
+// TuplesPerSec is the campaign throughput: operand tuples injected across
+// all units per second of injection wall time (0 if not measured).
+func (r *InjectionResult) TuplesPerSec() float64 {
+	if r.CampaignSeconds <= 0 {
+		return 0
+	}
+	var tuples int64
+	for _, u := range r.Units {
+		tuples += u.Evals.Tuples
+	}
+	return float64(tuples) / r.CampaignSeconds
 }
 
 // RunInjection traces operands, then injects `tuples` unmasked single-event
@@ -119,6 +139,36 @@ func (r *InjectionResult) RenderFig11() string {
 	}
 	b.WriteString("\n")
 	return b.String()
+}
+
+// RenderConeStats prints the incremental-evaluator accounting: the
+// structural cone statistics of each unit and the re-evaluation fraction
+// the campaign's site draws actually paid. Everything here is a
+// deterministic function of (tuples, seed) — wall-clock throughput is
+// deliberately excluded so figure output stays byte-identical across
+// worker counts (see RenderThroughput for the timing line).
+func (r *InjectionResult) RenderConeStats() string {
+	var b strings.Builder
+	b.WriteString("Incremental fault evaluation: fan-out cone statistics and measured re-eval cost\n")
+	fmt.Fprintf(&b, "%-10s %8s %8s %10s %9s %10s %11s\n",
+		"unit", "nodes", "sites", "mean cone", "max cone", "cone frac", "reeval frac")
+	for _, u := range r.Units {
+		st := u.Unit.ConeStats()
+		fmt.Fprintf(&b, "%-10s %8d %8d %10.1f %9d %9.1f%% %10.1f%%\n",
+			u.Unit.Name, st.NetNodes, st.Sites, st.MeanCone, st.MaxCone,
+			100*st.MeanFrac, 100*u.Evals.ReEvalFrac())
+	}
+	return b.String()
+}
+
+// RenderThroughput is the campaign's wall-clock summary — timing, so it
+// belongs on stderr with the experiment timers, never in figure output.
+func (r *InjectionResult) RenderThroughput() string {
+	if tps := r.TuplesPerSec(); tps > 0 {
+		return fmt.Sprintf("campaign throughput: %.0f tuples/s over %.2fs of injection",
+			tps, r.CampaignSeconds)
+	}
+	return ""
 }
 
 // PooledSDC aggregates SDC risk across all units (equal weight per

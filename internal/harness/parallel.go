@@ -2,6 +2,7 @@ package harness
 
 import (
 	"context"
+	"time"
 
 	"swapcodes/internal/arith"
 	"swapcodes/internal/compiler"
@@ -63,20 +64,30 @@ func CollectOperandsCtx(ctx context.Context, pool *engine.Pool, limit int) (*tra
 // six units execute as one flat job list on the pool. For a given master
 // seed the result is bit-identical at any worker count. On cancellation it
 // returns the partial result (whole shards only, concatenated in order)
-// with the error.
+// with the error — always a valid, non-nil InjectionResult whose counts
+// remain usable as Wilson-interval inputs, even when no shard completed.
 func RunInjectionCtx(ctx context.Context, pool *engine.Pool, tuples int, seed int64) (*InjectionResult, error) {
-	tr, err := CollectOperandsCtx(ctx, pool, tuples)
-	if err != nil {
-		return nil, err
-	}
 	units := arith.Units()
 	res := &InjectionResult{Tuples: tuples}
+	for _, u := range units {
+		res.Units = append(res.Units, &UnitInjection{Unit: u})
+	}
+	tr, err := CollectOperandsCtx(ctx, pool, tuples)
+	if err != nil {
+		// Partial-result contract: a cancelled trace yields an empty but
+		// valid campaign result (zero injections per unit), not nil.
+		return res, err
+	}
 
 	// Flatten (unit, shard) pairs into one job list rather than nesting
 	// Map calls per unit, so a six-unit campaign saturates the pool even
 	// when single units have few shards.
 	type shardJob struct {
 		unit, shard int
+	}
+	type shardOut struct {
+		inj   []faultsim.Injection
+		stats faultsim.EvalStats
 	}
 	campaigns := make([]*faultsim.ShardedCampaign, len(units))
 	samples := make([][][]uint64, len(units))
@@ -88,25 +99,24 @@ func RunInjectionCtx(ctx context.Context, pool *engine.Pool, tuples int, seed in
 			jobs = append(jobs, shardJob{unit: i, shard: s})
 		}
 	}
-	shards, err := engine.Map(ctx, pool, len(jobs), func(ctx context.Context, j int) ([]faultsim.Injection, error) {
+	campaignStart := time.Now()
+	shards, err := engine.Map(ctx, pool, len(jobs), func(ctx context.Context, j int) (shardOut, error) {
 		u, sh := jobs[j].unit, jobs[j].shard
 		start := pool.Recorder().Now()
-		inj, serr := campaigns[u].RunShard(ctx, sh, samples[u])
+		inj, st, serr := campaigns[u].RunShard(ctx, sh, samples[u])
 		if serr == nil {
 			pool.Tracker().AddItems(int64(len(inj)))
 			lo := sh * faultsim.DefaultShardSize
 			n := min(lo+faultsim.DefaultShardSize, len(samples[u])) - lo
-			faultsim.RecordShard(pool.Recorder(), units[u].Name, sh, start, n, inj)
+			faultsim.RecordShard(pool.Recorder(), units[u].Name, sh, start, n, inj, st)
 		}
-		return inj, serr
+		return shardOut{inj: inj, stats: st}, serr
 	})
-	perUnit := make([][]faultsim.Injection, len(units))
-	for j, inj := range shards {
+	res.CampaignSeconds = time.Since(campaignStart).Seconds()
+	for j, out := range shards {
 		u := jobs[j].unit
-		perUnit[u] = append(perUnit[u], inj...) // jobs are in (unit, shard) order
-	}
-	for i, u := range units {
-		res.Units = append(res.Units, &UnitInjection{Unit: u, Injections: perUnit[i]})
+		res.Units[u].Injections = append(res.Units[u].Injections, out.inj...) // jobs are in (unit, shard) order
+		res.Units[u].Evals = res.Units[u].Evals.Merge(out.stats)
 	}
 	return res, err
 }

@@ -9,6 +9,7 @@
 package power
 
 import (
+	"math"
 	"sort"
 
 	"swapcodes/internal/isa"
@@ -85,15 +86,25 @@ func (m *Model) SampleWindows(st *sm.Stats, activeFrac float64, windows int) []f
 	return out
 }
 
-// Percentile returns the p-th percentile (0..100) of the samples — the
-// paper's active-power estimator uses p=90.
+// Percentile returns the p-th percentile (0..100) of the samples under the
+// nearest-rank convention — the smallest sample s such that at least p% of
+// the samples are <= s. The paper's active-power estimator uses p=90.
+// Nearest-rank (ceiling) rather than floor truncation: a floored index
+// under-reads small sample sets (with n=10, p=90 must select the 9th-ranked
+// sample, not the 8th) and makes p=100 miss the maximum.
 func Percentile(samples []float64, p float64) float64 {
 	if len(samples) == 0 {
 		return 0
 	}
 	s := append([]float64(nil), samples...)
 	sort.Float64s(s)
-	idx := int(p / 100 * float64(len(s)-1))
+	idx := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
 	return s[idx]
 }
 

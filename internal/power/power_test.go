@@ -94,6 +94,41 @@ func TestPercentileEdges(t *testing.T) {
 	}
 }
 
+// TestPercentileNearestRank pins the nearest-rank (ceiling) convention: the
+// result is the smallest sample with at least p% of samples <= it. The old
+// floor-truncated index under-read small sample sets — with n=4, p=90 it
+// returned the 3rd-ranked sample instead of the maximum.
+func TestPercentileNearestRank(t *testing.T) {
+	cases := []struct {
+		n    int
+		p    float64
+		rank int // expected 1-based rank
+	}{
+		{4, 90, 4},   // ceil(3.6) = 4; floor convention wrongly gave rank 3
+		{3, 75, 3},   // ceil(2.25) = 3; floor gave rank 2
+		{10, 90, 9},  // ceil(9.0) = 9
+		{10, 85, 9},  // ceil(8.5) = 9; floor gave rank 8
+		{10, 91, 10}, // ceil(9.1) = 10
+		{5, 0, 1},    // p=0 clamps to the minimum
+		{5, 100, 5},  // p=100 is exactly the maximum
+		{1, 0, 1},
+		{1, 50, 1},
+		{1, 100, 1},
+		{2, 50, 1}, // ceil(1.0) = 1: exactly half the samples <= minimum
+		{2, 51, 2},
+	}
+	for _, c := range cases {
+		// Samples 1..n shuffled; rank r has value r.
+		s := make([]float64, c.n)
+		for i := range s {
+			s[i] = float64((i*7)%c.n + 1)
+		}
+		if got := Percentile(s, c.p); got != float64(c.rank) {
+			t.Errorf("Percentile(n=%d, p=%v) = %v, want rank %d", c.n, c.p, got, c.rank)
+		}
+	}
+}
+
 func TestEveryClassHasEnergy(t *testing.T) {
 	m := DefaultModel()
 	for cl := isa.ClassFxP; cl <= isa.ClassSpecial; cl++ {

@@ -83,6 +83,49 @@ func TestGuardNegAndFullyPredicatedOff(t *testing.T) {
 	}
 }
 
+// TestSetpPredicateLatencyTracksPipe: a SETP's destination predicate becomes
+// readable after the *producing pipe's* latency. FSETP runs on the FP32 pipe,
+// so deepening that pipe must delay a guard that waits on its predicate —
+// and must leave ISETP consumers untouched. (Regression: the scoreboard used
+// to stamp every SETP predicate with the integer-pipe latency, which hid
+// FP32 depth because DefaultConfig has LatFxP == LatFP32.)
+func TestSetpPredicateLatencyTracksPipe(t *testing.T) {
+	build := func(fp bool) *isa.Kernel {
+		a := compiler.NewAsm("setplat")
+		const rTid, rX, rY, rV = isa.Reg(0), isa.Reg(1), isa.Reg(2), isa.Reg(3)
+		a.S2R(rTid, isa.SRTid)
+		a.MovF(rX, 1)
+		a.MovF(rY, 2)
+		a.MovI(rV, 7)
+		if fp {
+			a.FSetp(isa.CmpLT, 0, rX, rY)
+		} else {
+			a.ISetp(isa.CmpLT, 0, rX, rY)
+		}
+		a.Stg(rTid, 0, rV)
+		a.Guard(0, false) // issue stalls until p0 is ready
+		a.Exit()
+		return a.MustBuild(1, 32, 0)
+	}
+	cycles := func(k *isa.Kernel, cfg Config) int64 {
+		g := NewGPU(cfg, 64)
+		st, err := g.Launch(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Cycles
+	}
+	deep := DefaultConfig()
+	deep.LatFP32 = 30 // separate the pipes: by default LatFP32 == LatFxP
+	extra := deep.LatFP32 - DefaultConfig().LatFP32
+	if d := cycles(build(true), deep) - cycles(build(true), DefaultConfig()); d != extra {
+		t.Errorf("FSETP-guarded issue shifted %d cycles under a %d-cycle-deeper FP32 pipe, want %d", d, extra, extra)
+	}
+	if d := cycles(build(false), deep) - cycles(build(false), DefaultConfig()); d != 0 {
+		t.Errorf("ISETP-guarded issue shifted %d cycles when only the FP32 pipe deepened", d)
+	}
+}
+
 // TestPredicateMergeUnderDivergence: a SETP executed by a subset of lanes
 // must not clobber the predicate bits of inactive lanes.
 func TestPredicateMergeUnderDivergence(t *testing.T) {

@@ -22,14 +22,14 @@ type warpState struct {
 	gid        int   // global warp id (unique across the launch)
 	startCycle int64 // cycle the warp became resident
 	sched      int
-	stack     []simtEntry
-	regs      []uint32 // reg*32 + lane
-	preds     [8]uint32
-	regReady  []int64
-	predReady [8]int64
-	rf        *core.RegFile
-	atBarrier bool
-	done      bool
+	stack      []simtEntry
+	regs       []uint32 // reg*32 + lane
+	preds      [8]uint32
+	regReady   []int64
+	predReady  [8]int64
+	rf         *core.RegFile
+	atBarrier  bool
+	done       bool
 }
 
 func (w *warpState) top() *simtEntry { return &w.stack[len(w.stack)-1] }
@@ -399,7 +399,10 @@ func (m *machine) issue(w *warpState) error {
 		}
 	}
 	if (in.Op == isa.ISETP || in.Op == isa.FSETP) && in.DstPred >= 0 && in.DstPred < isa.PT {
-		w.predReady[in.DstPred] = m.cycle + m.cfg.latency(isa.ClassFxP)
+		// The predicate lands with the producing pipe's latency: FSETP is a
+		// ClassFP32 op, so its comparison takes the FP32 pipe's depth, not
+		// the integer pipe's.
+		w.predReady[in.DstPred] = m.cycle + m.cfg.latency(cl)
 	}
 	return nil
 }
