@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: swapcodes
+cpu: some CPU
+BenchmarkEngineScaling/workers=1-8         	       2	 503123456 ns/op	  12345 tuples/s
+BenchmarkEngineScaling/workers=8-8         	      10	 103123456 ns/op	  98765 tuples/s
+BenchmarkSMCPIStack-8                      	     100	  11003022 ns/op	  123456 B/op	      42 allocs/op	   88031 cycles
+PASS
+ok  	swapcodes	3.210s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	benches, err := ParseBenchOutput(sampleOutput, ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(benches))
+	}
+	b := benches[0]
+	if b.Name != "BenchmarkEngineScaling/workers=1" {
+		t.Errorf("name = %q (GOMAXPROCS suffix must be trimmed)", b.Name)
+	}
+	if b.Iterations != 2 || b.NsPerOp != 503123456 {
+		t.Errorf("iters/ns = %d/%g", b.Iterations, b.NsPerOp)
+	}
+	if b.Metrics["tuples/s"] != 12345 {
+		t.Errorf("custom metric lost: %v", b.Metrics)
+	}
+	c := benches[2]
+	if c.BytesPerOp != 123456 || c.AllocsOp != 42 || c.Metrics["cycles"] != 88031 {
+		t.Errorf("alloc/custom fields wrong: %+v", c)
+	}
+}
+
+func bench(name string, ns float64) Bench { return Bench{Name: name, Pkg: ".", NsPerOp: ns} }
+
+func record(label string, bs ...Bench) *File {
+	return &File{SchemaVersion: SchemaVersion, Label: label, Benchmarks: bs}
+}
+
+func TestCompareRegressions(t *testing.T) {
+	prev := record("PR3", bench("A", 100), bench("B", 200), bench("Gone", 10))
+	cur := record("PR4", bench("A", 110), bench("B", 260), bench("New", 5))
+	report, regressions := Compare(prev, cur, 15)
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1 (only B is over 15%%)\n%s", regressions, report)
+	}
+	for _, want := range []string{"REGRESSED", "new", "gone", "+10.0%", "+30.0%"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	// At a looser threshold B passes too.
+	if _, n := Compare(prev, cur, 50); n != 0 {
+		t.Errorf("regressions at 50%% threshold = %d, want 0", n)
+	}
+}
+
+func TestRecordRoundTripAndLatestPrior(t *testing.T) {
+	dir := t.TempDir()
+	for _, r := range []*File{
+		record("PR2", bench("A", 100)),
+		record("PR10", bench("A", 90)),
+		record("PR4", bench("A", 95)),
+	} {
+		if err := writeFile(filepath.Join(dir, "BENCH_"+r.Label+".json"), r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur := filepath.Join(dir, "BENCH_PR11.json")
+	if err := writeFile(cur, record("PR11", bench("A", 91))); err != nil {
+		t.Fatal(err)
+	}
+	prev, err := latestPrior(dir, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Numeric label order: PR10 beats PR4 and PR2 (lexical order would pick
+	// PR4); the record being compared is itself excluded.
+	if prev == nil || prev.Label != "PR10" {
+		t.Fatalf("latest prior = %+v, want PR10", prev)
+	}
+}
+
+func TestReadFileRejectsWrongSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_X.json")
+	if err := os.WriteFile(path, []byte(`{"schema_version": 99, "label": "X"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readFile(path); err == nil || !strings.Contains(err.Error(), "schema version") {
+		t.Errorf("wrong-schema read err = %v, want schema version error", err)
+	}
+}
+
+func TestLatestPriorEmpty(t *testing.T) {
+	prev, err := latestPrior(t.TempDir(), "BENCH_PR4.json")
+	if err != nil || prev != nil {
+		t.Errorf("empty dir: prev=%v err=%v, want nil/nil", prev, err)
+	}
+}

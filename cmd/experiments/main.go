@@ -7,8 +7,10 @@
 //	experiments -exp fig10,fig11 -tuples 10000 -seed 1
 //
 // Experiments: headline table1 table2 table3 table4 fig10 fig11 fig12
-// fig13 fig14 fig15 fig16 all. ("all" covers the tables and figures;
-// "headline" recomputes the paper-vs-measured claim summary.)
+// fig13 cpistack fig14 fig15 fig16 all. ("all" covers the tables and
+// figures; "headline" recomputes the paper-vs-measured claim summary;
+// "cpistack" decomposes each scheme's Figure 12 slowdown into per-kernel
+// cycle stacks and a baseline-diff attribution table.)
 //
 // Experiments run concurrently as jobs on one engine pool (-workers, default
 // all cores); simulation and injection results are bit-identical at any
@@ -35,7 +37,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments to run (headline, table1..table4, fig10..fig16, all)")
+	exp := flag.String("exp", "all", "comma-separated experiments to run (headline, table1..table4, fig10..fig16, cpistack, all)")
 	tuples := flag.Int("tuples", 10000, "input tuples per unit for the fig10/fig11 injection campaign")
 	seed := flag.Int64("seed", 1, "campaign master seed (results are bit-identical for a given seed at any -workers)")
 	workers := flag.Int("workers", 0, "engine worker count (0 = all cores)")
@@ -46,50 +48,99 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write run metrics to this file (.json, .csv, anything else: aligned table)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file, loadable in Perfetto / chrome://tracing")
 	metricsInterval := flag.Duration("metrics-interval", 0, "print a progress line to stderr at this interval (e.g. 5s)")
+	serve := flag.String("serve", "", "serve live observability on this address (GET /metrics Prometheus text, /runs JSON, /debug/pprof)")
 	flag.Parse()
 
-	pool := engine.New(*workers)
 	var rec *obs.Recorder
-	if *metricsOut != "" || *traceOut != "" || *metricsInterval > 0 {
+	if *metricsOut != "" || *traceOut != "" || *metricsInterval > 0 || *serve != "" {
 		rec = obs.NewRecorder()
 	}
+	fail(run(rec, *exp, *tuples, *seed, *workers, *timeout, *serve, *csvDir,
+		*chart, *verilogDir, *metricsOut, *traceOut, *metricsInterval))
+}
+
+// run owns the experiment lifecycle so its defers fire on every exit path:
+// the metrics/trace flush and the -serve shutdown happen on success, on
+// cancellation (Ctrl-C, -timeout), on experiment failure, and during a
+// panic unwind — a crashed run still leaves its partial observations.
+func run(rec *obs.Recorder, exp string, tuples int, seed int64, workers int,
+	timeout time.Duration, serve, csvDir string, chart bool, verilogDir,
+	metricsOut, traceOut string, metricsInterval time.Duration) (err error) {
+	pool := engine.New(workers)
 	pool.SetObs(rec)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if *timeout > 0 {
+	if timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
+	defer func() {
+		if ferr := flushObs(rec, metricsOut, traceOut); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
+	if serve != "" {
+		srv, serr := obs.StartServer(serve, rec.Registry(), func() any {
+			return pool.Tracker().Snapshot()
+		})
+		if serr != nil {
+			return serr
+		}
+		fmt.Fprintf(os.Stderr, "experiments: serving observability on %s\n", srv.URL())
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if serr := srv.Shutdown(sctx); serr != nil && err == nil {
+				err = serr
+			}
+		}()
+	}
 	fmt.Fprintf(os.Stderr, "experiments: workers=%d seed=%d tuples=%d\n",
-		pool.Workers(), *seed, *tuples)
-	stopProgress := obs.StartProgress(os.Stderr, *metricsInterval, func() string {
+		pool.Workers(), seed, tuples)
+	stopProgress := obs.StartProgress(os.Stderr, metricsInterval, func() string {
 		snap := pool.Tracker().Snapshot()
 		return fmt.Sprintf("experiments: %s; tuples=%d",
-			snap.String(), rec.Registry().Counter("faultsim.tuples").Value())
+			snap.String(), rec.Registry().SumCounters("faultsim.tuples"))
 	})
+	defer stopProgress()
 
-	if *verilogDir != "" {
-		fail(os.MkdirAll(*verilogDir, 0o755))
+	if verilogDir != "" {
+		if err := os.MkdirAll(verilogDir, 0o755); err != nil {
+			return err
+		}
 		for _, u := range arith.Units() {
-			path := filepath.Join(*verilogDir, strings.ReplaceAll(u.Name, "-", "_")+".v")
-			fail(os.WriteFile(path, []byte(u.Circuit.Verilog()), 0o644))
+			path := filepath.Join(verilogDir, strings.ReplaceAll(u.Name, "-", "_")+".v")
+			if err := os.WriteFile(path, []byte(u.Circuit.Verilog()), 0o644); err != nil {
+				return err
+			}
 			fmt.Fprintln(os.Stderr, "wrote", path)
 		}
 	}
 
+	// CSV write failures must not os.Exit past the deferred flush; the first
+	// one is remembered and surfaces after the run.
 	var csvMu sync.Mutex
+	var csvErr error
 	writeCSV := func(name, content string) {
-		if *csvDir == "" {
+		if csvDir == "" {
 			return
 		}
 		csvMu.Lock()
 		defer csvMu.Unlock()
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fail(err)
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			if csvErr == nil {
+				csvErr = err
+			}
+			return
 		}
-		path := filepath.Join(*csvDir, name)
-		fail(os.WriteFile(path, []byte(content), 0o644))
+		path := filepath.Join(csvDir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			if csvErr == nil {
+				csvErr = err
+			}
+			return
+		}
 		fmt.Fprintln(os.Stderr, "wrote", path)
 	}
 
@@ -101,7 +152,7 @@ func main() {
 	var injErr error
 	getInj := func(ctx context.Context) (*harness.InjectionResult, error) {
 		injOnce.Do(func() {
-			injRes, injErr = harness.RunInjectionCtx(ctx, pool, *tuples, *seed)
+			injRes, injErr = harness.RunInjectionCtx(ctx, pool, tuples, seed)
 		})
 		return injRes, injErr
 	}
@@ -123,7 +174,7 @@ func main() {
 	}
 	experiments := []experiment{
 		{"headline", func(ctx context.Context) (string, error) {
-			rows, err := harness.HeadlineCtx(ctx, pool, *tuples, *seed)
+			rows, err := harness.HeadlineCtx(ctx, pool, tuples, seed)
 			if err != nil {
 				return "", err
 			}
@@ -165,7 +216,7 @@ func main() {
 				return "", err
 			}
 			out := perf.Render("Figure 12: slowdown over the un-duplicated program (Tesla P100-class SM model)")
-			if *chart {
+			if chart {
 				out += "\n" + perf.Chart("Figure 12 (chart)", 120)
 			}
 			writeCSV("fig12.csv", perf.CSV())
@@ -179,6 +230,20 @@ func main() {
 			mix := harness.RunCodeMix(perf)
 			writeCSV("fig13.csv", mix.CSV())
 			return mix.Render(), nil
+		}},
+		{"cpistack", func(ctx context.Context) (string, error) {
+			perf, err := getPerf12(ctx)
+			if err != nil {
+				return "", err
+			}
+			cs := harness.CPIStacks(perf)
+			out := cs.Render("CPI stacks: where each scheme's cycles go (headline sweep)")
+			out += "\n" + cs.RenderAttribution("Slowdown attribution vs unprotected baseline")
+			if chart {
+				out += "\n" + cs.Chart("CPI stacks (chart)")
+			}
+			writeCSV("cpistack.csv", cs.CSV())
+			return out, nil
 		}},
 		{"fig14", func(context.Context) (string, error) {
 			pr, err := harness.RunPower()
@@ -208,7 +273,7 @@ func main() {
 	}
 
 	want := map[string]bool{}
-	for _, e := range strings.Split(*exp, ",") {
+	for _, e := range strings.Split(exp, ",") {
 		want[strings.TrimSpace(e)] = true
 	}
 	all := want["all"]
@@ -222,7 +287,7 @@ func main() {
 	}
 	for name := range want {
 		if !known[name] {
-			fail(fmt.Errorf("unknown experiment %q", name))
+			return fmt.Errorf("unknown experiment %q", name)
 		}
 	}
 
@@ -261,31 +326,46 @@ func main() {
 	pr := pool.Tracker().Snapshot()
 	fmt.Fprintf(os.Stderr, "experiments: total %.2fs; engine: %s\n",
 		time.Since(start).Seconds(), pr.String())
-	// Metrics and trace flush before the exit on runErr so a cancelled run
-	// (Ctrl-C, -timeout) still leaves its partial observations on disk.
-	if rec != nil {
-		if runErr != nil {
-			fmt.Fprintln(os.Stderr, "experiments: cancelled; writing partial metrics")
-		}
-		writeFile := func(path string, emit func(f *os.File) error) {
-			if path == "" {
-				return
-			}
-			f, err := os.Create(path)
-			if err != nil {
-				fail(err)
-			}
-			if err := emit(f); err != nil {
-				f.Close()
-				fail(err)
-			}
-			fail(f.Close())
-			fmt.Fprintln(os.Stderr, "wrote", path)
-		}
-		writeFile(*metricsOut, func(f *os.File) error { return rec.Registry().WriteMetrics(f, *metricsOut) })
-		writeFile(*traceOut, func(f *os.File) error { return rec.WriteTrace(f) })
+	// The deferred flushObs writes metrics/trace after this return, so a
+	// cancelled run (Ctrl-C, -timeout) still leaves its partial observations
+	// on disk.
+	if runErr != nil && rec != nil {
+		fmt.Fprintln(os.Stderr, "experiments: cancelled; writing partial metrics")
 	}
-	fail(runErr)
+	if runErr == nil {
+		runErr = csvErr
+	}
+	return runErr
+}
+
+// flushObs writes the metrics and trace files; it runs deferred so partial
+// observations survive cancellation, failures, and panics.
+func flushObs(rec *obs.Recorder, metricsOut, traceOut string) error {
+	if rec == nil {
+		return nil
+	}
+	write := func(path string, emit func(f *os.File) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "wrote", path)
+		return nil
+	}
+	if err := write(metricsOut, func(f *os.File) error { return rec.Registry().WriteMetrics(f, metricsOut) }); err != nil {
+		return err
+	}
+	return write(traceOut, func(f *os.File) error { return rec.WriteTrace(f) })
 }
 
 func codeByName(name string) interface {

@@ -10,6 +10,7 @@
 //	swapsim -workload mm -scheme sw-dup -fault 120 -lane 3 -bit 9
 //	swapsim -workload mm -scheme sw-dup -fault 120 -lane -1 -bit -1 -seed 7
 //	swapsim -file kernel.sasm -scheme swap-ecc -mem 65536
+//	swapsim -workload mm -scheme sw-dup -serve :9090 -metrics run.json
 //	swapsim -list
 //
 // With a comma-separated -scheme list the runs execute in parallel on an
@@ -27,6 +28,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"swapcodes/internal/compiler"
 	"swapcodes/internal/engine"
@@ -75,6 +77,7 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write run metrics to this file (.json, .csv, anything else: aligned table)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file, loadable in Perfetto / chrome://tracing")
 	metricsInterval := flag.Duration("metrics-interval", 0, "print a progress line to stderr at this interval (e.g. 2s)")
+	serve := flag.String("serve", "", "serve live observability on this address (GET /metrics Prometheus text, /runs JSON, /debug/pprof)")
 	timeout := flag.Duration("timeout", 0, "cancel the run after this long (0 = no limit); partial results are reported")
 	flag.Parse()
 
@@ -107,30 +110,61 @@ func main() {
 		fmt.Fprintf(os.Stderr, "swapsim: seed=%d drew lane=%d bit=%d\n", *seed, opts.lane, opts.bit)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
-
 	// One recorder serves all schemes: each launch gets its own trace
 	// process (sm:<kernel>, sm:<kernel>#2, ...) and the registry aggregates
 	// across them.
-	if *metricsOut != "" || *traceOut != "" || *metricsInterval > 0 {
+	if *metricsOut != "" || *traceOut != "" || *metricsInterval > 0 || *serve != "" {
 		opts.rec = obs.NewRecorder()
 	}
-	pool := engine.New(*workers)
+	fail(run(schemes, opts, *workers, *seed, *timeout, *serve, *metricsInterval, *metricsOut, *traceOut))
+}
+
+// run owns the whole simulation lifecycle so its defers fire on every exit:
+// the metrics/trace flush and the -serve shutdown happen on success, on
+// cancellation (Ctrl-C, -timeout), on a failed scheme, and during a panic
+// unwind — a crashed run still leaves its partial observations on disk.
+func run(schemes []compiler.Scheme, opts runOpts, workers int, seed int64,
+	timeout time.Duration, serve string, metricsInterval time.Duration,
+	metricsOut, traceOut string) (err error) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	pool := engine.New(workers)
 	pool.SetObs(opts.rec)
+	defer func() {
+		if ferr := flushObs(opts.rec, metricsOut, traceOut); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
+	if serve != "" {
+		srv, serr := obs.StartServer(serve, opts.rec.Registry(), func() any {
+			return pool.Tracker().Snapshot()
+		})
+		if serr != nil {
+			return serr
+		}
+		fmt.Fprintf(os.Stderr, "swapsim: serving observability on %s\n", srv.URL())
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if serr := srv.Shutdown(sctx); serr != nil && err == nil {
+				err = serr
+			}
+		}()
+	}
 	if len(schemes) > 1 {
 		fmt.Fprintf(os.Stderr, "swapsim: workers=%d seed=%d schemes=%d\n",
-			pool.Workers(), *seed, len(schemes))
+			pool.Workers(), seed, len(schemes))
 	}
-	stopProgress := obs.StartProgress(os.Stderr, *metricsInterval, func() string {
+	stopProgress := obs.StartProgress(os.Stderr, metricsInterval, func() string {
 		snap := pool.Tracker().Snapshot()
 		return fmt.Sprintf("swapsim: %s; sm cycles=%d",
-			snap.String(), opts.rec.Registry().Counter("sm.cycles").Value())
+			snap.String(), opts.rec.Registry().SumCounters("sm.cycles"))
 	})
 	reports, err := engine.Map(ctx, pool, len(schemes),
 		func(ctx context.Context, i int) (string, error) {
@@ -142,39 +176,43 @@ func main() {
 			fmt.Print(r)
 		}
 	}
-	// Flush metrics and trace even after cancellation: a stopped run still
-	// leaves a coherent partial trace (finalize flushes the tail window and
-	// closes live warp spans) and partial counters.
+	// A stopped run still reports: the deferred flush leaves a coherent
+	// partial trace (finalize flushes the tail window and closes live warp
+	// spans) and partial counters.
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintln(os.Stderr, "swapsim: cancelled; reporting partial results")
 	}
-	flushObs(opts.rec, *metricsOut, *traceOut)
-	fail(err)
+	return err
 }
 
-// flushObs writes the metrics and trace files; on a cancelled run it is
-// still called so partial observations survive.
-func flushObs(rec *obs.Recorder, metricsOut, traceOut string) {
+// flushObs writes the metrics and trace files; it runs deferred so partial
+// observations survive cancellation, failures, and panics.
+func flushObs(rec *obs.Recorder, metricsOut, traceOut string) error {
 	if rec == nil {
-		return
+		return nil
 	}
-	write := func(path string, emit func(f *os.File) error) {
+	write := func(path string, emit func(f *os.File) error) error {
 		if path == "" {
-			return
+			return nil
 		}
 		f, err := os.Create(path)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		if err := emit(f); err != nil {
 			f.Close()
-			fail(err)
+			return err
 		}
-		fail(f.Close())
+		if err := f.Close(); err != nil {
+			return err
+		}
 		fmt.Fprintln(os.Stderr, "swapsim: wrote", path)
+		return nil
 	}
-	write(metricsOut, func(f *os.File) error { return rec.Registry().WriteMetrics(f, metricsOut) })
-	write(traceOut, func(f *os.File) error { return rec.WriteTrace(f) })
+	if err := write(metricsOut, func(f *os.File) error { return rec.Registry().WriteMetrics(f, metricsOut) }); err != nil {
+		return err
+	}
+	return write(traceOut, func(f *os.File) error { return rec.WriteTrace(f) })
 }
 
 // runScheme compiles, runs, and verifies one scheme, returning the full

@@ -158,6 +158,10 @@ func ApplyOpts(k *isa.Kernel, s Scheme, o Opts) (*isa.Kernel, error) {
 	if o.Schedule {
 		out = Schedule(out)
 	}
+	// Stamp the scheme so downstream layers (metric labels, CPI stacks) can
+	// attribute per kernel x scheme without threading the Scheme through
+	// every launch signature.
+	out.Scheme = s.String()
 	return out, nil
 }
 

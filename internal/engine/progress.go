@@ -87,11 +87,15 @@ func (t *Tracker) drop(n int64) {
 	}
 }
 
-// Progress is a point-in-time view of a tracker.
+// Progress is a point-in-time view of a tracker. The JSON form is the body
+// of the live server's GET /runs endpoint; Elapsed serializes as
+// nanoseconds (time.Duration's native unit).
 type Progress struct {
-	Queued, Running, Done int64
-	Items                 int64
-	Elapsed               time.Duration
+	Queued  int64         `json:"queued"`
+	Running int64         `json:"running"`
+	Done    int64         `json:"done"`
+	Items   int64         `json:"items"`
+	Elapsed time.Duration `json:"elapsed_ns"`
 }
 
 // ItemsPerSec is the item throughput over the elapsed wall time.

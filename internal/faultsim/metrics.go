@@ -19,32 +19,37 @@ func RecordShard(rec *obs.Recorder, unit string, shard int, startUS int64, tuple
 		return
 	}
 	reg := rec.Registry()
-	reg.Counter("faultsim.tuples").Add(int64(tuples))
-	reg.Counter("faultsim.unmasked").Add(int64(len(inj)))
+	// Registry instruments are labeled per injected unit (DESIGN.md section
+	// 8); campaign-wide totals come from Registry.SumCounters on the base
+	// name, not from a parallel unlabeled instrument (which would double
+	// count every tuple).
+	kv := []string{"unit", unit}
+	reg.Counter(obs.Name("faultsim.tuples", kv...)).Add(int64(tuples))
+	reg.Counter(obs.Name("faultsim.unmasked", kv...)).Add(int64(len(inj)))
 	// Incremental-evaluator accounting: baseline_nodes is snapshot work,
 	// cone_nodes is per-attempt re-evaluation work, site_evals counts
 	// attempts. The campaign-wide re-eval fraction is
 	// cone_nodes / (site_evals × netlist nodes); per-shard the same ratio
 	// lands in the reeval_pct histogram, and cone_mean_nodes tracks the
 	// mean cone size the site draws actually hit.
-	reg.Counter("faultsim.baseline_nodes").Add(st.BaselineNodes)
-	reg.Counter("faultsim.cone_nodes").Add(st.ConeNodes)
-	reg.Counter("faultsim.site_evals").Add(st.SiteEvals)
+	reg.Counter(obs.Name("faultsim.baseline_nodes", kv...)).Add(st.BaselineNodes)
+	reg.Counter(obs.Name("faultsim.cone_nodes", kv...)).Add(st.ConeNodes)
+	reg.Counter(obs.Name("faultsim.site_evals", kv...)).Add(st.SiteEvals)
 	if st.SiteEvals > 0 {
-		reg.Histogram("faultsim.cone_mean_nodes", obs.ExpBounds(16, 14)...).
+		reg.Histogram(obs.Name("faultsim.cone_mean_nodes", kv...), obs.ExpBounds(16, 14)...).
 			Observe(st.ConeNodes / st.SiteEvals)
-		reg.Histogram("faultsim.reeval_pct", obs.ExpBounds(1, 8)...).
+		reg.Histogram(obs.Name("faultsim.reeval_pct", kv...), obs.ExpBounds(1, 8)...).
 			Observe(int64(100 * st.ReEvalFrac()))
 	}
-	attempts := reg.Histogram("faultsim.attempts_per_unmasked", obs.ExpBounds(1, 10)...)
+	attempts := reg.Histogram(obs.Name("faultsim.attempts_per_unmasked", kv...), obs.ExpBounds(1, 10)...)
 	var sev [3]int64
 	for _, in := range inj {
 		attempts.Observe(int64(in.Attempts))
 		sev[in.SeverityOf()]++
 	}
-	reg.Counter("faultsim.sev_1bit").Add(sev[OneBit])
-	reg.Counter("faultsim.sev_2_3bit").Add(sev[TwoToThreeBits])
-	reg.Counter("faultsim.sev_4plus").Add(sev[FourPlusBits])
+	reg.Counter(obs.Name("faultsim.sev_1bit", kv...)).Add(sev[OneBit])
+	reg.Counter(obs.Name("faultsim.sev_2_3bit", kv...)).Add(sev[TwoToThreeBits])
+	reg.Counter(obs.Name("faultsim.sev_4plus", kv...)).Add(sev[FourPlusBits])
 
 	pid := rec.Process("faultsim")
 	now := rec.Now()
@@ -53,8 +58,8 @@ func RecordShard(rec *obs.Recorder, unit string, shard int, startUS int64, tuple
 	// Cumulative tallies: the stacked series shows outcome mix drifting (or
 	// not) as the campaign progresses across the operand stream.
 	rec.Sample(pid, "faultsim.outcomes", now, map[string]any{
-		"1bit":  reg.Counter("faultsim.sev_1bit").Value(),
-		"2-3":   reg.Counter("faultsim.sev_2_3bit").Value(),
-		"4plus": reg.Counter("faultsim.sev_4plus").Value(),
+		"1bit":  reg.SumCounters("faultsim.sev_1bit"),
+		"2-3":   reg.SumCounters("faultsim.sev_2_3bit"),
+		"4plus": reg.SumCounters("faultsim.sev_4plus"),
 	})
 }

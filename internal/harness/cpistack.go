@@ -1,0 +1,236 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"swapcodes/internal/compiler"
+	"swapcodes/internal/obs/cpistack"
+)
+
+// CPI-stack attribution (the -exp cpistack mode): per-kernel cycle stacks
+// for every scheme of a performance sweep, plus the baseline-diff
+// attribution that decomposes each scheme's slowdown into instruction
+// bloat, added dependence stalls, issue-pipe contention, and occupancy
+// loss — the explanatory layer behind the Figure 12/15/16 slowdown tables.
+
+// CPIStackResult pairs each workload's baseline stack with the per-scheme
+// stacks and their attributions, in sweep order.
+type CPIStackResult struct {
+	Schemes []compiler.Scheme
+	Rows    []*CPIStackRow
+}
+
+// CPIStackRow is one workload's stacks: Baseline plus one stack and one
+// attribution per scheme that ran.
+type CPIStackRow struct {
+	Workload string
+	Baseline *cpistack.Stack
+	Stacks   map[compiler.Scheme]*cpistack.Stack
+	Attrs    map[compiler.Scheme]cpistack.Attribution
+}
+
+// CPIStacks derives the CPI-stack result from a finished performance sweep
+// — no re-simulation: the stacks are built from the Stats the sweep already
+// collected. Rows whose scheme failed (inter-thread on mm/snap) simply have
+// no entry for that scheme.
+func CPIStacks(perf *PerfResult) *CPIStackResult {
+	res := &CPIStackResult{Schemes: perf.Schemes}
+	for _, row := range perf.Rows {
+		if row.Baseline == nil {
+			continue
+		}
+		r := &CPIStackRow{
+			Workload: row.Workload,
+			Baseline: row.Baseline.CPIStack(row.Workload, compiler.Baseline.String()),
+			Stacks:   make(map[compiler.Scheme]*cpistack.Stack),
+			Attrs:    make(map[compiler.Scheme]cpistack.Attribution),
+		}
+		for _, s := range perf.Schemes {
+			st, ok := row.Stats[s]
+			if !ok {
+				continue
+			}
+			stack := st.CPIStack(row.Workload, s.String())
+			r.Stacks[s] = stack
+			r.Attrs[s] = cpistack.Diff(r.Baseline, stack)
+		}
+		res.Rows = append(res.Rows, r)
+	}
+	return res
+}
+
+// Render prints the per-kernel cycle stacks: one block per workload, one
+// line per scheme (baseline first), cycles decomposed into the six
+// components with their shares of total cycles.
+func (r *CPIStackResult) Render(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	comps := cpistack.Components()
+	fmt.Fprintf(&b, "%-9s %-13s %9s %5s", "program", "scheme", "cycles", "cpi")
+	for _, c := range comps {
+		fmt.Fprintf(&b, " %9s", c)
+	}
+	b.WriteString("\n")
+	line := func(s *cpistack.Stack, label string) {
+		fmt.Fprintf(&b, "%-9s %-13s %9d %5.2f", label, shorten(s.Scheme, 13), s.Cycles, s.CPI())
+		for _, c := range comps {
+			fmt.Fprintf(&b, " %8.1f%%", 100*s.Frac(c))
+		}
+		b.WriteString("\n")
+	}
+	for _, row := range r.Rows {
+		line(row.Baseline, row.Workload)
+		for _, s := range r.Schemes {
+			if st, ok := row.Stacks[s]; ok {
+				line(st, "")
+			}
+		}
+	}
+	return b.String()
+}
+
+// RenderAttribution prints the baseline-diff table: each scheme's slowdown
+// decomposed into per-component contributions (which sum to the slowdown),
+// alongside the instruction-bloat and occupancy axes.
+func (r *CPIStackResult) RenderAttribution(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	comps := cpistack.Components()
+	fmt.Fprintf(&b, "%-9s %-13s %9s %8s", "program", "scheme", "slowdown", "instrs")
+	for _, c := range comps {
+		fmt.Fprintf(&b, " %9s", "+"+c)
+	}
+	fmt.Fprintf(&b, " %9s %s\n", "warps", "dominant")
+	for _, row := range r.Rows {
+		for _, s := range r.Schemes {
+			a, ok := row.Attrs[s]
+			if !ok {
+				fmt.Fprintf(&b, "%-9s %-13s %9s\n", row.Workload, schemeShort(s), "fails")
+				continue
+			}
+			fmt.Fprintf(&b, "%-9s %-13s %8.1f%% %+7.1f%%", row.Workload, schemeShort(s),
+				100*a.Slowdown, 100*a.InstrFrac)
+			for _, c := range a.Contribs {
+				fmt.Fprintf(&b, " %+8.1f%%", 100*c.Frac)
+			}
+			dom := a.Dominant()
+			if dom == "" {
+				dom = "-"
+			}
+			fmt.Fprintf(&b, " %4d->%-3d %s\n", a.BaseWarps, a.Warps, dom)
+		}
+	}
+	b.WriteString("(component columns are shares of baseline cycles; they sum to the slowdown)\n")
+	return b.String()
+}
+
+// MeanContrib averages a component's slowdown contribution across the
+// workloads where the scheme ran — the sweep-level "where did the slowdown
+// go" number quoted in EXPERIMENTS.md.
+func (r *CPIStackResult) MeanContrib(s compiler.Scheme, comp string) float64 {
+	sum, n := 0.0, 0
+	for _, row := range r.Rows {
+		a, ok := row.Attrs[s]
+		if !ok {
+			continue
+		}
+		for _, c := range a.Contribs {
+			if c.Name == comp {
+				sum += c.Frac
+			}
+		}
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MeanInstrFrac averages the instruction-growth fraction across workloads.
+func (r *CPIStackResult) MeanInstrFrac(s compiler.Scheme) float64 {
+	sum, n := 0.0, 0
+	for _, row := range r.Rows {
+		if a, ok := row.Attrs[s]; ok {
+			sum += a.InstrFrac
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// CSV renders the stacks and attributions in long form:
+// workload,scheme,cycles,instrs,warps,warp_limit,component,cycles_in,
+// frac_of_total,delta_vs_baseline_cycles,contrib_to_slowdown.
+func (r *CPIStackResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("workload,scheme,cycles,instrs,warps,warp_limit,component,component_cycles,frac_of_total,delta_cycles,contrib_to_slowdown\n")
+	emit := func(s *cpistack.Stack, a *cpistack.Attribution) {
+		for i, c := range cpistack.Components() {
+			fmt.Fprintf(&b, "%s,%s,%d,%d,%d,%d,%s,%d,%.4f,",
+				s.Kernel, s.Scheme, s.Cycles, s.Instrs, s.MaxResidentWarps,
+				s.ResidentWarpLimit, c, s.Comp[c], s.Frac(c))
+			if a != nil {
+				fmt.Fprintf(&b, "%d,%.4f\n", a.Contribs[i].DeltaCycles, a.Contribs[i].Frac)
+			} else {
+				b.WriteString(",\n")
+			}
+		}
+	}
+	for _, row := range r.Rows {
+		emit(row.Baseline, nil)
+		for _, s := range r.Schemes {
+			if st, ok := row.Stacks[s]; ok {
+				a := row.Attrs[s]
+				emit(st, &a)
+			}
+		}
+	}
+	return b.String()
+}
+
+// Chart renders each workload's stacks as proportional ASCII bars, one
+// character-run per component — the visual form of the attribution table.
+func (r *CPIStackResult) Chart(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	const width = 60
+	glyphs := map[string]byte{
+		cpistack.Issue: '#', cpistack.Deps: 'd', cpistack.Throttle: 't',
+		cpistack.Barrier: 'b', cpistack.NoWarp: '.', cpistack.Occupancy: 'o',
+	}
+	fmt.Fprintf(&b, "legend: #=issue d=deps t=throttle b=barrier .=nowarp o=occupancy; bar length = cycles vs baseline\n")
+	for _, row := range r.Rows {
+		// Scale every bar of a workload group by its slowest scheme so the
+		// relative lengths read as relative cycle counts.
+		maxCycles := row.Baseline.Cycles
+		for _, s := range r.Schemes {
+			if st, ok := row.Stacks[s]; ok && st.Cycles > maxCycles {
+				maxCycles = st.Cycles
+			}
+		}
+		if maxCycles == 0 {
+			continue
+		}
+		bar := func(s *cpistack.Stack, label string) {
+			total := int(int64(width) * s.Cycles / maxCycles)
+			var sb strings.Builder
+			for _, c := range cpistack.Components() {
+				n := int(int64(total) * s.Comp[c] / s.Cycles)
+				sb.WriteString(strings.Repeat(string(glyphs[c]), n))
+			}
+			fmt.Fprintf(&b, "%-9s %-13s %-*s %d\n", label, shorten(s.Scheme, 13), width, sb.String(), s.Cycles)
+		}
+		bar(row.Baseline, row.Workload)
+		for _, s := range r.Schemes {
+			if st, ok := row.Stacks[s]; ok {
+				bar(st, "")
+			}
+		}
+	}
+	return b.String()
+}

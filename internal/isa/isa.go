@@ -344,7 +344,12 @@ func (in Instr) operand1() string {
 // Kernel is a compiled device function plus its launch geometry.
 type Kernel struct {
 	Name string
-	Code []Instr
+	// Scheme names the protection scheme the kernel was compiled under
+	// ("Baseline", "Swap-ECC", ...; empty for hand-built kernels launched
+	// without a compiler pass). The simulator uses it to label metrics per
+	// kernel x scheme; it has no execution semantics.
+	Scheme string
+	Code   []Instr
 	// NumRegs is the architectural registers per thread (occupancy input).
 	NumRegs int
 	// GridCTAs and CTAThreads give the launch configuration.

@@ -1,0 +1,185 @@
+// Package cpistack models CPI (cycles-per-instruction) stacks and their
+// differential attribution. A stack partitions a launch's total cycles into
+// named components — issuing cycles plus the stall taxonomy of the SM model
+// (scoreboard dependences, issue-pipe throughput throttle, barriers, warp
+// starvation, occupancy capping) — so that the components always sum to the
+// cycle count. Diffing a protection scheme's stack against the unprotected
+// baseline turns the headline "scheme X is Y% slower" number into an
+// explanation: how much of the slowdown is extra issuing work (instruction
+// bloat), how much is added dependence stalls, how much is parallelism lost
+// to register pressure.
+//
+// The package is deliberately dependency-free: internal/sm builds stacks
+// from its Stats, internal/harness renders them, and both stay decoupled
+// from each other through this vocabulary.
+package cpistack
+
+import "fmt"
+
+// Canonical component names, in rendering order. Every Stack uses exactly
+// these keys; Sum adds them in this order so the partition check is exact.
+const (
+	// Issue counts cycles in which at least one scheduler slot issued.
+	Issue = "issue"
+	// Deps counts fully-idle cycles blocked on scoreboard dependences.
+	Deps = "deps"
+	// Throttle counts fully-idle cycles blocked on issue-pipe throughput.
+	Throttle = "throttle"
+	// Barrier counts fully-idle cycles blocked at CTA barriers.
+	Barrier = "barrier"
+	// NoWarp counts fully-idle cycles with no runnable warp and no
+	// occupancy cap in effect (tail effects, scheduler imbalance).
+	NoWarp = "nowarp"
+	// Occupancy counts fully-idle cycles that a register-pressure or
+	// shared-memory occupancy cap plausibly caused: the SM was capped below
+	// its warp-slot limit, more CTAs were waiting, and the proximate block
+	// was a dependence or warp starvation that additional resident warps
+	// could have covered.
+	Occupancy = "occupancy"
+)
+
+// Components returns the canonical component order.
+func Components() []string {
+	return []string{Issue, Deps, Throttle, Barrier, NoWarp, Occupancy}
+}
+
+// Stack is one launch's cycle partition plus the context needed for
+// attribution (instruction count, occupancy).
+type Stack struct {
+	Kernel string `json:"kernel"`
+	Scheme string `json:"scheme"`
+	// Cycles is the launch's total cycle count; the six components in Comp
+	// partition it exactly.
+	Cycles int64 `json:"cycles"`
+	// Instrs is the dynamic warp-instruction count.
+	Instrs int64 `json:"instrs"`
+	// MaxResidentWarps is the peak resident warp count observed.
+	MaxResidentWarps int `json:"max_resident_warps"`
+	// ResidentWarpLimit is the occupancy cap the launch ran under.
+	ResidentWarpLimit int `json:"resident_warp_limit"`
+	// Comp maps component name (Components()) to cycles.
+	Comp map[string]int64 `json:"comp"`
+	// DepsByClass sub-attributes the Deps component to the pipe class of
+	// the producing instruction the idle round waited on.
+	DepsByClass map[string]int64 `json:"deps_by_class,omitempty"`
+	// ThrottleByClass sub-attributes the Throttle component to the
+	// saturated pipe class.
+	ThrottleByClass map[string]int64 `json:"throttle_by_class,omitempty"`
+}
+
+// Sum adds the canonical components; it equals Cycles for a well-formed
+// stack (the invariant TestCPIStackPartition asserts for every scheme of
+// the headline sweep).
+func (s *Stack) Sum() int64 {
+	var sum int64
+	for _, c := range Components() {
+		sum += s.Comp[c]
+	}
+	return sum
+}
+
+// CPI is cycles per issued warp instruction (0 when no instruction issued).
+func (s *Stack) CPI() float64 {
+	if s.Instrs == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Instrs)
+}
+
+// Frac is a component's share of total cycles.
+func (s *Stack) Frac(comp string) float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Comp[comp]) / float64(s.Cycles)
+}
+
+// Contribution is one component's share of a slowdown: the scheme spends
+// DeltaCycles more (or fewer, negative) cycles in the component than the
+// baseline, which is Frac of the baseline's total cycles. The Fracs of an
+// attribution's contributions sum exactly to its Slowdown.
+type Contribution struct {
+	Name        string  `json:"name"`
+	DeltaCycles int64   `json:"delta_cycles"`
+	Frac        float64 `json:"frac"`
+}
+
+// Attribution explains one scheme's slowdown over baseline on one kernel.
+type Attribution struct {
+	Kernel     string `json:"kernel"`
+	Scheme     string `json:"scheme"`
+	BaseCycles int64  `json:"base_cycles"`
+	Cycles     int64  `json:"cycles"`
+	// Slowdown is the fractional slowdown over baseline (0.21 = 21%).
+	Slowdown float64 `json:"slowdown"`
+	// InstrFrac is the fractional dynamic-instruction growth (the
+	// instruction-bloat axis of the attribution).
+	InstrFrac float64 `json:"instr_frac"`
+	// BaseWarps/Warps are the peak resident warp counts (the occupancy
+	// axis: a drop means the scheme's register pressure cost parallelism).
+	BaseWarps int `json:"base_warps"`
+	Warps     int `json:"warps"`
+	// Contribs holds one entry per component in canonical order; their
+	// Frac values sum to Slowdown.
+	Contribs []Contribution `json:"contribs"`
+}
+
+// Diff attributes the slowdown of scheme stack s over baseline stack base.
+// Both stacks must describe the same kernel; the result carries s's scheme.
+// Because both stacks partition their cycle counts, the per-component cycle
+// deltas sum to the total cycle delta and the contribution fractions sum to
+// the slowdown — no residual bucket is needed.
+func Diff(base, s *Stack) Attribution {
+	a := Attribution{
+		Kernel:     s.Kernel,
+		Scheme:     s.Scheme,
+		BaseCycles: base.Cycles,
+		Cycles:     s.Cycles,
+		BaseWarps:  base.MaxResidentWarps,
+		Warps:      s.MaxResidentWarps,
+	}
+	if base.Cycles > 0 {
+		a.Slowdown = float64(s.Cycles-base.Cycles) / float64(base.Cycles)
+	}
+	if base.Instrs > 0 {
+		a.InstrFrac = float64(s.Instrs-base.Instrs) / float64(base.Instrs)
+	}
+	for _, c := range Components() {
+		d := s.Comp[c] - base.Comp[c]
+		f := 0.0
+		if base.Cycles > 0 {
+			f = float64(d) / float64(base.Cycles)
+		}
+		a.Contribs = append(a.Contribs, Contribution{Name: c, DeltaCycles: d, Frac: f})
+	}
+	return a
+}
+
+// Summary renders the attribution as one sentence, the "slowdown = +X%
+// instructions, +Y% dep stalls, -Z occupancy" form of the paper's
+// discussion sections.
+func (a Attribution) Summary() string {
+	s := fmt.Sprintf("%s/%s: slowdown %+.1f%% (instrs %+.1f%%; ",
+		a.Kernel, a.Scheme, 100*a.Slowdown, 100*a.InstrFrac)
+	for i, c := range a.Contribs {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s %+.1f%%", c.Name, 100*c.Frac)
+	}
+	s += fmt.Sprintf("; warps %d->%d)", a.BaseWarps, a.Warps)
+	return s
+}
+
+// Dominant returns the component contributing the most positive slowdown
+// (ties to the earlier canonical component; "" when nothing got slower) —
+// the one-word answer to "where did the slowdown go".
+func (a Attribution) Dominant() string {
+	best, name := 0.0, ""
+	for _, c := range a.Contribs {
+		if c.Frac > best {
+			best, name = c.Frac, c.Name
+		}
+	}
+	return name
+}

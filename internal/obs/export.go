@@ -176,10 +176,7 @@ func quantileOf(m Metric, q float64) int64 {
 	if m.Count == 0 {
 		return 0
 	}
-	target := int64(math.Ceil(q * float64(m.Count)))
-	if target < 1 {
-		target = 1
-	}
+	target := quantileTarget(q, m.Count)
 	var cum int64
 	for _, b := range m.Buckets {
 		cum += b.N

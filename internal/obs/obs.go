@@ -90,18 +90,17 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.sum.Load()) / float64(n)
 }
 
-// Quantile returns an upper bound for the q-quantile (0 <= q <= 1): the
-// bound of the first bucket whose cumulative count reaches q. The +Inf
-// bucket reports math.MaxInt64.
+// Quantile returns an upper bound for the q-quantile: the bound of the
+// first bucket whose cumulative count reaches q. q is clamped to [0, 1];
+// q=0 reports the first non-empty bucket's bound and q=1 the last
+// non-empty bucket's bound, so the result never strays outside the
+// observed bucket range. The +Inf bucket reports math.MaxInt64.
 func (h *Histogram) Quantile(q float64) int64 {
 	n := h.count.Load()
 	if n == 0 {
 		return 0
 	}
-	target := int64(math.Ceil(q * float64(n)))
-	if target < 1 {
-		target = 1
-	}
+	target := quantileTarget(q, n)
 	var cum int64
 	for i := range h.buckets {
 		cum += h.buckets[i].Load()
@@ -113,6 +112,25 @@ func (h *Histogram) Quantile(q float64) int64 {
 		}
 	}
 	return math.MaxInt64
+}
+
+// quantileTarget maps a quantile onto a 1-based observation rank. Clamping
+// q (and the rank) keeps out-of-range inputs inside the observed data:
+// without the upper clamp, q slightly above 1 (a caller computing 1+eps)
+// would walk past the last non-empty bucket and report +Inf even when every
+// observation sits in a finite bucket.
+func quantileTarget(q float64, n int64) int64 {
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(n)))
+	if target < 1 {
+		target = 1 // also handles q <= 0 and NaN
+	}
+	if target > n {
+		target = n
+	}
+	return target
 }
 
 // Buckets returns the bucket snapshot (upper bound, count). The final

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Prometheus text exposition. WritePrometheus renders the registry snapshot
+// in the Prometheus text format (version 0.0.4), the format scraped from the
+// live server's GET /metrics. Registry names are dotted and may carry a
+// canonical label suffix (sm.stall_cycles{kernel="mm",scheme="SW-Dup"});
+// exposition sanitizes the base to a legal Prometheus name
+// (sm_stall_cycles) and re-emits the labels Prometheus-escaped. Output is
+// deterministic: families sort by exposition name, samples within a family
+// keep the registry's sorted-label order.
+
+// WritePrometheus writes the snapshot in Prometheus text format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	type sample struct {
+		labels []Label
+		m      Metric
+	}
+	type family struct {
+		name, typ string
+		samples   []sample
+	}
+	fams := make(map[string]*family)
+	var order []string
+	for _, m := range r.Snapshot() {
+		base, labels := ParseName(m.Name)
+		name := promName(base)
+		// A counter and a gauge sharing a base would collide in exposition;
+		// suffix the gauge so both remain scrapeable.
+		key := name
+		if f, ok := fams[key]; ok && f.typ != m.Type {
+			key = name + "_" + m.Type
+			name = key
+		}
+		f, ok := fams[key]
+		if !ok {
+			f = &family{name: name, typ: m.Type}
+			fams[key] = f
+			order = append(order, key)
+		}
+		f.samples = append(f.samples, sample{labels: labels, m: m})
+	}
+	sort.Strings(order)
+	for _, key := range order {
+		f := fams[key]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		for _, s := range f.samples {
+			if err := writePromSample(w, f.name, s.labels, s.m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromSample(w io.Writer, name string, labels []Label, m Metric) error {
+	if m.Type != "histogram" {
+		_, err := fmt.Fprintf(w, "%s%s %d\n", name, promLabels(labels, nil), m.Value)
+		return err
+	}
+	// Histogram: cumulative _bucket series plus _sum and _count.
+	var cum int64
+	for _, b := range m.Buckets {
+		cum += b.N
+		le := "+Inf"
+		if b.Le != math.MaxInt64 {
+			le = fmt.Sprintf("%d", b.Le)
+		}
+		ls := promLabels(labels, &Label{Key: "le", Value: le})
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, ls, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", name, promLabels(labels, nil), m.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, promLabels(labels, nil), m.Count)
+	return err
+}
+
+// promName maps a dotted registry base name onto the Prometheus name
+// charset [a-zA-Z0-9_:], replacing every other rune with '_' and guarding
+// against a leading digit.
+func promName(base string) string {
+	var b strings.Builder
+	for i, r := range base {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promLabels renders a label set (plus an optional extra label, used for
+// le=) as {k="v",...}; empty sets render as nothing. Values are escaped per
+// the exposition format: backslash, double-quote, and newline.
+func promLabels(labels []Label, extra *Label) string {
+	if len(labels) == 0 && extra == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	n := 0
+	emit := func(l Label) {
+		if n > 0 {
+			b.WriteByte(',')
+		}
+		n++
+		b.WriteString(promLabelKey(l.Key))
+		b.WriteString(`="`)
+		b.WriteString(promEscape(l.Value))
+		b.WriteByte('"')
+	}
+	for _, l := range labels {
+		emit(l)
+	}
+	if extra != nil {
+		emit(*extra)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promLabelKey sanitizes a label key to [a-zA-Z0-9_] (no colons in label
+// names, unlike metric names).
+func promLabelKey(k string) string {
+	var b strings.Builder
+	for i, r := range k {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+func promEscape(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// golden compares got against testdata/<name>.golden (the same contract as
+// internal/harness: exact bytes, regenerated with -update).
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run go test -run %s -update to create it)", err, t.Name())
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// promRegistry builds a registry exercising every exposition case: labeled
+// and unlabeled counters, gauges, a histogram with an explicit +Inf bucket,
+// label values needing escaping, and names needing sanitization.
+func promRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter(Name("sm.cycles", "kernel", "mm", "scheme", "SW-Dup")).Add(1234)
+	reg.Counter(Name("sm.cycles", "kernel", "bprop", "scheme", "Baseline")).Add(999)
+	reg.Counter("engine.jobs_done").Add(7)
+	reg.Gauge("engine.jobs_running").Set(3)
+	reg.Gauge(Name("sm.occupancy", "kernel", "mm")).Set(48)
+	h := reg.Histogram(Name("sm.detect_latency_cycles", "scheme", "Swap-ECC"), 1, 4, 16)
+	for _, v := range []int64{1, 2, 3, 9, 100} {
+		h.Observe(v)
+	}
+	// Escaping: backslash, quote, and newline in a label value; a dash and a
+	// digit-leading segment in names.
+	reg.Counter(Name("weird.1metric", "path", `C:\tmp`, "q", "say \"hi\"\nbye")).Add(1)
+	reg.Counter(Name("dash-name", "the-key", "v")).Add(2)
+	return reg
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := promRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "prometheus", b.String())
+}
+
+// TestWritePrometheusDeterministic: two identical registries must expose
+// byte-identical documents (the scrape diff in CI depends on it).
+func TestWritePrometheusDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := promRegistry().WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := promRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("exposition is not deterministic across identical registries")
+	}
+}
+
+// TestWritePrometheusHistogramCumulative: _bucket series must be cumulative
+// and end in a +Inf bucket equal to _count.
+func TestWritePrometheusHistogramCumulative(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", 10, 20)
+	for _, v := range []int64{5, 15, 25, 35} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE lat histogram\n",
+		`lat_bucket{le="10"} 1` + "\n",
+		`lat_bucket{le="20"} 2` + "\n",
+		`lat_bucket{le="+Inf"} 4` + "\n",
+		"lat_sum 80\n",
+		"lat_count 4\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPromNameCollision: a counter and a gauge sharing a base must both
+// survive exposition under distinct names.
+func TestPromNameCollision(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x.val").Add(1)
+	reg.Gauge("x.val").Set(2)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "x_val 1\n") || !strings.Contains(out, "x_val_gauge 2\n") {
+		t.Errorf("collision handling wrong:\n%s", out)
+	}
+}

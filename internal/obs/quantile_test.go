@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refQuantile is the brute-force reference: sort the observations, find the
+// value at the ceil(q*n) rank (clamped into the data), and report the bound
+// of the bucket that value falls in — exactly what the bucketed estimate is
+// specified to return.
+func refQuantile(values []int64, bounds []int64, q float64) int64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if q > 1 {
+		q = 1
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	v := sorted[rank-1]
+	for _, b := range bounds {
+		if v <= b {
+			return b
+		}
+	}
+	return math.MaxInt64
+}
+
+// TestQuantileAgainstReference: for random bound sets and observation
+// streams, Quantile must agree with the brute-force reference at every
+// probed q — including q=0, q=1, and out-of-range q, which must clamp
+// rather than fall off either end of the data.
+func TestQuantileAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	qs := []float64{-0.5, 0, 1e-9, 0.25, 0.5, 0.9, 0.99, 1 - 1e-12, 1, 1.0000001, 2}
+	for trial := 0; trial < 200; trial++ {
+		nb := 1 + rng.Intn(10)
+		boundSet := map[int64]bool{}
+		for len(boundSet) < nb {
+			boundSet[1+rng.Int63n(1000)] = true
+		}
+		bounds := make([]int64, 0, nb)
+		for b := range boundSet {
+			bounds = append(bounds, b)
+		}
+		sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+
+		h := newHistogram(bounds)
+		n := 1 + rng.Intn(50)
+		values := make([]int64, n)
+		for i := range values {
+			values[i] = rng.Int63n(1500) // some land past the last bound (+Inf bucket)
+			h.Observe(values[i])
+		}
+		for _, q := range qs {
+			got, want := h.Quantile(q), refQuantile(values, bounds, q)
+			if got != want {
+				t.Fatalf("trial %d: Quantile(%v) = %d, want %d (bounds %v, %d values)",
+					trial, q, got, want, bounds, n)
+			}
+		}
+		// The snapshot-side estimate must agree with the live one.
+		m := Metric{Type: "histogram", Count: h.Count(), Sum: h.Sum(), Buckets: h.Buckets()}
+		for _, q := range qs {
+			if got, want := quantileOf(m, q), h.Quantile(q); got != want {
+				t.Fatalf("trial %d: quantileOf(%v) = %d, live = %d", trial, q, got, want)
+			}
+		}
+	}
+}
+
+// TestQuantileEdges pins the exact edge contract on a hand-built histogram.
+func TestQuantileEdges(t *testing.T) {
+	h := newHistogram([]int64{10, 20, 30})
+	if h.Quantile(0.5) != 0 || h.Quantile(1) != 0 {
+		t.Error("empty histogram must report 0 at any q")
+	}
+	for _, v := range []int64{15, 15, 25} {
+		h.Observe(v)
+	}
+	// All observations sit in finite buckets: no q may report +Inf, and no q
+	// may report a bound below the first occupied bucket.
+	for _, q := range []float64{-1, 0, 0.5, 1, 1.5, 100} {
+		got := h.Quantile(q)
+		if got == math.MaxInt64 {
+			t.Errorf("Quantile(%v) = +Inf with all data in finite buckets", q)
+		}
+		if got < 20 {
+			t.Errorf("Quantile(%v) = %d, below the first occupied bucket bound 20", q, got)
+		}
+	}
+	if got := h.Quantile(0); got != 20 {
+		t.Errorf("Quantile(0) = %d, want first occupied bound 20", got)
+	}
+	if got := h.Quantile(1); got != 30 {
+		t.Errorf("Quantile(1) = %d, want last occupied bound 30", got)
+	}
+	// Only when data genuinely lands past the last bound is +Inf correct.
+	h.Observe(1000)
+	if got := h.Quantile(1); got != math.MaxInt64 {
+		t.Errorf("Quantile(1) with +Inf-bucket data = %d, want MaxInt64", got)
+	}
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Live observability server (the -serve flag): while a run is in flight it
+// exposes
+//
+//	GET /metrics          the registry snapshot, Prometheus text format
+//	GET /runs             run progress as JSON (whatever the runs closure
+//	                      returns, typically an engine.Progress)
+//	GET /debug/pprof/...  the standard Go profiling endpoints
+//
+// The server is deliberately decoupled from the engine: it serves a
+// *Registry it is given and calls an opaque closure for /runs, so obs never
+// imports engine (which imports obs). Shutdown is graceful — in-flight
+// scrapes finish — and is wired into the CLIs' Ctrl-C/-timeout paths.
+
+// Server is a running observability HTTP server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+	err chan error
+}
+
+// StartServer listens on addr (host:port; ":0" picks a free port) and
+// serves the registry. runs may be nil; when set, GET /runs responds with
+// its return value rendered as JSON.
+func StartServer(addr string, reg *Registry, runs func() any) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: serve %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			// Too late for an error status; the scrape just truncates.
+			return
+		}
+	})
+	mux.HandleFunc("/runs", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var v any
+		if runs != nil {
+			v = runs()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	})
+	// net/http/pprof registers on http.DefaultServeMux; route the standard
+	// paths on our private mux instead so -serve does not leak handlers into
+	// unrelated servers (and tests can run several servers side by side).
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{
+		ln:  ln,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		err: make(chan error, 1),
+	}
+	go func() {
+		err := s.srv.Serve(ln)
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		s.err <- err
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the http base URL of the server.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Shutdown gracefully stops the server, waiting for in-flight requests up
+// to the context deadline, and reports any serve-loop error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	return <-s.err
+}

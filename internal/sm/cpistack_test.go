@@ -1,0 +1,91 @@
+package sm
+
+import (
+	"testing"
+
+	"swapcodes/internal/compiler"
+	"swapcodes/internal/obs/cpistack"
+)
+
+// TestCPIStackPartitionVecAdd: the six CPI-stack components must partition
+// the cycle count exactly — every advance of the simulated clock is charged
+// to exactly one component. (The headline-sweep version of this invariant,
+// over every workload x scheme, lives in internal/harness.)
+func TestCPIStackPartitionVecAdd(t *testing.T) {
+	const n = 200
+	for _, scheme := range []compiler.Scheme{compiler.Baseline, compiler.SWDup, compiler.SwapECC} {
+		k := compiler.MustApply(vecAddKernel(n, 4, 64), scheme)
+		g := NewGPU(DefaultConfig(), 3*n+64)
+		st, err := g.Launch(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stack := st.CPIStack(k.Name, k.Scheme)
+		if stack.Sum() != st.Cycles {
+			t.Errorf("%v: components sum to %d, want Cycles = %d (stack %+v)",
+				scheme, stack.Sum(), st.Cycles, stack.Comp)
+		}
+		if stack.Scheme != scheme.String() {
+			t.Errorf("stack scheme = %q, want %q", stack.Scheme, scheme)
+		}
+		if stack.Comp[cpistack.Issue] != st.IssueCycles {
+			t.Errorf("issue component = %d, want %d", stack.Comp[cpistack.Issue], st.IssueCycles)
+		}
+		// Per-class sub-attributions must reconcile with their components.
+		var deps int64
+		for _, v := range stack.DepsByClass {
+			deps += v
+		}
+		if deps != st.StallCyclesDeps {
+			t.Errorf("%v: DepsByClass sums to %d, want %d", scheme, deps, st.StallCyclesDeps)
+		}
+		var thr int64
+		for _, v := range stack.ThrottleByClass {
+			thr += v
+		}
+		if thr != st.StallCyclesThrottle {
+			t.Errorf("%v: ThrottleByClass sums to %d, want %d", scheme, thr, st.StallCyclesThrottle)
+		}
+		if stack.ResidentWarpLimit <= 0 || stack.MaxResidentWarps > stack.ResidentWarpLimit {
+			t.Errorf("%v: resident %d exceeds limit %d",
+				scheme, stack.MaxResidentWarps, stack.ResidentWarpLimit)
+		}
+	}
+}
+
+// TestCPIStackOccupancyCharge: a register-pressure-capped kernel with CTAs
+// queued behind the cap must charge occupancy cycles; the same kernel on an
+// unconstrained register file must charge none.
+func TestCPIStackOccupancyCharge(t *testing.T) {
+	const n = 64
+	k := vecAddKernel(n, 16, 64) // 16 CTAs of 2 warps
+	k.NumRegs = 40               // 40 regs x 64 threads: regfile caps residency
+
+	capped := DefaultConfig()
+	capped.RegFileWords = 40 * 64 * 4 // 4 CTAs resident, 12 waiting
+	g := NewGPU(capped, 3*n*16+64)
+	st, err := g.Launch(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ResidentWarpLimit >= capped.MaxWarps {
+		t.Fatalf("test premise broken: limit %d not capped", st.ResidentWarpLimit)
+	}
+	if st.StallCyclesOccupancy == 0 {
+		t.Error("occupancy-capped latency-bound kernel charged no occupancy cycles")
+	}
+
+	free := DefaultConfig()
+	free.RegFileWords = 1 << 24
+	g2 := NewGPU(free, 3*n*16+64)
+	st2, err := g2.Launch(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.StallCyclesOccupancy != 0 {
+		t.Errorf("uncapped run charged %d occupancy cycles, want 0", st2.StallCyclesOccupancy)
+	}
+	if got := st2.CPIStack(k.Name, ""); got.Sum() != st2.Cycles {
+		t.Errorf("uncapped stack sums to %d, want %d", got.Sum(), st2.Cycles)
+	}
+}

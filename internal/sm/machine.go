@@ -27,6 +27,12 @@ type warpState struct {
 	preds      [8]uint32
 	regReady   []int64
 	predReady  [8]int64
+	// regClass/predClass remember the pipe class of the last producer of
+	// each register/predicate, so dependence stalls can be attributed to
+	// the pipe whose latency is being waited out (the CPI-stack per-class
+	// breakdown).
+	regClass  []uint8
+	predClass [8]uint8
 	rf         *core.RegFile
 	atBarrier  bool
 	done       bool
@@ -50,7 +56,11 @@ type machine struct {
 
 	warpsPerCTA   int
 	residentLimit int
-	nextCTA       int
+	// occCapped records that registers or shared memory capped residency
+	// below the SM's warp-slot limit — the precondition for charging idle
+	// cycles to the CPI stack's occupancy component.
+	occCapped bool
+	nextCTA   int
 	resident      []*ctaState
 	warps         []*warpState // all live resident warps
 	tokens        [10]float64
@@ -66,10 +76,12 @@ type machine struct {
 
 func newMachine(g *GPU, k *isa.Kernel) *machine {
 	m := &machine{g: g, cfg: &g.Cfg, k: k, faultCycle: -1,
-		stats: &Stats{PerClass: make(map[isa.Class]int64), PerCat: make(map[isa.Category]int64)}}
+		stats: &Stats{PerClass: make(map[isa.Class]int64), PerCat: make(map[isa.Category]int64),
+			DepCyclesPerClass:      make(map[isa.Class]int64),
+			ThrottleCyclesPerClass: make(map[isa.Class]int64)}}
 	m.warpsPerCTA = (k.CTAThreads + isa.WarpSize - 1) / isa.WarpSize
 	if g.Obs != nil {
-		m.obsm = newSMObs(g.Obs, k.Name)
+		m.obsm = newSMObs(g.Obs, k)
 	}
 	return m
 }
@@ -116,6 +128,7 @@ func (m *machine) launchCTA() {
 			stack:    []simtEntry{{pc: 0, mask: m.warpMask(wi), reconv: -1}},
 			regs:     make([]uint32, m.k.NumRegs*isa.WarpSize),
 			regReady: make([]int64, m.k.NumRegs+2),
+			regClass: make([]uint8, m.k.NumRegs+2),
 		}
 		if m.cfg.ECC {
 			w.rf = core.NewRegFile(m.cfg.Org, m.k.NumRegs, isa.WarpSize)
@@ -148,6 +161,14 @@ func (m *machine) run(ctx context.Context) error {
 		return err
 	}
 	m.residentLimit = lim
+	// The slot limit is what the SM would hold were registers and shared
+	// memory free; running below it means occupancy was resource-capped.
+	slotLim := m.cfg.MaxCTAs
+	if byWarps := m.cfg.MaxWarps / m.warpsPerCTA; byWarps < slotLim {
+		slotLim = byWarps
+	}
+	m.occCapped = lim < slotLim
+	m.stats.ResidentWarpLimit = lim * m.warpsPerCTA
 	for i := range m.tokens {
 		m.tokens[i] = 1
 	}
@@ -174,17 +195,19 @@ func (m *machine) run(ctx context.Context) error {
 		issuedSlots := 0
 		minWake := farFuture
 		minReason := stallNone
+		minClass := isa.ClassFxP
 		slots := m.cfg.IssuePerSched
 		if slots < 1 {
 			slots = 1
 		}
 		for s := 0; s < m.cfg.Schedulers; s++ {
 			for slot := 0; slot < slots; slot++ {
-				w, wake, reason := m.pickWarp(s)
+				w, wake, reason, cl := m.pickWarp(s)
 				if w == nil {
 					if wake < minWake || minReason == stallNone {
 						minWake = wake
 						minReason = reason
+						minClass = cl
 					}
 					switch reason {
 					case stallDeps:
@@ -216,16 +239,9 @@ func (m *machine) run(ctx context.Context) error {
 			}
 			// Fully-idle rounds are charged to the blocking reason of the
 			// nearest-to-ready warp (the cycle-level stall attribution).
-			switch minReason {
-			case stallDeps:
-				m.stats.StallCyclesDeps += delta
-			case stallThrottle:
-				m.stats.StallCyclesThrottle += delta
-			case stallBarrier:
-				m.stats.StallCyclesBarrier += delta
-			default:
-				m.stats.StallCyclesNoWarp += delta
-			}
+			m.chargeIdle(minReason, minClass, delta)
+		} else {
+			m.stats.IssueCycles += delta
 		}
 		m.advance(delta)
 		if m.obsm != nil {
@@ -282,6 +298,34 @@ func (m *machine) retire() {
 	m.resident = res
 }
 
+// chargeIdle attributes one fully-idle round of delta cycles to a CPI-stack
+// component. Dependence and warp-starvation idles while the SM is
+// occupancy-capped with CTAs still waiting for residency are charged to the
+// occupancy component: the warps the cap denied could have covered that
+// latency, which is exactly how register pressure becomes cycles. Throttle
+// and barrier idles keep their proximate reason — more resident warps
+// neither relieve a saturated issue pipe nor release a barrier earlier.
+// Dependence and throttle charges are additionally sub-attributed to the
+// pipe class being waited on.
+func (m *machine) chargeIdle(reason stallReason, cl isa.Class, delta int64) {
+	if m.occCapped && m.nextCTA < m.k.GridCTAs && (reason == stallDeps || reason == stallNoWarp) {
+		m.stats.StallCyclesOccupancy += delta
+		return
+	}
+	switch reason {
+	case stallDeps:
+		m.stats.StallCyclesDeps += delta
+		m.stats.DepCyclesPerClass[cl] += delta
+	case stallThrottle:
+		m.stats.StallCyclesThrottle += delta
+		m.stats.ThrottleCyclesPerClass[cl] += delta
+	case stallBarrier:
+		m.stats.StallCyclesBarrier += delta
+	default:
+		m.stats.StallCyclesNoWarp += delta
+	}
+}
+
 // stallReason classifies why a warp could not issue.
 type stallReason uint8
 
@@ -294,11 +338,14 @@ const (
 )
 
 // pickWarp scans scheduler s's warps round-robin for one that can issue;
-// when none can, it returns the earliest wake time and the blocking reason
-// of the nearest-to-ready warp.
-func (m *machine) pickWarp(s int) (*warpState, int64, stallReason) {
+// when none can, it returns the earliest wake time, the blocking reason of
+// the nearest-to-ready warp, and the pipe class that reason attributes to
+// (the waited-on producer's class for dependences, the saturated pipe for
+// throttle).
+func (m *machine) pickWarp(s int) (*warpState, int64, stallReason, isa.Class) {
 	minWake := farFuture
 	reason := stallNoWarp
+	class := isa.ClassFxP
 	n := len(m.warps)
 	start := int(m.cycle) % max(n, 1)
 	for i := 0; i < n; i++ {
@@ -306,26 +353,30 @@ func (m *machine) pickWarp(s int) (*warpState, int64, stallReason) {
 		if w.sched != s || w.done {
 			continue
 		}
-		ready, wake, r := m.warpReady(w)
+		ready, wake, r, cl := m.warpReady(w)
 		if ready {
-			return w, 0, stallNone
+			return w, 0, stallNone, cl
 		}
 		if wake < minWake || reason == stallNoWarp {
 			minWake = wake
 			reason = r
+			class = cl
 		}
 	}
-	return nil, minWake, reason
+	return nil, minWake, reason, class
 }
 
 // warpReady checks scoreboard and structural constraints for the warp's
-// next instruction.
-func (m *machine) warpReady(w *warpState) (bool, int64, stallReason) {
+// next instruction. The returned class attributes a stall: for dependence
+// stalls it is the pipe class of the producer whose result the warp waits
+// on longest; for throttle stalls, the saturated pipe.
+func (m *machine) warpReady(w *warpState) (bool, int64, stallReason, isa.Class) {
 	if w.atBarrier {
-		return false, farFuture, stallBarrier // released by the last arrival
+		return false, farFuture, stallBarrier, isa.ClassControl // released by the last arrival
 	}
 	in := &m.k.Code[w.top().pc]
 	wake := m.cycle
+	blockCl := isa.ClassFxP
 
 	dep := func(r isa.Reg, wide bool) {
 		if r == isa.RZ {
@@ -333,10 +384,12 @@ func (m *machine) warpReady(w *warpState) (bool, int64, stallReason) {
 		}
 		if t := w.regReady[r]; t > wake {
 			wake = t
+			blockCl = isa.Class(w.regClass[r])
 		}
 		if wide {
 			if t := w.regReady[r+1]; t > wake {
 				wake = t
+				blockCl = isa.Class(w.regClass[r+1])
 			}
 		}
 	}
@@ -358,17 +411,18 @@ func (m *machine) warpReady(w *warpState) (bool, int64, stallReason) {
 	if in.GuardPred >= 0 && in.GuardPred < isa.PT {
 		if t := w.predReady[in.GuardPred]; t > wake {
 			wake = t
+			blockCl = isa.Class(w.predClass[in.GuardPred])
 		}
 	}
 	if wake > m.cycle {
-		return false, wake, stallDeps
+		return false, wake, stallDeps, blockCl
 	}
 	cl := in.Op.Class()
 	if m.tokens[cl] < 1 {
 		need := (1 - m.tokens[cl]) / m.cfg.rate(cl)
-		return false, m.cycle + int64(need) + 1, stallThrottle
+		return false, m.cycle + int64(need) + 1, stallThrottle, cl
 	}
-	return true, 0, stallNone
+	return true, 0, stallNone, cl
 }
 
 // issue consumes a token, executes the instruction functionally, and
@@ -394,8 +448,12 @@ func (m *machine) issue(w *warpState) error {
 		if t > w.regReady[in.Dst] {
 			w.regReady[in.Dst] = t
 		}
-		if in.Is64Dst() && t > w.regReady[in.Dst+1] {
-			w.regReady[in.Dst+1] = t
+		w.regClass[in.Dst] = uint8(cl)
+		if in.Is64Dst() {
+			if t > w.regReady[in.Dst+1] {
+				w.regReady[in.Dst+1] = t
+			}
+			w.regClass[in.Dst+1] = uint8(cl)
 		}
 	}
 	if (in.Op == isa.ISETP || in.Op == isa.FSETP) && in.DstPred >= 0 && in.DstPred < isa.PT {
@@ -403,6 +461,7 @@ func (m *machine) issue(w *warpState) error {
 		// ClassFP32 op, so its comparison takes the FP32 pipe's depth, not
 		// the integer pipe's.
 		w.predReady[in.DstPred] = m.cycle + m.cfg.latency(cl)
+		w.predClass[in.DstPred] = uint8(cl)
 	}
 	return nil
 }

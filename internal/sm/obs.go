@@ -12,9 +12,19 @@ import (
 // path: a machine without a recorder holds a nil *smObs and the cycle loop
 // pays a single nil-check branch per scheduler round (the guarantee
 // BenchmarkSMObsDisabled guards).
+//
+// Registry instruments are labeled per kernel x scheme through obs.Name
+// (DESIGN.md section 8): sm.cycles{kernel,scheme},
+// sm.stall_cycles{kernel,scheme,reason}, ... so repeated launches of the
+// same (kernel, scheme) pair accumulate into one series while different
+// schemes never alias. Aggregate views sum the family
+// (Registry.SumCounters).
 type smObs struct {
 	rec *obs.Recorder
 	pid int64
+	// kernel/scheme are the label values every instrument of this launch
+	// carries.
+	kernel, scheme string
 	// period is the sampling window in cycles; counter samples (occupancy,
 	// issue-slot usage, stall attribution) are emitted once per window.
 	period   int64
@@ -30,23 +40,30 @@ type smObs struct {
 	warpsRun  *obs.Counter
 }
 
-func newSMObs(rec *obs.Recorder, kernel string) *smObs {
+func newSMObs(rec *obs.Recorder, k *isa.Kernel) *smObs {
 	period := rec.SamplePeriod
 	if period < 1 {
 		period = obs.DefaultSamplePeriod
 	}
+	scheme := k.Scheme
+	if scheme == "" {
+		scheme = "none"
+	}
 	reg := rec.Registry()
+	kv := []string{"kernel", k.Name, "scheme", scheme}
 	return &smObs{
 		rec:    rec,
-		pid:    rec.UniqueProcess("sm:" + kernel),
+		pid:    rec.UniqueProcess("sm:" + k.Name),
+		kernel: k.Name,
+		scheme: scheme,
 		period: period,
 		// Scoreboard waits are bounded by the global-memory latency tail
 		// (~140 cycles by default); detection latency by kernel length.
-		scoreWait: reg.Histogram("sm.scoreboard_wait_cycles", obs.ExpBounds(1, 12)...),
-		detectLat: reg.Histogram("sm.detect_latency_cycles", obs.ExpBounds(1, 16)...),
-		cycles:    reg.Counter("sm.cycles"),
-		instrs:    reg.Counter("sm.warp_instrs"),
-		warpsRun:  reg.Counter("sm.warps_retired"),
+		scoreWait: reg.Histogram(obs.Name("sm.scoreboard_wait_cycles", kv...), obs.ExpBounds(1, 12)...),
+		detectLat: reg.Histogram(obs.Name("sm.detect_latency_cycles", kv...), obs.ExpBounds(1, 16)...),
+		cycles:    reg.Counter(obs.Name("sm.cycles", kv...)),
+		instrs:    reg.Counter(obs.Name("sm.warp_instrs", kv...)),
+		warpsRun:  reg.Counter(obs.Name("sm.warps_retired", kv...)),
 	}
 }
 
@@ -107,14 +124,34 @@ func (o *smObs) due(m *machine, r isa.Reg, lane int) {
 		map[string]any{"reg": r.String(), "lane": lane})
 }
 
-// finish flushes the trailing partial window and the lifetime spans of
-// still-resident warps — called on every run() exit path so cancelled
-// launches leave a coherent partial trace.
+// finish flushes the trailing partial window, the lifetime spans of
+// still-resident warps, and the launch's CPI-stack counters — called on
+// every run() exit path so cancelled launches leave a coherent partial
+// trace and a complete-so-far cycle partition.
 func (o *smObs) finish(m *machine) {
 	o.sample(m)
 	for _, w := range m.warps {
 		if !w.done {
 			o.warpDone(m, w)
 		}
+	}
+	// CPI-stack counters land once per launch (cold path: Registry lookup
+	// is fine here). The reason dimension uses the cpistack component
+	// vocabulary so /metrics scrapes line up with the -exp cpistack tables.
+	reg := o.rec.Registry()
+	st := m.stats
+	for reason, v := range map[string]int64{
+		"deps": st.StallCyclesDeps, "throttle": st.StallCyclesThrottle,
+		"barrier": st.StallCyclesBarrier, "nowarp": st.StallCyclesNoWarp,
+		"occupancy": st.StallCyclesOccupancy,
+	} {
+		if v > 0 {
+			reg.Counter(obs.Name("sm.stall_cycles",
+				"kernel", o.kernel, "scheme", o.scheme, "reason", reason)).Add(v)
+		}
+	}
+	if st.IssueCycles > 0 {
+		reg.Counter(obs.Name("sm.issue_cycles",
+			"kernel", o.kernel, "scheme", o.scheme)).Add(st.IssueCycles)
 	}
 }

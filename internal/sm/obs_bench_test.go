@@ -33,3 +33,26 @@ func BenchmarkSMObsDisabled(b *testing.B) { benchLaunch(b, nil) }
 // BenchmarkSMObsEnabled measures a fully traced launch (warp spans, window
 // samples, histograms) for the DESIGN.md overhead model.
 func BenchmarkSMObsEnabled(b *testing.B) { benchLaunch(b, obs.NewRecorder()) }
+
+// BenchmarkSMCPIStack measures the always-on CPI-stack accounting: a launch
+// plus building the attribution stack from its Stats. The per-round cost
+// (per-class idle charges, issue-cycle partition) is included in every
+// launch benchmark already; this pins the end-to-end number the benchdiff
+// trajectory tracks so a future accounting change that bloats the cycle
+// loop shows up as a regression here.
+func BenchmarkSMCPIStack(b *testing.B) {
+	const n = 2048
+	k := vecAddKernel(n, 16, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := NewGPU(DefaultConfig(), 3*n+64)
+		st, err := g.Launch(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stack := st.CPIStack(k.Name, k.Scheme)
+		if stack.Sum() != st.Cycles {
+			b.Fatalf("stack sums to %d, want %d", stack.Sum(), st.Cycles)
+		}
+	}
+}

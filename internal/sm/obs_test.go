@@ -71,17 +71,36 @@ func TestObsRegistryCounters(t *testing.T) {
 		t.Fatal(err)
 	}
 	reg := rec.Registry()
-	if got := reg.Counter("sm.cycles").Value(); got != st.Cycles {
+	// Instruments are labeled per kernel x scheme (DESIGN.md section 8); a
+	// hand-built kernel launched without a compiler pass gets scheme "none".
+	kv := []string{"kernel", k.Name, "scheme", "none"}
+	if got := reg.Counter(obs.Name("sm.cycles", kv...)).Value(); got != st.Cycles {
 		t.Errorf("sm.cycles = %d, want Stats.Cycles = %d", got, st.Cycles)
 	}
-	if got := reg.Counter("sm.warp_instrs").Value(); got != st.DynWarpInstrs {
+	if got := reg.SumCounters("sm.cycles"); got != st.Cycles {
+		t.Errorf("SumCounters(sm.cycles) = %d, want %d", got, st.Cycles)
+	}
+	if got := reg.Counter(obs.Name("sm.warp_instrs", kv...)).Value(); got != st.DynWarpInstrs {
 		t.Errorf("sm.warp_instrs = %d, want Stats.DynWarpInstrs = %d", got, st.DynWarpInstrs)
 	}
-	if got := reg.Counter("sm.warps_retired").Value(); got != 8 {
+	if got := reg.Counter(obs.Name("sm.warps_retired", kv...)).Value(); got != 8 {
 		t.Errorf("sm.warps_retired = %d, want 8", got)
 	}
-	if reg.Histogram("sm.scoreboard_wait_cycles").Count() == 0 {
+	if reg.Histogram(obs.Name("sm.scoreboard_wait_cycles", kv...)).Count() == 0 {
 		t.Error("no scoreboard waits observed on a latency-bound kernel")
+	}
+	// The per-launch CPI-stack counters must reconcile with Stats too.
+	var stallSum int64
+	for _, m := range reg.Snapshot() {
+		if base, _ := obs.ParseName(m.Name); base == "sm.stall_cycles" {
+			stallSum += m.Value
+		}
+	}
+	if stallSum != st.StallCycles() {
+		t.Errorf("sm.stall_cycles family sums to %d, want Stats.StallCycles() = %d", stallSum, st.StallCycles())
+	}
+	if got := reg.SumCounters("sm.issue_cycles"); got != st.IssueCycles {
+		t.Errorf("sm.issue_cycles = %d, want %d", got, st.IssueCycles)
 	}
 }
 
@@ -123,7 +142,8 @@ func TestObsDetectionLatency(t *testing.T) {
 	if st.PipelineDUEs == 0 {
 		t.Fatal("fault was not detected; cannot measure latency")
 	}
-	h := rec.Registry().Histogram("sm.detect_latency_cycles")
+	h := rec.Registry().Histogram(obs.Name("sm.detect_latency_cycles",
+		"kernel", k.Name, "scheme", "Swap-ECC"))
 	if h.Count() != st.PipelineDUEs {
 		t.Errorf("detection latency observations = %d, want %d (one per DUE)", h.Count(), st.PipelineDUEs)
 	}

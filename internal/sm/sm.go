@@ -19,6 +19,7 @@ import (
 	"swapcodes/internal/core"
 	"swapcodes/internal/isa"
 	"swapcodes/internal/obs"
+	"swapcodes/internal/obs/cpistack"
 )
 
 // Config gives the SM's microarchitectural parameters. The defaults are
@@ -177,15 +178,68 @@ type Stats struct {
 	StallDeps, StallThrottle, StallBarrier, StallNoWarp int64
 	// Cycle-level stall attribution: cycles in which NO scheduler issued,
 	// charged to the blocking reason of the SM's nearest-to-ready warp
-	// (rounds where at least one slot issued are not charged). The four
-	// fields plus issuing cycles partition Cycles for latency-bound
-	// kernels, which makes "where did the slowdown go" a direct read.
+	// (rounds where at least one slot issued are charged to IssueCycles).
+	// Together the five stall fields and IssueCycles partition Cycles
+	// exactly — the launch's CPI stack (see CPIStack) — which makes "where
+	// did the slowdown go" a direct read.
 	StallCyclesDeps, StallCyclesThrottle, StallCyclesBarrier, StallCyclesNoWarp int64
+	// StallCyclesOccupancy charges idle cycles to occupancy capping:
+	// dependence or warp-starvation idles that occurred while registers or
+	// shared memory held residency below the SM's warp-slot limit with CTAs
+	// still waiting — latency the denied warps could have covered.
+	StallCyclesOccupancy int64
+	// IssueCycles counts cycles in which at least one scheduler slot issued.
+	IssueCycles int64
+	// ResidentWarpLimit is the occupancy cap the launch ran under, in warps
+	// (MaxResidentWarps can run below it on small grids).
+	ResidentWarpLimit int
+	// DepCyclesPerClass sub-attributes StallCyclesDeps to the pipe class of
+	// the producer being waited on; ThrottleCyclesPerClass sub-attributes
+	// StallCyclesThrottle to the saturated pipe.
+	DepCyclesPerClass      map[isa.Class]int64
+	ThrottleCyclesPerClass map[isa.Class]int64
 }
 
 // StallCycles returns the total fully-idle cycles across all reasons.
 func (s *Stats) StallCycles() int64 {
-	return s.StallCyclesDeps + s.StallCyclesThrottle + s.StallCyclesBarrier + s.StallCyclesNoWarp
+	return s.StallCyclesDeps + s.StallCyclesThrottle + s.StallCyclesBarrier +
+		s.StallCyclesNoWarp + s.StallCyclesOccupancy
+}
+
+// CPIStack exports the launch's cycle partition in the attribution
+// vocabulary of internal/obs/cpistack. kernel and scheme override the
+// kernel's own stamps when non-empty (callers that launch un-stamped
+// hand-built kernels can still label their stacks).
+func (s *Stats) CPIStack(kernel, scheme string) *cpistack.Stack {
+	st := &cpistack.Stack{
+		Kernel:            kernel,
+		Scheme:            scheme,
+		Cycles:            s.Cycles,
+		Instrs:            s.DynWarpInstrs,
+		MaxResidentWarps:  s.MaxResidentWarps,
+		ResidentWarpLimit: s.ResidentWarpLimit,
+		Comp: map[string]int64{
+			cpistack.Issue:     s.IssueCycles,
+			cpistack.Deps:      s.StallCyclesDeps,
+			cpistack.Throttle:  s.StallCyclesThrottle,
+			cpistack.Barrier:   s.StallCyclesBarrier,
+			cpistack.NoWarp:    s.StallCyclesNoWarp,
+			cpistack.Occupancy: s.StallCyclesOccupancy,
+		},
+	}
+	if len(s.DepCyclesPerClass) > 0 {
+		st.DepsByClass = make(map[string]int64, len(s.DepCyclesPerClass))
+		for cl, v := range s.DepCyclesPerClass {
+			st.DepsByClass[cl.String()] = v
+		}
+	}
+	if len(s.ThrottleCyclesPerClass) > 0 {
+		st.ThrottleByClass = make(map[string]int64, len(s.ThrottleCyclesPerClass))
+		for cl, v := range s.ThrottleCyclesPerClass {
+			st.ThrottleByClass[cl.String()] = v
+		}
+	}
+	return st
 }
 
 // IPC returns issued warp instructions per cycle.
