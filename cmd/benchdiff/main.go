@@ -18,6 +18,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -96,23 +97,42 @@ func main() {
 		}
 	}
 	if *compare != "" {
-		cur, err := readFile(*compare)
-		fail(err)
-		prev, err := latestPrior(*dir, *compare)
-		fail(err)
-		if prev == nil {
-			fmt.Fprintf(os.Stderr, "benchdiff: no prior BENCH_*.json in %s; nothing to compare\n", *dir)
-			return
-		}
-		report, regressions := Compare(prev, cur, *threshold)
-		fmt.Print(report)
-		if regressions > 0 && !*informational {
-			fail(fmt.Errorf("%d benchmark(s) regressed more than %.0f%%", regressions, *threshold))
-		}
-		if regressions > 0 {
-			fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) over %.0f%% (informational)\n", regressions, *threshold)
-		}
+		fail(runCompare(os.Stdout, *compare, *dir, *threshold, *informational))
 	}
+}
+
+// runCompare loads the record at curPath and compares it against the latest
+// prior record in dir. Two situations are outcomes rather than errors: a
+// missing curPath (first run on a branch with no record yet — there is
+// nothing to gate) and an empty dir (this record is the first of the
+// trajectory). Both say so on stderr and return nil so CI's first run
+// passes.
+func runCompare(w *os.File, curPath, dir string, threshold float64, informational bool) error {
+	cur, err := readFile(curPath)
+	if errors.Is(err, os.ErrNotExist) {
+		fmt.Fprintf(os.Stderr, "benchdiff: no record %s (first run?); nothing to compare\n", curPath)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	prev, err := latestPrior(dir, curPath)
+	if err != nil {
+		return err
+	}
+	if prev == nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: no prior BENCH_*.json in %s; nothing to compare\n", dir)
+		return nil
+	}
+	report, regressions := Compare(prev, cur, threshold)
+	fmt.Fprint(w, report)
+	if regressions > 0 && !informational {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%", regressions, threshold)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) over %.0f%% (informational)\n", regressions, threshold)
+	}
+	return nil
 }
 
 // runSuite executes the tier-1 set via go test -bench and parses the output.
@@ -282,7 +302,10 @@ func latestPrior(dir, cur string) (*File, error) {
 		}
 		f, err := readFile(p)
 		if err != nil {
-			return nil, err
+			// A truncated, empty, or foreign-schema record must not wedge
+			// every future comparison; warn and fall back to older records.
+			fmt.Fprintf(os.Stderr, "benchdiff: skipping unreadable prior %s: %v\n", p, err)
+			continue
 		}
 		files = append(files, f)
 	}

@@ -109,3 +109,71 @@ func TestLatestPriorEmpty(t *testing.T) {
 		t.Errorf("empty dir: prev=%v err=%v, want nil/nil", prev, err)
 	}
 }
+
+// TestLatestPriorSkipsCorruptRecords: a truncated or foreign-schema record
+// in the trajectory must not wedge comparison; older valid records win.
+func TestLatestPriorSkipsCorruptRecords(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeFile(filepath.Join(dir, "BENCH_PR2.json"), record("PR2", bench("A", 100))); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_PR3.json"), nil, 0o644); err != nil {
+		t.Fatal(err) // empty file: truncated write
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_PR9.json"), []byte(`{"schema_version": 99}`), 0o644); err != nil {
+		t.Fatal(err) // future schema
+	}
+	prev, err := latestPrior(dir, filepath.Join(dir, "BENCH_PR10.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev == nil || prev.Label != "PR2" {
+		t.Fatalf("latest prior = %+v, want the surviving PR2", prev)
+	}
+}
+
+// TestRunCompareFirstRun: comparing a record that does not exist yet (a
+// fresh branch, no -run) is the first-run outcome, not a failure.
+func TestRunCompareFirstRun(t *testing.T) {
+	dir := t.TempDir()
+	if err := runCompare(os.Stdout, filepath.Join(dir, "BENCH_PR1.json"), dir, 15, false); err != nil {
+		t.Fatalf("missing current record should be a no-op, got %v", err)
+	}
+}
+
+// TestRunCompareNoPrior: the trajectory's very first record has nothing to
+// compare against and must not fail the gate.
+func TestRunCompareNoPrior(t *testing.T) {
+	dir := t.TempDir()
+	cur := filepath.Join(dir, "BENCH_PR1.json")
+	if err := writeFile(cur, record("PR1", bench("A", 100))); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCompare(os.Stdout, cur, dir, 15, false); err != nil {
+		t.Fatalf("no-prior compare should be a no-op, got %v", err)
+	}
+}
+
+// TestRunCompareGate: with a prior present, regressions over threshold fail
+// unless -informational.
+func TestRunCompareGate(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeFile(filepath.Join(dir, "BENCH_PR1.json"), record("PR1", bench("A", 100))); err != nil {
+		t.Fatal(err)
+	}
+	cur := filepath.Join(dir, "BENCH_PR2.json")
+	if err := writeFile(cur, record("PR2", bench("A", 200))); err != nil {
+		t.Fatal(err)
+	}
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	if err := runCompare(null, cur, dir, 15, false); err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("100%% regression err = %v, want gate failure", err)
+	}
+	if err := runCompare(null, cur, dir, 15, true); err != nil {
+		t.Fatalf("informational mode must not fail, got %v", err)
+	}
+}

@@ -7,10 +7,13 @@
 //	experiments -exp fig10,fig11 -tuples 10000 -seed 1
 //
 // Experiments: headline table1 table2 table3 table4 fig10 fig11 fig12
-// fig13 cpistack fig14 fig15 fig16 all. ("all" covers the tables and
+// fig13 cpistack fig14 fig15 fig16 verify all. ("all" covers the tables and
 // figures; "headline" recomputes the paper-vs-measured claim summary;
 // "cpistack" decomposes each scheme's Figure 12 slowdown into per-kernel
-// cycle stacks and a baseline-diff attribution table.)
+// cycle stacks and a baseline-diff attribution table; "verify" runs the
+// differential verifier — every workload x scheme x optimization combo
+// linted and checked for architectural equivalence against baseline — and
+// is not part of "all" since it replays the whole workload suite 68 times.)
 //
 // Experiments run concurrently as jobs on one engine pool (-workers, default
 // all cores); simulation and injection results are bit-identical at any
@@ -34,10 +37,11 @@ import (
 	"swapcodes/internal/engine"
 	"swapcodes/internal/harness"
 	"swapcodes/internal/obs"
+	"swapcodes/internal/verify"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments to run (headline, table1..table4, fig10..fig16, cpistack, all)")
+	exp := flag.String("exp", "all", "comma-separated experiments to run (headline, table1..table4, fig10..fig16, cpistack, verify, all)")
 	tuples := flag.Int("tuples", 10000, "input tuples per unit for the fig10/fig11 injection campaign")
 	seed := flag.Int64("seed", 1, "campaign master seed (results are bit-identical for a given seed at any -workers)")
 	workers := flag.Int("workers", 0, "engine worker count (0 = all cores)")
@@ -270,6 +274,17 @@ func run(rec *obs.Recorder, exp string, tuples int, seed int64, workers int,
 			writeCSV("fig16.csv", perf.CSV())
 			return perf.Render("Figure 16: Swap-Predict with plausible future check-bit predictors"), nil
 		}},
+		{"verify", func(ctx context.Context) (string, error) {
+			res, err := harness.RunVerifyCtx(ctx, pool, verify.Matrix())
+			if err != nil {
+				return "", err
+			}
+			out := res.Render("Differential verification: workloads x schemes x {DCE, Schedule, DisableMoveProp}")
+			if n := res.Failed(); n > 0 {
+				return out, fmt.Errorf("verify: %d combo cells failed", n)
+			}
+			return out, nil
+		}},
 	}
 
 	want := map[string]bool{}
@@ -281,7 +296,9 @@ func run(rec *obs.Recorder, exp string, tuples int, seed int64, workers int,
 	known := map[string]bool{"all": true}
 	for _, e := range experiments {
 		known[e.name] = true
-		if want[e.name] || all {
+		// "verify" replays the whole workload suite across 68 combos; it is
+		// opt-in only and deliberately not part of "all".
+		if want[e.name] || (all && e.name != "verify") {
 			selected = append(selected, e)
 		}
 	}

@@ -1,0 +1,40 @@
+package compiler
+
+// Shared control-flow helpers. The dead-code eliminator and the list
+// scheduler must agree on where basic blocks begin and on when a guarded
+// terminator can fall through — a PT-guarded BRA is unconditional
+// (isa.Instr.Unconditional), so it ends its block with no fall-through
+// successor, exactly as the interpreter executes it. Keeping the logic in
+// one place is what makes that agreement checkable.
+
+import "swapcodes/internal/isa"
+
+// blockTerminator reports whether the opcode ends a basic block: control
+// transfers (BRA), thread termination (EXIT, BPT), and barriers (BAR, which
+// must stay ordered against everything around it).
+func blockTerminator(op isa.Opcode) bool {
+	switch op {
+	case isa.BRA, isa.EXIT, isa.BPT, isa.BAR:
+		return true
+	}
+	return false
+}
+
+// blockLeaders marks the basic-block leader PCs of a code sequence: entry,
+// every branch target, and every instruction following a terminator. The
+// returned slice has len(code)+1 entries so the end sentinel (PC == len)
+// can be marked by branch-to-end code without special cases.
+func blockLeaders(code []isa.Instr) []bool {
+	leaders := make([]bool, len(code)+1)
+	leaders[0] = true
+	for pc := range code {
+		in := &code[pc]
+		if in.Op == isa.BRA && int(in.Imm) >= 0 && int(in.Imm) <= len(code) {
+			leaders[in.Imm] = true
+		}
+		if blockTerminator(in.Op) {
+			leaders[pc+1] = true
+		}
+	}
+	return leaders
+}

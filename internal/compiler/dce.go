@@ -17,6 +17,8 @@ package compiler
 // removed together (both writes are unused).
 
 import (
+	"fmt"
+
 	"swapcodes/internal/isa"
 )
 
@@ -93,29 +95,34 @@ func sideEffect(in *isa.Instr) bool {
 // swapAware=false the analysis treats shadow instructions as full writes —
 // the buggy textbook behaviour the paper cautions against, exported only so
 // the hazard can be demonstrated (see the package tests).
-func EliminateDeadCode(k *isa.Kernel, swapAware bool) *isa.Kernel {
+//
+// A BRA may target pc == len(code): that end sentinel is a valid empty block
+// (the warp falls off the end and terminates, like the fall-through after a
+// trailing guarded EXIT). Targets outside [0, len(code)] are rejected with an
+// error rather than silently mis-building the CFG.
+func EliminateDeadCode(k *isa.Kernel, swapAware bool) (*isa.Kernel, error) {
 	n := len(k.Code)
-	// Block structure.
-	leaders := make([]bool, n+1)
-	leaders[0] = true
-	for pc, in := range k.Code {
-		if in.Op == isa.BRA {
-			leaders[in.Imm] = true
-			leaders[pc+1] = true
-		}
-		if in.Op == isa.EXIT || in.Op == isa.BPT || in.Op == isa.BAR {
-			leaders[pc+1] = true
+	for pc := range k.Code {
+		in := &k.Code[pc]
+		if in.Op == isa.BRA && (int(in.Imm) < 0 || int(in.Imm) > n) {
+			return nil, fmt.Errorf("compiler: kernel %q: BRA at pc=%d targets %d, outside [0,%d]", k.Name, pc, in.Imm, n)
 		}
 	}
+	// Block structure. The leader set is shared with the scheduler
+	// (blockLeaders); pc == n is the end-sentinel block with no code and no
+	// successors.
+	leaders := blockLeaders(k.Code)
 	var starts []int
-	for pc := 0; pc <= n; pc++ {
-		if pc == n || leaders[pc] {
-			if pc < n {
-				starts = append(starts, pc)
-			}
+	for pc := 0; pc < n; pc++ {
+		if leaders[pc] {
+			starts = append(starts, pc)
 		}
 	}
-	blockOf := make([]int, n)
+	// blockOf has n+1 entries so a branch to the end sentinel resolves to a
+	// distinct block id with no out-edges and an empty live-in set.
+	endBlock := len(starts)
+	blockOf := make([]int, n+1)
+	blockOf[n] = endBlock
 	ends := make([]int, len(starts))
 	for bi, s := range starts {
 		e := n
@@ -133,13 +140,15 @@ func EliminateDeadCode(k *isa.Kernel, swapAware bool) *isa.Kernel {
 		in := &k.Code[last]
 		switch in.Op {
 		case isa.BRA:
-			succs[bi] = append(succs[bi], blockOf[in.Imm])
-			if in.GuardPred != isa.NoPred && in.GuardPred != isa.PT && ends[bi] < n {
+			if t := blockOf[in.Imm]; t != endBlock {
+				succs[bi] = append(succs[bi], t)
+			}
+			if !in.Unconditional() && ends[bi] < n {
 				succs[bi] = append(succs[bi], blockOf[ends[bi]])
 			}
 		case isa.EXIT:
 			// no successors (guarded EXIT falls through for other lanes)
-			if (in.GuardPred != isa.NoPred && in.GuardPred != isa.PT) && ends[bi] < n {
+			if !in.Unconditional() && ends[bi] < n {
 				succs[bi] = append(succs[bi], blockOf[ends[bi]])
 			}
 		default:
@@ -168,7 +177,7 @@ func EliminateDeadCode(k *isa.Kernel, swapAware bool) *isa.Kernel {
 				shadowWrite := in.Flags&isa.FlagShadow != 0
 				if !(swapAware && shadowWrite) {
 					// A guarded write is partial; only unguarded writes kill.
-					if in.GuardPred == isa.NoPred || in.GuardPred == isa.PT {
+					if in.Unconditional() {
 						live.clearReg(in.Dst)
 						if in.Is64Dst() {
 							live.clearReg(in.Dst + 1)
@@ -176,8 +185,7 @@ func EliminateDeadCode(k *isa.Kernel, swapAware bool) *isa.Kernel {
 					}
 				}
 			}
-			if (in.Op == isa.ISETP || in.Op == isa.FSETP) &&
-				(in.GuardPred == isa.NoPred || in.GuardPred == isa.PT) {
+			if (in.Op == isa.ISETP || in.Op == isa.FSETP) && in.Unconditional() {
 				live.clearPred(in.DstPred)
 			}
 			uses(in, &live)
@@ -222,15 +230,14 @@ func EliminateDeadCode(k *isa.Kernel, swapAware bool) *isa.Kernel {
 			if !dead {
 				if in.WritesReg() {
 					shadowWrite := in.Flags&isa.FlagShadow != 0
-					if !(swapAware && shadowWrite) &&
-						(in.GuardPred == isa.NoPred || in.GuardPred == isa.PT) {
+					if !(swapAware && shadowWrite) && in.Unconditional() {
 						live.clearReg(in.Dst)
 						if in.Is64Dst() {
 							live.clearReg(in.Dst + 1)
 						}
 					}
 				}
-				if isSetp && (in.GuardPred == isa.NoPred || in.GuardPred == isa.PT) {
+				if isSetp && in.Unconditional() {
 					live.clearPred(in.DstPred)
 				}
 				uses(in, &live)
@@ -264,5 +271,5 @@ func EliminateDeadCode(k *isa.Kernel, swapAware bool) *isa.Kernel {
 		out.Code = append(out.Code, in)
 	}
 	out.NumRegs = out.MaxReg() + 1
-	return out
+	return out, nil
 }

@@ -1,10 +1,20 @@
 package compiler
 
 import (
+	"strings"
 	"testing"
 
 	"swapcodes/internal/isa"
 )
+
+func mustDCE(t *testing.T, k *isa.Kernel, swapAware bool) *isa.Kernel {
+	t.Helper()
+	d, err := EliminateDeadCode(k, swapAware)
+	if err != nil {
+		t.Fatalf("EliminateDeadCode: %v", err)
+	}
+	return d
+}
 
 func TestDCERemovesDeadArithmetic(t *testing.T) {
 	a := NewAsm("dead")
@@ -16,7 +26,7 @@ func TestDCERemovesDeadArithmetic(t *testing.T) {
 	a.Stg(0, 0, 1)
 	a.Exit()
 	k := a.MustBuild(1, 32, 0)
-	d := EliminateDeadCode(k, true)
+	d := mustDCE(t, k, true)
 	if len(d.Code) != 4 { // S2R, IADD(live), STG, EXIT
 		t.Fatalf("kept %d instructions, want 4:\n%s", len(d.Code), Format(d))
 	}
@@ -27,7 +37,7 @@ func TestDCERemovesDeadArithmetic(t *testing.T) {
 
 func TestDCEKeepsLoopCarriedValues(t *testing.T) {
 	k := testKernel(t) // has a loop-carried accumulator
-	d := EliminateDeadCode(k, true)
+	d := mustDCE(t, k, true)
 	if err := d.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -49,12 +59,12 @@ func TestDCESwapAwareKeepsOriginals(t *testing.T) {
 	a.Exit()
 	k := MustApply(a.MustBuild(1, 32, 0), SwapECC)
 
-	aware := EliminateDeadCode(k, true)
+	aware := mustDCE(t, k, true)
 	if len(aware.Code) != len(k.Code) {
 		t.Fatalf("aware DCE removed protected code: %d -> %d", len(k.Code), len(aware.Code))
 	}
 
-	naive := EliminateDeadCode(k, false)
+	naive := mustDCE(t, k, false)
 	origs, shadows := 0, 0
 	for _, in := range naive.Code {
 		if !in.Op.DupEligible() || !in.WritesReg() {
@@ -81,7 +91,7 @@ func TestDCERemovesWholeDeadPairs(t *testing.T) {
 	a.Stg(0, 0, 1)
 	a.Exit()
 	k := MustApply(a.MustBuild(1, 32, 0), SwapECC)
-	d := EliminateDeadCode(k, true)
+	d := mustDCE(t, k, true)
 	for _, in := range d.Code {
 		if in.WritesReg() && in.Dst == 2 {
 			t.Fatalf("dead pair survived:\n%s", Format(d))
@@ -112,7 +122,7 @@ func TestDCERetargetsBranches(t *testing.T) {
 	a.Stg(0, 0, 1)
 	a.Exit()
 	k := a.MustBuild(1, 32, 0)
-	d := EliminateDeadCode(k, true)
+	d := mustDCE(t, k, true)
 	if len(d.Code) != len(k.Code)-1 {
 		t.Fatalf("expected exactly one removal: %d -> %d", len(k.Code), len(d.Code))
 	}
@@ -126,5 +136,109 @@ func TestDCERetargetsBranches(t *testing.T) {
 				t.Fatalf("branch targets %v after retargeting", tgt.Op)
 			}
 		}
+	}
+}
+
+// TestDCEBranchToEnd: a BRA targeting pc == len(code) fails Kernel.Validate
+// (the SM would fault executing it), but such code can still reach DCE from
+// fuzzed or mid-construction input — the pass must treat the target as an
+// empty end-sentinel block instead of indexing blockOf out of range and
+// panicking. Before the fix this test crashed the process.
+func TestDCEBranchToEnd(t *testing.T) {
+	k := &isa.Kernel{
+		Name: "bra-end", GridCTAs: 1, CTAThreads: 32, NumRegs: 4,
+		Code: []isa.Instr{
+			{Op: isa.S2R, Dst: 0, Src: [3]isa.Reg{isa.RZ, isa.RZ, isa.RZ}, Imm: int32(isa.SRTid), GuardPred: isa.NoPred},
+			{Op: isa.ISETP, DstPred: 0, Dst: isa.RZ, Src: [3]isa.Reg{0, isa.RZ, isa.RZ}, Imm: 16, HasImm: true, Mod: isa.CmpLT, GuardPred: isa.NoPred},
+			{Op: isa.STG, Dst: isa.RZ, Src: [3]isa.Reg{0, 0, isa.RZ}, GuardPred: isa.NoPred},
+			// Divergent branch straight past the final EXIT.
+			{Op: isa.BRA, Dst: isa.RZ, Src: [3]isa.Reg{isa.RZ, isa.RZ, isa.RZ}, Imm: 5, Reconv: 5, GuardPred: 0},
+			{Op: isa.EXIT, Dst: isa.RZ, Src: [3]isa.Reg{isa.RZ, isa.RZ, isa.RZ}, GuardPred: isa.NoPred},
+		},
+	}
+	d, err := EliminateDeadCode(k, true)
+	if err != nil {
+		t.Fatalf("EliminateDeadCode on branch-to-end kernel: %v", err)
+	}
+	// Everything has effects; nothing may be removed, and the sentinel
+	// target must survive retargeting as "one past the last instruction".
+	if len(d.Code) != len(k.Code) {
+		t.Fatalf("removed live code: %d -> %d\n%s", len(k.Code), len(d.Code), Format(d))
+	}
+	for _, in := range d.Code {
+		if in.Op == isa.BRA && int(in.Imm) != len(d.Code) {
+			t.Fatalf("sentinel branch retargeted to %d, want %d", in.Imm, len(d.Code))
+		}
+	}
+}
+
+// TestDCEOutOfRangeBranchErrors: a corrupt target must surface as an error,
+// not a panic deep inside CFG construction.
+func TestDCEOutOfRangeBranchErrors(t *testing.T) {
+	for _, imm := range []int32{-1, 99} {
+		k := &isa.Kernel{
+			Name: "bad-bra", GridCTAs: 1, CTAThreads: 32, NumRegs: 2,
+			Code: []isa.Instr{
+				{Op: isa.BRA, Dst: isa.RZ, Src: [3]isa.Reg{isa.RZ, isa.RZ, isa.RZ}, Imm: imm, GuardPred: isa.NoPred},
+				{Op: isa.EXIT, Dst: isa.RZ, Src: [3]isa.Reg{isa.RZ, isa.RZ, isa.RZ}, GuardPred: isa.NoPred},
+			},
+		}
+		_, err := EliminateDeadCode(k, true)
+		if err == nil {
+			t.Fatalf("Imm=%d: want error, got nil", imm)
+		}
+		if !strings.Contains(err.Error(), "targets") {
+			t.Fatalf("Imm=%d: unhelpful error %q", imm, err)
+		}
+	}
+}
+
+// TestDCEPTGuardedBranchIsUnconditional: a @PT BRA cannot fall through, so
+// code between it and its target that is only "reachable" via the bogus
+// fall-through edge must be deleted. Pins the Unconditional() unification.
+func TestDCEPTGuardedBranchIsUnconditional(t *testing.T) {
+	k := &isa.Kernel{
+		Name: "pt-bra", GridCTAs: 1, CTAThreads: 32, NumRegs: 4,
+		Code: []isa.Instr{
+			{Op: isa.S2R, Dst: 0, Src: [3]isa.Reg{isa.RZ, isa.RZ, isa.RZ}, Imm: int32(isa.SRTid), GuardPred: isa.NoPred},
+			{Op: isa.MOV, Dst: 1, Src: [3]isa.Reg{isa.RZ, isa.RZ, isa.RZ}, Imm: 5, HasImm: true, GuardPred: isa.NoPred},
+			{Op: isa.BRA, Dst: isa.RZ, Src: [3]isa.Reg{isa.RZ, isa.RZ, isa.RZ}, Imm: 4, Reconv: 4, GuardPred: isa.PT},
+			// Dead: only the (nonexistent) fall-through of the @PT BRA could
+			// make R1 live here.
+			{Op: isa.STG, Dst: isa.RZ, Src: [3]isa.Reg{0, 1, isa.RZ}, GuardPred: isa.NoPred},
+			{Op: isa.EXIT, Dst: isa.RZ, Src: [3]isa.Reg{isa.RZ, isa.RZ, isa.RZ}, GuardPred: isa.NoPred},
+		},
+	}
+	if err := k.Validate(); err != nil {
+		t.Fatalf("fixture invalid: %v", err)
+	}
+	d := mustDCE(t, k, true)
+	for _, in := range d.Code {
+		if in.Op == isa.MOV && in.Dst == 1 {
+			t.Fatalf("MOV R1 only consumed past an unconditional @PT BRA was kept:\n%s", Format(d))
+		}
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDCEDivergentGuardKeepsBothPaths: a genuinely divergent @P0 BRA has a
+// real fall-through edge, so a value consumed only on the fall-through path
+// must stay live.
+func TestDCEDivergentGuardKeepsBothPaths(t *testing.T) {
+	a := NewAsm("div-guard")
+	a.S2R(0, isa.SRTid)
+	a.MovI(1, 7) // consumed only on the fall-through path
+	a.ISetpI(isa.CmpLT, 0, 0, 16)
+	a.BraP(0, false, "skip", "skip")
+	a.Stg(0, 0, 1)
+	a.Label("skip")
+	a.Exit()
+	k := a.MustBuild(1, 32, 0)
+	d := mustDCE(t, k, true)
+	if len(d.Code) != len(k.Code) {
+		t.Fatalf("divergent fall-through path lost an instruction: %d -> %d\n%s",
+			len(k.Code), len(d.Code), Format(d))
 	}
 }

@@ -316,7 +316,10 @@ func TestRandomKernelsDCEPreservesSemantics(t *testing.T) {
 		k, mem := generateKernel(seed, 2, 64)
 		want := runMem(t, compiler.MustApply(k, compiler.Baseline), mem, seed)
 		for _, s := range []compiler.Scheme{compiler.Baseline, compiler.SwapECC, compiler.SWDup} {
-			tk := compiler.EliminateDeadCode(compiler.MustApply(k, s), true)
+			tk, err := compiler.EliminateDeadCode(compiler.MustApply(k, s), true)
+			if err != nil {
+				t.Fatalf("seed %d %v: dce: %v", seed, s, err)
+			}
 			got := runMem(t, tk, mem, seed)
 			for i := range got {
 				if got[i] != want[i] {
@@ -351,10 +354,17 @@ func TestNaiveDCEBreaksSwapECC(t *testing.T) {
 		}
 		return st
 	}
-	if st := run(compiler.EliminateDeadCode(k, true)); st.PipelineDUEs != 0 {
+	dce := func(swapAware bool) *isa.Kernel {
+		d, err := compiler.EliminateDeadCode(k, swapAware)
+		if err != nil {
+			t.Fatalf("dce(swapAware=%v): %v", swapAware, err)
+		}
+		return d
+	}
+	if st := run(dce(true)); st.PipelineDUEs != 0 {
 		t.Fatalf("aware DCE broke protection: %d spurious DUEs", st.PipelineDUEs)
 	}
-	if st := run(compiler.EliminateDeadCode(k, false)); st.PipelineDUEs == 0 {
+	if st := run(dce(false)); st.PipelineDUEs == 0 {
 		t.Fatal("naive DCE produced no spurious DUEs; the hazard demonstration is broken")
 	}
 }

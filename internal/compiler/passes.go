@@ -153,7 +153,10 @@ func ApplyOpts(k *isa.Kernel, s Scheme, o Opts) (*isa.Kernel, error) {
 		return nil, err
 	}
 	if o.DCE {
-		out = EliminateDeadCode(out, true)
+		out, err = EliminateDeadCode(out, true)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if o.Schedule {
 		out = Schedule(out)
@@ -627,7 +630,7 @@ func interThread(k *isa.Kernel, withChecking bool) (*isa.Kernel, error) {
 			}
 			in.Cat = isa.CatNotEligible
 			// Only the even (original) lane performs the access.
-			if in.GuardPred == isa.NoPred || in.GuardPred == isa.PT {
+			if in.Unconditional() {
 				in.GuardPred = predLane
 				in.GuardNeg = true
 				rw.emit(in)

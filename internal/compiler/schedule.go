@@ -53,29 +53,13 @@ func schedLatency(op isa.Opcode) int {
 // needed.
 func Schedule(k *isa.Kernel) *isa.Kernel {
 	out := cloneKernel(k)
-	leaders := make([]bool, len(k.Code)+1)
-	leaders[0] = true
-	terminator := func(op isa.Opcode) bool {
-		switch op {
-		case isa.BRA, isa.EXIT, isa.BPT, isa.BAR:
-			return true
-		}
-		return false
-	}
-	for pc, in := range k.Code {
-		if in.Op == isa.BRA {
-			leaders[in.Imm] = true
-		}
-		if terminator(in.Op) && pc+1 <= len(k.Code) {
-			leaders[pc+1] = true
-		}
-	}
+	leaders := blockLeaders(k.Code)
 	start := 0
 	for pc := 1; pc <= len(k.Code); pc++ {
 		if pc == len(k.Code) || leaders[pc] {
 			end := pc
 			// Keep a trailing terminator fixed.
-			if end > start && terminator(out.Code[end-1].Op) {
+			if end > start && blockTerminator(out.Code[end-1].Op) {
 				end--
 			}
 			scheduleBlock(out.Code[start:end])

@@ -80,7 +80,7 @@ func Format(k *isa.Kernel) string {
 	for _, in := range k.Code {
 		if in.Op == isa.BRA {
 			need(in.Imm)
-			if in.GuardPred != isa.NoPred && in.GuardPred != isa.PT {
+			if !in.Unconditional() {
 				need(in.Reconv)
 			}
 		}
@@ -112,7 +112,7 @@ func regName(r isa.Reg) string {
 
 func formatInstr(in *isa.Instr, labels map[int32]string) string {
 	var b strings.Builder
-	if in.GuardPred != isa.NoPred && in.GuardPred != isa.PT {
+	if !in.Unconditional() {
 		neg := ""
 		if in.GuardNeg {
 			neg = "!"
@@ -151,7 +151,7 @@ func formatInstr(in *isa.Instr, labels map[int32]string) string {
 	case isa.NOP, isa.EXIT, isa.BPT, isa.BAR:
 	case isa.BRA:
 		fmt.Fprintf(&b, " %s", labels[in.Imm])
-		if in.GuardPred != isa.NoPred && in.GuardPred != isa.PT {
+		if !in.Unconditional() {
 			fmt.Fprintf(&b, ", %s", labels[in.Reconv])
 		}
 	case isa.S2R:

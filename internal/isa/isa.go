@@ -281,6 +281,18 @@ type Instr struct {
 	Cat   Category
 }
 
+// Unconditional reports whether the guard is statically always true: the
+// instruction is unguarded or guarded by PT. This is THE definition of
+// "unconditional" shared by the interpreter (activeMask, branch resolution),
+// the dead-code eliminator (kill sets, fall-through successors), and the
+// kernel validator — a PT-guarded branch needs no reconvergence point
+// precisely because every layer agrees it cannot diverge. GuardNeg is
+// ignored for PT, matching the execution semantics (PT has no backing
+// predicate-register bits to negate).
+func (in *Instr) Unconditional() bool {
+	return in.GuardPred == NoPred || in.GuardPred == PT
+}
+
 // Is64Dst reports whether the instruction writes a register pair.
 func (in *Instr) Is64Dst() bool {
 	switch in.Op {
@@ -385,7 +397,7 @@ func (k *Kernel) Validate() error {
 			if int(in.Imm) < 0 || int(in.Imm) >= len(k.Code) {
 				return fmt.Errorf("isa: kernel %s: pc %d: branch target %d out of range", k.Name, pc, in.Imm)
 			}
-			if in.GuardPred != NoPred && in.GuardPred != PT {
+			if !in.Unconditional() {
 				if int(in.Reconv) <= 0 || int(in.Reconv) > len(k.Code) {
 					return fmt.Errorf("isa: kernel %s: pc %d: conditional branch without reconvergence point", k.Name, pc)
 				}

@@ -1,0 +1,134 @@
+package cpistack
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func mkStack(kernel, scheme string, instrs int64, comp map[string]int64) *Stack {
+	s := &Stack{Kernel: kernel, Scheme: scheme, Instrs: instrs, Comp: comp,
+		MaxResidentWarps: 8, ResidentWarpLimit: 16}
+	s.Cycles = s.Sum()
+	return s
+}
+
+func TestSumPartitionsCycles(t *testing.T) {
+	s := mkStack("mm", "swap-ecc", 500, map[string]int64{
+		Issue: 600, Deps: 250, Throttle: 80, Barrier: 40, NoWarp: 20, Occupancy: 10,
+	})
+	if s.Sum() != 1000 || s.Cycles != 1000 {
+		t.Fatalf("Sum() = %d, Cycles = %d, want 1000", s.Sum(), s.Cycles)
+	}
+	if got := s.CPI(); got != 2.0 {
+		t.Fatalf("CPI() = %v, want 2.0", got)
+	}
+	if got := s.Frac(Deps); got != 0.25 {
+		t.Fatalf("Frac(deps) = %v, want 0.25", got)
+	}
+	if len(Components()) != 6 {
+		t.Fatalf("canonical component count = %d, want 6", len(Components()))
+	}
+}
+
+// TestDiffHandComputed pins the attribution arithmetic against numbers
+// worked out by hand: 1000 -> 1330 cycles is a 33% slowdown, split +20%
+// issue (instruction bloat) and +15% dependence stalls, partially offset by
+// -2% warp starvation. The contribution fractions must sum exactly to the
+// slowdown — the package's no-residual-bucket property.
+func TestDiffHandComputed(t *testing.T) {
+	base := mkStack("mm", "baseline", 500, map[string]int64{
+		Issue: 600, Deps: 250, Throttle: 80, Barrier: 40, NoWarp: 30, Occupancy: 0,
+	}) // 1000 cycles
+	prot := mkStack("mm", "swap-ecc", 900, map[string]int64{
+		Issue: 800, Deps: 400, Throttle: 80, Barrier: 40, NoWarp: 10, Occupancy: 0,
+	}) // 1330 cycles
+	prot.MaxResidentWarps = 6
+
+	a := Diff(base, prot)
+	if a.Kernel != "mm" || a.Scheme != "swap-ecc" {
+		t.Fatalf("identity not carried: %+v", a)
+	}
+	if a.BaseCycles != 1000 || a.Cycles != 1330 {
+		t.Fatalf("cycles %d -> %d, want 1000 -> 1330", a.BaseCycles, a.Cycles)
+	}
+	if math.Abs(a.Slowdown-0.33) > 1e-12 {
+		t.Fatalf("Slowdown = %v, want 0.33", a.Slowdown)
+	}
+	if math.Abs(a.InstrFrac-0.8) > 1e-12 {
+		t.Fatalf("InstrFrac = %v, want 0.8", a.InstrFrac)
+	}
+	if a.BaseWarps != 8 || a.Warps != 6 {
+		t.Fatalf("warps %d -> %d, want 8 -> 6", a.BaseWarps, a.Warps)
+	}
+	want := map[string]struct {
+		delta int64
+		frac  float64
+	}{
+		Issue:     {200, 0.20},
+		Deps:      {150, 0.15},
+		Throttle:  {0, 0},
+		Barrier:   {0, 0},
+		NoWarp:    {-20, -0.02},
+		Occupancy: {0, 0},
+	}
+	if len(a.Contribs) != len(Components()) {
+		t.Fatalf("%d contributions, want %d", len(a.Contribs), len(Components()))
+	}
+	sum := 0.0
+	for i, c := range a.Contribs {
+		if c.Name != Components()[i] {
+			t.Fatalf("contribution %d is %q, want canonical order %q", i, c.Name, Components()[i])
+		}
+		w := want[c.Name]
+		if c.DeltaCycles != w.delta || math.Abs(c.Frac-w.frac) > 1e-12 {
+			t.Errorf("%s: delta %d frac %v, want %d / %v", c.Name, c.DeltaCycles, c.Frac, w.delta, w.frac)
+		}
+		sum += c.Frac
+	}
+	if math.Abs(sum-a.Slowdown) > 1e-12 {
+		t.Fatalf("contribution fracs sum to %v, slowdown is %v (residual leaked)", sum, a.Slowdown)
+	}
+	if got := a.Dominant(); got != Issue {
+		t.Fatalf("Dominant() = %q, want %q", got, Issue)
+	}
+	s := a.Summary()
+	for _, frag := range []string{"mm/swap-ecc", "+33.0%", "instrs +80.0%", "issue +20.0%", "warps 8->6"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("Summary() missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+// TestDiffZeroBaseline: a degenerate zero-cycle baseline (empty kernel,
+// failed run) must produce finite zero fractions, not NaN or Inf.
+func TestDiffZeroBaseline(t *testing.T) {
+	base := mkStack("empty", "baseline", 0, map[string]int64{})
+	prot := mkStack("empty", "sw-dup", 10, map[string]int64{Issue: 10})
+	a := Diff(base, prot)
+	if a.Slowdown != 0 || a.InstrFrac != 0 {
+		t.Fatalf("zero baseline: slowdown %v instrfrac %v, want 0/0", a.Slowdown, a.InstrFrac)
+	}
+	for _, c := range a.Contribs {
+		if math.IsNaN(c.Frac) || math.IsInf(c.Frac, 0) {
+			t.Fatalf("%s: non-finite frac %v", c.Name, c.Frac)
+		}
+	}
+	if base.CPI() != 0 || base.Frac(Issue) != 0 {
+		t.Fatalf("zero stack: CPI %v, Frac %v, want 0/0", base.CPI(), base.Frac(Issue))
+	}
+	// With a zero-cycle baseline every Frac is zero, so there is no
+	// dominant slowdown component to name.
+	if got := a.Dominant(); got != "" {
+		t.Fatalf("Dominant() = %q, want empty on zero baseline", got)
+	}
+}
+
+// TestDominantNothingSlower: when no component grew, Dominant reports "".
+func TestDominantNothingSlower(t *testing.T) {
+	s := mkStack("mm", "x", 10, map[string]int64{Issue: 100})
+	a := Diff(s, s)
+	if got := a.Dominant(); got != "" {
+		t.Fatalf("Dominant() = %q, want empty", got)
+	}
+}

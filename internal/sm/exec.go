@@ -42,7 +42,7 @@ func (w *warpState) read64(r isa.Reg, lane int) uint64 {
 // activeMask applies the guard predicate to the warp's current mask.
 func (w *warpState) activeMask(in *isa.Instr) uint32 {
 	mask := w.top().mask
-	if in.GuardPred == isa.NoPred || in.GuardPred == isa.PT {
+	if in.Unconditional() {
 		return mask
 	}
 	bits := w.preds[in.GuardPred]
@@ -546,7 +546,7 @@ func (m *machine) execBranch(w *warpState, in *isa.Instr) error {
 	top := w.top()
 	curPC := top.pc
 	var takenMask uint32
-	if in.GuardPred == isa.NoPred || in.GuardPred == isa.PT {
+	if in.Unconditional() {
 		takenMask = top.mask
 	} else {
 		bits := w.preds[in.GuardPred]

@@ -1,0 +1,144 @@
+package sm
+
+// Dynamic self-checks on the simulator's own bookkeeping, enabled by
+// Config.Verify. The timing model's credibility rests on a handful of
+// conservation laws — the CPI stack partitions the cycle count exactly,
+// retiring warps leave no divergence or barrier state behind, and residency
+// never exceeds what the occupancy calculation admitted. Accel-Sim's
+// modeling-accuracy follow-ups (arXiv:2401.10082) showed such invariants
+// silently drift as simulators grow; here every perf PR runs them in CI via
+// internal/verify.
+
+import (
+	"fmt"
+	"strings"
+
+	"swapcodes/internal/isa"
+)
+
+// InvariantError reports dynamic SM invariant violations detected during a
+// Launch with Config.Verify enabled. The launch itself ran to completion;
+// the violations indict the simulator's bookkeeping, not the kernel.
+type InvariantError struct {
+	Kernel     string
+	Violations []string
+}
+
+// Error implements error.
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("sm: kernel %s: %d invariant violation(s): %s",
+		e.Kernel, len(e.Violations), strings.Join(e.Violations, "; "))
+}
+
+func (m *machine) violatef(format string, args ...any) {
+	// Bound the report: a broken conservation law tends to fire per warp or
+	// per round, and the first few instances carry all the signal.
+	if len(m.violations) < 32 {
+		m.violations = append(m.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// maxLatency is the largest producer latency any scoreboard entry can carry.
+func (c *Config) maxLatency() int64 {
+	max := int64(1)
+	for cl := isa.ClassFxP; cl <= isa.ClassSpecial; cl++ {
+		if l := c.latency(cl); l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// checkResidency asserts, after CTA launch, that residency stayed within
+// every bound the occupancy calculation promised: CTA slots, warp slots,
+// register-file words, and shared-memory words.
+func (m *machine) checkResidency() {
+	cfg := m.cfg
+	if len(m.resident) > m.residentLimit {
+		m.violatef("cycle %d: %d resident CTAs exceed occupancy limit %d",
+			m.cycle, len(m.resident), m.residentLimit)
+	}
+	if len(m.resident) > cfg.MaxCTAs {
+		m.violatef("cycle %d: %d resident CTAs exceed MaxCTAs %d",
+			m.cycle, len(m.resident), cfg.MaxCTAs)
+	}
+	if n := len(m.warps); n > cfg.MaxWarps {
+		m.violatef("cycle %d: %d resident warps exceed MaxWarps %d", m.cycle, n, cfg.MaxWarps)
+	}
+	regsPerThread := m.k.NumRegs
+	if g := cfg.RegAllocGranule; g > 1 {
+		regsPerThread = (regsPerThread + g - 1) / g * g
+	}
+	if used := len(m.resident) * regsPerThread * m.warpsPerCTA * isa.WarpSize; used > cfg.RegFileWords {
+		m.violatef("cycle %d: resident CTAs hold %d register words, file has %d",
+			m.cycle, used, cfg.RegFileWords)
+	}
+	if used := len(m.resident) * m.k.SharedWords; used > cfg.SharedWords {
+		m.violatef("cycle %d: resident CTAs hold %d shared words, SM has %d",
+			m.cycle, used, cfg.SharedWords)
+	}
+}
+
+// checkWarpRetired asserts a retiring warp left no execution state behind:
+// the divergence stack fully unwound at EXIT, no barrier membership remains,
+// and no scoreboard entry promises a result beyond any real pipe's latency.
+func (m *machine) checkWarpRetired(w *warpState) {
+	if len(w.stack) != 0 {
+		m.violatef("warp %d retired with %d live divergence-stack entries", w.gid, len(w.stack))
+	}
+	if w.atBarrier {
+		m.violatef("warp %d retired while waiting at a barrier", w.gid)
+	}
+	horizon := m.cycle + m.cfg.maxLatency()
+	for r, t := range w.regReady {
+		if t > horizon {
+			m.violatef("warp %d retired with scoreboard reg r%d ready at %d, beyond horizon %d",
+				w.gid, r, t, horizon)
+		}
+	}
+	for p, t := range w.predReady {
+		if t > horizon {
+			m.violatef("warp %d retired with scoreboard pred p%d ready at %d, beyond horizon %d",
+				w.gid, p, t, horizon)
+		}
+	}
+}
+
+// checkLaunchEnd asserts the launch-wide conservation laws after the last
+// warp retired and finalize() stamped the cycle count.
+func (m *machine) checkLaunchEnd() {
+	st := m.stats
+	if got := st.IssueCycles + st.StallCycles(); got != st.Cycles {
+		m.violatef("CPI stack does not partition the launch: issue %d + stalls %d = %d, cycles %d",
+			st.IssueCycles, st.StallCycles(), got, st.Cycles)
+	}
+	var perClass, perCat int64
+	for _, v := range st.PerClass {
+		perClass += v
+	}
+	for _, v := range st.PerCat {
+		perCat += v
+	}
+	if perClass != st.DynWarpInstrs || perCat != st.DynWarpInstrs {
+		m.violatef("instruction accounting split: DynWarpInstrs %d, per-class sum %d, per-category sum %d",
+			st.DynWarpInstrs, perClass, perCat)
+	}
+	if m.nextCTA != m.k.GridCTAs {
+		m.violatef("launch ended with %d of %d CTAs dispatched", m.nextCTA, m.k.GridCTAs)
+	}
+	if len(m.warps) != 0 || len(m.resident) != 0 {
+		m.violatef("launch ended with %d live warps and %d resident CTAs", len(m.warps), len(m.resident))
+	}
+	if st.MaxResidentWarps > st.ResidentWarpLimit {
+		m.violatef("peak residency %d warps exceeded occupancy limit %d",
+			st.MaxResidentWarps, st.ResidentWarpLimit)
+	}
+}
+
+// invariantErr converts accumulated violations into the launch error.
+func (m *machine) invariantErr() error {
+	if len(m.violations) == 0 {
+		return nil
+	}
+	return &InvariantError{Kernel: m.k.Name, Violations: m.violations}
+}

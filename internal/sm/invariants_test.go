@@ -1,0 +1,169 @@
+package sm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"swapcodes/internal/compiler"
+	"swapcodes/internal/isa"
+)
+
+// TestVerifyCleanOnHealthyLaunch: a normal launch under Config.Verify must
+// produce no violations and identical results to an unverified launch.
+func TestVerifyCleanOnHealthyLaunch(t *testing.T) {
+	const n = 200
+	k := vecAddKernel(n, 4, 64)
+	cfg := DefaultConfig()
+	cfg.Verify = true
+	g := NewGPU(cfg, 3*n+64)
+	for i := 0; i < n; i++ {
+		g.SetFloat32(i, float32(i))
+		g.SetFloat32(n+i, float32(2*i))
+	}
+	st, err := g.Launch(k)
+	if err != nil {
+		t.Fatalf("verified launch failed: %v", err)
+	}
+	if got := st.IssueCycles + st.StallCycles(); got != st.Cycles {
+		t.Fatalf("CPI partition broken: %d != %d", got, st.Cycles)
+	}
+	for i := 0; i < n; i++ {
+		if got := g.Float32(2*n + i); got != float32(3*i) {
+			t.Fatalf("c[%d] = %v, want %v", i, got, float32(3*i))
+		}
+	}
+}
+
+// TestVerifyAllSchemesDivergentBarrier: the invariants hold across every
+// protection scheme on a kernel exercising divergence and barriers.
+func TestVerifyAllSchemesDivergentBarrier(t *testing.T) {
+	a := compiler.NewAsm("divbar")
+	a.S2R(0, isa.SRTid)
+	a.MovI(1, 0)
+	a.ISetpI(isa.CmpLT, 0, 0, 16)
+	a.BraP(0, true, "skip", "skip")
+	a.IAddI(1, 0, 100)
+	a.Label("skip")
+	a.Bar()
+	a.Stg(0, 0, 1)
+	a.Exit()
+	k := a.MustBuild(2, 64, 0)
+	for _, s := range []compiler.Scheme{
+		compiler.Baseline, compiler.SWDup, compiler.SwapECC,
+		compiler.InterThread, compiler.SInRGSig,
+	} {
+		tk, err := compiler.ApplyOpts(k, s, compiler.Opts{DCE: true, Schedule: true})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		cfg := DefaultConfig()
+		cfg.Verify = true
+		g := NewGPU(cfg, 256)
+		if _, err := g.Launch(tk); err != nil {
+			t.Fatalf("%v: verified launch failed: %v", s, err)
+		}
+	}
+}
+
+// TestVerifyDetectsBrokenAccounting: corrupting a conservation law by hand
+// must surface as an *InvariantError naming the broken partition — the
+// checks cannot be dead code.
+func TestVerifyDetectsBrokenAccounting(t *testing.T) {
+	k := vecAddKernel(64, 1, 64)
+	cfg := DefaultConfig()
+	cfg.Verify = true
+	g := NewGPU(cfg, 512)
+	m := newMachine(g, k)
+	m.stats.IssueCycles = 12345 // poison the partition before checking
+	m.stats.Cycles = 1
+	m.checkLaunchEnd()
+	err := m.invariantErr()
+	var inv *InvariantError
+	if !errors.As(err, &inv) {
+		t.Fatalf("want *InvariantError, got %v", err)
+	}
+	if !strings.Contains(inv.Error(), "CPI stack") {
+		t.Fatalf("violation does not name the broken partition: %v", inv)
+	}
+}
+
+// TestVerifyDetectsLeakedWarpState: a warp retiring with divergence-stack or
+// barrier state left over must be flagged.
+func TestVerifyDetectsLeakedWarpState(t *testing.T) {
+	k := vecAddKernel(64, 1, 64)
+	cfg := DefaultConfig()
+	cfg.Verify = true
+	g := NewGPU(cfg, 512)
+	m := newMachine(g, k)
+	w := &warpState{
+		gid:       7,
+		stack:     []simtEntry{{pc: 3, mask: 1, reconv: -1}},
+		atBarrier: true,
+		regReady:  make([]int64, 4),
+	}
+	m.checkWarpRetired(w)
+	err := m.invariantErr()
+	if err == nil {
+		t.Fatal("leaked warp state not detected")
+	}
+	if !strings.Contains(err.Error(), "divergence-stack") || !strings.Contains(err.Error(), "barrier") {
+		t.Fatalf("violations incomplete: %v", err)
+	}
+}
+
+// TestRetireHookSeesFinalRegisters: the hook observes each warp exactly once
+// with the architectural values the kernel computed.
+func TestRetireHookSeesFinalRegisters(t *testing.T) {
+	a := compiler.NewAsm("hook")
+	a.S2R(0, isa.SRTid)
+	a.IAddI(1, 0, 42)
+	a.Exit()
+	k := a.MustBuild(2, 64, 0)
+	g := NewGPU(DefaultConfig(), 64)
+	type key struct{ cta, warp int }
+	seen := map[key]int{}
+	g.RetireHook = func(ctaID, warpInCTA int, regs []uint32, preds []uint32) {
+		seen[key{ctaID, warpInCTA}]++
+		for lane := 0; lane < isa.WarpSize; lane++ {
+			tid := warpInCTA*isa.WarpSize + lane
+			if got := regs[1*isa.WarpSize+lane]; got != uint32(tid+42) {
+				t.Errorf("cta %d warp %d lane %d: r1 = %d, want %d", ctaID, warpInCTA, lane, got, tid+42)
+			}
+		}
+		if len(preds) != 8 {
+			t.Errorf("preds slice has %d entries, want 8", len(preds))
+		}
+	}
+	if _, err := g.Launch(k); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 4 {
+		t.Fatalf("hook saw %d warps, want 4", len(seen))
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("warp %v retired %d times", k, n)
+		}
+	}
+}
+
+// TestMaxCyclesBudget: a non-terminating kernel under Config.MaxCycles must
+// come back as an error instead of spinning the simulator forever — the
+// property the differential verifier relies on when it runs deliberately
+// miscompiled programs.
+func TestMaxCyclesBudget(t *testing.T) {
+	a := compiler.NewAsm("spin")
+	a.Label("top")
+	a.IAddI(1, 1, 1)
+	a.Bra("top")
+	a.Exit() // never reached
+	k := a.MustBuild(1, 32, 0)
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 10_000
+	g := NewGPU(cfg, 64)
+	_, err := g.Launch(k)
+	if err == nil || !strings.Contains(err.Error(), "cycle budget") {
+		t.Fatalf("budget-exceeded err = %v, want cycle-budget error", err)
+	}
+}

@@ -72,6 +72,9 @@ type machine struct {
 	// obsm is non-nil only when GPU.Obs carries a recorder; the cycle loop
 	// guards every observation behind this one nil check.
 	obsm *smObs
+	// violations accumulates dynamic invariant failures when Config.Verify
+	// is set (see invariants.go).
+	violations []string
 }
 
 func newMachine(g *GPU, k *isa.Kernel) *machine {
@@ -183,8 +186,13 @@ func (m *machine) run(ctx context.Context) error {
 				return fmt.Errorf("sm: kernel %s stopped at cycle %d: %w", m.k.Name, m.cycle, err)
 			}
 		}
+		launched := false
 		for len(m.resident) < m.residentLimit && m.nextCTA < m.k.GridCTAs {
 			m.launchCTA()
+			launched = true
+		}
+		if launched && m.cfg.Verify {
+			m.checkResidency()
 		}
 		if len(m.warps) == 0 {
 			if m.nextCTA >= m.k.GridCTAs {
@@ -251,8 +259,17 @@ func (m *machine) run(ctx context.Context) error {
 		if guard > 1<<34 {
 			return fmt.Errorf("sm: kernel %s exceeded cycle guard", m.k.Name)
 		}
+		if m.cfg.MaxCycles > 0 && m.cycle > m.cfg.MaxCycles {
+			m.finalize()
+			return fmt.Errorf("sm: kernel %s exceeded the %d-cycle budget (likely non-terminating)",
+				m.k.Name, m.cfg.MaxCycles)
+		}
 	}
 	m.finalize()
+	if m.cfg.Verify {
+		m.checkLaunchEnd()
+		return m.invariantErr()
+	}
 	return nil
 }
 
@@ -283,6 +300,12 @@ func (m *machine) retire() {
 		if w.done {
 			if m.obsm != nil {
 				m.obsm.warpDone(m, w)
+			}
+			if m.cfg.Verify {
+				m.checkWarpRetired(w)
+			}
+			if m.g.RetireHook != nil {
+				m.g.RetireHook(w.cta.id, w.idInCTA, w.regs, w.preds[:])
 			}
 			continue
 		}

@@ -56,6 +56,23 @@ type Config struct {
 	// Per-class issue throughput in warp-instructions per cycle.
 	ThrFxP, ThrFP32, ThrFP64, ThrSFU, ThrMove, ThrSMem, ThrGMem, ThrSpecial, ThrCtrl float64
 
+	// Verify enables dynamic self-checks on the simulator's own invariants:
+	// the CPI-stack partition must sum exactly to launch cycles, every
+	// retiring warp must have drained its divergence stack and barriers,
+	// and residency must never exceed the register-file/shared-memory/warp-
+	// slot bounds the occupancy calculation promised. Violations are
+	// reported as an *InvariantError from Launch. Off by default (the checks
+	// cost a few percent on hot launches).
+	Verify bool
+
+	// MaxCycles aborts the launch with an error once the simulated cycle
+	// count exceeds it (0 = unlimited). The differential verifier uses it
+	// to bound runs of deliberately or accidentally miscompiled programs,
+	// whose divergence from the baseline can include not terminating at
+	// all; a deterministic cycle budget turns that hang into a reportable
+	// failure, unlike a wall-clock timeout.
+	MaxCycles int64
+
 	// ECC enables the SwapCodes-protected register file (error-injection
 	// studies and examples; adds bookkeeping cost).
 	ECC bool
@@ -272,6 +289,13 @@ type GPU struct {
 	// microsecond. A nil Obs costs the cycle loop one branch per round
 	// (see BenchmarkSMObsDisabled).
 	Obs *obs.Recorder
+	// RetireHook, when non-nil, observes every retiring warp's final
+	// architectural state: regs is laid out reg*WarpSize+lane and preds
+	// holds P0..P7 lane masks. Both slices alias live simulator storage and
+	// must be copied if retained past the call. The differential verifier
+	// (internal/verify) uses this to compare end-of-kernel register state
+	// between protected and baseline runs.
+	RetireHook func(ctaID, warpInCTA int, regs []uint32, preds []uint32)
 }
 
 // NewGPU allocates a device with memWords words of global memory.

@@ -1,0 +1,110 @@
+package verify
+
+// Differential equivalence: a protected program and its baseline, launched
+// on identically-initialized devices, must agree on every architecturally
+// observable output. Memory and exit state are compared for every combo;
+// final register and predicate state additionally for combos that preserve
+// them (no dead-code elimination — DCE legitimately removes dead writes —
+// and thread-geometry-preserving schemes — inter-thread duplication doubles
+// the threads). Every launch runs with sm.Config.Verify set, so the SM's
+// own conservation-law checks ride along on every equivalence run.
+
+import (
+	"fmt"
+
+	"swapcodes/internal/isa"
+	"swapcodes/internal/sm"
+)
+
+type warpKey struct{ cta, warp int }
+
+// runState is one launch's architectural end state.
+type runState struct {
+	mem   []uint32
+	regs  map[warpKey][]uint32
+	preds map[warpKey][]uint32
+	stats *sm.Stats
+}
+
+// comparedPreds is how many predicate registers participate in register-
+// state comparison: P0..P4 belong to the program; P5/P6 are pass-reserved
+// scratch and PT has no storage.
+const comparedPreds = 5
+
+// capture launches k with Verify enabled and records memory plus per-warp
+// final register/predicate state.
+func capture(k *isa.Kernel, memWords int, fill func(*sm.GPU), cfg sm.Config) (*runState, error) {
+	cfg.Verify = true
+	g := sm.NewGPU(cfg, memWords)
+	if fill != nil {
+		fill(g)
+	}
+	rs := &runState{
+		regs:  make(map[warpKey][]uint32),
+		preds: make(map[warpKey][]uint32),
+	}
+	g.RetireHook = func(ctaID, warpInCTA int, regs []uint32, preds []uint32) {
+		key := warpKey{ctaID, warpInCTA}
+		rs.regs[key] = append([]uint32(nil), regs...)
+		rs.preds[key] = append([]uint32(nil), preds...)
+	}
+	st, err := g.Launch(k)
+	if err != nil {
+		return nil, err
+	}
+	if st.Trapped {
+		return nil, fmt.Errorf("kernel %s: spurious software-checking trap on an error-free run", k.Name)
+	}
+	rs.mem = append([]uint32(nil), g.Mem...)
+	rs.stats = st
+	return rs, nil
+}
+
+// diffStates compares a protected run against the baseline. origRegs bounds
+// the register comparison to the original program's register space (the
+// passes may legitimately allocate shadow/temporary registers above it).
+func diffStates(base, prot *runState, compareRegs bool, origRegs int) error {
+	if len(base.mem) != len(prot.mem) {
+		return fmt.Errorf("memory size diverged: %d vs %d words", len(base.mem), len(prot.mem))
+	}
+	for i := range base.mem {
+		if base.mem[i] != prot.mem[i] {
+			return fmt.Errorf("memory mismatch at word %d: baseline %#x, protected %#x",
+				i, base.mem[i], prot.mem[i])
+		}
+	}
+	if !compareRegs {
+		return nil
+	}
+	if len(base.regs) != len(prot.regs) {
+		return fmt.Errorf("warp count diverged: baseline retired %d, protected %d",
+			len(base.regs), len(prot.regs))
+	}
+	for key, bregs := range base.regs {
+		pregs, ok := prot.regs[key]
+		if !ok {
+			return fmt.Errorf("cta %d warp %d retired in baseline only", key.cta, key.warp)
+		}
+		limit := origRegs * isa.WarpSize
+		if limit > len(bregs) {
+			limit = len(bregs)
+		}
+		if limit > len(pregs) {
+			limit = len(pregs)
+		}
+		for i := 0; i < limit; i++ {
+			if bregs[i] != pregs[i] {
+				return fmt.Errorf("cta %d warp %d: r%d lane %d = %#x, baseline %#x",
+					key.cta, key.warp, i/isa.WarpSize, i%isa.WarpSize, pregs[i], bregs[i])
+			}
+		}
+		bp, pp := base.preds[key], prot.preds[key]
+		for p := 0; p < comparedPreds && p < len(bp) && p < len(pp); p++ {
+			if bp[p] != pp[p] {
+				return fmt.Errorf("cta %d warp %d: p%d = %#x, baseline %#x",
+					key.cta, key.warp, p, pp[p], bp[p])
+			}
+		}
+	}
+	return nil
+}

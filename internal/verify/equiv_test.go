@@ -1,0 +1,185 @@
+package verify
+
+import (
+	"errors"
+	"testing"
+
+	"swapcodes/internal/compiler"
+	"swapcodes/internal/isa"
+	"swapcodes/internal/sm"
+	"swapcodes/internal/workloads"
+)
+
+// TestWorkloadEquivalenceMatrix is the acceptance gate: every workload
+// kernel, under every scheme x optimization combo, must lint clean and be
+// architecturally equivalent to its baseline (memory + exit state always;
+// registers and predicates where the combo preserves them). Every launch
+// also runs the SM's dynamic invariant checks (sm.Config.Verify).
+func TestWorkloadEquivalenceMatrix(t *testing.T) {
+	combos := Matrix()
+	if testing.Short() {
+		combos = ShortMatrix()
+	}
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			s := NewSubject(w.Kernel, w.MemWords, w.Setup)
+			skipped := 0
+			for _, c := range combos {
+				if err := s.Check(c); err != nil {
+					if errors.Is(err, ErrNotApplicable) {
+						skipped++
+						continue
+					}
+					t.Errorf("%s: %v", c.Name(), err)
+				}
+			}
+			if skipped > 0 {
+				t.Logf("%d inapplicable combos skipped (inter-thread CTA/shuffle limits)", skipped)
+			}
+		})
+	}
+}
+
+// TestGeneratedKernelMatrix drives the same matrix with randomly generated
+// structured kernels over the adversarial input patterns: all-zero and
+// all-ones operands, signed-boundary values, NaN/denormal floats, and
+// seeded random data, with divergence arising from the kernels' own
+// data-dependent guards.
+func TestGeneratedKernelMatrix(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5, 6}
+	combos := Matrix()
+	if testing.Short() {
+		seeds = seeds[:2]
+		combos = ShortMatrix()
+	}
+	for _, seed := range seeds {
+		seed := seed
+		for _, p := range Patterns() {
+			p := p
+			t.Run(p.Name, func(t *testing.T) {
+				t.Parallel()
+				k, mem := GenKernel(seed, 2, 64)
+				s := NewSubject(k, mem, GenFill(p, seed))
+				for _, c := range combos {
+					if err := s.Check(c); err != nil && !errors.Is(err, ErrNotApplicable) {
+						shrunk := Shrink(k, func(cand *isa.Kernel) bool {
+							return CheckKernel(cand, mem, GenFill(p, seed), c) != nil
+						})
+						t.Errorf("seed=%d %s: %v\nminimal reproducer:\n%s",
+							seed, c.Name(), err, compiler.Format(shrunk))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestEquivalenceDetectsNaiveDCE: the framework must catch the paper's
+// Section III-A hazard — naive dead-code elimination deleting the original
+// halves of Swap-ECC pairs leaves their registers' data unwritten, which is
+// architecturally visible. If this passes silently, the differ is vacuous.
+func TestEquivalenceDetectsNaiveDCE(t *testing.T) {
+	k, mem := GenKernel(42, 2, 64)
+	base, err := compiler.Apply(k, compiler.Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot := compiler.MustApply(k, compiler.SwapECC)
+	broken, err := compiler.EliminateDeadCode(prot, false) // the buggy textbook analysis
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill := GenFill(Patterns()[4], 42) // random floats
+	bs, err := capture(base, mem, fill, sm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deleting the original halves can also delete loop-counter updates, so
+	// the broken program may simply never terminate — that is a detection
+	// too, surfaced by the cycle budget rather than the state differ.
+	cfg := sm.DefaultConfig()
+	cfg.MaxCycles = 1024*bs.stats.Cycles + 1_000_000
+	ps, err := capture(broken, mem, fill, cfg)
+	if err != nil {
+		t.Logf("naive DCE detected at run time: %v", err)
+		return
+	}
+	if diffStates(bs, ps, true, k.NumRegs) == nil {
+		t.Fatal("naive DCE on Swap-ECC output was not detected; the differ is vacuous")
+	}
+}
+
+// TestEquivalenceDetectsRegisterClobber: a "pass" that corrupts a primary
+// register without touching memory must be caught by register comparison.
+func TestEquivalenceDetectsRegisterClobber(t *testing.T) {
+	k, mem := GenKernel(7, 1, 64)
+	base, err := compiler.Apply(k, compiler.Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clobbered := compiler.MustApply(k, compiler.Baseline)
+	// Flip the destination of the last register-writing non-store
+	// instruction to a different primary register.
+	patched := false
+	for i := len(clobbered.Code) - 1; i >= 0 && !patched; i-- {
+		in := &clobbered.Code[i]
+		if in.WritesReg() && int(in.Dst) >= 4 && int(in.Dst) < 11 && !in.Is64Dst() {
+			in.Dst++
+			patched = true
+		}
+	}
+	if !patched {
+		t.Skip("generated kernel has no patchable scalar write")
+	}
+	fill := GenFill(Patterns()[4], 7)
+	bs, err := capture(base, mem, fill, sm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := capture(clobbered, mem, fill, sm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffStates(bs, cs, true, k.NumRegs) == nil {
+		t.Fatal("register clobber not detected by register-state comparison")
+	}
+}
+
+// TestSwapECCNoSpuriousDUE: with the ECC-protected register file enabled,
+// the fully-optimized Swap-ECC pipeline must complete error-free runs with
+// zero pipeline DUEs on real workloads — stale check bits anywhere in the
+// optimized schedule would storm the decoder.
+func TestSwapECCNoSpuriousDUE(t *testing.T) {
+	names := []string{"bprop", "hspot", "pathf"}
+	if testing.Short() {
+		names = names[:1]
+	}
+	for _, name := range names {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tk, err := compiler.ApplyOpts(w.Kernel, compiler.SwapECC,
+			compiler.Opts{DCE: true, Schedule: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := sm.DefaultConfig()
+		cfg.ECC = true
+		cfg.Verify = true
+		g := sm.NewGPU(cfg, w.MemWords)
+		w.Setup(g)
+		st, err := g.Launch(tk)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if st.PipelineDUEs != 0 {
+			t.Fatalf("%s: %d spurious pipeline DUEs on an error-free optimized run", name, st.PipelineDUEs)
+		}
+		if err := w.Verify(g); err != nil {
+			t.Fatalf("%s: output wrong under ECC: %v", name, err)
+		}
+	}
+}

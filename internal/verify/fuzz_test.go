@@ -1,0 +1,48 @@
+package verify
+
+import (
+	"errors"
+	"testing"
+
+	"swapcodes/internal/compiler"
+	"swapcodes/internal/isa"
+)
+
+// FuzzPassEquivalence fuzzes the verification matrix itself: the fuzzer
+// picks a generator seed, an adversarial input pattern, a scheme, and an
+// optimization-option bitmask; the harness generates a structured kernel
+// (always-terminating by construction — raw instruction-stream fuzzing
+// cannot promise that) and asserts the combo lints clean and preserves
+// architectural state. Failures are shrunk to a minimal kernel before
+// reporting. CI runs this with a short -fuzztime budget on every PR.
+func FuzzPassEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(2), uint8(0))  // SwapECC, plain, zeros
+	f.Add(int64(2), uint8(2), uint8(1), uint8(3))  // SWDup, dce+sched, signbound
+	f.Add(int64(3), uint8(3), uint8(8), uint8(1))  // InterThread, dce, nan-denormal
+	f.Add(int64(4), uint8(4), uint8(10), uint8(2)) // SInRGSig, sched, random
+	f.Add(int64(5), uint8(1), uint8(4), uint8(7))  // Pre MAD, dce+sched+nomoveprop, ones
+	f.Fuzz(func(t *testing.T, seed int64, pat, schemeIdx, optBits uint8) {
+		patterns := Patterns()
+		p := patterns[int(pat)%len(patterns)]
+		c := Combo{
+			Scheme: allSchemes[int(schemeIdx)%len(allSchemes)],
+			Opts: compiler.Opts{
+				DCE:             optBits&1 != 0,
+				Schedule:        optBits&2 != 0,
+				DisableMoveProp: optBits&4 != 0,
+			},
+		}
+		k, mem := GenKernel(seed, 2, 64)
+		fill := GenFill(p, seed)
+		err := CheckKernel(k, mem, fill, c)
+		if err == nil || errors.Is(err, ErrNotApplicable) {
+			return
+		}
+		shrunk := Shrink(k, func(cand *isa.Kernel) bool {
+			e := CheckKernel(cand, mem, fill, c)
+			return e != nil && !errors.Is(e, ErrNotApplicable)
+		})
+		t.Fatalf("seed=%d pattern=%s %s: %v\nminimal reproducer:\n%s",
+			seed, p.Name, c.Name(), err, compiler.Format(shrunk))
+	})
+}

@@ -1,0 +1,74 @@
+package verify
+
+// Failure shrinking: when a generated kernel exposes a pass bug, the raw
+// reproducer is dozens of instructions of random arithmetic. Shrink
+// greedily deletes instructions (retargeting branches across the gap) while
+// the failure predicate keeps firing, iterating to a fixpoint — the
+// surviving kernel is a near-minimal witness, which is what goes into the
+// bug report and the regression test.
+
+import (
+	"swapcodes/internal/isa"
+)
+
+// Shrink returns a minimal-ish kernel for which failing still returns true.
+// failing must be deterministic; candidates that fail structural validation
+// are skipped rather than offered to the predicate. If k itself does not
+// fail, k is returned unchanged.
+func Shrink(k *isa.Kernel, failing func(*isa.Kernel) bool) *isa.Kernel {
+	if !failing(k) {
+		return k
+	}
+	cur := k
+	for {
+		shrunk := false
+		for pc := 0; pc < len(cur.Code); pc++ {
+			cand := removeInstr(cur, pc)
+			if cand.Validate() != nil {
+				continue
+			}
+			if failing(cand) {
+				cur = cand
+				shrunk = true
+				pc-- // the next instruction slid into this index
+			}
+		}
+		if !shrunk {
+			return cur
+		}
+	}
+}
+
+// removeInstr rebuilds the kernel without the instruction at drop,
+// retargeting branch targets and reconvergence points across the gap.
+func removeInstr(k *isa.Kernel, drop int) *isa.Kernel {
+	n := len(k.Code)
+	newPC := make([]int32, n+1)
+	cnt := int32(0)
+	for pc := 0; pc < n; pc++ {
+		newPC[pc] = cnt
+		if pc != drop {
+			cnt++
+		}
+	}
+	newPC[n] = cnt
+	out := *k
+	out.Code = make([]isa.Instr, 0, n-1)
+	for pc := 0; pc < n; pc++ {
+		if pc == drop {
+			continue
+		}
+		in := k.Code[pc]
+		if in.Op == isa.BRA {
+			if int(in.Imm) >= 0 && int(in.Imm) <= n {
+				in.Imm = newPC[in.Imm]
+			}
+			if in.Reconv > 0 && int(in.Reconv) <= n {
+				in.Reconv = newPC[in.Reconv]
+			}
+		}
+		out.Code = append(out.Code, in)
+	}
+	out.NumRegs = out.MaxReg() + 1
+	return &out
+}

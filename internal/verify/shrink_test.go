@@ -1,0 +1,99 @@
+package verify
+
+import (
+	"testing"
+
+	"swapcodes/internal/compiler"
+	"swapcodes/internal/isa"
+	"swapcodes/internal/sm"
+)
+
+// TestShrinkSyntheticPredicate: shrinking against "contains an FFMA" must
+// strip the random bulk while preserving validity and the witness property.
+func TestShrinkSyntheticPredicate(t *testing.T) {
+	hasFFMA := func(k *isa.Kernel) bool {
+		for _, in := range k.Code {
+			if in.Op == isa.FFMA {
+				return true
+			}
+		}
+		return false
+	}
+	var k *isa.Kernel
+	for seed := int64(1); ; seed++ {
+		cand, _ := GenKernel(seed, 1, 32)
+		if hasFFMA(cand) {
+			k = cand
+			break
+		}
+		if seed > 50 {
+			t.Fatal("no generated kernel with FFMA in 50 seeds")
+		}
+	}
+	shrunk := Shrink(k, hasFFMA)
+	if !hasFFMA(shrunk) {
+		t.Fatal("shrinking lost the witness property")
+	}
+	if err := shrunk.Validate(); err != nil {
+		t.Fatalf("shrunk kernel invalid: %v", err)
+	}
+	if len(shrunk.Code) >= len(k.Code) {
+		t.Fatalf("no shrinking happened: %d -> %d", len(k.Code), len(shrunk.Code))
+	}
+	// Fixpoint: no single removal may still satisfy the predicate.
+	for pc := range shrunk.Code {
+		cand := removeInstr(shrunk, pc)
+		if cand.Validate() == nil && hasFFMA(cand) {
+			t.Fatalf("not a fixpoint: removing pc=%d keeps the witness\n%s", pc, compiler.Format(shrunk))
+		}
+	}
+}
+
+// TestShrinkRealEquivalenceFailure shrinks an actual pass bug — naive DCE
+// deleting Swap-ECC originals — down to a minimal reproducer, the workflow
+// a matrix failure triggers.
+func TestShrinkRealEquivalenceFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shrinking probes relaunch the simulator repeatedly")
+	}
+	const seed = 42
+	k, mem := GenKernel(seed, 1, 32)
+	fill := GenFill(Patterns()[4], seed)
+	brokenEquiv := func(cand *isa.Kernel) bool {
+		base, err := compiler.Apply(cand, compiler.Baseline)
+		if err != nil {
+			return false
+		}
+		prot, err := compiler.Apply(cand, compiler.SwapECC)
+		if err != nil {
+			return false
+		}
+		broken, err := compiler.EliminateDeadCode(prot, false)
+		if err != nil {
+			return false
+		}
+		cfg := sm.DefaultConfig()
+		cfg.MaxCycles = 1 << 24
+		bs, err := capture(base, mem, fill, cfg)
+		if err != nil {
+			return false // a candidate whose baseline misbehaves is no witness
+		}
+		cfg.MaxCycles = 1024*bs.stats.Cycles + 1_000_000
+		ps, err := capture(broken, mem, fill, cfg)
+		if err != nil {
+			return true // non-termination or a trap is the bug manifesting
+		}
+		return diffStates(bs, ps, true, cand.NumRegs) != nil
+	}
+	if !brokenEquiv(k) {
+		t.Skip("seed does not expose the naive-DCE hazard; nothing to shrink")
+	}
+	shrunk := Shrink(k, brokenEquiv)
+	if len(shrunk.Code) >= len(k.Code) {
+		t.Fatalf("no shrinking happened: %d -> %d", len(k.Code), len(shrunk.Code))
+	}
+	if !brokenEquiv(shrunk) {
+		t.Fatal("shrunk kernel no longer reproduces the failure")
+	}
+	t.Logf("shrunk %d -> %d instructions:\n%s", len(k.Code), len(shrunk.Code), compiler.Format(shrunk))
+}

@@ -1,0 +1,199 @@
+package verify
+
+import (
+	"errors"
+	"fmt"
+
+	"swapcodes/internal/compiler"
+	"swapcodes/internal/isa"
+	"swapcodes/internal/sm"
+)
+
+// Combo is one cell of the verification matrix: a protection scheme paired
+// with an optimization-option configuration.
+type Combo struct {
+	Scheme compiler.Scheme
+	Opts   compiler.Opts
+}
+
+// Name renders the combo for test names and reports.
+func (c Combo) Name() string {
+	s := c.Scheme.String()
+	if c.Opts.DCE {
+		s += "+dce"
+	}
+	if c.Opts.Schedule {
+		s += "+sched"
+	}
+	if c.Opts.DisableMoveProp {
+		s += "+nomoveprop"
+	}
+	return s
+}
+
+// CompareRegs reports whether final register state is comparable for the
+// combo: dead-code elimination legitimately removes dead writes (so final
+// registers of dead values differ), and inter-thread duplication doubles
+// the thread geometry. Memory and exit state are compared for every combo.
+func (c Combo) CompareRegs() bool {
+	if c.Opts.DCE {
+		return false
+	}
+	switch c.Scheme {
+	case compiler.InterThread, compiler.InterThreadNoCheck:
+		return false
+	}
+	// HW-Sig-SRIV computes primary results in the primary window; shadow
+	// space is additive, so primary registers must still match.
+	return true
+}
+
+// allSchemes is every protection configuration of Figures 12-16.
+var allSchemes = []compiler.Scheme{
+	compiler.Baseline, compiler.SWDup, compiler.SwapECC,
+	compiler.SwapPredictAddSub, compiler.SwapPredictMAD,
+	compiler.SwapPredictOtherFxP, compiler.SwapPredictFpAddSub,
+	compiler.SwapPredictFpMAD, compiler.InterThread,
+	compiler.InterThreadNoCheck, compiler.SInRGSig,
+}
+
+// swapFamily is the subset for which DisableMoveProp is a meaningful
+// ablation (move propagation only exists in the Swap-ECC pass).
+var swapFamily = []compiler.Scheme{
+	compiler.SwapECC, compiler.SwapPredictAddSub, compiler.SwapPredictMAD,
+	compiler.SwapPredictOtherFxP, compiler.SwapPredictFpAddSub,
+	compiler.SwapPredictFpMAD,
+}
+
+var optSets = []compiler.Opts{
+	{},
+	{DCE: true},
+	{Schedule: true},
+	{DCE: true, Schedule: true},
+}
+
+// Matrix returns the full verification matrix: all 11 schemes x the four
+// {DCE, Schedule} option sets, plus the Swap-ECC family x the same four
+// with move propagation disabled — 68 combos.
+func Matrix() []Combo {
+	var out []Combo
+	for _, s := range allSchemes {
+		for _, o := range optSets {
+			out = append(out, Combo{s, o})
+		}
+	}
+	for _, s := range swapFamily {
+		for _, o := range optSets {
+			o.DisableMoveProp = true
+			out = append(out, Combo{s, o})
+		}
+	}
+	return out
+}
+
+// ShortMatrix returns a reduced matrix for -short runs: every scheme at its
+// most-optimized configuration plus the move-propagation ablation.
+func ShortMatrix() []Combo {
+	var out []Combo
+	for _, s := range allSchemes {
+		out = append(out, Combo{s, compiler.Opts{DCE: true, Schedule: true}})
+	}
+	for _, s := range swapFamily {
+		out = append(out, Combo{s, compiler.Opts{DCE: true, Schedule: true, DisableMoveProp: true}})
+	}
+	return out
+}
+
+// ErrNotApplicable marks a combo a kernel cannot express (inter-thread
+// duplication on an oversized CTA or a shuffle-using kernel). Callers skip
+// these cells rather than failing.
+var ErrNotApplicable = errors.New("combo not applicable to kernel")
+
+// Subject is one program under verification: the original kernel, its
+// memory image, and the input fill. The baseline end state is captured once
+// and reused across every combo.
+type Subject struct {
+	Kernel   *isa.Kernel
+	MemWords int
+	Fill     func(*sm.GPU)
+	Cfg      sm.Config
+
+	base *runState
+}
+
+// NewSubject builds a Subject with the default SM configuration.
+func NewSubject(k *isa.Kernel, memWords int, fill func(*sm.GPU)) *Subject {
+	return &Subject{Kernel: k, MemWords: memWords, Fill: fill, Cfg: sm.DefaultConfig()}
+}
+
+// baselineBudget caps the reference run itself: subjects are terminating by
+// construction (workloads, structured generated kernels), so the cap only
+// exists to turn a generator bug into a test failure instead of a hang.
+const baselineBudget = 1 << 26
+
+// baseline lazily captures the unprotected reference run.
+func (s *Subject) baseline() (*runState, error) {
+	if s.base != nil {
+		return s.base, nil
+	}
+	bk, err := compiler.Apply(s.Kernel, compiler.Baseline)
+	if err != nil {
+		return nil, fmt.Errorf("baseline compile: %w", err)
+	}
+	cfg := s.Cfg
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = baselineBudget
+	}
+	rs, err := capture(bk, s.MemWords, s.Fill, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("baseline run: %w", err)
+	}
+	s.base = rs
+	return rs, nil
+}
+
+// Check verifies one combo against the subject: the protected program must
+// pass every static lint and be architecturally equivalent to the baseline.
+// Inapplicable combos return ErrNotApplicable.
+func (s *Subject) Check(c Combo) error {
+	base, err := s.baseline()
+	if err != nil {
+		return err
+	}
+	tk, err := compiler.ApplyOpts(s.Kernel, c.Scheme, c.Opts)
+	if err != nil {
+		switch c.Scheme {
+		case compiler.InterThread, compiler.InterThreadNoCheck:
+			// CTA doubling past the hardware limit and shuffle use are
+			// documented inapplicability conditions, not failures.
+			return fmt.Errorf("%w: %v", ErrNotApplicable, err)
+		}
+		return fmt.Errorf("%s: compile: %w", c.Name(), err)
+	}
+	if err := Lint(tk, c.Scheme, s.Kernel.MaxReg()); err != nil {
+		return fmt.Errorf("%s: %w", c.Name(), err)
+	}
+	// A miscompiled program may fail to terminate at all (a deleted
+	// loop-counter update, a retargeted back edge); a deterministic cycle
+	// budget far beyond any scheme's honest slowdown turns that into a
+	// reported non-equivalence instead of a hung verifier.
+	cfg := s.Cfg
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 1024*base.stats.Cycles + 1_000_000
+	}
+	prot, err := capture(tk, s.MemWords, s.Fill, cfg)
+	if err != nil {
+		return fmt.Errorf("%s: protected run: %w", c.Name(), err)
+	}
+	if err := diffStates(base, prot, c.CompareRegs(), s.Kernel.NumRegs); err != nil {
+		return fmt.Errorf("%s: %w", c.Name(), err)
+	}
+	return nil
+}
+
+// CheckKernel verifies a single (kernel, combo) cell with a fresh Subject —
+// the convenience entry point for the fuzz target and the shrinker, which
+// re-derive everything from a candidate kernel each probe.
+func CheckKernel(k *isa.Kernel, memWords int, fill func(*sm.GPU), c Combo) error {
+	return NewSubject(k, memWords, fill).Check(c)
+}
