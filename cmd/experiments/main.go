@@ -5,6 +5,7 @@
 //	experiments -exp all
 //	experiments -exp fig12 -workers 4
 //	experiments -exp fig10,fig11 -tuples 10000 -seed 1
+//	experiments -submit localhost:9090 -exp fig10,fig12
 //
 // Experiments: headline table1 table2 table3 table4 fig10 fig11 fig12
 // fig13 cpistack fig14 fig15 fig16 verify all. ("all" covers the tables and
@@ -20,6 +21,13 @@
 // worker count, and output is printed in the canonical experiment order
 // regardless of completion order. Ctrl-C (or -timeout) cancels the run and
 // reports what finished.
+//
+// With -submit the server-backed experiments (headline, fig10, fig11,
+// fig12, cpistack, fig15, fig16, verify) run as jobs on a swapserve
+// instead of locally — duplicates sharing a spec (fig10/fig11) collapse
+// into one submission, and a warm server answers identical respins from
+// its content-addressed cache. See EXPERIMENTS.md "Running the job
+// server".
 package main
 
 import (
@@ -34,8 +42,10 @@ import (
 	"time"
 
 	"swapcodes/internal/arith"
+	"swapcodes/internal/compiler"
 	"swapcodes/internal/engine"
 	"swapcodes/internal/harness"
+	"swapcodes/internal/jobs"
 	"swapcodes/internal/obs"
 	"swapcodes/internal/verify"
 )
@@ -53,7 +63,14 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file, loadable in Perfetto / chrome://tracing")
 	metricsInterval := flag.Duration("metrics-interval", 0, "print a progress line to stderr at this interval (e.g. 5s)")
 	serve := flag.String("serve", "", "serve live observability on this address (GET /metrics Prometheus text, /runs JSON, /debug/pprof)")
+	submit := flag.String("submit", "", "submit the experiments to a running swapserve at this base URL (e.g. http://127.0.0.1:9090) instead of running locally")
+	tenant := flag.String("tenant", "", "tenant fairness key for -submit (empty = default tenant)")
 	flag.Parse()
+
+	if *submit != "" {
+		fail(runSubmit(*submit, *tenant, *exp, *tuples, *seed))
+		return
+	}
 
 	var rec *obs.Recorder
 	if *metricsOut != "" || *traceOut != "" || *metricsInterval > 0 || *serve != "" {
@@ -79,8 +96,12 @@ func run(rec *obs.Recorder, exp string, tuples int, seed int64, workers int,
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
+	// The flush runs deferred — and exactly once — so partial observations
+	// survive cancellation, failures, and panics.
+	flusher := &obs.FileFlusher{Rec: rec, MetricsPath: metricsOut, TracePath: traceOut,
+		Logf: func(path string) { fmt.Fprintln(os.Stderr, "wrote", path) }}
 	defer func() {
-		if ferr := flushObs(rec, metricsOut, traceOut); ferr != nil && err == nil {
+		if ferr := flusher.Flush(); ferr != nil && err == nil {
 			err = ferr
 		}
 	}()
@@ -355,34 +376,82 @@ func run(rec *obs.Recorder, exp string, tuples int, seed int64, workers int,
 	return runErr
 }
 
-// flushObs writes the metrics and trace files; it runs deferred so partial
-// observations survive cancellation, failures, and panics.
-func flushObs(rec *obs.Recorder, metricsOut, traceOut string) error {
-	if rec == nil {
-		return nil
-	}
-	write := func(path string, emit func(f *os.File) error) error {
-		if path == "" {
-			return nil
+// runSubmit is the -submit client mode: experiments become job specs
+// against a running swapserve, which runs (or serves from cache) each one
+// and returns the payload. Only the service-backed experiments map; the
+// local-only ones (static tables, fig13/fig14 post-processing) say so.
+func runSubmit(base, tenant, exp string, tuples int, seed int64) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	names := func(schemes []compiler.Scheme) []string {
+		out := make([]string, len(schemes))
+		for i, s := range schemes {
+			out[i] = harness.SchemeName(s)
 		}
-		f, err := os.Create(path)
-		if err != nil {
+		return out
+	}
+	specFor := map[string]jobs.Spec{
+		"headline": {Kind: jobs.KindHeadline, Tuples: tuples, Seed: seed},
+		"fig10":    {Kind: jobs.KindCampaign, Tuples: tuples, Seed: seed},
+		"fig11":    {Kind: jobs.KindCampaign, Tuples: tuples, Seed: seed},
+		"fig12":    {Kind: jobs.KindPerf, Schemes: names(harness.Fig12Schemes())},
+		"cpistack": {Kind: jobs.KindCPIStack, Schemes: names(harness.Fig12Schemes())},
+		"fig15":    {Kind: jobs.KindPerf, Schemes: names(harness.Fig15Schemes())},
+		"fig16":    {Kind: jobs.KindPerf, Schemes: names(harness.Fig16Schemes())},
+		"verify":   {Kind: jobs.KindVerify},
+	}
+	order := []string{"headline", "fig10", "fig11", "fig12", "cpistack", "fig15", "fig16", "verify"}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	if want["all"] {
+		for _, name := range order {
+			// Same opt-in rule as local runs: verify is not part of "all".
+			want[name] = want[name] || name != "verify"
+		}
+		delete(want, "all")
+	}
+	for name := range want {
+		if _, ok := specFor[name]; !ok {
+			return fmt.Errorf("experiment %q cannot run via -submit (server-backed: %s)",
+				name, strings.Join(order, ", "))
+		}
+	}
+
+	c := &jobs.Client{Base: base}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+	}
+	// fig10 and fig11 share one campaign spec; submit each distinct spec
+	// once and reuse the payload (the server would cache-hit anyway, but
+	// this also skips the duplicate polling).
+	payloads := map[string][]byte{}
+	for _, name := range order {
+		if !want[name] {
+			continue
+		}
+		spec := specFor[name]
+		spec.Tenant = tenant
+		norm := spec
+		if err := norm.Normalize(); err != nil {
 			return err
 		}
-		if err := emit(f); err != nil {
-			f.Close()
-			return err
+		key := norm.Key()
+		raw, ok := payloads[key]
+		if !ok {
+			var err error
+			raw, err = c.RunJob(ctx, spec, logf)
+			if err != nil {
+				return err
+			}
+			payloads[key] = raw
 		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Fprintln(os.Stderr, "wrote", path)
-		return nil
+		fmt.Printf("== %s ==\n%s\n", name, jobs.RenderPayload(raw))
 	}
-	if err := write(metricsOut, func(f *os.File) error { return rec.Registry().WriteMetrics(f, metricsOut) }); err != nil {
-		return err
-	}
-	return write(traceOut, func(f *os.File) error { return rec.WriteTrace(f) })
+	return nil
 }
 
 func codeByName(name string) interface {

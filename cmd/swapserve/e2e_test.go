@@ -1,0 +1,246 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"swapcodes/internal/jobs"
+)
+
+// The e2e campaign: small enough to finish in seconds, large enough (two
+// shards per unit, twelve total) that a kill lands mid-run.
+var e2eSpec = jobs.Spec{Kind: jobs.KindCampaign, Tuples: 600, Seed: 1}
+
+// buildServer compiles the swapserve binary under test. With
+// SWAPSERVE_E2E_RACE=1 (the CI smoke job) it builds with the race detector,
+// so the kill/resume sequence also shakes out data races in the service.
+func buildServer(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "swapserve")
+	args := []string{"build"}
+	if os.Getenv("SWAPSERVE_E2E_RACE") == "1" {
+		args = append(args, "-race")
+	}
+	args = append(args, "-o", bin, ".")
+	cmd := exec.Command("go", args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go %v: %v\n%s", args, err, out)
+	}
+	return bin
+}
+
+// server is one running swapserve child process.
+type server struct {
+	cmd  *exec.Cmd
+	base string
+	done chan error
+}
+
+// startServer launches the binary against stateDir and waits for the listen
+// line to learn the ephemeral port.
+func startServer(t *testing.T, bin, stateDir string) *server {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-state", stateDir,
+		"-max-jobs", "1",
+		"-workers", "2")
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	s := &server{cmd: cmd, done: make(chan error, 1)}
+	go func() { s.done <- cmd.Wait() }()
+	t.Cleanup(func() { s.kill() })
+
+	lines := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.Contains(line, "listening on http://") {
+				lines <- line
+				break
+			}
+		}
+		close(lines)
+	}()
+	select {
+	case line, ok := <-lines:
+		if !ok {
+			t.Fatal("server exited before printing its listen address")
+		}
+		i := strings.Index(line, "http://")
+		s.base = strings.Fields(line[i:])[0]
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for the server listen line")
+	case err := <-s.done:
+		t.Fatalf("server exited early: %v", err)
+	}
+	return s
+}
+
+// kill SIGKILLs the child — the mid-job crash the WAL must absorb.
+func (s *server) kill() {
+	if s.cmd.Process != nil {
+		_ = s.cmd.Process.Kill()
+	}
+	select {
+	case <-s.done:
+	case <-time.After(10 * time.Second):
+	}
+}
+
+func (s *server) client() *jobs.Client { return &jobs.Client{Base: s.base} }
+
+// TestServerE2EKillResume is the acceptance test of the job server: a
+// campaign killed (SIGKILL) mid-run resumes from its shard checkpoints
+// after a restart against the same state dir and produces byte-identical
+// results to an uninterrupted run — and a second identical submission is
+// served from the content-addressed cache at least 5x faster than the cold
+// run.
+func TestServerE2EKillResume(t *testing.T) {
+	bin := buildServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	// Reference: an uninterrupted run in a fresh state dir, timed as the
+	// cold-run baseline for the cache-speedup assertion.
+	refSrv := startServer(t, bin, filepath.Join(t.TempDir(), "ref-state"))
+	refClient := refSrv.client()
+	coldStart := time.Now()
+	refID, err := refClient.Submit(ctx, e2eSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSt, err := refClient.Wait(ctx, refID, 20*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := time.Since(coldStart)
+	if refSt.State != jobs.StateDone {
+		t.Fatalf("reference run = %s: %s", refSt.State, refSt.Error)
+	}
+	refBytes, err := refClient.Result(ctx, refID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSrv.kill()
+
+	// Victim: same spec in its own state dir, SIGKILLed after at least one
+	// shard checkpoint but before completion.
+	stateDir := filepath.Join(t.TempDir(), "state")
+	srv := startServer(t, bin, stateDir)
+	id, err := srv.client().Submit(ctx, e2eSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	killedMidRun := false
+	for {
+		st, err := srv.client().Status(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == jobs.StateRunning && st.ShardsDone >= 1 && st.ShardsDone < st.ShardsTotal {
+			killedMidRun = true
+			break
+		}
+		if st.State.Terminal() {
+			// Too fast to catch mid-run: the kill below still exercises the
+			// restart path, just without outstanding shards.
+			t.Logf("job reached %s before the kill window", st.State)
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	srv.kill()
+
+	// Restart against the same state dir: the WAL re-enqueues the job with
+	// its checkpoints and the run completes from where it stopped.
+	srv2 := startServer(t, bin, stateDir)
+	c2 := srv2.client()
+	st, err := c2.Wait(ctx, id, 20*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != jobs.StateDone {
+		t.Fatalf("resumed job = %s: %s", st.State, st.Error)
+	}
+	gotBytes, err := c2.Result(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotBytes, refBytes) {
+		t.Fatalf("resumed result differs from uninterrupted run\nresumed:   %.200s\nreference: %.200s",
+			gotBytes, refBytes)
+	}
+	if killedMidRun {
+		t.Logf("killed mid-run and resumed: %d shards, byte-identical result", st.ShardsTotal)
+	}
+
+	// Cache speedup: an identical submission to the restarted server must be
+	// served from the content-addressed result cache — same bytes, at least
+	// 5x faster than the cold run.
+	warmStart := time.Now()
+	id2, err := c2.Submit(ctx, e2eSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := c2.Wait(ctx, id2, 5*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := time.Since(warmStart)
+	if st2.State != jobs.StateDone {
+		t.Fatalf("cached run = %s: %s", st2.State, st2.Error)
+	}
+	if !st2.CacheHit {
+		t.Fatal("identical resubmission was not served from cache")
+	}
+	cachedBytes, err := c2.Result(ctx, id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cachedBytes, refBytes) {
+		t.Fatal("cached result differs from reference bytes")
+	}
+	if warm*5 > cold {
+		t.Fatalf("cache speedup too small: cold %v, cached %v (want >=5x)", cold, warm)
+	}
+	t.Logf("cold %v, cached %v (%.0fx)", cold, warm, float64(cold)/float64(warm))
+}
+
+// TestServerE2EGracefulSignal checks SIGTERM drains cleanly: the server
+// exits zero and leaves a replayable state dir.
+func TestServerE2EGracefulSignal(t *testing.T) {
+	bin := buildServer(t)
+	stateDir := filepath.Join(t.TempDir(), "state")
+	srv := startServer(t, bin, stateDir)
+	if err := srv.cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-srv.done:
+		if err != nil {
+			t.Fatalf("server exited non-zero on SIGINT: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not exit on SIGINT")
+	}
+	if _, err := os.Stat(filepath.Join(stateDir, "wal.jsonl")); err != nil {
+		t.Fatalf("state dir not initialized: %v", err)
+	}
+}

@@ -1,0 +1,117 @@
+// Command swapserve is the campaign job server: experiments as a service.
+// It accepts job specs over HTTP (injection campaigns, performance sweeps,
+// headline tables, CPI stacks, differential verification), runs them on a
+// shared deterministic engine pool behind a bounded tenant-fair queue,
+// streams progress, and persists every submission, shard checkpoint, and
+// result to a write-ahead log under -state — a restarted (or SIGKILLed)
+// server resumes unfinished campaigns from their last completed shard and
+// reproduces the uninterrupted results byte for byte.
+//
+// Usage:
+//
+//	swapserve -state /var/lib/swapserve
+//	swapserve -addr :9090 -state ./state -max-jobs 4 -workers 8
+//
+//	curl -s localhost:9090/jobs -d '{"kind":"campaign","tuples":10000}'
+//	curl -s localhost:9090/jobs/<id>            # status
+//	curl -s localhost:9090/jobs/<id>/events     # SSE progress stream
+//	curl -s localhost:9090/jobs/<id>/result     # final payload
+//	curl -s localhost:9090/metrics              # Prometheus text
+//
+// The HTTP surface is the obs server (/metrics, /runs, /debug/pprof) with
+// the jobs API layered on: /runs reports the queue and job table next to
+// the engine progress counters.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"swapcodes/internal/jobs"
+	"swapcodes/internal/obs"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9090", "HTTP listen address (use :0 for an ephemeral port)")
+	state := flag.String("state", "swapserve-state", "state directory for the WAL and content-addressed cache")
+	workers := flag.Int("workers", 0, "engine worker count (0 = all cores)")
+	maxJobs := flag.Int("max-jobs", 2, "jobs executing concurrently; queued jobs wait")
+	queueCap := flag.Int("queue-cap", 64, "queued-job bound; submissions beyond it are rejected")
+	metricsOut := flag.String("metrics", "", "write final metrics to this file on shutdown (.json, .csv, else aligned table)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file on shutdown")
+	metricsInterval := flag.Duration("metrics-interval", 0, "print a progress line to stderr at this interval (e.g. 5s)")
+	flag.Parse()
+
+	if err := run(*addr, *state, *workers, *maxJobs, *queueCap,
+		*metricsOut, *traceOut, *metricsInterval); err != nil {
+		fmt.Fprintln(os.Stderr, "swapserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run owns the server lifecycle so its defers fire on every exit path: HTTP
+// drain, service close (which checkpoints running campaigns at shard
+// granularity), and the metrics flush all happen on SIGINT/SIGTERM and
+// during a panic unwind alike.
+func run(addr, state string, workers, maxJobs, queueCap int,
+	metricsOut, traceOut string, metricsInterval time.Duration) (err error) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rec := obs.NewRecorder()
+	flusher := &obs.FileFlusher{Rec: rec, MetricsPath: metricsOut, TracePath: traceOut,
+		Logf: func(path string) { fmt.Fprintln(os.Stderr, "swapserve: wrote", path) }}
+	defer func() {
+		if ferr := flusher.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
+
+	svc, err := jobs.New(jobs.Options{
+		StateDir:          state,
+		Workers:           workers,
+		MaxConcurrentJobs: maxJobs,
+		QueueCap:          queueCap,
+		Recorder:          rec,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := svc.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+
+	srv, err := obs.StartServerWith(addr, rec.Registry(),
+		func() any { return svc.Snapshot() }, svc.Register)
+	if err != nil {
+		return err
+	}
+	// The listen line goes to stdout on purpose: with -addr :0 it is how
+	// clients (and the e2e harness) discover the bound port.
+	fmt.Printf("swapserve: listening on %s (state %s)\n", srv.URL(), state)
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if serr := srv.Shutdown(sctx); serr != nil && err == nil {
+			err = serr
+		}
+	}()
+
+	stopProgress := obs.StartProgress(os.Stderr, metricsInterval, func() string {
+		snap := svc.Snapshot()
+		return fmt.Sprintf("swapserve: queue=%d states=%v engine: %s",
+			snap.Queue, snap.States, snap.Engine.String())
+	})
+	defer stopProgress()
+
+	<-ctx.Done()
+	fmt.Fprintln(os.Stderr, "swapserve: shutting down")
+	return nil
+}

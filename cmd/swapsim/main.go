@@ -11,12 +11,15 @@
 //	swapsim -workload mm -scheme sw-dup -fault 120 -lane -1 -bit -1 -seed 7
 //	swapsim -file kernel.sasm -scheme swap-ecc -mem 65536
 //	swapsim -workload mm -scheme sw-dup -serve :9090 -metrics run.json
+//	swapsim -submit localhost:9090 -scheme sw-dup,swap-ecc
 //	swapsim -list
 //
 // With a comma-separated -scheme list the runs execute in parallel on an
 // engine pool (-workers, default all cores) and are reported in list order;
 // the simulator is deterministic, so the numbers match serial runs exactly.
 // With -lane -1 or -bit -1 the faulted lane/bit are drawn from -seed.
+// With -submit the -scheme sweep runs as a perf job on a swapserve (or is
+// answered from its content-addressed cache) instead of simulating locally.
 package main
 
 import (
@@ -32,24 +35,13 @@ import (
 
 	"swapcodes/internal/compiler"
 	"swapcodes/internal/engine"
+	"swapcodes/internal/harness"
 	"swapcodes/internal/isa"
+	"swapcodes/internal/jobs"
 	"swapcodes/internal/obs"
 	"swapcodes/internal/sm"
 	"swapcodes/internal/workloads"
 )
-
-var schemeNames = map[string]compiler.Scheme{
-	"baseline":       compiler.Baseline,
-	"sw-dup":         compiler.SWDup,
-	"swap-ecc":       compiler.SwapECC,
-	"pre-addsub":     compiler.SwapPredictAddSub,
-	"pre-mad":        compiler.SwapPredictMAD,
-	"pre-otherfxp":   compiler.SwapPredictOtherFxP,
-	"pre-fp-addsub":  compiler.SwapPredictFpAddSub,
-	"pre-fp-mad":     compiler.SwapPredictFpMAD,
-	"inter":          compiler.InterThread,
-	"inter-no-check": compiler.InterThreadNoCheck,
-}
 
 type runOpts struct {
 	name, file string
@@ -65,7 +57,7 @@ func main() {
 	name := flag.String("workload", "lavaMD", "workload name (see -list)")
 	file := flag.String("file", "", "run a kernel from a .sasm text file instead of a built-in workload")
 	memWords := flag.Int("mem", 1<<16, "global memory words when running a .sasm file")
-	schemeList := flag.String("scheme", "swap-ecc", "comma-separated protection schemes: "+strings.Join(schemeKeys(), " "))
+	schemeList := flag.String("scheme", "swap-ecc", "comma-separated protection schemes: "+strings.Join(harness.SchemeNames(), " "))
 	workers := flag.Int("workers", 0, "engine worker count for multi-scheme runs (0 = all cores)")
 	seed := flag.Int64("seed", 1, "random seed for -lane -1 / -bit -1 fault-site selection")
 	list := flag.Bool("list", false, "list workloads and exit")
@@ -79,7 +71,14 @@ func main() {
 	metricsInterval := flag.Duration("metrics-interval", 0, "print a progress line to stderr at this interval (e.g. 2s)")
 	serve := flag.String("serve", "", "serve live observability on this address (GET /metrics Prometheus text, /runs JSON, /debug/pprof)")
 	timeout := flag.Duration("timeout", 0, "cancel the run after this long (0 = no limit); partial results are reported")
+	submit := flag.String("submit", "", "submit a -scheme performance sweep to a running swapserve at this base URL instead of simulating locally")
+	tenant := flag.String("tenant", "", "tenant fairness key for -submit (empty = default tenant)")
 	flag.Parse()
+
+	if *submit != "" {
+		fail(submitPerf(*submit, *tenant, strings.Split(*schemeList, ",")))
+		return
+	}
 
 	if *list {
 		for _, w := range workloads.All() {
@@ -89,13 +88,9 @@ func main() {
 		return
 	}
 
-	var schemes []compiler.Scheme
-	for _, sn := range strings.Split(*schemeList, ",") {
-		scheme, ok := schemeNames[strings.TrimSpace(sn)]
-		if !ok {
-			fail(fmt.Errorf("unknown scheme %q (want one of %s)", sn, strings.Join(schemeKeys(), ", ")))
-		}
-		schemes = append(schemes, scheme)
+	schemes, err := harness.ParseSchemes(strings.Split(*schemeList, ","))
+	if err != nil {
+		fail(err)
 	}
 	opts := runOpts{name: *name, file: *file, memWords: *memWords,
 		fault: *fault, lane: *lane, bit: *bit, disas: *disas, optimize: *optimize}
@@ -136,8 +131,12 @@ func run(schemes []compiler.Scheme, opts runOpts, workers int, seed int64,
 
 	pool := engine.New(workers)
 	pool.SetObs(opts.rec)
+	// The flush runs deferred — and exactly once — so partial observations
+	// survive cancellation, failures, and panics.
+	flusher := &obs.FileFlusher{Rec: opts.rec, MetricsPath: metricsOut, TracePath: traceOut,
+		Logf: func(path string) { fmt.Fprintln(os.Stderr, "swapsim: wrote", path) }}
 	defer func() {
-		if ferr := flushObs(opts.rec, metricsOut, traceOut); ferr != nil && err == nil {
+		if ferr := flusher.Flush(); ferr != nil && err == nil {
 			err = ferr
 		}
 	}()
@@ -183,36 +182,6 @@ func run(schemes []compiler.Scheme, opts runOpts, workers int, seed int64,
 		fmt.Fprintln(os.Stderr, "swapsim: cancelled; reporting partial results")
 	}
 	return err
-}
-
-// flushObs writes the metrics and trace files; it runs deferred so partial
-// observations survive cancellation, failures, and panics.
-func flushObs(rec *obs.Recorder, metricsOut, traceOut string) error {
-	if rec == nil {
-		return nil
-	}
-	write := func(path string, emit func(f *os.File) error) error {
-		if path == "" {
-			return nil
-		}
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		if err := emit(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Fprintln(os.Stderr, "swapsim: wrote", path)
-		return nil
-	}
-	if err := write(metricsOut, func(f *os.File) error { return rec.Registry().WriteMetrics(f, metricsOut) }); err != nil {
-		return err
-	}
-	return write(traceOut, func(f *os.File) error { return rec.WriteTrace(f) })
 }
 
 // runScheme compiles, runs, and verifies one scheme, returning the full
@@ -316,20 +285,22 @@ func runScheme(ctx context.Context, scheme compiler.Scheme, o runOpts) (string, 
 	return b.String(), nil
 }
 
-func schemeKeys() []string {
-	out := make([]string, 0, len(schemeNames))
-	for k := range schemeNames {
-		out = append(out, k)
+// submitPerf is the -submit client mode: the -scheme sweep runs as a perf
+// job on a swapserve (or comes straight from its content-addressed cache).
+func submitPerf(base, tenant string, schemes []string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	for i := range schemes {
+		schemes[i] = strings.TrimSpace(schemes[i])
 	}
-	// stable-ish order for help text
-	for i := range out {
-		for j := i + 1; j < len(out); j++ {
-			if out[j] < out[i] {
-				out[i], out[j] = out[j], out[i]
-			}
-		}
+	c := &jobs.Client{Base: base}
+	raw, err := c.RunJob(ctx, jobs.Spec{Kind: jobs.KindPerf, Tenant: tenant, Schemes: schemes},
+		func(format string, args ...any) { fmt.Fprintf(os.Stderr, "swapsim: "+format+"\n", args...) })
+	if err != nil {
+		return err
 	}
-	return out
+	fmt.Println(jobs.RenderPayload(raw))
+	return nil
 }
 
 func fail(err error) {

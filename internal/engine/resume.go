@@ -1,0 +1,36 @@
+package engine
+
+// Checkpoint/resume support: a sharded campaign whose per-shard results are
+// persisted (the job server's WAL) restarts by re-running only the shards
+// that never completed. Because every shard's randomness derives from
+// ShardSeed(master, shard) — a pure function of the shard index — the
+// re-run shards produce exactly the bytes they would have produced in the
+// interrupted run, and the merged stream is bit-identical to an
+// uninterrupted execution at any worker count.
+
+import "context"
+
+// MapIndices applies fn to an arbitrary subset of shard indices with bounded
+// parallelism. Results are placed positionally: out[k] holds fn's result for
+// indices[k], so the caller's merge stays order-independent exactly as with
+// Map over a dense range. Cancellation and partial-result semantics match
+// Map: started indices run to completion, unstarted slots keep the zero
+// value, and the first error is returned after all in-flight work drains.
+func MapIndices[T any](ctx context.Context, p *Pool, indices []int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return Map(ctx, p, len(indices), func(ctx context.Context, k int) (T, error) {
+		return fn(ctx, indices[k])
+	})
+}
+
+// Missing returns the shard indices in [0, n) that are not marked done, in
+// ascending order — the re-run set of a checkpointed campaign. A nil or
+// empty done map returns every index.
+func Missing(n int, done map[int]bool) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if !done[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestMapIndicesPlacement: results land at the position of their index in
+// the indices slice, for any worker count.
+func TestMapIndicesPlacement(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		p := New(workers)
+		indices := []int{7, 0, 3, 12, 5}
+		out, err := MapIndices(context.Background(), p, indices, func(_ context.Context, i int) (int, error) {
+			return i * 10, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for k, idx := range indices {
+			if out[k] != idx*10 {
+				t.Errorf("workers=%d: out[%d] = %d, want %d", workers, k, out[k], idx*10)
+			}
+		}
+	}
+}
+
+// TestMapIndicesEmpty: an empty resume set is a no-op, not an error.
+func TestMapIndicesEmpty(t *testing.T) {
+	p := New(2)
+	out, err := MapIndices(context.Background(), p, nil, func(_ context.Context, i int) (int, error) {
+		t.Error("fn called for empty index set")
+		return 0, nil
+	})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("got out=%v err=%v, want empty, nil", out, err)
+	}
+}
+
+// TestMapIndicesError: the first error is reported and in-flight work
+// drains, mirroring Map's contract.
+func TestMapIndicesError(t *testing.T) {
+	p := New(4)
+	boom := errors.New("boom")
+	_, err := MapIndices(context.Background(), p, []int{1, 2, 3, 4}, func(_ context.Context, i int) (int, error) {
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+// TestMissing: the re-run set is the ascending complement of the done set.
+func TestMissing(t *testing.T) {
+	got := Missing(6, map[int]bool{0: true, 2: true, 5: true})
+	want := []int{1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Missing = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Missing = %v, want %v", got, want)
+		}
+	}
+	if all := Missing(3, nil); len(all) != 3 {
+		t.Fatalf("Missing(3, nil) = %v, want all indices", all)
+	}
+	if none := Missing(0, nil); len(none) != 0 {
+		t.Fatalf("Missing(0, nil) = %v, want empty", none)
+	}
+}

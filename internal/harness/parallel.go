@@ -7,7 +7,6 @@ import (
 	"swapcodes/internal/arith"
 	"swapcodes/internal/compiler"
 	"swapcodes/internal/engine"
-	"swapcodes/internal/faultsim"
 	"swapcodes/internal/sm"
 	"swapcodes/internal/trace"
 	"swapcodes/internal/workloads"
@@ -79,46 +78,15 @@ func RunInjectionCtx(ctx context.Context, pool *engine.Pool, tuples int, seed in
 		return res, err
 	}
 
-	// Flatten (unit, shard) pairs into one job list rather than nesting
-	// Map calls per unit, so a six-unit campaign saturates the pool even
-	// when single units have few shards.
-	type shardJob struct {
-		unit, shard int
-	}
-	type shardOut struct {
-		inj   []faultsim.Injection
-		stats faultsim.EvalStats
-	}
-	campaigns := make([]*faultsim.ShardedCampaign, len(units))
-	samples := make([][][]uint64, len(units))
-	var jobs []shardJob
-	for i, u := range units {
-		samples[i] = tr.Sample(u.Name, tuples, seed+int64(i))
-		campaigns[i] = &faultsim.ShardedCampaign{Unit: u, MasterSeed: seed + 100 + int64(i)}
-		for s := 0; s < campaigns[i].NumShards(len(samples[i])); s++ {
-			jobs = append(jobs, shardJob{unit: i, shard: s})
-		}
-	}
+	// The plan flattens (unit, shard) pairs into one job list rather than
+	// nesting Map calls per unit, so a six-unit campaign saturates the pool
+	// even when single units have few shards.
+	plan := PlanInjection(units, tr, tuples, seed)
 	campaignStart := time.Now()
-	shards, err := engine.Map(ctx, pool, len(jobs), func(ctx context.Context, j int) (shardOut, error) {
-		u, sh := jobs[j].unit, jobs[j].shard
-		start := pool.Recorder().Now()
-		inj, st, serr := campaigns[u].RunShard(ctx, sh, samples[u])
-		if serr == nil {
-			pool.Tracker().AddItems(int64(len(inj)))
-			lo := sh * faultsim.DefaultShardSize
-			n := min(lo+faultsim.DefaultShardSize, len(samples[u])) - lo
-			faultsim.RecordShard(pool.Recorder(), units[u].Name, sh, start, n, inj, st)
-		}
-		return shardOut{inj: inj, stats: st}, serr
+	shards, err := engine.Map(ctx, pool, len(plan.Shards()), func(ctx context.Context, j int) (ShardResult, error) {
+		return plan.RunShard(ctx, pool, j)
 	})
-	res.CampaignSeconds = time.Since(campaignStart).Seconds()
-	for j, out := range shards {
-		u := jobs[j].unit
-		res.Units[u].Injections = append(res.Units[u].Injections, out.inj...) // jobs are in (unit, shard) order
-		res.Units[u].Evals = res.Units[u].Evals.Merge(out.stats)
-	}
-	return res, err
+	return plan.Assemble(shards, time.Since(campaignStart).Seconds()), err
 }
 
 // RunPerfCtx executes the workload×scheme sweep with workloads in parallel

@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"swapcodes/internal/compiler"
+)
+
+// The CLI/API name space of the protection schemes. One table serves the
+// swapsim -scheme flag, the experiments figure drivers, and the job server's
+// JSON specs, so a scheme name means the same thing on every surface.
+var schemeNames = map[string]compiler.Scheme{
+	"baseline":       compiler.Baseline,
+	"sw-dup":         compiler.SWDup,
+	"swap-ecc":       compiler.SwapECC,
+	"pre-addsub":     compiler.SwapPredictAddSub,
+	"pre-mad":        compiler.SwapPredictMAD,
+	"pre-otherfxp":   compiler.SwapPredictOtherFxP,
+	"pre-fp-addsub":  compiler.SwapPredictFpAddSub,
+	"pre-fp-mad":     compiler.SwapPredictFpMAD,
+	"inter":          compiler.InterThread,
+	"inter-no-check": compiler.InterThreadNoCheck,
+}
+
+// SchemeByName resolves a CLI/API scheme name.
+func SchemeByName(name string) (compiler.Scheme, error) {
+	s, ok := schemeNames[strings.TrimSpace(name)]
+	if !ok {
+		return 0, fmt.Errorf("unknown scheme %q (want one of %s)", name, strings.Join(SchemeNames(), ", "))
+	}
+	return s, nil
+}
+
+// SchemeName returns the canonical CLI/API name of a scheme.
+func SchemeName(s compiler.Scheme) string {
+	for name, sc := range schemeNames {
+		if sc == s {
+			return name
+		}
+	}
+	return s.String()
+}
+
+// SchemeNames lists the valid scheme names, sorted.
+func SchemeNames() []string {
+	out := make([]string, 0, len(schemeNames))
+	for k := range schemeNames {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseSchemes resolves a list of scheme names (a comma-split flag value or
+// a JSON spec's schemes array) in order.
+func ParseSchemes(names []string) ([]compiler.Scheme, error) {
+	out := make([]compiler.Scheme, 0, len(names))
+	for _, n := range names {
+		s, err := SchemeByName(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -1,0 +1,65 @@
+package jobs
+
+import (
+	"testing"
+
+	"swapcodes/internal/obs"
+)
+
+func counterValue(t *testing.T, reg *obs.Registry, name string) int64 {
+	t.Helper()
+	return reg.Counter(name).Value()
+}
+
+func TestCacheHitMissCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	c, err := NewCache(t.TempDir(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := CacheKey("trace", "v1", "limit=10")
+	if _, ok := c.Get("trace", key); ok {
+		t.Fatal("hit on empty cache")
+	}
+	if err := c.Put("trace", key, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := c.Get("trace", key); !ok || string(v) != "payload" {
+		t.Fatalf("get after put = %q, %v", v, ok)
+	}
+	hits := counterValue(t, reg, obs.Name("jobs.cache_hits", "item", "trace"))
+	misses := counterValue(t, reg, obs.Name("jobs.cache_misses", "item", "trace"))
+	if hits != 1 || misses != 1 {
+		t.Fatalf("counters = %d hits, %d misses; want 1, 1", hits, misses)
+	}
+}
+
+func TestCacheDiskPersistence(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewCache(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := CacheKey("result", "spec-hash")
+	if err := c1.Put("result", key, []byte(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh instance over the same directory (a restarted server) serves
+	// the entry from disk.
+	c2, err := NewCache(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := c2.Get("result", key); !ok || string(v) != `{"x":1}` {
+		t.Fatalf("disk get = %q, %v", v, ok)
+	}
+}
+
+func TestCacheKeyDistinguishesBoundaries(t *testing.T) {
+	if CacheKey("ab", "c") == CacheKey("a", "bc") {
+		t.Fatal("part boundaries not encoded")
+	}
+	if CacheKey("a") != CacheKey("a") {
+		t.Fatal("CacheKey not deterministic")
+	}
+}

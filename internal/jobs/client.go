@@ -1,0 +1,192 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is the Go client of the jobs API, used by the -submit modes of
+// swapsim and experiments and by the e2e tests.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:9090".
+	Base string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// base normalizes Base so "localhost:9090" works as well as a full URL.
+func (c *Client) base() string {
+	if !strings.Contains(c.Base, "://") {
+		return "http://" + c.Base
+	}
+	return c.Base
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base()+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return fmt.Errorf("jobs: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("jobs: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out != nil {
+		return json.Unmarshal(raw, out)
+	}
+	return nil
+}
+
+// Submit posts a spec and returns the job id.
+func (c *Client) Submit(ctx context.Context, spec Spec) (string, error) {
+	var resp struct {
+		ID string `json:"id"`
+	}
+	if err := c.do(ctx, http.MethodPost, "/jobs", spec, &resp); err != nil {
+		return "", err
+	}
+	return resp.ID, nil
+}
+
+// Status fetches a job's status.
+func (c *Client) Status(ctx context.Context, id string) (Status, error) {
+	var st Status
+	err := c.do(ctx, http.MethodGet, "/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Result fetches a finished job's raw payload.
+func (c *Client) Result(ctx context.Context, id string) (json.RawMessage, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base()+"/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("jobs: result %s: HTTP %d: %s", id, resp.StatusCode, raw)
+	}
+	return raw, nil
+}
+
+// Cancel cancels a job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodPost, "/jobs/"+id+"/cancel", nil, nil)
+}
+
+// RunJob is the whole client flow in one call: submit a spec, wait for a
+// terminal state (reporting progress through logf when non-nil), and fetch
+// the final payload. Used by the -submit modes of swapsim and experiments.
+func (c *Client) RunJob(ctx context.Context, spec Spec, logf func(format string, args ...any)) (json.RawMessage, error) {
+	id, err := c.Submit(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	if logf != nil {
+		logf("submitted %s job as %s", spec.Kind, id)
+	}
+	st, err := c.Wait(ctx, id, 250*time.Millisecond, func(st Status) {
+		if logf != nil && st.ShardsTotal > 0 {
+			logf("%s: %s %d/%d shards", id, st.State, st.ShardsDone, st.ShardsTotal)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if st.State != StateDone {
+		return nil, fmt.Errorf("jobs: %s %s: %s", id, st.State, st.Error)
+	}
+	if st.CacheHit && logf != nil {
+		logf("%s: served from cache", id)
+	}
+	return c.Result(ctx, id)
+}
+
+// RenderPayload turns a job payload into terminal output: the payload's
+// rendered "text" table when the kind carries one, the indented JSON
+// otherwise (campaign payloads are structured-only).
+func RenderPayload(raw json.RawMessage) string {
+	var probe struct {
+		Text string `json:"text"`
+	}
+	if err := json.Unmarshal(raw, &probe); err == nil && probe.Text != "" {
+		return probe.Text
+	}
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, raw, "", "  "); err != nil {
+		return string(raw)
+	}
+	return buf.String()
+}
+
+// Wait polls until the job reaches a terminal state, invoking onUpdate (if
+// non-nil) with each observed status change.
+func (c *Client) Wait(ctx context.Context, id string, interval time.Duration, onUpdate func(Status)) (Status, error) {
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	var last Status
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return last, err
+		}
+		if onUpdate != nil && (st.State != last.State || st.ShardsDone != last.ShardsDone) {
+			onUpdate(st)
+		}
+		last = st
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return last, ctx.Err()
+		case <-time.After(interval):
+		}
+	}
+}

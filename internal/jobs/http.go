@@ -1,0 +1,163 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Register mounts the jobs API on mux, layering it onto the obs server
+// (obs.StartServerWith passes its mux here, so /jobs lives next to /metrics
+// and /runs):
+//
+//	POST /jobs              submit a Spec, 202 {"id": ...}
+//	GET  /jobs              list job statuses
+//	GET  /jobs/{id}         one job's status
+//	GET  /jobs/{id}/result  final payload (409 until terminal)
+//	GET  /jobs/{id}/events  SSE progress stream until terminal
+//	POST /jobs/{id}/cancel  cancel queued or running job
+func (s *Service) Register(mux *http.ServeMux) {
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode spec: %w", err))
+		return
+	}
+	id, err := s.Submit(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrQueueFull) {
+			code = http.StatusTooManyRequests
+		} else if errors.Is(err, ErrQueueClosed) {
+			code = http.StatusServiceUnavailable
+		}
+		writeErr(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.List()
+	out := make([]Status, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Status())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Service) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	st := j.Status()
+	if !st.State.Terminal() {
+		writeErr(w, http.StatusConflict, fmt.Errorf("job %s is %s", j.ID, st.State))
+		return
+	}
+	if st.State != StateDone {
+		writeErr(w, http.StatusConflict, fmt.Errorf("job %s %s: %s", j.ID, st.State, st.Error))
+		return
+	}
+	// The payload is the runner's exact marshaled bytes — byte-identical
+	// across resume and cache hits, which the e2e test compares directly.
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(j.Result())
+}
+
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	fl, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeErr(w, http.StatusNotImplemented, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	send := func(ev Event) {
+		b, _ := json.Marshal(ev)
+		fmt.Fprintf(w, "data: %s\n\n", b)
+		fl.Flush()
+	}
+
+	// Subscribe before snapshotting so no transition falls between the two;
+	// an event older than the snapshot just repeats known progress.
+	ch, unsub := j.Subscribe()
+	defer unsub()
+	st := j.Status()
+	send(Event{Type: "state", JobID: j.ID, State: st.State,
+		ShardsDone: st.ShardsDone, ShardsTotal: st.ShardsTotal, Error: st.Error})
+	if st.State.Terminal() {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, open := <-ch:
+			if !open {
+				return // terminal: channel closed after the done event
+			}
+			send(ev)
+			if ev.Type == "done" {
+				return
+			}
+		}
+	}
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	if err := s.Cancel(j.ID); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}

@@ -1,0 +1,148 @@
+package jobs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testServer(t *testing.T) (*Service, *Client) {
+	t.Helper()
+	svc, err := New(Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	mux := http.NewServeMux()
+	svc.Register(mux)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return svc, &Client{Base: ts.URL, HTTPClient: ts.Client()}
+}
+
+func TestHTTPSubmitPollResult(t *testing.T) {
+	_, c := testServer(t)
+	ctx := context.Background()
+
+	id, err := c.Submit(ctx, Spec{Kind: KindCampaign, Tuples: 64, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Wait(ctx, id, 10*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("job = %s: %s", st.State, st.Error)
+	}
+	raw, err := c.Result(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res CampaignResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("result not a CampaignResult: %v", err)
+	}
+	if res.Kind != KindCampaign || len(res.Units) != 6 || res.Digest == "" {
+		t.Fatalf("result = kind %q, %d units, digest %q", res.Kind, len(res.Units), res.Digest)
+	}
+
+	// Identical resubmission is a cache hit with identical bytes.
+	id2, err := c.Submit(ctx, Spec{Kind: KindCampaign, Tuples: 64, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := c.Wait(ctx, id2, 10*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.CacheHit {
+		t.Fatal("resubmission not served from cache")
+	}
+	raw2, err := c.Result(ctx, id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, raw2) {
+		t.Fatal("cached result bytes differ")
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	_, c := testServer(t)
+	ctx := context.Background()
+
+	if _, err := c.Submit(ctx, Spec{Kind: "bogus"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown kind") {
+		t.Fatalf("bogus kind submit = %v", err)
+	}
+	if _, err := c.Status(ctx, "j9999-deadbeef"); err == nil ||
+		!strings.Contains(err.Error(), "HTTP 404") {
+		t.Fatalf("unknown job status = %v", err)
+	}
+	if _, err := c.Result(ctx, "j9999-deadbeef"); err == nil {
+		t.Fatal("unknown job result did not error")
+	}
+}
+
+func TestHTTPResultConflictWhileRunning(t *testing.T) {
+	svc, c := testServer(t)
+	ctx := context.Background()
+	id, err := c.Submit(ctx, Spec{Kind: KindCampaign, Tuples: resumeTuples, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Result(ctx, id); err == nil ||
+		!strings.Contains(err.Error(), "409") {
+		t.Fatalf("result of unfinished job = %v; want HTTP 409", err)
+	}
+	_ = svc.Cancel(id)
+	j, _ := svc.Get(id)
+	waitTerminal(t, j, time.Minute)
+}
+
+func TestHTTPEventsStream(t *testing.T) {
+	_, c := testServer(t)
+	ctx := context.Background()
+	id, err := c.Submit(ctx, Spec{Kind: KindCampaign, Tuples: 64, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.http().Get(c.Base + "/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events Content-Type = %q", ct)
+	}
+	// The stream must deliver at least one event and terminate with "done"
+	// (or open on an already-terminal job and close right after the
+	// snapshot event).
+	var events []Event
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", line, err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events received")
+	}
+	last := events[len(events)-1]
+	if !last.State.Terminal() {
+		t.Fatalf("stream ended on non-terminal event %+v", last)
+	}
+}

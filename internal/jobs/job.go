@@ -1,0 +1,227 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle position. Transitions are
+// queued → running → {done, failed, cancelled}; a server restart moves
+// unfinished jobs back to queued (their shard checkpoints survive in the
+// WAL, so "back to queued" loses no completed work).
+type State string
+
+// Job states.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Job is one submitted spec moving through the service.
+type Job struct {
+	ID   string
+	Spec Spec
+
+	mu          sync.Mutex
+	state       State
+	err         string
+	result      json.RawMessage
+	shardsDone  int
+	shardsTotal int
+	cacheHit    bool
+	userCancel  bool
+	submitted   time.Time
+	started     time.Time
+	finished    time.Time
+	cancel      context.CancelFunc
+
+	subs    map[int]chan Event
+	nextSub int
+}
+
+// Event is one progress notification, the payload of the SSE stream.
+type Event struct {
+	// Type is "state" (lifecycle transition), "shard" (one campaign shard
+	// completed), or "done" (terminal, carries the final state).
+	Type  string `json:"type"`
+	JobID string `json:"job_id"`
+	State State  `json:"state"`
+	// Shard fields, set on "shard" events.
+	Unit       string `json:"unit,omitempty"`
+	Shard      int    `json:"shard,omitempty"`
+	Injections int    `json:"injections,omitempty"`
+	Replayed   bool   `json:"replayed,omitempty"` // restored from a checkpoint, not re-run
+	// Progress counters, set on every event.
+	ShardsDone  int    `json:"shards_done"`
+	ShardsTotal int    `json:"shards_total"`
+	Error       string `json:"error,omitempty"`
+}
+
+// Status is the JSON view of a job, the body of GET /jobs/{id}.
+type Status struct {
+	ID          string    `json:"id"`
+	Spec        Spec      `json:"spec"`
+	State       State     `json:"state"`
+	Error       string    `json:"error,omitempty"`
+	ShardsDone  int       `json:"shards_done"`
+	ShardsTotal int       `json:"shards_total"`
+	CacheHit    bool      `json:"cache_hit,omitempty"`
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at"`
+	FinishedAt  time.Time `json:"finished_at"`
+}
+
+func newJob(id string, spec Spec, submitted time.Time) *Job {
+	return &Job{ID: id, Spec: spec, state: StateQueued, submitted: submitted,
+		subs: make(map[int]chan Event)}
+}
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Status{
+		ID: j.ID, Spec: j.Spec, State: j.state, Error: j.err,
+		ShardsDone: j.shardsDone, ShardsTotal: j.shardsTotal,
+		CacheHit:    j.cacheHit,
+		SubmittedAt: j.submitted, StartedAt: j.started, FinishedAt: j.finished,
+	}
+}
+
+// State returns the current state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Result returns the final payload (nil until done).
+func (j *Job) Result() json.RawMessage {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// Subscribe registers an event listener. The channel is buffered and
+// best-effort for "shard" events (a slow SSE client drops intermediate
+// progress, never the terminal event: "done" delivery blocks until the
+// subscriber drains). The returned func unsubscribes.
+func (j *Job) Subscribe() (<-chan Event, func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	id := j.nextSub
+	j.nextSub++
+	ch := make(chan Event, 64)
+	j.subs[id] = ch
+	return ch, func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if _, ok := j.subs[id]; ok {
+			delete(j.subs, id)
+			close(ch)
+		}
+	}
+}
+
+// publish fans an event out to subscribers. Callers hold j.mu.
+func (j *Job) publishLocked(ev Event) {
+	ev.JobID = j.ID
+	ev.State = j.state
+	ev.ShardsDone = j.shardsDone
+	ev.ShardsTotal = j.shardsTotal
+	ev.Error = j.err
+	for id, ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+			if ev.Type == "done" {
+				// Terminal events must not be lost: drop the laggard
+				// subscriber instead (its channel close signals the end).
+				delete(j.subs, id)
+				close(ch)
+			}
+		}
+	}
+}
+
+func (j *Job) setState(st State, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = st
+	j.err = errMsg
+	now := time.Now()
+	switch st {
+	case StateRunning:
+		j.started = now
+	case StateDone, StateFailed, StateCancelled:
+		j.finished = now
+	}
+	typ := "state"
+	if st.Terminal() {
+		typ = "done"
+	}
+	j.publishLocked(Event{Type: typ})
+	if st.Terminal() {
+		for id, ch := range j.subs {
+			delete(j.subs, id)
+			close(ch)
+		}
+	}
+}
+
+func (j *Job) setResult(raw json.RawMessage, cacheHit bool) {
+	j.mu.Lock()
+	j.result = raw
+	j.cacheHit = cacheHit
+	j.mu.Unlock()
+}
+
+func (j *Job) setShardTotal(n int) {
+	j.mu.Lock()
+	j.shardsTotal = n
+	j.mu.Unlock()
+}
+
+// shardDone records one completed shard and publishes a progress event.
+func (j *Job) shardDone(unit string, shard, injections int, replayed bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.shardsDone++
+	j.publishLocked(Event{Type: "shard", Unit: unit, Shard: shard,
+		Injections: injections, Replayed: replayed})
+}
+
+func (j *Job) markUserCancel() {
+	j.mu.Lock()
+	j.userCancel = true
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+func (j *Job) userCancelled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.userCancel
+}
+
+func (j *Job) bindCancel(cancel context.CancelFunc) {
+	j.mu.Lock()
+	j.cancel = cancel
+	j.mu.Unlock()
+}

@@ -1,0 +1,108 @@
+package jobs
+
+import (
+	"errors"
+	"sync"
+)
+
+// Queue errors.
+var (
+	// ErrQueueFull rejects a submission when the global bound is reached —
+	// backpressure instead of unbounded memory growth.
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrQueueClosed rejects submissions during shutdown.
+	ErrQueueClosed = errors.New("jobs: queue closed")
+)
+
+// queue is a bounded FIFO with per-tenant fairness: each tenant gets its own
+// FIFO lane, and pop round-robins across tenants with pending work, so a
+// tenant that batch-submits a hundred campaigns delays its own later jobs,
+// not everyone else's. Within a tenant, submission order is preserved.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	cap    int
+	size   int
+	closed bool
+
+	// order lists tenants in first-seen order; rr is the round-robin cursor
+	// into it. Tenants stay listed once seen (the set is small and stable),
+	// which keeps cursor arithmetic trivial.
+	order []string
+	lanes map[string][]string
+	rr    int
+}
+
+func newQueue(capacity int) *queue {
+	q := &queue{cap: capacity, lanes: make(map[string][]string)}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues a job id for a tenant.
+func (q *queue) push(tenant, id string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	if q.cap > 0 && q.size >= q.cap {
+		return ErrQueueFull
+	}
+	if _, seen := q.lanes[tenant]; !seen {
+		q.order = append(q.order, tenant)
+	}
+	q.lanes[tenant] = append(q.lanes[tenant], id)
+	q.size++
+	q.cond.Signal()
+	return nil
+}
+
+// pop blocks until a job is available (round-robin across tenants, FIFO
+// within one) or the queue is closed and drained; ok=false means shut down.
+func (q *queue) pop() (id string, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.size > 0 {
+			for range q.order {
+				t := q.order[q.rr%len(q.order)]
+				q.rr++
+				lane := q.lanes[t]
+				if len(lane) == 0 {
+					continue
+				}
+				id := lane[0]
+				q.lanes[t] = lane[1:]
+				q.size--
+				return id, true
+			}
+		}
+		if q.closed {
+			return "", false
+		}
+		q.cond.Wait()
+	}
+}
+
+// close stops the queue: pending jobs still pop, pushes fail, and blocked
+// pops return once the queue drains. drain=true discards pending work so
+// blocked pops return immediately (shutdown path; the WAL re-enqueues the
+// discarded jobs on restart).
+func (q *queue) close(drain bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	if drain {
+		q.lanes = make(map[string][]string)
+		q.size = 0
+	}
+	q.cond.Broadcast()
+}
+
+// depth reports queued jobs.
+func (q *queue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}

@@ -1,0 +1,324 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"swapcodes/internal/engine"
+	"swapcodes/internal/obs"
+)
+
+// Options configures a Service.
+type Options struct {
+	// StateDir is where the WAL and the disk cache tier live. Empty runs the
+	// service fully in memory (no persistence, no resume) — test mode.
+	StateDir string
+	// Workers sizes the engine pool (0 = GOMAXPROCS).
+	Workers int
+	// MaxConcurrentJobs bounds jobs executing at once (default 2); queued
+	// jobs wait. Shards within one campaign still fan out across the whole
+	// pool — this bounds job-level, not shard-level, concurrency.
+	MaxConcurrentJobs int
+	// QueueCap bounds queued-but-not-running jobs (default 64); submissions
+	// beyond it fail fast with ErrQueueFull.
+	QueueCap int
+	// Recorder receives job and engine observability (nil = private).
+	Recorder *obs.Recorder
+}
+
+// Service is the campaign job server: a bounded fair queue in front of a
+// fixed set of executor goroutines sharing one deterministic engine pool,
+// with WAL persistence and a content-addressed cache underneath.
+type Service struct {
+	pool   *engine.Pool
+	store  *Store // nil when StateDir is empty
+	cache  *Cache
+	queue  *queue
+	rec    *obs.Recorder
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for listing
+	seq      int
+	replayed map[string]map[int]*ShardSummary // jobID → shard checkpoints
+	closed   bool
+}
+
+// New starts a service: replays the WAL under opts.StateDir, re-enqueues
+// every unfinished job (completed shard checkpoints pre-loaded, so they
+// resume rather than restart), and launches the executor goroutines.
+func New(opts Options) (*Service, error) {
+	if opts.MaxConcurrentJobs <= 0 {
+		opts.MaxConcurrentJobs = 2
+	}
+	if opts.QueueCap <= 0 {
+		opts.QueueCap = 64
+	}
+	rec := opts.Recorder
+	if rec == nil {
+		rec = obs.NewRecorder()
+	}
+
+	var (
+		store *Store
+		rep   = &Replay{}
+		err   error
+	)
+	casDir := ""
+	if opts.StateDir != "" {
+		store, rep, err = OpenStore(opts.StateDir)
+		if err != nil {
+			return nil, err
+		}
+		casDir = store.CASDir()
+	}
+	cache, err := NewCache(casDir, rec.Registry())
+	if err != nil {
+		return nil, err
+	}
+
+	pool := engine.New(opts.Workers)
+	pool.SetObs(rec)
+
+	s := &Service{
+		pool: pool, store: store, cache: cache,
+		queue: newQueue(opts.QueueCap), rec: rec,
+		jobs:     make(map[string]*Job),
+		replayed: make(map[string]map[int]*ShardSummary),
+	}
+
+	// Rebuild the job table from the log. Finished jobs come back for
+	// listing and cached results; unfinished ones go back on the queue.
+	for _, rj := range rep.Jobs {
+		s.seq++
+		j := newJob(rj.ID, rj.Spec, time.Now())
+		j.state = rj.State
+		j.err = rj.Err
+		if len(rj.Result) > 0 {
+			j.result = rj.Result
+		}
+		s.jobs[rj.ID] = j
+		s.order = append(s.order, rj.ID)
+		if rj.State.Terminal() {
+			continue
+		}
+		j.state = StateQueued
+		if len(rj.Shards) > 0 {
+			s.replayed[rj.ID] = rj.Shards
+		}
+		if err := s.queue.push(rj.Spec.Tenant, rj.ID); err != nil {
+			j.setState(StateFailed, "resume: "+err.Error())
+		}
+	}
+	if rep.Truncated > 0 {
+		rec.Registry().Counter("jobs.wal_truncated_lines").Add(int64(rep.Truncated))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	s.cancel = cancel
+	for i := 0; i < opts.MaxConcurrentJobs; i++ {
+		s.wg.Add(1)
+		go s.worker(ctx)
+	}
+	return s, nil
+}
+
+// Pool exposes the engine pool (the obs server's /runs closure reads its
+// tracker).
+func (s *Service) Pool() *engine.Pool { return s.pool }
+
+// Submit normalizes and enqueues a spec, returning the job id.
+func (s *Service) Submit(spec Spec) (string, error) {
+	if err := spec.Normalize(); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return "", ErrQueueClosed
+	}
+	s.seq++
+	id := fmt.Sprintf("j%04d-%s", s.seq, spec.Key()[:8])
+	j := newJob(id, spec, time.Now())
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+
+	if s.store != nil {
+		if err := s.store.AppendJob(id, spec); err != nil {
+			j.setState(StateFailed, err.Error())
+			return "", err
+		}
+	}
+	if err := s.queue.push(spec.Tenant, id); err != nil {
+		j.setState(StateFailed, err.Error())
+		s.logState(j)
+		return "", err
+	}
+	s.rec.Registry().Counter("jobs.submitted").Inc()
+	return id, nil
+}
+
+// Get returns a job by id.
+func (s *Service) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// List returns all jobs in submission order.
+func (s *Service) List() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Cancel cancels a job: a queued job goes straight to cancelled (the worker
+// skips it when popped); a running job has its context cancelled and stops
+// at the next shard boundary, keeping its completed checkpoints.
+func (s *Service) Cancel(id string) error {
+	j, ok := s.Get(id)
+	if !ok {
+		return fmt.Errorf("jobs: no job %q", id)
+	}
+	if j.State().Terminal() {
+		return nil
+	}
+	j.markUserCancel()
+	if j.State() == StateQueued {
+		j.setState(StateCancelled, "")
+		s.logState(j)
+	}
+	return nil
+}
+
+// Snapshot is the /runs payload: queue and job-table summary next to the
+// engine progress counters.
+type Snapshot struct {
+	Engine engine.Progress `json:"engine"`
+	Queue  int             `json:"queue_depth"`
+	States map[string]int  `json:"job_states"`
+	Jobs   []Status        `json:"jobs"`
+}
+
+// Snapshot summarizes the service for the /runs endpoint.
+func (s *Service) Snapshot() Snapshot {
+	snap := Snapshot{
+		Engine: s.pool.Tracker().Snapshot(),
+		Queue:  s.queue.depth(),
+		States: make(map[string]int),
+	}
+	for _, j := range s.List() {
+		st := j.Status()
+		snap.States[string(st.State)]++
+		snap.Jobs = append(snap.Jobs, st)
+	}
+	sort.Slice(snap.Jobs, func(a, b int) bool { return snap.Jobs[a].ID < snap.Jobs[b].ID })
+	return snap
+}
+
+// Close drains the service: no new submissions, queued jobs are discarded
+// (the WAL re-enqueues them on restart), running jobs are cancelled and
+// stop at their next shard boundary with checkpoints intact. Shutdown
+// deliberately writes no terminal state records for interrupted jobs —
+// their last logged state stays queued/running, which is exactly what
+// replay re-enqueues.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	s.queue.close(true)
+	s.cancel()
+	s.wg.Wait()
+	if s.store != nil {
+		return s.store.Close()
+	}
+	return nil
+}
+
+func (s *Service) logState(j *Job) {
+	if s.store == nil {
+		return
+	}
+	st := j.Status()
+	_ = s.store.AppendState(j.ID, st.State, st.Error)
+}
+
+// worker loops popping jobs until shutdown.
+func (s *Service) worker(base context.Context) {
+	defer s.wg.Done()
+	for {
+		id, ok := s.queue.pop()
+		if !ok {
+			return
+		}
+		s.mu.Lock()
+		j := s.jobs[id]
+		rep := s.replayed[id]
+		delete(s.replayed, id)
+		s.mu.Unlock()
+		if j == nil || j.State().Terminal() {
+			continue // cancelled while queued
+		}
+		s.execute(base, j, rep)
+	}
+}
+
+// execute runs one job to a terminal state (or leaves it checkpointed when
+// the base context — shutdown — is what stopped it).
+func (s *Service) execute(base context.Context, j *Job, rep map[int]*ShardSummary) {
+	ctx, cancel := context.WithCancel(base)
+	defer cancel()
+	j.bindCancel(cancel)
+	if j.userCancelled() {
+		// Cancel landed between pop and bind: honor it before doing work.
+		cancel()
+	}
+
+	j.setState(StateRunning, "")
+	s.logState(j)
+	s.rec.Registry().Gauge("jobs.running").Add(1)
+	defer s.rec.Registry().Gauge("jobs.running").Add(-1)
+
+	r := &runner{pool: s.pool, cache: s.cache, store: s.store}
+	start := time.Now()
+	raw, cached, err := r.run(ctx, j, rep)
+	s.rec.Registry().Histogram("jobs.duration_ms").Observe(time.Since(start).Milliseconds())
+
+	switch {
+	case err == nil:
+		j.setResult(raw, cached)
+		if s.store != nil {
+			_ = s.store.AppendResult(j.ID, raw)
+		}
+		j.setState(StateDone, "")
+		s.logState(j)
+		s.rec.Registry().Counter("jobs.done").Inc()
+	case j.userCancelled():
+		j.setState(StateCancelled, "")
+		s.logState(j)
+		s.rec.Registry().Counter("jobs.cancelled").Inc()
+	case base.Err() != nil:
+		// Shutdown, not failure: leave the job's logged state as running so
+		// a restart re-enqueues it; checkpoints make the re-run incremental.
+	default:
+		j.setState(StateFailed, err.Error())
+		s.logState(j)
+		s.rec.Registry().Counter("jobs.failed").Inc()
+	}
+}

@@ -1,0 +1,65 @@
+package jobs
+
+import "testing"
+
+func TestSpecNormalizeDefaults(t *testing.T) {
+	s := Spec{Kind: KindCampaign}
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Tuples != 10000 || s.Seed != 1 {
+		t.Fatalf("campaign defaults = tuples %d, seed %d", s.Tuples, s.Seed)
+	}
+
+	p := Spec{Kind: KindPerf}
+	if err := p.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Schemes) == 0 {
+		t.Fatal("perf default schemes empty")
+	}
+
+	bad := []Spec{
+		{},
+		{Kind: "nope"},
+		{Kind: KindCampaign, Tuples: -1},
+		{Kind: KindCampaign, Schemes: []string{"sw-dup"}},
+		{Kind: KindPerf, Schemes: []string{"not-a-scheme"}},
+		{Kind: KindVerify, Tuples: 5},
+	}
+	for i, s := range bad {
+		if err := s.Normalize(); err == nil {
+			t.Errorf("bad spec %d normalized without error: %+v", i, s)
+		}
+	}
+}
+
+func TestSpecKeyContentAddress(t *testing.T) {
+	// Defaults spelled out and defaults left implicit share one identity.
+	a := Spec{Kind: KindCampaign}
+	b := Spec{Kind: KindCampaign, Tuples: 10000, Seed: 1}
+	if err := a.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Key() != b.Key() {
+		t.Fatal("implicit and explicit defaults hash differently")
+	}
+	// Tenant is fairness metadata, not content: different tenants share
+	// cache entries for identical work.
+	c := b
+	c.Tenant = "team-a"
+	if c.Key() != b.Key() {
+		t.Fatal("tenant changed the content address")
+	}
+	// Different work hashes differently.
+	d := Spec{Kind: KindCampaign, Tuples: 10000, Seed: 2}
+	if err := d.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Key() == b.Key() {
+		t.Fatal("different seeds share a content address")
+	}
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"os"
+	"sync"
+)
+
+// FileFlusher writes a recorder's metrics and trace files exactly once, no
+// matter how many of a CLI's exit paths reach it. The CLIs defer a flush so
+// partial observations survive cancellation, failures, and panic unwinds;
+// the same flusher is also called from signal handlers and server shutdown
+// hooks, and the sync.Once guarantees those paths never double-write (or
+// interleave) the output files.
+//
+// A nil Rec or empty paths make Flush a no-op, so callers can construct a
+// FileFlusher unconditionally and let the zero-value fields gate the work.
+type FileFlusher struct {
+	Rec         *Recorder
+	MetricsPath string
+	TracePath   string
+	// Logf, when set, is called with each written path (the CLIs print
+	// "wrote <path>" notices to stderr).
+	Logf func(path string)
+
+	once sync.Once
+	err  error
+}
+
+// Flush writes the metrics and trace files on first call and returns the
+// remembered result on every later call.
+func (f *FileFlusher) Flush() error {
+	f.once.Do(func() { f.err = f.flush() })
+	return f.err
+}
+
+func (f *FileFlusher) flush() error {
+	if f.Rec == nil {
+		return nil
+	}
+	write := func(path string, emit func(out *os.File) error) error {
+		if path == "" {
+			return nil
+		}
+		out, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(out); err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+		if f.Logf != nil {
+			f.Logf(path)
+		}
+		return nil
+	}
+	if err := write(f.MetricsPath, func(out *os.File) error {
+		return f.Rec.Registry().WriteMetrics(out, f.MetricsPath)
+	}); err != nil {
+		return err
+	}
+	return write(f.TracePath, func(out *os.File) error { return f.Rec.WriteTrace(out) })
+}

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
 
@@ -28,12 +29,27 @@ type Server struct {
 	ln  net.Listener
 	srv *http.Server
 	err chan error
+
+	// Shutdown is idempotent: the first call drains the serve loop's error
+	// exactly once, later calls return the remembered result instead of
+	// blocking on an already-drained channel.
+	downOnce sync.Once
+	downErr  error
 }
 
 // StartServer listens on addr (host:port; ":0" picks a free port) and
 // serves the registry. runs may be nil; when set, GET /runs responds with
 // its return value rendered as JSON.
 func StartServer(addr string, reg *Registry, runs func() any) (*Server, error) {
+	return StartServerWith(addr, reg, runs, nil)
+}
+
+// StartServerWith is StartServer with an extension hook: register, when
+// non-nil, may add handlers to the server's mux before it starts serving —
+// how the job server layers its /jobs API onto the same listener as the
+// metrics, runs, and pprof endpoints. Handlers registered here share the
+// server's graceful-shutdown behavior.
+func StartServerWith(addr string, reg *Registry, runs func() any, register func(mux *http.ServeMux)) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: serve %s: %w", addr, err)
@@ -47,7 +63,7 @@ func StartServer(addr string, reg *Registry, runs func() any) (*Server, error) {
 		}
 	})
 	mux.HandleFunc("/runs", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		var v any
 		if runs != nil {
 			v = runs()
@@ -56,6 +72,9 @@ func StartServer(addr string, reg *Registry, runs func() any) (*Server, error) {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(v)
 	})
+	if register != nil {
+		register(mux)
+	}
 	// net/http/pprof registers on http.DefaultServeMux; route the standard
 	// paths on our private mux instead so -serve does not leak handlers into
 	// unrelated servers (and tests can run several servers side by side).
@@ -87,10 +106,16 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 func (s *Server) URL() string { return "http://" + s.Addr() }
 
 // Shutdown gracefully stops the server, waiting for in-flight requests up
-// to the context deadline, and reports any serve-loop error.
+// to the context deadline, and reports any serve-loop error. It is safe to
+// call more than once — a CLI whose signal handler and deferred cleanup
+// both shut the server down performs the stop exactly once.
 func (s *Server) Shutdown(ctx context.Context) error {
-	if err := s.srv.Shutdown(ctx); err != nil {
-		return err
-	}
-	return <-s.err
+	s.downOnce.Do(func() {
+		if err := s.srv.Shutdown(ctx); err != nil {
+			s.downErr = err
+			return
+		}
+		s.downErr = <-s.err
+	})
+	return s.downErr
 }
