@@ -59,12 +59,14 @@ type Bench struct {
 
 // suite is the tier-1 benchmark set the trajectory tracks: the engine and
 // campaign throughput benches at the root, the observability overhead pair,
-// and the CPI-stack accounting bench.
+// the CPI-stack accounting bench, and the job-service telemetry overhead
+// pair.
 var suite = []struct{ pkg, pattern string }{
 	{".", "BenchmarkEngineScaling"},
 	{".", "BenchmarkCampaignEvaluator"},
 	{"./internal/sm", "BenchmarkSMObsDisabled|BenchmarkSMObsEnabled"},
 	{"./internal/sm", "BenchmarkSMCPIStack"},
+	{"./internal/jobs", "BenchmarkServiceTelemetry"},
 }
 
 func main() {

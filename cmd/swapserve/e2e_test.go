@@ -4,7 +4,9 @@ import (
 	"bufio"
 	"bytes"
 	"context"
-
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -13,6 +15,7 @@ import (
 	"time"
 
 	"swapcodes/internal/jobs"
+	"swapcodes/internal/obs"
 )
 
 // The e2e campaign: small enough to finish in seconds, large enough (two
@@ -40,21 +43,27 @@ func buildServer(t *testing.T) string {
 
 // server is one running swapserve child process.
 type server struct {
-	cmd  *exec.Cmd
-	base string
-	done chan error
+	cmd    *exec.Cmd
+	base   string
+	done   chan error
+	stderr bytes.Buffer // structured log lines; read only after <-done
 }
 
 // startServer launches the binary against stateDir and waits for the listen
-// line to learn the ephemeral port.
-func startServer(t *testing.T, bin, stateDir string) *server {
+// line to learn the ephemeral port. Extra flags (e.g. -trace) append after
+// the defaults. Stderr is teed into s.stderr so tests can grep the
+// structured logs once the process exits.
+func startServer(t *testing.T, bin, stateDir string, extra ...string) *server {
 	t.Helper()
-	cmd := exec.Command(bin,
+	args := []string{
 		"-addr", "127.0.0.1:0",
 		"-state", stateDir,
 		"-max-jobs", "1",
-		"-workers", "2")
-	cmd.Stderr = os.Stderr
+		"-workers", "2"}
+	args = append(args, extra...)
+	cmd := exec.Command(bin, args...)
+	s := &server{cmd: cmd, done: make(chan error, 1)}
+	cmd.Stderr = io.MultiWriter(os.Stderr, &s.stderr)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -62,7 +71,6 @@ func startServer(t *testing.T, bin, stateDir string) *server {
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
-	s := &server{cmd: cmd, done: make(chan error, 1)}
 	go func() { s.done <- cmd.Wait() }()
 	t.Cleanup(func() { s.kill() })
 
@@ -221,6 +229,197 @@ func TestServerE2EKillResume(t *testing.T) {
 		t.Fatalf("cache speedup too small: cold %v, cached %v (want >=5x)", cold, warm)
 	}
 	t.Logf("cold %v, cached %v (%.0fx)", cold, warm, float64(cold)/float64(warm))
+}
+
+// scrapeJSON GETs path from the server and decodes the body into out,
+// returning the status code.
+func scrapeJSON(t *testing.T, base, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("GET %s: not JSON: %v\n%s", path, err, body)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestServerE2ETraceHealthLifecycle is the observability acceptance test: a
+// campaign submitted under a client-chosen trace ID is SIGKILLed mid-run and
+// resumed on a fresh process, and its whole lifecycle — job record, WAL,
+// structured logs, and the Chrome trace flushed by the second server — is
+// reconstructable from the artifacts, all correlated by that one trace ID.
+// The health and telemetry endpoints are scraped along the way.
+func TestServerE2ETraceHealthLifecycle(t *testing.T) {
+	bin := buildServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	const traceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+
+	stateDir := filepath.Join(t.TempDir(), "state")
+	srv := startServer(t, bin, stateDir)
+
+	// Health surface on a live, idle server.
+	var hz map[string]string
+	if code := scrapeJSON(t, srv.base, "/healthz", &hz); code != http.StatusOK || hz["status"] != "ok" {
+		t.Fatalf("/healthz = %d %v", code, hz)
+	}
+	var rz struct {
+		Ready  bool              `json:"ready"`
+		Checks map[string]string `json:"checks"`
+	}
+	if code := scrapeJSON(t, srv.base, "/readyz", &rz); code != http.StatusOK || !rz.Ready {
+		t.Fatalf("/readyz = %d %+v", code, rz)
+	}
+	for _, check := range []string{"wal", "queue", "runner"} {
+		if rz.Checks[check] != "ok" {
+			t.Fatalf("/readyz check %q = %q, want ok (%+v)", check, rz.Checks[check], rz)
+		}
+	}
+	var bi struct {
+		GoVersion string `json:"go_version"`
+		Path      string `json:"path"`
+	}
+	if code := scrapeJSON(t, srv.base, "/buildinfo", &bi); code != http.StatusOK || bi.GoVersion == "" {
+		t.Fatalf("/buildinfo = %d %+v", code, bi)
+	}
+
+	// Submit under a fixed trace ID and SIGKILL mid-run.
+	c := srv.client()
+	c.Trace = traceID
+	id, err := c.Submit(ctx, e2eSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.TraceID != traceID {
+			t.Fatalf("status trace_id = %q, want %q", st.TraceID, traceID)
+		}
+		if st.State == jobs.StateRunning && st.ShardsDone >= 1 || st.State.Terminal() {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	srv.kill()
+
+	// Resume on a fresh process that flushes a Chrome trace on shutdown.
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	srv2 := startServer(t, bin, stateDir, "-trace", tracePath)
+	c2 := srv2.client()
+	st, err := c2.Wait(ctx, id, 20*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != jobs.StateDone || st.TraceID != traceID {
+		t.Fatalf("resumed job = %s trace %q, want done under %q", st.State, st.TraceID, traceID)
+	}
+
+	// The timeseries ring has been sampling since boot (1s period): by the
+	// time a 600-tuple campaign resumed and finished, at least the field
+	// contract must hold; poll briefly for the first sample.
+	var tsd struct {
+		PeriodMS int64 `json:"period_ms"`
+		Capacity int   `json:"capacity"`
+		Samples  []struct {
+			TMS    int64              `json:"t_ms"`
+			Values map[string]float64 `json:"values"`
+		} `json:"samples"`
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if code := scrapeJSON(t, srv2.base, "/timeseries", &tsd); code != http.StatusOK {
+			t.Fatalf("/timeseries = %d", code)
+		}
+		if len(tsd.Samples) > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if tsd.PeriodMS <= 0 || tsd.Capacity <= 0 || len(tsd.Samples) == 0 {
+		t.Fatalf("/timeseries dump = %+v", tsd)
+	}
+
+	// Graceful exit flushes the trace file.
+	if err := srv2.cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-srv2.done:
+		if err != nil {
+			t.Fatalf("server exited non-zero on SIGINT: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not exit on SIGINT")
+	}
+
+	// Artifact 1: the WAL's job record carries the trace ID.
+	wal, err := os.ReadFile(filepath.Join(stateDir, "wal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	walTrace := ""
+	for _, line := range bytes.Split(wal, []byte("\n")) {
+		var rec struct {
+			T     string `json:"t"`
+			ID    string `json:"id"`
+			Trace string `json:"trace"`
+		}
+		if json.Unmarshal(line, &rec) == nil && rec.T == "job" && rec.ID == id {
+			walTrace = rec.Trace
+		}
+	}
+	if walTrace != traceID {
+		t.Errorf("wal job record trace = %q, want %q", walTrace, traceID)
+	}
+
+	// Artifact 2: the flushed Chrome trace stamps the resumed execution's
+	// spans with the same ID.
+	traceBytes, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := obs.ValidateTrace(traceBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stamped := 0
+	for _, ev := range evs {
+		if got, ok := ev.Args["trace_id"].(string); ok {
+			if got != traceID {
+				t.Fatalf("span %q trace_id = %q, want %q", ev.Name, got, traceID)
+			}
+			stamped++
+		}
+	}
+	if stamped == 0 {
+		t.Error("flushed trace has no trace_id-stamped spans")
+	}
+
+	// Artifact 3: both processes' structured logs carry the trace ID, so one
+	// grep reconstructs the lifecycle across the kill.
+	for i, s := range []*server{srv, srv2} {
+		logs := s.stderr.String()
+		if !strings.Contains(logs, traceID) {
+			t.Errorf("server %d stderr has no %s line:\n%.2000s", i+1, traceID, logs)
+		}
+	}
+	if !strings.Contains(srv2.stderr.String(), "job resumed from wal") {
+		t.Errorf("second server logs missing resume line")
+	}
+	t.Logf("lifecycle for %s reconstructable: WAL + %d spans + logs from both processes under trace %s",
+		id, stamped, traceID)
 }
 
 // TestServerE2EGracefulSignal checks SIGTERM drains cleanly: the server

@@ -17,16 +17,24 @@
 //	curl -s localhost:9090/jobs/<id>/events     # SSE progress stream
 //	curl -s localhost:9090/jobs/<id>/result     # final payload
 //	curl -s localhost:9090/metrics              # Prometheus text
+//	curl -s localhost:9090/timeseries           # metric history ring
+//	curl -s localhost:9090/healthz              # liveness
+//	curl -s localhost:9090/readyz               # readiness (WAL/queue/runner)
+//	curl -s localhost:9090/buildinfo            # binary build metadata
 //
 // The HTTP surface is the obs server (/metrics, /runs, /debug/pprof) with
 // the jobs API layered on: /runs reports the queue and job table next to
-// the engine progress counters.
+// the engine progress counters. Diagnostics go to stderr as structured
+// logs (-log-format json|text, -log-level debug|info|warn|error); every
+// job-scoped line carries trace_id/job_id/tenant, so one
+// `grep <trace_id>` isolates a campaign end to end.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -45,10 +53,12 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write final metrics to this file on shutdown (.json, .csv, else aligned table)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file on shutdown")
 	metricsInterval := flag.Duration("metrics-interval", 0, "print a progress line to stderr at this interval (e.g. 5s)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logFormat := flag.String("log-format", "json", "log format: json or text")
 	flag.Parse()
 
 	if err := run(*addr, *state, *workers, *maxJobs, *queueCap,
-		*metricsOut, *traceOut, *metricsInterval); err != nil {
+		*metricsOut, *traceOut, *metricsInterval, *logLevel, *logFormat); err != nil {
 		fmt.Fprintln(os.Stderr, "swapserve:", err)
 		os.Exit(1)
 	}
@@ -59,13 +69,24 @@ func main() {
 // granularity), and the metrics flush all happen on SIGINT/SIGTERM and
 // during a panic unwind alike.
 func run(addr, state string, workers, maxJobs, queueCap int,
-	metricsOut, traceOut string, metricsInterval time.Duration) (err error) {
+	metricsOut, traceOut string, metricsInterval time.Duration,
+	logLevel, logFormat string) (err error) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	rec := obs.NewRecorder()
+
+	level, err := obs.ParseLogLevel(logLevel)
+	if err != nil {
+		return err
+	}
+	log, err := obs.NewLogger(os.Stderr, logFormat, level, rec.Registry())
+	if err != nil {
+		return err
+	}
+
 	flusher := &obs.FileFlusher{Rec: rec, MetricsPath: metricsOut, TracePath: traceOut,
-		Logf: func(path string) { fmt.Fprintln(os.Stderr, "swapserve: wrote", path) }}
+		Logf: func(path string) { log.Info("artifact written", slog.String("path", path)) }}
 	defer func() {
 		if ferr := flusher.Flush(); ferr != nil && err == nil {
 			err = ferr
@@ -78,6 +99,7 @@ func run(addr, state string, workers, maxJobs, queueCap int,
 		MaxConcurrentJobs: maxJobs,
 		QueueCap:          queueCap,
 		Recorder:          rec,
+		Logger:            log,
 	})
 	if err != nil {
 		return err
@@ -88,14 +110,21 @@ func run(addr, state string, workers, maxJobs, queueCap int,
 		}
 	}()
 
-	srv, err := obs.StartServerWith(addr, rec.Registry(),
-		func() any { return svc.Snapshot() }, svc.Register)
+	srv, err := obs.StartConfigured(obs.ServerConfig{
+		Addr:     addr,
+		Registry: rec.Registry(),
+		Runs:     func() any { return svc.Snapshot() },
+		Register: svc.Register,
+		Logger:   log,
+		Ready:    svc.ReadyChecks,
+	})
 	if err != nil {
 		return err
 	}
 	// The listen line goes to stdout on purpose: with -addr :0 it is how
 	// clients (and the e2e harness) discover the bound port.
 	fmt.Printf("swapserve: listening on %s (state %s)\n", srv.URL(), state)
+	log.Info("server listening", slog.String("url", srv.URL()), slog.String("state", state))
 	defer func() {
 		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
@@ -112,6 +141,6 @@ func run(addr, state string, workers, maxJobs, queueCap int,
 	defer stopProgress()
 
 	<-ctx.Done()
-	fmt.Fprintln(os.Stderr, "swapserve: shutting down")
+	log.Info("shutdown signal received")
 	return nil
 }

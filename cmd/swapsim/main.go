@@ -27,6 +27,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"os"
 	"os/signal"
@@ -51,6 +52,7 @@ type runOpts struct {
 	disas      bool
 	optimize   bool
 	rec        *obs.Recorder
+	log        *slog.Logger
 }
 
 func main() {
@@ -73,10 +75,22 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "cancel the run after this long (0 = no limit); partial results are reported")
 	submit := flag.String("submit", "", "submit a -scheme performance sweep to a running swapserve at this base URL instead of simulating locally")
 	tenant := flag.String("tenant", "", "tenant fairness key for -submit (empty = default tenant)")
+	traceParent := flag.String("traceparent", "", "W3C traceparent (or bare 32-hex trace ID) stamped on -submit jobs; empty mints one per submission")
+	logLevel := flag.String("log-level", "info", "stderr diagnostics level: debug, info, warn, error")
+	logFormat := flag.String("log-format", "text", "stderr diagnostics format: json or text")
 	flag.Parse()
 
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		fail(err)
+	}
+	log, err := obs.NewLogger(os.Stderr, *logFormat, level, nil)
+	if err != nil {
+		fail(err)
+	}
+
 	if *submit != "" {
-		fail(submitPerf(*submit, *tenant, strings.Split(*schemeList, ",")))
+		fail(submitPerf(log, *submit, *tenant, *traceParent, strings.Split(*schemeList, ",")))
 		return
 	}
 
@@ -93,7 +107,8 @@ func main() {
 		fail(err)
 	}
 	opts := runOpts{name: *name, file: *file, memWords: *memWords,
-		fault: *fault, lane: *lane, bit: *bit, disas: *disas, optimize: *optimize}
+		fault: *fault, lane: *lane, bit: *bit, disas: *disas, optimize: *optimize,
+		log: log}
 	if *fault >= 0 && (*lane < 0 || *bit < 0) {
 		rng := rand.New(rand.NewSource(*seed))
 		if *lane < 0 {
@@ -102,7 +117,8 @@ func main() {
 		if *bit < 0 {
 			opts.bit = rng.Intn(32)
 		}
-		fmt.Fprintf(os.Stderr, "swapsim: seed=%d drew lane=%d bit=%d\n", *seed, opts.lane, opts.bit)
+		log.Info("fault site drawn", slog.Int64("seed", *seed),
+			slog.Int("lane", opts.lane), slog.Int("bit", opts.bit))
 	}
 
 	// One recorder serves all schemes: each launch gets its own trace
@@ -134,20 +150,22 @@ func run(schemes []compiler.Scheme, opts runOpts, workers int, seed int64,
 	// The flush runs deferred — and exactly once — so partial observations
 	// survive cancellation, failures, and panics.
 	flusher := &obs.FileFlusher{Rec: opts.rec, MetricsPath: metricsOut, TracePath: traceOut,
-		Logf: func(path string) { fmt.Fprintln(os.Stderr, "swapsim: wrote", path) }}
+		Logf: func(path string) { opts.log.Info("artifact written", slog.String("path", path)) }}
 	defer func() {
 		if ferr := flusher.Flush(); ferr != nil && err == nil {
 			err = ferr
 		}
 	}()
 	if serve != "" {
-		srv, serr := obs.StartServer(serve, opts.rec.Registry(), func() any {
-			return pool.Tracker().Snapshot()
+		srv, serr := obs.StartConfigured(obs.ServerConfig{
+			Addr: serve, Registry: opts.rec.Registry(),
+			Runs:   func() any { return pool.Tracker().Snapshot() },
+			Logger: opts.log,
 		})
 		if serr != nil {
 			return serr
 		}
-		fmt.Fprintf(os.Stderr, "swapsim: serving observability on %s\n", srv.URL())
+		opts.log.Info("serving observability", slog.String("url", srv.URL()))
 		defer func() {
 			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 			defer cancel()
@@ -157,8 +175,8 @@ func run(schemes []compiler.Scheme, opts runOpts, workers int, seed int64,
 		}()
 	}
 	if len(schemes) > 1 {
-		fmt.Fprintf(os.Stderr, "swapsim: workers=%d seed=%d schemes=%d\n",
-			pool.Workers(), seed, len(schemes))
+		opts.log.Info("parallel sweep", slog.Int("workers", pool.Workers()),
+			slog.Int64("seed", seed), slog.Int("schemes", len(schemes)))
 	}
 	stopProgress := obs.StartProgress(os.Stderr, metricsInterval, func() string {
 		snap := pool.Tracker().Snapshot()
@@ -179,7 +197,7 @@ func run(schemes []compiler.Scheme, opts runOpts, workers int, seed int64,
 	// partial trace (finalize flushes the tail window and closes live warp
 	// spans) and partial counters.
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintln(os.Stderr, "swapsim: cancelled; reporting partial results")
+		opts.log.Warn("cancelled; reporting partial results")
 	}
 	return err
 }
@@ -287,15 +305,27 @@ func runScheme(ctx context.Context, scheme compiler.Scheme, o runOpts) (string, 
 
 // submitPerf is the -submit client mode: the -scheme sweep runs as a perf
 // job on a swapserve (or comes straight from its content-addressed cache).
-func submitPerf(base, tenant string, schemes []string) error {
+// traceParent, when set, pins the submission's trace ID so the server-side
+// execution correlates with whatever minted it.
+func submitPerf(log *slog.Logger, base, tenant, traceParent string, schemes []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	for i := range schemes {
 		schemes[i] = strings.TrimSpace(schemes[i])
 	}
 	c := &jobs.Client{Base: base}
+	if traceParent != "" {
+		if id, ok := obs.ParseTraceparent(traceParent); ok {
+			c.Trace = id
+		} else if len(traceParent) == 32 {
+			c.Trace = traceParent // bare trace ID, no traceparent framing
+		} else {
+			return fmt.Errorf("swapsim: bad -traceparent %q", traceParent)
+		}
+		log.Info("submitting under trace", slog.String("trace_id", c.Trace))
+	}
 	raw, err := c.RunJob(ctx, jobs.Spec{Kind: jobs.KindPerf, Tenant: tenant, Schemes: schemes},
-		func(format string, args ...any) { fmt.Fprintf(os.Stderr, "swapsim: "+format+"\n", args...) })
+		func(format string, args ...any) { log.Info(fmt.Sprintf(format, args...)) })
 	if err != nil {
 		return err
 	}

@@ -13,8 +13,11 @@ import (
 // attempts-per-unmasked histogram that captures the masking rate, and the
 // incremental-evaluator work counters that capture the cone speedup). A nil
 // recorder records nothing, so shard execution stays observability-free by
-// default. startUS is rec.Now() taken before the shard ran.
-func RecordShard(rec *obs.Recorder, unit string, shard int, startUS int64, tuples int, inj []Injection, st EvalStats) {
+// default. startUS is rec.Now() taken before the shard ran. tc carries the
+// request-scoped trace identity of the job the shard ran on behalf of (zero
+// for CLI-local runs); its fields land in the span args so a Chrome trace
+// export joins shard execution to the submitting job by trace_id.
+func RecordShard(rec *obs.Recorder, tc obs.TraceContext, unit string, shard int, startUS int64, tuples int, inj []Injection, st EvalStats) {
 	if rec == nil {
 		return
 	}
@@ -54,7 +57,7 @@ func RecordShard(rec *obs.Recorder, unit string, shard int, startUS int64, tuple
 	pid := rec.Process("faultsim")
 	now := rec.Now()
 	rec.Span(pid, rec.NextTID(), fmt.Sprintf("%s/shard%d", unit, shard), "shard", startUS, now-startUS,
-		map[string]any{"tuples": tuples, "unmasked": len(inj), "reeval_frac": st.ReEvalFrac()})
+		tc.Args(map[string]any{"tuples": tuples, "unmasked": len(inj), "reeval_frac": st.ReEvalFrac()}))
 	// Cumulative tallies: the stacked series shows outcome mix drifting (or
 	// not) as the campaign progresses across the operand stream.
 	rec.Sample(pid, "faultsim.outcomes", now, map[string]any{

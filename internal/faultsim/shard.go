@@ -6,6 +6,7 @@ import (
 
 	"swapcodes/internal/arith"
 	"swapcodes/internal/engine"
+	"swapcodes/internal/obs"
 )
 
 // DefaultShardSize is the tuple count per shard. Small enough that a
@@ -84,7 +85,7 @@ func (s *ShardedCampaign) Run(ctx context.Context, pool *engine.Pool, tuples [][
 			lo := i * s.shardSize()
 			n := min(lo+s.shardSize(), len(tuples)) - lo
 			pool.Tracker().AddItems(int64(n))
-			RecordShard(pool.Recorder(), s.Unit.Name, i, start, n, inj, st)
+			RecordShard(pool.Recorder(), obs.FromContext(ctx), s.Unit.Name, i, start, n, inj, st)
 		}
 		return inj, err
 	})

@@ -6,6 +6,7 @@ import (
 	"swapcodes/internal/arith"
 	"swapcodes/internal/engine"
 	"swapcodes/internal/faultsim"
+	"swapcodes/internal/obs"
 	"swapcodes/internal/trace"
 )
 
@@ -74,7 +75,7 @@ func (p *InjectionPlan) RunShard(ctx context.Context, pool *engine.Pool, j int) 
 		pool.Tracker().AddItems(int64(len(inj)))
 		lo := sh * faultsim.DefaultShardSize
 		n := min(lo+faultsim.DefaultShardSize, len(p.samples[u])) - lo
-		faultsim.RecordShard(pool.Recorder(), p.Units[u].Name, sh, start, n, inj, st)
+		faultsim.RecordShard(pool.Recorder(), obs.FromContext(ctx), p.Units[u].Name, sh, start, n, inj, st)
 	}
 	return ShardResult{Injections: inj, Stats: st}, err
 }

@@ -29,6 +29,13 @@ type Cache struct {
 	dir string
 	reg *obs.Registry
 
+	// CAS footprint gauges (nil for memory-only caches): jobs.cas_bytes and
+	// jobs.cas_entries track the disk tier, seeded from a directory walk at
+	// open so a restarted server reports what it inherited, not just what it
+	// wrote.
+	casBytes   *obs.Gauge
+	casEntries *obs.Gauge
+
 	mu  sync.Mutex
 	mem map[string][]byte
 }
@@ -36,15 +43,29 @@ type Cache struct {
 // NewCache opens a cache over dir (empty dir = memory-only) mirroring its
 // counters into reg (nil = private registry).
 func NewCache(dir string, reg *obs.Registry) (*Cache, error) {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	c := &Cache{dir: dir, reg: reg, mem: make(map[string][]byte)}
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("jobs: cache dir: %w", err)
 		}
+		c.casBytes = reg.Gauge("jobs.cas_bytes")
+		c.casEntries = reg.Gauge("jobs.cas_entries")
+		var bytes, entries int64
+		_ = filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+			if err != nil || info.IsDir() {
+				return nil // best-effort: a racing writer or vanished temp file is fine
+			}
+			bytes += info.Size()
+			entries++
+			return nil
+		})
+		c.casBytes.Set(bytes)
+		c.casEntries.Set(entries)
 	}
-	if reg == nil {
-		reg = obs.NewRegistry()
-	}
-	return &Cache{dir: dir, reg: reg, mem: make(map[string][]byte)}, nil
+	return c, nil
 }
 
 // CacheKey builds a content address from the parts that determine a value.
@@ -63,6 +84,13 @@ func (c *Cache) hit(item string, ok bool) {
 		name = "jobs.cache_misses"
 	}
 	c.reg.Counter(obs.Name(name, "item", item)).Inc()
+	// Derived hit ratio as an integer-percent gauge, per item: dashboards get
+	// it without differencing the counters themselves.
+	hits := c.reg.Counter(obs.Name("jobs.cache_hits", "item", item)).Value()
+	misses := c.reg.Counter(obs.Name("jobs.cache_misses", "item", item)).Value()
+	if total := hits + misses; total > 0 {
+		c.reg.Gauge(obs.Name("jobs.cache_hit_pct", "item", item)).Set(100 * hits / total)
+	}
 }
 
 // Get looks up a key, checking memory then disk. item labels the hit/miss
@@ -113,9 +141,22 @@ func (c *Cache) Put(item, key string, val []byte) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("jobs: cache put: %w", err)
 	}
+	// Stat the destination before the rename: an overwrite replaces bytes
+	// rather than adding an entry, and the gauges must reflect that.
+	var prevSize int64
+	existed := false
+	if st, err := os.Stat(path); err == nil {
+		prevSize, existed = st.Size(), true
+	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("jobs: cache put: %w", err)
+	}
+	if c.casBytes != nil {
+		c.casBytes.Add(int64(len(val)) - prevSize)
+		if !existed {
+			c.casEntries.Add(1)
+		}
 	}
 	return nil
 }

@@ -4,21 +4,60 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
+
+	"swapcodes/internal/obs"
+)
+
+// Retry defaults: 4 attempts, 50ms → 2s exponential backoff with ±50%
+// jitter. Small on purpose — the client targets a local or same-rack
+// server, where a connection refused during restart clears in well under
+// the summed window.
+const (
+	defaultMaxAttempts = 4
+	defaultRetryBase   = 50 * time.Millisecond
+	defaultRetryMax    = 2 * time.Second
 )
 
 // Client is the Go client of the jobs API, used by the -submit modes of
 // swapsim and experiments and by the e2e tests.
+//
+// Idempotent GETs (Status, Result) retry on connection errors and 5xx
+// responses with capped exponential backoff and jitter; submissions retry
+// only on 429 (queue full), honoring the server's Retry-After. Every retry
+// path respects context cancellation.
 type Client struct {
 	// Base is the server root, e.g. "http://127.0.0.1:9090".
 	Base string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+	// Trace, when set, is the 32-hex trace ID stamped (as a W3C traceparent
+	// header) on every submission, tying all of them into one client-chosen
+	// trace. Empty mints a fresh ID per submission.
+	Trace string
+	// MaxAttempts caps tries per retryable call (0 = default 4).
+	MaxAttempts int
+	// RetryBase and RetryMax bound the backoff schedule (0 = defaults).
+	RetryBase time.Duration
+	RetryMax  time.Duration
 }
+
+// httpError is a non-2xx response, preserving the status (retry decisions)
+// and any Retry-After the server sent.
+type httpError struct {
+	Status     int
+	Msg        string
+	RetryAfter time.Duration
+}
+
+func (e *httpError) Error() string { return e.Msg }
 
 func (c *Client) http() *http.Client {
 	if c.HTTPClient != nil {
@@ -35,39 +74,97 @@ func (c *Client) base() string {
 	return c.Base
 }
 
-func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+func (c *Client) attempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return defaultMaxAttempts
+}
+
+// backoff returns the sleep before retry attempt (0-based): capped
+// exponential growth with multiplicative jitter in [0.5, 1.5) so a burst of
+// clients retrying against a restarting server does not stampede in phase.
+func (c *Client) backoff(attempt int) time.Duration {
+	base, max := c.RetryBase, c.RetryMax
+	if base <= 0 {
+		base = defaultRetryBase
+	}
+	if max <= 0 {
+		max = defaultRetryMax
+	}
+	d := base << uint(attempt)
+	if d <= 0 || d > max {
+		d = max
+	}
+	return time.Duration(float64(d) * (0.5 + rand.Float64()))
+}
+
+// sleepCtx waits d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// request performs one HTTP exchange, returning the body on 2xx and an
+// *httpError on any 4xx/5xx.
+func (c *Client) request(ctx context.Context, method, path string, hdr map[string]string, body any) ([]byte, error) {
 	var rd io.Reader
 	if body != nil {
 		b, err := json.Marshal(body)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		rd = bytes.NewReader(b)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base()+path, rd)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if resp.StatusCode >= 400 {
+		he := &httpError{Status: resp.StatusCode}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+				he.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
 		var e struct {
 			Error string `json:"error"`
 		}
 		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
-			return fmt.Errorf("jobs: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+			he.Msg = fmt.Sprintf("jobs: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+		} else {
+			he.Msg = fmt.Sprintf("jobs: %s %s: HTTP %d", method, path, resp.StatusCode)
 		}
-		return fmt.Errorf("jobs: %s %s: HTTP %d", method, path, resp.StatusCode)
+		return nil, he
+	}
+	return raw, nil
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	raw, err := c.request(ctx, method, path, nil, body)
+	if err != nil {
+		return err
 	}
 	if out != nil {
 		return json.Unmarshal(raw, out)
@@ -75,43 +172,91 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	return nil
 }
 
-// Submit posts a spec and returns the job id.
+// retryableGet reports whether a GET failure is worth retrying: transport
+// errors (connection refused during a server restart) and 5xx responses.
+// 4xx responses are the caller's fault and final; context cancellation is
+// always final.
+func retryableGet(ctx context.Context, err error) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.Status >= 500
+	}
+	return true // transport-level failure
+}
+
+// get performs an idempotent GET with retries.
+func (c *Client) get(ctx context.Context, path string) ([]byte, error) {
+	var lastErr error
+	for i := 0; i < c.attempts(); i++ {
+		raw, err := c.request(ctx, http.MethodGet, path, nil, nil)
+		if err == nil {
+			return raw, nil
+		}
+		lastErr = err
+		if !retryableGet(ctx, err) || i == c.attempts()-1 {
+			break
+		}
+		if serr := sleepCtx(ctx, c.backoff(i)); serr != nil {
+			return nil, serr
+		}
+	}
+	return nil, lastErr
+}
+
+// Submit posts a spec under the client's trace identity and returns the job
+// id. A 429 (queue full) retries after the server's Retry-After (falling
+// back to the backoff schedule); other errors are final.
 func (c *Client) Submit(ctx context.Context, spec Spec) (string, error) {
-	var resp struct {
-		ID string `json:"id"`
+	traceID := c.Trace
+	if traceID == "" {
+		traceID = obs.NewTraceID()
 	}
-	if err := c.do(ctx, http.MethodPost, "/jobs", spec, &resp); err != nil {
-		return "", err
+	hdr := map[string]string{"traceparent": obs.FormatTraceparent(traceID)}
+	var lastErr error
+	for i := 0; i < c.attempts(); i++ {
+		raw, err := c.request(ctx, http.MethodPost, "/jobs", hdr, spec)
+		if err == nil {
+			var resp struct {
+				ID string `json:"id"`
+			}
+			if err := json.Unmarshal(raw, &resp); err != nil {
+				return "", err
+			}
+			return resp.ID, nil
+		}
+		lastErr = err
+		var he *httpError
+		if !errors.As(err, &he) || he.Status != http.StatusTooManyRequests || i == c.attempts()-1 {
+			break
+		}
+		d := he.RetryAfter
+		if d <= 0 {
+			d = c.backoff(i)
+		}
+		if serr := sleepCtx(ctx, d); serr != nil {
+			return "", serr
+		}
 	}
-	return resp.ID, nil
+	return "", lastErr
 }
 
 // Status fetches a job's status.
 func (c *Client) Status(ctx context.Context, id string) (Status, error) {
 	var st Status
-	err := c.do(ctx, http.MethodGet, "/jobs/"+id, nil, &st)
+	raw, err := c.get(ctx, "/jobs/"+id)
+	if err != nil {
+		return st, err
+	}
+	err = json.Unmarshal(raw, &st)
 	return st, err
 }
 
-// Result fetches a finished job's raw payload.
+// Result fetches a finished job's raw payload — the runner's exact bytes.
 func (c *Client) Result(ctx context.Context, id string) (json.RawMessage, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base()+"/jobs/"+id+"/result", nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.http().Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("jobs: result %s: HTTP %d: %s", id, resp.StatusCode, raw)
-	}
-	return raw, nil
+	return c.get(ctx, "/jobs/"+id+"/result")
 }
 
 // Cancel cancels a job.
@@ -181,7 +326,7 @@ func (c *Client) Wait(ctx context.Context, id string, interval time.Duration, on
 		}
 		last = st
 		if st.State.Terminal() {
-			return st, nil
+			return last, nil
 		}
 		select {
 		case <-ctx.Done():

@@ -1,0 +1,136 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestClientGetRetriesOn5xx(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, `{"error":"transient"}`, http.StatusBadGateway)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(Status{ID: "j1", State: StateDone})
+	}))
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL, RetryBase: time.Millisecond, RetryMax: 5 * time.Millisecond}
+	st, err := c.Status(context.Background(), "j1")
+	if err != nil {
+		t.Fatalf("Status after transient 5xx = %v", err)
+	}
+	if st.State != StateDone || calls.Load() != 3 {
+		t.Fatalf("state %s after %d calls; want done after 3", st.State, calls.Load())
+	}
+}
+
+func TestClientGetDoesNotRetry4xx(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"no job"}`, http.StatusNotFound)
+	}))
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL, RetryBase: time.Millisecond}
+	if _, err := c.Status(context.Background(), "j1"); err == nil ||
+		!strings.Contains(err.Error(), "HTTP 404") {
+		t.Fatalf("Status on 404 = %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("404 retried: %d calls", calls.Load())
+	}
+}
+
+func TestClientGetRetriesConnectionError(t *testing.T) {
+	// A listener that closes before the client calls: every attempt is a
+	// transport-level failure, so the client should burn all its attempts.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := ts.URL
+	ts.Close()
+
+	start := time.Now()
+	c := &Client{Base: url, MaxAttempts: 3, RetryBase: time.Millisecond, RetryMax: 4 * time.Millisecond}
+	if _, err := c.Status(context.Background(), "j1"); err == nil {
+		t.Fatal("Status against closed listener succeeded")
+	}
+	// 3 attempts with ~ms backoffs: far under a second unless retries hung.
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("retries took %v", d)
+	}
+}
+
+func TestClientGetHonorsContextDuringBackoff(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"always down"}`, http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	c := &Client{Base: ts.URL, RetryBase: 10 * time.Second, RetryMax: 10 * time.Second}
+	start := time.Now()
+	_, err := c.Status(ctx, "j1")
+	if err == nil {
+		t.Fatal("Status succeeded against failing server")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded from backoff sleep", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("cancellation took %v; backoff ignored ctx", d)
+	}
+}
+
+func TestClientSubmitRetriesOn429(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"jobs: queue full"}`, http.StatusTooManyRequests)
+			return
+		}
+		if got := r.Header.Get("traceparent"); got == "" {
+			t.Error("submission missing traceparent header")
+		}
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(map[string]string{"id": "j0001-cafef00d"})
+	}))
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL, RetryBase: time.Millisecond, RetryMax: 5 * time.Millisecond,
+		Trace: "4bf92f3577b34da6a3ce929d0e0e4736"}
+	id, err := c.Submit(context.Background(), Spec{Kind: KindVerify})
+	if err != nil {
+		t.Fatalf("Submit after 429 = %v", err)
+	}
+	if id != "j0001-cafef00d" || calls.Load() != 2 {
+		t.Fatalf("id %q after %d calls; want retry once", id, calls.Load())
+	}
+}
+
+func TestClientSubmitDoesNotRetryBadRequest(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"unknown kind"}`, http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL, RetryBase: time.Millisecond}
+	if _, err := c.Submit(context.Background(), Spec{Kind: "bogus"}); err == nil {
+		t.Fatal("bad submit succeeded")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("400 retried: %d calls", calls.Load())
+	}
+}

@@ -5,6 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+
+	"swapcodes/internal/obs"
 )
 
 // Register mounts the jobs API on mux, layering it onto the obs server
@@ -44,18 +47,27 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode spec: %w", err))
 		return
 	}
-	id, err := s.Submit(spec)
+	// Adopt the caller's trace identity when the request carries a valid
+	// traceparent; otherwise mint one here so the response can hand it back.
+	traceID, ok := obs.ParseTraceparent(r.Header.Get("traceparent"))
+	if !ok {
+		traceID = obs.NewTraceID()
+	}
+	id, err := s.SubmitWithTrace(spec, traceID)
 	if err != nil {
 		code := http.StatusBadRequest
 		if errors.Is(err, ErrQueueFull) {
 			code = http.StatusTooManyRequests
+			// Queue saturation is transient by construction (workers drain
+			// it); tell well-behaved clients when to try again.
+			w.Header().Set("Retry-After", "1")
 		} else if errors.Is(err, ErrQueueClosed) {
 			code = http.StatusServiceUnavailable
 		}
 		writeErr(w, code, err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "trace_id": traceID})
 }
 
 func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
@@ -118,21 +130,45 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 
+	// Published events carry a seq and go out with an SSE "id:" line, so
+	// browsers (and our client) resume after a dropped connection by sending
+	// Last-Event-ID; the synthetic snapshot below has no seq and no id line.
 	send := func(ev Event) {
 		b, _ := json.Marshal(ev)
-		fmt.Fprintf(w, "data: %s\n\n", b)
+		if ev.Seq > 0 {
+			fmt.Fprintf(w, "id: %d\ndata: %s\n\n", ev.Seq, b)
+		} else {
+			fmt.Fprintf(w, "data: %s\n\n", b)
+		}
 		fl.Flush()
 	}
 
-	// Subscribe before snapshotting so no transition falls between the two;
-	// an event older than the snapshot just repeats known progress.
-	ch, unsub := j.Subscribe()
+	since := int64(-1)
+	if lei := r.Header.Get("Last-Event-ID"); lei != "" {
+		if v, err := strconv.ParseInt(lei, 10, 64); err == nil && v >= 0 {
+			since = v
+		}
+	}
+
+	// Subscribing and snapshotting the backlog are atomic inside
+	// SubscribeSince, so no transition falls between the two.
+	backlog, ch, unsub := j.SubscribeSince(since)
 	defer unsub()
-	st := j.Status()
-	send(Event{Type: "state", JobID: j.ID, State: st.State,
-		ShardsDone: st.ShardsDone, ShardsTotal: st.ShardsTotal, Error: st.Error})
-	if st.State.Terminal() {
-		return
+	if since < 0 {
+		// Fresh client: orient it with a current-state snapshot before
+		// streaming (a reconnecting client gets the retained events instead).
+		st := j.Status()
+		send(Event{Type: "state", JobID: j.ID, TraceID: st.TraceID, State: st.State,
+			ShardsDone: st.ShardsDone, ShardsTotal: st.ShardsTotal, Error: st.Error})
+		if st.State.Terminal() {
+			return
+		}
+	}
+	for _, ev := range backlog {
+		send(ev)
+		if ev.Type == "done" {
+			return
+		}
 	}
 	for {
 		select {

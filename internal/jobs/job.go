@@ -27,10 +27,22 @@ func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCancelled
 }
 
+// DefaultEventHistory bounds the per-job event ring kept for SSE reconnect
+// replay (Last-Event-ID). A 10k-tuple campaign emits ~130 events; the cap
+// covers campaigns two orders of magnitude larger before a reconnecting
+// client falls back to a fresh state snapshot.
+const DefaultEventHistory = 16384
+
 // Job is one submitted spec moving through the service.
 type Job struct {
-	ID   string
-	Spec Spec
+	ID string
+	// TraceID is the request-scoped trace identity (32 hex digits, the W3C
+	// trace-id field): client-minted via the traceparent header, or
+	// server-minted when the submission carried none. Immutable after
+	// creation; every WAL record, SSE event, log line, and obs span emitted
+	// on the job's behalf carries it.
+	TraceID string
+	Spec    Spec
 
 	mu          sync.Mutex
 	state       State
@@ -43,19 +55,30 @@ type Job struct {
 	submitted   time.Time
 	started     time.Time
 	finished    time.Time
+	enqueuedUS  int64 // recorder timestamp at submission, for queue-wait spans
 	cancel      context.CancelFunc
 
 	subs    map[int]chan Event
 	nextSub int
+
+	// Event ring for SSE reconnect replay: every published event, stamped
+	// with a monotonically increasing Seq, newest at the tail. Bounded by
+	// DefaultEventHistory; seq numbering is unaffected by trimming.
+	history []Event
+	lastSeq int64
 }
 
 // Event is one progress notification, the payload of the SSE stream.
 type Event struct {
+	// Seq numbers the job's events from 1, the SSE "id:" field; a client
+	// reconnecting with Last-Event-ID resumes strictly after it.
+	Seq int64 `json:"seq"`
 	// Type is "state" (lifecycle transition), "shard" (one campaign shard
 	// completed), or "done" (terminal, carries the final state).
-	Type  string `json:"type"`
-	JobID string `json:"job_id"`
-	State State  `json:"state"`
+	Type    string `json:"type"`
+	JobID   string `json:"job_id"`
+	TraceID string `json:"trace_id,omitempty"`
+	State   State  `json:"state"`
 	// Shard fields, set on "shard" events.
 	Unit       string `json:"unit,omitempty"`
 	Shard      int    `json:"shard,omitempty"`
@@ -70,6 +93,7 @@ type Event struct {
 // Status is the JSON view of a job, the body of GET /jobs/{id}.
 type Status struct {
 	ID          string    `json:"id"`
+	TraceID     string    `json:"trace_id,omitempty"`
 	Spec        Spec      `json:"spec"`
 	State       State     `json:"state"`
 	Error       string    `json:"error,omitempty"`
@@ -91,7 +115,7 @@ func (j *Job) Status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return Status{
-		ID: j.ID, Spec: j.Spec, State: j.state, Error: j.err,
+		ID: j.ID, TraceID: j.TraceID, Spec: j.Spec, State: j.state, Error: j.err,
 		ShardsDone: j.shardsDone, ShardsTotal: j.shardsTotal,
 		CacheHit:    j.cacheHit,
 		SubmittedAt: j.submitted, StartedAt: j.started, FinishedAt: j.finished,
@@ -117,29 +141,65 @@ func (j *Job) Result() json.RawMessage {
 // progress, never the terminal event: "done" delivery blocks until the
 // subscriber drains). The returned func unsubscribes.
 func (j *Job) Subscribe() (<-chan Event, func()) {
+	_, ch, unsub := j.SubscribeSince(-1)
+	return ch, unsub
+}
+
+// SubscribeSince registers an event listener resuming after sequence number
+// since: the returned backlog holds the retained events with Seq > since
+// (none for since < 0), and the channel delivers everything published after
+// the call — registration and the backlog snapshot are atomic, so no event
+// is missed or duplicated between the two. If trimming has dropped events
+// the client never saw (since < the oldest retained seq - 1), the backlog
+// begins at the oldest retained event; callers detect the gap by the seq
+// jump. On an already-terminal job the backlog ends with the "done" event
+// and the channel is closed.
+func (j *Job) SubscribeSince(since int64) (backlog []Event, ch <-chan Event, unsub func()) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if since >= 0 {
+		for _, ev := range j.history {
+			if ev.Seq > since {
+				backlog = append(backlog, ev)
+			}
+		}
+	}
+	c := make(chan Event, 64)
+	if j.state.Terminal() {
+		// No further events will ever be published; close now so a consumer
+		// draining backlog-then-channel terminates.
+		close(c)
+		return backlog, c, func() {}
+	}
 	id := j.nextSub
 	j.nextSub++
-	ch := make(chan Event, 64)
-	j.subs[id] = ch
-	return ch, func() {
+	j.subs[id] = c
+	return backlog, c, func() {
 		j.mu.Lock()
 		defer j.mu.Unlock()
 		if _, ok := j.subs[id]; ok {
 			delete(j.subs, id)
-			close(ch)
+			close(c)
 		}
 	}
 }
 
 // publish fans an event out to subscribers. Callers hold j.mu.
 func (j *Job) publishLocked(ev Event) {
+	j.lastSeq++
+	ev.Seq = j.lastSeq
 	ev.JobID = j.ID
+	ev.TraceID = j.TraceID
 	ev.State = j.state
 	ev.ShardsDone = j.shardsDone
 	ev.ShardsTotal = j.shardsTotal
 	ev.Error = j.err
+	j.history = append(j.history, ev)
+	if len(j.history) > DefaultEventHistory {
+		// Trim from the head; Seq keeps counting, so a reconnect past the
+		// window is detectable as a gap.
+		j.history = append(j.history[:0:0], j.history[len(j.history)-DefaultEventHistory:]...)
+	}
 	for id, ch := range j.subs {
 		select {
 		case ch <- ev:
@@ -223,5 +283,19 @@ func (j *Job) userCancelled() bool {
 func (j *Job) bindCancel(cancel context.CancelFunc) {
 	j.mu.Lock()
 	j.cancel = cancel
+	j.mu.Unlock()
+}
+
+// queueWait reports how long the job sat queued (submission to start) and
+// the recorder timestamp at which it was enqueued.
+func (j *Job) queueWait() (enqueuedUS int64, wait time.Duration) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.enqueuedUS, time.Since(j.submitted)
+}
+
+func (j *Job) setEnqueuedUS(us int64) {
+	j.mu.Lock()
+	j.enqueuedUS = us
 	j.mu.Unlock()
 }

@@ -3,6 +3,8 @@ package jobs
 import (
 	"errors"
 	"sync"
+
+	"swapcodes/internal/obs"
 )
 
 // Queue errors.
@@ -31,12 +33,47 @@ type queue struct {
 	order []string
 	lanes map[string][]string
 	rr    int
+
+	// Depth telemetry (nil until bind): jobs.queue_depth totals across lanes,
+	// jobs.queue_depth{tenant=...} tracks each lane, so per-tenant
+	// backpressure is visible on /metrics and /timeseries.
+	reg        *obs.Registry
+	depthGauge *obs.Gauge
 }
 
 func newQueue(capacity int) *queue {
 	q := &queue{cap: capacity, lanes: make(map[string][]string)}
 	q.cond = sync.NewCond(&q.mu)
 	return q
+}
+
+// bind mirrors queue depths into reg.
+func (q *queue) bind(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.reg = reg
+	q.depthGauge = reg.Gauge("jobs.queue_depth")
+}
+
+// tenantLabel names a lane in metrics; the empty tenant is "default".
+func tenantLabel(tenant string) string {
+	if tenant == "" {
+		return "default"
+	}
+	return tenant
+}
+
+// gaugesLocked refreshes the depth gauges. Callers hold q.mu.
+func (q *queue) gaugesLocked(tenant string) {
+	if q.reg == nil {
+		return
+	}
+	q.depthGauge.Set(int64(q.size))
+	q.reg.Gauge(obs.Name("jobs.queue_depth", "tenant", tenantLabel(tenant))).
+		Set(int64(len(q.lanes[tenant])))
 }
 
 // push enqueues a job id for a tenant.
@@ -54,6 +91,7 @@ func (q *queue) push(tenant, id string) error {
 	}
 	q.lanes[tenant] = append(q.lanes[tenant], id)
 	q.size++
+	q.gaugesLocked(tenant)
 	q.cond.Signal()
 	return nil
 }
@@ -75,6 +113,7 @@ func (q *queue) pop() (id string, ok bool) {
 				id := lane[0]
 				q.lanes[t] = lane[1:]
 				q.size--
+				q.gaugesLocked(t)
 				return id, true
 			}
 		}
@@ -94,6 +133,12 @@ func (q *queue) close(drain bool) {
 	defer q.mu.Unlock()
 	q.closed = true
 	if drain {
+		if q.reg != nil {
+			for _, t := range q.order {
+				q.reg.Gauge(obs.Name("jobs.queue_depth", "tenant", tenantLabel(t))).Set(0)
+			}
+			q.depthGauge.Set(0)
+		}
 		q.lanes = make(map[string][]string)
 		q.size = 0
 	}

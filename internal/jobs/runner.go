@@ -11,6 +11,7 @@ import (
 	"swapcodes/internal/engine"
 	"swapcodes/internal/faultsim"
 	"swapcodes/internal/harness"
+	"swapcodes/internal/obs"
 	"swapcodes/internal/trace"
 	"swapcodes/internal/verify"
 )
@@ -24,14 +25,43 @@ type runner struct {
 	pool  *engine.Pool
 	cache *Cache
 	store *Store // nil in store-less tests: no checkpoints, still correct
+
+	// Trace plumbing (zero values in store-less tests are fine: a nil
+	// Recorder records nothing). Each job gets its own trace process row
+	// ("job:<id>") carrying the queue-wait and execute spans; tc.Args stamps
+	// trace_id/job_id/tenant into every span and instant so a Chrome export
+	// filters one job end to end.
+	rec      *obs.Recorder
+	tc       obs.TraceContext
+	queuedUS int64 // recorder timestamp at enqueue, for the queue-wait span
 }
 
 // run executes the job and returns (payload, servedFromCache, error).
 // replayed carries the shard checkpoints the WAL restored for this job.
 func (r *runner) run(ctx context.Context, j *Job, replayed map[int]*ShardSummary) (json.RawMessage, bool, error) {
+	var pid int64
+	if r.rec != nil {
+		pid = r.rec.Process("job:" + j.ID)
+		if start := r.rec.Now(); r.queuedUS > 0 && start > r.queuedUS {
+			// The queue-wait span is written at pop (not submit): until a
+			// worker claims the job there is nobody to write it.
+			r.rec.Span(pid, 1, "queue-wait", "job", r.queuedUS, start-r.queuedUS,
+				r.tc.Args(nil))
+		}
+	}
 	key := j.Spec.Key()
 	if b, ok := r.cache.Get("result", key); ok {
+		if r.rec != nil {
+			r.rec.Instant(pid, 1, "result cache hit", "job", r.rec.Now(),
+				r.tc.Args(map[string]any{"key": key[:16]}))
+		}
 		return b, true, nil
+	}
+	execStart := int64(0)
+	if r.rec != nil {
+		execStart = r.rec.Now()
+		r.rec.Instant(pid, 1, "result cache miss", "job", r.rec.Now(),
+			r.tc.Args(map[string]any{"key": key[:16]}))
 	}
 	var (
 		v   any
@@ -50,6 +80,10 @@ func (r *runner) run(ctx context.Context, j *Job, replayed map[int]*ShardSummary
 		v, err = r.runVerify(ctx)
 	default:
 		err = fmt.Errorf("jobs: unknown kind %q", j.Spec.Kind)
+	}
+	if r.rec != nil {
+		r.rec.Span(pid, 1, "execute:"+j.Spec.Kind, "job", execStart, r.rec.Now()-execStart,
+			r.tc.Args(map[string]any{"ok": err == nil}))
 	}
 	if err != nil {
 		return nil, false, err

@@ -3,8 +3,10 @@ package jobs
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"swapcodes/internal/engine"
@@ -27,6 +29,9 @@ type Options struct {
 	QueueCap int
 	// Recorder receives job and engine observability (nil = private).
 	Recorder *obs.Recorder
+	// Logger receives structured lifecycle logs, every line carrying
+	// trace_id/job_id/tenant (nil = discard).
+	Logger *slog.Logger
 }
 
 // Service is the campaign job server: a bounded fair queue in front of a
@@ -38,8 +43,15 @@ type Service struct {
 	cache  *Cache
 	queue  *queue
 	rec    *obs.Recorder
+	log    *slog.Logger
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+
+	// queueCap mirrors Options.QueueCap for the /readyz saturation check.
+	queueCap int
+	// liveWorkers counts executor goroutines inside their pop loop; /readyz
+	// reports the runner pool dead when it hits zero before Close.
+	liveWorkers atomic.Int64
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -62,6 +74,10 @@ func New(opts Options) (*Service, error) {
 	rec := opts.Recorder
 	if rec == nil {
 		rec = obs.NewRecorder()
+	}
+	log := opts.Logger
+	if log == nil {
+		log = obs.DiscardLogger()
 	}
 
 	var (
@@ -87,9 +103,14 @@ func New(opts Options) (*Service, error) {
 
 	s := &Service{
 		pool: pool, store: store, cache: cache,
-		queue: newQueue(opts.QueueCap), rec: rec,
+		queue: newQueue(opts.QueueCap), rec: rec, log: log,
+		queueCap: opts.QueueCap,
 		jobs:     make(map[string]*Job),
 		replayed: make(map[string]map[int]*ShardSummary),
+	}
+	s.queue.bind(rec.Registry())
+	if store != nil {
+		store.bind(rec.Registry(), rep)
 	}
 
 	// Rebuild the job table from the log. Finished jobs come back for
@@ -97,6 +118,12 @@ func New(opts Options) (*Service, error) {
 	for _, rj := range rep.Jobs {
 		s.seq++
 		j := newJob(rj.ID, rj.Spec, time.Now())
+		j.TraceID = rj.TraceID
+		if j.TraceID == "" {
+			// Pre-trace log (or torn record): mint one so the resumed run is
+			// still correlatable, even if it no longer matches the submitter's.
+			j.TraceID = obs.NewTraceID()
+		}
 		j.state = rj.State
 		j.err = rj.Err
 		if len(rj.Result) > 0 {
@@ -108,15 +135,19 @@ func New(opts Options) (*Service, error) {
 			continue
 		}
 		j.state = StateQueued
+		j.setEnqueuedUS(rec.Now())
 		if len(rj.Shards) > 0 {
 			s.replayed[rj.ID] = rj.Shards
 		}
 		if err := s.queue.push(rj.Spec.Tenant, rj.ID); err != nil {
 			j.setState(StateFailed, "resume: "+err.Error())
 		}
+		log.Info("job resumed from wal", s.jobAttrs(j,
+			slog.Int("checkpointed_shards", len(rj.Shards)))...)
 	}
 	if rep.Truncated > 0 {
 		rec.Registry().Counter("jobs.wal_truncated_lines").Add(int64(rep.Truncated))
+		log.Warn("wal lines truncated", slog.Int("lines", rep.Truncated))
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -132,10 +163,35 @@ func New(opts Options) (*Service, error) {
 // tracker).
 func (s *Service) Pool() *engine.Pool { return s.pool }
 
-// Submit normalizes and enqueues a spec, returning the job id.
+// jobAttrs builds the structured-log attributes every job-scoped line
+// carries; extra attrs append after the identity set.
+func (s *Service) jobAttrs(j *Job, extra ...any) []any {
+	attrs := []any{
+		slog.String("trace_id", j.TraceID),
+		slog.String("job_id", j.ID),
+		slog.String("tenant", j.Spec.Tenant),
+		slog.String("kind", j.Spec.Kind),
+	}
+	return append(attrs, extra...)
+}
+
+// Submit normalizes and enqueues a spec under a fresh server-minted trace
+// ID, returning the job id.
 func (s *Service) Submit(spec Spec) (string, error) {
+	return s.SubmitWithTrace(spec, "")
+}
+
+// SubmitWithTrace is Submit under a caller-supplied trace ID (the 32-hex
+// trace-id field of a W3C traceparent). Empty mints a new one. The ID is
+// stamped into the job record, its WAL line, and every event, span, metric
+// label, and log line the job produces, so a client that kept its
+// traceparent can correlate the full server-side execution.
+func (s *Service) SubmitWithTrace(spec Spec, traceID string) (string, error) {
 	if err := spec.Normalize(); err != nil {
 		return "", err
+	}
+	if traceID == "" {
+		traceID = obs.NewTraceID()
 	}
 	s.mu.Lock()
 	if s.closed {
@@ -145,12 +201,14 @@ func (s *Service) Submit(spec Spec) (string, error) {
 	s.seq++
 	id := fmt.Sprintf("j%04d-%s", s.seq, spec.Key()[:8])
 	j := newJob(id, spec, time.Now())
+	j.TraceID = traceID
+	j.setEnqueuedUS(s.rec.Now())
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 	s.mu.Unlock()
 
 	if s.store != nil {
-		if err := s.store.AppendJob(id, spec); err != nil {
+		if err := s.store.AppendJob(id, spec, traceID); err != nil {
 			j.setState(StateFailed, err.Error())
 			return "", err
 		}
@@ -158,9 +216,12 @@ func (s *Service) Submit(spec Spec) (string, error) {
 	if err := s.queue.push(spec.Tenant, id); err != nil {
 		j.setState(StateFailed, err.Error())
 		s.logState(j)
+		s.log.Warn("job rejected", s.jobAttrs(j, slog.String("err", err.Error()))...)
 		return "", err
 	}
 	s.rec.Registry().Counter("jobs.submitted").Inc()
+	s.log.Info("job submitted", s.jobAttrs(j,
+		slog.Int("queue_depth", s.queue.depth()))...)
 	return id, nil
 }
 
@@ -199,7 +260,39 @@ func (s *Service) Cancel(id string) error {
 		j.setState(StateCancelled, "")
 		s.logState(j)
 	}
+	s.log.Info("job cancel requested", s.jobAttrs(j)...)
 	return nil
+}
+
+// ReadyChecks supplies the /readyz dependency probes: the WAL accepts
+// appends, the queue has headroom, and the executor pool is alive.
+func (s *Service) ReadyChecks() []obs.ReadyCheck {
+	return []obs.ReadyCheck{
+		{Name: "wal", Check: func() error {
+			if s.store == nil {
+				return nil // memory-only mode has no WAL to fail
+			}
+			return s.store.Healthy()
+		}},
+		{Name: "queue", Check: func() error {
+			if d := s.queue.depth(); s.queueCap > 0 && d >= s.queueCap {
+				return fmt.Errorf("saturated: %d/%d", d, s.queueCap)
+			}
+			return nil
+		}},
+		{Name: "runner", Check: func() error {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return fmt.Errorf("service closed")
+			}
+			if s.liveWorkers.Load() == 0 {
+				return fmt.Errorf("no live workers")
+			}
+			return nil
+		}},
+	}
 }
 
 // Snapshot is the /runs payload: queue and job-table summary next to the
@@ -242,9 +335,11 @@ func (s *Service) Close() error {
 	s.closed = true
 	s.mu.Unlock()
 
+	s.log.Info("service draining")
 	s.queue.close(true)
 	s.cancel()
 	s.wg.Wait()
+	s.log.Info("service stopped")
 	if s.store != nil {
 		return s.store.Close()
 	}
@@ -262,6 +357,8 @@ func (s *Service) logState(j *Job) {
 // worker loops popping jobs until shutdown.
 func (s *Service) worker(base context.Context) {
 	defer s.wg.Done()
+	s.liveWorkers.Add(1)
+	defer s.liveWorkers.Add(-1)
 	for {
 		id, ok := s.queue.pop()
 		if !ok {
@@ -290,15 +387,29 @@ func (s *Service) execute(base context.Context, j *Job, rep map[int]*ShardSummar
 		cancel()
 	}
 
+	// Thread the job's trace identity through the context so every layer
+	// below — runner, engine shards, faultsim spans — stamps the same
+	// trace_id without signature plumbing.
+	tc := obs.TraceContext{TraceID: j.TraceID, JobID: j.ID, Tenant: j.Spec.Tenant}
+	ctx = obs.ContextWith(ctx, tc)
+
+	enqueuedUS, wait := j.queueWait()
+	s.rec.Registry().Histogram("jobs.queue_wait_ms").Observe(wait.Milliseconds())
+
 	j.setState(StateRunning, "")
 	s.logState(j)
+	s.log.Info("job started", s.jobAttrs(j,
+		slog.Int64("queue_wait_ms", wait.Milliseconds()))...)
 	s.rec.Registry().Gauge("jobs.running").Add(1)
 	defer s.rec.Registry().Gauge("jobs.running").Add(-1)
 
-	r := &runner{pool: s.pool, cache: s.cache, store: s.store}
+	r := &runner{pool: s.pool, cache: s.cache, store: s.store,
+		rec: s.rec, tc: tc, queuedUS: enqueuedUS}
 	start := time.Now()
 	raw, cached, err := r.run(ctx, j, rep)
-	s.rec.Registry().Histogram("jobs.duration_ms").Observe(time.Since(start).Milliseconds())
+	durMS := time.Since(start).Milliseconds()
+	s.rec.Registry().Histogram("jobs.duration_ms").Observe(durMS)
+	s.rec.Registry().Histogram(obs.Name("jobs.duration_ms", "kind", j.Spec.Kind)).Observe(durMS)
 
 	switch {
 	case err == nil:
@@ -309,16 +420,22 @@ func (s *Service) execute(base context.Context, j *Job, rep map[int]*ShardSummar
 		j.setState(StateDone, "")
 		s.logState(j)
 		s.rec.Registry().Counter("jobs.done").Inc()
+		s.log.Info("job done", s.jobAttrs(j,
+			slog.Int64("dur_ms", durMS), slog.Bool("cache_hit", cached))...)
 	case j.userCancelled():
 		j.setState(StateCancelled, "")
 		s.logState(j)
 		s.rec.Registry().Counter("jobs.cancelled").Inc()
+		s.log.Info("job cancelled", s.jobAttrs(j, slog.Int64("dur_ms", durMS))...)
 	case base.Err() != nil:
 		// Shutdown, not failure: leave the job's logged state as running so
 		// a restart re-enqueues it; checkpoints make the re-run incremental.
+		s.log.Info("job interrupted by shutdown", s.jobAttrs(j)...)
 	default:
 		j.setState(StateFailed, err.Error())
 		s.logState(j)
 		s.rec.Registry().Counter("jobs.failed").Inc()
+		s.log.Error("job failed", s.jobAttrs(j,
+			slog.Int64("dur_ms", durMS), slog.String("err", err.Error()))...)
 	}
 }

@@ -1,0 +1,154 @@
+package jobs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSSEReconnectResume drops an events stream mid-campaign and reconnects
+// with Last-Event-ID, asserting the second stream picks up exactly after
+// the last delivered event — no gap, no duplicates — through to "done".
+func TestSSEReconnectResume(t *testing.T) {
+	_, c := testServer(t)
+	ctx := context.Background()
+	id, err := c.Submit(ctx, Spec{Kind: KindCampaign, Tuples: resumeTuples, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First connection: consume a few sequenced events, then hang up.
+	resp, err := c.http().Get(c.Base + "/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastSeq int64
+	seen := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() && seen < 3 {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "id: ") {
+			continue
+		}
+		v, err := strconv.ParseInt(strings.TrimPrefix(line, "id: "), 10, 64)
+		if err != nil {
+			t.Fatalf("bad id line %q: %v", line, err)
+		}
+		if v <= lastSeq {
+			t.Fatalf("id lines not increasing: %d after %d", v, lastSeq)
+		}
+		lastSeq = v
+		seen++
+	}
+	resp.Body.Close() // mid-stream disconnect
+	if lastSeq == 0 {
+		t.Fatal("no sequenced events before disconnect")
+	}
+
+	// Reconnect where we left off.
+	req, _ := http.NewRequest(http.MethodGet, c.Base+"/jobs/"+id+"/events", nil)
+	req.Header.Set("Last-Event-ID", strconv.FormatInt(lastSeq, 10))
+	resp2, err := c.http().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+
+	var events []Event
+	sc2 := bufio.NewScanner(resp2.Body)
+	for sc2.Scan() {
+		line := sc2.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", line, err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) == 0 {
+		t.Fatal("reconnect delivered no events")
+	}
+	next := lastSeq + 1
+	for _, ev := range events {
+		if ev.Seq != next {
+			t.Fatalf("resume gap: got seq %d, want %d (events %+v)", ev.Seq, next, events)
+		}
+		next++
+	}
+	last := events[len(events)-1]
+	if last.Type != "done" || !last.State.Terminal() {
+		t.Fatalf("resumed stream ended on %+v, want done", last)
+	}
+}
+
+// TestSubscribeSinceAtomicity exercises the backlog/live handoff directly: a
+// subscriber that resumes mid-publish must see every seq exactly once.
+func TestSubscribeSinceAtomicity(t *testing.T) {
+	j := newJob("j1", Spec{Kind: KindVerify}, time.Now())
+	j.mu.Lock()
+	for i := 0; i < 5; i++ {
+		j.publishLocked(Event{Type: "shard"})
+	}
+	j.mu.Unlock()
+
+	backlog, ch, unsub := j.SubscribeSince(2)
+	defer unsub()
+	if len(backlog) != 3 || backlog[0].Seq != 3 || backlog[2].Seq != 5 {
+		t.Fatalf("backlog = %+v, want seqs 3..5", backlog)
+	}
+	j.mu.Lock()
+	j.publishLocked(Event{Type: "shard"})
+	j.mu.Unlock()
+	select {
+	case ev := <-ch:
+		if ev.Seq != 6 {
+			t.Fatalf("live event seq = %d, want 6", ev.Seq)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("live event not delivered")
+	}
+
+	// A terminal job yields its backlog and a closed channel.
+	j.setState(StateDone, "")
+	backlog2, ch2, _ := j.SubscribeSince(0)
+	if len(backlog2) == 0 || backlog2[len(backlog2)-1].Type != "done" {
+		t.Fatalf("terminal backlog = %+v, want trailing done", backlog2)
+	}
+	if _, open := <-ch2; open {
+		t.Fatal("terminal subscription channel not closed")
+	}
+}
+
+// TestEventHistoryBounded floods one job with far more events than the ring
+// retains and checks memory stays bounded while seq numbering never resets.
+func TestEventHistoryBounded(t *testing.T) {
+	j := newJob("j1", Spec{Kind: KindVerify}, time.Now())
+	total := DefaultEventHistory + 500
+	j.mu.Lock()
+	for i := 0; i < total; i++ {
+		j.publishLocked(Event{Type: "shard"})
+	}
+	hist := len(j.history)
+	oldest := j.history[0].Seq
+	j.mu.Unlock()
+	if hist != DefaultEventHistory {
+		t.Fatalf("history length = %d, want %d", hist, DefaultEventHistory)
+	}
+	if oldest != int64(total-DefaultEventHistory+1) {
+		t.Fatalf("oldest retained seq = %d, want %d", oldest, total-DefaultEventHistory+1)
+	}
+	// A reconnect from before the window gets the oldest retained event; the
+	// seq jump is the detectable gap.
+	backlog, _, unsub := j.SubscribeSince(0)
+	defer unsub()
+	if len(backlog) != DefaultEventHistory || backlog[0].Seq != oldest {
+		t.Fatalf("pre-window resume backlog starts at %d, len %d", backlog[0].Seq, len(backlog))
+	}
+}

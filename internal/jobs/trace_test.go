@@ -1,0 +1,268 @@
+package jobs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"swapcodes/internal/obs"
+)
+
+// traceArtifacts collects every place a job's trace ID must appear.
+type traceArtifacts struct {
+	status  Status
+	events  []Event
+	walJob  string   // trace field of the WAL "job" record
+	spanIDs []string // trace_id args found in the flushed Chrome trace
+}
+
+func collectTraceArtifacts(t *testing.T, base string, cl *http.Client, rec *obs.Recorder, dir, jobID string) traceArtifacts {
+	t.Helper()
+	var out traceArtifacts
+
+	resp, err := cl.Get(base + "/jobs/" + jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&out.status); err != nil {
+		t.Fatal(err)
+	}
+
+	// Last-Event-ID: 0 replays the job's whole retained event history, so
+	// the assertion covers every published event, not just a snapshot.
+	ereq, _ := http.NewRequest(http.MethodGet, base+"/jobs/"+jobID+"/events", nil)
+	ereq.Header.Set("Last-Event-ID", "0")
+	er, err := cl.Do(ereq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer er.Body.Close()
+	sc := bufio.NewScanner(er.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", line, err)
+		}
+		out.events = append(out.events, ev)
+	}
+
+	wal, err := os.ReadFile(filepath.Join(dir, "wal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range bytes.Split(wal, []byte("\n")) {
+		var rec struct {
+			T     string `json:"t"`
+			ID    string `json:"id"`
+			Trace string `json:"trace"`
+		}
+		if json.Unmarshal(line, &rec) == nil && rec.T == "job" && rec.ID == jobID {
+			out.walJob = rec.Trace
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := obs.ValidateTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range evs {
+		if id, ok := ev.Args["trace_id"].(string); ok {
+			out.spanIDs = append(out.spanIDs, id)
+		}
+	}
+	return out
+}
+
+// TestTracePropagation drives one job per case through the full HTTP
+// surface and asserts the same trace ID lands in the job record, the WAL,
+// every SSE event, and the flushed Chrome trace — then restarts the service
+// over the same state dir and checks the ID survived replay.
+func TestTracePropagation(t *testing.T) {
+	cases := []struct {
+		name        string
+		traceparent string // request header; empty = server mints
+		wantID      string // expected trace ID; empty = accept server's
+	}{
+		{name: "client-supplied",
+			traceparent: "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+			wantID:      "4bf92f3577b34da6a3ce929d0e0e4736"},
+		{name: "server-minted"},
+		{name: "malformed-header-falls-back",
+			traceparent: "zz-not-a-real-traceparent"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			rec := obs.NewRecorder()
+			svc, err := New(Options{StateDir: dir, Workers: 4, Recorder: rec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			closed := false
+			defer func() {
+				if !closed {
+					svc.Close()
+				}
+			}()
+			mux := http.NewServeMux()
+			svc.Register(mux)
+			hs := httptest.NewServer(mux)
+			defer hs.Close()
+
+			body, _ := json.Marshal(Spec{Kind: KindCampaign, Tuples: 64, Seed: 31})
+			req, _ := http.NewRequest(http.MethodPost, hs.URL+"/jobs", bytes.NewReader(body))
+			if tc.traceparent != "" {
+				req.Header.Set("traceparent", tc.traceparent)
+			}
+			resp, err := hs.Client().Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sub struct {
+				ID      string `json:"id"`
+				TraceID string `json:"trace_id"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				t.Fatalf("submit = HTTP %d", resp.StatusCode)
+			}
+			want := tc.wantID
+			if want == "" {
+				want = sub.TraceID // server-minted: the response hands it back
+			}
+			if len(want) != 32 || sub.TraceID != want {
+				t.Fatalf("submit trace_id = %q, want %q", sub.TraceID, want)
+			}
+
+			j, ok := svc.Get(sub.ID)
+			if !ok {
+				t.Fatalf("job %s not found", sub.ID)
+			}
+			waitTerminal(t, j, time.Minute)
+
+			art := collectTraceArtifacts(t, hs.URL, hs.Client(), rec, dir, sub.ID)
+			if art.status.TraceID != want {
+				t.Errorf("status trace_id = %q, want %q", art.status.TraceID, want)
+			}
+			if art.walJob != want {
+				t.Errorf("wal job record trace = %q, want %q", art.walJob, want)
+			}
+			if len(art.events) == 0 {
+				t.Fatal("no SSE events")
+			}
+			for _, ev := range art.events {
+				// Published events carry the ID; only the synthetic snapshot
+				// (Seq 0) may appear, and it carries the ID too now.
+				if ev.TraceID != want {
+					t.Errorf("event %+v trace_id = %q, want %q", ev, ev.TraceID, want)
+				}
+			}
+			if len(art.spanIDs) == 0 {
+				t.Fatal("no spans carried a trace_id arg")
+			}
+			for _, id := range art.spanIDs {
+				if id != want {
+					t.Errorf("span trace_id = %q, want %q", id, want)
+				}
+			}
+
+			// Restart over the same state dir: the replayed job keeps its ID.
+			if err := svc.Close(); err != nil {
+				t.Fatal(err)
+			}
+			closed = true
+			svc2, err := New(Options{StateDir: dir, Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer svc2.Close()
+			j2, ok := svc2.Get(sub.ID)
+			if !ok {
+				t.Fatalf("job %s lost across restart", sub.ID)
+			}
+			if got := j2.Status().TraceID; got != want {
+				t.Errorf("post-restart trace_id = %q, want %q", got, want)
+			}
+		})
+	}
+}
+
+// TestTraceResumedMidFlight replays a WAL whose job never finished and
+// checks the resumed execution still runs under the originally minted trace
+// ID — the in-process analogue of the kill/resume e2e assertion.
+func TestTraceResumedMidFlight(t *testing.T) {
+	dir := t.TempDir()
+	const traceID = "0af7651916cd43dd8448eb211c80319c"
+	st, _, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{Kind: KindCampaign, Tuples: 64, Seed: 41}
+	if err := spec.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendJob("j0001-resume01", spec, traceID); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendState("j0001-resume01", StateRunning, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := obs.NewRecorder()
+	svc, err := New(Options{StateDir: dir, Workers: 4, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	j, ok := svc.Get("j0001-resume01")
+	if !ok {
+		t.Fatal("replayed job missing")
+	}
+	waitTerminal(t, j, time.Minute)
+	if st := j.Status(); st.State != StateDone || st.TraceID != traceID {
+		t.Fatalf("resumed job = %s trace %q, want done under %q", st.State, st.TraceID, traceID)
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := obs.ValidateTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ev := range evs {
+		if id, ok := ev.Args["trace_id"].(string); ok {
+			if id != traceID {
+				t.Fatalf("span %q trace_id = %q, want %q", ev.Name, id, traceID)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("resumed execution emitted no trace_id-stamped spans")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"swapcodes/internal/faultsim"
+	"swapcodes/internal/obs"
 )
 
 // Store is the service's persistence layer: an append-only JSON-lines
@@ -28,6 +29,11 @@ type Store struct {
 	mu  sync.Mutex
 	f   *os.File
 	dir string
+
+	// Telemetry (nil until bind): growth of the log is itself a service
+	// signal — jobs.wal_bytes and jobs.wal_records gauges track it live.
+	bytesGauge *obs.Gauge
+	recsGauge  *obs.Gauge
 }
 
 // walRecord is one log line. T selects which of the optional fields are
@@ -35,6 +41,7 @@ type Store struct {
 type walRecord struct {
 	T     string          `json:"t"` // "job" | "state" | "shard" | "result"
 	ID    string          `json:"id"`
+	Trace string          `json:"trace,omitempty"` // job records: the trace ID
 	Spec  *Spec           `json:"spec,omitempty"`
 	State State           `json:"state,omitempty"`
 	Err   string          `json:"err,omitempty"`
@@ -73,18 +80,25 @@ type ShardSummary struct {
 
 // ReplayJob is one job reconstructed from the log.
 type ReplayJob struct {
-	ID     string
-	Spec   Spec
-	State  State
-	Err    string
-	Shards map[int]*ShardSummary // by plan shard index
-	Result json.RawMessage
+	ID string
+	// TraceID survives restarts with the job: a resumed campaign's logs and
+	// spans keep correlating under the trace the submitter minted. Empty for
+	// logs written before trace propagation existed.
+	TraceID string
+	Spec    Spec
+	State   State
+	Err     string
+	Shards  map[int]*ShardSummary // by plan shard index
+	Result  json.RawMessage
 }
 
 // Replay is the rebuilt state of a log.
 type Replay struct {
 	// Jobs in submission order.
 	Jobs []*ReplayJob
+	// Records counts the valid records replayed (seeds the wal_records
+	// gauge on restart).
+	Records int
 	// Truncated counts log lines dropped as unparseable — nonzero means a
 	// previous process died mid-append (expected after SIGKILL) or the file
 	// was corrupted. Bad lines are skipped, not fatal: a torn record is
@@ -138,6 +152,40 @@ func sealTornTail(f *os.File) error {
 	return nil
 }
 
+// bind mirrors the log's size into reg as jobs.wal_bytes / jobs.wal_records
+// gauges, seeded from the replayed file so a restarted server reports its
+// real on-disk footprint, not just this process's appends.
+func (s *Store) bind(reg *obs.Registry, rep *Replay) {
+	if reg == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bytesGauge = reg.Gauge("jobs.wal_bytes")
+	s.recsGauge = reg.Gauge("jobs.wal_records")
+	if st, err := s.f.Stat(); err == nil {
+		s.bytesGauge.Set(st.Size())
+	}
+	if rep != nil {
+		s.recsGauge.Set(int64(rep.Records))
+	}
+}
+
+// Healthy reports whether the log can accept appends — the /readyz WAL
+// check. It stats the open descriptor rather than test-writing: a record
+// appended for health checking would pollute replay.
+func (s *Store) Healthy() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("wal closed")
+	}
+	if _, err := s.f.Stat(); err != nil {
+		return fmt.Errorf("wal stat: %w", err)
+	}
+	return nil
+}
+
 // Dir returns the state directory.
 func (s *Store) Dir() string { return s.dir }
 
@@ -179,20 +227,24 @@ func replay(path string) (*Replay, error) {
 				rep.Truncated++
 				continue
 			}
-			j := &ReplayJob{ID: rec.ID, Spec: *rec.Spec, State: StateQueued,
-				Shards: make(map[int]*ShardSummary)}
+			rep.Records++
+			j := &ReplayJob{ID: rec.ID, TraceID: rec.Trace, Spec: *rec.Spec,
+				State: StateQueued, Shards: make(map[int]*ShardSummary)}
 			byID[rec.ID] = j
 			rep.Jobs = append(rep.Jobs, j)
 		case "state":
+			rep.Records++
 			if j := byID[rec.ID]; j != nil {
 				j.State = rec.State
 				j.Err = rec.Err
 			}
 		case "shard":
+			rep.Records++
 			if j := byID[rec.ID]; j != nil && rec.Shard != nil {
 				j.Shards[rec.Shard.Index] = rec.Shard
 			}
 		case "result":
+			rep.Records++
 			if j := byID[rec.ID]; j != nil {
 				j.Result = append(json.RawMessage(nil), rec.Res...)
 			}
@@ -220,12 +272,16 @@ func (s *Store) append(rec walRecord) error {
 	// One write(2) per record: O_APPEND keeps concurrent appends atomic at
 	// this size, and a record either fully reaches the kernel or not at all.
 	_, err = s.f.Write(b)
+	if err == nil && s.bytesGauge != nil {
+		s.bytesGauge.Add(int64(len(b)))
+		s.recsGauge.Add(1)
+	}
 	return err
 }
 
-// AppendJob logs a submission.
-func (s *Store) AppendJob(id string, spec Spec) error {
-	return s.append(walRecord{T: "job", ID: id, Spec: &spec})
+// AppendJob logs a submission with its trace identity.
+func (s *Store) AppendJob(id string, spec Spec, traceID string) error {
+	return s.append(walRecord{T: "job", ID: id, Trace: traceID, Spec: &spec})
 }
 
 // AppendState logs a state transition.

@@ -20,7 +20,7 @@ func TestWALRoundTrip(t *testing.T) {
 		t.Fatalf("fresh replay = %+v", rep)
 	}
 	spec := Spec{Kind: KindCampaign, Tuples: 100, Seed: 7}
-	if err := st.AppendJob("j1", spec); err != nil {
+	if err := st.AppendJob("j1", spec, "0af7651916cd43dd8448eb211c80319c"); err != nil {
 		t.Fatal(err)
 	}
 	if err := st.AppendState("j1", StateRunning, ""); err != nil {
@@ -34,7 +34,7 @@ func TestWALRoundTrip(t *testing.T) {
 	if err := st.AppendShard("j1", sum); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.AppendJob("j2", Spec{Kind: KindVerify}); err != nil {
+	if err := st.AppendJob("j2", Spec{Kind: KindVerify}, ""); err != nil {
 		t.Fatal(err)
 	}
 	if err := st.AppendState("j2", StateDone, ""); err != nil {
@@ -58,6 +58,9 @@ func TestWALRoundTrip(t *testing.T) {
 	if j1.ID != "j1" || j1.State != StateRunning || !reflect.DeepEqual(j1.Spec, spec) {
 		t.Fatalf("j1 replay = %+v", j1)
 	}
+	if j1.TraceID != "0af7651916cd43dd8448eb211c80319c" {
+		t.Fatalf("j1 trace replay = %q", j1.TraceID)
+	}
 	got := j1.Shards[3]
 	if got == nil || got.UnitName != "imul" || got.Severity[0] != sum.Severity[0] ||
 		got.SDC["parity"] != sum.SDC["parity"] || got.Digest != "abc" {
@@ -75,7 +78,7 @@ func TestWALTornTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := st.AppendJob("j1", Spec{Kind: KindVerify}); err != nil {
+	if err := st.AppendJob("j1", Spec{Kind: KindVerify}, ""); err != nil {
 		t.Fatal(err)
 	}
 	st.Close()

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"runtime/debug"
+)
+
+// Health surface: /healthz (liveness — the HTTP loop answers), /readyz
+// (readiness — pluggable dependency checks supplied by the embedding
+// service), and /buildinfo (what binary is this, from the module metadata
+// the Go linker embeds). Probes and humans share these endpoints; the
+// bodies are JSON with stable field names, golden-checked in CI.
+
+// ReadyCheck is one named readiness dependency. Check returns nil when the
+// dependency can serve.
+type ReadyCheck struct {
+	Name  string
+	Check func() error
+}
+
+// HealthzHandler answers liveness: reaching the handler is the proof.
+func HealthzHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	}
+}
+
+// readyBody is the /readyz JSON shape.
+type readyBody struct {
+	Ready  bool              `json:"ready"`
+	Checks map[string]string `json:"checks"`
+}
+
+// ReadyzHandler runs the checks closure's current check set per request
+// (the set may change as the service wires itself up) and reports 200 when
+// all pass, 503 with the failing checks' errors otherwise. A nil closure or
+// empty set degrades to liveness.
+func ReadyzHandler(checks func() []ReadyCheck) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body := readyBody{Ready: true, Checks: map[string]string{}}
+		if checks != nil {
+			for _, c := range checks() {
+				if err := c.Check(); err != nil {
+					body.Ready = false
+					body.Checks[c.Name] = err.Error()
+				} else {
+					body.Checks[c.Name] = "ok"
+				}
+			}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if !body.Ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(body)
+	}
+}
+
+// BuildInfo is the /buildinfo JSON shape, distilled from
+// runtime/debug.ReadBuildInfo.
+type BuildInfo struct {
+	GoVersion string            `json:"go_version"`
+	Path      string            `json:"path"`
+	Main      string            `json:"main_version"`
+	Settings  map[string]string `json:"settings,omitempty"`
+	Deps      int               `json:"deps"`
+}
+
+// ReadBuild distills the binary's embedded build metadata. Available
+// settings vary by build mode (vcs.revision only exists for VCS builds);
+// absent metadata yields a zero-valued but still well-formed document.
+func ReadBuild() BuildInfo {
+	info := BuildInfo{Settings: map[string]string{}}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.GoVersion = bi.GoVersion
+	info.Path = bi.Path
+	info.Main = bi.Main.Version
+	info.Deps = len(bi.Deps)
+	keep := map[string]bool{
+		"vcs.revision": true, "vcs.time": true, "vcs.modified": true,
+		"GOOS": true, "GOARCH": true, "-race": true,
+	}
+	for _, s := range bi.Settings {
+		if keep[s.Key] && s.Value != "" {
+			info.Settings[s.Key] = s.Value
+		}
+	}
+	return info
+}
+
+// BuildInfoHandler serves the distilled build metadata, computed once — the
+// binary cannot change under a running process.
+func BuildInfoHandler() http.HandlerFunc {
+	info := ReadBuild()
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(info)
+	}
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHealthzHandler(t *testing.T) {
+	rw := httptest.NewRecorder()
+	HealthzHandler()(rw, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rw.Code != http.StatusOK {
+		t.Fatalf("healthz = %d", rw.Code)
+	}
+	var body map[string]string
+	if err := json.Unmarshal(rw.Body.Bytes(), &body); err != nil || body["status"] != "ok" {
+		t.Fatalf("healthz body = %q (%v)", rw.Body.String(), err)
+	}
+}
+
+func TestReadyzHandler(t *testing.T) {
+	fail := errors.New("wal on fire")
+	healthy := true
+	h := ReadyzHandler(func() []ReadyCheck {
+		checks := []ReadyCheck{{Name: "wal", Check: func() error {
+			if healthy {
+				return nil
+			}
+			return fail
+		}}, {Name: "queue", Check: func() error { return nil }}}
+		return checks
+	})
+
+	rw := httptest.NewRecorder()
+	h(rw, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rw.Code != http.StatusOK {
+		t.Fatalf("ready readyz = %d: %s", rw.Code, rw.Body.String())
+	}
+	var body struct {
+		Ready  bool              `json:"ready"`
+		Checks map[string]string `json:"checks"`
+	}
+	if err := json.Unmarshal(rw.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if !body.Ready || body.Checks["wal"] != "ok" || body.Checks["queue"] != "ok" {
+		t.Fatalf("ready body = %+v", body)
+	}
+
+	healthy = false
+	rw = httptest.NewRecorder()
+	h(rw, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rw.Code != http.StatusServiceUnavailable {
+		t.Fatalf("unready readyz = %d", rw.Code)
+	}
+	if err := json.Unmarshal(rw.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Ready || body.Checks["wal"] != "wal on fire" || body.Checks["queue"] != "ok" {
+		t.Fatalf("unready body = %+v", body)
+	}
+
+	// Nil closure degrades to liveness.
+	rw = httptest.NewRecorder()
+	ReadyzHandler(nil)(rw, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rw.Code != http.StatusOK {
+		t.Fatalf("nil-checks readyz = %d", rw.Code)
+	}
+}
+
+func TestBuildInfoHandler(t *testing.T) {
+	rw := httptest.NewRecorder()
+	BuildInfoHandler()(rw, httptest.NewRequest(http.MethodGet, "/buildinfo", nil))
+	if rw.Code != http.StatusOK {
+		t.Fatalf("buildinfo = %d", rw.Code)
+	}
+	var info BuildInfo
+	if err := json.Unmarshal(rw.Body.Bytes(), &info); err != nil {
+		t.Fatalf("buildinfo body: %v: %s", err, rw.Body.String())
+	}
+	// Test binaries always carry a Go version and module path.
+	if info.GoVersion == "" || info.Path == "" {
+		t.Fatalf("buildinfo = %+v", info)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -11,24 +12,56 @@ import (
 	"time"
 )
 
-// Live observability server (the -serve flag): while a run is in flight it
-// exposes
+// Live observability server (the -serve flag and the job server's
+// listener): while a process is up it exposes
 //
 //	GET /metrics          the registry snapshot, Prometheus text format
 //	GET /runs             run progress as JSON (whatever the runs closure
 //	                      returns, typically an engine.Progress)
+//	GET /timeseries       the ring-buffer time-series sampler over the
+//	                      registry (JSON; bounded memory)
+//	GET /healthz          liveness (the HTTP loop answers)
+//	GET /readyz           readiness (the embedder's dependency checks)
+//	GET /buildinfo        the binary's embedded build metadata
 //	GET /debug/pprof/...  the standard Go profiling endpoints
 //
 // The server is deliberately decoupled from the engine: it serves a
 // *Registry it is given and calls an opaque closure for /runs, so obs never
 // imports engine (which imports obs). Shutdown is graceful — in-flight
-// scrapes finish — and is wired into the CLIs' Ctrl-C/-timeout paths.
+// scrapes finish, the sampler goroutine stops — and is wired into the CLIs'
+// Ctrl-C/-timeout paths.
+
+// ServerConfig configures StartConfigured. Addr and Registry are required;
+// everything else degrades gracefully when absent.
+type ServerConfig struct {
+	// Addr is the host:port to listen on (":0" picks a free port).
+	Addr string
+	// Registry backs /metrics and /timeseries.
+	Registry *Registry
+	// Runs, when set, is rendered as JSON by GET /runs.
+	Runs func() any
+	// Register, when set, may add handlers to the mux before serving starts
+	// (how the job server layers /jobs onto the same listener).
+	Register func(mux *http.ServeMux)
+	// Logger, when set, wraps the whole mux in the request-logging
+	// middleware (one structured line per request, trace ID included).
+	Logger *slog.Logger
+	// Ready supplies the /readyz dependency checks; nil degrades /readyz to
+	// liveness.
+	Ready func() []ReadyCheck
+	// TimeSeriesPeriod and TimeSeriesCap size the /timeseries sampler
+	// (defaults: 1s × 512 samples).
+	TimeSeriesPeriod time.Duration
+	// TimeSeriesCap bounds the sampler ring.
+	TimeSeriesCap int
+}
 
 // Server is a running observability HTTP server.
 type Server struct {
 	ln  net.Listener
 	srv *http.Server
 	err chan error
+	ts  *TimeSeries
 
 	// Shutdown is idempotent: the first call drains the serve loop's error
 	// exactly once, later calls return the remembered result instead of
@@ -41,19 +74,23 @@ type Server struct {
 // serves the registry. runs may be nil; when set, GET /runs responds with
 // its return value rendered as JSON.
 func StartServer(addr string, reg *Registry, runs func() any) (*Server, error) {
-	return StartServerWith(addr, reg, runs, nil)
+	return StartConfigured(ServerConfig{Addr: addr, Registry: reg, Runs: runs})
 }
 
 // StartServerWith is StartServer with an extension hook: register, when
-// non-nil, may add handlers to the server's mux before it starts serving —
-// how the job server layers its /jobs API onto the same listener as the
-// metrics, runs, and pprof endpoints. Handlers registered here share the
-// server's graceful-shutdown behavior.
+// non-nil, may add handlers to the server's mux before it starts serving.
+// Handlers registered here share the server's graceful-shutdown behavior.
 func StartServerWith(addr string, reg *Registry, runs func() any, register func(mux *http.ServeMux)) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
+	return StartConfigured(ServerConfig{Addr: addr, Registry: reg, Runs: runs, Register: register})
+}
+
+// StartConfigured starts the full observability surface described by cfg.
+func StartConfigured(cfg ServerConfig) (*Server, error) {
+	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
-		return nil, fmt.Errorf("obs: serve %s: %w", addr, err)
+		return nil, fmt.Errorf("obs: serve %s: %w", cfg.Addr, err)
 	}
+	reg := cfg.Registry
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -65,15 +102,20 @@ func StartServerWith(addr string, reg *Registry, runs func() any, register func(
 	mux.HandleFunc("/runs", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		var v any
-		if runs != nil {
-			v = runs()
+		if cfg.Runs != nil {
+			v = cfg.Runs()
 		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(v)
 	})
-	if register != nil {
-		register(mux)
+	ts := NewTimeSeries(reg, cfg.TimeSeriesPeriod, cfg.TimeSeriesCap)
+	mux.Handle("GET /timeseries", ts)
+	mux.HandleFunc("GET /healthz", HealthzHandler())
+	mux.HandleFunc("GET /readyz", ReadyzHandler(cfg.Ready))
+	mux.HandleFunc("GET /buildinfo", BuildInfoHandler())
+	if cfg.Register != nil {
+		cfg.Register(mux)
 	}
 	// net/http/pprof registers on http.DefaultServeMux; route the standard
 	// paths on our private mux instead so -serve does not leak handlers into
@@ -84,10 +126,15 @@ func StartServerWith(addr string, reg *Registry, runs func() any, register func(
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
+	var handler http.Handler = mux
+	if cfg.Logger != nil {
+		handler = LogRequests(cfg.Logger, mux)
+	}
 	s := &Server{
 		ln:  ln,
-		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		srv: &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second},
 		err: make(chan error, 1),
+		ts:  ts,
 	}
 	go func() {
 		err := s.srv.Serve(ln)
@@ -105,12 +152,17 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // URL returns the http base URL of the server.
 func (s *Server) URL() string { return "http://" + s.Addr() }
 
+// TimeSeries returns the server's registry sampler (never nil on a started
+// server) — CLIs flush its final window, tests drive Sample directly.
+func (s *Server) TimeSeries() *TimeSeries { return s.ts }
+
 // Shutdown gracefully stops the server, waiting for in-flight requests up
 // to the context deadline, and reports any serve-loop error. It is safe to
 // call more than once — a CLI whose signal handler and deferred cleanup
 // both shut the server down performs the stop exactly once.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.downOnce.Do(func() {
+		s.ts.Stop()
 		if err := s.srv.Shutdown(ctx); err != nil {
 			s.downErr = err
 			return

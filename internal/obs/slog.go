@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Structured logging bridge. The service layer logs through log/slog; this
+// file supplies the handler construction the CLIs share (-log-level /
+// -log-format flags), a registry-counting wrapper so log volume is itself a
+// metric (obs.log_lines{level=...}), and the request-logging middleware that
+// stamps every HTTP log line with the request's trace ID.
+
+// ParseLogLevel maps a -log-level flag value onto a slog.Level.
+func ParseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, or error)", s)
+}
+
+// NewLogger builds the CLI logger: format is "json" (the service default —
+// one object per line, machine-greppable by trace_id) or "text"
+// (human-friendly key=value). reg, when non-nil, receives per-level line
+// counters so a log storm is visible from /metrics before anyone reads the
+// log itself.
+func NewLogger(w io.Writer, format string, level slog.Level, reg *Registry) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	switch strings.ToLower(strings.TrimSpace(format)) {
+	case "", "json":
+		h = slog.NewJSONHandler(w, opts)
+	case "text":
+		h = slog.NewTextHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want json or text)", format)
+	}
+	if reg != nil {
+		h = &countingHandler{next: h, reg: reg}
+	}
+	return slog.New(h), nil
+}
+
+// DiscardLogger returns a logger that drops everything — the nil-object for
+// layers that take a *slog.Logger but were not given one.
+func DiscardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+}
+
+// countingHandler counts every emitted record into the registry by level,
+// then delegates.
+type countingHandler struct {
+	next slog.Handler
+	reg  *Registry
+}
+
+func (c *countingHandler) Enabled(ctx context.Context, l slog.Level) bool {
+	return c.next.Enabled(ctx, l)
+}
+
+func (c *countingHandler) Handle(ctx context.Context, rec slog.Record) error {
+	c.reg.Counter(Name("obs.log_lines", "level", strings.ToLower(rec.Level.String()))).Inc()
+	return c.next.Handle(ctx, rec)
+}
+
+func (c *countingHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &countingHandler{next: c.next.WithAttrs(attrs), reg: c.reg}
+}
+
+func (c *countingHandler) WithGroup(name string) slog.Handler {
+	return &countingHandler{next: c.next.WithGroup(name), reg: c.reg}
+}
+
+// statusWriter captures the response status and size for the request log.
+// It forwards Flush so SSE handlers behind the middleware still stream
+// (handleEvents type-asserts http.Flusher).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// Unwrap supports http.NewResponseController through the wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// LogRequests is the request-logging middleware: one structured line per
+// request with method, path, status, size, duration, and the trace ID from
+// the caller's traceparent header (so a job submission's request line joins
+// the job's lifecycle logs). Scrape and probe endpoints log at debug —
+// Prometheus and health checkers would otherwise dominate the log.
+func LogRequests(log *slog.Logger, next http.Handler) http.Handler {
+	if log == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		level := slog.LevelInfo
+		if quietPath(r.URL.Path) {
+			level = slog.LevelDebug
+		}
+		if sw.status >= 500 {
+			level = slog.LevelError
+		}
+		attrs := []any{
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"dur_ms", time.Since(start).Milliseconds(),
+			"remote", r.RemoteAddr,
+		}
+		if id, ok := ParseTraceparent(r.Header.Get("traceparent")); ok {
+			attrs = append(attrs, "trace_id", id)
+		}
+		log.Log(r.Context(), level, "http request", attrs...)
+	})
+}
+
+// quietPath reports endpoints polled by machines (scrapers, probes,
+// profilers) whose request lines belong at debug level.
+func quietPath(p string) bool {
+	switch p {
+	case "/metrics", "/healthz", "/readyz", "/timeseries":
+		return true
+	}
+	return strings.HasPrefix(p, "/debug/pprof")
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestParseLogLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, "Error": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLogLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLogLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLogLevel("verbose"); err == nil {
+		t.Fatal("ParseLogLevel accepted \"verbose\"")
+	}
+}
+
+func TestNewLoggerJSONAndCounting(t *testing.T) {
+	var buf bytes.Buffer
+	reg := NewRegistry()
+	log, err := NewLogger(&buf, "json", slog.LevelInfo, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Debug("below level")
+	log.Info("hello", slog.String("trace_id", "abc123"))
+	log.Warn("careful")
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d log lines, want 2 (debug filtered): %q", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line not JSON: %v: %q", err, lines[0])
+	}
+	if rec["msg"] != "hello" || rec["trace_id"] != "abc123" {
+		t.Fatalf("json line = %v", rec)
+	}
+	if n := reg.Counter(Name("obs.log_lines", "level", "info")).Value(); n != 1 {
+		t.Fatalf("info line counter = %d, want 1", n)
+	}
+	if n := reg.Counter(Name("obs.log_lines", "level", "warn")).Value(); n != 1 {
+		t.Fatalf("warn line counter = %d, want 1", n)
+	}
+
+	if _, err := NewLogger(&buf, "xml", slog.LevelInfo, nil); err == nil {
+		t.Fatal("NewLogger accepted format xml")
+	}
+}
+
+func TestDiscardLoggerDropsEverything(t *testing.T) {
+	log := DiscardLogger()
+	// Must not panic and must not be enabled at any standard level.
+	log.Error("nothing")
+	if log.Enabled(nil, slog.LevelError) {
+		t.Fatal("discard logger claims LevelError enabled")
+	}
+}
+
+func TestLogRequestsMiddleware(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, "json", slog.LevelDebug, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, ok := w.(http.Flusher); !ok {
+			t.Error("statusWriter does not forward http.Flusher")
+		}
+		w.WriteHeader(http.StatusTeapot)
+		_, _ = w.Write([]byte("short and stout"))
+	})
+	h := LogRequests(log, inner)
+
+	req := httptest.NewRequest(http.MethodGet, "/jobs/j1", nil)
+	req.Header.Set("traceparent", "00-0af7651916cd43dd8448eb211c80319c-00f067aa0ba902b7-01")
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, req)
+
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("request log not JSON: %v: %q", err, buf.String())
+	}
+	if rec["method"] != "GET" || rec["path"] != "/jobs/j1" {
+		t.Fatalf("request log = %v", rec)
+	}
+	if rec["status"] != float64(http.StatusTeapot) {
+		t.Fatalf("status = %v, want %d", rec["status"], http.StatusTeapot)
+	}
+	if rec["bytes"] != float64(len("short and stout")) {
+		t.Fatalf("bytes = %v", rec["bytes"])
+	}
+	if rec["trace_id"] != "0af7651916cd43dd8448eb211c80319c" {
+		t.Fatalf("trace_id = %v", rec["trace_id"])
+	}
+
+	// Scrape endpoints log at debug: invisible at the default info level.
+	buf.Reset()
+	infoLog, _ := NewLogger(&buf, "json", slog.LevelInfo, nil)
+	LogRequests(infoLog, inner).ServeHTTP(httptest.NewRecorder(),
+		httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if buf.Len() != 0 {
+		t.Fatalf("scrape request logged at info: %q", buf.String())
+	}
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// TimeSeries is a bounded ring-buffer sampler over a Registry: every period
+// it snapshots each instrument into one (t_ms, name→value) sample, keeping
+// the latest Capacity samples. It answers the question metrics snapshots
+// cannot — "how did queue depth and latency *evolve* during the campaign" —
+// with strictly bounded memory (capacity × series), so it is safe to leave
+// running on a long-lived server and scrape from a dashboard or test via
+// the /timeseries endpoint.
+//
+// Counters and gauges sample as their value; histograms contribute
+// "<name>.count" and "<name>.sum" so rates and means are derivable by
+// differencing adjacent samples.
+
+// Default sampling parameters: one sample per second, ~8.5 minutes of
+// history.
+const (
+	DefaultTimeSeriesPeriod = time.Second
+	DefaultTimeSeriesCap    = 512
+)
+
+// TSSample is one ring entry: milliseconds since the sampler started, and
+// the instrument values observed at that instant.
+type TSSample struct {
+	TMS    int64            `json:"t_ms"`
+	Values map[string]int64 `json:"values"`
+}
+
+// TimeSeriesDump is the JSON body of GET /timeseries: the ring's samples in
+// chronological order.
+type TimeSeriesDump struct {
+	PeriodMS int64      `json:"period_ms"`
+	Capacity int        `json:"capacity"`
+	Samples  []TSSample `json:"samples"`
+}
+
+// TimeSeries samples a registry on a fixed period into a bounded ring.
+type TimeSeries struct {
+	reg    *Registry
+	period time.Duration
+	cap    int
+	start  time.Time
+
+	mu      sync.Mutex
+	samples []TSSample // ring, oldest at head
+	stopped bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewTimeSeries starts a sampler over reg. period <= 0 and capacity <= 0
+// select the defaults. Stop it with Stop; the sampling goroutine holds no
+// locks while sleeping.
+func NewTimeSeries(reg *Registry, period time.Duration, capacity int) *TimeSeries {
+	if period <= 0 {
+		period = DefaultTimeSeriesPeriod
+	}
+	if capacity <= 0 {
+		capacity = DefaultTimeSeriesCap
+	}
+	ts := &TimeSeries{
+		reg: reg, period: period, cap: capacity, start: time.Now(),
+		stop: make(chan struct{}), done: make(chan struct{}),
+	}
+	go ts.loop()
+	return ts
+}
+
+func (ts *TimeSeries) loop() {
+	defer close(ts.done)
+	t := time.NewTicker(ts.period)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			ts.Sample()
+		case <-ts.stop:
+			return
+		}
+	}
+}
+
+// Sample takes one sample immediately (also called by the ticker loop).
+// Tests drive it directly instead of sleeping through the period.
+func (ts *TimeSeries) Sample() {
+	if ts.reg == nil {
+		return
+	}
+	vals := make(map[string]int64)
+	for _, m := range ts.reg.Snapshot() {
+		switch m.Type {
+		case "histogram":
+			vals[m.Name+".count"] = m.Count
+			vals[m.Name+".sum"] = m.Sum
+		default:
+			vals[m.Name] = m.Value
+		}
+	}
+	s := TSSample{TMS: time.Since(ts.start).Milliseconds(), Values: vals}
+	ts.mu.Lock()
+	ts.samples = append(ts.samples, s)
+	if len(ts.samples) > ts.cap {
+		// Shift instead of reslicing so the backing array never grows past
+		// cap+1 entries — the ring's whole point is bounded memory.
+		copy(ts.samples, ts.samples[1:])
+		ts.samples = ts.samples[:ts.cap]
+	}
+	ts.mu.Unlock()
+}
+
+// Snapshot returns the ring contents in chronological order.
+func (ts *TimeSeries) Snapshot() TimeSeriesDump {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := TimeSeriesDump{
+		PeriodMS: ts.period.Milliseconds(),
+		Capacity: ts.cap,
+		Samples:  append([]TSSample(nil), ts.samples...),
+	}
+	return out
+}
+
+// Stop halts the sampling goroutine. Idempotent.
+func (ts *TimeSeries) Stop() {
+	ts.mu.Lock()
+	if ts.stopped {
+		ts.mu.Unlock()
+		return
+	}
+	ts.stopped = true
+	ts.mu.Unlock()
+	close(ts.stop)
+	<-ts.done
+}
+
+// ServeHTTP renders the ring as JSON — the GET /timeseries endpoint.
+func (ts *TimeSeries) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(ts.Snapshot())
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newStoppedTS builds a sampler and immediately stops its ticker goroutine
+// so tests drive Sample() deterministically.
+func newStoppedTS(reg *Registry, capacity int) *TimeSeries {
+	ts := NewTimeSeries(reg, time.Hour, capacity)
+	ts.Stop()
+	return ts
+}
+
+func TestTimeSeriesSamplesInstruments(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("jobs.submitted").Add(3)
+	reg.Gauge("jobs.queue_depth").Set(2)
+	reg.Histogram("jobs.duration_ms", 10, 100).Observe(42)
+
+	ts := newStoppedTS(reg, 8)
+	ts.Sample()
+	dump := ts.Snapshot()
+	if len(dump.Samples) != 1 {
+		t.Fatalf("samples = %d, want 1", len(dump.Samples))
+	}
+	v := dump.Samples[0].Values
+	if v["jobs.submitted"] != 3 || v["jobs.queue_depth"] != 2 {
+		t.Fatalf("sampled values = %v", v)
+	}
+	if v["jobs.duration_ms.count"] != 1 || v["jobs.duration_ms.sum"] != 42 {
+		t.Fatalf("histogram expansion = %v", v)
+	}
+}
+
+func TestTimeSeriesRingBounded(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("ticks")
+	ts := newStoppedTS(reg, 4)
+	for i := 0; i < 10; i++ {
+		c.Inc()
+		ts.Sample()
+	}
+	dump := ts.Snapshot()
+	if len(dump.Samples) != 4 {
+		t.Fatalf("ring length = %d, want cap 4", len(dump.Samples))
+	}
+	// Oldest entries evicted: the survivors are the last four samples.
+	if got := dump.Samples[0].Values["ticks"]; got != 7 {
+		t.Fatalf("oldest retained sample = %d, want 7", got)
+	}
+	if got := dump.Samples[3].Values["ticks"]; got != 10 {
+		t.Fatalf("newest sample = %d, want 10", got)
+	}
+}
+
+func TestTimeSeriesServeHTTP(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x").Inc()
+	ts := newStoppedTS(reg, 8)
+	ts.Sample()
+
+	rw := httptest.NewRecorder()
+	ts.ServeHTTP(rw, httptest.NewRequest(http.MethodGet, "/timeseries", nil))
+	var dump TimeSeriesDump
+	if err := json.Unmarshal(rw.Body.Bytes(), &dump); err != nil {
+		t.Fatalf("/timeseries not JSON: %v", err)
+	}
+	if dump.PeriodMS <= 0 || dump.Capacity != 8 || len(dump.Samples) != 1 {
+		t.Fatalf("dump = %+v", dump)
+	}
+	// Field names are part of the scrape contract (CI greps for them).
+	body := rw.Body.String()
+	for _, field := range []string{"period_ms", "capacity", "samples", "t_ms", "values"} {
+		if !strings.Contains(body, field) {
+			t.Fatalf("/timeseries body missing %q: %s", field, body)
+		}
+	}
+}
+
+func TestTimeSeriesStopIdempotent(t *testing.T) {
+	ts := NewTimeSeries(NewRegistry(), time.Millisecond, 4)
+	ts.Stop()
+	ts.Stop() // second stop must not panic or deadlock
+}

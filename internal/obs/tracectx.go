@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"strings"
+)
+
+// Request-scoped trace identity. A job's whole lifecycle — client submit,
+// queue wait, every engine shard, cache lookups — shares one trace ID so the
+// structured logs, the /timeseries samples, and the Chrome trace export can
+// be joined after the fact on a single key. The wire format follows the W3C
+// traceparent header ("00-<32 hex trace-id>-<16 hex parent-id>-<2 hex
+// flags>"); only the trace-id component is propagated — this layer has no
+// span hierarchy, the Chrome trace's pid/tid structure carries that.
+
+// TraceContext is the identity a producer stamps onto spans, samples, and
+// log lines emitted on a job's behalf. The zero value means "no trace" and
+// stamps nothing.
+type TraceContext struct {
+	TraceID string
+	JobID   string
+	Tenant  string
+}
+
+// Empty reports whether the context carries no identity at all.
+func (tc TraceContext) Empty() bool {
+	return tc.TraceID == "" && tc.JobID == "" && tc.Tenant == ""
+}
+
+// Args merges the trace identity into a span/instant argument map, minting
+// the map when nil. Zero-valued fields are omitted so untraced producers pay
+// no key bloat.
+func (tc TraceContext) Args(args map[string]any) map[string]any {
+	if tc.Empty() {
+		return args
+	}
+	if args == nil {
+		args = make(map[string]any, 3)
+	}
+	if tc.TraceID != "" {
+		args["trace_id"] = tc.TraceID
+	}
+	if tc.JobID != "" {
+		args["job_id"] = tc.JobID
+	}
+	if tc.Tenant != "" {
+		args["tenant"] = tc.Tenant
+	}
+	return args
+}
+
+type traceCtxKey struct{}
+
+// ContextWith returns a context carrying tc; layers below (engine shards,
+// faultsim recording) recover it with FromContext without any signature
+// threading.
+func ContextWith(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// FromContext returns the TraceContext carried by ctx (zero when absent).
+func FromContext(ctx context.Context) TraceContext {
+	if ctx == nil {
+		return TraceContext{}
+	}
+	tc, _ := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc
+}
+
+// NewTraceID mints a 32-hex-digit random trace ID (the W3C trace-id field).
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a non-zero
+		// deterministic fallback keeps the ID valid regardless.
+		return "00000000000000000000000000000001"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// FormatTraceparent renders a trace ID as a W3C traceparent header value
+// with a freshly minted parent-id and the sampled flag set.
+func FormatTraceparent(traceID string) string {
+	var b [8]byte
+	_, _ = rand.Read(b[:])
+	return "00-" + traceID + "-" + hex.EncodeToString(b[:]) + "-01"
+}
+
+// ParseTraceparent extracts the trace-id field from a traceparent header
+// value. ok is false for malformed headers and the all-zero trace ID, which
+// the spec forbids.
+func ParseTraceparent(h string) (traceID string, ok bool) {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) < 4 || len(parts[0]) != 2 || len(parts[1]) != 32 || len(parts[2]) != 16 {
+		return "", false
+	}
+	id := strings.ToLower(parts[1])
+	zero := true
+	for _, r := range id {
+		switch {
+		case r >= '0' && r <= '9':
+			if r != '0' {
+				zero = false
+			}
+		case r >= 'a' && r <= 'f':
+			zero = false
+		default:
+			return "", false
+		}
+	}
+	if zero {
+		return "", false
+	}
+	return id, true
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+func TestNewTraceIDShape(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 32; i++ {
+		id := NewTraceID()
+		if len(id) != 32 {
+			t.Fatalf("trace id %q: len %d, want 32", id, len(id))
+		}
+		for _, r := range id {
+			if !(r >= '0' && r <= '9' || r >= 'a' && r <= 'f') {
+				t.Fatalf("trace id %q: non-hex rune %q", id, r)
+			}
+		}
+		if seen[id] {
+			t.Fatalf("trace id %q repeated", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	id := NewTraceID()
+	h := FormatTraceparent(id)
+	got, ok := ParseTraceparent(h)
+	if !ok || got != id {
+		t.Fatalf("ParseTraceparent(%q) = %q, %v; want %q, true", h, got, ok, id)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	cases := []string{
+		"",
+		"not-a-traceparent",
+		"00-short-0123456789abcdef-01",
+		"00-0af7651916cd43dd8448eb211c80319c-00f067aa0ba902b7", // missing flags
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // all-zero id
+		"00-0af7651916cd43dd8448eb211c8031XY-00f067aa0ba902b7-01", // non-hex
+	}
+	for _, h := range cases {
+		if id, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted as %q", h, id)
+		}
+	}
+	// Uppercase hex normalizes to lowercase.
+	id, ok := ParseTraceparent("00-0AF7651916CD43DD8448EB211C80319C-00f067aa0ba902b7-01")
+	if !ok || id != "0af7651916cd43dd8448eb211c80319c" {
+		t.Fatalf("uppercase parse = %q, %v", id, ok)
+	}
+}
+
+func TestTraceContextArgs(t *testing.T) {
+	var zero TraceContext
+	if got := zero.Args(nil); got != nil {
+		t.Fatalf("zero Args(nil) = %v, want nil", got)
+	}
+	tc := TraceContext{TraceID: "t1", JobID: "j1"}
+	got := tc.Args(map[string]any{"x": 1})
+	if got["trace_id"] != "t1" || got["job_id"] != "j1" || got["x"] != 1 {
+		t.Fatalf("Args = %v", got)
+	}
+	if _, has := got["tenant"]; has {
+		t.Fatalf("empty tenant leaked into args: %v", got)
+	}
+}
+
+func TestTraceContextRoundTripsThroughContext(t *testing.T) {
+	tc := TraceContext{TraceID: "abc", JobID: "j9", Tenant: "team"}
+	ctx := ContextWith(context.Background(), tc)
+	if got := FromContext(ctx); got != tc {
+		t.Fatalf("FromContext = %+v, want %+v", got, tc)
+	}
+	if got := FromContext(context.Background()); !got.Empty() {
+		t.Fatalf("FromContext(empty ctx) = %+v, want zero", got)
+	}
+}
