@@ -55,6 +55,7 @@ func main() {
 	tuples := flag.Int("tuples", 10000, "input tuples per unit for the fig10/fig11 injection campaign")
 	seed := flag.Int64("seed", 1, "campaign master seed (results are bit-identical for a given seed at any -workers)")
 	workers := flag.Int("workers", 0, "engine worker count (0 = all cores)")
+	smWorkers := flag.Int("sm-workers", 0, "SM-simulator scheduler workers per launch for perf sweeps (0 = serial; results are bit-identical at any count)")
 	timeout := flag.Duration("timeout", 0, "cancel the run after this long (0 = no limit)")
 	csvDir := flag.String("csv", "", "also write plot-ready CSV files into this directory")
 	chart := flag.Bool("chart", false, "render the performance figures as ASCII bar charts")
@@ -68,7 +69,7 @@ func main() {
 	flag.Parse()
 
 	if *submit != "" {
-		fail(runSubmit(*submit, *tenant, *exp, *tuples, *seed))
+		fail(runSubmit(*submit, *tenant, *exp, *tuples, *seed, *smWorkers))
 		return
 	}
 
@@ -76,7 +77,7 @@ func main() {
 	if *metricsOut != "" || *traceOut != "" || *metricsInterval > 0 || *serve != "" {
 		rec = obs.NewRecorder()
 	}
-	fail(run(rec, *exp, *tuples, *seed, *workers, *timeout, *serve, *csvDir,
+	fail(run(rec, *exp, *tuples, *seed, *workers, *smWorkers, *timeout, *serve, *csvDir,
 		*chart, *verilogDir, *metricsOut, *traceOut, *metricsInterval))
 }
 
@@ -84,7 +85,7 @@ func main() {
 // the metrics/trace flush and the -serve shutdown happen on success, on
 // cancellation (Ctrl-C, -timeout), on experiment failure, and during a
 // panic unwind — a crashed run still leaves its partial observations.
-func run(rec *obs.Recorder, exp string, tuples int, seed int64, workers int,
+func run(rec *obs.Recorder, exp string, tuples int, seed int64, workers, smWorkers int,
 	timeout time.Duration, serve, csvDir string, chart bool, verilogDir,
 	metricsOut, traceOut string, metricsInterval time.Duration) (err error) {
 	pool := engine.New(workers)
@@ -186,7 +187,7 @@ func run(rec *obs.Recorder, exp string, tuples int, seed int64, workers int,
 	var perfErr error
 	getPerf12 := func(ctx context.Context) (*harness.PerfResult, error) {
 		perfOnce.Do(func() {
-			perfRes, perfErr = harness.RunPerfCtx(ctx, pool, harness.Fig12Schemes(), true)
+			perfRes, perfErr = harness.RunPerfCtxOpts(ctx, pool, harness.Fig12Schemes(), true, harness.Options{SMWorkers: smWorkers})
 		})
 		return perfRes, perfErr
 	}
@@ -280,7 +281,7 @@ func run(rec *obs.Recorder, exp string, tuples int, seed int64, workers int,
 				fmt.Sprintf("worst power overhead: %.0f%% (paper: <=15%%)\n", 100*(pr.MaxRelPower()-1)), nil
 		}},
 		{"fig15", func(ctx context.Context) (string, error) {
-			perf, err := harness.RunPerfCtx(ctx, pool, harness.Fig15Schemes(), true)
+			perf, err := harness.RunPerfCtxOpts(ctx, pool, harness.Fig15Schemes(), true, harness.Options{SMWorkers: smWorkers})
 			if err != nil {
 				return "", err
 			}
@@ -288,7 +289,7 @@ func run(rec *obs.Recorder, exp string, tuples int, seed int64, workers int,
 			return perf.Render("Figure 15: inter-thread duplication slowdown (fails on mm: CTA size; snap: shuffles)"), nil
 		}},
 		{"fig16", func(ctx context.Context) (string, error) {
-			perf, err := harness.RunPerfCtx(ctx, pool, harness.Fig16Schemes(), true)
+			perf, err := harness.RunPerfCtxOpts(ctx, pool, harness.Fig16Schemes(), true, harness.Options{SMWorkers: smWorkers})
 			if err != nil {
 				return "", err
 			}
@@ -380,7 +381,7 @@ func run(rec *obs.Recorder, exp string, tuples int, seed int64, workers int,
 // against a running swapserve, which runs (or serves from cache) each one
 // and returns the payload. Only the service-backed experiments map; the
 // local-only ones (static tables, fig13/fig14 post-processing) say so.
-func runSubmit(base, tenant, exp string, tuples int, seed int64) error {
+func runSubmit(base, tenant, exp string, tuples int, seed int64, smWorkers int) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
@@ -395,10 +396,10 @@ func runSubmit(base, tenant, exp string, tuples int, seed int64) error {
 		"headline": {Kind: jobs.KindHeadline, Tuples: tuples, Seed: seed},
 		"fig10":    {Kind: jobs.KindCampaign, Tuples: tuples, Seed: seed},
 		"fig11":    {Kind: jobs.KindCampaign, Tuples: tuples, Seed: seed},
-		"fig12":    {Kind: jobs.KindPerf, Schemes: names(harness.Fig12Schemes())},
-		"cpistack": {Kind: jobs.KindCPIStack, Schemes: names(harness.Fig12Schemes())},
-		"fig15":    {Kind: jobs.KindPerf, Schemes: names(harness.Fig15Schemes())},
-		"fig16":    {Kind: jobs.KindPerf, Schemes: names(harness.Fig16Schemes())},
+		"fig12":    {Kind: jobs.KindPerf, Schemes: names(harness.Fig12Schemes()), SMWorkers: smWorkers},
+		"cpistack": {Kind: jobs.KindCPIStack, Schemes: names(harness.Fig12Schemes()), SMWorkers: smWorkers},
+		"fig15":    {Kind: jobs.KindPerf, Schemes: names(harness.Fig15Schemes()), SMWorkers: smWorkers},
+		"fig16":    {Kind: jobs.KindPerf, Schemes: names(harness.Fig16Schemes()), SMWorkers: smWorkers},
 		"verify":   {Kind: jobs.KindVerify},
 	}
 	order := []string{"headline", "fig10", "fig11", "fig12", "cpistack", "fig15", "fig16", "verify"}

@@ -49,6 +49,7 @@ type runOpts struct {
 	memWords   int
 	fault      int64
 	lane, bit  int
+	smWorkers  int
 	disas      bool
 	optimize   bool
 	rec        *obs.Recorder
@@ -61,6 +62,7 @@ func main() {
 	memWords := flag.Int("mem", 1<<16, "global memory words when running a .sasm file")
 	schemeList := flag.String("scheme", "swap-ecc", "comma-separated protection schemes: "+strings.Join(harness.SchemeNames(), " "))
 	workers := flag.Int("workers", 0, "engine worker count for multi-scheme runs (0 = all cores)")
+	smWorkers := flag.Int("sm-workers", 0, "SM-simulator scheduler workers per launch (0 = serial; results are bit-identical at any count; fault/trace runs pin in-order)")
 	seed := flag.Int64("seed", 1, "random seed for -lane -1 / -bit -1 fault-site selection")
 	list := flag.Bool("list", false, "list workloads and exit")
 	fault := flag.Int64("fault", -1, "dynamic warp-instruction index at which to inject a pipeline error")
@@ -107,8 +109,8 @@ func main() {
 		fail(err)
 	}
 	opts := runOpts{name: *name, file: *file, memWords: *memWords,
-		fault: *fault, lane: *lane, bit: *bit, disas: *disas, optimize: *optimize,
-		log: log}
+		fault: *fault, lane: *lane, bit: *bit, smWorkers: *smWorkers,
+		disas: *disas, optimize: *optimize, log: log}
 	if *fault >= 0 && (*lane < 0 || *bit < 0) {
 		rng := rand.New(rand.NewSource(*seed))
 		if *lane < 0 {
@@ -235,6 +237,7 @@ func runScheme(ctx context.Context, scheme compiler.Scheme, o runOpts) (string, 
 		}
 	}
 	cfg := sm.DefaultConfig()
+	cfg.Workers = o.smWorkers
 	if o.fault >= 0 {
 		cfg.ECC = true
 	}

@@ -33,6 +33,21 @@ func Fig15Schemes() []compiler.Scheme {
 	return []compiler.Scheme{compiler.InterThread, compiler.InterThreadNoCheck}
 }
 
+// Options carries sweep-wide simulator knobs that select no experiment.
+type Options struct {
+	// SMWorkers is passed to sm.Config.Workers for every launch: the number
+	// of goroutines the SM's scheduler partitions may use. Results are
+	// bit-identical at any value (internal/sm differential tests), so this
+	// is purely a wall-clock knob.
+	SMWorkers int
+}
+
+func (o Options) smConfig() sm.Config {
+	cfg := sm.DefaultConfig()
+	cfg.Workers = o.SMWorkers
+	return cfg
+}
+
 // PerfRow holds one workload's results across schemes.
 type PerfRow struct {
 	Workload string
@@ -66,7 +81,7 @@ func RunPerf(schemes []compiler.Scheme, verify bool) (*PerfResult, error) {
 	return RunPerfCtx(context.Background(), DefaultPool(), schemes, verify)
 }
 
-func runWorkload(ctx context.Context, w *workloads.Workload, schemes []compiler.Scheme, verify bool) (*PerfRow, error) {
+func runWorkload(ctx context.Context, w *workloads.Workload, schemes []compiler.Scheme, verify bool, opt Options) (*PerfRow, error) {
 	row := &PerfRow{Workload: w.Name,
 		Stats: make(map[compiler.Scheme]*sm.Stats),
 		Errs:  make(map[compiler.Scheme]string)}
@@ -76,7 +91,7 @@ func runWorkload(ctx context.Context, w *workloads.Workload, schemes []compiler.
 			row.Errs[s] = err.Error()
 			continue
 		}
-		g := w.NewGPU(sm.DefaultConfig())
+		g := w.NewGPU(opt.smConfig())
 		st, err := g.LaunchContext(ctx, k)
 		if err != nil {
 			return nil, fmt.Errorf("harness: %s/%v: %w", w.Name, s, err)

@@ -95,11 +95,16 @@ func RunInjectionCtx(ctx context.Context, pool *engine.Pool, tuples int, seed in
 // independent of the worker count. On cancellation the completed rows are
 // returned with the error.
 func RunPerfCtx(ctx context.Context, pool *engine.Pool, schemes []compiler.Scheme, verify bool) (*PerfResult, error) {
+	return RunPerfCtxOpts(ctx, pool, schemes, verify, Options{})
+}
+
+// RunPerfCtxOpts is RunPerfCtx with simulator options (SM worker count).
+func RunPerfCtxOpts(ctx context.Context, pool *engine.Pool, schemes []compiler.Scheme, verify bool, opt Options) (*PerfResult, error) {
 	all := workloads.All()
 	rows, err := engine.Map(ctx, pool, len(all), func(ctx context.Context, i int) (*PerfRow, error) {
 		rec := pool.Recorder()
 		start := rec.Now()
-		row, rerr := runWorkload(ctx, all[i], schemes, verify)
+		row, rerr := runWorkload(ctx, all[i], schemes, verify, opt)
 		if rerr == nil {
 			pool.Tracker().AddItems(int64(len(schemes) + 1))
 			rec.Span(rec.Process("harness"), rec.NextTID(), "perf:"+all[i].Name, "driver",

@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"swapcodes/internal/obs"
@@ -47,6 +48,15 @@ type Client struct {
 	// RetryBase and RetryMax bound the backoff schedule (0 = defaults).
 	RetryBase time.Duration
 	RetryMax  time.Duration
+	// Seed, when non-zero, seeds this client's private jitter source so the
+	// backoff schedule is reproducible (campaign drivers log it with the run;
+	// tests assert exact sequences). Zero draws a seed from the process-wide
+	// source, keeping independent clients out of phase with each other.
+	Seed int64
+
+	rngOnce sync.Once
+	rngMu   sync.Mutex
+	rng     *rand.Rand
 }
 
 // httpError is a non-2xx response, preserving the status (retry decisions)
@@ -96,7 +106,44 @@ func (c *Client) backoff(attempt int) time.Duration {
 	if d <= 0 || d > max {
 		d = max
 	}
-	return time.Duration(float64(d) * (0.5 + rand.Float64()))
+	return time.Duration(float64(d) * (0.5 + c.jitter()))
+}
+
+// jitter draws from the client's own source — never the shared global one,
+// whose interleaving across goroutines made backoff schedules irreproducible
+// even under a fixed seed.
+func (c *Client) jitter() float64 {
+	c.rngOnce.Do(func() {
+		seed := c.Seed
+		if seed == 0 {
+			seed = rand.Int63()
+		}
+		c.rng = rand.New(rand.NewSource(seed))
+	})
+	c.rngMu.Lock()
+	v := c.rng.Float64()
+	c.rngMu.Unlock()
+	return v
+}
+
+// parseRetryAfter decodes a Retry-After header. RFC 9110 Section 10.2.3
+// allows both forms — delta-seconds and an HTTP-date; the previous
+// delta-only parse silently dropped date-form values (Go's own net/http
+// server emits dates under load shedding), collapsing the server's request
+// to the client's default backoff. Unparseable or past values yield zero.
+func parseRetryAfter(ra string, now time.Time) time.Duration {
+	if secs, err := strconv.Atoi(ra); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(ra); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // sleepCtx waits d or until ctx is done, whichever comes first.
@@ -144,9 +191,7 @@ func (c *Client) request(ctx context.Context, method, path string, hdr map[strin
 	if resp.StatusCode >= 400 {
 		he := &httpError{Status: resp.StatusCode}
 		if ra := resp.Header.Get("Retry-After"); ra != "" {
-			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
-				he.RetryAfter = time.Duration(secs) * time.Second
-			}
+			he.RetryAfter = parseRetryAfter(ra, time.Now())
 		}
 		var e struct {
 			Error string `json:"error"`

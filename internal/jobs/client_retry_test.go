@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -11,6 +12,118 @@ import (
 	"testing"
 	"time"
 )
+
+// TestParseRetryAfterForms covers both RFC 9110 encodings of Retry-After.
+// The date form regressed once already: the delta-only parse treated it as
+// absent and fell back to exponential backoff.
+func TestParseRetryAfterForms(t *testing.T) {
+	now := time.Date(2026, 8, 9, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name, hdr string
+		want      time.Duration
+	}{
+		{"delta-seconds", "7", 7 * time.Second},
+		{"delta-zero", "0", 0},
+		{"delta-negative", "-3", 0},
+		{"http-date-future", now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second},
+		{"http-date-past", now.Add(-time.Minute).Format(http.TimeFormat), 0},
+		{"garbage", "soon", 0},
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.hdr, now); got != tc.want {
+			t.Errorf("%s: parseRetryAfter(%q) = %v, want %v", tc.name, tc.hdr, got, tc.want)
+		}
+	}
+}
+
+// TestClientSubmitHonorsRetryAfterDate drives the date form end to end: the
+// server's 429 names a wall-clock moment, and the retry must wait for it
+// rather than fall back to the (here: absurdly long) backoff schedule.
+func TestClientSubmitHonorsRetryAfterDate(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// HTTP-dates carry whole-second resolution; anything closer than
+			// one second can truncate into the past and parse as "no wait".
+			w.Header().Set("Retry-After", time.Now().Add(2*time.Second).UTC().Format(http.TimeFormat))
+			http.Error(w, `{"error":"jobs: queue full"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(map[string]string{"id": "j0002-00c0ffee"})
+	}))
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL, RetryBase: time.Hour, RetryMax: time.Hour}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	id, err := c.Submit(ctx, Spec{Kind: KindVerify})
+	if err != nil {
+		t.Fatalf("Submit after dated 429 = %v", err)
+	}
+	if id != "j0002-00c0ffee" || calls.Load() != 2 {
+		t.Fatalf("id %q after %d calls; want one retry", id, calls.Load())
+	}
+}
+
+// TestClientBackoffDeterministicWithSeed asserts the exact backoff schedule
+// a seeded client produces: capped exponential growth with jitter drawn from
+// the client's private source. The expected values replicate the documented
+// computation with an identically-seeded rand.Rand, so a change to either
+// the growth rule or the jitter source fails loudly.
+func TestClientBackoffDeterministicWithSeed(t *testing.T) {
+	const seed = 42
+	c := &Client{RetryBase: 100 * time.Millisecond, RetryMax: time.Second, Seed: seed}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 6; i++ {
+		d := c.RetryBase << uint(i)
+		if d <= 0 || d > c.RetryMax {
+			d = c.RetryMax
+		}
+		want := time.Duration(float64(d) * (0.5 + rng.Float64()))
+		if got := c.backoff(i); got != want {
+			t.Fatalf("backoff(%d) = %v, want %v", i, got, want)
+		}
+	}
+
+	// Two clients with the same seed produce the same schedule.
+	a := &Client{RetryBase: time.Millisecond, Seed: 7}
+	b := &Client{RetryBase: time.Millisecond, Seed: 7}
+	for i := 0; i < 4; i++ {
+		if ad, bd := a.backoff(i), b.backoff(i); ad != bd {
+			t.Fatalf("same-seed clients diverge at attempt %d: %v vs %v", i, ad, bd)
+		}
+	}
+}
+
+// TestClientBackoffUnseededClientsDiffer: with Seed zero each client gets a
+// private randomly-seeded source, so two clients should (overwhelmingly)
+// not share a schedule — the anti-stampede property.
+func TestClientBackoffUnseededClientsDiffer(t *testing.T) {
+	a := &Client{RetryBase: time.Millisecond}
+	b := &Client{RetryBase: time.Millisecond}
+	for i := 0; i < 16; i++ {
+		if a.backoff(i%4) != b.backoff(i%4) {
+			return
+		}
+	}
+	t.Fatal("two unseeded clients produced 16 identical backoffs")
+}
+
+// TestClientBackoffBounds: jitter keeps every sleep within [0.5d, 1.5d).
+func TestClientBackoffBounds(t *testing.T) {
+	c := &Client{RetryBase: 10 * time.Millisecond, RetryMax: 80 * time.Millisecond, Seed: 1}
+	for i := 0; i < 8; i++ {
+		d := c.RetryBase << uint(i)
+		if d <= 0 || d > c.RetryMax {
+			d = c.RetryMax
+		}
+		got := c.backoff(i)
+		if got < d/2 || got >= d+d/2 {
+			t.Errorf("backoff(%d) = %v outside [%v, %v)", i, got, d/2, d+d/2)
+		}
+	}
+}
 
 func TestClientGetRetriesOn5xx(t *testing.T) {
 	var calls atomic.Int64

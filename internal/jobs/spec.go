@@ -63,6 +63,10 @@ type Spec struct {
 	Schemes []string `json:"schemes,omitempty"`
 	// SkipVerify disables functional output verification on perf sweeps.
 	SkipVerify bool `json:"skip_verify,omitempty"`
+	// SMWorkers sets the SM simulator's scheduler-worker count for
+	// perf/cpistack sweeps (sm.Config.Workers). Results are bit-identical at
+	// any value, so it is excluded from the cache key.
+	SMWorkers int `json:"sm_workers,omitempty"`
 }
 
 // Normalize validates the spec and fills defaults in place. Specs are
@@ -83,6 +87,7 @@ func (s *Spec) Normalize() error {
 		if len(s.Schemes) > 0 {
 			return fmt.Errorf("jobs: %s jobs take no schemes", s.Kind)
 		}
+		s.SMWorkers = 0 // fault campaigns pin the SM in-order regardless
 	case KindPerf, KindCPIStack:
 		if len(s.Schemes) == 0 {
 			s.Schemes = []string{"sw-dup", "swap-ecc", "pre-addsub", "pre-mad"}
@@ -90,12 +95,16 @@ func (s *Spec) Normalize() error {
 		if _, err := harness.ParseSchemes(s.Schemes); err != nil {
 			return err
 		}
+		if s.SMWorkers < 0 {
+			return fmt.Errorf("jobs: sm_workers must be non-negative, got %d", s.SMWorkers)
+		}
 		s.Tuples, s.Seed = 0, 0
 	case KindVerify:
 		if len(s.Schemes) > 0 || s.Tuples != 0 {
 			return fmt.Errorf("jobs: verify jobs take no schemes or tuples")
 		}
 		s.Seed = 0
+		s.SMWorkers = 0
 	case "":
 		return fmt.Errorf("jobs: spec missing kind")
 	default:
@@ -110,6 +119,7 @@ func (s *Spec) Normalize() error {
 // shares cache entries. Call after Normalize.
 func (s Spec) Key() string {
 	s.Tenant = ""
+	s.SMWorkers = 0 // wall-clock knob only: any value yields identical results
 	b, err := json.Marshal(s)
 	if err != nil { // Spec has no unmarshalable fields; keep the compiler honest
 		panic("jobs: marshal spec: " + err.Error())

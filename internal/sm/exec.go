@@ -39,6 +39,17 @@ func (w *warpState) read64(r isa.Reg, lane int) uint64 {
 	return uint64(w.readR(r, lane)) | uint64(w.readR(r+1, lane))<<32
 }
 
+// zeroLanes backs RZ operand slices; it is read-only.
+var zeroLanes [isa.WarpSize]uint32
+
+// laneSlice returns the 32-lane value slice of a register (RZ reads zeros).
+func (w *warpState) laneSlice(r isa.Reg) []uint32 {
+	if r == isa.RZ {
+		return zeroLanes[:]
+	}
+	return w.regs[int(r)*isa.WarpSize : int(r)*isa.WarpSize+isa.WarpSize]
+}
+
 // activeMask applies the guard predicate to the warp's current mask.
 func (w *warpState) activeMask(in *isa.Instr) uint32 {
 	mask := w.top().mask
@@ -53,8 +64,11 @@ func (w *warpState) activeMask(in *isa.Instr) uint32 {
 }
 
 // exec functionally executes one warp instruction, including control flow
-// and the ECC-protected register-file bookkeeping.
-func (m *machine) exec(w *warpState, in *isa.Instr) error {
+// and the ECC-protected register-file bookkeeping. Global-memory effects are
+// deferred to the partition's write log (committed at the barrier); loads
+// read committed memory through the partition's own-store overlay.
+func (p *partition) exec(w *warpState, in *isa.Instr) error {
+	m := p.m
 	mask := w.activeMask(in)
 	injectNow := m.g.Fault != nil && !m.g.Fault.Applied && m.dyn-1 == m.g.Fault.TargetDynInstr
 
@@ -70,52 +84,61 @@ func (m *machine) exec(w *warpState, in *isa.Instr) error {
 	case isa.BRA:
 		return m.execBranch(w, in)
 	case isa.EXIT:
-		m.execExit(w, mask)
+		p.execExit(w, mask)
 		return nil
 	case isa.BPT:
 		if mask != 0 {
-			m.stats.Trapped = true
+			p.trapped = true
 			if m.obsm != nil {
 				m.obsm.rec.Instant(m.obsm.pid, 0, "BPT trap", "due", m.cycle, nil)
 			}
-			m.execExit(w, w.top().mask)
+			p.execExit(w, w.top().mask)
 			return nil
 		}
-		m.advancePC(w)
+		w.advancePC()
 		return nil
 	case isa.BAR:
-		m.advancePC(w)
-		cta := w.cta
+		// Arrival is logged, not applied: the CTA's other warps may live in
+		// other partitions, so cta.arrived moves only at the merge, which
+		// also runs the release check (applyCTAEvents).
+		w.advancePC()
 		w.atBarrier = true
-		cta.arrived++
-		if cta.arrived >= cta.liveWarps {
-			for _, ww := range cta.warps {
-				ww.atBarrier = false
-			}
-			cta.arrived = 0
-		}
+		p.events = append(p.events, ctaEvent{cta: w.cta, arrive: true})
 		return nil
 	case isa.NOP:
-		m.advancePC(w)
+		w.advancePC()
 		return nil
 	case isa.ISETP, isa.FSETP:
 		m.execSetp(w, in, mask)
-		m.advancePC(w)
+		w.advancePC()
 		return nil
 	case isa.STG, isa.STS:
-		err := m.execStore(w, in, mask)
-		m.advancePC(w)
+		err := p.execStore(w, in, mask)
+		w.advancePC()
 		return err
+	case isa.ATOM:
+		return p.execAtom(w, in, mask, injectNow)
 	}
 
-	// Register-writing instructions.
+	// Register-writing instructions: the common cases take the fused
+	// per-opcode lane loops; everything else goes through the generic
+	// compute/writeback pair.
+	if w.rf == nil && !injectNow && m.g.Trace == nil {
+		if done, err := p.execFast(w, in, mask); done || err != nil {
+			if err != nil {
+				return err
+			}
+			w.advancePC()
+			return nil
+		}
+	}
 	var res, resHi [isa.WarpSize]uint32
 	wide := in.Is64Dst()
 	for lane := 0; lane < isa.WarpSize; lane++ {
 		if mask&(1<<uint(lane)) == 0 {
 			continue
 		}
-		lo, hi, err := m.compute(w, in, lane)
+		lo, hi, err := p.compute(w, in, lane)
 		if err != nil {
 			return err
 		}
@@ -126,12 +149,197 @@ func (m *machine) exec(w *warpState, in *isa.Instr) error {
 		}
 	}
 	m.writeback(w, in, mask, &res, &resHi, wide, injectNow)
-	m.advancePC(w)
+	w.advancePC()
 	return nil
 }
 
+// execFast handles the hot value-producing opcodes with one fused loop per
+// opcode, writing lanes directly into the destination register. It is only
+// entered when nothing observes intermediate state (no ECC register file, no
+// armed fault, no tracer), and bails out (false) on anything unusual so the
+// generic path stays the single source of truth for rare shapes. Cross-lane
+// reads (SHFL) are excluded: in-place writes would corrupt them when the
+// destination aliases the source.
+func (p *partition) execFast(w *warpState, in *isa.Instr, mask uint32) (bool, error) {
+	if in.Flags&isa.FlagShadow != 0 || in.Dst == isa.RZ || in.Is64Dst() {
+		return false, nil
+	}
+	m := p.m
+	d := w.laneSlice(in.Dst)
+	a := w.laneSlice(in.Src[0])
+	var b []uint32
+	var bb [isa.WarpSize]uint32
+	if in.HasImm {
+		imm := uint32(in.Imm)
+		for l := range bb {
+			bb[l] = imm
+		}
+		b = bb[:]
+	} else {
+		b = w.laneSlice(in.Src[1])
+	}
+	switch in.Op {
+	case isa.IADD:
+		for l := 0; l < isa.WarpSize; l++ {
+			if mask&(1<<uint(l)) != 0 {
+				d[l] = a[l] + b[l]
+			}
+		}
+	case isa.ISUB:
+		for l := 0; l < isa.WarpSize; l++ {
+			if mask&(1<<uint(l)) != 0 {
+				d[l] = a[l] - b[l]
+			}
+		}
+	case isa.IMUL:
+		for l := 0; l < isa.WarpSize; l++ {
+			if mask&(1<<uint(l)) != 0 {
+				d[l] = a[l] * b[l]
+			}
+		}
+	case isa.IMAD:
+		if in.Wide {
+			return false, nil
+		}
+		c := w.laneSlice(in.Src[2])
+		for l := 0; l < isa.WarpSize; l++ {
+			if mask&(1<<uint(l)) != 0 {
+				d[l] = a[l]*b[l] + c[l]
+			}
+		}
+	case isa.AND:
+		for l := 0; l < isa.WarpSize; l++ {
+			if mask&(1<<uint(l)) != 0 {
+				d[l] = a[l] & b[l]
+			}
+		}
+	case isa.OR:
+		for l := 0; l < isa.WarpSize; l++ {
+			if mask&(1<<uint(l)) != 0 {
+				d[l] = a[l] | b[l]
+			}
+		}
+	case isa.XOR:
+		for l := 0; l < isa.WarpSize; l++ {
+			if mask&(1<<uint(l)) != 0 {
+				d[l] = a[l] ^ b[l]
+			}
+		}
+	case isa.SHL:
+		for l := 0; l < isa.WarpSize; l++ {
+			if mask&(1<<uint(l)) != 0 {
+				d[l] = a[l] << (b[l] & 31)
+			}
+		}
+	case isa.SHR:
+		for l := 0; l < isa.WarpSize; l++ {
+			if mask&(1<<uint(l)) != 0 {
+				d[l] = a[l] >> (b[l] & 31)
+			}
+		}
+	case isa.MOV:
+		for l := 0; l < isa.WarpSize; l++ {
+			if mask&(1<<uint(l)) != 0 {
+				d[l] = b[l] | a[l]
+			}
+		}
+	case isa.FADD:
+		for l := 0; l < isa.WarpSize; l++ {
+			if mask&(1<<uint(l)) != 0 {
+				d[l] = f32Bits(f32FromBits(a[l]) + f32FromBits(b[l]))
+			}
+		}
+	case isa.FSUB:
+		for l := 0; l < isa.WarpSize; l++ {
+			if mask&(1<<uint(l)) != 0 {
+				d[l] = f32Bits(f32FromBits(a[l]) - f32FromBits(b[l]))
+			}
+		}
+	case isa.FMUL:
+		for l := 0; l < isa.WarpSize; l++ {
+			if mask&(1<<uint(l)) != 0 {
+				d[l] = f32Bits(f32FromBits(a[l]) * f32FromBits(b[l]))
+			}
+		}
+	case isa.FFMA:
+		c := w.laneSlice(in.Src[2])
+		for l := 0; l < isa.WarpSize; l++ {
+			if mask&(1<<uint(l)) != 0 {
+				d[l] = f32Bits(float32(math.FMA(float64(f32FromBits(a[l])),
+					float64(f32FromBits(b[l])), float64(f32FromBits(c[l])))))
+			}
+		}
+	case isa.I2F:
+		for l := 0; l < isa.WarpSize; l++ {
+			if mask&(1<<uint(l)) != 0 {
+				d[l] = f32Bits(float32(int32(a[l])))
+			}
+		}
+	case isa.F2I:
+		for l := 0; l < isa.WarpSize; l++ {
+			if mask&(1<<uint(l)) != 0 {
+				f := f32FromBits(a[l])
+				if f != f { // NaN
+					d[l] = 0
+				} else {
+					d[l] = uint32(int32(f))
+				}
+			}
+		}
+	case isa.S2R:
+		sr := isa.SpecialReg(in.Imm)
+		for l := 0; l < isa.WarpSize; l++ {
+			if mask&(1<<uint(l)) != 0 {
+				d[l] = m.special(w, sr, l)
+			}
+		}
+	case isa.LDS:
+		shared := w.cta.shared
+		overlay := len(p.slog) > 0
+		for l := 0; l < isa.WarpSize; l++ {
+			if mask&(1<<uint(l)) == 0 {
+				continue
+			}
+			addr := int(int32(a[l])) + int(in.Imm)
+			if addr < 0 || addr >= len(shared) {
+				return true, fmt.Errorf("sm: kernel %s: LDS out of bounds: %d", m.k.Name, addr)
+			}
+			if overlay {
+				if v, ok := p.lookupS(w.cta, int32(addr)); ok {
+					d[l] = v
+					continue
+				}
+			}
+			d[l] = shared[addr]
+		}
+	case isa.LDG:
+		mem := m.g.Mem
+		overlay := len(p.wlog) > 0
+		for l := 0; l < isa.WarpSize; l++ {
+			if mask&(1<<uint(l)) == 0 {
+				continue
+			}
+			addr := int(int32(a[l])) + int(in.Imm)
+			if addr < 0 || addr >= len(mem) {
+				return true, fmt.Errorf("sm: kernel %s: LDG out of bounds: %d (lane %d)", m.k.Name, addr, l)
+			}
+			if overlay {
+				if v, ok := p.lookupW(int32(addr)); ok {
+					d[l] = v
+					continue
+				}
+			}
+			d[l] = mem[addr]
+		}
+	default:
+		return false, nil
+	}
+	return true, nil
+}
+
 // compute evaluates one lane of a value-producing instruction.
-func (m *machine) compute(w *warpState, in *isa.Instr, lane int) (lo, hi uint32, err error) {
+func (p *partition) compute(w *warpState, in *isa.Instr, lane int) (lo, hi uint32, err error) {
+	m := p.m
 	a := w.readR(in.Src[0], lane)
 	var b uint32
 	if in.HasImm {
@@ -219,41 +427,52 @@ func (m *machine) compute(w *warpState, in *isa.Instr, lane int) (lo, hi uint32,
 		if addr < 0 || addr >= len(m.g.Mem) {
 			return 0, 0, fmt.Errorf("sm: kernel %s: LDG out of bounds: %d (lane %d)", m.k.Name, addr, lane)
 		}
+		if len(p.wlog) > 0 {
+			if v, ok := p.lookupW(int32(addr)); ok {
+				return v, 0, nil
+			}
+		}
 		return m.g.Mem[addr], 0, nil
 	case isa.LDS:
 		addr := int(int32(a)) + int(in.Imm)
 		if addr < 0 || addr >= len(w.cta.shared) {
 			return 0, 0, fmt.Errorf("sm: kernel %s: LDS out of bounds: %d", m.k.Name, addr)
 		}
+		if len(p.slog) > 0 {
+			if v, ok := p.lookupS(w.cta, int32(addr)); ok {
+				return v, 0, nil
+			}
+		}
 		return w.cta.shared[addr], 0, nil
-	case isa.ATOM:
-		addr := int(int32(a)) + int(in.Imm)
-		if addr < 0 || addr >= len(m.g.Mem) {
-			return 0, 0, fmt.Errorf("sm: kernel %s: ATOM out of bounds: %d", m.k.Name, addr)
-		}
-		old := m.g.Mem[addr]
-		val := w.readR(in.Src[1], lane)
-		switch in.Mod {
-		case isa.OpAdd:
-			m.g.Mem[addr] = old + val
-		case isa.OpMin:
-			if int32(val) < int32(old) {
-				m.g.Mem[addr] = val
-			}
-		case isa.OpMax:
-			if int32(val) > int32(old) {
-				m.g.Mem[addr] = val
-			}
-		case isa.OpExch:
-			m.g.Mem[addr] = val
-		case isa.OpCAS:
-			if old == w.readR(in.Src[2], lane) {
-				m.g.Mem[addr] = val
-			}
-		}
-		return old, 0, nil
 	}
 	return 0, 0, fmt.Errorf("sm: kernel %s: unimplemented opcode %v", m.k.Name, in.Op)
+}
+
+// execAtom captures an ATOM for barrier replay: per-lane addresses and
+// operands are latched now (program-order reads of the issuing warp), the
+// read-modify-write happens at the barrier in partition order, and the warp
+// is parked for the rest of the round so no younger instruction can slip in
+// between (see atomOp).
+func (p *partition) execAtom(w *warpState, in *isa.Instr, mask uint32, injectNow bool) error {
+	m := p.m
+	op := &atomOp{w: w, in: in, mask: mask, inject: injectNow}
+	for lane := 0; lane < isa.WarpSize; lane++ {
+		if mask&(1<<uint(lane)) == 0 {
+			continue
+		}
+		a := w.readR(in.Src[0], lane)
+		addr := int(int32(a)) + int(in.Imm)
+		if addr < 0 || addr >= len(m.g.Mem) {
+			return fmt.Errorf("sm: kernel %s: ATOM out of bounds: %d", m.k.Name, addr)
+		}
+		op.addr[lane] = int32(addr)
+		op.val[lane] = w.readR(in.Src[1], lane)
+		op.cmp[lane] = w.readR(in.Src[2], lane)
+	}
+	p.wlog = append(p.wlog, memEvent{atom: op})
+	w.atomHold = true
+	w.advancePC()
+	return nil
 }
 
 // traceLane forwards one executed lane to the value tracer.
@@ -520,7 +739,13 @@ func (m *machine) execSetp(w *warpState, in *isa.Instr, mask uint32) {
 	}
 }
 
-func (m *machine) execStore(w *warpState, in *isa.Instr, mask uint32) error {
+// execStore defers both store flavors to the partition's write logs,
+// visible to this partition's own loads through the overlays and committed
+// at the barrier in partition order. STG targets global memory; STS targets
+// the warp's CTA's shared memory, which other partitions can also host
+// warps of.
+func (p *partition) execStore(w *warpState, in *isa.Instr, mask uint32) error {
+	m := p.m
 	for lane := 0; lane < isa.WarpSize; lane++ {
 		if mask&(1<<uint(lane)) == 0 {
 			continue
@@ -531,12 +756,12 @@ func (m *machine) execStore(w *warpState, in *isa.Instr, mask uint32) error {
 			if addr < 0 || addr >= len(m.g.Mem) {
 				return fmt.Errorf("sm: kernel %s: STG out of bounds: %d (lane %d)", m.k.Name, addr, lane)
 			}
-			m.g.Mem[addr] = val
+			p.wlog = append(p.wlog, memEvent{addr: int32(addr), val: val})
 		} else {
 			if addr < 0 || addr >= len(w.cta.shared) {
 				return fmt.Errorf("sm: kernel %s: STS out of bounds: %d", m.k.Name, addr)
 			}
-			w.cta.shared[addr] = val
+			p.slog = append(p.slog, smemEvent{cta: w.cta, addr: int32(addr), val: val})
 		}
 	}
 	return nil
@@ -571,16 +796,16 @@ func (m *machine) execBranch(w *warpState, in *isa.Instr) error {
 			return fmt.Errorf("sm: kernel %s: SIMT stack overflow (malformed reconvergence?)", m.k.Name)
 		}
 	}
-	m.popReconverged(w)
+	w.popReconverged()
 	return nil
 }
 
-func (m *machine) advancePC(w *warpState) {
+func (w *warpState) advancePC() {
 	w.top().pc++
-	m.popReconverged(w)
+	w.popReconverged()
 }
 
-func (m *machine) popReconverged(w *warpState) {
+func (w *warpState) popReconverged() {
 	for len(w.stack) > 1 {
 		t := w.top()
 		if t.reconv >= 0 && t.pc == t.reconv {
@@ -591,9 +816,11 @@ func (m *machine) popReconverged(w *warpState) {
 	}
 }
 
-// execExit removes lanes from the warp; when all are gone the warp retires
-// (releasing any CTA barrier it would have blocked).
-func (m *machine) execExit(w *warpState, mask uint32) {
+// execExit removes lanes from the warp; when all are gone the warp retires.
+// The CTA-level effects (liveWarps, releasing a barrier the exiting warp
+// would have blocked) are logged and applied at the merge, because the CTA
+// may span partitions.
+func (p *partition) execExit(w *warpState, mask uint32) {
 	for i := range w.stack {
 		w.stack[i].mask &^= mask
 	}
@@ -602,17 +829,11 @@ func (m *machine) execExit(w *warpState, mask uint32) {
 	}
 	if len(w.stack) == 0 {
 		w.done = true
-		cta := w.cta
-		cta.liveWarps--
-		if cta.arrived >= cta.liveWarps && cta.liveWarps > 0 && cta.arrived > 0 {
-			for _, ww := range cta.warps {
-				ww.atBarrier = false
-			}
-			cta.arrived = 0
-		}
+		p.retired++
+		p.events = append(p.events, ctaEvent{cta: w.cta})
 		return
 	}
-	m.advancePC(w)
+	w.advancePC()
 	// advancePC moved past EXIT for the remaining (guarded-off) lanes; the
 	// pop check above may already have resolved reconvergence.
 }

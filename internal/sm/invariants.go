@@ -62,7 +62,7 @@ func (m *machine) checkResidency() {
 		m.violatef("cycle %d: %d resident CTAs exceed MaxCTAs %d",
 			m.cycle, len(m.resident), cfg.MaxCTAs)
 	}
-	if n := len(m.warps); n > cfg.MaxWarps {
+	if n := m.liveWarps; n > cfg.MaxWarps {
 		m.violatef("cycle %d: %d resident warps exceed MaxWarps %d", m.cycle, n, cfg.MaxWarps)
 	}
 	regsPerThread := m.k.NumRegs
@@ -126,12 +126,106 @@ func (m *machine) checkLaunchEnd() {
 	if m.nextCTA != m.k.GridCTAs {
 		m.violatef("launch ended with %d of %d CTAs dispatched", m.nextCTA, m.k.GridCTAs)
 	}
-	if len(m.warps) != 0 || len(m.resident) != 0 {
-		m.violatef("launch ended with %d live warps and %d resident CTAs", len(m.warps), len(m.resident))
+	if m.liveWarps != 0 || len(m.resident) != 0 {
+		m.violatef("launch ended with %d live warps and %d resident CTAs", m.liveWarps, len(m.resident))
 	}
 	if st.MaxResidentWarps > st.ResidentWarpLimit {
 		m.violatef("peak residency %d warps exceeded occupancy limit %d",
 			st.MaxResidentWarps, st.ResidentWarpLimit)
+	}
+	// Per-slot stall counters must reconcile with the cycle partition: every
+	// fully-idle round charged to reason X had its selected partition record
+	// X in its own slot counter, and had EVERY partition bump exactly one
+	// slot counter. (Equality is not expected — a partition can stall in a
+	// round where another one issued, which charges IssueCycles.)
+	perReason := [...]struct {
+		name  string
+		slots int64
+		r     stallReason
+	}{
+		{"deps", st.StallDeps, stallDeps},
+		{"throttle", st.StallThrottle, stallThrottle},
+		{"barrier", st.StallBarrier, stallBarrier},
+		{"nowarp", st.StallNoWarp, stallNoWarp},
+	}
+	var slotSum, idleSum int64
+	for _, pr := range perReason {
+		if pr.slots < m.idleRounds[pr.r] {
+			m.violatef("stall accounting: %d %s slot stalls cannot cover %d fully-idle %s rounds",
+				pr.slots, pr.name, m.idleRounds[pr.r], pr.name)
+		}
+		slotSum += pr.slots
+		idleSum += m.idleRounds[pr.r]
+	}
+	if n := int64(len(m.parts)); n > 0 && slotSum < n*idleSum {
+		m.violatef("stall accounting: %d slot stalls across %d schedulers cannot cover %d fully-idle rounds",
+			slotSum, n, idleSum)
+	}
+}
+
+// checkIdleRound audits one fully-idle round before it is charged: a full
+// scoreboard rescan of every partition (bypassing the wake cache) must agree
+// that no warp can issue, must reproduce each partition's recorded earliest
+// wake, and the charged reason must be the one mergeRound's selection rule
+// derives from the recorded profiles. This is the dynamic check that the
+// wake cache and the batch idle-skip never hide a runnable warp or charge
+// the wrong component.
+func (m *machine) checkIdleRound(charged stallReason) {
+	gmin := farFuture
+	for _, p := range m.parts {
+		if p.issued != 0 {
+			m.violatef("cycle %d: round charged as idle (%d) but partition %d issued %d instructions",
+				m.cycle, charged, p.idx, p.issued)
+			continue
+		}
+		minWake := farFuture
+		eligible := 0
+		reasonSeen := false
+		for _, w := range p.warps {
+			if w.done || w.atomHold {
+				continue
+			}
+			eligible++
+			ready, wake, r, _ := p.warpReadyFull(w)
+			if ready {
+				m.violatef("cycle %d: idle round but warp %d of partition %d can issue",
+					m.cycle, w.gid, p.idx)
+				continue
+			}
+			if wake < minWake {
+				minWake = wake
+			}
+			if wake == p.wake && r == p.reason {
+				reasonSeen = true
+			}
+		}
+		switch {
+		case minWake != p.wake:
+			m.violatef("cycle %d: partition %d recorded wake %d, full rescan derives %d",
+				m.cycle, p.idx, p.wake, minWake)
+		case eligible == 0:
+			if p.reason != stallNoWarp {
+				m.violatef("cycle %d: partition %d has no eligible warp but recorded stall reason %d",
+					m.cycle, p.idx, p.reason)
+			}
+		case !reasonSeen:
+			m.violatef("cycle %d: partition %d recorded reason %d, no warp at wake %d blocks on it",
+				m.cycle, p.idx, p.reason, p.wake)
+		}
+		if p.wake < gmin {
+			gmin = p.wake
+		}
+	}
+	// mergeRound charges the reason of the lowest-index partition achieving
+	// the earliest wake.
+	for _, p := range m.parts {
+		if p.wake == gmin {
+			if p.reason != charged {
+				m.violatef("cycle %d: idle round charged reason %d, nearest-to-ready partition %d blocks on %d",
+					m.cycle, charged, p.idx, p.reason)
+			}
+			break
+		}
 	}
 }
 

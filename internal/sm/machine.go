@@ -9,6 +9,27 @@ import (
 	"swapcodes/internal/isa"
 )
 
+// The SM advances in deterministic epochs ("rounds"), DESIGN.md §13. Every
+// round has two phases:
+//
+//   - Phase A: each scheduler partition independently picks and issues up to
+//     IssuePerSched instructions from the warps it owns. Partitions touch
+//     only their own warps, token buckets, statistics deltas, and deferred
+//     event logs (global- and shared-memory stores, atomics, barrier
+//     arrivals, warp exits), plus read-only shared state (kernel, config,
+//     the cycle number, and memory as committed at the last barrier), so
+//     phase A can run partitions on goroutines with no synchronization.
+//   - Barrier: a single-threaded merge in fixed partition order — commit
+//     deferred stores and replay atomics, apply barrier arrivals and warp
+//     exits and release satisfied CTA barriers, aggregate issue/stall
+//     statistics, retire warps, pick the idle-skip delta, advance the
+//     cycle, and poll cancellation.
+//
+// Because every cross-partition interaction is confined to the barrier and
+// the barrier iterates partitions in index order, results are bit-identical
+// at any worker count — the parallel path IS the serial path with phase A
+// reordered, and phase A is order-free by construction.
+
 // simtEntry is one level of the per-warp reconvergence stack.
 type simtEntry struct {
 	pc     int32
@@ -21,7 +42,7 @@ type warpState struct {
 	idInCTA    int
 	gid        int   // global warp id (unique across the launch)
 	startCycle int64 // cycle the warp became resident
-	sched      int
+	sched      int   // owning scheduler partition
 	stack      []simtEntry
 	regs       []uint32 // reg*32 + lane
 	preds      [8]uint32
@@ -33,9 +54,23 @@ type warpState struct {
 	// breakdown).
 	regClass  []uint8
 	predClass [8]uint8
-	rf         *core.RegFile
-	atBarrier  bool
-	done       bool
+	rf        *core.RegFile
+	atBarrier bool
+	done      bool
+	// atomHold parks the warp for the rest of the round after it issues an
+	// ATOM: the atomic's read-modify-write and destination write-back happen
+	// at the barrier replay, and holding the warp guarantees no younger
+	// instruction of the same warp runs between them.
+	atomHold bool
+	// cacheWake memoizes the last full scoreboard scan (fast path only):
+	// while cacheWake > cycle the warp provably cannot issue for the cached
+	// reason, and the scan is skipped. Zero means "must recheck". Only
+	// dependence and barrier stalls are cached — their wake times move only
+	// when the warp itself issues or its barrier releases, which are exactly
+	// the invalidation points.
+	cacheWake   int64
+	cacheReason stallReason
+	cacheClass  uint8
 }
 
 func (w *warpState) top() *simtEntry { return &w.stack[len(w.stack)-1] }
@@ -61,11 +96,31 @@ type machine struct {
 	// cycles to the CPI stack's occupancy component.
 	occCapped bool
 	nextCTA   int
-	resident      []*ctaState
-	warps         []*warpState // all live resident warps
-	tokens        [10]float64
-	cycle         int64
-	dyn           int64
+	resident  []*ctaState
+
+	parts     []*partition
+	par       *parRunner // non-nil only when phase A runs on worker goroutines
+	liveWarps int        // resident warps across all partitions
+	// inOrder is true whenever phase A runs partitions sequentially on one
+	// goroutine (the global dynamic-instruction counter is then exact).
+	inOrder bool
+
+	// prate/tokCap are the per-partition token-bucket parameters: each
+	// partition gets 1/Schedulers of every pipe's issue bandwidth, so
+	// aggregate throughput matches the whole-SM rate while keeping the
+	// buckets partition-local.
+	prate  [10]float64
+	tokCap float64
+
+	// ctaScratch is merge-phase scratch listing CTAs touched by this round's
+	// deferred events, reused across rounds.
+	ctaScratch []*ctaState
+
+	cycle int64
+	// dyn is the global dynamic warp-instruction counter driving fault
+	// injection; it is maintained only in in-order mode (armed faults force
+	// in-order execution, so the numbering is always exact when it matters).
+	dyn int64
 	// faultCycle is the cycle the armed FaultPlan fired at (-1 before),
 	// the reference point for detection-latency measurement.
 	faultCycle int64
@@ -75,6 +130,15 @@ type machine struct {
 	// violations accumulates dynamic invariant failures when Config.Verify
 	// is set (see invariants.go).
 	violations []string
+
+	// Machine-wide statistic accumulators kept as arrays on the hot path;
+	// finalize() converts them to the public Stats maps.
+	depCyc [10]int64
+	thrCyc [10]int64
+	// idleRounds counts fully-idle rounds by proximate stall reason (before
+	// any occupancy re-attribution) — the Verify-mode reconciliation between
+	// the CPI cycle partition and the per-slot stall counters.
+	idleRounds [5]int64
 }
 
 func newMachine(g *GPU, k *isa.Kernel) *machine {
@@ -120,29 +184,64 @@ func (m *machine) occupancy() (int, error) {
 	return lim, nil
 }
 
+// initPartitions sets up one partition per scheduler and the per-partition
+// token-bucket parameters.
+func (m *machine) initPartitions() {
+	n := m.cfg.Schedulers
+	if n < 1 {
+		n = 1
+	}
+	m.parts = make([]*partition, n)
+	m.tokCap = 8 / float64(n)
+	if m.tokCap < 1 {
+		m.tokCap = 1
+	}
+	for cl := isa.ClassFxP; cl <= isa.ClassSpecial; cl++ {
+		m.prate[cl] = m.cfg.rate(cl) / float64(n)
+	}
+	for i := range m.parts {
+		p := &partition{m: m, idx: i}
+		for cl := range p.tokens {
+			p.tokens[cl] = 1
+		}
+		m.parts[i] = p
+	}
+}
+
+// launchCTA makes one CTA resident, assigning each warp to the currently
+// least-loaded partition (ties to the lowest index). Per-warp assignment
+// keeps every scheduler fed even when occupancy admits few CTAs — a CTA's
+// warps can span partitions, which is why barrier arrivals, exits, and
+// shared-memory stores are deferred to the merge rather than applied during
+// phase A.
 func (m *machine) launchCTA() {
-	cta := &ctaState{id: m.nextCTA, shared: make([]uint32, m.k.SharedWords)}
+	cta := getCTA(m.nextCTA, m.k.SharedWords)
 	m.nextCTA++
 	for wi := 0; wi < m.warpsPerCTA; wi++ {
-		w := &warpState{
-			cta: cta, idInCTA: wi,
-			gid: cta.id*m.warpsPerCTA + wi, startCycle: m.cycle,
-			sched:    len(m.warps) % m.cfg.Schedulers,
-			stack:    []simtEntry{{pc: 0, mask: m.warpMask(wi), reconv: -1}},
-			regs:     make([]uint32, m.k.NumRegs*isa.WarpSize),
-			regReady: make([]int64, m.k.NumRegs+2),
-			regClass: make([]uint8, m.k.NumRegs+2),
+		p := m.parts[0]
+		for _, q := range m.parts[1:] {
+			if len(q.warps) < len(p.warps) {
+				p = q
+			}
 		}
+		w := getWarp(m.k.NumRegs)
+		w.cta = cta
+		w.idInCTA = wi
+		w.gid = cta.id*m.warpsPerCTA + wi
+		w.startCycle = m.cycle
+		w.sched = p.idx
+		w.stack = append(w.stack[:0], simtEntry{pc: 0, mask: m.warpMask(wi), reconv: -1})
 		if m.cfg.ECC {
 			w.rf = core.NewRegFile(m.cfg.Org, m.k.NumRegs, isa.WarpSize)
 		}
 		cta.warps = append(cta.warps, w)
-		m.warps = append(m.warps, w)
+		p.warps = append(p.warps, w)
 	}
 	cta.liveWarps = len(cta.warps)
 	m.resident = append(m.resident, cta)
-	if n := len(m.warps); n > m.stats.MaxResidentWarps {
-		m.stats.MaxResidentWarps = n
+	m.liveWarps += len(cta.warps)
+	if m.liveWarps > m.stats.MaxResidentWarps {
+		m.stats.MaxResidentWarps = m.liveWarps
 	}
 }
 
@@ -158,6 +257,10 @@ func (m *machine) warpMask(wi int) uint32 {
 
 const farFuture = int64(math.MaxInt64 / 4)
 
+// depsReady is the wake-cache sentinel for "operands satisfied, class in
+// cacheClass, only the token bucket left to check" (see warpReady).
+const depsReady = int64(-1)
+
 func (m *machine) run(ctx context.Context) error {
 	lim, err := m.occupancy()
 	if err != nil {
@@ -172,9 +275,35 @@ func (m *machine) run(ctx context.Context) error {
 	}
 	m.occCapped = lim < slotLim
 	m.stats.ResidentWarpLimit = lim * m.warpsPerCTA
-	for i := range m.tokens {
-		m.tokens[i] = 1
+	m.initPartitions()
+
+	m.inOrder = true
+	if w := m.parallelWorkers(); w > 1 {
+		m.inOrder = false
+		m.par = startParRunner(m, w)
+		defer m.par.stop()
 	}
+	return m.loop(ctx)
+}
+
+// parallelWorkers reports how many goroutines phase A may use. Armed faults,
+// value tracing, observability, and the ECC register file all need the
+// global in-order instruction stream (dyn numbering, callback order, shared
+// stats), so they pin phase A to one goroutine; results are identical either
+// way because both modes run the same per-partition code.
+func (m *machine) parallelWorkers() int {
+	w := m.cfg.Workers
+	if w > len(m.parts) {
+		w = len(m.parts)
+	}
+	if w < 2 || m.g.Fault != nil || m.g.Trace != nil || m.obsm != nil || m.cfg.ECC {
+		return 1
+	}
+	return w
+}
+
+// loop is the round loop; run() does setup so tests can drive loop directly.
+func (m *machine) loop(ctx context.Context) error {
 	guard := int64(0)
 	for {
 		// Poll cancellation sparsely: a ctx.Err() load every 4096 scheduler
@@ -194,67 +323,38 @@ func (m *machine) run(ctx context.Context) error {
 		if launched && m.cfg.Verify {
 			m.checkResidency()
 		}
-		if len(m.warps) == 0 {
+		if m.liveWarps == 0 {
 			if m.nextCTA >= m.k.GridCTAs {
 				break
 			}
+			// Nothing resident yet CTAs remain: every iteration of this
+			// relaunch path still goes through the guard, so the
+			// cancellation poll and cycle guard above cannot be starved.
+			guard++
+			if guard > 1<<34 {
+				return fmt.Errorf("sm: kernel %s exceeded cycle guard", m.k.Name)
+			}
 			continue
 		}
-		issuedSlots := 0
-		minWake := farFuture
-		minReason := stallNone
-		minClass := isa.ClassFxP
-		slots := m.cfg.IssuePerSched
-		if slots < 1 {
-			slots = 1
-		}
-		for s := 0; s < m.cfg.Schedulers; s++ {
-			for slot := 0; slot < slots; slot++ {
-				w, wake, reason, cl := m.pickWarp(s)
-				if w == nil {
-					if wake < minWake || minReason == stallNone {
-						minWake = wake
-						minReason = reason
-						minClass = cl
-					}
-					switch reason {
-					case stallDeps:
-						m.stats.StallDeps++
-					case stallThrottle:
-						m.stats.StallThrottle++
-					case stallBarrier:
-						m.stats.StallBarrier++
-					default:
-						m.stats.StallNoWarp++
-					}
-					break
-				}
-				if err := m.issue(w); err != nil {
-					return err
-				}
-				issuedSlots++
-			}
-		}
-		m.retire()
-		delta := int64(1)
-		if issuedSlots == 0 {
-			if minWake == farFuture {
-				return fmt.Errorf("sm: kernel %s deadlocked at cycle %d", m.k.Name, m.cycle)
-			}
-			delta = minWake - m.cycle
-			if delta < 1 {
-				delta = 1
-			}
-			// Fully-idle rounds are charged to the blocking reason of the
-			// nearest-to-ready warp (the cycle-level stall attribution).
-			m.chargeIdle(minReason, minClass, delta)
+
+		// Phase A: partitions issue independently.
+		if m.par != nil {
+			m.par.round()
 		} else {
-			m.stats.IssueCycles += delta
+			for _, p := range m.parts {
+				p.step()
+			}
 		}
-		m.advance(delta)
-		if m.obsm != nil {
-			m.obsm.round(m, issuedSlots, delta, minReason)
+
+		// Barrier: merge in fixed partition order.
+		done, err := m.mergeRound()
+		if err != nil {
+			return err
 		}
+		if done {
+			break
+		}
+
 		guard++
 		if guard > 1<<34 {
 			return fmt.Errorf("sm: kernel %s exceeded cycle guard", m.k.Name)
@@ -273,50 +373,193 @@ func (m *machine) run(ctx context.Context) error {
 	return nil
 }
 
-// finalize stamps the cycle count and flushes pending observability state;
-// every run() exit path (completion and cancellation) goes through it.
+// mergeRound is the epoch barrier: the only place cross-partition state is
+// touched, always in ascending partition order.
+func (m *machine) mergeRound() (bool, error) {
+	// 1. Partition errors abort the round before anything commits; the
+	// lowest-index partition's error wins, deterministically.
+	for _, p := range m.parts {
+		if p.err != nil {
+			return false, p.err
+		}
+	}
+	// 2. Commit deferred global- and shared-memory writes and replay
+	// atomics in partition order, preserving each partition's program order.
+	for _, p := range m.parts {
+		if len(p.wlog) > 0 {
+			p.commitMem()
+		}
+		if len(p.slog) > 0 {
+			p.commitShared()
+		}
+	}
+	// 3. Apply deferred CTA events (barrier arrivals, warp exits) in
+	// partition order, then release any barrier whose live warps have all
+	// arrived.
+	m.applyCTAEvents()
+	// 4. Aggregate the round.
+	issued := 0
+	anyRetired := false
+	for _, p := range m.parts {
+		issued += p.issued
+		if p.retired > 0 {
+			anyRetired = true
+		}
+	}
+	if anyRetired {
+		m.retire()
+	}
+	// 5. Idle-skip: when no partition issued, jump to the earliest wake
+	// across partitions and charge the skipped cycles to the blocking
+	// reason of the nearest-to-ready warp.
+	delta := int64(1)
+	reason := stallNone
+	if issued == 0 {
+		minWake := farFuture
+		minClass := isa.ClassFxP
+		for _, p := range m.parts {
+			if p.wake < minWake || reason == stallNone {
+				minWake, reason, minClass = p.wake, p.reason, p.class
+			}
+		}
+		if minWake == farFuture {
+			return false, fmt.Errorf("sm: kernel %s deadlocked at cycle %d", m.k.Name, m.cycle)
+		}
+		delta = minWake - m.cycle
+		if delta < 1 {
+			delta = 1
+		}
+		if m.cfg.Verify {
+			m.checkIdleRound(reason)
+		}
+		m.idleRounds[reason]++
+		m.chargeIdle(reason, minClass, delta)
+	} else {
+		m.stats.IssueCycles += delta
+	}
+	// 6. Advance time and refill every partition's token buckets.
+	m.cycle += delta
+	for _, p := range m.parts {
+		p.refill(delta)
+	}
+	if m.obsm != nil {
+		m.obsm.round(m, issued, delta, reason)
+	}
+	return m.liveWarps == 0 && m.nextCTA >= m.k.GridCTAs, nil
+}
+
+// applyCTAEvents moves the round's deferred barrier arrivals and warp exits
+// onto their CTAs in partition order, then runs the barrier release check on
+// every touched CTA: once all of a CTA's still-live warps have arrived, every
+// waiting warp is released (and its wake cache cleared). Batching arrivals,
+// exits, and releases at the merge is what makes the outcome independent of
+// which goroutine ran which partition — and it also covers the exit-releases-
+// barrier case (the last non-waiting warp exits, satisfying the barrier).
+func (m *machine) applyCTAEvents() {
+	touched := m.ctaScratch[:0]
+	for _, p := range m.parts {
+		for _, ev := range p.events {
+			if ev.arrive {
+				ev.cta.arrived++
+			} else {
+				ev.cta.liveWarps--
+			}
+			touched = append(touched, ev.cta)
+		}
+		p.events = p.events[:0]
+	}
+	for _, c := range touched {
+		// Idempotent across duplicate entries: a released CTA has arrived==0.
+		if c.arrived > 0 && c.arrived >= c.liveWarps {
+			for _, w := range c.warps {
+				if w.atBarrier {
+					w.atBarrier = false
+					w.cacheWake = 0
+				}
+			}
+			c.arrived = 0
+		}
+	}
+	m.ctaScratch = touched[:0]
+}
+
+// finalize stamps the cycle count, folds the per-partition statistic deltas
+// into the public Stats maps, and flushes pending observability state; every
+// run() exit path (completion and cancellation) goes through it.
 func (m *machine) finalize() {
 	m.stats.Cycles = m.cycle
+	for _, p := range m.parts {
+		m.stats.DynWarpInstrs += p.instrs
+		m.stats.StallDeps += p.stallDeps
+		m.stats.StallThrottle += p.stallThrottle
+		m.stats.StallBarrier += p.stallBarrier
+		m.stats.StallNoWarp += p.stallNoWarp
+		if p.trapped {
+			m.stats.Trapped = true
+		}
+		for cl, v := range p.perClass {
+			if v != 0 {
+				m.stats.PerClass[isa.Class(cl)] += v
+			}
+		}
+		for cat, v := range p.perCat {
+			if v != 0 {
+				m.stats.PerCat[isa.Category(cat)] += v
+			}
+		}
+	}
+	for cl, v := range m.depCyc {
+		if v != 0 {
+			m.stats.DepCyclesPerClass[isa.Class(cl)] += v
+		}
+	}
+	for cl, v := range m.thrCyc {
+		if v != 0 {
+			m.stats.ThrottleCyclesPerClass[isa.Class(cl)] += v
+		}
+	}
 	if m.obsm != nil {
 		m.obsm.finish(m)
 	}
 }
 
-func (m *machine) advance(delta int64) {
-	m.cycle += delta
-	for cl := isa.ClassFxP; cl <= isa.ClassSpecial; cl++ {
-		m.tokens[cl] += m.cfg.rate(cl) * float64(delta)
-		if m.tokens[cl] > 8 {
-			m.tokens[cl] = 8
-		}
-	}
-}
-
-// retire removes finished warps and completed CTAs. (liveWarps is
-// decremented at EXIT time so barrier release logic sees it immediately.)
+// retire removes finished warps from their partitions and recycles completed
+// CTAs. (liveWarps is decremented at EXIT time so barrier release logic sees
+// it immediately; m.liveWarps tracks resident warps and drops here.)
 func (m *machine) retire() {
-	live := m.warps[:0]
-	for _, w := range m.warps {
-		if w.done {
-			if m.obsm != nil {
-				m.obsm.warpDone(m, w)
-			}
-			if m.cfg.Verify {
-				m.checkWarpRetired(w)
-			}
-			if m.g.RetireHook != nil {
-				m.g.RetireHook(w.cta.id, w.idInCTA, w.regs, w.preds[:])
-			}
+	for _, p := range m.parts {
+		if p.retired == 0 {
 			continue
 		}
-		live = append(live, w)
+		live := p.warps[:0]
+		for _, w := range p.warps {
+			if w.done {
+				if m.obsm != nil {
+					m.obsm.warpDone(m, w)
+				}
+				if m.cfg.Verify {
+					m.checkWarpRetired(w)
+				}
+				if m.g.RetireHook != nil {
+					m.g.RetireHook(w.cta.id, w.idInCTA, w.regs, w.preds[:])
+				}
+				m.liveWarps--
+				continue
+			}
+			live = append(live, w)
+		}
+		p.warps = live
+		p.retired = 0
 	}
-	m.warps = live
 	res := m.resident[:0]
 	for _, c := range m.resident {
 		if c.liveWarps > 0 {
 			res = append(res, c)
+			continue
 		}
+		// All warps retired this barrier or earlier; the CTA and its warps
+		// go back to the scratch pools.
+		putCTA(c)
 	}
 	m.resident = res
 }
@@ -338,10 +581,10 @@ func (m *machine) chargeIdle(reason stallReason, cl isa.Class, delta int64) {
 	switch reason {
 	case stallDeps:
 		m.stats.StallCyclesDeps += delta
-		m.stats.DepCyclesPerClass[cl] += delta
+		m.depCyc[cl] += delta
 	case stallThrottle:
 		m.stats.StallCyclesThrottle += delta
-		m.stats.ThrottleCyclesPerClass[cl] += delta
+		m.thrCyc[cl] += delta
 	case stallBarrier:
 		m.stats.StallCyclesBarrier += delta
 	default:
@@ -359,132 +602,3 @@ const (
 	stallBarrier
 	stallNoWarp
 )
-
-// pickWarp scans scheduler s's warps round-robin for one that can issue;
-// when none can, it returns the earliest wake time, the blocking reason of
-// the nearest-to-ready warp, and the pipe class that reason attributes to
-// (the waited-on producer's class for dependences, the saturated pipe for
-// throttle).
-func (m *machine) pickWarp(s int) (*warpState, int64, stallReason, isa.Class) {
-	minWake := farFuture
-	reason := stallNoWarp
-	class := isa.ClassFxP
-	n := len(m.warps)
-	start := int(m.cycle) % max(n, 1)
-	for i := 0; i < n; i++ {
-		w := m.warps[(start+i)%n]
-		if w.sched != s || w.done {
-			continue
-		}
-		ready, wake, r, cl := m.warpReady(w)
-		if ready {
-			return w, 0, stallNone, cl
-		}
-		if wake < minWake || reason == stallNoWarp {
-			minWake = wake
-			reason = r
-			class = cl
-		}
-	}
-	return nil, minWake, reason, class
-}
-
-// warpReady checks scoreboard and structural constraints for the warp's
-// next instruction. The returned class attributes a stall: for dependence
-// stalls it is the pipe class of the producer whose result the warp waits
-// on longest; for throttle stalls, the saturated pipe.
-func (m *machine) warpReady(w *warpState) (bool, int64, stallReason, isa.Class) {
-	if w.atBarrier {
-		return false, farFuture, stallBarrier, isa.ClassControl // released by the last arrival
-	}
-	in := &m.k.Code[w.top().pc]
-	wake := m.cycle
-	blockCl := isa.ClassFxP
-
-	dep := func(r isa.Reg, wide bool) {
-		if r == isa.RZ {
-			return
-		}
-		if t := w.regReady[r]; t > wake {
-			wake = t
-			blockCl = isa.Class(w.regClass[r])
-		}
-		if wide {
-			if t := w.regReady[r+1]; t > wake {
-				wake = t
-				blockCl = isa.Class(w.regClass[r+1])
-			}
-		}
-	}
-	for si, src := range in.Src {
-		if si == 1 && in.HasImm {
-			continue
-		}
-		wide := false
-		switch in.Op {
-		case isa.DADD, isa.DSUB, isa.DMUL:
-			wide = si < 2
-		case isa.DFMA:
-			wide = true
-		case isa.IMAD:
-			wide = in.Wide && si == 2
-		}
-		dep(src, wide)
-	}
-	if in.GuardPred >= 0 && in.GuardPred < isa.PT {
-		if t := w.predReady[in.GuardPred]; t > wake {
-			wake = t
-			blockCl = isa.Class(w.predClass[in.GuardPred])
-		}
-	}
-	if wake > m.cycle {
-		return false, wake, stallDeps, blockCl
-	}
-	cl := in.Op.Class()
-	if m.tokens[cl] < 1 {
-		need := (1 - m.tokens[cl]) / m.cfg.rate(cl)
-		return false, m.cycle + int64(need) + 1, stallThrottle, cl
-	}
-	return true, 0, stallNone, cl
-}
-
-// issue consumes a token, executes the instruction functionally, and
-// updates the scoreboard.
-func (m *machine) issue(w *warpState) error {
-	in := &m.k.Code[w.top().pc]
-	cl := in.Op.Class()
-	m.tokens[cl]--
-	m.stats.DynWarpInstrs++
-	m.stats.PerClass[cl]++
-	m.stats.PerCat[in.Cat]++
-	m.dyn++
-
-	if err := m.exec(w, in); err != nil {
-		return err
-	}
-
-	// Scoreboard: the destination becomes readable after the pipe latency;
-	// WAW writes merge to the max (both must land before a read).
-	if in.WritesReg() {
-		lat := m.cfg.latency(cl)
-		t := m.cycle + lat
-		if t > w.regReady[in.Dst] {
-			w.regReady[in.Dst] = t
-		}
-		w.regClass[in.Dst] = uint8(cl)
-		if in.Is64Dst() {
-			if t > w.regReady[in.Dst+1] {
-				w.regReady[in.Dst+1] = t
-			}
-			w.regClass[in.Dst+1] = uint8(cl)
-		}
-	}
-	if (in.Op == isa.ISETP || in.Op == isa.FSETP) && in.DstPred >= 0 && in.DstPred < isa.PT {
-		// The predicate lands with the producing pipe's latency: FSETP is a
-		// ClassFP32 op, so its comparison takes the FP32 pipe's depth, not
-		// the integer pipe's.
-		w.predReady[in.DstPred] = m.cycle + m.cfg.latency(cl)
-		w.predClass[in.DstPred] = uint8(cl)
-	}
-	return nil
-}

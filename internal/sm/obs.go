@@ -94,7 +94,7 @@ func (o *smObs) sample(m *machine) {
 	o.instrs.Add(o.winIssued)
 	slots := int64(m.cfg.Schedulers) * int64(max(m.cfg.IssuePerSched, 1)) * win
 	o.rec.Sample(o.pid, "sm.occupancy", m.cycle, map[string]any{
-		"warps": len(m.warps), "ctas": len(m.resident)})
+		"warps": m.liveWarps, "ctas": len(m.resident)})
 	o.rec.Sample(o.pid, "sm.issue_slots", m.cycle, map[string]any{
 		"issued": o.winIssued, "total": slots})
 	o.rec.Sample(o.pid, "sm.stall_cycles", m.cycle, map[string]any{
@@ -130,9 +130,11 @@ func (o *smObs) due(m *machine, r isa.Reg, lane int) {
 // trace and a complete-so-far cycle partition.
 func (o *smObs) finish(m *machine) {
 	o.sample(m)
-	for _, w := range m.warps {
-		if !w.done {
-			o.warpDone(m, w)
+	for _, p := range m.parts {
+		for _, w := range p.warps {
+			if !w.done {
+				o.warpDone(m, w)
+			}
 		}
 	}
 	// CPI-stack counters land once per launch (cold path: Registry lookup

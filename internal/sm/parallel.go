@@ -1,0 +1,61 @@
+package sm
+
+import "sync"
+
+// parRunner runs phase A of every round on a fixed set of worker
+// goroutines. Partitions are dealt to workers round-robin at startup and
+// never migrate, so each partition's state is only ever touched by one
+// goroutine during phase A (and by the barrier thread between rounds, with
+// the channel handshake providing the happens-before edges). Which worker
+// runs which partition cannot affect results: phase A is order-free by
+// construction and the barrier merges in partition-index order.
+type parRunner struct {
+	m     *machine
+	start []chan struct{}
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+func startParRunner(m *machine, workers int) *parRunner {
+	r := &parRunner{
+		m:     m,
+		start: make([]chan struct{}, workers),
+		done:  make(chan struct{}, workers),
+	}
+	for i := range r.start {
+		r.start[i] = make(chan struct{}, 1)
+	}
+	for i := 0; i < workers; i++ {
+		r.wg.Add(1)
+		go r.worker(i, workers)
+	}
+	return r
+}
+
+func (r *parRunner) worker(idx, workers int) {
+	defer r.wg.Done()
+	for range r.start[idx] {
+		for pi := idx; pi < len(r.m.parts); pi += workers {
+			r.m.parts[pi].step()
+		}
+		r.done <- struct{}{}
+	}
+}
+
+// round runs one phase A across all workers and waits for completion.
+func (r *parRunner) round() {
+	for _, ch := range r.start {
+		ch <- struct{}{}
+	}
+	for range r.start {
+		<-r.done
+	}
+}
+
+// stop shuts the workers down; the runner cannot be reused afterwards.
+func (r *parRunner) stop() {
+	for _, ch := range r.start {
+		close(ch)
+	}
+	r.wg.Wait()
+}

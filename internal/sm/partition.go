@@ -1,0 +1,418 @@
+package sm
+
+import (
+	"swapcodes/internal/isa"
+)
+
+// memEvent is one deferred global-memory effect, recorded in program order
+// during phase A and committed at the barrier. A nil atom is a plain store.
+type memEvent struct {
+	addr int32
+	val  uint32
+	atom *atomOp
+}
+
+// atomOp captures an ATOM at issue time: per-lane addresses and operand
+// values (reads of the issuing warp's registers, which cannot change before
+// the barrier because the warp is atomHold-parked). The read-modify-write
+// itself happens at the barrier replay, serialized across partitions in
+// partition order — concurrent atomics to one address never lose updates.
+type atomOp struct {
+	w      *warpState
+	in     *isa.Instr
+	mask   uint32
+	addr   [isa.WarpSize]int32
+	val    [isa.WarpSize]uint32
+	cmp    [isa.WarpSize]uint32
+	inject bool // armed fault targets this instruction (in-order mode only)
+}
+
+// ctaEvent is a deferred warp-lifecycle effect on a CTA that other
+// partitions may share: a barrier arrival or a warp exit. Partitions log
+// them during phase A; the merge applies them in partition order and then
+// runs the release check, so cta.arrived/cta.liveWarps are never touched
+// concurrently.
+type ctaEvent struct {
+	cta    *ctaState
+	arrive bool // true: BAR arrival; false: warp exit
+}
+
+// smemEvent is one deferred shared-memory store (CTAs can span partitions,
+// so shared memory commits at the barrier exactly like global memory).
+type smemEvent struct {
+	cta  *ctaState
+	addr int32
+	val  uint32
+}
+
+// partition is one scheduler's slice of the machine: the warps it owns, its
+// share of the issue bandwidth, its statistics deltas, and its deferred
+// memory and CTA-event logs. During phase A a partition touches nothing
+// outside itself except read-only shared state.
+type partition struct {
+	m    *machine
+	idx  int
+	warps []*warpState
+	tokens [10]float64
+
+	// Per-round outputs, consumed by the barrier.
+	issued  int
+	wake    int64
+	reason  stallReason
+	class   isa.Class
+	err     error
+	retired int
+	trapped bool
+
+	// Deferred memory state: wlog (global) and slog (shared) are the
+	// program-order store logs, drained at every barrier. They double as the
+	// overlay this partition's own loads consult, so intra-partition
+	// read-after-write within a round sees the round's stores: the logs hold
+	// at most IssuePerSched instructions' worth of lanes, so a guarded
+	// backward scan beats any map.
+	wlog []memEvent
+	slog []smemEvent
+	// Deferred barrier arrivals and warp exits (see ctaEvent).
+	events []ctaEvent
+
+	// Cumulative statistics, folded into Stats by finalize().
+	instrs   int64
+	perClass [10]int64
+	perCat   [5]int64
+
+	stallDeps, stallThrottle, stallBarrier, stallNoWarp int64
+}
+
+// step runs one round of this partition: issue up to IssuePerSched
+// instructions, recording the stall profile when nothing issues. A stall
+// counter bumps only when the partition issued nothing the whole round —
+// one bump per scheduler per fully-idle-scheduler round, which is what the
+// Verify invariant reconciles against the CPI partition.
+func (p *partition) step() {
+	p.issued = 0
+	slots := p.m.cfg.IssuePerSched
+	if slots < 1 {
+		slots = 1
+	}
+	for slot := 0; slot < slots; slot++ {
+		w, wake, reason, cl := p.pick()
+		if w == nil {
+			if slot == 0 {
+				p.wake, p.reason, p.class = wake, reason, cl
+			}
+			break
+		}
+		if err := p.issue(w); err != nil {
+			p.err = err
+			return
+		}
+		p.issued++
+	}
+	if p.issued == 0 {
+		switch p.reason {
+		case stallDeps:
+			p.stallDeps++
+		case stallThrottle:
+			p.stallThrottle++
+		case stallBarrier:
+			p.stallBarrier++
+		default:
+			p.stallNoWarp++
+		}
+	}
+}
+
+// pick scans the partition's warps round-robin for one that can issue; when
+// none can, it returns the earliest wake time, the blocking reason of the
+// nearest-to-ready warp, and the pipe class that reason attributes to.
+func (p *partition) pick() (*warpState, int64, stallReason, isa.Class) {
+	minWake := farFuture
+	reason := stallNoWarp
+	class := isa.ClassFxP
+	n := len(p.warps)
+	if n == 0 {
+		return nil, minWake, reason, class
+	}
+	start := int(p.m.cycle) % n
+	for i := 0; i < n; i++ {
+		w := p.warps[(start+i)%n]
+		if w.done || w.atomHold {
+			continue
+		}
+		ready, wake, r, cl := p.warpReady(w)
+		if ready {
+			return w, 0, stallNone, cl
+		}
+		if wake < minWake || reason == stallNoWarp {
+			minWake = wake
+			reason = r
+			class = cl
+		}
+	}
+	return nil, minWake, reason, class
+}
+
+// warpReady checks scoreboard and structural constraints for the warp's next
+// instruction. On the fast path a previous scan's verdict is served from the
+// warp's wake cache while it provably still holds; the reference path
+// (Config.Reference) always rescans. Both return identical values: a cached
+// dependence/barrier wake moves only when the warp itself issues or its
+// barrier releases, and both events clear the cache. The depsReady sentinel
+// caches the opposite verdict — operands satisfied, class known — leaving
+// only the (uncacheable) token-bucket check, which is what makes repeated
+// scans of a throttled partition cheap.
+func (p *partition) warpReady(w *warpState) (bool, int64, stallReason, isa.Class) {
+	if !p.m.cfg.Reference {
+		if w.cacheWake > p.m.cycle {
+			return false, w.cacheWake, w.cacheReason, isa.Class(w.cacheClass)
+		}
+		if w.cacheWake == depsReady {
+			cl := isa.Class(w.cacheClass)
+			if p.tokens[cl] < 1 {
+				need := (1 - p.tokens[cl]) / p.m.prate[cl]
+				return false, p.m.cycle + int64(need) + 1, stallThrottle, cl
+			}
+			return true, 0, stallNone, cl
+		}
+	}
+	return p.warpReadyFull(w)
+}
+
+// warpReadyFull is the full scan. The returned class attributes a stall: for
+// dependence stalls it is the pipe class of the producer whose result the
+// warp waits on longest; for throttle stalls, the saturated pipe.
+func (p *partition) warpReadyFull(w *warpState) (bool, int64, stallReason, isa.Class) {
+	m := p.m
+	if w.atBarrier {
+		// Released by the last arrival, which also clears the cache.
+		if !m.cfg.Reference {
+			w.cacheWake = farFuture
+			w.cacheReason = stallBarrier
+			w.cacheClass = uint8(isa.ClassControl)
+		}
+		return false, farFuture, stallBarrier, isa.ClassControl
+	}
+	in := &m.k.Code[w.top().pc]
+	wake := m.cycle
+	blockCl := isa.ClassFxP
+
+	dep := func(r isa.Reg, wide bool) {
+		if r == isa.RZ {
+			return
+		}
+		if t := w.regReady[r]; t > wake {
+			wake = t
+			blockCl = isa.Class(w.regClass[r])
+		}
+		if wide {
+			if t := w.regReady[r+1]; t > wake {
+				wake = t
+				blockCl = isa.Class(w.regClass[r+1])
+			}
+		}
+	}
+	for si, src := range in.Src {
+		if si == 1 && in.HasImm {
+			continue
+		}
+		wide := false
+		switch in.Op {
+		case isa.DADD, isa.DSUB, isa.DMUL:
+			wide = si < 2
+		case isa.DFMA:
+			wide = true
+		case isa.IMAD:
+			wide = in.Wide && si == 2
+		}
+		dep(src, wide)
+	}
+	if in.GuardPred >= 0 && in.GuardPred < isa.PT {
+		if t := w.predReady[in.GuardPred]; t > wake {
+			wake = t
+			blockCl = isa.Class(w.predClass[in.GuardPred])
+		}
+	}
+	if wake > m.cycle {
+		if !m.cfg.Reference {
+			w.cacheWake = wake
+			w.cacheReason = stallDeps
+			w.cacheClass = uint8(blockCl)
+		}
+		return false, wake, stallDeps, blockCl
+	}
+	cl := in.Op.Class()
+	if !m.cfg.Reference {
+		// Operands satisfied: they stay satisfied until the warp issues, so
+		// only the token check remains on future scans.
+		w.cacheWake = depsReady
+		w.cacheClass = uint8(cl)
+	}
+	if p.tokens[cl] < 1 {
+		// Throttle wakes move with every refill, so they are never cached.
+		need := (1 - p.tokens[cl]) / m.prate[cl]
+		return false, m.cycle + int64(need) + 1, stallThrottle, cl
+	}
+	return true, 0, stallNone, cl
+}
+
+// issue consumes a token, executes the instruction functionally, and
+// updates the scoreboard.
+func (p *partition) issue(w *warpState) error {
+	m := p.m
+	in := &m.k.Code[w.top().pc]
+	cl := in.Op.Class()
+	p.tokens[cl]--
+	p.instrs++
+	p.perClass[cl]++
+	p.perCat[in.Cat]++
+	if m.inOrder {
+		m.dyn++
+	}
+	w.cacheWake = 0
+
+	if err := p.exec(w, in); err != nil {
+		return err
+	}
+
+	// Scoreboard: the destination becomes readable after the pipe latency;
+	// WAW writes merge to the max (both must land before a read).
+	if in.WritesReg() {
+		lat := m.cfg.latency(cl)
+		t := m.cycle + lat
+		if t > w.regReady[in.Dst] {
+			w.regReady[in.Dst] = t
+		}
+		w.regClass[in.Dst] = uint8(cl)
+		if in.Is64Dst() {
+			if t > w.regReady[in.Dst+1] {
+				w.regReady[in.Dst+1] = t
+			}
+			w.regClass[in.Dst+1] = uint8(cl)
+		}
+	}
+	if (in.Op == isa.ISETP || in.Op == isa.FSETP) && in.DstPred >= 0 && in.DstPred < isa.PT {
+		// The predicate lands with the producing pipe's latency: FSETP is a
+		// ClassFP32 op, so its comparison takes the FP32 pipe's depth, not
+		// the integer pipe's.
+		w.predReady[in.DstPred] = m.cycle + m.cfg.latency(cl)
+		w.predClass[in.DstPred] = uint8(cl)
+	}
+	return nil
+}
+
+// refill adds delta cycles of this partition's bandwidth share to every
+// token bucket, called at the barrier so all partitions see the same global
+// time regardless of worker count.
+func (p *partition) refill(delta int64) {
+	m := p.m
+	for cl := isa.ClassFxP; cl <= isa.ClassSpecial; cl++ {
+		p.tokens[cl] += m.prate[cl] * float64(delta)
+		if p.tokens[cl] > m.tokCap {
+			p.tokens[cl] = m.tokCap
+		}
+	}
+}
+
+// commitMem applies this partition's deferred global-memory log in program
+// order: plain stores land their final values, atomics replay their
+// read-modify-write against live memory (see mergeRound for the
+// partition-order guarantee).
+func (p *partition) commitMem() {
+	m := p.m
+	for i := range p.wlog {
+		ev := &p.wlog[i]
+		if ev.atom == nil {
+			m.g.Mem[ev.addr] = ev.val
+			continue
+		}
+		m.replayAtom(ev.atom)
+	}
+	p.wlog = p.wlog[:0]
+}
+
+// commitShared applies this partition's deferred shared-memory stores in
+// program order.
+func (p *partition) commitShared() {
+	for i := range p.slog {
+		ev := &p.slog[i]
+		ev.cta.shared[ev.addr] = ev.val
+	}
+	p.slog = p.slog[:0]
+}
+
+// lookupW finds the latest same-round deferred store to a global address
+// (callers guard on len(p.wlog) > 0). Pending atomics are skipped: their
+// value does not exist until the barrier replay.
+func (p *partition) lookupW(addr int32) (uint32, bool) {
+	for i := len(p.wlog) - 1; i >= 0; i-- {
+		ev := &p.wlog[i]
+		if ev.atom == nil && ev.addr == addr {
+			return ev.val, true
+		}
+	}
+	return 0, false
+}
+
+// lookupS finds the latest same-round deferred store to a shared-memory
+// address of one CTA (callers guard on len(p.slog) > 0).
+func (p *partition) lookupS(cta *ctaState, addr int32) (uint32, bool) {
+	for i := len(p.slog) - 1; i >= 0; i-- {
+		ev := &p.slog[i]
+		if ev.cta == cta && ev.addr == addr {
+			return ev.val, true
+		}
+	}
+	return 0, false
+}
+
+// replayAtom performs a captured ATOM's read-modify-write and destination
+// write-back. The issuing warp was parked (atomHold) for the rest of its
+// round, so its registers are exactly as they were at issue time and the
+// old-value write-back cannot be reordered against younger instructions.
+func (m *machine) replayAtom(op *atomOp) {
+	w, in := op.w, op.in
+	w.atomHold = false
+	fp := m.g.Fault
+	for lane := 0; lane < isa.WarpSize; lane++ {
+		if op.mask&(1<<uint(lane)) == 0 {
+			continue
+		}
+		addr := op.addr[lane]
+		old := m.g.Mem[addr]
+		val := op.val[lane]
+		switch in.Mod {
+		case isa.OpAdd:
+			m.g.Mem[addr] = old + val
+		case isa.OpMin:
+			if int32(val) < int32(old) {
+				m.g.Mem[addr] = val
+			}
+		case isa.OpMax:
+			if int32(val) > int32(old) {
+				m.g.Mem[addr] = val
+			}
+		case isa.OpExch:
+			m.g.Mem[addr] = val
+		case isa.OpCAS:
+			if old == op.cmp[lane] {
+				m.g.Mem[addr] = val
+			}
+		}
+		if m.g.Trace != nil {
+			m.traceLane(w, in, lane, uint64(old))
+		}
+		if in.Dst != isa.RZ {
+			value := old
+			if op.inject && lane == fp.Lane {
+				value ^= fp.BitMask
+				fp.Applied = true
+				m.faultCycle = m.cycle
+			}
+			m.writeLane(w, in, int(in.Dst), lane, value, old)
+		}
+	}
+	if op.inject && in.Dst == isa.RZ {
+		fp.Applied = true // fault landed in a discarded result
+		m.faultCycle = m.cycle
+	}
+}

@@ -65,6 +65,20 @@ type Config struct {
 	// cost a few percent on hot launches).
 	Verify bool
 
+	// Workers is the number of goroutines phase A of the round loop may use
+	// (DESIGN.md Section 13): scheduler partitions are spread over
+	// min(Workers, Schedulers) workers, each advancing its partitions
+	// independently between barriers. 0 or 1 runs phase A on the launching
+	// goroutine. Results are bit-identical at every worker count. Launches
+	// that need the global in-order instruction stream (armed fault plans,
+	// value tracing, observability recorders, the ECC register file) ignore
+	// Workers and run phase A in-order.
+	Workers int
+	// Reference disables the warp wake cache, forcing a full scoreboard
+	// rescan for every scheduling decision — the slow reference scheduler
+	// that the differential tests compare the cached fast path against.
+	Reference bool
+
 	// MaxCycles aborts the launch with an error once the simulated cycle
 	// count exceeds it (0 = unlimited). The differential verifier uses it
 	// to bound runs of deliberately or accidentally miscompiled programs,

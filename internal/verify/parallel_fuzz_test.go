@@ -1,0 +1,62 @@
+package verify
+
+import (
+	"reflect"
+	"testing"
+
+	"swapcodes/internal/compiler"
+	"swapcodes/internal/sm"
+)
+
+// FuzzParallelSMEquivalence fuzzes the partitioned scheduler against the
+// full-rescan reference: a generated kernel (always-terminating by
+// construction), an adversarial memory pattern, and a protection scheme run
+// once under sm.Config.Reference and again at several worker counts — the
+// Stats and final memory must be bit-identical. This is the property the
+// workload differential (internal/sm) checks on 15 fixed programs, extended
+// here to the open-ended kernel space.
+func FuzzParallelSMEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(0))
+	f.Add(int64(2), uint8(2), uint8(1))
+	f.Add(int64(3), uint8(3), uint8(2))
+	f.Add(int64(7), uint8(1), uint8(8))
+	f.Add(int64(11), uint8(4), uint8(5))
+	f.Fuzz(func(t *testing.T, seed int64, pat, schemeIdx uint8) {
+		patterns := Patterns()
+		p := patterns[int(pat)%len(patterns)]
+		scheme := allSchemes[int(schemeIdx)%len(allSchemes)]
+		base, mem := GenKernel(seed, 3, 96)
+		k, err := compiler.Apply(base, scheme)
+		if err != nil {
+			return // scheme not applicable to this kernel shape
+		}
+		fill := GenFill(p, seed)
+
+		run := func(cfg sm.Config) (*sm.Stats, []uint32) {
+			g := sm.NewGPU(cfg, mem)
+			fill(g)
+			st, err := g.Launch(k)
+			if err != nil {
+				t.Fatalf("seed=%d pattern=%s scheme=%v: %v", seed, p.Name, scheme, err)
+			}
+			return st, g.Mem
+		}
+
+		ref := sm.DefaultConfig()
+		ref.Reference = true
+		refSt, refMem := run(ref)
+		for _, workers := range []int{0, 1, 2, 3, 4} {
+			cfg := sm.DefaultConfig()
+			cfg.Workers = workers
+			st, gm := run(cfg)
+			if !reflect.DeepEqual(st, refSt) {
+				t.Fatalf("seed=%d pattern=%s scheme=%v workers=%d: Stats diverge\n got %+v\nwant %+v",
+					seed, p.Name, scheme, workers, st, refSt)
+			}
+			if !reflect.DeepEqual(gm, refMem) {
+				t.Fatalf("seed=%d pattern=%s scheme=%v workers=%d: memory diverges",
+					seed, p.Name, scheme, workers)
+			}
+		}
+	})
+}
