@@ -5,6 +5,7 @@
 //	benchdiff -run -label PR4                 # run the tier-1 benchmark set, write BENCH_PR4.json
 //	benchdiff -compare BENCH_PR4.json         # compare against the latest prior BENCH_*.json
 //	benchdiff -run -label PR4 -compare BENCH_PR4.json -informational
+//	benchdiff -compare BENCH_PR9.json -only BenchmarkSMObsDisabled -threshold 5
 //
 // Each PR records its benchmark numbers in a schema-versioned BENCH_<label>.json
 // at the repo root; comparing a new record against the latest prior record
@@ -65,6 +66,7 @@ var suite = []struct{ pkg, pattern string }{
 	{".", "BenchmarkEngineScaling"},
 	{".", "BenchmarkCampaignEvaluator"},
 	{"./internal/sm", "BenchmarkSMObsDisabled|BenchmarkSMObsEnabled"},
+	{"./internal/sm", "BenchmarkSMProfArmed|BenchmarkSMFlightArmed"},
 	{"./internal/sm", "BenchmarkSMCPIStack"},
 	{"./internal/jobs", "BenchmarkServiceTelemetry"},
 }
@@ -75,6 +77,7 @@ func main() {
 	dir := flag.String("dir", ".", "directory holding BENCH_*.json records (the repo root)")
 	compare := flag.String("compare", "", "compare this record against the latest prior BENCH_*.json in -dir")
 	threshold := flag.Float64("threshold", 15, "regression threshold in percent of ns/op")
+	only := flag.String("only", "", "restrict -compare to benchmarks matching this regexp")
 	informational := flag.Bool("informational", false, "report regressions but exit 0 (PR mode: runner noise)")
 	benchtime := flag.String("benchtime", "", "passed to go test -benchtime (default: go's 1s)")
 	count := flag.Int("count", 1, "passed to go test -count; >1 keeps the fastest run per benchmark")
@@ -99,7 +102,7 @@ func main() {
 		}
 	}
 	if *compare != "" {
-		fail(runCompare(os.Stdout, *compare, *dir, *threshold, *informational))
+		fail(runCompare(os.Stdout, *compare, *dir, *only, *threshold, *informational))
 	}
 }
 
@@ -109,7 +112,7 @@ func main() {
 // nothing to gate) and an empty dir (this record is the first of the
 // trajectory). Both say so on stderr and return nil so CI's first run
 // passes.
-func runCompare(w *os.File, curPath, dir string, threshold float64, informational bool) error {
+func runCompare(w *os.File, curPath, dir, only string, threshold float64, informational bool) error {
 	cur, err := readFile(curPath)
 	if errors.Is(err, os.ErrNotExist) {
 		fmt.Fprintf(os.Stderr, "benchdiff: no record %s (first run?); nothing to compare\n", curPath)
@@ -125,6 +128,16 @@ func runCompare(w *os.File, curPath, dir string, threshold float64, informationa
 	if prev == nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: no prior BENCH_*.json in %s; nothing to compare\n", dir)
 		return nil
+	}
+	if only != "" {
+		re, err := regexp.Compile(only)
+		if err != nil {
+			return fmt.Errorf("-only: %w", err)
+		}
+		prev, cur = filterBenches(prev, re), filterBenches(cur, re)
+		if len(cur.Benchmarks) == 0 {
+			return fmt.Errorf("-only %q matched no benchmarks in %s", only, curPath)
+		}
 	}
 	report, regressions := Compare(prev, cur, threshold)
 	fmt.Fprint(w, report)
@@ -246,6 +259,22 @@ func ParseBenchOutput(out, pkg string) ([]Bench, error) {
 		benches = append(benches, b)
 	}
 	return benches, sc.Err()
+}
+
+// filterBenches returns a shallow copy of f holding only the benchmarks
+// whose name matches re. Records on disk stay complete; the filter exists
+// so a targeted gate (-only 'BenchmarkSMObsDisabled' -threshold 5) can
+// enforce a tighter budget on one benchmark than the suite-wide noise
+// threshold allows.
+func filterBenches(f *File, re *regexp.Regexp) *File {
+	out := *f
+	out.Benchmarks = nil
+	for _, b := range f.Benchmarks {
+		if re.MatchString(b.Name) {
+			out.Benchmarks = append(out.Benchmarks, b)
+		}
+	}
+	return &out
 }
 
 // Compare renders a prior-vs-current table and counts ns/op regressions

@@ -136,7 +136,7 @@ func TestLatestPriorSkipsCorruptRecords(t *testing.T) {
 // fresh branch, no -run) is the first-run outcome, not a failure.
 func TestRunCompareFirstRun(t *testing.T) {
 	dir := t.TempDir()
-	if err := runCompare(os.Stdout, filepath.Join(dir, "BENCH_PR1.json"), dir, 15, false); err != nil {
+	if err := runCompare(os.Stdout, filepath.Join(dir, "BENCH_PR1.json"), dir, "", 15, false); err != nil {
 		t.Fatalf("missing current record should be a no-op, got %v", err)
 	}
 }
@@ -149,7 +149,7 @@ func TestRunCompareNoPrior(t *testing.T) {
 	if err := writeFile(cur, record("PR1", bench("A", 100))); err != nil {
 		t.Fatal(err)
 	}
-	if err := runCompare(os.Stdout, cur, dir, 15, false); err != nil {
+	if err := runCompare(os.Stdout, cur, dir, "", 15, false); err != nil {
 		t.Fatalf("no-prior compare should be a no-op, got %v", err)
 	}
 }
@@ -170,10 +170,45 @@ func TestRunCompareGate(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer null.Close()
-	if err := runCompare(null, cur, dir, 15, false); err == nil || !strings.Contains(err.Error(), "regressed") {
+	if err := runCompare(null, cur, dir, "", 15, false); err == nil || !strings.Contains(err.Error(), "regressed") {
 		t.Fatalf("100%% regression err = %v, want gate failure", err)
 	}
-	if err := runCompare(null, cur, dir, 15, true); err != nil {
+	if err := runCompare(null, cur, dir, "", 15, true); err != nil {
 		t.Fatalf("informational mode must not fail, got %v", err)
+	}
+}
+
+// TestRunCompareOnly: -only restricts the gate to matching benchmarks — a
+// regression outside the filter passes, one inside fails, and a filter
+// matching nothing is an error (a typo must not silently disable the gate).
+func TestRunCompareOnly(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeFile(filepath.Join(dir, "BENCH_PR1.json"),
+		record("PR1", bench("BenchmarkFast", 100), bench("BenchmarkSlow", 100))); err != nil {
+		t.Fatal(err)
+	}
+	cur := filepath.Join(dir, "BENCH_PR2.json")
+	if err := writeFile(cur,
+		record("PR2", bench("BenchmarkFast", 101), bench("BenchmarkSlow", 300))); err != nil {
+		t.Fatal(err)
+	}
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	if err := runCompare(null, cur, dir, "BenchmarkFast", 5, false); err != nil {
+		t.Fatalf("regression outside -only tripped the gate: %v", err)
+	}
+	if err := runCompare(null, cur, dir, "BenchmarkSlow", 5, false); err == nil ||
+		!strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("regression inside -only err = %v, want gate failure", err)
+	}
+	if err := runCompare(null, cur, dir, "BenchmarkNoSuch", 5, false); err == nil ||
+		!strings.Contains(err.Error(), "matched no benchmarks") {
+		t.Fatalf("empty -only match err = %v, want error", err)
+	}
+	if err := runCompare(null, cur, dir, "(", 5, false); err == nil {
+		t.Fatal("invalid -only regexp accepted")
 	}
 }

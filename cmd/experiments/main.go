@@ -8,10 +8,13 @@
 //	experiments -submit localhost:9090 -exp fig10,fig12
 //
 // Experiments: headline table1 table2 table3 table4 fig10 fig11 fig12
-// fig13 cpistack fig14 fig15 fig16 verify all. ("all" covers the tables and
-// figures; "headline" recomputes the paper-vs-measured claim summary;
-// "cpistack" decomposes each scheme's Figure 12 slowdown into per-kernel
-// cycle stacks and a baseline-diff attribution table; "verify" runs the
+// fig13 cpistack fig14 fig15 fig16 smprof verify all. ("all" covers the
+// tables and figures; "headline" recomputes the paper-vs-measured claim
+// summary; "cpistack" decomposes each scheme's Figure 12 slowdown into
+// per-kernel cycle stacks and a baseline-diff attribution table; "smprof"
+// profiles the partitioned round loop itself — phase-A vs merge-barrier
+// wall time, Amdahl ceiling, idle-skip savings per workload x scheme — and
+// runs serially, so it is opt-in like "verify", which runs the
 // differential verifier — every workload x scheme x optimization combo
 // linted and checked for architectural equivalence against baseline — and
 // is not part of "all" since it replays the whole workload suite 68 times.)
@@ -51,7 +54,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments to run (headline, table1..table4, fig10..fig16, cpistack, verify, all)")
+	exp := flag.String("exp", "all", "comma-separated experiments to run (headline, table1..table4, fig10..fig16, cpistack, smprof, verify, all)")
 	tuples := flag.Int("tuples", 10000, "input tuples per unit for the fig10/fig11 injection campaign")
 	seed := flag.Int64("seed", 1, "campaign master seed (results are bit-identical for a given seed at any -workers)")
 	workers := flag.Int("workers", 0, "engine worker count (0 = all cores)")
@@ -296,6 +299,14 @@ func run(rec *obs.Recorder, exp string, tuples int, seed int64, workers, smWorke
 			writeCSV("fig16.csv", perf.CSV())
 			return perf.Render("Figure 16: Swap-Predict with plausible future check-bit predictors"), nil
 		}},
+		{"smprof", func(ctx context.Context) (string, error) {
+			res, err := harness.RunSMProfCtx(ctx, harness.Fig12Schemes(), harness.Options{SMWorkers: smWorkers})
+			if err != nil {
+				return "", err
+			}
+			writeCSV("smprof.csv", res.CSV())
+			return res.Render("SM round-loop attribution: parallel phase A vs serial merge vs idle-skip"), nil
+		}},
 		{"verify", func(ctx context.Context) (string, error) {
 			res, err := harness.RunVerifyCtx(ctx, pool, verify.Matrix())
 			if err != nil {
@@ -318,9 +329,10 @@ func run(rec *obs.Recorder, exp string, tuples int, seed int64, workers, smWorke
 	known := map[string]bool{"all": true}
 	for _, e := range experiments {
 		known[e.name] = true
-		// "verify" replays the whole workload suite across 68 combos; it is
-		// opt-in only and deliberately not part of "all".
-		if want[e.name] || (all && e.name != "verify") {
+		// "verify" replays the whole workload suite across 68 combos, and
+		// "smprof" runs every launch strictly serially to keep its wall-time
+		// attribution clean; both are opt-in only and not part of "all".
+		if want[e.name] || (all && e.name != "verify" && e.name != "smprof") {
 			selected = append(selected, e)
 		}
 	}

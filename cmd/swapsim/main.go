@@ -11,6 +11,7 @@
 //	swapsim -workload mm -scheme sw-dup -fault 120 -lane -1 -bit -1 -seed 7
 //	swapsim -file kernel.sasm -scheme swap-ecc -mem 65536
 //	swapsim -workload mm -scheme sw-dup -serve :9090 -metrics run.json
+//	swapsim -workload lavaMD -scheme swap-ecc -flight /tmp/black-box.jsonl
 //	swapsim -submit localhost:9090 -scheme sw-dup,swap-ecc
 //	swapsim -list
 //
@@ -20,6 +21,10 @@
 // With -lane -1 or -bit -1 the faulted lane/bit are drawn from -seed.
 // With -submit the -scheme sweep runs as a perf job on a swapserve (or is
 // answered from its content-addressed cache) instead of simulating locally.
+// With -flight each launch runs under the flight recorder (DESIGN.md §14):
+// if a scheme fails to launch, or its output mismatches without a
+// deliberately injected fault, the black-box bundle of scheduler decisions
+// is written to the given path for serial replay.
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"time"
 
 	"swapcodes/internal/compiler"
@@ -40,6 +46,7 @@ import (
 	"swapcodes/internal/isa"
 	"swapcodes/internal/jobs"
 	"swapcodes/internal/obs"
+	"swapcodes/internal/obs/simprof"
 	"swapcodes/internal/sm"
 	"swapcodes/internal/workloads"
 )
@@ -53,7 +60,33 @@ type runOpts struct {
 	disas      bool
 	optimize   bool
 	rec        *obs.Recorder
+	flight     *flightSink
 	log        *slog.Logger
+}
+
+// flightSink writes the first failing launch's flight-recorder bundle to the
+// -flight path. One file per run: parallel scheme sweeps race to the first
+// failure and later ones only log.
+type flightSink struct {
+	path string
+	log  *slog.Logger
+	once sync.Once
+}
+
+// dump persists the bundle if the recorder actually captured a failure.
+func (s *flightSink) dump(fr *simprof.FlightRecorder) {
+	if s == nil || fr == nil || !fr.Failed() {
+		return
+	}
+	s.once.Do(func() {
+		if err := os.WriteFile(s.path, fr.Bundle(), 0o644); err != nil {
+			s.log.Error("flight bundle write failed",
+				slog.String("path", s.path), slog.String("err", err.Error()))
+			return
+		}
+		s.log.Info("flight bundle written", slog.String("path", s.path),
+			slog.String("reason", fr.Meta().Reason))
+	})
 }
 
 func main() {
@@ -70,6 +103,7 @@ func main() {
 	bit := flag.Int("bit", 7, "faulted result bit (-1: draw from -seed)")
 	disas := flag.Bool("disas", false, "print the transformed kernel")
 	optimize := flag.Bool("O", false, "run dead-code elimination and the list scheduler after the protection pass")
+	flight := flag.String("flight", "", "arm the flight recorder; on a failed or corrupted run, write the JSONL black-box bundle to this file")
 	metricsOut := flag.String("metrics", "", "write run metrics to this file (.json, .csv, anything else: aligned table)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file, loadable in Perfetto / chrome://tracing")
 	metricsInterval := flag.Duration("metrics-interval", 0, "print a progress line to stderr at this interval (e.g. 2s)")
@@ -111,6 +145,9 @@ func main() {
 	opts := runOpts{name: *name, file: *file, memWords: *memWords,
 		fault: *fault, lane: *lane, bit: *bit, smWorkers: *smWorkers,
 		disas: *disas, optimize: *optimize, log: log}
+	if *flight != "" {
+		opts.flight = &flightSink{path: *flight, log: log}
+	}
 	if *fault >= 0 && (*lane < 0 || *bit < 0) {
 		rng := rand.New(rand.NewSource(*seed))
 		if *lane < 0 {
@@ -251,8 +288,17 @@ func runScheme(ctx context.Context, scheme compiler.Scheme, o runOpts) (string, 
 		g.Fault = &sm.FaultPlan{TargetDynInstr: o.fault, Lane: o.lane, BitMask: 1 << uint(o.bit%32)}
 	}
 	g.Obs = o.rec
+	var fr *simprof.FlightRecorder
+	if o.flight != nil {
+		fr = simprof.NewFlightRecorder(0)
+		if w != nil {
+			fr.Annotate(w.Name, 0)
+		}
+		g.Flight = fr
+	}
 	st, err := g.LaunchContext(ctx, k)
 	if err != nil {
+		o.flight.dump(fr)
 		if st == nil || ctx.Err() == nil {
 			return "", err
 		}
@@ -267,6 +313,14 @@ func runScheme(ctx context.Context, scheme compiler.Scheme, o runOpts) (string, 
 	var verifyErr error
 	if w != nil {
 		verifyErr = w.Verify(g)
+	}
+	if verifyErr != nil && fr != nil && o.fault < 0 {
+		// Corruption with no deliberate fault injected is a real failure:
+		// stamp and persist the black box. (Injected-fault SDCs are the
+		// experiment's expected outcome, not a bug worth a bundle.)
+		fr.Fail(k.Name, k.Scheme, o.smWorkers, st.Cycles, cfg,
+			"output verification failed: "+verifyErr.Error())
+		o.flight.dump(fr)
 	}
 
 	fmt.Fprintf(&b, "workload    %s under %v\n", k.Name, scheme)

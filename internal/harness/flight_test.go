@@ -1,0 +1,142 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"swapcodes/internal/compiler"
+	"swapcodes/internal/obs/simprof"
+	"swapcodes/internal/sm"
+	"swapcodes/internal/workloads"
+)
+
+func TestSchemeByStamp(t *testing.T) {
+	cases := map[string]compiler.Scheme{
+		// CLI names.
+		"baseline": compiler.Baseline,
+		"swap-ecc": compiler.SwapECC,
+		// Compiler display stamps (what isa.Kernel.Scheme carries).
+		"Baseline":   compiler.Baseline,
+		"Swap-ECC":   compiler.SwapECC,
+		"SW-Dup":     compiler.SWDup,
+		"Pre AddSub": compiler.SwapPredictAddSub,
+		// Unstamped kernels ran un-transformed.
+		"":     compiler.Baseline,
+		"none": compiler.Baseline,
+	}
+	for stamp, want := range cases {
+		got, err := SchemeByStamp(stamp)
+		if err != nil || got != want {
+			t.Errorf("SchemeByStamp(%q) = %v, %v; want %v", stamp, got, err, want)
+		}
+	}
+	if _, err := SchemeByStamp("no-such-scheme"); err == nil {
+		t.Error("unknown stamp accepted")
+	}
+}
+
+// failingBundle produces a real black box: lavaMD under Swap-ECC with a
+// cycle budget below its true cycle count, run at the given worker count.
+func failingBundle(t *testing.T, workers int) (*simprof.FlightRecorder, error) {
+	t.Helper()
+	w, err := workloads.ByName("lavaMD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := compiler.Apply(w.Kernel, compiler.SwapECC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sm.DefaultConfig()
+	cfg.Workers = workers
+	cfg.MaxCycles = 2000
+	g := w.NewGPU(cfg)
+	fr := simprof.NewFlightRecorder(0)
+	fr.Annotate(w.Name, 0)
+	g.Flight = fr
+	_, lerr := g.Launch(k)
+	return fr, lerr
+}
+
+// TestReplayFlightReproduces is the end-to-end black-box contract: a
+// failure captured under a parallel run replays serially from nothing but
+// the bundle bytes, fails at the same cycle with the same error, and
+// re-records bit-identical decision streams.
+func TestReplayFlightReproduces(t *testing.T) {
+	fr, lerr := failingBundle(t, 4)
+	if lerr == nil || !fr.Failed() {
+		t.Fatal("forced failure did not trip")
+	}
+	raw := fr.Bundle()
+	b, err := simprof.ReadBundle(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := ReplayFlight(context.Background(), b)
+	if err != nil {
+		t.Fatalf("ReplayFlight: %v", err)
+	}
+	if rep.Err == nil {
+		t.Fatal("replay did not reproduce the failure")
+	}
+	if rep.Err.Error() != lerr.Error() {
+		t.Fatalf("replay error %q, original %q", rep.Err, lerr)
+	}
+	if !rep.Recorder.Failed() {
+		t.Fatal("replay recorder not stamped")
+	}
+	om, rm := b.Meta, rep.Recorder.Meta()
+	if rm.Cycle != om.Cycle || rm.Reason != om.Reason ||
+		rm.Kernel != om.Kernel || rm.Scheme != om.Scheme {
+		t.Fatalf("replay failure point %+v, original %+v", rm, om)
+	}
+	rb, err := simprof.ReadBundle(bytes.NewReader(rep.Recorder.Bundle()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rb.Partitions, b.Partitions) {
+		t.Error("replay partition decision streams diverge from the original")
+	}
+	if !reflect.DeepEqual(rb.Merge, b.Merge) {
+		t.Error("replay merge decision stream diverges from the original")
+	}
+}
+
+func TestReplayFlightRejectsAnonymousBundle(t *testing.T) {
+	fr := simprof.NewFlightRecorder(8)
+	fr.Fail("k", "Swap-ECC", 1, 10, sm.DefaultConfig(), "r")
+	b, err := simprof.ReadBundle(bytes.NewReader(fr.Bundle()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayFlight(context.Background(), b); err == nil {
+		t.Fatal("bundle without a workload identity accepted")
+	}
+}
+
+func TestFlightWrap(t *testing.T) {
+	base := errors.New("boom")
+	if got := flightWrap(nil, "mm", compiler.SwapECC, base); got != base {
+		t.Fatal("nil recorder should pass the error through")
+	}
+	idle := simprof.NewFlightRecorder(8)
+	if got := flightWrap(idle, "mm", compiler.SwapECC, base); got != base {
+		t.Fatal("un-failed recorder should pass the error through")
+	}
+	fr, lerr := failingBundle(t, 0)
+	wrapped := flightWrap(fr, "lavaMD", compiler.SwapECC, lerr)
+	var fe *FlightError
+	if !errors.As(wrapped, &fe) {
+		t.Fatalf("expected *FlightError, got %T", wrapped)
+	}
+	if fe.Workload != "lavaMD" || fe.Scheme != "swap-ecc" || len(fe.Bundle) == 0 {
+		t.Fatalf("FlightError fields: %+v", fe)
+	}
+	if !errors.Is(wrapped, lerr) {
+		t.Fatal("FlightError does not unwrap to the launch error")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"swapcodes/internal/compiler"
+	"swapcodes/internal/obs/simprof"
 	"swapcodes/internal/sm"
 	"swapcodes/internal/workloads"
 )
@@ -40,6 +41,11 @@ type Options struct {
 	// bit-identical at any value (internal/sm differential tests), so this
 	// is purely a wall-clock knob.
 	SMWorkers int
+	// FlightRecord arms a simprof flight recorder on every launch. On a
+	// launch or verification failure the run's error is wrapped in a
+	// *FlightError carrying the JSONL black-box bundle. Near-zero cost
+	// while nothing fails (fixed rings, no I/O), so servers leave it on.
+	FlightRecord bool
 }
 
 func (o Options) smConfig() sm.Config {
@@ -92,13 +98,25 @@ func runWorkload(ctx context.Context, w *workloads.Workload, schemes []compiler.
 			continue
 		}
 		g := w.NewGPU(opt.smConfig())
+		var fr *simprof.FlightRecorder
+		if opt.FlightRecord {
+			fr = simprof.NewFlightRecorder(0)
+			fr.Annotate(w.Name, 0)
+			g.Flight = fr
+		}
 		st, err := g.LaunchContext(ctx, k)
 		if err != nil {
-			return nil, fmt.Errorf("harness: %s/%v: %w", w.Name, s, err)
+			return nil, flightWrap(fr, w.Name, s, fmt.Errorf("harness: %s/%v: %w", w.Name, s, err))
 		}
 		if verify {
 			if err := w.Verify(g); err != nil {
-				return nil, fmt.Errorf("harness: %s/%v: %w", w.Name, s, err)
+				if fr != nil {
+					// A differential mismatch is a failure the simulator
+					// cannot see from inside; stamp the black box here.
+					fr.Fail(k.Name, k.Scheme, opt.SMWorkers, st.Cycles, opt.smConfig(),
+						"output verification failed: "+err.Error())
+				}
+				return nil, flightWrap(fr, w.Name, s, fmt.Errorf("harness: %s/%v: %w", w.Name, s, err))
 			}
 		}
 		if s == compiler.Baseline {

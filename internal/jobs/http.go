@@ -25,6 +25,7 @@ func (s *Service) Register(mux *http.ServeMux) {
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/flight", s.handleFlight)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 }
@@ -114,6 +115,29 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(j.Result())
+}
+
+// handleFlight serves a failed job's flight-recorder bundle: the JSONL
+// black box captured at the moment of failure, sufficient to re-run the
+// launch deterministically (harness.ReplayFlight).
+func (s *Service) handleFlight(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	key := j.FlightKey()
+	if key == "" {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("job %s has no flight bundle", j.ID))
+		return
+	}
+	b, ok := s.cache.Get("flight", key)
+	if !ok {
+		writeErr(w, http.StatusGone, fmt.Errorf("flight bundle %s evicted", key))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b)
 }
 
 func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {

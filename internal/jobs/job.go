@@ -52,6 +52,7 @@ type Job struct {
 	shardsTotal int
 	cacheHit    bool
 	userCancel  bool
+	flightKey   string
 	submitted   time.Time
 	started     time.Time
 	finished    time.Time
@@ -92,17 +93,20 @@ type Event struct {
 
 // Status is the JSON view of a job, the body of GET /jobs/{id}.
 type Status struct {
-	ID          string    `json:"id"`
-	TraceID     string    `json:"trace_id,omitempty"`
-	Spec        Spec      `json:"spec"`
-	State       State     `json:"state"`
-	Error       string    `json:"error,omitempty"`
-	ShardsDone  int       `json:"shards_done"`
-	ShardsTotal int       `json:"shards_total"`
-	CacheHit    bool      `json:"cache_hit,omitempty"`
-	SubmittedAt time.Time `json:"submitted_at"`
-	StartedAt   time.Time `json:"started_at"`
-	FinishedAt  time.Time `json:"finished_at"`
+	ID          string `json:"id"`
+	TraceID     string `json:"trace_id,omitempty"`
+	Spec        Spec   `json:"spec"`
+	State       State  `json:"state"`
+	Error       string `json:"error,omitempty"`
+	ShardsDone  int    `json:"shards_done"`
+	ShardsTotal int    `json:"shards_total"`
+	CacheHit    bool   `json:"cache_hit,omitempty"`
+	// FlightBundle is the content address of the flight-recorder black box
+	// captured when the job failed (GET /jobs/{id}/flight serves it).
+	FlightBundle string    `json:"flight_bundle,omitempty"`
+	SubmittedAt  time.Time `json:"submitted_at"`
+	StartedAt    time.Time `json:"started_at"`
+	FinishedAt   time.Time `json:"finished_at"`
 }
 
 func newJob(id string, spec Spec, submitted time.Time) *Job {
@@ -117,9 +121,24 @@ func (j *Job) Status() Status {
 	return Status{
 		ID: j.ID, TraceID: j.TraceID, Spec: j.Spec, State: j.state, Error: j.err,
 		ShardsDone: j.shardsDone, ShardsTotal: j.shardsTotal,
-		CacheHit:    j.cacheHit,
+		CacheHit: j.cacheHit, FlightBundle: j.flightKey,
 		SubmittedAt: j.submitted, StartedAt: j.started, FinishedAt: j.finished,
 	}
+}
+
+// setFlight records the CAS address of the failure's flight bundle.
+func (j *Job) setFlight(key string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.flightKey = key
+}
+
+// FlightKey returns the CAS address of the failure's flight bundle ("" when
+// the job did not fail or failed without a recorded bundle).
+func (j *Job) FlightKey() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.flightKey
 }
 
 // State returns the current state.

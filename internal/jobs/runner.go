@@ -363,7 +363,7 @@ func (r *runner) runPerf(ctx context.Context, spec Spec) (*PerfResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	perf, err := harness.RunPerfCtxOpts(ctx, r.pool, schemes, !spec.SkipVerify, harness.Options{SMWorkers: spec.SMWorkers})
+	perf, err := harness.RunPerfCtxOpts(ctx, r.pool, schemes, !spec.SkipVerify, harness.Options{SMWorkers: spec.SMWorkers, FlightRecord: true})
 	if err != nil {
 		return nil, err
 	}
@@ -415,7 +415,7 @@ func (r *runner) runCPIStack(ctx context.Context, spec Spec) (*CPIStackResult, e
 	if err != nil {
 		return nil, err
 	}
-	perf, err := harness.RunPerfCtxOpts(ctx, r.pool, schemes, !spec.SkipVerify, harness.Options{SMWorkers: spec.SMWorkers})
+	perf, err := harness.RunPerfCtxOpts(ctx, r.pool, schemes, !spec.SkipVerify, harness.Options{SMWorkers: spec.SMWorkers, FlightRecord: true})
 	if err != nil {
 		return nil, err
 	}

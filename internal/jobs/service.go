@@ -2,6 +2,7 @@ package jobs
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"sort"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"swapcodes/internal/engine"
+	"swapcodes/internal/harness"
 	"swapcodes/internal/obs"
 )
 
@@ -376,6 +378,28 @@ func (s *Service) worker(base context.Context) {
 	}
 }
 
+// storeFlight persists a failing launch's flight-recorder bundle in the
+// content-addressed cache and links it from the job, so GET /jobs/{id}/flight
+// can hand the black box to whoever debugs the failure. Best-effort: a cache
+// write error only logs.
+func (s *Service) storeFlight(j *Job, err error) {
+	var fe *harness.FlightError
+	if !errors.As(err, &fe) || len(fe.Bundle) == 0 {
+		return
+	}
+	key := CacheKey("flight", string(fe.Bundle))
+	if cerr := s.cache.Put("flight", key, fe.Bundle); cerr != nil {
+		s.log.Warn("flight bundle not cached", s.jobAttrs(j,
+			slog.String("err", cerr.Error()))...)
+		return
+	}
+	j.setFlight(key)
+	s.rec.Registry().Counter("jobs.flight_bundles").Inc()
+	s.log.Info("flight bundle captured", s.jobAttrs(j,
+		slog.String("workload", fe.Workload), slog.String("scheme", fe.Scheme),
+		slog.String("key", key), slog.Int("bytes", len(fe.Bundle)))...)
+}
+
 // execute runs one job to a terminal state (or leaves it checkpointed when
 // the base context — shutdown — is what stopped it).
 func (s *Service) execute(base context.Context, j *Job, rep map[int]*ShardSummary) {
@@ -432,6 +456,7 @@ func (s *Service) execute(base context.Context, j *Job, rep map[int]*ShardSummar
 		// a restart re-enqueues it; checkpoints make the re-run incremental.
 		s.log.Info("job interrupted by shutdown", s.jobAttrs(j)...)
 	default:
+		s.storeFlight(j, err)
 		j.setState(StateFailed, err.Error())
 		s.logState(j)
 		s.rec.Registry().Counter("jobs.failed").Inc()

@@ -1,0 +1,78 @@
+package obs
+
+import "testing"
+
+func TestRegistryLabelCardinalityCap(t *testing.T) {
+	reg := NewRegistry()
+	reg.MaxLabelValues = 2
+
+	a := reg.Counter(Name("jobs.done", "tenant", "a"))
+	b := reg.Counter(Name("jobs.done", "tenant", "b"))
+	a.Add(1)
+	b.Add(2)
+
+	// Third and fourth distinct values collapse into one _overflow series.
+	c := reg.Counter(Name("jobs.done", "tenant", "c"))
+	d := reg.Counter(Name("jobs.done", "tenant", "d"))
+	if c != d {
+		t.Fatal("over-cap values should share the _overflow series")
+	}
+	c.Add(10)
+
+	if got := reg.Counter(`jobs.done{tenant="_overflow"}`); got != c {
+		t.Fatal("overflow series not registered under the rewritten name")
+	}
+	if got := reg.Counter("obs.labels_dropped").Value(); got != 2 {
+		t.Fatalf("obs.labels_dropped = %d, want 2", got)
+	}
+
+	// Established series are untouched, and re-looking them up never drops.
+	if got := reg.Counter(Name("jobs.done", "tenant", "a")); got != a || got.Value() != 1 {
+		t.Fatal("admitted series disturbed by the cap")
+	}
+	if got := reg.Counter("obs.labels_dropped").Value(); got != 2 {
+		t.Fatalf("re-lookup of admitted series counted a drop: %d", got)
+	}
+
+	// Re-lookup of an over-cap value resolves to the overflow series (and
+	// counts as another dropped registration — the raw name is never mapped).
+	if got := reg.Counter(Name("jobs.done", "tenant", "c")); got != c {
+		t.Fatal("over-cap re-lookup did not find the overflow series")
+	}
+	if got := reg.Counter("obs.labels_dropped").Value(); got != 3 {
+		t.Fatalf("obs.labels_dropped = %d, want 3", got)
+	}
+
+	// Unlabeled names bypass the guard entirely.
+	reg.Counter("plain").Inc()
+	if reg.Counter("obs.labels_dropped").Value() != 3 {
+		t.Fatal("unlabeled registration counted as a drop")
+	}
+}
+
+func TestRegistryLabelCapPerKeyAndFamily(t *testing.T) {
+	reg := NewRegistry()
+	reg.MaxLabelValues = 1
+
+	// Each (family, key) pair has its own budget: one value per key here.
+	reg.Gauge(Name("g", "k1", "x", "k2", "y")).Set(1)
+	over := reg.Gauge(Name("g", "k1", "z", "k2", "y")) // k1 over, k2 fine
+	if got := reg.Gauge(`g{k1="_overflow",k2="y"}`); got != over {
+		t.Fatal("only the over-cap key should be rewritten")
+	}
+	// A different family gets its own budget.
+	reg.Histogram(Name("h", "k1", "x"), 1).Observe(1)
+	if reg.Counter("obs.labels_dropped").Value() != 1 {
+		t.Fatalf("drops = %d, want 1", reg.Counter("obs.labels_dropped").Value())
+	}
+	// Snapshot sees the overflow series under its rewritten name.
+	found := false
+	for _, m := range reg.Snapshot() {
+		if m.Name == `g{k1="_overflow",k2="y"}` {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("overflow series missing from snapshot")
+	}
+}

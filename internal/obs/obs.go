@@ -167,15 +167,42 @@ func ExpBounds(first int64, n int) []int64 {
 	return out
 }
 
+// DefaultMaxLabelValues caps the distinct values one label key of one metric
+// family may take before further values collapse into LabelOverflow. The
+// largest legitimate family today is {kernel} x {scheme} (15 workloads, 11
+// schemes); partition labels are bounded by Config.Schedulers. The cap
+// exists for the unbounded inputs — user-supplied tenants, job IDs leaking
+// into a label — which would otherwise grow the registry (and every
+// /metrics scrape) without limit.
+const DefaultMaxLabelValues = 256
+
+// LabelOverflow replaces label values past the per-family cardinality cap.
+// Drops are counted in the plain "obs.labels_dropped" counter.
+const LabelOverflow = "_overflow"
+
 // Registry holds named instruments. Lookup is get-or-create, so independent
 // layers (sm, faultsim, engine) share instruments by name without wiring
 // ceremony. All methods are safe for concurrent use; instruments returned
 // are safe for lock-free concurrent updates.
+//
+// Labeled names (the obs.Name convention) are admitted through a
+// cardinality guard: per metric family (base name) and label key, at most
+// MaxLabelValues distinct values register; later values are rewritten to
+// LabelOverflow and tallied in obs.labels_dropped. The guard runs only on
+// first registration of a name — established series pay a map hit, nothing
+// more.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+
+	// MaxLabelValues overrides DefaultMaxLabelValues when > 0. Set it before
+	// instruments register; it is read under the registry mutex.
+	MaxLabelValues int
+	// labelSeen tracks distinct values per (family base, label key).
+	labelSeen map[string]map[string]struct{}
+	dropped   *Counter // obs.labels_dropped, created on first drop
 }
 
 // NewRegistry returns an empty registry.
@@ -187,12 +214,60 @@ func NewRegistry() *Registry {
 	}
 }
 
+// admitLocked enforces the per-family label-cardinality cap on a name not
+// yet registered, returning the (possibly rewritten) name to register under.
+// Caller holds r.mu.
+func (r *Registry) admitLocked(name string) string {
+	base, labels := ParseName(name)
+	if len(labels) == 0 {
+		return name
+	}
+	max := r.MaxLabelValues
+	if max <= 0 {
+		max = DefaultMaxLabelValues
+	}
+	if r.labelSeen == nil {
+		r.labelSeen = make(map[string]map[string]struct{})
+	}
+	rewritten := false
+	for i := range labels {
+		fam := base + "\x00" + labels[i].Key
+		seen := r.labelSeen[fam]
+		if seen == nil {
+			seen = make(map[string]struct{})
+			r.labelSeen[fam] = seen
+		}
+		if _, ok := seen[labels[i].Value]; ok {
+			continue
+		}
+		if len(seen) < max {
+			seen[labels[i].Value] = struct{}{}
+			continue
+		}
+		labels[i].Value = LabelOverflow
+		rewritten = true
+	}
+	if !rewritten {
+		return name
+	}
+	if r.dropped == nil {
+		r.dropped = &Counter{}
+		r.counters["obs.labels_dropped"] = r.dropped
+	}
+	r.dropped.Inc()
+	return NameL(base, labels)
+}
+
 // Counter returns the named counter, creating it on first use.
 func (r *Registry) Counter(name string) *Counter {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	c, ok := r.counters[name]
 	if !ok {
+		name = r.admitLocked(name)
+		if c, ok = r.counters[name]; ok {
+			return c
+		}
 		c = &Counter{}
 		r.counters[name] = c
 	}
@@ -205,6 +280,10 @@ func (r *Registry) Gauge(name string) *Gauge {
 	defer r.mu.Unlock()
 	g, ok := r.gauges[name]
 	if !ok {
+		name = r.admitLocked(name)
+		if g, ok = r.gauges[name]; ok {
+			return g
+		}
 		g = &Gauge{}
 		r.gauges[name] = g
 	}
@@ -219,6 +298,10 @@ func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
 	defer r.mu.Unlock()
 	h, ok := r.hists[name]
 	if !ok {
+		name = r.admitLocked(name)
+		if h, ok = r.hists[name]; ok {
+			return h
+		}
 		h = newHistogram(bounds)
 		r.hists[name] = h
 	}

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 )
@@ -141,10 +142,65 @@ func (ts *TimeSeries) Stop() {
 	<-ts.done
 }
 
+// Filter returns a dump keeping only the series whose metric family matches
+// one of the requested names. A name matches its family base (labels and the
+// histogram .count/.sum suffixes stripped, so "jobs.queue_depth" selects
+// every tenant's series) or, failing that, the full sampled key verbatim.
+// Sample timestamps are preserved so rates stay differencable; samples whose
+// value set becomes empty are dropped.
+func (d TimeSeriesDump) Filter(names ...string) TimeSeriesDump {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		if n = strings.TrimSpace(n); n != "" {
+			want[n] = true
+		}
+	}
+	if len(want) == 0 {
+		return d
+	}
+	out := TimeSeriesDump{PeriodMS: d.PeriodMS, Capacity: d.Capacity}
+	for _, s := range d.Samples {
+		vals := make(map[string]int64)
+		for k, v := range s.Values {
+			if want[k] || want[tsFamily(k)] {
+				vals[k] = v
+			}
+		}
+		if len(vals) > 0 {
+			out.Samples = append(out.Samples, TSSample{TMS: s.TMS, Values: vals})
+		}
+	}
+	return out
+}
+
+// tsFamily reduces a sampled key to its metric family base: the histogram
+// .count/.sum suffix goes first (it sits outside the label braces), then
+// labels.
+func tsFamily(key string) string {
+	for _, suf := range [...]string{".count", ".sum"} {
+		if strings.HasSuffix(key, suf) {
+			key = key[:len(key)-len(suf)]
+			break
+		}
+	}
+	base, _ := ParseName(key)
+	return base
+}
+
 // ServeHTTP renders the ring as JSON — the GET /timeseries endpoint.
+// ?name=<family> (repeatable, or comma-separated) restricts the dump to the
+// requested metric families; see Filter.
 func (ts *TimeSeries) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	dump := ts.Snapshot()
+	var names []string
+	for _, raw := range r.URL.Query()["name"] {
+		names = append(names, strings.Split(raw, ",")...)
+	}
+	if len(names) > 0 {
+		dump = dump.Filter(names...)
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(ts.Snapshot())
+	_ = enc.Encode(dump)
 }

@@ -88,3 +88,84 @@ func TestTimeSeriesStopIdempotent(t *testing.T) {
 	ts.Stop()
 	ts.Stop() // second stop must not panic or deadlock
 }
+
+func TestTimeSeriesFilter(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(Name("jobs.done", "tenant", "a")).Add(1)
+	reg.Counter(Name("jobs.done", "tenant", "b")).Add(2)
+	reg.Gauge("jobs.queue_depth").Set(5)
+	reg.Histogram(Name("jobs.duration_ms", "kind", "perf"), 10).Observe(7)
+
+	ts := newStoppedTS(reg, 8)
+	ts.Sample()
+	dump := ts.Snapshot()
+
+	// A family name selects every labeled series of the family, and the
+	// histogram's .count/.sum derived keys.
+	got := dump.Filter("jobs.done", "jobs.duration_ms")
+	if len(got.Samples) != 1 {
+		t.Fatalf("filtered samples = %d, want 1", len(got.Samples))
+	}
+	vals := got.Samples[0].Values
+	for _, want := range []string{
+		`jobs.done{tenant="a"}`, `jobs.done{tenant="b"}`,
+		`jobs.duration_ms{kind="perf"}.count`, `jobs.duration_ms{kind="perf"}.sum`,
+	} {
+		if _, ok := vals[want]; !ok {
+			t.Errorf("filter dropped %s (have %v)", want, vals)
+		}
+	}
+	if _, ok := vals["jobs.queue_depth"]; ok {
+		t.Error("filter kept an unrequested family")
+	}
+	if got.Samples[0].TMS != dump.Samples[0].TMS {
+		t.Error("filter rewrote sample timestamps")
+	}
+
+	// An exact sampled key (labels and all) also matches.
+	exact := dump.Filter(`jobs.done{tenant="a"}`)
+	if n := len(exact.Samples[0].Values); n != 1 {
+		t.Fatalf("exact-key filter kept %d series, want 1", n)
+	}
+
+	// No matching series: the dump has no samples but keeps its shape.
+	empty := dump.Filter("nope")
+	if len(empty.Samples) != 0 || empty.Capacity != dump.Capacity {
+		t.Fatalf("no-match filter = %+v", empty)
+	}
+
+	// No names: pass-through.
+	if all := dump.Filter(); len(all.Samples[0].Values) != 5 {
+		t.Fatalf("empty filter dropped series: %v", all.Samples[0].Values)
+	}
+}
+
+func TestTimeSeriesServeHTTPNameFilter(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("alpha").Inc()
+	reg.Counter("beta").Inc()
+	reg.Counter("gamma").Inc()
+	ts := newStoppedTS(reg, 8)
+	ts.Sample()
+
+	rw := httptest.NewRecorder()
+	ts.ServeHTTP(rw, httptest.NewRequest(http.MethodGet,
+		"/timeseries?name=alpha,beta&name=", nil))
+	var dump TimeSeriesDump
+	if err := json.Unmarshal(rw.Body.Bytes(), &dump); err != nil {
+		t.Fatalf("/timeseries not JSON: %v", err)
+	}
+	if len(dump.Samples) != 1 {
+		t.Fatalf("samples = %d, want 1", len(dump.Samples))
+	}
+	vals := dump.Samples[0].Values
+	if _, ok := vals["alpha"]; !ok {
+		t.Error("?name= dropped alpha")
+	}
+	if _, ok := vals["beta"]; !ok {
+		t.Error("?name= comma-splitting broken: beta missing")
+	}
+	if _, ok := vals["gamma"]; ok {
+		t.Error("?name= kept unrequested gamma")
+	}
+}

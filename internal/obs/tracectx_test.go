@@ -38,7 +38,7 @@ func TestParseTraceparentRejects(t *testing.T) {
 		"",
 		"not-a-traceparent",
 		"00-short-0123456789abcdef-01",
-		"00-0af7651916cd43dd8448eb211c80319c-00f067aa0ba902b7", // missing flags
+		"00-0af7651916cd43dd8448eb211c80319c-00f067aa0ba902b7",    // missing flags
 		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // all-zero id
 		"00-0af7651916cd43dd8448eb211c8031XY-00f067aa0ba902b7-01", // non-hex
 	}

@@ -8,6 +8,7 @@ import (
 	"swapcodes/internal/core"
 	"swapcodes/internal/ecc"
 	"swapcodes/internal/isa"
+	"swapcodes/internal/obs/simprof"
 )
 
 func f32Bits(f float32) uint32     { return math.Float32bits(f) }
@@ -471,6 +472,11 @@ func (p *partition) execAtom(w *warpState, in *isa.Instr, mask uint32, injectNow
 	}
 	p.wlog = append(p.wlog, memEvent{atom: op})
 	w.atomHold = true
+	p.parks++
+	if p.fr != nil {
+		p.fr.Add(simprof.Decision{Cycle: m.cycle, Warp: int32(w.gid),
+			PC: w.top().pc, Kind: simprof.KindPark})
+	}
 	w.advancePC()
 	return nil
 }

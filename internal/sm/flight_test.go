@@ -1,0 +1,189 @@
+package sm_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"swapcodes/internal/compiler"
+	"swapcodes/internal/obs/simprof"
+	"swapcodes/internal/sm"
+	"swapcodes/internal/workloads"
+)
+
+// This file gates the flight recorder (DESIGN.md Section 14): armed on a
+// failing launch it must capture a black-box bundle whose decision streams
+// are bit-identical at every worker count — per-partition rings are
+// partition-local and the merge ring is barrier-ordered, so nothing in them
+// depends on scheduling of the host goroutines.
+
+// streams extracts the comparable payload of a recorder: every partition's
+// decision ring plus the merge ring, oldest-first.
+func streams(fr *simprof.FlightRecorder) ([][]simprof.Decision, []simprof.Decision, error) {
+	b, err := simprof.ReadBundle(bytes.NewReader(fr.Bundle()))
+	if err != nil {
+		return nil, nil, err
+	}
+	return b.Partitions, b.Merge, nil
+}
+
+// TestFlightBundleCycleBudget forces a deterministic failure (a cycle
+// budget below the kernel's real cycle count) at several worker counts and
+// requires: the recorder stamps the failure, the bundle round-trips, and
+// the decision streams are identical across worker counts.
+func TestFlightBundleCycleBudget(t *testing.T) {
+	w, err := workloads.ByName("lavaMD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := compiler.MustApply(w.Kernel, compiler.SwapECC)
+
+	var refParts [][]simprof.Decision
+	var refMerge []simprof.Decision
+	var refMeta simprof.Meta
+	for _, workers := range []int{0, 1, 2, 4} {
+		cfg := sm.DefaultConfig()
+		cfg.Workers = workers
+		cfg.MaxCycles = 2000
+		g := w.NewGPU(cfg)
+		fr := simprof.NewFlightRecorder(0)
+		fr.Annotate(w.Name, 0)
+		g.Flight = fr
+		_, lerr := g.Launch(k)
+		if lerr == nil {
+			t.Fatalf("workers=%d: cycle budget of 2000 did not trip", workers)
+		}
+		if !fr.Failed() {
+			t.Fatalf("workers=%d: recorder not stamped on launch failure", workers)
+		}
+		m := fr.Meta()
+		if m.Kernel != k.Name || m.Scheme != k.Scheme || m.Workload != "lavaMD" {
+			t.Fatalf("workers=%d: bundle identity wrong: %+v", workers, m)
+		}
+		if m.Reason != lerr.Error() {
+			t.Fatalf("workers=%d: reason %q, launch error %q", workers, m.Reason, lerr)
+		}
+		if len(m.Config) == 0 {
+			t.Fatalf("workers=%d: bundle carries no config", workers)
+		}
+		parts, merge, err := streams(fr)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(merge) == 0 {
+			t.Fatalf("workers=%d: merge ring empty on a multi-round launch", workers)
+		}
+		if workers == 0 {
+			refParts, refMerge, refMeta = parts, merge, m
+			continue
+		}
+		if !reflect.DeepEqual(parts, refParts) {
+			t.Errorf("workers=%d: partition decision streams diverge from serial run", workers)
+		}
+		if !reflect.DeepEqual(merge, refMerge) {
+			t.Errorf("workers=%d: merge decision stream diverges from serial run", workers)
+		}
+		if m.Cycle != refMeta.Cycle || m.Reason != refMeta.Reason {
+			t.Errorf("workers=%d: failure point (%d, %q) differs from serial (%d, %q)",
+				workers, m.Cycle, m.Reason, refMeta.Cycle, refMeta.Reason)
+		}
+	}
+}
+
+// TestFlightBundleNotStampedOnSuccess runs a clean launch with the recorder
+// armed: no failure stamp, but the rings must still hold the run's tail.
+func TestFlightBundleNotStampedOnSuccess(t *testing.T) {
+	w, err := workloads.ByName("bfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := compiler.MustApply(w.Kernel, compiler.Baseline)
+	cfg := sm.DefaultConfig()
+	cfg.Workers = 2
+	g := w.NewGPU(cfg)
+	fr := simprof.NewFlightRecorder(0)
+	g.Flight = fr
+	if _, err := g.Launch(k); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Failed() {
+		t.Fatal("recorder stamped failed on a clean launch")
+	}
+	// The rings still hold the tail of the run: armed-but-idle recorders
+	// are how the black box is cheap enough to leave on.
+	parts, _, err := streams(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	for _, p := range parts {
+		n += len(p)
+	}
+	if n == 0 {
+		t.Fatal("armed recorder captured no scheduler decisions")
+	}
+}
+
+// TestParallelSMDifferentialTelemetry re-runs a slice of the differential
+// sweep with BOTH simprof surfaces armed (LaunchProf and FlightRecorder) and
+// requires Stats and final memory to stay bit-identical to the bare serial
+// run at every worker count — the telemetry must observe the parallel loop,
+// never perturb it.
+func TestParallelSMDifferentialTelemetry(t *testing.T) {
+	for _, name := range []string{"lavaMD", "hspot", "mm"} {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := compiler.MustApply(w.Kernel, compiler.SwapECC)
+
+		bare := sm.DefaultConfig()
+		refSt, refMem := launchWith(t, w, k, compiler.SwapECC, bare)
+
+		var refParts [][]simprof.Decision
+		var refMerge []simprof.Decision
+		for _, workers := range []int{0, 1, 2, 4} {
+			cfg := sm.DefaultConfig()
+			cfg.Workers = workers
+			g := w.NewGPU(cfg)
+			prof := &simprof.LaunchProf{}
+			fr := simprof.NewFlightRecorder(0)
+			g.Prof = prof
+			g.Flight = fr
+			st, err := g.Launch(k)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if err := w.Verify(g); err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if !reflect.DeepEqual(st, refSt) {
+				t.Errorf("%s workers=%d: Stats diverge with telemetry armed", name, workers)
+			}
+			if !reflect.DeepEqual(g.Mem, refMem) {
+				t.Errorf("%s workers=%d: memory diverges with telemetry armed", name, workers)
+			}
+			// The deterministic half of the profile must not depend on the
+			// worker count either.
+			if prof.Cycles != refSt.Cycles || prof.Rounds == 0 {
+				t.Errorf("%s workers=%d: prof cycles=%d rounds=%d, stats cycles=%d",
+					name, workers, prof.Cycles, prof.Rounds, refSt.Cycles)
+			}
+			if got := sm.DefaultConfig().Schedulers; len(prof.Partitions) != got {
+				t.Errorf("%s workers=%d: prof has %d partitions, config has %d",
+					name, workers, len(prof.Partitions), got)
+			}
+			parts, merge, err := streams(fr)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if workers == 0 {
+				refParts, refMerge = parts, merge
+				continue
+			}
+			if !reflect.DeepEqual(parts, refParts) || !reflect.DeepEqual(merge, refMerge) {
+				t.Errorf("%s workers=%d: decision streams diverge from serial run", name, workers)
+			}
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"swapcodes/internal/isa"
+	"swapcodes/internal/obs/simprof"
 )
 
 // InvariantError reports dynamic SM invariant violations detected during a
@@ -35,6 +36,12 @@ func (m *machine) violatef(format string, args ...any) {
 	// per round, and the first few instances carry all the signal.
 	if len(m.violations) < 32 {
 		m.violations = append(m.violations, fmt.Sprintf(format, args...))
+	}
+	// Pin the violation into the black box: every checker runs on the
+	// barrier thread, so the merge ring is the right home.
+	if m.frMerge != nil {
+		m.frMerge.Add(simprof.Decision{Cycle: m.cycle, Warp: -1, PC: -1,
+			Kind: simprof.KindViolate, Aux: int64(len(m.violations))})
 	}
 }
 

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"swapcodes/internal/core"
 	"swapcodes/internal/isa"
+	"swapcodes/internal/obs/simprof"
 )
 
 // The SM advances in deterministic epochs ("rounds"), DESIGN.md §13. Every
@@ -127,6 +129,20 @@ type machine struct {
 	// obsm is non-nil only when GPU.Obs carries a recorder; the cycle loop
 	// guards every observation behind this one nil check.
 	obsm *smObs
+	// prof mirrors GPU.Prof: per-partition parallelism telemetry. Every
+	// hot-path observation hides behind this nil check (plus frMerge's for
+	// the flight recorder), which is what keeps the disabled path inside the
+	// BenchmarkSMObsDisabled budget. Unlike obsm, prof does not force
+	// in-order execution: everything it touches during phase A is
+	// partition-local, and the barrier-thread fields never feed back into
+	// simulated state.
+	prof *simprof.LaunchProf
+	// flight/frMerge mirror GPU.Flight: frMerge is the barrier thread's
+	// decision ring (partitions hold their own ring pointers).
+	flight  *simprof.FlightRecorder
+	frMerge *simprof.Ring
+	// profA/profMerge accumulate phase-A and merge wall time (prof only).
+	profA, profMerge time.Duration
 	// violations accumulates dynamic invariant failures when Config.Verify
 	// is set (see invariants.go).
 	violations []string
@@ -150,6 +166,8 @@ func newMachine(g *GPU, k *isa.Kernel) *machine {
 	if g.Obs != nil {
 		m.obsm = newSMObs(g.Obs, k)
 	}
+	m.prof = g.Prof
+	m.flight = g.Flight
 	return m
 }
 
@@ -206,6 +224,15 @@ func (m *machine) initPartitions() {
 		}
 		m.parts[i] = p
 	}
+	if m.prof != nil {
+		m.prof.Reset(n)
+	}
+	if m.flight != nil {
+		m.frMerge = m.flight.MergeRing()
+		for i, p := range m.parts {
+			p.fr = m.flight.Partition(i)
+		}
+	}
 }
 
 // launchCTA makes one CTA resident, assigning each warp to the currently
@@ -236,6 +263,9 @@ func (m *machine) launchCTA() {
 		}
 		cta.warps = append(cta.warps, w)
 		p.warps = append(p.warps, w)
+		if m.prof != nil {
+			m.prof.Partitions[p.idx].WarpsAssigned++
+		}
 	}
 	cta.liveWarps = len(cta.warps)
 	m.resident = append(m.resident, cta)
@@ -278,12 +308,41 @@ func (m *machine) run(ctx context.Context) error {
 	m.initPartitions()
 
 	m.inOrder = true
-	if w := m.parallelWorkers(); w > 1 {
+	workers := m.parallelWorkers()
+	if workers > 1 {
 		m.inOrder = false
-		m.par = startParRunner(m, w)
+		m.par = startParRunner(m, workers)
 		defer m.par.stop()
 	}
-	return m.loop(ctx)
+	if m.prof != nil {
+		m.prof.Workers = workers
+	}
+	if m.flight != nil {
+		// Black-box a panic before it unwinds past the launch: the bundle
+		// then carries the decisions leading up to it.
+		defer func() {
+			if r := recover(); r != nil {
+				m.failFlight(workers, fmt.Sprintf("panic: %v", r))
+				panic(r)
+			}
+		}()
+	}
+	err = m.loop(ctx)
+	if err != nil && ctx.Err() == nil && m.flight != nil {
+		// Any non-cancellation launch failure — invariant violations,
+		// deadlock, cycle-budget trip, partition errors — stamps the flight
+		// recorder so the caller can dump a replayable bundle.
+		m.failFlight(workers, err.Error())
+	}
+	return err
+}
+
+// failFlight records the failing launch's identity on the flight recorder:
+// kernel/scheme select the exact code (compilation is deterministic), the
+// config copy replays the same machine, and serial replay is bit-identical
+// by the §13 determinism guarantee.
+func (m *machine) failFlight(workers int, reason string) {
+	m.flight.Fail(m.k.Name, m.k.Scheme, workers, m.cycle, *m.cfg, reason)
 }
 
 // parallelWorkers reports how many goroutines phase A may use. Armed faults,
@@ -337,7 +396,13 @@ func (m *machine) loop(ctx context.Context) error {
 			continue
 		}
 
-		// Phase A: partitions issue independently.
+		// Phase A: partitions issue independently. When profiling, the two
+		// time.Now calls per round are the entire hot-path overhead of the
+		// phase-A/merge wall attribution (§14 overhead budget).
+		var tA time.Time
+		if m.prof != nil {
+			tA = time.Now()
+		}
 		if m.par != nil {
 			m.par.round()
 		} else {
@@ -345,9 +410,17 @@ func (m *machine) loop(ctx context.Context) error {
 				p.step()
 			}
 		}
+		if m.prof != nil {
+			now := time.Now()
+			m.profA += now.Sub(tA)
+			tA = now
+		}
 
 		// Barrier: merge in fixed partition order.
 		done, err := m.mergeRound()
+		if m.prof != nil {
+			m.profMerge += time.Since(tA)
+		}
 		if err != nil {
 			return err
 		}
@@ -381,6 +454,14 @@ func (m *machine) mergeRound() (bool, error) {
 	for _, p := range m.parts {
 		if p.err != nil {
 			return false, p.err
+		}
+	}
+	// Deferred-log telemetry reads the lengths before the commits below
+	// drain them; parked warps and stall profiles accumulate on the
+	// partitions and fold at finalize.
+	if m.prof != nil {
+		for i, p := range m.parts {
+			m.prof.ObserveLogs(i, len(p.wlog), len(p.slog), len(p.events))
 		}
 	}
 	// 2. Commit deferred global- and shared-memory writes and replay
@@ -436,6 +517,22 @@ func (m *machine) mergeRound() (bool, error) {
 		m.chargeIdle(reason, minClass, delta)
 	} else {
 		m.stats.IssueCycles += delta
+	}
+	if m.prof != nil {
+		m.prof.Rounds++
+		if issued == 0 {
+			m.prof.IdleRounds++
+			m.prof.SkippedCycles += delta - 1
+		}
+	}
+	if m.frMerge != nil {
+		if issued == 0 {
+			m.frMerge.Add(simprof.Decision{Cycle: m.cycle, Warp: -1, PC: -1,
+				Kind: simprof.KindSkip, Reason: uint8(reason), Aux: delta})
+		} else {
+			m.frMerge.Add(simprof.Decision{Cycle: m.cycle, Warp: -1, PC: -1,
+				Kind: simprof.KindMerge, Aux: int64(issued)})
+		}
 	}
 	// 6. Advance time and refill every partition's token buckets.
 	m.cycle += delta
@@ -520,6 +617,39 @@ func (m *machine) finalize() {
 	}
 	if m.obsm != nil {
 		m.obsm.finish(m)
+	}
+	if m.prof != nil {
+		m.finalizeProf()
+	}
+}
+
+// finalizeProf folds the per-partition counters into the launch profile and
+// stamps identity; like finalize itself it runs on every exit path, so a
+// cancelled or failed launch still reports a coherent partial profile.
+func (m *machine) finalizeProf() {
+	lp := m.prof
+	lp.Kernel = m.k.Name
+	lp.Scheme = m.k.Scheme
+	if lp.Scheme == "" {
+		lp.Scheme = "none"
+	}
+	lp.Cycles = m.cycle
+	lp.PhaseAWall = m.profA
+	lp.MergeWall = m.profMerge
+	for i, p := range m.parts {
+		pp := &lp.Partitions[i]
+		pp.Issued = p.instrs
+		pp.StallDeps = p.stallDeps
+		pp.StallThrottle = p.stallThrottle
+		pp.StallBarrier = p.stallBarrier
+		pp.StallNoWarp = p.stallNoWarp
+		pp.Parked = p.parks
+	}
+	// Surface the profile on the live registry when a recorder is armed
+	// (in-order mode): /metrics and /timeseries then carry the simprof.*
+	// families next to the sm.* ones.
+	if m.obsm != nil {
+		lp.EmitMetrics(m.obsm.rec.Registry())
 	}
 }
 

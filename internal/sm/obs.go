@@ -38,7 +38,21 @@ type smObs struct {
 	cycles    *obs.Counter
 	instrs    *obs.Counter
 	warpsRun  *obs.Counter
+
+	// Per-partition trace-thread state, active only when GPU.Prof is armed
+	// alongside the recorder: one thread row per partition plus a merge row,
+	// fed one span per sample window (see sampleParts).
+	partsNamed                           bool
+	prevIssued, prevIdle                 []int64
+	prevRounds, prevIdleRounds, prevSkip int64
 }
+
+// Partition trace threads use high tids so they never collide with per-warp
+// lifetime rows (tid = global warp id).
+const (
+	mergeTID    = int64(1)<<20 - 1
+	partTIDBase = int64(1) << 20
+)
 
 func newSMObs(rec *obs.Recorder, k *isa.Kernel) *smObs {
 	period := rec.SamplePeriod
@@ -100,9 +114,47 @@ func (o *smObs) sample(m *machine) {
 	o.rec.Sample(o.pid, "sm.stall_cycles", m.cycle, map[string]any{
 		"deps": o.winStall[0], "throttle": o.winStall[1],
 		"barrier": o.winStall[2], "nowarp": o.winStall[3]})
+	if m.prof != nil {
+		o.sampleParts(m, o.winStart)
+	}
 	o.winStart = m.cycle
 	o.winIssued = 0
 	o.winStall = [4]int64{}
+}
+
+// sampleParts emits the window's per-partition activity as one span per
+// partition trace thread, plus a merge-thread span carrying the barrier's
+// round/idle-skip profile — in the Chrome viewer the merge row is exactly
+// the serial residue between the partition rows' parallel work.
+func (o *smObs) sampleParts(m *machine, winStart int64) {
+	if !o.partsNamed {
+		o.partsNamed = true
+		o.rec.ThreadName(o.pid, mergeTID, "merge")
+		for _, p := range m.parts {
+			o.rec.ThreadName(o.pid, partTIDBase+int64(p.idx), fmt.Sprintf("partition %d", p.idx))
+		}
+		o.prevIssued = make([]int64, len(m.parts))
+		o.prevIdle = make([]int64, len(m.parts))
+	}
+	dur := m.cycle - winStart
+	for i, p := range m.parts {
+		idle := p.stallDeps + p.stallThrottle + p.stallBarrier + p.stallNoWarp
+		o.rec.Span(o.pid, partTIDBase+int64(i), "phase A", "simprof", winStart, dur,
+			map[string]any{
+				"issued":      p.instrs - o.prevIssued[i],
+				"idle_rounds": idle - o.prevIdle[i],
+				"warps":       len(p.warps),
+			})
+		o.prevIssued[i], o.prevIdle[i] = p.instrs, idle
+	}
+	lp := m.prof
+	o.rec.Span(o.pid, mergeTID, "merge", "simprof", winStart, dur,
+		map[string]any{
+			"rounds":         lp.Rounds - o.prevRounds,
+			"idle_rounds":    lp.IdleRounds - o.prevIdleRounds,
+			"skipped_cycles": lp.SkippedCycles - o.prevSkip,
+		})
+	o.prevRounds, o.prevIdleRounds, o.prevSkip = lp.Rounds, lp.IdleRounds, lp.SkippedCycles
 }
 
 // warpDone emits the retiring warp's lifetime span: one row per warp

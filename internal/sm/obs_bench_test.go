@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"swapcodes/internal/obs"
+	"swapcodes/internal/obs/simprof"
 )
 
 // benchLaunch runs one vecadd launch; rec == nil measures the disabled
@@ -53,6 +54,47 @@ func BenchmarkSMCPIStack(b *testing.B) {
 		stack := st.CPIStack(k.Name, k.Scheme)
 		if stack.Sum() != st.Cycles {
 			b.Fatalf("stack sums to %d, want %d", stack.Sum(), st.Cycles)
+		}
+	}
+}
+
+// BenchmarkSMProfArmed measures a launch with the partition profiler
+// (simprof.LaunchProf) armed: per-round counter folds, deferred-log peeks
+// at the merge barrier, and two wall-clock reads per round. Compare against
+// BenchmarkSMObsDisabled for the armed-profiler premium; the disabled cost
+// is the same nil check that guards the recorder.
+func BenchmarkSMProfArmed(b *testing.B) {
+	const n = 2048
+	k := vecAddKernel(n, 16, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := NewGPU(DefaultConfig(), 3*n+64)
+		g.Prof = &simprof.LaunchProf{}
+		st, err := g.Launch(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.Prof.Cycles != st.Cycles {
+			b.Fatalf("prof cycles %d, stats %d", g.Prof.Cycles, st.Cycles)
+		}
+	}
+}
+
+// BenchmarkSMFlightArmed measures a launch with the flight recorder armed:
+// one fixed-ring store per scheduler decision, no allocation, no I/O. This
+// is the number that justifies leaving the black box on in servers.
+func BenchmarkSMFlightArmed(b *testing.B) {
+	const n = 2048
+	k := vecAddKernel(n, 16, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := NewGPU(DefaultConfig(), 3*n+64)
+		g.Flight = simprof.NewFlightRecorder(0)
+		if _, err := g.Launch(k); err != nil {
+			b.Fatal(err)
+		}
+		if g.Flight.Failed() {
+			b.Fatal("clean launch stamped failed")
 		}
 	}
 }

@@ -2,6 +2,7 @@ package sm
 
 import (
 	"swapcodes/internal/isa"
+	"swapcodes/internal/obs/simprof"
 )
 
 // memEvent is one deferred global-memory effect, recorded in program order
@@ -50,9 +51,9 @@ type smemEvent struct {
 // memory and CTA-event logs. During phase A a partition touches nothing
 // outside itself except read-only shared state.
 type partition struct {
-	m    *machine
-	idx  int
-	warps []*warpState
+	m      *machine
+	idx    int
+	warps  []*warpState
 	tokens [10]float64
 
 	// Per-round outputs, consumed by the barrier.
@@ -81,6 +82,15 @@ type partition struct {
 	perCat   [5]int64
 
 	stallDeps, stallThrottle, stallBarrier, stallNoWarp int64
+
+	// parks counts ATOM parkings (folded into LaunchProf when armed; the
+	// unconditional increment on the rare ATOM path is cheaper than a branch).
+	parks int64
+
+	// fr is this partition's flight-recorder ring (nil unless GPU.Flight is
+	// armed). Partition-local single-writer during phase A, so recording
+	// does not pin the launch in-order.
+	fr *simprof.Ring
 }
 
 // step runs one round of this partition: issue up to IssuePerSched
@@ -118,6 +128,10 @@ func (p *partition) step() {
 			p.stallBarrier++
 		default:
 			p.stallNoWarp++
+		}
+		if p.fr != nil {
+			p.fr.Add(simprof.Decision{Cycle: p.m.cycle, Warp: -1, PC: -1,
+				Kind: simprof.KindStall, Reason: uint8(p.reason), Aux: p.wake})
 		}
 	}
 }
@@ -269,6 +283,10 @@ func (p *partition) issue(w *warpState) error {
 		m.dyn++
 	}
 	w.cacheWake = 0
+	if p.fr != nil {
+		p.fr.Add(simprof.Decision{Cycle: m.cycle, Warp: int32(w.gid),
+			PC: w.top().pc, Kind: simprof.KindIssue})
+	}
 
 	if err := p.exec(w, in); err != nil {
 		return err

@@ -20,6 +20,7 @@ import (
 	"swapcodes/internal/isa"
 	"swapcodes/internal/obs"
 	"swapcodes/internal/obs/cpistack"
+	"swapcodes/internal/obs/simprof"
 )
 
 // Config gives the SM's microarchitectural parameters. The defaults are
@@ -303,6 +304,21 @@ type GPU struct {
 	// microsecond. A nil Obs costs the cycle loop one branch per round
 	// (see BenchmarkSMObsDisabled).
 	Obs *obs.Recorder
+	// Prof, when non-nil, collects per-partition parallelism telemetry for
+	// every launch (DESIGN.md §14): per-partition issue/stall/deferred-log
+	// profiles, round and idle-skip counts, and the phase-A vs merge wall
+	// split. Unlike Obs, an armed Prof does NOT pin phase A to one goroutine
+	// — profiling the parallel schedule is its purpose — and no wall-clock
+	// value it records ever feeds back into simulated results, so Stats stay
+	// bit-identical at every worker count with Prof on or off.
+	Prof *simprof.LaunchProf
+	// Flight, when non-nil, arms the flight recorder: each partition logs
+	// its recent scheduler decisions into a fixed-size ring, and any launch
+	// failure (invariant violation, deadlock, cycle-budget trip, panic)
+	// stamps the recorder with enough identity (config, kernel, scheme,
+	// cycle) to re-run the launch deterministically from the dumped bundle.
+	// Like Prof, arming Flight does not force in-order execution.
+	Flight *simprof.FlightRecorder
 	// RetireHook, when non-nil, observes every retiring warp's final
 	// architectural state: regs is laid out reg*WarpSize+lane and preds
 	// holds P0..P7 lane masks. Both slices alias live simulator storage and
