@@ -68,6 +68,7 @@ var suite = []struct{ pkg, pattern string }{
 	{"./internal/sm", "BenchmarkSMObsDisabled|BenchmarkSMObsEnabled"},
 	{"./internal/sm", "BenchmarkSMProfArmed|BenchmarkSMFlightArmed"},
 	{"./internal/sm", "BenchmarkSMCPIStack"},
+	{"./internal/sm", "BenchmarkSMMemModelOff|BenchmarkSMMemModelArmed"},
 	{"./internal/jobs", "BenchmarkServiceTelemetry"},
 }
 

@@ -8,10 +8,13 @@
 //	experiments -submit localhost:9090 -exp fig10,fig12
 //
 // Experiments: headline table1 table2 table3 table4 fig10 fig11 fig12
-// fig13 cpistack fig14 fig15 fig16 smprof verify all. ("all" covers the
-// tables and figures; "headline" recomputes the paper-vs-measured claim
+// fig13 cpistack memcpi fig14 fig15 fig16 smprof verify all. ("all" covers
+// the tables and figures; "headline" recomputes the paper-vs-measured claim
 // summary; "cpistack" decomposes each scheme's Figure 12 slowdown into
-// per-kernel cycle stacks and a baseline-diff attribution table; "smprof"
+// per-kernel cycle stacks and a baseline-diff attribution table; "memcpi"
+// re-runs the Figure 12 sweep with the sectored L1/MSHR/L2/DRAM memory
+// hierarchy armed (sm.Config.MemModel) and reports each kernel's idle share
+// by hierarchy level alongside the cache hit rates; "smprof"
 // profiles the partitioned round loop itself — phase-A vs merge-barrier
 // wall time, Amdahl ceiling, idle-skip savings per workload x scheme — and
 // runs serially, so it is opt-in like "verify", which runs the
@@ -54,11 +57,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments to run (headline, table1..table4, fig10..fig16, cpistack, smprof, verify, all)")
+	exp := flag.String("exp", "all", "comma-separated experiments to run (headline, table1..table4, fig10..fig16, cpistack, memcpi, smprof, verify, all)")
 	tuples := flag.Int("tuples", 10000, "input tuples per unit for the fig10/fig11 injection campaign")
 	seed := flag.Int64("seed", 1, "campaign master seed (results are bit-identical for a given seed at any -workers)")
 	workers := flag.Int("workers", 0, "engine worker count (0 = all cores)")
 	smWorkers := flag.Int("sm-workers", 0, "SM-simulator scheduler workers per launch for perf sweeps (0 = serial; results are bit-identical at any count)")
+	memModel := flag.String("mem-model", "", "SM memory timing model for the perf-sweep figures: off (flat latency, the default) or sectored (L1/MSHR/L2/DRAM hierarchy; -exp memcpi always runs sectored)")
 	timeout := flag.Duration("timeout", 0, "cancel the run after this long (0 = no limit)")
 	csvDir := flag.String("csv", "", "also write plot-ready CSV files into this directory")
 	chart := flag.Bool("chart", false, "render the performance figures as ASCII bar charts")
@@ -72,7 +76,7 @@ func main() {
 	flag.Parse()
 
 	if *submit != "" {
-		fail(runSubmit(*submit, *tenant, *exp, *tuples, *seed, *smWorkers))
+		fail(runSubmit(*submit, *tenant, *exp, *tuples, *seed, *smWorkers, *memModel))
 		return
 	}
 
@@ -80,7 +84,7 @@ func main() {
 	if *metricsOut != "" || *traceOut != "" || *metricsInterval > 0 || *serve != "" {
 		rec = obs.NewRecorder()
 	}
-	fail(run(rec, *exp, *tuples, *seed, *workers, *smWorkers, *timeout, *serve, *csvDir,
+	fail(run(rec, *exp, *tuples, *seed, *workers, *smWorkers, *memModel, *timeout, *serve, *csvDir,
 		*chart, *verilogDir, *metricsOut, *traceOut, *metricsInterval))
 }
 
@@ -89,7 +93,7 @@ func main() {
 // cancellation (Ctrl-C, -timeout), on experiment failure, and during a
 // panic unwind — a crashed run still leaves its partial observations.
 func run(rec *obs.Recorder, exp string, tuples int, seed int64, workers, smWorkers int,
-	timeout time.Duration, serve, csvDir string, chart bool, verilogDir,
+	memModel string, timeout time.Duration, serve, csvDir string, chart bool, verilogDir,
 	metricsOut, traceOut string, metricsInterval time.Duration) (err error) {
 	pool := engine.New(workers)
 	pool.SetObs(rec)
@@ -190,9 +194,25 @@ func run(rec *obs.Recorder, exp string, tuples int, seed int64, workers, smWorke
 	var perfErr error
 	getPerf12 := func(ctx context.Context) (*harness.PerfResult, error) {
 		perfOnce.Do(func() {
-			perfRes, perfErr = harness.RunPerfCtxOpts(ctx, pool, harness.Fig12Schemes(), true, harness.Options{SMWorkers: smWorkers})
+			perfRes, perfErr = harness.RunPerfCtxOpts(ctx, pool, harness.Fig12Schemes(), true,
+				harness.Options{SMWorkers: smWorkers, MemModel: memModel})
 		})
 		return perfRes, perfErr
+	}
+	// memcpi always runs with the hierarchy armed; it shares getPerf12's
+	// sweep when -mem-model already arms it, and runs its own otherwise.
+	var perfMemOnce sync.Once
+	var perfMemRes *harness.PerfResult
+	var perfMemErr error
+	getPerfMem := func(ctx context.Context) (*harness.PerfResult, error) {
+		if memModel == "sectored" {
+			return getPerf12(ctx)
+		}
+		perfMemOnce.Do(func() {
+			perfMemRes, perfMemErr = harness.RunPerfCtxOpts(ctx, pool, harness.Fig12Schemes(), true,
+				harness.Options{SMWorkers: smWorkers, MemModel: "sectored"})
+		})
+		return perfMemRes, perfMemErr
 	}
 
 	// Canonical order: this is both the -exp name space and the order the
@@ -274,6 +294,20 @@ func run(rec *obs.Recorder, exp string, tuples int, seed int64, workers, smWorke
 			writeCSV("cpistack.csv", cs.CSV())
 			return out, nil
 		}},
+		{"memcpi", func(ctx context.Context) (string, error) {
+			perf, err := getPerfMem(ctx)
+			if err != nil {
+				return "", err
+			}
+			mc := harness.MemCPI(perf)
+			out := mc.Render("Memory CPI: idle share by hierarchy level (Figure 12 sweep, sectored model)")
+			if chart {
+				cs := harness.CPIStacks(perf)
+				out += "\n" + cs.Chart("CPI stacks with memory tiers (chart)")
+			}
+			writeCSV("memcpi.csv", mc.CSV())
+			return out, nil
+		}},
 		{"fig14", func(context.Context) (string, error) {
 			pr, err := harness.RunPower()
 			if err != nil {
@@ -284,7 +318,8 @@ func run(rec *obs.Recorder, exp string, tuples int, seed int64, workers, smWorke
 				fmt.Sprintf("worst power overhead: %.0f%% (paper: <=15%%)\n", 100*(pr.MaxRelPower()-1)), nil
 		}},
 		{"fig15", func(ctx context.Context) (string, error) {
-			perf, err := harness.RunPerfCtxOpts(ctx, pool, harness.Fig15Schemes(), true, harness.Options{SMWorkers: smWorkers})
+			perf, err := harness.RunPerfCtxOpts(ctx, pool, harness.Fig15Schemes(), true,
+				harness.Options{SMWorkers: smWorkers, MemModel: memModel})
 			if err != nil {
 				return "", err
 			}
@@ -292,7 +327,8 @@ func run(rec *obs.Recorder, exp string, tuples int, seed int64, workers, smWorke
 			return perf.Render("Figure 15: inter-thread duplication slowdown (fails on mm: CTA size; snap: shuffles)"), nil
 		}},
 		{"fig16", func(ctx context.Context) (string, error) {
-			perf, err := harness.RunPerfCtxOpts(ctx, pool, harness.Fig16Schemes(), true, harness.Options{SMWorkers: smWorkers})
+			perf, err := harness.RunPerfCtxOpts(ctx, pool, harness.Fig16Schemes(), true,
+				harness.Options{SMWorkers: smWorkers, MemModel: memModel})
 			if err != nil {
 				return "", err
 			}
@@ -393,7 +429,7 @@ func run(rec *obs.Recorder, exp string, tuples int, seed int64, workers, smWorke
 // against a running swapserve, which runs (or serves from cache) each one
 // and returns the payload. Only the service-backed experiments map; the
 // local-only ones (static tables, fig13/fig14 post-processing) say so.
-func runSubmit(base, tenant, exp string, tuples int, seed int64, smWorkers int) error {
+func runSubmit(base, tenant, exp string, tuples int, seed int64, smWorkers int, memModel string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
@@ -408,13 +444,14 @@ func runSubmit(base, tenant, exp string, tuples int, seed int64, smWorkers int) 
 		"headline": {Kind: jobs.KindHeadline, Tuples: tuples, Seed: seed},
 		"fig10":    {Kind: jobs.KindCampaign, Tuples: tuples, Seed: seed},
 		"fig11":    {Kind: jobs.KindCampaign, Tuples: tuples, Seed: seed},
-		"fig12":    {Kind: jobs.KindPerf, Schemes: names(harness.Fig12Schemes()), SMWorkers: smWorkers},
-		"cpistack": {Kind: jobs.KindCPIStack, Schemes: names(harness.Fig12Schemes()), SMWorkers: smWorkers},
-		"fig15":    {Kind: jobs.KindPerf, Schemes: names(harness.Fig15Schemes()), SMWorkers: smWorkers},
-		"fig16":    {Kind: jobs.KindPerf, Schemes: names(harness.Fig16Schemes()), SMWorkers: smWorkers},
+		"fig12":    {Kind: jobs.KindPerf, Schemes: names(harness.Fig12Schemes()), SMWorkers: smWorkers, MemModel: memModel},
+		"cpistack": {Kind: jobs.KindCPIStack, Schemes: names(harness.Fig12Schemes()), SMWorkers: smWorkers, MemModel: memModel},
+		"memcpi":   {Kind: jobs.KindCPIStack, Schemes: names(harness.Fig12Schemes()), SMWorkers: smWorkers, MemModel: "sectored"},
+		"fig15":    {Kind: jobs.KindPerf, Schemes: names(harness.Fig15Schemes()), SMWorkers: smWorkers, MemModel: memModel},
+		"fig16":    {Kind: jobs.KindPerf, Schemes: names(harness.Fig16Schemes()), SMWorkers: smWorkers, MemModel: memModel},
 		"verify":   {Kind: jobs.KindVerify},
 	}
-	order := []string{"headline", "fig10", "fig11", "fig12", "cpistack", "fig15", "fig16", "verify"}
+	order := []string{"headline", "fig10", "fig11", "fig12", "cpistack", "memcpi", "fig15", "fig16", "verify"}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(exp, ",") {

@@ -7,6 +7,7 @@
 //
 //	swapsim -workload lavaMD -scheme swap-ecc
 //	swapsim -workload mm -scheme baseline,sw-dup,swap-ecc -workers 4
+//	swapsim -workload bfs -scheme swap-ecc -mem-model sectored
 //	swapsim -workload mm -scheme sw-dup -fault 120 -lane 3 -bit 9
 //	swapsim -workload mm -scheme sw-dup -fault 120 -lane -1 -bit -1 -seed 7
 //	swapsim -file kernel.sasm -scheme swap-ecc -mem 65536
@@ -57,6 +58,7 @@ type runOpts struct {
 	fault      int64
 	lane, bit  int
 	smWorkers  int
+	memModel   string
 	disas      bool
 	optimize   bool
 	rec        *obs.Recorder
@@ -96,6 +98,7 @@ func main() {
 	schemeList := flag.String("scheme", "swap-ecc", "comma-separated protection schemes: "+strings.Join(harness.SchemeNames(), " "))
 	workers := flag.Int("workers", 0, "engine worker count for multi-scheme runs (0 = all cores)")
 	smWorkers := flag.Int("sm-workers", 0, "SM-simulator scheduler workers per launch (0 = serial; results are bit-identical at any count; fault/trace runs pin in-order)")
+	memModel := flag.String("mem-model", "", "SM memory timing model: off (flat latency, the default) or sectored (L1/MSHR/L2/DRAM hierarchy with memory CPI attribution)")
 	seed := flag.Int64("seed", 1, "random seed for -lane -1 / -bit -1 fault-site selection")
 	list := flag.Bool("list", false, "list workloads and exit")
 	fault := flag.Int64("fault", -1, "dynamic warp-instruction index at which to inject a pipeline error")
@@ -144,7 +147,7 @@ func main() {
 	}
 	opts := runOpts{name: *name, file: *file, memWords: *memWords,
 		fault: *fault, lane: *lane, bit: *bit, smWorkers: *smWorkers,
-		disas: *disas, optimize: *optimize, log: log}
+		memModel: *memModel, disas: *disas, optimize: *optimize, log: log}
 	if *flight != "" {
 		opts.flight = &flightSink{path: *flight, log: log}
 	}
@@ -275,6 +278,7 @@ func runScheme(ctx context.Context, scheme compiler.Scheme, o runOpts) (string, 
 	}
 	cfg := sm.DefaultConfig()
 	cfg.Workers = o.smWorkers
+	cfg.MemModel = o.memModel
 	if o.fault >= 0 {
 		cfg.ECC = true
 	}
@@ -332,6 +336,14 @@ func runScheme(ctx context.Context, scheme compiler.Scheme, o runOpts) (string, 
 	fmt.Fprintf(&b, "idle cycles %d of %d (deps=%d throttle=%d barrier=%d empty=%d)\n",
 		st.StallCycles(), st.Cycles,
 		st.StallCyclesDeps, st.StallCyclesThrottle, st.StallCyclesBarrier, st.StallCyclesNoWarp)
+	if st.Mem != nil {
+		fmt.Fprintf(&b, "mem stalls  %d (l1=%d l2=%d dram=%d mshr=%d); L1 %d/%d hit, L2 %d/%d hit, DRAM rows %d/%d hit\n",
+			st.MemStallCycles(), st.StallCyclesMemL1, st.StallCyclesMemL2,
+			st.StallCyclesMemDRAM, st.StallCyclesMemMSHR,
+			st.Mem.L1Hits, st.Mem.L1Hits+st.Mem.L1Misses,
+			st.Mem.L2Hits, st.Mem.L2Hits+st.Mem.L2Misses,
+			st.Mem.RowHits, st.Mem.RowHits+st.Mem.RowMisses)
+	}
 	fmt.Fprintf(&b, "classes    ")
 	for cl := isa.ClassFxP; cl <= isa.ClassSpecial; cl++ {
 		if st.PerClass[cl] > 0 {

@@ -60,13 +60,39 @@ func CPIStacks(perf *PerfResult) *CPIStackResult {
 	return res
 }
 
+// activeComponents returns the components the result's tables iterate: the
+// full canonical order when any stack charged a memory-hierarchy component
+// (an armed sm.Config.MemModel sweep), and just the flat-latency six
+// otherwise — so historical renderings keep their column layout. The mem.*
+// components are the canonical suffix, which makes the cut a prefix slice.
+func (r *CPIStackResult) activeComponents() []string {
+	comps := cpistack.Components()
+	flat := len(comps) - len(cpistack.MemComponents())
+	for _, row := range r.Rows {
+		stacks := []*cpistack.Stack{row.Baseline}
+		for _, s := range r.Schemes {
+			if st, ok := row.Stacks[s]; ok {
+				stacks = append(stacks, st)
+			}
+		}
+		for _, st := range stacks {
+			for _, c := range cpistack.MemComponents() {
+				if st.Comp[c] != 0 {
+					return comps
+				}
+			}
+		}
+	}
+	return comps[:flat]
+}
+
 // Render prints the per-kernel cycle stacks: one block per workload, one
-// line per scheme (baseline first), cycles decomposed into the six
+// line per scheme (baseline first), cycles decomposed into the canonical
 // components with their shares of total cycles.
 func (r *CPIStackResult) Render(title string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", title)
-	comps := cpistack.Components()
+	comps := r.activeComponents()
 	fmt.Fprintf(&b, "%-9s %-13s %9s %5s", "program", "scheme", "cycles", "cpi")
 	for _, c := range comps {
 		fmt.Fprintf(&b, " %9s", c)
@@ -96,7 +122,7 @@ func (r *CPIStackResult) Render(title string) string {
 func (r *CPIStackResult) RenderAttribution(title string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", title)
-	comps := cpistack.Components()
+	comps := r.activeComponents()
 	fmt.Fprintf(&b, "%-9s %-13s %9s %8s", "program", "scheme", "slowdown", "instrs")
 	for _, c := range comps {
 		fmt.Fprintf(&b, " %9s", "+"+c)
@@ -111,7 +137,7 @@ func (r *CPIStackResult) RenderAttribution(title string) string {
 			}
 			fmt.Fprintf(&b, "%-9s %-13s %8.1f%% %+7.1f%%", row.Workload, schemeShort(s),
 				100*a.Slowdown, 100*a.InstrFrac)
-			for _, c := range a.Contribs {
+			for _, c := range a.Contribs[:len(comps)] {
 				fmt.Fprintf(&b, " %+8.1f%%", 100*c.Frac)
 			}
 			dom := a.Dominant()
@@ -169,8 +195,9 @@ func (r *CPIStackResult) MeanInstrFrac(s compiler.Scheme) float64 {
 func (r *CPIStackResult) CSV() string {
 	var b strings.Builder
 	b.WriteString("workload,scheme,cycles,instrs,warps,warp_limit,component,component_cycles,frac_of_total,delta_cycles,contrib_to_slowdown\n")
+	comps := r.activeComponents()
 	emit := func(s *cpistack.Stack, a *cpistack.Attribution) {
-		for i, c := range cpistack.Components() {
+		for i, c := range comps {
 			fmt.Fprintf(&b, "%s,%s,%d,%d,%d,%d,%s,%d,%.4f,",
 				s.Kernel, s.Scheme, s.Cycles, s.Instrs, s.MaxResidentWarps,
 				s.ResidentWarpLimit, c, s.Comp[c], s.Frac(c))
@@ -202,8 +229,15 @@ func (r *CPIStackResult) Chart(title string) string {
 	glyphs := map[string]byte{
 		cpistack.Issue: '#', cpistack.Deps: 'd', cpistack.Throttle: 't',
 		cpistack.Barrier: 'b', cpistack.NoWarp: '.', cpistack.Occupancy: 'o',
+		cpistack.MemL1: '1', cpistack.MemL2: '2', cpistack.MemDRAM: 'D',
+		cpistack.MemMSHR: 'M',
 	}
-	fmt.Fprintf(&b, "legend: #=issue d=deps t=throttle b=barrier .=nowarp o=occupancy; bar length = cycles vs baseline\n")
+	comps := r.activeComponents()
+	legend := "legend: #=issue d=deps t=throttle b=barrier .=nowarp o=occupancy"
+	if len(comps) == len(cpistack.Components()) {
+		legend += " 1=mem.l1 2=mem.l2 D=mem.dram M=mem.mshr"
+	}
+	fmt.Fprintf(&b, "%s; bar length = cycles vs baseline\n", legend)
 	for _, row := range r.Rows {
 		// Scale every bar of a workload group by its slowest scheme so the
 		// relative lengths read as relative cycle counts.
@@ -219,7 +253,7 @@ func (r *CPIStackResult) Chart(title string) string {
 		bar := func(s *cpistack.Stack, label string) {
 			total := int(int64(width) * s.Cycles / maxCycles)
 			var sb strings.Builder
-			for _, c := range cpistack.Components() {
+			for _, c := range comps {
 				n := int(int64(total) * s.Comp[c] / s.Cycles)
 				sb.WriteString(strings.Repeat(string(glyphs[c]), n))
 			}

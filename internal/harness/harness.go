@@ -46,11 +46,17 @@ type Options struct {
 	// *FlightError carrying the JSONL black-box bundle. Near-zero cost
 	// while nothing fails (fixed rings, no I/O), so servers leave it on.
 	FlightRecord bool
+	// MemModel is passed to sm.Config.MemModel for every launch: "" or
+	// "off" keeps the seed flat-latency timing, "sectored" arms the
+	// L1/MSHR/L2/DRAM hierarchy and populates the mem.* CPI components.
+	// Functional results are identical either way; only timing moves.
+	MemModel string
 }
 
 func (o Options) smConfig() sm.Config {
 	cfg := sm.DefaultConfig()
 	cfg.Workers = o.SMWorkers
+	cfg.MemModel = o.MemModel
 	return cfg
 }
 

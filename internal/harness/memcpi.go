@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"swapcodes/internal/compiler"
+	"swapcodes/internal/obs/cpistack"
+	"swapcodes/internal/sm"
+)
+
+// Memory CPI stacks (the -exp memcpi mode): the memory-focused view of an
+// armed-hierarchy sweep (Options.MemModel = "sectored"). Where -exp cpistack
+// answers "which component ate the slowdown", this mode answers "where in
+// the memory hierarchy does each kernel's latency live": per workload x
+// scheme, the share of total cycles the SM sat idle waiting on an L1 hit in
+// flight, an L2 hit, DRAM, or a free MSHR — alongside the hierarchy's own
+// hit-rate counters, which explain the shares.
+
+// MemCPIRow is one workload x scheme cell of the memory CPI table.
+type MemCPIRow struct {
+	Workload string
+	Scheme   string
+	Cycles   int64
+	// MemFrac splits into the per-level fractions of total cycles, keyed by
+	// the cpistack mem component names.
+	MemFrac map[string]float64
+	// Hit rates (0..1; -1 when the level saw no traffic).
+	L1HitRate, L2HitRate, RowHitRate float64
+	// MSHR pressure.
+	MSHRMerges, MSHRFullEvents int64
+}
+
+// MemCPIResult is the memory-focused derivation of an armed perf sweep.
+type MemCPIResult struct {
+	Rows []*MemCPIRow
+}
+
+func rate(hits, misses int64) float64 {
+	if hits+misses == 0 {
+		return -1
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// MemCPI derives the memory CPI view from a finished armed-hierarchy sweep.
+// No re-simulation: everything comes from the Stats the sweep collected.
+// Rows whose launch ran without the hierarchy (Stats.Mem == nil) are skipped
+// — on a flat-latency sweep the result is empty.
+func MemCPI(perf *PerfResult) *MemCPIResult {
+	res := &MemCPIResult{}
+	add := func(workload, scheme string, st *sm.Stats) {
+		if st == nil || st.Mem == nil {
+			return
+		}
+		row := &MemCPIRow{
+			Workload:   workload,
+			Scheme:     scheme,
+			Cycles:     st.Cycles,
+			MemFrac:    make(map[string]float64, 4),
+			L1HitRate:  rate(st.Mem.L1Hits, st.Mem.L1Misses),
+			L2HitRate:  rate(st.Mem.L2Hits, st.Mem.L2Misses),
+			RowHitRate: rate(st.Mem.RowHits, st.Mem.RowMisses),
+			MSHRMerges: st.Mem.MSHRMerges, MSHRFullEvents: st.Mem.MSHRFullEvents,
+		}
+		stack := st.CPIStack(workload, scheme)
+		for _, c := range cpistack.MemComponents() {
+			row.MemFrac[c] = stack.Frac(c)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	for _, r := range perf.Rows {
+		add(r.Workload, compiler.Baseline.String(), r.Baseline)
+		for _, s := range perf.Schemes {
+			add(r.Workload, s.String(), r.Stats[s])
+		}
+	}
+	return res
+}
+
+// MemFracTotal is the row's total memory-stall share of cycles.
+func (r *MemCPIRow) MemFracTotal() float64 {
+	var sum float64
+	for _, f := range r.MemFrac {
+		sum += f
+	}
+	return sum
+}
+
+func pct(f float64) string {
+	if f < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*f)
+}
+
+// Render prints the memory CPI table: one line per workload x scheme, the
+// per-level stall shares of total cycles, and the hit rates that explain
+// them.
+func (r *MemCPIResult) Render(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-9s %-13s %9s %7s %7s %7s %7s %7s  %6s %6s %6s %8s\n",
+		"program", "scheme", "cycles", "mem", "l1", "l2", "dram", "mshr",
+		"l1hit", "l2hit", "rowhit", "mshrfull")
+	last := ""
+	for _, row := range r.Rows {
+		label := row.Workload
+		if label == last {
+			label = ""
+		} else {
+			last = row.Workload
+		}
+		fmt.Fprintf(&b, "%-9s %-13s %9d %6.1f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%%  %6s %6s %6s %8d\n",
+			label, shorten(row.Scheme, 13), row.Cycles,
+			100*row.MemFracTotal(),
+			100*row.MemFrac[cpistack.MemL1], 100*row.MemFrac[cpistack.MemL2],
+			100*row.MemFrac[cpistack.MemDRAM], 100*row.MemFrac[cpistack.MemMSHR],
+			pct(row.L1HitRate), pct(row.L2HitRate), pct(row.RowHitRate),
+			row.MSHRFullEvents)
+	}
+	b.WriteString("(mem/l1/l2/dram/mshr are shares of total cycles the SM sat idle on that level;\n" +
+		" hit rates are the hierarchy's own sector counters)\n")
+	return b.String()
+}
+
+// CSV renders the table in long form for plotting.
+func (r *MemCPIResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("workload,scheme,cycles,mem_frac,mem_l1_frac,mem_l2_frac,mem_dram_frac,mem_mshr_frac,l1_hit_rate,l2_hit_rate,row_hit_rate,mshr_merges,mshr_full_events\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s,%s,%d,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%d,%d\n",
+			row.Workload, row.Scheme, row.Cycles, row.MemFracTotal(),
+			row.MemFrac[cpistack.MemL1], row.MemFrac[cpistack.MemL2],
+			row.MemFrac[cpistack.MemDRAM], row.MemFrac[cpistack.MemMSHR],
+			row.L1HitRate, row.L2HitRate, row.RowHitRate,
+			row.MSHRMerges, row.MSHRFullEvents)
+	}
+	return b.String()
+}

@@ -1,0 +1,173 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"swapcodes/internal/compiler"
+	"swapcodes/internal/memmodel"
+	"swapcodes/internal/obs/cpistack"
+	"swapcodes/internal/sm"
+)
+
+// synthMemStats extends synthStats with memory-hierarchy stall cycles and
+// counters: the flat components partition `cycles`, then the four mem-tier
+// stalls are added on top, so the ten-component partition still holds by
+// construction.
+func synthMemStats(cycles, issue, deps, throttle, barrier, nowarp, occ, instrs int64,
+	memL1, memL2, memDRAM, memMSHR int64, mem *memmodel.Stats) *sm.Stats {
+	st := synthStats(cycles, issue, deps, throttle, barrier, nowarp, occ, instrs, 64, 64)
+	st.Cycles += memL1 + memL2 + memDRAM + memMSHR
+	st.StallCyclesMemL1 = memL1
+	st.StallCyclesMemL2 = memL2
+	st.StallCyclesMemDRAM = memDRAM
+	st.StallCyclesMemMSHR = memMSHR
+	st.Mem = mem
+	return st
+}
+
+// synthMemPerf is a small fixed armed sweep: one DRAM-bound workload, one
+// L1-friendly one, with one scheme per workload run flat (Stats.Mem == nil)
+// to pin that MemCPI skips non-hierarchy rows. gauss's store-only row-hit
+// story exercises the "no traffic" -1 rate rendering via L2.
+func synthMemPerf() *PerfResult {
+	return &PerfResult{
+		Schemes: []compiler.Scheme{compiler.SwapECC},
+		Rows: []*PerfRow{
+			{
+				Workload: "bfs",
+				Baseline: synthMemStats(1000, 700, 200, 50, 30, 20, 0, 2800,
+					100, 150, 700, 50,
+					&memmodel.Stats{
+						LoadAccesses: 400, StoreAccesses: 100,
+						LoadSectors: 900, StoreSectors: 200,
+						L1Hits: 300, L1Misses: 600,
+						L2Hits: 150, L2Misses: 450,
+						RowHits: 250, RowMisses: 200,
+						MSHRMerges: 40, MSHRFullEvents: 12, MSHRWaitCycles: 50,
+					}),
+				Stats: map[compiler.Scheme]*sm.Stats{
+					compiler.SwapECC: synthMemStats(1400, 800, 460, 80, 30, 30, 0, 3600,
+						120, 180, 840, 60,
+						&memmodel.Stats{
+							LoadAccesses: 480, StoreAccesses: 120,
+							LoadSectors: 1080, StoreSectors: 240,
+							L1Hits: 360, L1Misses: 720,
+							L2Hits: 180, L2Misses: 540,
+							RowHits: 300, RowMisses: 240,
+							MSHRMerges: 48, MSHRFullEvents: 14, MSHRWaitCycles: 60,
+						}),
+				},
+				Errs: map[compiler.Scheme]string{},
+			},
+			{
+				Workload: "gauss",
+				Baseline: synthMemStats(2000, 1500, 300, 100, 60, 40, 0, 6000,
+					400, 0, 0, 0,
+					&memmodel.Stats{
+						LoadAccesses: 800, StoreAccesses: 0,
+						LoadSectors: 1600, StoreSectors: 0,
+						L1Hits: 1600, L1Misses: 0,
+						// All L1 hits: L2 and DRAM saw no traffic, so their
+						// rates render as "-".
+					}),
+				// Flat run for this scheme (no hierarchy): must be skipped.
+				Stats: map[compiler.Scheme]*sm.Stats{
+					compiler.SwapECC: synthStats(3100, 1700, 900, 180, 80, 60, 180, 7600, 32, 32),
+				},
+				Errs: map[compiler.Scheme]string{},
+			},
+		},
+	}
+}
+
+func TestMemCPIRenderGolden(t *testing.T) {
+	golden(t, "memcpi", MemCPI(synthMemPerf()).Render("Memory CPI (synthetic)"))
+}
+
+func TestMemCPICSVGolden(t *testing.T) {
+	golden(t, "memcpi_csv", MemCPI(synthMemPerf()).CSV())
+}
+
+// TestMemCPIProperties pins the semantics behind the goldens: row selection,
+// the stall-share arithmetic, and the no-traffic sentinel.
+func TestMemCPIProperties(t *testing.T) {
+	res := MemCPI(synthMemPerf())
+	// bfs baseline + bfs swap-ecc + gauss baseline; the flat gauss/swap-ecc
+	// row carries no hierarchy and is skipped.
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (flat row must be skipped)", len(res.Rows))
+	}
+	bfs := res.Rows[0]
+	if bfs.Workload != "bfs" || bfs.Scheme != compiler.Baseline.String() {
+		t.Fatalf("row order: got %s/%s first", bfs.Workload, bfs.Scheme)
+	}
+	// 1000 flat + 1000 mem stalls: memory holds exactly half the cycles.
+	if got := bfs.MemFracTotal(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("bfs baseline MemFracTotal = %g, want 0.5", got)
+	}
+	if got := bfs.MemFrac[cpistack.MemDRAM]; math.Abs(got-0.35) > 1e-9 {
+		t.Errorf("bfs baseline dram frac = %g, want 0.35", got)
+	}
+	if math.Abs(bfs.L1HitRate-1.0/3) > 1e-9 {
+		t.Errorf("bfs L1 hit rate = %g, want 1/3", bfs.L1HitRate)
+	}
+	gauss := res.Rows[2]
+	if gauss.L2HitRate != -1 || gauss.RowHitRate != -1 {
+		t.Errorf("gauss no-traffic rates = %g, %g; want -1 sentinels",
+			gauss.L2HitRate, gauss.RowHitRate)
+	}
+	if !strings.Contains(res.Render("t"), " - ") {
+		t.Error("render must show '-' for no-traffic hit rates")
+	}
+}
+
+// TestMemCPIEmptyOnFlat: a flat-latency sweep (no Stats.Mem anywhere) derives
+// an empty memory view — the memcpi experiment renders nothing misleading
+// when pointed at an unarmed run.
+func TestMemCPIEmptyOnFlat(t *testing.T) {
+	perf := &PerfResult{
+		Schemes: []compiler.Scheme{compiler.SWDup},
+		Rows: []*PerfRow{{
+			Workload: "mm",
+			Baseline: synthStats(1000, 700, 200, 50, 30, 20, 0, 2800, 64, 64),
+			Stats: map[compiler.Scheme]*sm.Stats{
+				compiler.SWDup: synthStats(1900, 1400, 300, 120, 40, 40, 0, 5400, 64, 64),
+			},
+			Errs: map[compiler.Scheme]string{},
+		}},
+	}
+	if res := MemCPI(perf); len(res.Rows) != 0 {
+		t.Fatalf("flat sweep derived %d memory rows, want 0", len(res.Rows))
+	}
+}
+
+// TestCPIStackArmedRenderGolden pins the ten-column layout: as soon as any
+// stack of the sweep charges a memory component, Render/Chart switch from the
+// historical six columns to the full component set with the mem glyphs.
+func TestCPIStackArmedRenderGolden(t *testing.T) {
+	res := CPIStacks(synthMemPerf())
+	golden(t, "cpistack_mem", res.Render("CPI stacks with memory tiers (synthetic)"))
+	golden(t, "cpistack_mem_chart", res.Chart("CPI stack chart with memory tiers (synthetic)"))
+}
+
+// TestCPIStackFlatKeepsSixColumns: the adaptive column rule in the other
+// direction — an all-flat sweep must keep the historical layout, with no
+// all-zero mem columns and no mem glyphs in the chart legend.
+func TestCPIStackFlatKeepsSixColumns(t *testing.T) {
+	out := synthCPIResult().Render("CPI stacks (synthetic)")
+	if strings.Contains(out, "mem.l1") {
+		t.Error("flat render grew mem columns")
+	}
+	chart := synthCPIResult().Chart("chart")
+	if strings.Contains(chart, "mem.dram") {
+		t.Error("flat chart grew mem glyph legend")
+	}
+	armed := CPIStacks(synthMemPerf()).Render("armed")
+	for _, col := range []string{"mem.l1", "mem.l2", "mem.dram", "mem.mshr"} {
+		if !strings.Contains(armed, col) {
+			t.Errorf("armed render missing %q column", col)
+		}
+	}
+}

@@ -363,7 +363,8 @@ func (r *runner) runPerf(ctx context.Context, spec Spec) (*PerfResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	perf, err := harness.RunPerfCtxOpts(ctx, r.pool, schemes, !spec.SkipVerify, harness.Options{SMWorkers: spec.SMWorkers, FlightRecord: true})
+	perf, err := harness.RunPerfCtxOpts(ctx, r.pool, schemes, !spec.SkipVerify,
+		harness.Options{SMWorkers: spec.SMWorkers, FlightRecord: true, MemModel: spec.MemModel})
 	if err != nil {
 		return nil, err
 	}
@@ -415,14 +416,23 @@ func (r *runner) runCPIStack(ctx context.Context, spec Spec) (*CPIStackResult, e
 	if err != nil {
 		return nil, err
 	}
-	perf, err := harness.RunPerfCtxOpts(ctx, r.pool, schemes, !spec.SkipVerify, harness.Options{SMWorkers: spec.SMWorkers, FlightRecord: true})
+	perf, err := harness.RunPerfCtxOpts(ctx, r.pool, schemes, !spec.SkipVerify,
+		harness.Options{SMWorkers: spec.SMWorkers, FlightRecord: true, MemModel: spec.MemModel})
 	if err != nil {
 		return nil, err
 	}
 	st := harness.CPIStacks(perf)
+	text := st.Render("CPI stacks") + "\n" + st.RenderAttribution("Slowdown attribution")
+	csv := st.CSV()
+	if spec.MemModel != "" {
+		// An armed sweep also carries the memory-focused view; the flat
+		// default has nothing to add (every mem share is zero).
+		mc := harness.MemCPI(perf)
+		text += "\n" + mc.Render("Memory CPI: idle share by hierarchy level")
+		csv += "\n" + mc.CSV()
+	}
 	return &CPIStackResult{Kind: KindCPIStack, Schemes: spec.Schemes,
-		Text: st.Render("CPI stacks") + "\n" + st.RenderAttribution("Slowdown attribution"),
-		CSV:  st.CSV()}, nil
+		Text: text, CSV: csv}, nil
 }
 
 // VerifyResult is the payload of a verify job.

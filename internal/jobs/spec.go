@@ -67,6 +67,11 @@ type Spec struct {
 	// perf/cpistack sweeps (sm.Config.Workers). Results are bit-identical at
 	// any value, so it is excluded from the cache key.
 	SMWorkers int `json:"sm_workers,omitempty"`
+	// MemModel selects the SM's memory timing model for perf/cpistack
+	// sweeps (sm.Config.MemModel): "" or "off" is the flat-latency default,
+	// "sectored" arms the L1/MSHR/L2/DRAM hierarchy. Unlike SMWorkers this
+	// changes the numbers, so it is part of the cache key.
+	MemModel string `json:"mem_model,omitempty"`
 }
 
 // Normalize validates the spec and fills defaults in place. Specs are
@@ -88,6 +93,7 @@ func (s *Spec) Normalize() error {
 			return fmt.Errorf("jobs: %s jobs take no schemes", s.Kind)
 		}
 		s.SMWorkers = 0 // fault campaigns pin the SM in-order regardless
+		s.MemModel = "" // and run on the flat-latency timing path
 	case KindPerf, KindCPIStack:
 		if len(s.Schemes) == 0 {
 			s.Schemes = []string{"sw-dup", "swap-ecc", "pre-addsub", "pre-mad"}
@@ -98,6 +104,13 @@ func (s *Spec) Normalize() error {
 		if s.SMWorkers < 0 {
 			return fmt.Errorf("jobs: sm_workers must be non-negative, got %d", s.SMWorkers)
 		}
+		switch s.MemModel {
+		case "", "sectored":
+		case "off":
+			s.MemModel = "" // one cache identity for the flat-latency default
+		default:
+			return fmt.Errorf("jobs: unknown mem_model %q (want off or sectored)", s.MemModel)
+		}
 		s.Tuples, s.Seed = 0, 0
 	case KindVerify:
 		if len(s.Schemes) > 0 || s.Tuples != 0 {
@@ -105,6 +118,7 @@ func (s *Spec) Normalize() error {
 		}
 		s.Seed = 0
 		s.SMWorkers = 0
+		s.MemModel = ""
 	case "":
 		return fmt.Errorf("jobs: spec missing kind")
 	default:

@@ -1,6 +1,9 @@
 package jobs
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 func TestSpecNormalizeDefaults(t *testing.T) {
 	s := Spec{Kind: KindCampaign}
@@ -61,5 +64,67 @@ func TestSpecKeyContentAddress(t *testing.T) {
 	}
 	if d.Key() == b.Key() {
 		t.Fatal("different seeds share a content address")
+	}
+}
+
+// TestSpecKeyCoversResultFields is the guard against a silently stale cache:
+// every spec field that changes what a job computes must change its content
+// address, and the two knobs that provably don't (tenant fairness, SM worker
+// count) must not. A new result-affecting Spec field added without a mutation
+// here — or worse, without being hashed — fails this test by construction:
+// the reflection walk below flags any field it has no mutation for.
+func TestSpecKeyCoversResultFields(t *testing.T) {
+	base := Spec{Kind: KindCPIStack}
+	if err := base.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	// One mutation per field, each keeping the spec valid under Normalize.
+	mutations := map[string]struct {
+		mutate        func(*Spec)
+		affectsResult bool
+	}{
+		"Kind":       {func(s *Spec) { s.Kind = KindPerf }, true},
+		"Tenant":     {func(s *Spec) { s.Tenant = "team-a" }, false},
+		"Tuples":     {func(s *Spec) { s.Kind = KindCampaign; s.Schemes = nil; s.Tuples = 777 }, true},
+		"Seed":       {func(s *Spec) { s.Kind = KindCampaign; s.Schemes = nil; s.Seed = 99 }, true},
+		"Schemes":    {func(s *Spec) { s.Schemes = []string{"sw-dup"} }, true},
+		"SkipVerify": {func(s *Spec) { s.SkipVerify = true }, true},
+		"SMWorkers":  {func(s *Spec) { s.SMWorkers = 4 }, false},
+		"MemModel":   {func(s *Spec) { s.MemModel = "sectored" }, true},
+	}
+	rt := reflect.TypeOf(Spec{})
+	for i := 0; i < rt.NumField(); i++ {
+		name := rt.Field(i).Name
+		mut, ok := mutations[name]
+		if !ok {
+			t.Errorf("Spec field %s has no cache-key mutation in this test: decide whether it affects results and add one", name)
+			continue
+		}
+		s := Spec{Kind: KindCPIStack}
+		mut.mutate(&s)
+		if err := s.Normalize(); err != nil {
+			t.Errorf("%s mutation does not normalize: %v", name, err)
+			continue
+		}
+		changed := s.Key() != base.Key()
+		if changed != mut.affectsResult {
+			t.Errorf("field %s: key changed = %v, want %v", name, changed, mut.affectsResult)
+		}
+	}
+	// "off" and "" are the same timing model and must share a cache entry.
+	off := Spec{Kind: KindCPIStack, MemModel: "off"}
+	if err := off.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if off.Key() != base.Key() {
+		t.Error(`mem_model "off" and the implicit default hash differently`)
+	}
+	// Campaigns force the flat path: an armed MemModel is normalized away.
+	camp := Spec{Kind: KindCampaign, MemModel: "sectored"}
+	if err := camp.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if camp.MemModel != "" {
+		t.Errorf("campaign kept mem_model %q, want cleared", camp.MemModel)
 	}
 }

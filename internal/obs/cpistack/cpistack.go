@@ -36,11 +36,30 @@ const (
 	// was a dependence or warp starvation that additional resident warps
 	// could have covered.
 	Occupancy = "occupancy"
+	// The mem.* components split dependence idles on global-load results by
+	// the memory-hierarchy level that bounded the load's completion. They
+	// are nonzero only when the SM's opt-in memory model is armed
+	// (sm.Config.MemModel); on the flat-latency path every load dependence
+	// stays in Deps. MemL1 is L1-hit service latency, MemL2 an L1 miss
+	// served by the L2 (including bank queueing), MemDRAM an L2 miss
+	// (including row activates and bandwidth serialization), and MemMSHR
+	// misses that first had to wait for a free MSHR entry.
+	MemL1   = "mem.l1"
+	MemL2   = "mem.l2"
+	MemDRAM = "mem.dram"
+	MemMSHR = "mem.mshr"
 )
 
 // Components returns the canonical component order.
 func Components() []string {
-	return []string{Issue, Deps, Throttle, Barrier, NoWarp, Occupancy}
+	return []string{Issue, Deps, Throttle, Barrier, NoWarp, Occupancy,
+		MemL1, MemL2, MemDRAM, MemMSHR}
+}
+
+// MemComponents returns just the memory-hierarchy components, in canonical
+// order — the slice renderers iterate for memory-focused views.
+func MemComponents() []string {
+	return []string{MemL1, MemL2, MemDRAM, MemMSHR}
 }
 
 // Stack is one launch's cycle partition plus the context needed for
@@ -48,8 +67,8 @@ func Components() []string {
 type Stack struct {
 	Kernel string `json:"kernel"`
 	Scheme string `json:"scheme"`
-	// Cycles is the launch's total cycle count; the six components in Comp
-	// partition it exactly.
+	// Cycles is the launch's total cycle count; the canonical components in
+	// Comp partition it exactly.
 	Cycles int64 `json:"cycles"`
 	// Instrs is the dynamic warp-instruction count.
 	Instrs int64 `json:"instrs"`

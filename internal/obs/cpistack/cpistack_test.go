@@ -26,8 +26,33 @@ func TestSumPartitionsCycles(t *testing.T) {
 	if got := s.Frac(Deps); got != 0.25 {
 		t.Fatalf("Frac(deps) = %v, want 0.25", got)
 	}
-	if len(Components()) != 6 {
-		t.Fatalf("canonical component count = %d, want 6", len(Components()))
+	if len(Components()) != 10 {
+		t.Fatalf("canonical component count = %d, want 10", len(Components()))
+	}
+	// The memory components are a strict suffix of the canonical order, so
+	// flat-latency renderings keep their historical column layout.
+	if got := Components()[6:]; len(got) != len(MemComponents()) {
+		t.Fatalf("mem components %v not the canonical suffix %v", MemComponents(), got)
+	}
+	for i, c := range MemComponents() {
+		if Components()[6+i] != c {
+			t.Fatalf("mem component %d = %q, want %q", i, Components()[6+i], c)
+		}
+	}
+}
+
+// TestSumIncludesMemComponents: an armed-memory-model stack partitions with
+// its mem.* components counted.
+func TestSumIncludesMemComponents(t *testing.T) {
+	s := mkStack("bfs", "baseline", 500, map[string]int64{
+		Issue: 400, Deps: 100, Throttle: 50, Barrier: 25, NoWarp: 15, Occupancy: 10,
+		MemL1: 40, MemL2: 120, MemDRAM: 200, MemMSHR: 40,
+	})
+	if s.Sum() != 1000 || s.Cycles != 1000 {
+		t.Fatalf("Sum() = %d, Cycles = %d, want 1000", s.Sum(), s.Cycles)
+	}
+	if got := s.Frac(MemDRAM); got != 0.2 {
+		t.Fatalf("Frac(mem.dram) = %v, want 0.2", got)
 	}
 }
 

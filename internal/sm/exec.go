@@ -29,6 +29,20 @@ func (e *DUEError) Error() string {
 	return fmt.Sprintf("sm: kernel %s: pipeline DUE on %v lane %d", e.Kernel, e.Reg, e.Lane)
 }
 
+// oobError is the single out-of-bounds diagnostic for every memory-access
+// path — vectorized, scalar, store, and atomic. Each path used to format
+// its own message and the shared/scalar variants dropped the faulting lane,
+// which is the one field that localizes the bad thread; now every fault
+// reports kernel, opcode, address, lane, and address space identically.
+func (m *machine) oobError(op isa.Opcode, addr, lane int) error {
+	space := "global"
+	if op == isa.LDS || op == isa.STS {
+		space = "shared"
+	}
+	return fmt.Errorf("sm: kernel %s: %v out of bounds: %d (lane %d, %s memory)",
+		m.k.Name, op, addr, lane, space)
+}
+
 func (w *warpState) readR(r isa.Reg, lane int) uint32 {
 	if r == isa.RZ {
 		return 0
@@ -72,6 +86,13 @@ func (p *partition) exec(w *warpState, in *isa.Instr) error {
 	m := p.m
 	mask := w.activeMask(in)
 	injectNow := m.g.Fault != nil && !m.g.Fault.Applied && m.dyn-1 == m.g.Fault.TargetDynInstr
+
+	// Armed memory hierarchy: coalesce and log this access's sectors before
+	// dispatch (an LDG's destination may alias its address register, so the
+	// addresses must be read now). One nil-check branch on the off path.
+	if m.mh != nil && mask != 0 && (in.Op == isa.LDG || in.Op == isa.STG) {
+		p.logMem(w, in, mask)
+	}
 
 	// ECC mode: run every source register of active lanes through the
 	// decoder, as a real read port would.
@@ -303,7 +324,7 @@ func (p *partition) execFast(w *warpState, in *isa.Instr, mask uint32) (bool, er
 			}
 			addr := int(int32(a[l])) + int(in.Imm)
 			if addr < 0 || addr >= len(shared) {
-				return true, fmt.Errorf("sm: kernel %s: LDS out of bounds: %d", m.k.Name, addr)
+				return true, m.oobError(isa.LDS, addr, l)
 			}
 			if overlay {
 				if v, ok := p.lookupS(w.cta, int32(addr)); ok {
@@ -322,7 +343,7 @@ func (p *partition) execFast(w *warpState, in *isa.Instr, mask uint32) (bool, er
 			}
 			addr := int(int32(a[l])) + int(in.Imm)
 			if addr < 0 || addr >= len(mem) {
-				return true, fmt.Errorf("sm: kernel %s: LDG out of bounds: %d (lane %d)", m.k.Name, addr, l)
+				return true, m.oobError(isa.LDG, addr, l)
 			}
 			if overlay {
 				if v, ok := p.lookupW(int32(addr)); ok {
@@ -426,7 +447,7 @@ func (p *partition) compute(w *warpState, in *isa.Instr, lane int) (lo, hi uint3
 	case isa.LDG:
 		addr := int(int32(a)) + int(in.Imm)
 		if addr < 0 || addr >= len(m.g.Mem) {
-			return 0, 0, fmt.Errorf("sm: kernel %s: LDG out of bounds: %d (lane %d)", m.k.Name, addr, lane)
+			return 0, 0, m.oobError(isa.LDG, addr, lane)
 		}
 		if len(p.wlog) > 0 {
 			if v, ok := p.lookupW(int32(addr)); ok {
@@ -437,7 +458,7 @@ func (p *partition) compute(w *warpState, in *isa.Instr, lane int) (lo, hi uint3
 	case isa.LDS:
 		addr := int(int32(a)) + int(in.Imm)
 		if addr < 0 || addr >= len(w.cta.shared) {
-			return 0, 0, fmt.Errorf("sm: kernel %s: LDS out of bounds: %d", m.k.Name, addr)
+			return 0, 0, m.oobError(isa.LDS, addr, lane)
 		}
 		if len(p.slog) > 0 {
 			if v, ok := p.lookupS(w.cta, int32(addr)); ok {
@@ -464,7 +485,7 @@ func (p *partition) execAtom(w *warpState, in *isa.Instr, mask uint32, injectNow
 		a := w.readR(in.Src[0], lane)
 		addr := int(int32(a)) + int(in.Imm)
 		if addr < 0 || addr >= len(m.g.Mem) {
-			return fmt.Errorf("sm: kernel %s: ATOM out of bounds: %d", m.k.Name, addr)
+			return m.oobError(isa.ATOM, addr, lane)
 		}
 		op.addr[lane] = int32(addr)
 		op.val[lane] = w.readR(in.Src[1], lane)
@@ -760,12 +781,12 @@ func (p *partition) execStore(w *warpState, in *isa.Instr, mask uint32) error {
 		val := w.readR(in.Src[1], lane)
 		if in.Op == isa.STG {
 			if addr < 0 || addr >= len(m.g.Mem) {
-				return fmt.Errorf("sm: kernel %s: STG out of bounds: %d (lane %d)", m.k.Name, addr, lane)
+				return m.oobError(isa.STG, addr, lane)
 			}
 			p.wlog = append(p.wlog, memEvent{addr: int32(addr), val: val})
 		} else {
 			if addr < 0 || addr >= len(w.cta.shared) {
-				return fmt.Errorf("sm: kernel %s: STS out of bounds: %d", m.k.Name, addr)
+				return m.oobError(isa.STS, addr, lane)
 			}
 			p.slog = append(p.slog, smemEvent{cta: w.cta, addr: int32(addr), val: val})
 		}

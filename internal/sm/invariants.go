@@ -45,11 +45,13 @@ func (m *machine) violatef(format string, args ...any) {
 	}
 }
 
-// maxLatency is the largest producer latency any scoreboard entry can carry.
+// maxLatency is the largest producer latency any scoreboard entry can carry
+// on the flat-latency path (an armed memory hierarchy extends the horizon by
+// its own latest promised fill — see checkWarpRetired).
 func (c *Config) maxLatency() int64 {
 	max := int64(1)
 	for cl := isa.ClassFxP; cl <= isa.ClassSpecial; cl++ {
-		if l := c.latency(cl); l > max {
+		if l, _ := c.latency(cl); l > max {
 			max = l
 		}
 	}
@@ -97,6 +99,15 @@ func (m *machine) checkWarpRetired(w *warpState) {
 		m.violatef("warp %d retired while waiting at a barrier", w.gid)
 	}
 	horizon := m.cycle + m.cfg.maxLatency()
+	if m.mh != nil {
+		// Hierarchy loads can legitimately promise results far beyond any
+		// pipe latency (queueing, MSHR waits); the hierarchy's latest
+		// promised fill bounds them. A sentinel (memPending) past this
+		// horizon means a load was never serviced.
+		if h := m.mh.MaxFill(); h > horizon {
+			horizon = h
+		}
+	}
 	for r, t := range w.regReady {
 		if t > horizon {
 			m.violatef("warp %d retired with scoreboard reg r%d ready at %d, beyond horizon %d",
@@ -139,6 +150,13 @@ func (m *machine) checkLaunchEnd() {
 	if st.MaxResidentWarps > st.ResidentWarpLimit {
 		m.violatef("peak residency %d warps exceeded occupancy limit %d",
 			st.MaxResidentWarps, st.ResidentWarpLimit)
+	}
+	if st.UnknownClassOps > 0 {
+		m.violatef("%d timing lookups fell back to the unknown-class default (misclassified instruction?)",
+			st.UnknownClassOps)
+	}
+	if m.mh == nil && st.MemStallCycles() != 0 {
+		m.violatef("flat-latency launch charged %d memory-hierarchy stall cycles", st.MemStallCycles())
 	}
 	// Per-slot stall counters must reconcile with the cycle partition: every
 	// fully-idle round charged to reason X had its selected partition record
@@ -193,7 +211,7 @@ func (m *machine) checkIdleRound(charged stallReason) {
 				continue
 			}
 			eligible++
-			ready, wake, r, _ := p.warpReadyFull(w)
+			ready, wake, r, _, _ := p.warpReadyFull(w)
 			if ready {
 				m.violatef("cycle %d: idle round but warp %d of partition %d can issue",
 					m.cycle, w.gid, p.idx)

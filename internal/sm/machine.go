@@ -8,6 +8,7 @@ import (
 
 	"swapcodes/internal/core"
 	"swapcodes/internal/isa"
+	"swapcodes/internal/memmodel"
 	"swapcodes/internal/obs/simprof"
 )
 
@@ -73,6 +74,13 @@ type warpState struct {
 	cacheWake   int64
 	cacheReason stallReason
 	cacheClass  uint8
+	cacheMem    uint8
+	// regMem, parallel to regClass, remembers which memory-hierarchy level
+	// bounded the last hierarchy-load producer of each register
+	// (memmodel.Level; 0 for every non-hierarchy producer), so dependence
+	// stalls on load results can be charged to mem.l1/l2/dram/mshr. All
+	// zero when Config.MemModel is off.
+	regMem []uint8
 }
 
 func (w *warpState) top() *simtEntry { return &w.stack[len(w.stack)-1] }
@@ -107,12 +115,25 @@ type machine struct {
 	// goroutine (the global dynamic-instruction counter is then exact).
 	inOrder bool
 
+	// mh is the armed memory hierarchy (nil when Config.MemModel is off).
+	// Its state advances only inside serviceMem on the barrier thread, so
+	// arming it does not pin phase A in-order.
+	mh *memmodel.Hier
+	// unknownClass counts barrier-thread timing lookups that hit the
+	// unknown-class fallback (partitions count their own; finalize sums).
+	unknownClass int64
+
 	// prate/tokCap are the per-partition token-bucket parameters: each
 	// partition gets 1/Schedulers of every pipe's issue bandwidth, so
 	// aggregate throughput matches the whole-SM rate while keeping the
 	// buckets partition-local.
 	prate  [10]float64
 	tokCap float64
+	// platency mirrors prate for result latencies: the per-class table is
+	// resolved through Config.latency once at launch, so the issue path is
+	// an array load. Zero marks a class outside the vocabulary (valid
+	// latencies are >= 1); latencyOf counts a hit on it as a fallback.
+	platency [10]int64
 
 	// ctaScratch is merge-phase scratch listing CTAs touched by this round's
 	// deferred events, reused across rounds.
@@ -215,7 +236,14 @@ func (m *machine) initPartitions() {
 		m.tokCap = 1
 	}
 	for cl := isa.ClassFxP; cl <= isa.ClassSpecial; cl++ {
-		m.prate[cl] = m.cfg.rate(cl) / float64(n)
+		r, ok := m.cfg.rate(cl)
+		if !ok {
+			m.unknownClass++
+		}
+		m.prate[cl] = r / float64(n)
+		if l, ok := m.cfg.latency(cl); ok {
+			m.platency[cl] = l
+		}
 	}
 	for i := range m.parts {
 		p := &partition{m: m, idx: i}
@@ -292,6 +320,9 @@ const farFuture = int64(math.MaxInt64 / 4)
 const depsReady = int64(-1)
 
 func (m *machine) run(ctx context.Context) error {
+	if err := m.armMemHier(); err != nil {
+		return err
+	}
 	lim, err := m.occupancy()
 	if err != nil {
 		return err
@@ -474,6 +505,13 @@ func (m *machine) mergeRound() (bool, error) {
 			p.commitShared()
 		}
 	}
+	// 2b. Service deferred memory-hierarchy transactions in partition order,
+	// finalizing the pending-load scoreboard sentinels — before CTA events
+	// and retirement, so a warp that issued its last load and EXITed this
+	// round retires with concrete ready times.
+	if m.mh != nil {
+		m.serviceMem()
+	}
 	// 3. Apply deferred CTA events (barrier arrivals, warp exits) in
 	// partition order, then release any barrier whose live warps have all
 	// arrived.
@@ -498,9 +536,10 @@ func (m *machine) mergeRound() (bool, error) {
 	if issued == 0 {
 		minWake := farFuture
 		minClass := isa.ClassFxP
+		minMem := uint8(0)
 		for _, p := range m.parts {
 			if p.wake < minWake || reason == stallNone {
-				minWake, reason, minClass = p.wake, p.reason, p.class
+				minWake, reason, minClass, minMem = p.wake, p.reason, p.class, p.memc
 			}
 		}
 		if minWake == farFuture {
@@ -514,7 +553,7 @@ func (m *machine) mergeRound() (bool, error) {
 			m.checkIdleRound(reason)
 		}
 		m.idleRounds[reason]++
-		m.chargeIdle(reason, minClass, delta)
+		m.chargeIdle(reason, minClass, minMem, delta)
 	} else {
 		m.stats.IssueCycles += delta
 	}
@@ -585,12 +624,18 @@ func (m *machine) applyCTAEvents() {
 // run() exit path (completion and cancellation) goes through it.
 func (m *machine) finalize() {
 	m.stats.Cycles = m.cycle
+	m.stats.UnknownClassOps = m.unknownClass
+	if m.mh != nil {
+		mst := m.mh.Stats()
+		m.stats.Mem = &mst
+	}
 	for _, p := range m.parts {
 		m.stats.DynWarpInstrs += p.instrs
 		m.stats.StallDeps += p.stallDeps
 		m.stats.StallThrottle += p.stallThrottle
 		m.stats.StallBarrier += p.stallBarrier
 		m.stats.StallNoWarp += p.stallNoWarp
+		m.stats.UnknownClassOps += p.unknownClass
 		if p.trapped {
 			m.stats.Trapped = true
 		}
@@ -703,7 +748,28 @@ func (m *machine) retire() {
 // neither relieve a saturated issue pipe nor release a barrier earlier.
 // Dependence and throttle charges are additionally sub-attributed to the
 // pipe class being waited on.
-func (m *machine) chargeIdle(reason stallReason, cl isa.Class, delta int64) {
+//
+// A dependence idle whose nearest-to-ready warp waits on a hierarchy load
+// (memc != 0, only possible with MemModel armed) is charged to that load's
+// bounding level instead — taking precedence over BOTH the generic deps
+// component and the occupancy re-attribution, because "which level of the
+// memory system is the latency in" is the question the memory CPI stack
+// exists to answer, and occupancy-capped memory-bound kernels are its
+// primary subject.
+func (m *machine) chargeIdle(reason stallReason, cl isa.Class, memc uint8, delta int64) {
+	if reason == stallDeps && memc != 0 {
+		switch memmodel.Level(memc) {
+		case memmodel.LevelL2:
+			m.stats.StallCyclesMemL2 += delta
+		case memmodel.LevelDRAM:
+			m.stats.StallCyclesMemDRAM += delta
+		case memmodel.LevelMSHR:
+			m.stats.StallCyclesMemMSHR += delta
+		default:
+			m.stats.StallCyclesMemL1 += delta
+		}
+		return
+	}
 	if m.occCapped && m.nextCTA < m.k.GridCTAs && (reason == stallDeps || reason == stallNoWarp) {
 		m.stats.StallCyclesOccupancy += delta
 		return

@@ -1,0 +1,202 @@
+package sm_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"swapcodes/internal/compiler"
+	"swapcodes/internal/obs/cpistack"
+	"swapcodes/internal/sm"
+	"swapcodes/internal/workloads"
+)
+
+// Gates on the opt-in memory hierarchy (sm.Config.MemModel, DESIGN.md
+// section 15). The contract has two halves: with the model off the
+// simulator must be BIT-IDENTICAL to the seed flat-latency path — the
+// hierarchy code may cost one nil check and nothing else — and with it
+// armed the simulation must stay deterministic across worker counts and
+// keep every conservation law (CPI partition, retire horizon) intact.
+
+// TestMemModelOffBitIdentical: MemModel "off" (and its "" spelling) must
+// reproduce the default configuration's Stats, CPI stack, and final memory
+// exactly, on every workload x scheme, at every worker count.
+func TestMemModelOffBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload sweep")
+	}
+	for _, w := range workloads.All() {
+		for _, s := range diffSchemes {
+			k, err := compiler.Apply(w.Kernel, s)
+			if err != nil {
+				continue // scheme not applicable
+			}
+			refSt, refMem := launchWith(t, w, k, s, sm.DefaultConfig())
+			for _, workers := range diffWorkers {
+				cfg := sm.DefaultConfig()
+				cfg.Workers = workers
+				cfg.MemModel = "off"
+				st, mem := launchWith(t, w, k, s, cfg)
+				if !reflect.DeepEqual(st, refSt) {
+					t.Errorf("%s/%v workers=%d: MemModel=off Stats diverge from seed path\n got %+v\nwant %+v",
+						w.Name, s, workers, st, refSt)
+				}
+				if !reflect.DeepEqual(mem, refMem) {
+					t.Errorf("%s/%v workers=%d: MemModel=off final memory diverges from seed path",
+						w.Name, s, workers)
+				}
+				if st.Mem != nil || st.MemStallCycles() != 0 {
+					t.Errorf("%s/%v workers=%d: flat path carries hierarchy state (Mem=%v, stalls=%d)",
+						w.Name, s, workers, st.Mem, st.MemStallCycles())
+				}
+				if st.UnknownClassOps != 0 {
+					t.Errorf("%s/%v workers=%d: %d unknown-class fallbacks on a real kernel",
+						w.Name, s, workers, st.UnknownClassOps)
+				}
+			}
+		}
+	}
+}
+
+// memDiffWorkloads keeps the armed differential affordable: two
+// memory-bound kernels (bfs, gauss), the dense compute one (mm), and the
+// barrier-heavy one (lavaMD).
+var memDiffWorkloads = []string{"bfs", "gauss", "mm", "lavaMD"}
+
+// TestMemModelArmedDifferential: the armed hierarchy must be bit-identical
+// across the reference scheduler, the cached serial loop, and the parallel
+// loop at every worker count — all hierarchy state advances on the barrier
+// thread in partition order, so worker count cannot move a single fill.
+func TestMemModelArmedDifferential(t *testing.T) {
+	for _, name := range memDiffWorkloads {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range []compiler.Scheme{compiler.Baseline, compiler.SwapECC} {
+			k, err := compiler.Apply(w.Kernel, s)
+			if err != nil {
+				continue
+			}
+			ref := sm.DefaultConfig()
+			ref.Reference = true
+			ref.MemModel = "sectored"
+			refSt, refMem := launchWith(t, w, k, s, ref)
+			for _, workers := range diffWorkers {
+				cfg := sm.DefaultConfig()
+				cfg.Workers = workers
+				cfg.MemModel = "sectored"
+				st, mem := launchWith(t, w, k, s, cfg)
+				if !reflect.DeepEqual(st, refSt) {
+					t.Errorf("%s/%v workers=%d: armed Stats diverge from reference\n got %+v\nwant %+v",
+						w.Name, s, workers, st, refSt)
+				}
+				if !reflect.DeepEqual(mem, refMem) {
+					t.Errorf("%s/%v workers=%d: armed final memory diverges from reference",
+						w.Name, s, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestMemModelArmedVerifyMode re-runs armed launches with the dynamic
+// invariants on, so the CPI-partition law, the idle-round audit, and the
+// hierarchy-extended retire horizon actually execute against the armed
+// scheduler.
+func TestMemModelArmedVerifyMode(t *testing.T) {
+	for _, name := range []string{"bfs", "gauss"} {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 4} {
+			cfg := sm.DefaultConfig()
+			cfg.Workers = workers
+			cfg.MemModel = "sectored"
+			cfg.Verify = true
+			launchWith(t, w, w.Kernel, compiler.Baseline, cfg)
+		}
+	}
+}
+
+// TestMemModelArmedCPIPartition: the armed CPI stack must still partition
+// the cycle count exactly, now across ten components, and the memory-bound
+// kernels must actually charge memory-tier stalls — the acceptance check
+// behind the -exp memcpi tables.
+func TestMemModelArmedCPIPartition(t *testing.T) {
+	for _, name := range []string{"bfs", "gauss"} {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := sm.DefaultConfig()
+		cfg.MemModel = "sectored"
+		st, _ := launchWith(t, w, w.Kernel, compiler.Baseline, cfg)
+		stack := st.CPIStack(w.Name, "baseline")
+		if stack.Sum() != st.Cycles {
+			t.Errorf("%s: armed components sum to %d, want %d (stack %+v)",
+				w.Name, stack.Sum(), st.Cycles, stack.Comp)
+		}
+		if st.MemStallCycles() == 0 {
+			t.Errorf("%s: memory-bound kernel charged zero memory-tier stalls (stack %+v)",
+				w.Name, stack.Comp)
+		}
+		var memSum int64
+		for _, c := range cpistack.MemComponents() {
+			memSum += stack.Comp[c]
+		}
+		if memSum != st.MemStallCycles() {
+			t.Errorf("%s: stack mem components sum to %d, Stats say %d", w.Name, memSum, st.MemStallCycles())
+		}
+		if st.Mem == nil {
+			t.Fatalf("%s: armed launch carries no hierarchy counters", w.Name)
+		}
+		if st.Mem.L1Hits+st.Mem.L1Misses == 0 {
+			t.Errorf("%s: hierarchy saw no load sectors", w.Name)
+		}
+		if st.Mem.LoadAccesses == 0 {
+			t.Errorf("%s: hierarchy saw no load transactions", w.Name)
+		}
+	}
+}
+
+// TestMemModelArmedChangesTiming: arming the hierarchy must actually move
+// cycle counts on a memory-bound kernel (otherwise the tier is dead code),
+// while leaving functional output untouched (launchWith verifies it).
+func TestMemModelArmedChangesTiming(t *testing.T) {
+	w, err := workloads.ByName("bfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatSt, _ := launchWith(t, w, w.Kernel, compiler.Baseline, sm.DefaultConfig())
+	cfg := sm.DefaultConfig()
+	cfg.MemModel = "sectored"
+	armedSt, _ := launchWith(t, w, w.Kernel, compiler.Baseline, cfg)
+	if armedSt.Cycles == flatSt.Cycles {
+		t.Errorf("armed and flat launches both took %d cycles; the hierarchy changed nothing", flatSt.Cycles)
+	}
+	if armedSt.DynWarpInstrs != flatSt.DynWarpInstrs {
+		t.Errorf("arming the timing model changed the instruction count: %d vs %d",
+			armedSt.DynWarpInstrs, flatSt.DynWarpInstrs)
+	}
+}
+
+// TestMemModelUnknownRejected: a typo'd MemModel must fail the launch with
+// a diagnostic naming the valid values, not silently run some path.
+func TestMemModelUnknownRejected(t *testing.T) {
+	w, err := workloads.ByName("mm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sm.DefaultConfig()
+	cfg.MemModel = "sectered" // typo
+	g := w.NewGPU(cfg)
+	_, lerr := g.Launch(w.Kernel)
+	if lerr == nil {
+		t.Fatal("unknown MemModel launched cleanly")
+	}
+	if !strings.Contains(lerr.Error(), "sectered") || !strings.Contains(lerr.Error(), "sectored") {
+		t.Errorf("diagnostic %q should name the bad value and the valid ones", lerr.Error())
+	}
+}

@@ -198,6 +198,8 @@ func (o *smObs) finish(m *machine) {
 		"deps": st.StallCyclesDeps, "throttle": st.StallCyclesThrottle,
 		"barrier": st.StallCyclesBarrier, "nowarp": st.StallCyclesNoWarp,
 		"occupancy": st.StallCyclesOccupancy,
+		"mem.l1":    st.StallCyclesMemL1, "mem.l2": st.StallCyclesMemL2,
+		"mem.dram": st.StallCyclesMemDRAM, "mem.mshr": st.StallCyclesMemMSHR,
 	} {
 		if v > 0 {
 			reg.Counter(obs.Name("sm.stall_cycles",
@@ -207,5 +209,11 @@ func (o *smObs) finish(m *machine) {
 	if st.IssueCycles > 0 {
 		reg.Counter(obs.Name("sm.issue_cycles",
 			"kernel", o.kernel, "scheme", o.scheme)).Add(st.IssueCycles)
+	}
+	// Unknown-class fallbacks are a simulator-health signal, not a kernel
+	// one: any nonzero count means some instruction's timing was a guess.
+	if st.UnknownClassOps > 0 {
+		reg.Counter(obs.Name("sm.unknown_class",
+			"kernel", o.kernel, "scheme", o.scheme)).Add(st.UnknownClassOps)
 	}
 }

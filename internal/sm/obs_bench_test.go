@@ -98,3 +98,32 @@ func BenchmarkSMFlightArmed(b *testing.B) {
 		}
 	}
 }
+
+// benchLaunchMem runs one vecadd launch under the given memory model; "off"
+// measures the flat-latency path's nil-check overhead, "sectored" the armed
+// hierarchy premium (coalescing, cache/MSHR/DRAM advance at the barrier).
+func benchLaunchMem(b *testing.B, model string) {
+	const n = 2048
+	k := vecAddKernel(n, 16, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig()
+		cfg.MemModel = model
+		g := NewGPU(cfg, 3*n+64)
+		st, err := g.Launch(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(st.Cycles), "cycles")
+	}
+}
+
+// BenchmarkSMMemModelOff guards the flat path: with MemModel off the cycle
+// loop's only added work is one nil check in exec and one at the merge
+// barrier, so this must track BenchmarkSMObsDisabled within noise.
+func BenchmarkSMMemModelOff(b *testing.B) { benchLaunchMem(b, "off") }
+
+// BenchmarkSMMemModelArmed measures the armed hierarchy end to end —
+// per-warp sector coalescing in exec, deferred request logs, and the
+// deterministic cache/MSHR/DRAM advance in mergeRound.
+func BenchmarkSMMemModelArmed(b *testing.B) { benchLaunchMem(b, "sectored") }

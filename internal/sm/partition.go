@@ -56,11 +56,15 @@ type partition struct {
 	warps  []*warpState
 	tokens [10]float64
 
-	// Per-round outputs, consumed by the barrier.
+	// Per-round outputs, consumed by the barrier. memc carries the
+	// memory-hierarchy level (memmodel.Level) the nearest-to-ready warp's
+	// dependence stall waits on, 0 when the blocking producer was not a
+	// hierarchy load (always 0 with MemModel off).
 	issued  int
 	wake    int64
 	reason  stallReason
 	class   isa.Class
+	memc    uint8
 	err     error
 	retired int
 	trapped bool
@@ -75,6 +79,12 @@ type partition struct {
 	slog []smemEvent
 	// Deferred barrier arrivals and warp exits (see ctaEvent).
 	events []ctaEvent
+	// mlog is the deferred memory-hierarchy transaction log (armed MemModel
+	// only; see memhier.go). loggedLoad flags that exec just logged an LDG,
+	// telling issue() to park the destination on the memPending sentinel
+	// instead of the flat LatGMem scoreboard update.
+	mlog       []memReq
+	loggedLoad bool
 
 	// Cumulative statistics, folded into Stats by finalize().
 	instrs   int64
@@ -86,6 +96,11 @@ type partition struct {
 	// parks counts ATOM parkings (folded into LaunchProf when armed; the
 	// unconditional increment on the rare ATOM path is cheaper than a branch).
 	parks int64
+
+	// unknownClass counts timing lookups that hit the unknown-class fallback
+	// (see Config.latency). Partition-local so phase-A counting stays
+	// race-free; finalize folds it into Stats.UnknownClassOps.
+	unknownClass int64
 
 	// fr is this partition's flight-recorder ring (nil unless GPU.Flight is
 	// armed). Partition-local single-writer during phase A, so recording
@@ -105,10 +120,10 @@ func (p *partition) step() {
 		slots = 1
 	}
 	for slot := 0; slot < slots; slot++ {
-		w, wake, reason, cl := p.pick()
+		w, wake, reason, cl, memc := p.pick()
 		if w == nil {
 			if slot == 0 {
-				p.wake, p.reason, p.class = wake, reason, cl
+				p.wake, p.reason, p.class, p.memc = wake, reason, cl, memc
 			}
 			break
 		}
@@ -138,14 +153,16 @@ func (p *partition) step() {
 
 // pick scans the partition's warps round-robin for one that can issue; when
 // none can, it returns the earliest wake time, the blocking reason of the
-// nearest-to-ready warp, and the pipe class that reason attributes to.
-func (p *partition) pick() (*warpState, int64, stallReason, isa.Class) {
+// nearest-to-ready warp, the pipe class that reason attributes to, and the
+// memory-hierarchy level when that reason is a hierarchy-load dependence.
+func (p *partition) pick() (*warpState, int64, stallReason, isa.Class, uint8) {
 	minWake := farFuture
 	reason := stallNoWarp
 	class := isa.ClassFxP
+	memc := uint8(0)
 	n := len(p.warps)
 	if n == 0 {
-		return nil, minWake, reason, class
+		return nil, minWake, reason, class, memc
 	}
 	start := int(p.m.cycle) % n
 	for i := 0; i < n; i++ {
@@ -153,17 +170,18 @@ func (p *partition) pick() (*warpState, int64, stallReason, isa.Class) {
 		if w.done || w.atomHold {
 			continue
 		}
-		ready, wake, r, cl := p.warpReady(w)
+		ready, wake, r, cl, mc := p.warpReady(w)
 		if ready {
-			return w, 0, stallNone, cl
+			return w, 0, stallNone, cl, 0
 		}
 		if wake < minWake || reason == stallNoWarp {
 			minWake = wake
 			reason = r
 			class = cl
+			memc = mc
 		}
 	}
-	return nil, minWake, reason, class
+	return nil, minWake, reason, class, memc
 }
 
 // warpReady checks scoreboard and structural constraints for the warp's next
@@ -175,18 +193,18 @@ func (p *partition) pick() (*warpState, int64, stallReason, isa.Class) {
 // caches the opposite verdict — operands satisfied, class known — leaving
 // only the (uncacheable) token-bucket check, which is what makes repeated
 // scans of a throttled partition cheap.
-func (p *partition) warpReady(w *warpState) (bool, int64, stallReason, isa.Class) {
+func (p *partition) warpReady(w *warpState) (bool, int64, stallReason, isa.Class, uint8) {
 	if !p.m.cfg.Reference {
 		if w.cacheWake > p.m.cycle {
-			return false, w.cacheWake, w.cacheReason, isa.Class(w.cacheClass)
+			return false, w.cacheWake, w.cacheReason, isa.Class(w.cacheClass), w.cacheMem
 		}
 		if w.cacheWake == depsReady {
 			cl := isa.Class(w.cacheClass)
 			if p.tokens[cl] < 1 {
 				need := (1 - p.tokens[cl]) / p.m.prate[cl]
-				return false, p.m.cycle + int64(need) + 1, stallThrottle, cl
+				return false, p.m.cycle + int64(need) + 1, stallThrottle, cl, 0
 			}
-			return true, 0, stallNone, cl
+			return true, 0, stallNone, cl, 0
 		}
 	}
 	return p.warpReadyFull(w)
@@ -194,8 +212,9 @@ func (p *partition) warpReady(w *warpState) (bool, int64, stallReason, isa.Class
 
 // warpReadyFull is the full scan. The returned class attributes a stall: for
 // dependence stalls it is the pipe class of the producer whose result the
-// warp waits on longest; for throttle stalls, the saturated pipe.
-func (p *partition) warpReadyFull(w *warpState) (bool, int64, stallReason, isa.Class) {
+// warp waits on longest (plus, when that producer was a hierarchy load, the
+// memory level that bounded it); for throttle stalls, the saturated pipe.
+func (p *partition) warpReadyFull(w *warpState) (bool, int64, stallReason, isa.Class, uint8) {
 	m := p.m
 	if w.atBarrier {
 		// Released by the last arrival, which also clears the cache.
@@ -203,12 +222,17 @@ func (p *partition) warpReadyFull(w *warpState) (bool, int64, stallReason, isa.C
 			w.cacheWake = farFuture
 			w.cacheReason = stallBarrier
 			w.cacheClass = uint8(isa.ClassControl)
+			w.cacheMem = 0
 		}
-		return false, farFuture, stallBarrier, isa.ClassControl
+		return false, farFuture, stallBarrier, isa.ClassControl, 0
 	}
 	in := &m.k.Code[w.top().pc]
 	wake := m.cycle
 	blockCl := isa.ClassFxP
+	// The memory level of the blocking producer is resolved once after the
+	// scan (regMem[blockReg]); tracking the register instead of loading
+	// regMem per update keeps the flat-latency scan at its seed cost.
+	blockReg := isa.RZ
 
 	dep := func(r isa.Reg, wide bool) {
 		if r == isa.RZ {
@@ -217,11 +241,13 @@ func (p *partition) warpReadyFull(w *warpState) (bool, int64, stallReason, isa.C
 		if t := w.regReady[r]; t > wake {
 			wake = t
 			blockCl = isa.Class(w.regClass[r])
+			blockReg = r
 		}
 		if wide {
 			if t := w.regReady[r+1]; t > wake {
 				wake = t
 				blockCl = isa.Class(w.regClass[r+1])
+				blockReg = r + 1
 			}
 		}
 	}
@@ -244,15 +270,21 @@ func (p *partition) warpReadyFull(w *warpState) (bool, int64, stallReason, isa.C
 		if t := w.predReady[in.GuardPred]; t > wake {
 			wake = t
 			blockCl = isa.Class(w.predClass[in.GuardPred])
+			blockReg = isa.RZ // predicates never come from the hierarchy
 		}
 	}
 	if wake > m.cycle {
+		var blockMem uint8
+		if blockReg != isa.RZ {
+			blockMem = w.regMem[blockReg]
+		}
 		if !m.cfg.Reference {
 			w.cacheWake = wake
 			w.cacheReason = stallDeps
 			w.cacheClass = uint8(blockCl)
+			w.cacheMem = blockMem
 		}
-		return false, wake, stallDeps, blockCl
+		return false, wake, stallDeps, blockCl, blockMem
 	}
 	cl := in.Op.Class()
 	if !m.cfg.Reference {
@@ -264,9 +296,9 @@ func (p *partition) warpReadyFull(w *warpState) (bool, int64, stallReason, isa.C
 	if p.tokens[cl] < 1 {
 		// Throttle wakes move with every refill, so they are never cached.
 		need := (1 - p.tokens[cl]) / m.prate[cl]
-		return false, m.cycle + int64(need) + 1, stallThrottle, cl
+		return false, m.cycle + int64(need) + 1, stallThrottle, cl, 0
 	}
-	return true, 0, stallNone, cl
+	return true, 0, stallNone, cl, 0
 }
 
 // issue consumes a token, executes the instruction functionally, and
@@ -293,29 +325,95 @@ func (p *partition) issue(w *warpState) error {
 	}
 
 	// Scoreboard: the destination becomes readable after the pipe latency;
-	// WAW writes merge to the max (both must land before a read).
-	if in.WritesReg() {
-		lat := m.cfg.latency(cl)
-		t := m.cycle + lat
-		if t > w.regReady[in.Dst] {
+	// WAW writes merge to the max (both must land before a read). A logged
+	// hierarchy load instead parks its destination on the memPending
+	// sentinel — serviceMem resolves it to the real fill time at this
+	// round's barrier, merging against the pre-sentinel ready time kept in
+	// the request (LDG destinations are never register pairs).
+	if p.loggedLoad {
+		p.loggedLoad = false
+		if in.WritesReg() {
+			req := &p.mlog[len(p.mlog)-1]
+			req.dst = in.Dst
+			req.prev = w.regReady[in.Dst]
+			if req.prev == memPending {
+				// An older same-round load to this destination still holds
+				// the sentinel; its service (earlier in mlog) concretizes
+				// regReady before this request reads it, so prev is unused.
+				req.prev = 0
+			}
+			w.regReady[in.Dst] = memPending
+			w.regClass[in.Dst] = uint8(cl)
+		}
+	} else if in.WritesReg() {
+		// The sentinel checks and regMem clears live off the common path:
+		// memPending is above any real completion time (so t > cur already
+		// fails on it), and with the hierarchy off regMem is all-zero by
+		// construction — the flat path pays only the nil check.
+		t := m.cycle + p.latencyOf(cl)
+		if cur := w.regReady[in.Dst]; t > cur {
 			w.regReady[in.Dst] = t
+		} else if cur == memPending {
+			// WAW against a same-round in-flight load: fold this producer's
+			// completion into the pending request so serviceMem's max keeps
+			// it (overwriting the sentinel would lose the load's fill).
+			p.bumpPendingPrev(w, in.Dst, t)
 		}
 		w.regClass[in.Dst] = uint8(cl)
+		if m.mh != nil {
+			w.regMem[in.Dst] = 0
+		}
 		if in.Is64Dst() {
-			if t > w.regReady[in.Dst+1] {
+			if cur := w.regReady[in.Dst+1]; t > cur {
 				w.regReady[in.Dst+1] = t
+			} else if cur == memPending {
+				p.bumpPendingPrev(w, in.Dst+1, t)
 			}
 			w.regClass[in.Dst+1] = uint8(cl)
+			if m.mh != nil {
+				w.regMem[in.Dst+1] = 0
+			}
 		}
 	}
 	if (in.Op == isa.ISETP || in.Op == isa.FSETP) && in.DstPred >= 0 && in.DstPred < isa.PT {
 		// The predicate lands with the producing pipe's latency: FSETP is a
 		// ClassFP32 op, so its comparison takes the FP32 pipe's depth, not
 		// the integer pipe's.
-		w.predReady[in.DstPred] = m.cycle + m.cfg.latency(cl)
+		w.predReady[in.DstPred] = m.cycle + p.latencyOf(cl)
 		w.predClass[in.DstPred] = uint8(cl)
 	}
 	return nil
+}
+
+// latencyOf is issue's latency lookup: an array load off the table
+// initPartitions resolved, with the unknown-class fallback counted
+// partition-locally (phase A runs partitions concurrently) — it surfaces
+// as Stats.UnknownClassOps, the sm.unknown_class metric, and a Verify
+// invariant violation at launch end.
+func (p *partition) latencyOf(cl isa.Class) int64 {
+	if int(cl) < len(p.m.platency) {
+		if l := p.m.platency[cl]; l != 0 {
+			return l
+		}
+	}
+	p.unknownClass++
+	return 1
+}
+
+// bumpPendingPrev folds a non-load producer's completion time into the
+// in-flight load request holding reg r's memPending sentinel (the newest
+// such request wins — it is the one whose service last touches the
+// register).
+func (p *partition) bumpPendingPrev(w *warpState, r isa.Reg, t int64) {
+	for i := len(p.mlog) - 1; i >= 0; i-- {
+		req := &p.mlog[i]
+		if !req.store && req.w == w && req.dst == r {
+			if t > req.prev {
+				req.prev = t
+			}
+			return
+		}
+	}
 }
 
 // refill adds delta cycles of this partition's bandwidth share to every

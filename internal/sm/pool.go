@@ -41,6 +41,12 @@ func getWarp(numRegs int) *warpState {
 	} else {
 		w.regClass = make([]uint8, sb)
 	}
+	if cap(w.regMem) >= sb {
+		w.regMem = w.regMem[:sb]
+		clear(w.regMem)
+	} else {
+		w.regMem = make([]uint8, sb)
+	}
 	w.preds = [8]uint32{}
 	w.predReady = [8]int64{}
 	w.predClass = [8]uint8{}
@@ -50,6 +56,7 @@ func getWarp(numRegs int) *warpState {
 	w.cacheWake = 0
 	w.cacheReason = stallNone
 	w.cacheClass = 0
+	w.cacheMem = 0
 	w.rf = nil
 	return w
 }

@@ -18,6 +18,7 @@ import (
 	"swapcodes/internal/compiler"
 	"swapcodes/internal/core"
 	"swapcodes/internal/isa"
+	"swapcodes/internal/memmodel"
 	"swapcodes/internal/obs"
 	"swapcodes/internal/obs/cpistack"
 	"swapcodes/internal/obs/simprof"
@@ -80,6 +81,17 @@ type Config struct {
 	// that the differential tests compare the cached fast path against.
 	Reference bool
 
+	// MemModel selects the global-memory timing tier. "" or "off" keeps the
+	// seed flat-latency path (every LDG completes in LatGMem cycles) and is
+	// bit-identical to configurations that predate the field. "sectored"
+	// arms the internal/memmodel hierarchy: per-warp sector coalescing, a
+	// sectored L1 with a bounded MSHR file, a banked L2, and a DRAM
+	// bandwidth/row-locality model, with per-level CPI-stall attribution
+	// (mem.l1/l2/dram/mshr). The hierarchy is timing-only — functional
+	// results never change — and it advances entirely inside the
+	// deterministic merge barrier, so Workers parallelism is unaffected.
+	MemModel string
+
 	// MaxCycles aborts the launch with an error once the simulated cycle
 	// count exceeds it (0 = unlimited). The differential verifier uses it
 	// to bound runs of deliberately or accidentally miscompiled programs,
@@ -115,8 +127,15 @@ func DefaultConfig() Config {
 	}
 }
 
-// latency returns the result latency for a class.
-func (c *Config) latency(cl isa.Class) int64 {
+// latency returns the result latency for a class. The second result is
+// false for a class outside the ISA's vocabulary: such an instruction used
+// to silently get 1-cycle (fastest-path) timing, which is exactly the kind
+// of misclassification a timing model must never paper over — callers count
+// it (Stats.UnknownClassOps, the sm.unknown_class metric) and Config.Verify
+// turns it into an invariant violation. Control instructions are a real
+// class with no register result; their nominal 1-cycle latency only feeds
+// the maxLatency scoreboard horizon.
+func (c *Config) latency(cl isa.Class) (int64, bool) {
 	var l int64
 	switch cl {
 	case isa.ClassFxP:
@@ -135,8 +154,10 @@ func (c *Config) latency(cl isa.Class) int64 {
 		l = c.LatGMem
 	case isa.ClassSpecial:
 		l = c.LatSpecial
+	case isa.ClassControl:
+		return 1, true
 	default:
-		return 1
+		return 1, false
 	}
 	switch cl {
 	case isa.ClassFxP, isa.ClassFP32, isa.ClassFP64, isa.ClassMove:
@@ -145,29 +166,34 @@ func (c *Config) latency(cl isa.Class) int64 {
 			l = 1
 		}
 	}
-	return l
+	return l, true
 }
 
-func (c *Config) rate(cl isa.Class) float64 {
+// rate returns the issue throughput for a class, with the same unknown-class
+// contract as latency: the fallback rate keeps the simulation live, the
+// false result makes the misclassification loud.
+func (c *Config) rate(cl isa.Class) (float64, bool) {
 	switch cl {
 	case isa.ClassFxP:
-		return c.ThrFxP
+		return c.ThrFxP, true
 	case isa.ClassFP32:
-		return c.ThrFP32
+		return c.ThrFP32, true
 	case isa.ClassFP64:
-		return c.ThrFP64
+		return c.ThrFP64, true
 	case isa.ClassSFU:
-		return c.ThrSFU
+		return c.ThrSFU, true
 	case isa.ClassMove:
-		return c.ThrMove
+		return c.ThrMove, true
 	case isa.ClassMemShared:
-		return c.ThrSMem
+		return c.ThrSMem, true
 	case isa.ClassMemGlobal:
-		return c.ThrGMem
+		return c.ThrGMem, true
 	case isa.ClassSpecial:
-		return c.ThrSpecial
+		return c.ThrSpecial, true
+	case isa.ClassControl:
+		return c.ThrCtrl, true
 	default:
-		return c.ThrCtrl
+		return c.ThrCtrl, false
 	}
 }
 
@@ -220,6 +246,22 @@ type Stats struct {
 	// shared memory held residency below the SM's warp-slot limit with CTAs
 	// still waiting — latency the denied warps could have covered.
 	StallCyclesOccupancy int64
+	// Memory-tier stall attribution (Config.MemModel armed; all zero on the
+	// flat-latency path): dependence idles whose nearest-to-ready warp waits
+	// on a hierarchy load, charged to the level that bounded that load's
+	// completion — L1 hit service, L2 hit, DRAM, or the wait for a free
+	// MSHR. These take precedence over the occupancy re-attribution: an
+	// occupancy-capped memory-bound kernel still shows WHERE its latency
+	// lives.
+	StallCyclesMemL1, StallCyclesMemL2, StallCyclesMemDRAM, StallCyclesMemMSHR int64
+	// UnknownClassOps counts timing lookups for an instruction class outside
+	// the ISA's vocabulary (the latency/rate fallback). Always zero for
+	// kernels built from real opcodes; nonzero means a misclassified
+	// instruction got fallback timing (an invariant violation under Verify).
+	UnknownClassOps int64
+	// Mem carries the armed memory hierarchy's event counters (nil when
+	// MemModel is off).
+	Mem *memmodel.Stats
 	// IssueCycles counts cycles in which at least one scheduler slot issued.
 	IssueCycles int64
 	// ResidentWarpLimit is the occupancy cap the launch ran under, in warps
@@ -235,7 +277,13 @@ type Stats struct {
 // StallCycles returns the total fully-idle cycles across all reasons.
 func (s *Stats) StallCycles() int64 {
 	return s.StallCyclesDeps + s.StallCyclesThrottle + s.StallCyclesBarrier +
-		s.StallCyclesNoWarp + s.StallCyclesOccupancy
+		s.StallCyclesNoWarp + s.StallCyclesOccupancy + s.MemStallCycles()
+}
+
+// MemStallCycles returns the total idle cycles attributed to the memory
+// hierarchy (zero when MemModel is off).
+func (s *Stats) MemStallCycles() int64 {
+	return s.StallCyclesMemL1 + s.StallCyclesMemL2 + s.StallCyclesMemDRAM + s.StallCyclesMemMSHR
 }
 
 // CPIStack exports the launch's cycle partition in the attribution
@@ -257,6 +305,10 @@ func (s *Stats) CPIStack(kernel, scheme string) *cpistack.Stack {
 			cpistack.Barrier:   s.StallCyclesBarrier,
 			cpistack.NoWarp:    s.StallCyclesNoWarp,
 			cpistack.Occupancy: s.StallCyclesOccupancy,
+			cpistack.MemL1:     s.StallCyclesMemL1,
+			cpistack.MemL2:     s.StallCyclesMemL2,
+			cpistack.MemDRAM:   s.StallCyclesMemDRAM,
+			cpistack.MemMSHR:   s.StallCyclesMemMSHR,
 		},
 	}
 	if len(s.DepCyclesPerClass) > 0 {

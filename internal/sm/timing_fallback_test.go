@@ -1,0 +1,190 @@
+package sm
+
+import (
+	"strings"
+	"testing"
+
+	"swapcodes/internal/compiler"
+	"swapcodes/internal/isa"
+)
+
+// The latency/rate tables used to default an unknown isa.Class to 1 cycle /
+// ThrCtrl silently, so a misclassified instruction got plausible-looking
+// timing and the sweep numbers drifted without any signal. The fallback
+// still exists (the simulator must not crash mid-launch), but it now
+// reports: the lookups return ok=false, the launch counts the fallbacks in
+// Stats.UnknownClassOps, and Config.Verify turns any nonzero count into an
+// invariant violation.
+
+// TestLatencyRateTableCoversISA: every class of the ISA's vocabulary must
+// resolve without the fallback, with positive timing — including
+// ClassControl, which the pre-fix default handled by accident and now has
+// an explicit case (same values, so timing is bit-identical to the seed).
+func TestLatencyRateTableCoversISA(t *testing.T) {
+	cfg := DefaultConfig()
+	for cl := isa.ClassFxP; cl <= isa.ClassSpecial; cl++ {
+		l, ok := cfg.latency(cl)
+		if !ok {
+			t.Errorf("latency(%v) took the unknown-class fallback", cl)
+		}
+		if l < 1 {
+			t.Errorf("latency(%v) = %d, want >= 1", cl, l)
+		}
+		r, ok := cfg.rate(cl)
+		if !ok {
+			t.Errorf("rate(%v) took the unknown-class fallback", cl)
+		}
+		if r <= 0 {
+			t.Errorf("rate(%v) = %v, want > 0", cl, r)
+		}
+	}
+	if l, ok := cfg.latency(isa.ClassControl); !ok || l != 1 {
+		t.Errorf("latency(control) = %d, %v; want 1, true (seed value)", l, ok)
+	}
+	if r, ok := cfg.rate(isa.ClassControl); !ok || r != cfg.ThrCtrl {
+		t.Errorf("rate(control) = %v, %v; want ThrCtrl, true (seed value)", r, ok)
+	}
+}
+
+// TestLatencyRateUnknownClassFlagged: a class outside the vocabulary still
+// gets the old fallback values but is flagged, and the partition-local
+// lookup counts it.
+func TestLatencyRateUnknownClassFlagged(t *testing.T) {
+	cfg := DefaultConfig()
+	bogus := isa.ClassSpecial + 17
+	if l, ok := cfg.latency(bogus); ok || l != 1 {
+		t.Errorf("latency(bogus) = %d, %v; want 1, false", l, ok)
+	}
+	if r, ok := cfg.rate(bogus); ok || r != cfg.ThrCtrl {
+		t.Errorf("rate(bogus) = %v, %v; want ThrCtrl, false", r, ok)
+	}
+
+	m := &machine{cfg: &cfg}
+	m.initPartitions()
+	p := m.parts[0]
+	if got, _ := cfg.latency(isa.ClassFP32); p.latencyOf(isa.ClassFP32) != got {
+		t.Errorf("latencyOf(fp32) disagrees with the table")
+	}
+	if p.unknownClass != 0 {
+		t.Fatalf("known-class lookup bumped the fallback counter to %d", p.unknownClass)
+	}
+	if got := p.latencyOf(bogus); got != 1 {
+		t.Errorf("latencyOf(bogus) = %d, want fallback 1", got)
+	}
+	if p.unknownClass != 1 {
+		t.Fatalf("unknownClass = %d after one fallback, want 1", p.unknownClass)
+	}
+}
+
+// TestVerifyFlagsUnknownClass: checkLaunchEnd must indict a launch whose
+// stats carry unknown-class fallbacks.
+func TestVerifyFlagsUnknownClass(t *testing.T) {
+	cfg := DefaultConfig()
+	m := &machine{cfg: &cfg, k: &isa.Kernel{Name: "synthetic"}, stats: &Stats{}}
+	m.checkLaunchEnd()
+	if len(m.violations) != 0 {
+		t.Fatalf("clean synthetic stats violated: %v", m.violations)
+	}
+	m.stats.UnknownClassOps = 3
+	m.checkLaunchEnd()
+	if len(m.violations) != 1 || !strings.Contains(m.violations[0], "unknown-class") {
+		t.Fatalf("unknown-class ops not flagged: %v", m.violations)
+	}
+}
+
+// TestVerifyFlagsFlatMemStalls: a flat-latency launch can never charge
+// memory-hierarchy stall cycles; checkLaunchEnd guards the partition.
+func TestVerifyFlagsFlatMemStalls(t *testing.T) {
+	cfg := DefaultConfig()
+	m := &machine{cfg: &cfg, k: &isa.Kernel{Name: "synthetic"}, stats: &Stats{}}
+	m.stats.StallCyclesMemDRAM = 7
+	m.stats.Cycles = 7 // keep the issue+stall partition consistent
+	m.checkLaunchEnd()
+	if len(m.violations) != 1 || !strings.Contains(m.violations[0], "memory-hierarchy") {
+		t.Fatalf("flat-path mem stalls not flagged: %v", m.violations)
+	}
+}
+
+// oobKernel builds a single-warp kernel whose first active lane accesses
+// the given out-of-range offset through op.
+func oobKernel(t *testing.T, op isa.Opcode, off int32) *isa.Kernel {
+	t.Helper()
+	a := compiler.NewAsm("oob")
+	r0, r1 := isa.Reg(0), isa.Reg(1)
+	a.MovI(r0, 0)
+	switch op {
+	case isa.LDS:
+		a.Lds(r1, r0, off)
+	case isa.LDG:
+		a.Ldg(r1, r0, off)
+	case isa.STS:
+		a.Sts(r0, off, r0)
+	case isa.STG:
+		a.Stg(r0, off, r0)
+	default:
+		t.Fatalf("oobKernel: unsupported op %v", op)
+	}
+	a.Exit()
+	return a.MustBuild(1, 32, 8)
+}
+
+// TestOOBDiagnosticsUnified: every out-of-bounds path — the fused
+// vectorized loops, the generic scalar path (forced via the ECC register
+// file), and the store path — must report the same diagnostic shape:
+// kernel, opcode, address, faulting lane, and address space. The LDS/STS
+// variants used to omit the lane that LDG reported; this pins the unified
+// message on both execution paths.
+func TestOOBDiagnosticsUnified(t *testing.T) {
+	cases := []struct {
+		op    isa.Opcode
+		off   int32
+		space string
+	}{
+		{isa.LDS, 100, "shared"}, // sharedWords = 8
+		{isa.STS, 100, "shared"},
+		{isa.LDG, 1 << 20, "global"}, // memWords = 256
+		{isa.STG, 1 << 20, "global"},
+	}
+	for _, tc := range cases {
+		for _, ecc := range []bool{false, true} { // false: fused fast path; true: generic scalar path
+			k := oobKernel(t, tc.op, tc.off)
+			cfg := DefaultConfig()
+			cfg.ECC = ecc
+			g := NewGPU(cfg, 256)
+			_, err := g.Launch(k)
+			if err == nil {
+				t.Fatalf("%v ecc=%v: out-of-bounds access launched cleanly", tc.op, ecc)
+			}
+			msg := err.Error()
+			for _, frag := range []string{
+				"kernel oob", tc.op.String(), "(lane 0, " + tc.space + " memory)",
+			} {
+				if !strings.Contains(msg, frag) {
+					t.Errorf("%v ecc=%v: diagnostic %q missing %q", tc.op, ecc, msg, frag)
+				}
+			}
+		}
+	}
+}
+
+// TestOOBDiagnosticsIdenticalAcrossPaths: the two execution paths must
+// produce byte-identical messages, not merely similar ones.
+func TestOOBDiagnosticsIdenticalAcrossPaths(t *testing.T) {
+	for _, op := range []isa.Opcode{isa.LDS, isa.LDG} {
+		var msgs [2]string
+		for i, ecc := range []bool{false, true} {
+			k := oobKernel(t, op, 1<<20)
+			cfg := DefaultConfig()
+			cfg.ECC = ecc
+			g := NewGPU(cfg, 256)
+			_, err := g.Launch(k)
+			if err == nil {
+				t.Fatalf("%v ecc=%v: no error", op, ecc)
+			}
+			msgs[i] = err.Error()
+		}
+		if msgs[0] != msgs[1] {
+			t.Errorf("%v: fast path %q != scalar path %q", op, msgs[0], msgs[1])
+		}
+	}
+}
